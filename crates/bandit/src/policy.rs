@@ -1,0 +1,439 @@
+//! Bandit policies: Thompson (Gaussian), ε-greedy, softmax, UCB1.
+
+use crate::BanditError;
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+
+/// A sequential arm-selection policy.
+pub trait BanditPolicy {
+    /// Chooses the next arm to pull.
+    fn select(&mut self, rng: &mut StdRng) -> usize;
+
+    /// Feeds back the observed reward for an arm.
+    fn update(&mut self, arm: usize, reward: f64);
+
+    /// Number of arms.
+    fn arm_count(&self) -> usize;
+
+    /// Display name.
+    fn name(&self) -> &'static str;
+}
+
+impl<P: BanditPolicy + ?Sized> BanditPolicy for Box<P> {
+    fn select(&mut self, rng: &mut StdRng) -> usize {
+        (**self).select(rng)
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        (**self).update(arm, reward);
+    }
+
+    fn arm_count(&self) -> usize {
+        (**self).arm_count()
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Per-arm sufficient statistics (count, mean, M2 for Welford variance).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+struct ArmStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl ArmStats {
+    fn push(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+    }
+
+    fn sample_std(&self) -> f64 {
+        if self.n < 2 {
+            return f64::NAN;
+        }
+        (self.m2 / (self.n - 1) as f64).sqrt()
+    }
+}
+
+/// Thompson Sampling with Gaussian rewards (refs \[38\]\[33\]\[40\]).
+///
+/// Each arm's mean carries a Normal posterior; at selection time one draws
+/// a mean from each posterior and plays the argmax. Unknown variance is
+/// handled empirically (sample std with a prior floor).
+#[derive(Debug, Clone)]
+pub struct ThompsonGaussian {
+    stats: Vec<ArmStats>,
+    /// Prior standard deviation of arm means (exploration width before
+    /// data arrives).
+    prior_std: f64,
+    /// Prior guess of reward noise (used until an arm has 2 samples).
+    noise_guess: f64,
+}
+
+impl ThompsonGaussian {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidParameter`] if `arms == 0` or widths
+    /// are non-positive.
+    pub fn new(arms: usize, prior_std: f64, noise_guess: f64) -> Result<Self, BanditError> {
+        if arms == 0 {
+            return Err(BanditError::InvalidParameter {
+                name: "arms",
+                detail: "need at least one arm".into(),
+            });
+        }
+        if prior_std <= 0.0 || noise_guess <= 0.0 {
+            return Err(BanditError::InvalidParameter {
+                name: "prior_std",
+                detail: "prior widths must be positive".into(),
+            });
+        }
+        Ok(Self {
+            stats: vec![ArmStats::default(); arms],
+            prior_std,
+            noise_guess,
+        })
+    }
+}
+
+impl BanditPolicy for ThompsonGaussian {
+    fn select(&mut self, rng: &mut StdRng) -> usize {
+        let mut best = 0usize;
+        let mut best_draw = f64::NEG_INFINITY;
+        for (i, s) in self.stats.iter().enumerate() {
+            let (mu, sd) = if s.n == 0 {
+                (0.0, self.prior_std)
+            } else {
+                let noise = if s.n >= 2 {
+                    let e = s.sample_std();
+                    if e.is_nan() || e < 1e-9 {
+                        self.noise_guess
+                    } else {
+                        e
+                    }
+                } else {
+                    self.noise_guess
+                };
+                (s.mean, noise / (s.n as f64).sqrt())
+            };
+            let normal: Normal<f64> = Normal::new(mu, sd.max(1e-12)).expect("valid posterior");
+            let draw = normal.sample(rng);
+            if draw > best_draw {
+                best_draw = draw;
+                best = i;
+            }
+        }
+        best
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        self.stats[arm].push(reward);
+    }
+
+    fn arm_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "thompson"
+    }
+}
+
+/// ε-greedy: with probability ε explore uniformly, else exploit the best
+/// empirical mean.
+#[derive(Debug, Clone)]
+pub struct EpsilonGreedy {
+    stats: Vec<ArmStats>,
+    epsilon: f64,
+}
+
+impl EpsilonGreedy {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidParameter`] unless `0 <= epsilon <= 1`
+    /// and `arms > 0`.
+    pub fn new(arms: usize, epsilon: f64) -> Result<Self, BanditError> {
+        if arms == 0 {
+            return Err(BanditError::InvalidParameter {
+                name: "arms",
+                detail: "need at least one arm".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&epsilon) {
+            return Err(BanditError::InvalidParameter {
+                name: "epsilon",
+                detail: format!("must be in [0,1], got {epsilon}"),
+            });
+        }
+        Ok(Self {
+            stats: vec![ArmStats::default(); arms],
+            epsilon,
+        })
+    }
+}
+
+impl BanditPolicy for EpsilonGreedy {
+    fn select(&mut self, rng: &mut StdRng) -> usize {
+        // Play each arm once first.
+        if let Some(i) = self.stats.iter().position(|s| s.n == 0) {
+            return i;
+        }
+        if rng.gen::<f64>() < self.epsilon {
+            rng.gen_range(0..self.stats.len())
+        } else {
+            self.stats
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.mean.partial_cmp(&b.1.mean).expect("finite means"))
+                .map(|(i, _)| i)
+                .expect("non-empty arms")
+        }
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        self.stats[arm].push(reward);
+    }
+
+    fn arm_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "egreedy"
+    }
+}
+
+/// Softmax (Boltzmann) sampling at a fixed temperature.
+#[derive(Debug, Clone)]
+pub struct Softmax {
+    stats: Vec<ArmStats>,
+    temperature: f64,
+}
+
+impl Softmax {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidParameter`] unless `temperature > 0`
+    /// and `arms > 0`.
+    pub fn new(arms: usize, temperature: f64) -> Result<Self, BanditError> {
+        if arms == 0 {
+            return Err(BanditError::InvalidParameter {
+                name: "arms",
+                detail: "need at least one arm".into(),
+            });
+        }
+        if temperature <= 0.0 {
+            return Err(BanditError::InvalidParameter {
+                name: "temperature",
+                detail: format!("must be positive, got {temperature}"),
+            });
+        }
+        Ok(Self {
+            stats: vec![ArmStats::default(); arms],
+            temperature,
+        })
+    }
+}
+
+impl BanditPolicy for Softmax {
+    fn select(&mut self, rng: &mut StdRng) -> usize {
+        if let Some(i) = self.stats.iter().position(|s| s.n == 0) {
+            return i;
+        }
+        let max_mean = self
+            .stats
+            .iter()
+            .map(|s| s.mean)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let weights: Vec<f64> = self
+            .stats
+            .iter()
+            .map(|s| ((s.mean - max_mean) / self.temperature).exp())
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut t = rng.gen::<f64>() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if t < *w {
+                return i;
+            }
+            t -= w;
+        }
+        self.stats.len() - 1
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        self.stats[arm].push(reward);
+    }
+
+    fn arm_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "softmax"
+    }
+}
+
+/// UCB1 (upper confidence bound) with a tunable exploration constant.
+#[derive(Debug, Clone)]
+pub struct Ucb1 {
+    stats: Vec<ArmStats>,
+    c: f64,
+    total_pulls: u64,
+}
+
+impl Ucb1 {
+    /// Creates the policy (`c` ≈ reward scale; classic UCB1 uses √2 × scale).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BanditError::InvalidParameter`] unless `c > 0` and
+    /// `arms > 0`.
+    pub fn new(arms: usize, c: f64) -> Result<Self, BanditError> {
+        if arms == 0 {
+            return Err(BanditError::InvalidParameter {
+                name: "arms",
+                detail: "need at least one arm".into(),
+            });
+        }
+        if c <= 0.0 {
+            return Err(BanditError::InvalidParameter {
+                name: "c",
+                detail: format!("must be positive, got {c}"),
+            });
+        }
+        Ok(Self {
+            stats: vec![ArmStats::default(); arms],
+            c,
+            total_pulls: 0,
+        })
+    }
+}
+
+impl BanditPolicy for Ucb1 {
+    fn select(&mut self, _rng: &mut StdRng) -> usize {
+        if let Some(i) = self.stats.iter().position(|s| s.n == 0) {
+            return i;
+        }
+        let ln_t = (self.total_pulls.max(1) as f64).ln();
+        self.stats
+            .iter()
+            .enumerate()
+            .max_by(|a, b| {
+                let ua = a.1.mean + self.c * (2.0 * ln_t / a.1.n as f64).sqrt();
+                let ub = b.1.mean + self.c * (2.0 * ln_t / b.1.n as f64).sqrt();
+                ua.partial_cmp(&ub).expect("finite bounds")
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty arms")
+    }
+
+    fn update(&mut self, arm: usize, reward: f64) {
+        self.total_pulls += 1;
+        self.stats[arm].push(reward);
+    }
+
+    fn arm_count(&self) -> usize {
+        self.stats.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "ucb1"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn exercise(policy: &mut dyn BanditPolicy, best_arm: usize, pulls: usize) -> usize {
+        // Environment: arm `best_arm` pays 1.0 ± 0.3, others 0.0 ± 0.3.
+        let mut rng = StdRng::seed_from_u64(99);
+        let noise: Normal<f64> = Normal::new(0.0, 0.3).unwrap();
+        let mut best_count = 0;
+        for _ in 0..pulls {
+            let arm = policy.select(&mut rng);
+            let mean = if arm == best_arm { 1.0 } else { 0.0 };
+            policy.update(arm, mean + noise.sample(&mut rng));
+            if arm == best_arm {
+                best_count += 1;
+            }
+        }
+        best_count
+    }
+
+    #[test]
+    fn thompson_converges_to_best_arm() {
+        let mut p = ThompsonGaussian::new(5, 1.0, 0.3).unwrap();
+        let hits = exercise(&mut p, 2, 400);
+        assert!(hits > 250, "thompson picked best arm {hits}/400");
+    }
+
+    #[test]
+    fn egreedy_converges_with_small_epsilon() {
+        let mut p = EpsilonGreedy::new(5, 0.1).unwrap();
+        let hits = exercise(&mut p, 1, 400);
+        assert!(hits > 220, "egreedy picked best arm {hits}/400");
+    }
+
+    #[test]
+    fn softmax_converges_with_moderate_temperature() {
+        let mut p = Softmax::new(5, 0.2).unwrap();
+        let hits = exercise(&mut p, 4, 400);
+        assert!(hits > 220, "softmax picked best arm {hits}/400");
+    }
+
+    #[test]
+    fn ucb_converges() {
+        let mut p = Ucb1::new(5, 0.5).unwrap();
+        let hits = exercise(&mut p, 0, 400);
+        assert!(hits > 220, "ucb picked best arm {hits}/400");
+    }
+
+    #[test]
+    fn all_policies_try_every_arm_early() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = EpsilonGreedy::new(4, 0.0).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..4 {
+            let a = p.select(&mut rng);
+            seen.insert(a);
+            p.update(a, 0.0);
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn constructors_validate() {
+        assert!(ThompsonGaussian::new(0, 1.0, 1.0).is_err());
+        assert!(ThompsonGaussian::new(2, 0.0, 1.0).is_err());
+        assert!(EpsilonGreedy::new(2, 1.5).is_err());
+        assert!(Softmax::new(2, 0.0).is_err());
+        assert!(Ucb1::new(2, 0.0).is_err());
+    }
+
+    #[test]
+    fn welford_stats_are_correct() {
+        let mut s = ArmStats::default();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Sample variance of that data = 32/7.
+        assert!((s.sample_std() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,157 @@
+//! Criterion benches: one group per paper artifact, measuring the kernel
+//! that regenerates it (the harness binaries print the artifact itself;
+//! these track the cost of producing it).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ideaflow_costmodel::capability::CapabilityModel;
+use ideaflow_costmodel::cost::CostModel;
+use ideaflow_flow::options::SpnrOptions;
+use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_mdp::doomed::{derive_card, error_table, DoomedConfig};
+use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+use ideaflow_netlist::partition::{fm_bipartition, FmConfig};
+use ideaflow_opt::gwtw::{gwtw, GwtwConfig};
+use ideaflow_opt::landscape::BigValley;
+use ideaflow_opt::local::LocalSearchConfig;
+use ideaflow_opt::multistart::{adaptive_multistart, MultistartConfig};
+use ideaflow_place::floorplan::Floorplan;
+use ideaflow_place::placer::{anneal_placement, random_placement, PlacerConfig};
+use ideaflow_route::logfile::{generate_corpus, ClassMix};
+use ideaflow_timing::graph::{gba, TimingGraph};
+use ideaflow_timing::model::{Constraints, Corner, WireModel};
+use ideaflow_timing::pba::pba;
+
+/// E-F1/E-F2: cost-model series generation.
+fn bench_costmodel(c: &mut Criterion) {
+    let capability = CapabilityModel::default();
+    let cost = CostModel::new();
+    c.bench_function("fig01_capability_series", |b| {
+        b.iter(|| capability.series(1995..=2015).unwrap())
+    });
+    c.bench_function("fig02_cost_series", |b| {
+        b.iter(|| cost.fig2_series(1985..=2015).unwrap())
+    });
+}
+
+/// E-F3/E-F7: one fast-surface SP&R sample (the unit the bandit spends).
+fn bench_flow_sample(c: &mut Criterion) {
+    let flow = SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 2_000).unwrap(), 1);
+    let opts = SpnrOptions::with_target_ghz(flow.fmax_ref_ghz() * 0.9).unwrap();
+    let mut s = 0u32;
+    c.bench_function("fig03_spnr_fast_sample", |b| {
+        b.iter(|| {
+            s = s.wrapping_add(1);
+            flow.run(&opts, s)
+        })
+    });
+}
+
+/// E-F5 substrate: netlist generation and FM bipartitioning.
+fn bench_netlist(c: &mut Criterion) {
+    let spec = DesignSpec::new(DesignClass::Cpu, 1_000).unwrap();
+    c.bench_function("netlist_generate_1k", |b| b.iter(|| spec.generate(7)));
+    let nl = spec.generate(7);
+    c.bench_function("fm_bipartition_1k", |b| {
+        b.iter(|| fm_bipartition(&nl, FmConfig::default(), 3).unwrap())
+    });
+}
+
+/// E-F3 substrate: annealing placement with incremental HPWL.
+fn bench_placement(c: &mut Criterion) {
+    let nl = DesignSpec::new(DesignClass::Cpu, 500).unwrap().generate(5);
+    let fp = Floorplan::for_netlist(&nl, 0.7, 1.0).unwrap();
+    c.bench_function("anneal_placement_500c_10k_moves", |b| {
+        b.iter_batched(
+            || random_placement(&nl, &fp, 1).unwrap(),
+            |start| {
+                anneal_placement(
+                    &nl,
+                    &fp,
+                    start,
+                    PlacerConfig {
+                        moves: 10_000,
+                        t_initial: 50.0,
+                        t_final: 0.5,
+                    },
+                    2,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+/// E-F8: GBA vs multi-corner PBA cost (the accuracy/cost x-axis is arc
+/// evaluations; this is the wall-clock counterpart).
+fn bench_sta(c: &mut Criterion) {
+    let nl = DesignSpec::new(DesignClass::Cpu, 1_000).unwrap().generate(9);
+    let graph = TimingGraph::build(&nl, WireModel::default());
+    let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+    c.bench_function("fig08_gba_1k", |b| {
+        b.iter(|| gba(&graph, &cons, Corner::TYPICAL).unwrap())
+    });
+    c.bench_function("fig08_pba_standard_1k", |b| {
+        b.iter(|| pba(&graph, &cons, &Corner::STANDARD).unwrap())
+    });
+}
+
+/// E-F10/E-T1: strategy-card derivation and table evaluation.
+fn bench_doomed(c: &mut Criterion) {
+    let corpus = generate_corpus(
+        "bench",
+        400,
+        ClassMix::artificial(),
+        ideaflow_route::drv::DrvConfig::default(),
+        11,
+    )
+    .unwrap();
+    let seqs: Vec<Vec<u64>> = corpus
+        .iter()
+        .map(|l| l.trajectory.counts.clone())
+        .collect();
+    c.bench_function("fig10_derive_card_400", |b| {
+        b.iter(|| derive_card(&seqs, DoomedConfig::default()).unwrap())
+    });
+    let card = derive_card(&seqs, DoomedConfig::default()).unwrap();
+    c.bench_function("tab01_error_table_400", |b| {
+        b.iter(|| error_table(&card, &seqs, 200).unwrap())
+    });
+}
+
+/// E-F6: GWTW and adaptive multistart on the big-valley landscape.
+fn bench_orchestration(c: &mut Criterion) {
+    let scape = BigValley::new(8, 3.0, 13);
+    let gcfg = GwtwConfig {
+        population: 8,
+        review_period: 100,
+        rounds: 4,
+        survivor_fraction: 0.5,
+        t_initial: 3.0,
+        t_final: 0.05,
+    };
+    c.bench_function("fig06a_gwtw", |b| b.iter(|| gwtw(&scape, gcfg, 3)));
+    let mcfg = MultistartConfig {
+        starts: 8,
+        local: LocalSearchConfig {
+            max_evaluations: 400,
+            stall_limit: 100,
+        },
+        pool_size: 4,
+    };
+    c.bench_function("fig06b_adaptive_multistart", |b| {
+        b.iter(|| adaptive_multistart(&scape, mcfg, 5))
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(10);
+    targets = bench_costmodel,
+        bench_flow_sample,
+        bench_netlist,
+        bench_placement,
+        bench_sta,
+        bench_doomed,
+        bench_orchestration
+);
+criterion_main!(kernels);

@@ -1,0 +1,32 @@
+//! E-F1 harness: regenerates the Fig 1 Design Capability Gap series.
+
+use ideaflow_bench::{f, render_table};
+use ideaflow_costmodel::capability::CapabilityModel;
+
+fn main() {
+    let model = CapabilityModel::default();
+    let series = model.series(1995..=2015).expect("non-empty range");
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .map(|p| {
+            vec![
+                p.year.to_string(),
+                format!("{:.3e}", p.available_per_mm2),
+                format!("{:.3e}", p.realized_per_mm2),
+                f(p.gap(), 2) + "x",
+            ]
+        })
+        .collect();
+    println!("Design Capability Gap (Fig 1): available vs realized transistor density\n");
+    print!(
+        "{}",
+        render_table(
+            &["year", "available/mm2", "realized/mm2", "gap"],
+            &rows
+        )
+    );
+    println!(
+        "\nPaper (Fig 1): densities track Moore scaling until ~2000, then realized\n\
+         density falls progressively behind (non-ideal A-factor, uncore growth)."
+    );
+}

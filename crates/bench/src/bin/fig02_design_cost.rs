@@ -1,0 +1,43 @@
+//! E-F2 harness: regenerates the Fig 2 cost/transistor trends and the
+//! footnote-1 cost scenarios.
+
+use ideaflow_bench::{f, render_table};
+use ideaflow_costmodel::cost::{footnote1_scenarios, CostModel};
+
+fn main() {
+    let model = CostModel::new();
+    let series = model.fig2_series(1985..=2015).expect("valid years");
+    let rows: Vec<Vec<String>> = series
+        .iter()
+        .step_by(5)
+        .map(|r| {
+            vec![
+                r.year.to_string(),
+                format!("{:.2e}", r.transistors),
+                f(r.design_cost_musd, 1),
+                f(r.verification_cost_musd, 1),
+            ]
+        })
+        .collect();
+    println!("Design cost and transistor count trends (Fig 2)\n");
+    print!(
+        "{}",
+        render_table(
+            &["year", "transistors", "design $M", "verification $M"],
+            &rows
+        )
+    );
+    println!("\nFootnote-1 scenarios (SOC-CP):\n");
+    let scen = footnote1_scenarios(&model).expect("fixed years");
+    let rows: Vec<Vec<String>> = scen
+        .iter()
+        .map(|(label, year, cost)| {
+            vec![label.clone(), year.to_string(), f(*cost, 1)]
+        })
+        .collect();
+    print!("{}", render_table(&["scenario", "year", "cost $M"], &rows));
+    println!(
+        "\nPaper: all-DT 2013 = $45.4M; DT frozen at 2000 → ~$1B (2013), ~$70B (2028);\n\
+         DT frozen at 2013 → $3.4B (2028)."
+    );
+}

@@ -1,0 +1,48 @@
+//! E-F3 harness: regenerates the Fig 3 SP&R noise panels.
+
+use ideaflow_bench::experiments::fig03_noise;
+use ideaflow_bench::{f, render_table};
+
+fn main() {
+    let d = fig03_noise::run(2_000, 40, 200, 0xDAC2018);
+    println!(
+        "SP&R implementation noise (Fig 3); testcase fmax = {:.3} GHz\n",
+        d.fmax_ghz
+    );
+    println!("Left panel: area vs target frequency (40 samples per point)\n");
+    let rows: Vec<Vec<String>> = d
+        .sweep
+        .iter()
+        .map(|p| {
+            let mean = p.areas_um2.iter().sum::<f64>() / p.areas_um2.len() as f64;
+            vec![
+                f(p.target_ghz, 3),
+                f(mean, 0),
+                f(p.rel_sigma * 100.0, 2) + "%",
+                f(p.pass_rate * 100.0, 0) + "%",
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["target GHz", "mean area um2", "rel sigma", "pass"], &rows)
+    );
+    println!("\nRight panel: area histogram at 0.90 x fmax (200 samples)\n");
+    let total = d.histogram.total() as f64;
+    for (i, &c) in d.histogram.counts().iter().enumerate() {
+        let bar = "#".repeat((c as f64 / total * 120.0).round() as usize);
+        println!("{:>10.0} | {bar} {c}", d.histogram.bin_center(i));
+    }
+    println!(
+        "\nmean = {:.0} um2, sigma = {:.0} um2 ({:.2}%), Jarque-Bera = {:.2} \
+         (< 5.99 => consistent with Gaussian)",
+        d.hist_mean,
+        d.hist_std,
+        d.hist_std / d.hist_mean * 100.0,
+        d.jarque_bera
+    );
+    println!(
+        "\nPaper (Fig 3): post-P&R area changes ~6% for 10 MHz target changes near the\n\
+         maximum achievable frequency; noise statistics are essentially Gaussian."
+    );
+}

@@ -1,0 +1,56 @@
+//! E-F5 harness: the flow-option tree and the staged ML insertion
+//! comparison (Fig 5).
+
+use ideaflow_bench::experiments::fig05_stages;
+use ideaflow_bench::{f, render_table};
+
+fn main() {
+    let d = fig05_stages::run(400, 60, 0xF165);
+    println!("Tree of flow options (Fig 5a):\n");
+    for (name, n) in &d.axes {
+        println!("  {name:<14} {n} settings");
+    }
+    println!(
+        "\n  leaves (complete trajectories): {}\n  total tree nodes: {}\n",
+        d.leaves, d.nodes
+    );
+    println!(
+        "Stages of ML insertion (Fig 5b), equal budget of 60 tool runs;\n\
+         testcase fmax = {:.3} GHz\n",
+        d.fmax_ghz
+    );
+    let rows: Vec<Vec<String>> = d
+        .stages
+        .iter()
+        .zip(&d.delivered_fraction)
+        .map(|(s, &frac)| {
+            vec![
+                s.stage.to_string(),
+                s.name.to_owned(),
+                s.runs_used.to_string(),
+                f(s.runtime_hours, 1),
+                f(s.best_passing_ghz, 3),
+                f(frac, 3),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "stage",
+                "regime",
+                "runs (design 1)",
+                "hours",
+                "shipped GHz",
+                "delivered/fmax (mean of 3)"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nPaper (Fig 5b): 1. mechanize/automate; 2. orchestration of search;\n\
+         3. pruning via predictors; 4. reinforcement learning/intelligence.\n\
+         Delivered quality = shipped target x fresh pass rate."
+    );
+}

@@ -1,0 +1,52 @@
+//! E-F7 harness: the Fig 7 MAB trajectory (Thompson sampling, 5
+//! concurrent samples x 40 iterations) plus the robustness ablation.
+
+use ideaflow_bench::experiments::fig07_mab;
+use ideaflow_bench::{f, render_table};
+
+fn main() {
+    let d = fig07_mab::run(2_000, 0xDAC2018);
+    println!(
+        "MAB sampling of the SP&R flow (Fig 7): {} iterations x {} concurrent runs;\n\
+         testcase fmax = {:.3} GHz\n",
+        d.schedule.0, d.schedule.1, d.fmax_ghz
+    );
+    println!("iteration | sampled frequencies (GHz; * = met constraints) | best");
+    for it in 0..d.schedule.0 {
+        let pulls = &d.pulls[it * d.schedule.1..(it + 1) * d.schedule.1];
+        let cells: Vec<String> = pulls
+            .iter()
+            .map(|p| {
+                format!(
+                    "{:.3}{}",
+                    p.target_ghz,
+                    if p.success { "*" } else { " " }
+                )
+            })
+            .collect();
+        println!(
+            "{it:>9} | {} | {:.3}",
+            cells.join(" "),
+            d.best_line[it]
+        );
+    }
+    println!("\nRobustness ablation (normalized total reward over 6 repetitions):\n");
+    let rows: Vec<Vec<String>> = fig07_mab::robustness(2_000, 6, 0xDAC2018)
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.to_owned(),
+                f(r.mean_reward, 3),
+                f(r.worst_reward, 3),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["policy", "mean reward", "worst reward"], &rows)
+    );
+    println!(
+        "\nPaper (Fig 7, ref [25]): Thompson Sampling adaptively concentrates samples\n\
+         near the achievable frequency and is more robust than softmax/e-greedy."
+    );
+}

@@ -1,0 +1,40 @@
+//! E-F8 harness: the accuracy/cost plane and its ML shift (Fig 8).
+
+use ideaflow_bench::experiments::fig08_accuracy;
+use ideaflow_bench::{f, render_table};
+
+fn main() {
+    let d = fig08_accuracy::run(2_000, 0xF18);
+    println!("Accuracy-cost tradeoff in timing analysis (Fig 8)\n");
+    let rows: Vec<Vec<String>> = d
+        .points
+        .iter()
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                p.cost_arcs.to_string(),
+                f(p.rmse_ps, 2),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["engine", "cost (arc evals)", "RMSE vs signoff (ps)"], &rows)
+    );
+    println!("\nCorrection-model family ablation (RMSE of corrected GBA):\n");
+    let rows: Vec<Vec<String>> = d
+        .family_rmse
+        .iter()
+        .map(|(fam, rmse)| vec![fam.clone(), f(*rmse, 2)])
+        .collect();
+    print!("{}", render_table(&["family", "RMSE (ps)"], &rows));
+    println!(
+        "\nMissing-corner prediction R^2 (slow low-voltage corner from the standard\n\
+         corner set): {:.4}",
+        d.missing_corner_r2
+    );
+    println!(
+        "\nPaper (Fig 8): ML shifts the accuracy-cost curve — near-signoff accuracy\n\
+         at near-GBA cost (\"accuracy for free\")."
+    );
+}

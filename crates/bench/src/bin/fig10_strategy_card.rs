@@ -1,0 +1,25 @@
+//! E-F10 harness: the MDP-based strategy card (Fig 10).
+
+use ideaflow_bench::experiments::fig10_card;
+
+fn main() {
+    let d = fig10_card::run(0xF10);
+    println!(
+        "MDP-based GO/STOP strategy card (Fig 10), derived from {} logfiles\n",
+        d.corpus_size
+    );
+    println!(
+        "columns = binned violations at t (left = few, right = many)\n\
+         rows    = binned change in DRVs (top = rising, bottom = falling fast)\n\
+         S/G = learned STOP/GO; s/g = footnote-5 rule-filled (state unseen)\n"
+    );
+    print!("{}", fig10_card::render(&d.card));
+    println!(
+        "\nSTOP fraction of the card: {:.2}",
+        d.card.stop_fraction()
+    );
+    println!(
+        "\nPaper (Fig 10): STOP when violations are very large (right half); GO when\n\
+         violations are small, and when moderately large but falling."
+    );
+}

@@ -1,0 +1,65 @@
+//! E-T1 harness: regenerates the paper's §3.3 error table.
+
+use ideaflow_bench::experiments::tab01_doomed;
+use ideaflow_bench::{f, render_table};
+
+fn main() {
+    let data = tab01_doomed::run(0xDAC2018);
+    println!(
+        "Strategy-card doomed-run prediction (success = final DRV < 200)\n\
+         training: {} artificial-layout logfiles | testing: {} embedded-CPU-floorplan logfiles\n",
+        data.train_size, data.test_size
+    );
+    let mut rows = Vec::new();
+    for (tr, te) in data.training.iter().zip(&data.testing) {
+        rows.push(vec![
+            format!("{} consecutive STOP(s)", tr.k_consecutive),
+            f(tr.error_rate() * 100.0, 1) + "%",
+            tr.type1.to_string(),
+            tr.type2.to_string(),
+            f(te.error_rate() * 100.0, 1) + "%",
+            te.type1.to_string(),
+            te.type2.to_string(),
+            f(te.mean_iterations_saved, 1),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "policy",
+                "train err",
+                "T1",
+                "T2",
+                "test err",
+                "T1",
+                "T2",
+                "iters saved"
+            ],
+            &rows
+        )
+    );
+    println!(
+        "\nPaper (Table, §3.3): train 29.66% / 10.5% / 8.5%; test 35.3% / 8.3% / 4.2%; \
+         test Type-2 constant at 3."
+    );
+
+    println!("\nDetector ablation on the test corpus (total error / T1 / T2):\n");
+    let ablation = tab01_doomed::detector_ablation(0xDAC2018);
+    let mut rows = Vec::new();
+    for d in &ablation {
+        for r in &d.rows {
+            rows.push(vec![
+                d.name.to_owned(),
+                r.k_consecutive.to_string(),
+                f(r.error_rate() * 100.0, 1) + "%",
+                r.type1.to_string(),
+                r.type2.to_string(),
+            ]);
+        }
+    }
+    print!(
+        "{}",
+        render_table(&["detector", "k", "test err", "T1", "T2"], &rows)
+    );
+}

@@ -1,0 +1,220 @@
+//! The DESIGN.md §5 ablation suite: design-choice sensitivity studies the
+//! paper's narrative calls out but does not tabulate.
+
+use ideaflow_bandit::policy::ThompsonGaussian;
+use ideaflow_bandit::sim::run_concurrent;
+use ideaflow_core::mab_env::{FrequencyArms, QorConstraints};
+use ideaflow_flow::noise::ToolNoise;
+use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+use ideaflow_opt::gwtw::{gwtw, GwtwConfig};
+use ideaflow_opt::landscape::BigValley;
+use ideaflow_timing::model::Constraints;
+use ideaflow_timing::optimize::miscorrelation_waste;
+
+/// One row of the A-1 noise-calibration ablation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseRow {
+    /// Configured relative tool noise.
+    pub sigma0: f64,
+    /// Best *sampled* success, fraction of fmax (lucky passes count —
+    /// this is what a naive "best run wins" methodology would report).
+    pub lucky_best_fraction: f64,
+    /// Delivered quality: the most-exploited arm times its fresh pass
+    /// rate, fraction of fmax (what a tapeout would actually get).
+    pub delivered_fraction: f64,
+}
+
+/// A-1 — tool-noise calibration vs bandit outcomes under the 5×40
+/// Thompson schedule. Noisy tools inflate the lucky best (unreproducible
+/// wins) while eroding delivered quality — Challenge 2's unpredictability
+/// trap, measured.
+#[must_use]
+pub fn noise_vs_bandit(instances: usize, seed: u64) -> Vec<NoiseRow> {
+    [0.002, 0.006, 0.015, 0.03]
+        .iter()
+        .map(|&sigma0| {
+            let flow = SpnrFlow::new(
+                DesignSpec::new(DesignClass::Cpu, instances).expect("valid spec"),
+                seed,
+            )
+            .with_noise(ToolNoise {
+                sigma0,
+                ..ToolNoise::default()
+            });
+            let fmax = flow.fmax_ref_ghz();
+            let mut env = FrequencyArms::linspace(
+                &flow,
+                fmax * 0.5,
+                fmax * 1.15,
+                17,
+                QorConstraints::timing_only(),
+            )
+            .expect("valid arm range");
+            let mut policy =
+                ThompsonGaussian::new(17, fmax, fmax * 0.3).expect("valid policy");
+            run_concurrent(&mut policy, &mut env, 40, 5, seed ^ 0xAB1).expect("valid");
+            let lucky = env.best_success_ghz().unwrap_or(0.0) / fmax;
+            // Shipped arm: most pulled over the final quarter.
+            let history = env.history();
+            let tail = &history[history.len() - history.len() / 4..];
+            let mut pulls = std::collections::HashMap::<usize, usize>::new();
+            for p in tail {
+                *pulls.entry(p.arm).or_insert(0) += 1;
+            }
+            let shipped = pulls
+                .into_iter()
+                .max_by_key(|&(arm, n)| (n, arm))
+                .map(|(arm, _)| env.freqs()[arm])
+                .unwrap_or(0.0);
+            let opts = ideaflow_flow::options::SpnrOptions::with_target_ghz(shipped.max(0.01))
+                .expect("arm in range");
+            let passes = (20_000..20_020)
+                .filter(|&s| flow.run(&opts, s).meets_timing())
+                .count();
+            NoiseRow {
+                sigma0,
+                lucky_best_fraction: lucky,
+                delivered_fraction: shipped * passes as f64 / 20.0 / fmax,
+            }
+        })
+        .collect()
+}
+
+/// A-2 — GWTW population / survivor-fraction sweep at fixed total budget.
+/// Returns `(population, survivor_fraction, best_cost)` rows.
+#[must_use]
+pub fn gwtw_population_sweep(seed: u64) -> Vec<(usize, f64, f64)> {
+    let scape = BigValley::new(8, 4.0, seed);
+    let total_budget = 16 * 200 * 10; // population * period * rounds held constant
+    let mut rows = Vec::new();
+    for &population in &[4usize, 16, 64] {
+        for &survivor_fraction in &[0.25, 0.5, 1.0] {
+            let rounds = 10;
+            let review_period = total_budget / (population * rounds);
+            let cfg = GwtwConfig {
+                population,
+                review_period,
+                rounds,
+                survivor_fraction,
+                t_initial: 4.0,
+                t_final: 0.02,
+            };
+            // Average over a few seeds to de-noise the comparison.
+            let mean: f64 = (0..4)
+                .map(|s| gwtw(&scape, cfg, seed ^ (s << 16)).best.best_cost)
+                .sum::<f64>()
+                / 4.0;
+            rows.push((population, survivor_fraction, mean));
+        }
+    }
+    rows
+}
+
+/// A-3 — the §3.2 miscorrelation-waste experiment: area and operations a
+/// guardbanded-GBA-driven sizing flow spends vs a golden-PBA-driven one,
+/// as the guardband grows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WasteRow {
+    /// The GBA guardband, ps.
+    pub guardband_ps: f64,
+    /// Area after GBA-driven recovery, um².
+    pub gba_area_um2: f64,
+    /// Area after golden-driven recovery, um².
+    pub golden_area_um2: f64,
+    /// Sizing/VT operations, GBA-driven.
+    pub gba_ops: usize,
+    /// Sizing/VT operations, golden-driven.
+    pub golden_ops: usize,
+}
+
+/// Runs A-3 over a guardband sweep.
+#[must_use]
+pub fn sizing_waste(instances: usize, seed: u64) -> Vec<WasteRow> {
+    let nl = DesignSpec::new(DesignClass::Cpu, instances)
+        .expect("valid spec")
+        .generate(seed);
+    // A just-out-of-reach constraint so recovery has work to do.
+    let graph =
+        ideaflow_timing::graph::TimingGraph::build(&nl, ideaflow_timing::model::WireModel::default());
+    let fmax = ideaflow_timing::pba::max_frequency_ghz(
+        &graph,
+        &ideaflow_timing::model::Corner::STANDARD,
+    )
+    .expect("endpoints");
+    let cons = Constraints::at_frequency_ghz(fmax * 1.04).expect("in range");
+    [20.0, 60.0, 120.0]
+        .iter()
+        .map(|&guard| {
+            let (gba, golden) =
+                miscorrelation_waste(&nl, &cons, guard, 25).expect("recoverable design");
+            WasteRow {
+                guardband_ps: guard,
+                gba_area_um2: gba.area_um2,
+                golden_area_um2: golden.area_um2,
+                gba_ops: gba.upsizes + gba.vt_swaps,
+                golden_ops: golden.upsizes + golden.vt_swaps,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_inflates_lucky_wins_and_erodes_delivery() {
+        let rows = noise_vs_bandit(250, 5);
+        assert_eq!(rows.len(), 4);
+        // Delivered quality at the quietest setting is at least that of
+        // the noisiest; the noisiest setting's lucky best meanwhile is at
+        // least as high as its own delivered value (the unreproducible
+        // gap).
+        assert!(
+            rows[0].delivered_fraction >= rows[3].delivered_fraction - 0.05,
+            "quiet {} vs noisy {}",
+            rows[0].delivered_fraction,
+            rows[3].delivered_fraction
+        );
+        assert!(rows[3].lucky_best_fraction >= rows[3].delivered_fraction);
+        assert!(rows.iter().all(|r| r.delivered_fraction > 0.5));
+    }
+
+    #[test]
+    fn cloning_beats_no_cloning_at_equal_budget() {
+        let rows = gwtw_population_sweep(3);
+        assert_eq!(rows.len(), 9);
+        // For the 16-thread population: survivor fraction < 1 (real GWTW)
+        // should not lose to fraction = 1 (independent threads).
+        let at = |sf: f64| {
+            rows.iter()
+                .find(|&&(p, s, _)| p == 16 && (s - sf).abs() < 1e-9)
+                .expect("row present")
+                .2
+        };
+        assert!(at(0.5) <= at(1.0) + 0.35, "clone {} vs none {}", at(0.5), at(1.0));
+    }
+
+    #[test]
+    fn bigger_guardbands_waste_more() {
+        let rows = sizing_waste(300, 17);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(
+                r.gba_area_um2 >= r.golden_area_um2,
+                "guard {} area {} vs golden {}",
+                r.guardband_ps,
+                r.gba_area_um2,
+                r.golden_area_um2
+            );
+        }
+        // Waste grows with the guardband.
+        assert!(
+            rows[2].gba_ops >= rows[0].gba_ops,
+            "ops {} -> {}",
+            rows[0].gba_ops,
+            rows[2].gba_ops
+        );
+    }
+}

@@ -1,0 +1,111 @@
+//! E-F3 — SP&R implementation noise (paper Fig 3).
+//!
+//! Left panel: post-SP&R area vs target frequency near the achievable
+//! limit (noise grows toward fmax). Right panel: the distribution of area
+//! at one fixed option vector is essentially Gaussian.
+
+use ideaflow_flow::options::SpnrOptions;
+use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_mlkit::stats::{jarque_bera, mean, std_dev, Histogram};
+use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+/// One frequency point of the left panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Target frequency, GHz.
+    pub target_ghz: f64,
+    /// Area samples at this target, um².
+    pub areas_um2: Vec<f64>,
+    /// Relative standard deviation of the samples.
+    pub rel_sigma: f64,
+    /// Fraction of samples that met timing.
+    pub pass_rate: f64,
+}
+
+/// The full Fig 3 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig03Data {
+    /// Calibrated achievable frequency of the testcase.
+    pub fmax_ghz: f64,
+    /// The frequency sweep (left panel).
+    pub sweep: Vec<SweepPoint>,
+    /// Histogram of areas at the fixed mid-range target (right panel).
+    pub histogram: Histogram,
+    /// Mean of the fixed-target area samples.
+    pub hist_mean: f64,
+    /// Std-dev of the fixed-target area samples.
+    pub hist_std: f64,
+    /// Jarque–Bera normality statistic of the fixed-target samples
+    /// (values below ~5.99 are consistent with Gaussian at 5%).
+    pub jarque_bera: f64,
+}
+
+/// Runs the experiment on a PULPino-like design of `instances` cells with
+/// `samples_per_point` runs per sweep point and `hist_samples` runs for
+/// the histogram.
+#[must_use]
+pub fn run(instances: usize, samples_per_point: u32, hist_samples: u32, seed: u64) -> Fig03Data {
+    let spec = DesignSpec::new(DesignClass::Cpu, instances).expect("valid spec");
+    let flow = SpnrFlow::new(spec, seed);
+    let fmax = flow.fmax_ref_ghz();
+    // Sweep 0.55..1.02 of fmax (the paper sweeps 0.38..0.78 GHz against a
+    // ~0.75 GHz limit — the same fractional window).
+    let fractions: Vec<f64> = (0..24).map(|i| 0.55 + 0.02 * f64::from(i)).collect();
+    let sweep: Vec<SweepPoint> = fractions
+        .iter()
+        .map(|&frac| {
+            let target = fmax * frac;
+            let opts = SpnrOptions::with_target_ghz(target).expect("target in range");
+            let samples: Vec<_> = (0..samples_per_point).map(|s| flow.run(&opts, s)).collect();
+            let areas: Vec<f64> = samples.iter().map(|q| q.area_um2).collect();
+            let m = mean(&areas);
+            SweepPoint {
+                target_ghz: target,
+                rel_sigma: std_dev(&areas) / m,
+                pass_rate: samples.iter().filter(|q| q.meets_timing()).count() as f64
+                    / samples.len() as f64,
+                areas_um2: areas,
+            }
+        })
+        .collect();
+    // Right panel: fixed target at 90% of fmax.
+    let opts = SpnrOptions::with_target_ghz(fmax * 0.90).expect("target in range");
+    let areas: Vec<f64> = (0..hist_samples)
+        .map(|s| flow.run(&opts, 10_000 + s).area_um2)
+        .collect();
+    let m = mean(&areas);
+    let sd = std_dev(&areas);
+    let mut histogram = Histogram::new(m - 4.0 * sd, m + 4.0 * sd, 16);
+    for &a in &areas {
+        histogram.add(a);
+    }
+    Fig03Data {
+        fmax_ghz: fmax,
+        sweep,
+        histogram,
+        hist_mean: m,
+        hist_std: sd,
+        jarque_bera: jarque_bera(&areas),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noise_grows_toward_fmax_and_is_gaussian() {
+        let d = run(300, 40, 200, 3);
+        // Shape target 1: relative sigma at the top of the sweep exceeds
+        // the bottom by a clear factor.
+        let low = d.sweep.first().unwrap().rel_sigma;
+        let high = d.sweep.last().unwrap().rel_sigma;
+        assert!(high > 1.5 * low, "high {high} vs low {low}");
+        // Shape target 2: pass rate decays across the sweep.
+        assert!(d.sweep.first().unwrap().pass_rate > 0.9);
+        assert!(d.sweep.last().unwrap().pass_rate < 0.6);
+        // Shape target 3: Gaussianity of the fixed-point distribution.
+        assert!(d.jarque_bera < 6.0, "JB = {}", d.jarque_bera);
+        assert_eq!(d.histogram.total(), 200);
+    }
+}

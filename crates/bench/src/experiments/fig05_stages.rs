@@ -1,0 +1,108 @@
+//! E-F5 — the tree of flow options and the four stages of ML insertion
+//! (paper Fig 5).
+//!
+//! Panel (a): the combinatorial size of the per-step option tree. Panel
+//! (b): the staged ML regimes, compared end-to-end at equal tool-run
+//! budget on the same design goal.
+
+use ideaflow_core::predictor::{OutcomePredictor, RunCorpus};
+use ideaflow_core::stages::{delivered_quality_ghz, run_all_stages, StageOutcome};
+use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_flow::tree::{leaf_count, node_count, standard_axes};
+use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+/// The full Fig 5 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig05Data {
+    /// Option tree: (axis name, setting count) per flow step.
+    pub axes: Vec<(String, usize)>,
+    /// Total complete trajectories (leaves).
+    pub leaves: u128,
+    /// Total tree nodes.
+    pub nodes: u128,
+    /// Per-stage outcomes on the first evaluation design.
+    pub stages: Vec<StageOutcome>,
+    /// Mean delivered quality (GHz × fresh pass rate) per stage, as a
+    /// fraction of each design's fmax, averaged over the evaluation
+    /// designs (noise near the limit makes a single design too noisy to
+    /// rank regimes by).
+    pub delivered_fraction: Vec<f64>,
+    /// The first evaluation design's calibrated fmax.
+    pub fmax_ghz: f64,
+}
+
+/// Runs the experiment: trains the stage-3 predictor on `train_designs`
+/// other designs, then compares all four stages on a fresh design.
+#[must_use]
+pub fn run(instances: usize, budget: u32, seed: u64) -> Fig05Data {
+    let axes = standard_axes();
+    let train: Vec<SpnrFlow> = (0..3)
+        .map(|i| {
+            SpnrFlow::new(
+                DesignSpec::new(DesignClass::Cpu, instances).expect("valid spec"),
+                seed ^ (0xAA00 + i),
+            )
+        })
+        .collect();
+    let mut corpus = RunCorpus::new();
+    for (i, f) in train.iter().enumerate() {
+        corpus
+            .add_flow_sweep(f, &[0.5, 0.7, 0.85, 0.95, 1.1, 1.3], 5, i as u64)
+            .expect("sweep in range");
+    }
+    let predictor = OutcomePredictor::train(&corpus).expect("two-class corpus");
+    let evals: Vec<SpnrFlow> = (0..3)
+        .map(|i| {
+            SpnrFlow::new(
+                DesignSpec::new(DesignClass::Cpu, instances).expect("valid spec"),
+                seed ^ (0x4_000 + i),
+            )
+        })
+        .collect();
+    let mut delivered_fraction = vec![0.0f64; 4];
+    let mut first_stages = None;
+    for (i, eval) in evals.iter().enumerate() {
+        let stages =
+            run_all_stages(eval, &predictor, budget, seed ^ i as u64).expect("stages complete");
+        for (acc, o) in delivered_fraction.iter_mut().zip(&stages) {
+            *acc += delivered_quality_ghz(eval, o) / eval.fmax_ref_ghz() / evals.len() as f64;
+        }
+        if i == 0 {
+            first_stages = Some(stages);
+        }
+    }
+    Fig05Data {
+        axes: axes
+            .iter()
+            .map(|a| (a.name.to_owned(), a.settings.len()))
+            .collect(),
+        leaves: leaf_count(&axes),
+        nodes: node_count(&axes),
+        stages: first_stages.expect("at least one eval design"),
+        delivered_fraction,
+        fmax_ghz: evals[0].fmax_ref_ghz(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tree_is_combinatorial_and_stages_progress() {
+        let d = run(250, 60, 4);
+        assert_eq!(d.axes.len(), 6);
+        assert_eq!(d.leaves, 648);
+        assert!(d.nodes > d.leaves);
+        assert_eq!(d.stages.len(), 4);
+        // The final ML stage delivers at least as much as the manual
+        // baseline (usually much more).
+        assert!(
+            d.delivered_fraction[3] >= d.delivered_fraction[0] * 0.95,
+            "delivered {:?}",
+            d.delivered_fraction
+        );
+        // All stages respect the budget.
+        assert!(d.stages.iter().all(|s| s.runs_used <= 60 + 5));
+    }
+}

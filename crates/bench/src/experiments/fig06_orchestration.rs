@@ -1,0 +1,128 @@
+//! E-F6 — Go-With-The-Winners and adaptive multistart (paper Fig 6).
+//!
+//! Panel (a): GWTW populations vs independent threads at equal budget, on
+//! both a synthetic big-valley landscape and the real flow-option tree.
+//! Panel (b): adaptive multistart vs random multistart, plus the
+//! big-valley evidence (cost/distance correlation of local minima).
+
+use ideaflow_opt::gwtw::{gwtw, independent_baseline, GwtwConfig};
+use ideaflow_opt::landscape::BigValley;
+use ideaflow_opt::local::LocalSearchConfig;
+use ideaflow_opt::multistart::{
+    adaptive_multistart, big_valley_correlation, random_multistart, MultistartConfig,
+};
+
+/// Panel (a) data: per-round population-best costs for GWTW and the final
+/// best of the equal-budget independent baseline.
+#[derive(Debug, Clone)]
+pub struct GwtwPanel {
+    /// Population best per review round.
+    pub round_best: Vec<f64>,
+    /// GWTW final best.
+    pub gwtw_best: f64,
+    /// Independent multistart best at the same budget.
+    pub independent_best: f64,
+    /// Number of threads.
+    pub population: usize,
+}
+
+/// Panel (b) data: adaptive vs random multistart and big-valley evidence.
+#[derive(Debug, Clone)]
+pub struct AmsPanel {
+    /// Best cost per completed start, adaptive.
+    pub adaptive_minima: Vec<f64>,
+    /// Best cost per completed start, random.
+    pub random_minima: Vec<f64>,
+    /// Adaptive final best.
+    pub adaptive_best: f64,
+    /// Random final best.
+    pub random_best: f64,
+    /// Pearson correlation between minima cost and distance to the best
+    /// minimum (positive = big valley).
+    pub big_valley_corr: f64,
+}
+
+/// Runs panel (a) on a rugged big-valley landscape.
+#[must_use]
+pub fn run_gwtw(dim: usize, seed: u64) -> GwtwPanel {
+    let scape = BigValley::new(dim, 4.0, seed);
+    let cfg = GwtwConfig {
+        population: 16,
+        review_period: 200,
+        rounds: 10,
+        survivor_fraction: 0.5,
+        t_initial: 4.0,
+        t_final: 0.02,
+    };
+    let g = gwtw(&scape, cfg, seed ^ 0x6A);
+    let ind = independent_baseline(&scape, cfg, seed ^ 0x6B);
+    GwtwPanel {
+        round_best: g.rounds.iter().map(|r| r.best).collect(),
+        gwtw_best: g.best.best_cost,
+        independent_best: ind.best_cost,
+        population: cfg.population,
+    }
+}
+
+/// Runs panel (b) on the same landscape family.
+#[must_use]
+pub fn run_ams(dim: usize, starts: usize, seed: u64) -> AmsPanel {
+    let scape = BigValley::new(dim, 3.0, seed);
+    let cfg = MultistartConfig {
+        starts,
+        local: LocalSearchConfig {
+            max_evaluations: 800,
+            stall_limit: 150,
+        },
+        pool_size: 5,
+    };
+    let ams = adaptive_multistart(&scape, cfg, seed ^ 0xA1);
+    let rnd = random_multistart(&scape, cfg, seed ^ 0xA2);
+    let corr = big_valley_correlation(&scape, &rnd.minima);
+    AmsPanel {
+        adaptive_minima: ams.minima.iter().map(|m| m.cost).collect(),
+        random_minima: rnd.minima.iter().map(|m| m.cost).collect(),
+        adaptive_best: ams.best.best_cost,
+        random_best: rnd.best.best_cost,
+        big_valley_corr: corr,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gwtw_wins_or_ties_at_equal_budget() {
+        let mut gwtw_total = 0.0;
+        let mut ind_total = 0.0;
+        for seed in 0..5 {
+            let p = run_gwtw(8, seed);
+            gwtw_total += p.gwtw_best;
+            ind_total += p.independent_best;
+            // Round-best trace exists and roughly improves.
+            assert_eq!(p.round_best.len(), 10);
+            assert!(p.round_best.last().unwrap() <= &(p.round_best[0] + 1e-9));
+        }
+        assert!(
+            gwtw_total <= ind_total + 0.5,
+            "gwtw {gwtw_total} vs independent {ind_total}"
+        );
+    }
+
+    #[test]
+    fn adaptive_multistart_wins_and_landscape_is_big_valley() {
+        let mut a_total = 0.0;
+        let mut r_total = 0.0;
+        let mut corr_total = 0.0;
+        for seed in 0..5 {
+            let p = run_ams(8, 16, seed);
+            a_total += p.adaptive_best;
+            r_total += p.random_best;
+            corr_total += p.big_valley_corr;
+            assert_eq!(p.adaptive_minima.len(), 16);
+        }
+        assert!(a_total < r_total + 0.5, "adaptive {a_total} vs random {r_total}");
+        assert!(corr_total / 5.0 > 0.0, "mean big-valley corr {}", corr_total / 5.0);
+    }
+}

@@ -1,0 +1,104 @@
+//! E-F8 — the accuracy/cost tradeoff in analysis and its ML shift
+//! (paper Fig 8).
+//!
+//! Points on the plane: raw graph-based analysis (cheap, miscorrelated),
+//! single-corner path-based, golden multi-corner path-based (exact by
+//! definition), and ML-corrected GBA — which should sit near the golden
+//! accuracy at close to GBA cost ("accuracy for free").
+
+use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+use ideaflow_place::floorplan::Floorplan;
+use ideaflow_place::placement::net_hpwl;
+use ideaflow_place::placer::partition_seeded_placement;
+use ideaflow_timing::correlate::{accuracy_cost_curve, missing_corner_r2, AccuracyCostPoint, ModelFamily};
+use ideaflow_timing::graph::TimingGraph;
+use ideaflow_timing::model::{Constraints, Corner, WireModel};
+use ideaflow_timing::si::apply_coupling;
+
+/// The Fig 8 dataset.
+#[derive(Debug, Clone)]
+pub struct Fig08Data {
+    /// Accuracy/cost points for the linear correction model.
+    pub points: Vec<AccuracyCostPoint>,
+    /// Ablation: RMSE of each correction family (linear, knn, tree).
+    pub family_rmse: Vec<(String, f64)>,
+    /// Missing-corner prediction R² (paper's near-term extension (2)).
+    pub missing_corner_r2: f64,
+}
+
+/// Runs the experiment on a generated CPU design.
+#[must_use]
+pub fn run(instances: usize, seed: u64) -> Fig08Data {
+    let nl = DesignSpec::new(DesignClass::Cpu, instances)
+        .expect("valid spec")
+        .generate(seed);
+    // Wire lengths from a real (partition-seeded) placement: the long-net
+    // tail is what makes the RC-worst corner bind on some paths, so that
+    // multi-corner signoff is genuinely stronger than single-corner.
+    let fp = Floorplan::for_netlist(&nl, 0.7, 1.0).expect("valid floorplan");
+    let placed = partition_seeded_placement(&nl, &fp, seed).expect("fits");
+    let lengths: Vec<f64> = (0..nl.net_count())
+        .map(|n| net_hpwl(&nl, &fp, &placed, n).max(0.5))
+        .collect();
+    let mut graph = TimingGraph::build_with_lengths(&nl, WireModel::default(), lengths);
+    apply_coupling(&mut graph, 0.25, seed ^ 0x51);
+    let cons = Constraints::at_frequency_ghz(0.8).expect("valid frequency");
+    let points = accuracy_cost_curve(&graph, &cons, ModelFamily::Linear, 0.5)
+        .expect("analyzable design");
+    let mut family_rmse = Vec::new();
+    for fam in [
+        ModelFamily::Linear,
+        ModelFamily::Knn,
+        ModelFamily::Tree,
+        ModelFamily::Forest,
+    ] {
+        let pts =
+            accuracy_cost_curve(&graph, &cons, fam, 0.5).expect("analyzable design");
+        let ml = pts
+            .iter()
+            .find(|p| p.name.contains("ml"))
+            .expect("ml point present");
+        family_rmse.push((format!("{fam:?}").to_lowercase(), ml.rmse_ps));
+    }
+    let r2 = missing_corner_r2(&graph, &cons, &Corner::STANDARD, Corner::LOW_VOLTAGE, 0.5)
+        .expect("analyzable design");
+    Fig08Data {
+        points,
+        family_rmse,
+        missing_corner_r2: r2,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_shifts_as_the_paper_sketches() {
+        let d = run(600, 3);
+        let by_name = |n: &str| {
+            d.points
+                .iter()
+                .find(|p| p.name.contains(n))
+                .unwrap_or_else(|| panic!("missing point {n}"))
+        };
+        let gba = by_name("gba_tt");
+        let ml = by_name("ml");
+        let golden = by_name("golden");
+        // Accuracy-for-free: correction removes most of GBA's error at a
+        // fraction of signoff cost.
+        assert!(ml.rmse_ps < 0.5 * gba.rmse_ps, "ml {} gba {}", ml.rmse_ps, gba.rmse_ps);
+        assert!(ml.cost_arcs < golden.cost_arcs / 2);
+        assert_eq!(golden.rmse_ps, 0.0);
+        // Missing-corner prediction works.
+        assert!(d.missing_corner_r2 > 0.9, "R² {}", d.missing_corner_r2);
+        // All three families help.
+        for (fam, rmse) in &d.family_rmse {
+            assert!(
+                *rmse < gba.rmse_ps,
+                "family {fam} rmse {rmse} vs gba {}",
+                gba.rmse_ps
+            );
+        }
+    }
+}

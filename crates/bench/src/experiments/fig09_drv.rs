@@ -1,0 +1,74 @@
+//! E-F9 — example DRV progressions over detailed-route iterations
+//! (paper Fig 9, log scale).
+
+use ideaflow_route::drv::{simulate, DrvConfig, DrvTrajectory, RouterBehavior};
+
+/// The four example progressions of Fig 9.
+#[derive(Debug, Clone)]
+pub struct Fig09Data {
+    /// One representative trajectory per behaviour class.
+    pub trajectories: Vec<(RouterBehavior, DrvTrajectory)>,
+    /// Iterations simulated.
+    pub iterations: usize,
+}
+
+/// Generates one representative run per class.
+#[must_use]
+pub fn run(seed: u64) -> Fig09Data {
+    let cfg = DrvConfig::default();
+    let trajectories = RouterBehavior::ALL
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| {
+            let t = simulate(b, 9_000, cfg, seed ^ (i as u64) << 4).expect("valid config");
+            (b, t)
+        })
+        .collect();
+    Fig09Data {
+        trajectories,
+        iterations: cfg.iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_classes_with_fig9_shapes() {
+        let d = run(5);
+        assert_eq!(d.trajectories.len(), 4);
+        for (b, t) in &d.trajectories {
+            assert_eq!(t.counts.len(), d.iterations);
+            let ok = t.succeeded(200);
+            assert_eq!(
+                ok,
+                !b.is_doomed(),
+                "{b:?}: success {ok} contradicts class doom"
+            );
+        }
+        // The diverging run ends above its own minimum (the rebound).
+        let (_, div) = d
+            .trajectories
+            .iter()
+            .find(|(b, _)| *b == RouterBehavior::Diverge)
+            .unwrap();
+        assert!(div.final_drvs() > *div.counts.iter().min().unwrap());
+        // The fast run is an order of magnitude below the slow run by the
+        // midpoint (log-scale separation of the green curves).
+        let fast = &d
+            .trajectories
+            .iter()
+            .find(|(b, _)| *b == RouterBehavior::FastConverge)
+            .unwrap()
+            .1;
+        let slow = &d
+            .trajectories
+            .iter()
+            .find(|(b, _)| *b == RouterBehavior::SlowConverge)
+            .unwrap()
+            .1;
+        assert!(fast.counts[10] * 10 <= slow.counts[10].max(1) * 10 + slow.counts[10]);
+        assert!(fast.counts[10] < slow.counts[10]);
+    }
+}

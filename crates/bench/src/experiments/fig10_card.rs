@@ -1,0 +1,93 @@
+//! E-F10 — the MDP strategy card (paper Fig 10).
+//!
+//! Derive the card from 1400 industry-tool logfiles and render it as a
+//! GO/STOP grid over (binned violations, binned ΔDRV). Shape targets: the
+//! right half of the card (very large violation counts) is STOP; low-DRV
+//! falling states are GO; moderately large DRVs with negative slope are
+//! GO.
+
+use ideaflow_mdp::doomed::{
+    derive_card, Action, DoomedConfig, StrategyCard, D_BINS, V_BINS,
+};
+use ideaflow_route::logfile::fig10_corpus;
+
+/// The card plus render helpers.
+#[derive(Debug, Clone)]
+pub struct Fig10Data {
+    /// The derived card.
+    pub card: StrategyCard,
+    /// Number of training logfiles.
+    pub corpus_size: usize,
+}
+
+/// Derives the card from the 1400-logfile corpus.
+#[must_use]
+pub fn run(seed: u64) -> Fig10Data {
+    let corpus = fig10_corpus(seed).expect("fixed-size corpus");
+    let seqs: Vec<Vec<u64>> = corpus.iter().map(|l| l.trajectory.counts.clone()).collect();
+    let card = derive_card(&seqs, DoomedConfig::default()).expect("non-empty corpus");
+    Fig10Data {
+        card,
+        corpus_size: corpus.len(),
+    }
+}
+
+/// Renders the card as text: rows = ΔDRV bins (rising at top), columns =
+/// violation bins; `S` = STOP, `g` = GO (lowercase when rule-filled,
+/// uppercase when learned from data).
+#[must_use]
+pub fn render(card: &StrategyCard) -> String {
+    let mut out = String::from("dbin\\vbin ");
+    for v in 0..V_BINS {
+        out.push_str(&format!("{v:>3}"));
+    }
+    out.push('\n');
+    for d in 0..D_BINS {
+        out.push_str(&format!("{d:>9} "));
+        for v in 0..V_BINS {
+            let ch = match (card.action(v, d), card.was_observed(v, d)) {
+                (Action::Stop, true) => "  S",
+                (Action::Stop, false) => "  s",
+                (Action::Go, true) => "  G",
+                (Action::Go, false) => "  g",
+            };
+            out.push_str(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn card_regions_match_paper() {
+        let d = run(11);
+        assert_eq!(d.corpus_size, 1_400);
+        // Right half of the card (very large DRV counts): STOP everywhere.
+        for v in 13..V_BINS {
+            for db in 0..D_BINS {
+                assert_eq!(
+                    d.card.action(v, db),
+                    Action::Stop,
+                    "expected STOP at vbin {v}, dbin {db}"
+                );
+            }
+        }
+        // Small DRVs falling: GO.
+        assert_eq!(d.card.action(1, 7), Action::Go);
+        assert_eq!(d.card.action(2, 9), Action::Go);
+        // Moderately large DRVs (bins 3-5) with clearly negative slope: GO
+        // (the paper calls this region out explicitly).
+        let go_count = (3..6)
+            .flat_map(|v| (5..9).map(move |db| (v, db)))
+            .filter(|&(v, db)| d.card.action(v, db) == Action::Go)
+            .count();
+        assert!(go_count >= 8, "negative-slope moderate region GO cells: {go_count}/12");
+        // The render covers every cell.
+        let txt = render(&d.card);
+        assert_eq!(txt.lines().count(), D_BINS + 1);
+    }
+}

@@ -1,0 +1,13 @@
+//! Experiment drivers, one per paper artifact. See `DESIGN.md` §4 for the
+//! experiment index and shape targets.
+
+pub mod ablations;
+pub mod fig03_noise;
+pub mod fig05_stages;
+pub mod fig06_orchestration;
+pub mod fig07_mab;
+pub mod fig08_accuracy;
+pub mod fig09_drv;
+pub mod fig10_card;
+pub mod fig11_metrics;
+pub mod tab01_doomed;

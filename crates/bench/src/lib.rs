@@ -1,0 +1,85 @@
+//! `ideaflow-bench` — the reproduction harness.
+//!
+//! One module per paper artifact (figure or table); each exposes a `run`
+//! function returning plain data, so that:
+//!
+//! - the `fig*`/`tab*` binaries in `src/bin/` print the same rows/series
+//!   the paper reports;
+//! - the workspace integration tests assert the *shape* targets of
+//!   `DESIGN.md` §4 against the same data;
+//! - the Criterion benches in `benches/` measure the underlying kernels.
+//!
+//! Absolute numbers are not expected to match the paper (our substrate is
+//! a simulator, not the authors' 14nm testbed); shapes are.
+
+pub mod experiments;
+
+/// Renders a simple aligned text table (header + rows of equal length).
+///
+/// # Panics
+///
+/// Panics if any row length differs from the header length.
+#[must_use]
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    for r in rows {
+        assert_eq!(r.len(), header.len(), "ragged table row");
+    }
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (w, cell) in widths.iter_mut().zip(r) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(
+        header.iter().map(|s| (*s).to_owned()).collect(),
+        &widths,
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&fmt_row(r.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a float at the given precision (tiny convenience for the many
+/// row builders).
+#[must_use]
+pub fn f(v: f64, digits: usize) -> String {
+    format!("{v:.digits$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["k", "error"],
+            &[
+                vec!["1".into(), "35.3%".into()],
+                vec!["3".into(), "4.2%".into()],
+            ],
+        );
+        assert!(t.contains("error"));
+        assert!(t.lines().count() == 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged table row")]
+    fn table_rejects_ragged_rows() {
+        let _ = render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+}

@@ -1,0 +1,258 @@
+//! The MAB environment over SP&R tool runs (paper §3.1 example, Fig 7).
+//!
+//! Arms are target design frequencies (the paper's \[25\] setting); one pull
+//! launches one tool run at that target "with given power and area
+//! constraints"; the reward is the sampled frequency when the run meets
+//! all constraints, else zero. Used with
+//! [`ideaflow_bandit::sim::run_concurrent`] at 5 concurrent samples × 40
+//! iterations to regenerate Fig 7.
+
+use crate::CoreError;
+use ideaflow_bandit::Environment;
+use ideaflow_flow::options::SpnrOptions;
+use ideaflow_flow::spnr::SpnrFlow;
+
+/// Constraints a sampled run must satisfy for its frequency to count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QorConstraints {
+    /// Maximum area, um² (None = unconstrained).
+    pub area_cap_um2: Option<f64>,
+    /// Maximum leakage, nW (None = unconstrained).
+    pub leakage_cap_nw: Option<f64>,
+}
+
+impl QorConstraints {
+    /// No constraints beyond timing.
+    #[must_use]
+    pub fn timing_only() -> Self {
+        Self {
+            area_cap_um2: None,
+            leakage_cap_nw: None,
+        }
+    }
+}
+
+/// A record of one pull, for the Fig 7 scatter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PullRecord {
+    /// Global pull index.
+    pub t: u32,
+    /// Arm index.
+    pub arm: usize,
+    /// Sampled target frequency, GHz.
+    pub target_ghz: f64,
+    /// Whether the run met timing and constraints.
+    pub success: bool,
+}
+
+/// The frequency-arm environment.
+#[derive(Debug, Clone)]
+pub struct FrequencyArms<'a> {
+    flow: &'a SpnrFlow,
+    freqs: Vec<f64>,
+    constraints: QorConstraints,
+    history: Vec<PullRecord>,
+}
+
+impl<'a> FrequencyArms<'a> {
+    /// Creates arms at the given target frequencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] if `freqs` is empty or any
+    /// frequency is outside the tool's domain.
+    pub fn new(
+        flow: &'a SpnrFlow,
+        freqs: Vec<f64>,
+        constraints: QorConstraints,
+    ) -> Result<Self, CoreError> {
+        if freqs.is_empty() {
+            return Err(CoreError::InvalidParameter {
+                name: "freqs",
+                detail: "need at least one arm".into(),
+            });
+        }
+        for &f in &freqs {
+            SpnrOptions::with_target_ghz(f).map_err(|e| CoreError::InvalidParameter {
+                name: "freqs",
+                detail: e.to_string(),
+            })?;
+        }
+        Ok(Self {
+            flow,
+            freqs,
+            constraints,
+            history: Vec::new(),
+        })
+    }
+
+    /// Evenly-spaced arms across `[lo, hi]` GHz.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`FrequencyArms::new`]; also rejects `lo >= hi` or `n < 2`.
+    pub fn linspace(
+        flow: &'a SpnrFlow,
+        lo: f64,
+        hi: f64,
+        n: usize,
+        constraints: QorConstraints,
+    ) -> Result<Self, CoreError> {
+        if n < 2 || hi.is_nan() || lo.is_nan() || hi <= lo {
+            return Err(CoreError::InvalidParameter {
+                name: "linspace",
+                detail: format!("need n >= 2 and hi > lo, got n={n}, [{lo}, {hi}]"),
+            });
+        }
+        let freqs = (0..n)
+            .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+            .collect();
+        Self::new(flow, freqs, constraints)
+    }
+
+    /// The arm frequencies.
+    #[must_use]
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// All pulls made so far (the Fig 7 scatter data).
+    #[must_use]
+    pub fn history(&self) -> &[PullRecord] {
+        &self.history
+    }
+
+    /// The best successful frequency sampled so far, if any.
+    #[must_use]
+    pub fn best_success_ghz(&self) -> Option<f64> {
+        self.history
+            .iter()
+            .filter(|p| p.success)
+            .map(|p| p.target_ghz)
+            .fold(None, |acc, f| Some(acc.map_or(f, |a: f64| a.max(f))))
+    }
+}
+
+impl Environment for FrequencyArms<'_> {
+    fn arm_count(&self) -> usize {
+        self.freqs.len()
+    }
+
+    fn pull(&mut self, arm: usize, t: u32) -> f64 {
+        let ghz = self.freqs[arm];
+        let opts = SpnrOptions::with_target_ghz(ghz).expect("validated in constructor");
+        let q = self.flow.run(&opts, t);
+        let success = q.meets_timing()
+            && self
+                .constraints
+                .area_cap_um2
+                .is_none_or(|cap| q.area_um2 <= cap)
+            && self
+                .constraints
+                .leakage_cap_nw
+                .is_none_or(|cap| q.leakage_nw <= cap);
+        self.history.push(PullRecord {
+            t,
+            arm,
+            target_ghz: ghz,
+            success,
+        });
+        if success {
+            ghz
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ideaflow_bandit::policy::ThompsonGaussian;
+    use ideaflow_bandit::sim::run_concurrent;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn flow() -> SpnrFlow {
+        SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 300).unwrap(), 33)
+    }
+
+    #[test]
+    fn rewards_are_frequency_or_zero() {
+        let f = flow();
+        let fmax = f.fmax_ref_ghz();
+        let mut env =
+            FrequencyArms::linspace(&f, fmax * 0.4, fmax * 1.3, 10, QorConstraints::timing_only())
+                .unwrap();
+        let low = env.pull(0, 0);
+        assert!((low - env.freqs()[0]).abs() < 1e-12, "easy arm pays its frequency");
+        let hi = env.pull(9, 1);
+        assert_eq!(hi, 0.0, "far-over-fmax arm pays zero");
+        assert_eq!(env.history().len(), 2);
+        assert!(env.history()[0].success);
+        assert!(!env.history()[1].success);
+    }
+
+    #[test]
+    fn thompson_5x40_concentrates_near_fmax() {
+        // The Fig 7 schedule: 5 concurrent samples × 40 iterations.
+        let f = flow();
+        let fmax = f.fmax_ref_ghz();
+        let mut env =
+            FrequencyArms::linspace(&f, fmax * 0.4, fmax * 1.2, 17, QorConstraints::timing_only())
+                .unwrap();
+        let mut policy = ThompsonGaussian::new(17, fmax, fmax * 0.3).unwrap();
+        let iters = run_concurrent(&mut policy, &mut env, 40, 5, 7).unwrap();
+        assert_eq!(iters.len(), 40);
+        let best = env.best_success_ghz().expect("some run succeeded");
+        assert!(
+            best > 0.8 * fmax,
+            "best successful sample {best} vs fmax {fmax}"
+        );
+        // Late iterations should sample close to the achievable limit on
+        // average (the Fig 7 concentration).
+        let mean_of = |range: std::ops::Range<usize>| {
+            let pulls: Vec<f64> = env.history()[range.start * 5..range.end * 5]
+                .iter()
+                .map(|p| p.target_ghz)
+                .collect();
+            pulls.iter().sum::<f64>() / pulls.len() as f64
+        };
+        let early = mean_of(0..10);
+        let late = mean_of(30..40);
+        // Early exploration is spread; late sampling hovers near fmax
+        // (strictly: closer to the best arm than early).
+        let dist = |m: f64| (m - best).abs();
+        assert!(
+            dist(late) <= dist(early) + 0.02,
+            "late mean {late}, early mean {early}, best {best}"
+        );
+    }
+
+    #[test]
+    fn constraints_gate_rewards() {
+        let f = flow();
+        let fmax = f.fmax_ref_ghz();
+        let easy = SpnrOptions::with_target_ghz(fmax * 0.5).unwrap();
+        let area_at_easy = f.run(&easy, 0).area_um2;
+        // Impose an area cap below what the easy run needs: all rewards 0.
+        let constraints = QorConstraints {
+            area_cap_um2: Some(area_at_easy * 0.5),
+            leakage_cap_nw: None,
+        };
+        let mut env = FrequencyArms::linspace(&f, fmax * 0.4, fmax, 5, constraints).unwrap();
+        for arm in 0..5 {
+            assert_eq!(env.pull(arm, arm as u32), 0.0);
+        }
+        assert!(env.best_success_ghz().is_none());
+    }
+
+    #[test]
+    fn constructor_validates() {
+        let f = flow();
+        assert!(FrequencyArms::new(&f, vec![], QorConstraints::timing_only()).is_err());
+        assert!(FrequencyArms::new(&f, vec![-1.0], QorConstraints::timing_only()).is_err());
+        assert!(
+            FrequencyArms::linspace(&f, 1.0, 0.5, 5, QorConstraints::timing_only()).is_err()
+        );
+    }
+}

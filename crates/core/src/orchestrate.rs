@@ -1,0 +1,293 @@
+//! Stage 2 — orchestrating N robot engineers over the flow-option tree.
+//!
+//! "The second stage of ML-based cost and effort reduction will
+//! orchestrate N robot engineers to concurrently search multiple flow
+//! trajectories... simple multistart, or depth-first or breadth-first
+//! traversal of the tree of flow options, is hopeless. Rather, strategies
+//! such as go-with-the-winners might be applied." This module exposes the
+//! Fig 5(a) option tree as an [`ideaflow_opt::Landscape`] so the generic
+//! GWTW / adaptive-multistart orchestrators search real flow trajectories.
+
+use crate::CoreError;
+use ideaflow_flow::options::SpnrOptions;
+use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_flow::tree::{options_for_trajectory, standard_axes, OptionAxis, Trajectory};
+use ideaflow_opt::gwtw::{gwtw, independent_baseline, GwtwConfig, GwtwOutcome};
+use ideaflow_opt::Landscape;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Scalarized QoR objective for a trajectory (lower is better): normalized
+/// area plus a large penalty for failing timing plus a runtime term.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrajectoryObjective {
+    /// Weight on area (per unit of `area / base_area`).
+    pub area_weight: f64,
+    /// Penalty added when the run misses timing.
+    pub fail_penalty: f64,
+    /// Weight on runtime hours.
+    pub runtime_weight: f64,
+}
+
+impl Default for TrajectoryObjective {
+    fn default() -> Self {
+        Self {
+            area_weight: 1.0,
+            fail_penalty: 3.0,
+            runtime_weight: 0.02,
+        }
+    }
+}
+
+/// The flow-option tree as a search landscape. Each cost evaluation is a
+/// fresh (noisy) tool run — exactly what orchestrating robot engineers
+/// spends.
+#[derive(Debug)]
+pub struct TrajectoryLandscape<'a> {
+    flow: &'a SpnrFlow,
+    axes: Vec<OptionAxis>,
+    target_ghz: f64,
+    objective: TrajectoryObjective,
+    base_area: f64,
+    counter: AtomicU32,
+}
+
+impl<'a> TrajectoryLandscape<'a> {
+    /// Creates the landscape at a fixed target frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] for an invalid target.
+    pub fn new(
+        flow: &'a SpnrFlow,
+        target_ghz: f64,
+        objective: TrajectoryObjective,
+    ) -> Result<Self, CoreError> {
+        SpnrOptions::with_target_ghz(target_ghz).map_err(|e| CoreError::InvalidParameter {
+            name: "target_ghz",
+            detail: e.to_string(),
+        })?;
+        let base_area = flow.netlist().total_area_um2();
+        Ok(Self {
+            flow,
+            axes: standard_axes(),
+            target_ghz,
+            objective,
+            base_area,
+            counter: AtomicU32::new(0),
+        })
+    }
+
+    /// Number of tool runs spent so far.
+    #[must_use]
+    pub fn runs_spent(&self) -> u32 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Scores one trajectory with a fresh tool run.
+    #[must_use]
+    pub fn score(&self, trajectory: &Trajectory) -> f64 {
+        let opts = options_for_trajectory(trajectory, self.target_ghz)
+            .expect("trajectories from this landscape are valid");
+        let sample = self.counter.fetch_add(1, Ordering::Relaxed);
+        let q = self.flow.run(&opts, sample);
+        let mut cost = self.objective.area_weight * q.area_um2 / self.base_area
+            + self.objective.runtime_weight * q.runtime_hours;
+        if !q.meets_timing() {
+            cost += self.objective.fail_penalty;
+        }
+        cost
+    }
+}
+
+impl Landscape for TrajectoryLandscape<'_> {
+    type State = Trajectory;
+
+    fn random_state(&self, rng: &mut StdRng) -> Trajectory {
+        Trajectory(
+            self.axes
+                .iter()
+                .map(|a| rng.gen_range(0..a.settings.len()))
+                .collect(),
+        )
+    }
+
+    fn cost(&self, state: &Trajectory) -> f64 {
+        self.score(state)
+    }
+
+    fn neighbor(&self, state: &Trajectory, rng: &mut StdRng) -> Trajectory {
+        let mut t = state.clone();
+        let axis = rng.gen_range(0..self.axes.len());
+        let n = self.axes[axis].settings.len();
+        let mut c = rng.gen_range(0..n);
+        if c == t.0[axis] {
+            c = (c + 1) % n;
+        }
+        t.0[axis] = c;
+        t
+    }
+
+    fn distance(&self, a: &Trajectory, b: &Trajectory) -> f64 {
+        a.0.iter().zip(&b.0).filter(|(x, y)| x != y).count() as f64
+    }
+
+    /// Axis-wise weighted majority over the pool (adaptive multistart on
+    /// flow trajectories).
+    fn combine(&self, pool: &[(Trajectory, f64)], rng: &mut StdRng) -> Trajectory {
+        if pool.is_empty() {
+            return self.random_state(rng);
+        }
+        let worst = pool.iter().map(|(_, c)| *c).fold(f64::NEG_INFINITY, f64::max);
+        Trajectory(
+            self.axes
+                .iter()
+                .enumerate()
+                .map(|(axis, a)| {
+                    if rng.gen::<f64>() < 0.1 {
+                        return rng.gen_range(0..a.settings.len());
+                    }
+                    let mut votes = vec![0.0f64; a.settings.len()];
+                    for (t, c) in pool {
+                        votes[t.0[axis]] += worst - c + 1e-9;
+                    }
+                    votes
+                        .iter()
+                        .enumerate()
+                        .max_by(|x, y| x.1.partial_cmp(y.1).expect("finite votes"))
+                        .map(|(i, _)| i)
+                        .expect("non-empty settings")
+                })
+                .collect(),
+        )
+    }
+}
+
+/// Result of an orchestration comparison at equal tool-run budget.
+#[derive(Debug, Clone)]
+pub struct OrchestrationComparison {
+    /// GWTW outcome over trajectories.
+    pub gwtw_best_cost: f64,
+    /// Independent multistart baseline best cost.
+    pub independent_best_cost: f64,
+    /// The winning trajectory found by GWTW.
+    pub gwtw_trajectory: Trajectory,
+    /// Tool runs spent in total (both searches).
+    pub total_runs: u32,
+}
+
+/// Runs GWTW and the equal-budget independent baseline over the option
+/// tree.
+///
+/// # Errors
+///
+/// Propagates landscape construction errors.
+pub fn compare_orchestration(
+    flow: &SpnrFlow,
+    target_ghz: f64,
+    cfg: GwtwConfig,
+    seed: u64,
+) -> Result<OrchestrationComparison, CoreError> {
+    let scape = TrajectoryLandscape::new(flow, target_ghz, TrajectoryObjective::default())?;
+    let g: GwtwOutcome<Trajectory> = gwtw(&scape, cfg, seed);
+    let ind = independent_baseline(&scape, cfg, seed ^ 0xBEEF);
+    Ok(OrchestrationComparison {
+        gwtw_best_cost: g.best.best_cost,
+        independent_best_cost: ind.best_cost,
+        gwtw_trajectory: g.best.best_state,
+        total_runs: scape.runs_spent(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn flow() -> SpnrFlow {
+        SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 250).unwrap(), 55)
+    }
+
+    fn small_cfg() -> GwtwConfig {
+        GwtwConfig {
+            population: 6,
+            review_period: 25,
+            rounds: 4,
+            survivor_fraction: 0.5,
+            t_initial: 0.5,
+            t_final: 0.02,
+        }
+    }
+
+    #[test]
+    fn landscape_scores_are_finite_and_penalize_failure() {
+        let f = flow();
+        let fmax = f.fmax_ref_ghz();
+        let scape =
+            TrajectoryLandscape::new(&f, fmax * 0.7, TrajectoryObjective::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = scape.random_state(&mut rng);
+        let c = scape.cost(&t);
+        assert!(c.is_finite() && c > 0.0);
+        // A hopeless target mostly incurs the fail penalty.
+        let hopeless =
+            TrajectoryLandscape::new(&f, fmax * 3.0, TrajectoryObjective::default()).unwrap();
+        let ch = hopeless.cost(&t);
+        assert!(ch > TrajectoryObjective::default().fail_penalty);
+    }
+
+    use rand::SeedableRng;
+
+    #[test]
+    fn neighbor_changes_exactly_one_axis() {
+        let f = flow();
+        let scape =
+            TrajectoryLandscape::new(&f, 0.4, TrajectoryObjective::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = scape.random_state(&mut rng);
+        for _ in 0..20 {
+            let n = scape.neighbor(&t, &mut rng);
+            assert_eq!(scape.distance(&t, &n), 1.0);
+        }
+    }
+
+    #[test]
+    fn gwtw_orchestration_is_competitive_with_baseline() {
+        let f = flow();
+        let fmax = f.fmax_ref_ghz();
+        let cmp = compare_orchestration(&f, fmax * 0.85, small_cfg(), 3).unwrap();
+        // GWTW should not lose badly at equal budget on the option tree.
+        assert!(
+            cmp.gwtw_best_cost <= cmp.independent_best_cost * 1.10,
+            "gwtw {} vs independent {}",
+            cmp.gwtw_best_cost,
+            cmp.independent_best_cost
+        );
+        assert!(cmp.total_runs > 0);
+        // The winning trajectory is valid.
+        let opts = options_for_trajectory(&cmp.gwtw_trajectory, fmax * 0.85).unwrap();
+        opts.validate().unwrap();
+    }
+
+    #[test]
+    fn run_counter_tracks_budget() {
+        let f = flow();
+        let scape =
+            TrajectoryLandscape::new(&f, 0.4, TrajectoryObjective::default()).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = scape.random_state(&mut rng);
+        for _ in 0..7 {
+            let _ = scape.cost(&t);
+        }
+        assert_eq!(scape.runs_spent(), 7);
+    }
+
+    #[test]
+    fn invalid_target_is_rejected() {
+        let f = flow();
+        assert!(
+            TrajectoryLandscape::new(&f, -1.0, TrajectoryObjective::default()).is_err()
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Stage 1 — robot engineers.
+//!
+//! "The likely first stage of ML for time and effort reduction will entail
+//! creating robots: mechanizing and automating 24/7 replacements for human
+//! engineers that reliably execute a given design task to completion."
+//! [`RobotEngineer`] closes timing on a design with no human decisions:
+//! it brackets the achievable frequency, bisects, and verifies the final
+//! answer with repeated samples before signing it off.
+
+use crate::CoreError;
+use ideaflow_flow::options::SpnrOptions;
+use ideaflow_flow::spnr::{QorSample, SpnrFlow};
+
+/// The robot's task: the highest target frequency that passes timing with
+/// at least `confidence` probability, optionally under an area cap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingClosureTask {
+    /// Required pass confidence for the signed-off target (verified by
+    /// repeated sampling).
+    pub confidence: f64,
+    /// Samples used for each verification.
+    pub verify_samples: u32,
+    /// Optional area cap in um².
+    pub area_cap_um2: Option<f64>,
+    /// Total tool-run budget.
+    pub run_budget: u32,
+}
+
+impl Default for TimingClosureTask {
+    fn default() -> Self {
+        Self {
+            confidence: 0.9,
+            verify_samples: 10,
+            area_cap_um2: None,
+            run_budget: 60,
+        }
+    }
+}
+
+/// The robot's report: every run it made, and the signed-off result.
+#[derive(Debug, Clone)]
+pub struct ClosureReport {
+    /// Signed-off target frequency, GHz.
+    pub signed_off_ghz: f64,
+    /// Empirical pass rate at the signed-off target.
+    pub pass_rate: f64,
+    /// All runs performed, in order.
+    pub runs: Vec<QorSample>,
+}
+
+/// A no-human-in-the-loop timing-closure engineer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RobotEngineer;
+
+impl RobotEngineer {
+    /// Executes the task to completion.
+    ///
+    /// # Errors
+    ///
+    /// - [`CoreError::InvalidParameter`] on a degenerate task.
+    /// - [`CoreError::BudgetExhausted`] if no passing frequency is found
+    ///   within budget.
+    pub fn close_timing(
+        &self,
+        flow: &SpnrFlow,
+        task: TimingClosureTask,
+    ) -> Result<ClosureReport, CoreError> {
+        if !(task.confidence > 0.0 && task.confidence < 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "confidence",
+                detail: format!("must be in (0,1), got {}", task.confidence),
+            });
+        }
+        if task.verify_samples == 0 || task.run_budget < task.verify_samples + 2 {
+            return Err(CoreError::InvalidParameter {
+                name: "run_budget",
+                detail: "budget must cover verification".into(),
+            });
+        }
+        let mut runs: Vec<QorSample> = Vec::new();
+        let mut sample_id = 0u32;
+        let mut probe = |ghz: f64, runs: &mut Vec<QorSample>| -> Result<bool, CoreError> {
+            if runs.len() as u32 >= task.run_budget {
+                return Err(CoreError::BudgetExhausted {
+                    task: "timing closure probing".into(),
+                });
+            }
+            let opts =
+                SpnrOptions::with_target_ghz(ghz).map_err(|e| CoreError::InvalidParameter {
+                    name: "target_ghz",
+                    detail: e.to_string(),
+                })?;
+            let q = flow.run(&opts, sample_id);
+            sample_id += 1;
+            let pass = q.meets_timing()
+                && task.area_cap_um2.is_none_or(|cap| q.area_um2 <= cap);
+            runs.push(q);
+            Ok(pass)
+        };
+
+        // Bracket: start from a deliberately easy target, double until
+        // failure (no human guess of fmax is needed).
+        let mut lo = 0.05f64;
+        if !probe(lo, &mut runs)? {
+            // Even the easy target fails (e.g. area cap unreachable).
+            return Err(CoreError::BudgetExhausted {
+                task: "no feasible target found at bracket floor".into(),
+            });
+        }
+        let mut hi = lo * 2.0;
+        while hi < 20.0 && probe(hi, &mut runs)? {
+            lo = hi;
+            hi *= 2.0;
+        }
+        // Bisect within [lo, hi), reserving budget for several
+        // verification rounds.
+        for _ in 0..12 {
+            if runs.len() as u32 + 4 * task.verify_samples + 1 >= task.run_budget {
+                break;
+            }
+            let mid = f64::midpoint(lo, hi);
+            if probe(mid, &mut runs)? {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        // Verification: back off until the pass rate clears the bar.
+        let mut target = lo;
+        loop {
+            let opts =
+                SpnrOptions::with_target_ghz(target).map_err(|e| CoreError::InvalidParameter {
+                    name: "target_ghz",
+                    detail: e.to_string(),
+                })?;
+            let mut passes = 0u32;
+            for _ in 0..task.verify_samples {
+                let q = flow.run(&opts, sample_id);
+                sample_id += 1;
+                if q.meets_timing() && task.area_cap_um2.is_none_or(|cap| q.area_um2 <= cap) {
+                    passes += 1;
+                }
+                runs.push(q);
+            }
+            let rate = f64::from(passes) / f64::from(task.verify_samples);
+            if rate >= task.confidence {
+                return Ok(ClosureReport {
+                    signed_off_ghz: target,
+                    pass_rate: rate,
+                    runs,
+                });
+            }
+            target *= 0.92;
+            if runs.len() as u32 + task.verify_samples > task.run_budget {
+                return Err(CoreError::BudgetExhausted {
+                    task: "timing closure verification".into(),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn flow() -> SpnrFlow {
+        SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 300).unwrap(), 21)
+    }
+
+    #[test]
+    fn robot_signs_off_near_fmax() {
+        let f = flow();
+        let report = RobotEngineer
+            .close_timing(&f, TimingClosureTask::default())
+            .unwrap();
+        let fmax = f.fmax_ref_ghz();
+        assert!(
+            report.signed_off_ghz > 0.5 * fmax && report.signed_off_ghz < 1.05 * fmax,
+            "signed off {} vs fmax {fmax}",
+            report.signed_off_ghz
+        );
+        assert!(report.pass_rate >= 0.9);
+        assert!(report.runs.len() <= 60);
+    }
+
+    #[test]
+    fn signed_off_target_actually_passes_mostly() {
+        let f = flow();
+        let report = RobotEngineer
+            .close_timing(&f, TimingClosureTask::default())
+            .unwrap();
+        let opts = SpnrOptions::with_target_ghz(report.signed_off_ghz).unwrap();
+        let passes = (500..530).filter(|&s| f.run(&opts, s).meets_timing()).count();
+        assert!(passes >= 18, "fresh pass rate {passes}/30");
+    }
+
+    #[test]
+    fn area_cap_lowers_the_signoff() {
+        let f = flow();
+        let free = RobotEngineer
+            .close_timing(&f, TimingClosureTask::default())
+            .unwrap();
+        // Cap area near the relaxed baseline: pushing frequency inflates
+        // area, so the cap binds.
+        let baseline = f
+            .run(&SpnrOptions::with_target_ghz(0.05).unwrap(), 999)
+            .area_um2;
+        let capped_task = TimingClosureTask {
+            area_cap_um2: Some(baseline * 1.02),
+            run_budget: 120,
+            ..TimingClosureTask::default()
+        };
+        let capped = RobotEngineer.close_timing(&f, capped_task).unwrap();
+        assert!(
+            capped.signed_off_ghz <= free.signed_off_ghz + 1e-9,
+            "capped {} vs free {}",
+            capped.signed_off_ghz,
+            free.signed_off_ghz
+        );
+    }
+
+    #[test]
+    fn degenerate_tasks_are_rejected() {
+        let f = flow();
+        let bad = TimingClosureTask {
+            confidence: 1.5,
+            ..TimingClosureTask::default()
+        };
+        assert!(RobotEngineer.close_timing(&f, bad).is_err());
+        let tiny = TimingClosureTask {
+            run_budget: 3,
+            verify_samples: 5,
+            ..TimingClosureTask::default()
+        };
+        assert!(RobotEngineer.close_timing(&f, tiny).is_err());
+    }
+
+    #[test]
+    fn impossible_area_cap_exhausts_budget() {
+        let f = flow();
+        let task = TimingClosureTask {
+            area_cap_um2: Some(1.0),
+            ..TimingClosureTask::default()
+        };
+        assert!(matches!(
+            RobotEngineer.close_timing(&f, task),
+            Err(CoreError::BudgetExhausted { .. })
+        ));
+    }
+}

@@ -1,0 +1,270 @@
+//! Toward single-pass design.
+//!
+//! "To reduce design schedule, focus must return to the long-held dream of
+//! single-pass design" — flows that never require iteration, without undue
+//! conservatism. The recipe this module implements: predict the design's
+//! achievable frequency from structure alone ([`crate::predictor::FmaxPredictor`],
+//! trained on *other* designs), derate it by a learned guardband, and run
+//! the flow **once**. The comparison baseline is today's iterate-until-
+//! pass schedule.
+
+use crate::predictor::FmaxPredictor;
+use crate::CoreError;
+use ideaflow_flow::options::SpnrOptions;
+use ideaflow_flow::spnr::SpnrFlow;
+
+/// The single-pass policy: predicted fmax × derate, one run.
+#[derive(Debug, Clone)]
+pub struct SinglePassPolicy {
+    predictor: FmaxPredictor,
+    derate: f64,
+}
+
+/// Result of one single-pass attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinglePassResult {
+    /// The target the policy chose, GHz.
+    pub target_ghz: f64,
+    /// Whether the single run met timing.
+    pub success: bool,
+    /// Tool runtime spent, hours.
+    pub runtime_hours: f64,
+}
+
+/// Result of the iterate-until-pass baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterateResult {
+    /// Runs consumed until the first pass (or budget exhaustion).
+    pub runs: u32,
+    /// The final (passing) target, GHz; 0.0 if never passed.
+    pub final_ghz: f64,
+    /// Total tool runtime spent, hours.
+    pub runtime_hours: f64,
+}
+
+impl SinglePassPolicy {
+    /// Creates the policy.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidParameter`] unless `0 < derate <= 1`.
+    pub fn new(predictor: FmaxPredictor, derate: f64) -> Result<Self, CoreError> {
+        if !(derate > 0.0 && derate <= 1.0) {
+            return Err(CoreError::InvalidParameter {
+                name: "derate",
+                detail: format!("must be in (0,1], got {derate}"),
+            });
+        }
+        Ok(Self { predictor, derate })
+    }
+
+    /// The target the policy would choose for a design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction failures.
+    pub fn target_for(&self, flow: &SpnrFlow, seed: u64) -> Result<f64, CoreError> {
+        Ok((self.predictor.predict_ghz(flow.netlist(), seed)? * self.derate).clamp(0.02, 20.0))
+    }
+
+    /// One single-pass attempt on a design.
+    ///
+    /// # Errors
+    ///
+    /// Propagates prediction/option failures.
+    pub fn attempt(
+        &self,
+        flow: &SpnrFlow,
+        seed: u64,
+        sample: u32,
+    ) -> Result<SinglePassResult, CoreError> {
+        let target = self.target_for(flow, seed)?;
+        let opts =
+            SpnrOptions::with_target_ghz(target).map_err(|e| CoreError::InvalidParameter {
+                name: "target_ghz",
+                detail: e.to_string(),
+            })?;
+        let q = flow.run(&opts, sample);
+        Ok(SinglePassResult {
+            target_ghz: target,
+            success: q.meets_timing(),
+            runtime_hours: q.runtime_hours,
+        })
+    }
+}
+
+/// Today's baseline: start aggressive, shrink the target after each
+/// failing run, stop at the first pass.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] for degenerate parameters.
+pub fn iterate_baseline(
+    flow: &SpnrFlow,
+    start_ghz: f64,
+    shrink: f64,
+    max_runs: u32,
+) -> Result<IterateResult, CoreError> {
+    let start_ok = start_ghz > 0.0 && start_ghz <= 20.0;
+    let shrink_ok = shrink > 0.0 && shrink < 1.0;
+    if !start_ok || !shrink_ok || max_runs == 0 {
+        return Err(CoreError::InvalidParameter {
+            name: "iterate_baseline",
+            detail: "need 0<start<=20, 0<shrink<1, max_runs>0".into(),
+        });
+    }
+    let mut target = start_ghz;
+    let mut runtime = 0.0;
+    for run in 0..max_runs {
+        let opts =
+            SpnrOptions::with_target_ghz(target).map_err(|e| CoreError::InvalidParameter {
+                name: "target_ghz",
+                detail: e.to_string(),
+            })?;
+        let q = flow.run(&opts, run);
+        runtime += q.runtime_hours;
+        if q.meets_timing() {
+            return Ok(IterateResult {
+                runs: run + 1,
+                final_ghz: target,
+                runtime_hours: runtime,
+            });
+        }
+        target *= shrink;
+    }
+    Ok(IterateResult {
+        runs: max_runs,
+        final_ghz: 0.0,
+        runtime_hours: runtime,
+    })
+}
+
+/// Summary of a single-pass vs iterate comparison across designs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SinglePassSummary {
+    /// Fraction of designs whose single pass met timing.
+    pub single_pass_success_rate: f64,
+    /// Mean achieved frequency / true fmax over designs (single pass).
+    pub single_pass_quality: f64,
+    /// Mean runs the iterate baseline needed.
+    pub baseline_mean_runs: f64,
+    /// Mean achieved frequency / true fmax over designs (baseline).
+    pub baseline_quality: f64,
+}
+
+/// Runs the comparison over a set of evaluation designs.
+///
+/// # Errors
+///
+/// Propagates per-design failures; requires a non-empty design set.
+pub fn compare_single_pass(
+    policy: &SinglePassPolicy,
+    flows: &[&SpnrFlow],
+    seed: u64,
+) -> Result<SinglePassSummary, CoreError> {
+    if flows.is_empty() {
+        return Err(CoreError::InvalidParameter {
+            name: "flows",
+            detail: "need at least one evaluation design".into(),
+        });
+    }
+    let mut successes = 0usize;
+    let mut sp_quality = 0.0;
+    let mut base_runs = 0.0;
+    let mut base_quality = 0.0;
+    for (i, flow) in flows.iter().enumerate() {
+        let r = policy.attempt(flow, seed, i as u32)?;
+        if r.success {
+            successes += 1;
+            sp_quality += r.target_ghz / flow.fmax_ref_ghz();
+        }
+        let b = iterate_baseline(flow, 1.5, 0.88, 30)?;
+        base_runs += f64::from(b.runs);
+        base_quality += b.final_ghz / flow.fmax_ref_ghz();
+    }
+    let n = flows.len() as f64;
+    Ok(SinglePassSummary {
+        single_pass_success_rate: successes as f64 / n,
+        single_pass_quality: sp_quality / successes.max(1) as f64,
+        baseline_mean_runs: base_runs / n,
+        baseline_quality: base_quality / n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn flow(seed: u64, n: usize) -> SpnrFlow {
+        SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, n).unwrap(), seed)
+    }
+
+    fn trained_policy(derate: f64) -> SinglePassPolicy {
+        let train: Vec<SpnrFlow> = vec![
+            flow(1, 150),
+            flow(2, 250),
+            flow(3, 350),
+            flow(4, 200),
+            flow(5, 300),
+        ];
+        let refs: Vec<&SpnrFlow> = train.iter().collect();
+        let p = FmaxPredictor::train(&refs, 9).unwrap();
+        SinglePassPolicy::new(p, derate).unwrap()
+    }
+
+    #[test]
+    fn single_pass_mostly_succeeds_on_fresh_designs() {
+        let policy = trained_policy(0.72);
+        let eval: Vec<SpnrFlow> = (0..6).map(|s| flow(900 + s, 220 + 30 * s as usize)).collect();
+        let refs: Vec<&SpnrFlow> = eval.iter().collect();
+        let summary = compare_single_pass(&policy, &refs, 2).unwrap();
+        assert!(
+            summary.single_pass_success_rate >= 0.6,
+            "success rate {}",
+            summary.single_pass_success_rate
+        );
+        // Baseline needs iteration; single pass needs exactly one run.
+        assert!(
+            summary.baseline_mean_runs > 1.5,
+            "baseline runs {}",
+            summary.baseline_mean_runs
+        );
+    }
+
+    #[test]
+    fn derate_trades_quality_for_success() {
+        let conservative = trained_policy(0.55);
+        let aggressive = trained_policy(0.95);
+        let eval: Vec<SpnrFlow> = (0..6).map(|s| flow(500 + s, 250)).collect();
+        let refs: Vec<&SpnrFlow> = eval.iter().collect();
+        let c = compare_single_pass(&conservative, &refs, 3).unwrap();
+        let a = compare_single_pass(&aggressive, &refs, 3).unwrap();
+        assert!(c.single_pass_success_rate >= a.single_pass_success_rate);
+    }
+
+    #[test]
+    fn iterate_baseline_terminates() {
+        let f = flow(7, 250);
+        let r = iterate_baseline(&f, 1.5, 0.88, 30).unwrap();
+        assert!(r.runs >= 1 && r.runs <= 30);
+        assert!(r.final_ghz > 0.0, "baseline should eventually pass");
+        assert!(r.runtime_hours > 0.0);
+    }
+
+    #[test]
+    fn parameters_are_validated() {
+        let policy = trained_policy(0.7);
+        let f = flow(8, 250);
+        assert!(iterate_baseline(&f, 0.0, 0.9, 10).is_err());
+        assert!(iterate_baseline(&f, 1.0, 1.0, 10).is_err());
+        assert!(iterate_baseline(&f, 1.0, 0.9, 0).is_err());
+        assert!(compare_single_pass(&policy, &[], 0).is_err());
+        let p2 = FmaxPredictor::train(
+            &[&flow(1, 150), &flow(2, 250), &flow(3, 350)],
+            0,
+        )
+        .unwrap();
+        assert!(SinglePassPolicy::new(p2, 0.0).is_err());
+    }
+}

@@ -1,0 +1,326 @@
+//! The four stages of ML insertion, end-to-end (paper Fig 5(b)).
+//!
+//! One design goal — find the highest target frequency that passes timing
+//! — is attempted under the same tool-run budget by four regimes:
+//!
+//! 0. **Manual**: a schedule-pressured human aims low and stops at the
+//!    first passing run (Challenge 2's "aim low").
+//! 1. **Robot** (mechanize/automate): systematic bracket-bisect-verify.
+//! 2. **Orchestration**: Thompson-sampling bandit over frequency arms with
+//!    concurrent runs.
+//! 3. **Pruning via predictors**: the bandit plus a learned outcome
+//!    predictor that removes doomed arms before any run is wasted.
+
+use crate::mab_env::{FrequencyArms, QorConstraints};
+use crate::predictor::OutcomePredictor;
+use crate::robot::{RobotEngineer, TimingClosureTask};
+use crate::CoreError;
+use ideaflow_bandit::policy::ThompsonGaussian;
+use ideaflow_bandit::sim::run_concurrent;
+use ideaflow_flow::options::SpnrOptions;
+use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_netlist::stats::structural_features;
+
+/// Outcome of one stage's attempt at the goal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageOutcome {
+    /// Stage index (0–3).
+    pub stage: u8,
+    /// Stage name.
+    pub name: &'static str,
+    /// Tool runs actually launched.
+    pub runs_used: u32,
+    /// Total modeled tool runtime, hours.
+    pub runtime_hours: f64,
+    /// Best target frequency that passed timing (0.0 if none).
+    pub best_passing_ghz: f64,
+}
+
+/// The frequency range every stage searches (the "marketing range" —
+/// no stage is told the design's true fmax).
+pub const SEARCH_LO_GHZ: f64 = 0.10;
+/// Upper end of the search range.
+pub const SEARCH_HI_GHZ: f64 = 1.50;
+/// Number of bandit arms over the search range.
+pub const ARM_COUNT: usize = 15;
+
+/// Stage 0 — the manual baseline.
+///
+/// # Errors
+///
+/// Propagates option construction failures.
+pub fn stage0_manual(flow: &SpnrFlow, budget: u32) -> Result<StageOutcome, CoreError> {
+    let mut target = SEARCH_HI_GHZ * 0.7; // the human's first guess
+    let mut runs_used = 0u32;
+    let mut runtime = 0.0;
+    let mut best = 0.0f64;
+    for sample in 0..budget {
+        let opts =
+            SpnrOptions::with_target_ghz(target).map_err(|e| CoreError::InvalidParameter {
+                name: "target_ghz",
+                detail: e.to_string(),
+            })?;
+        let q = flow.run(&opts, sample);
+        runs_used += 1;
+        runtime += q.runtime_hours;
+        if q.meets_timing() {
+            best = target;
+            break; // ship it — schedule pressure ends exploration
+        }
+        target *= 0.85; // aim lower
+    }
+    Ok(StageOutcome {
+        stage: 0,
+        name: "manual",
+        runs_used,
+        runtime_hours: runtime,
+        best_passing_ghz: best,
+    })
+}
+
+/// Stage 1 — the robot engineer.
+///
+/// # Errors
+///
+/// Propagates robot failures.
+pub fn stage1_robot(flow: &SpnrFlow, budget: u32) -> Result<StageOutcome, CoreError> {
+    let report = RobotEngineer.close_timing(
+        flow,
+        TimingClosureTask {
+            run_budget: budget,
+            ..TimingClosureTask::default()
+        },
+    )?;
+    Ok(StageOutcome {
+        stage: 1,
+        name: "robot",
+        runs_used: report.runs.len() as u32,
+        runtime_hours: report.runs.iter().map(|q| q.runtime_hours).sum(),
+        best_passing_ghz: report.signed_off_ghz,
+    })
+}
+
+fn bandit_over_arms(
+    flow: &SpnrFlow,
+    freqs: Vec<f64>,
+    budget: u32,
+    concurrency: usize,
+    seed: u64,
+    stage: u8,
+    name: &'static str,
+) -> Result<StageOutcome, CoreError> {
+    let arms = freqs.len();
+    let mut env = FrequencyArms::new(flow, freqs, QorConstraints::timing_only())?;
+    let mut policy =
+        ThompsonGaussian::new(arms, 1.0, 0.3).map_err(|e| CoreError::Subsystem {
+            detail: e.to_string(),
+        })?;
+    let iterations = (budget as usize / concurrency).max(1);
+    run_concurrent(&mut policy, &mut env, iterations, concurrency, seed).map_err(|e| {
+        CoreError::Subsystem {
+            detail: e.to_string(),
+        }
+    })?;
+    let runtime: f64 = env
+        .history()
+        .iter()
+        .map(|p| {
+            // Recompute the run deterministically to account runtime.
+            let opts = SpnrOptions::with_target_ghz(p.target_ghz).expect("validated arm");
+            flow.run(&opts, p.t).runtime_hours
+        })
+        .sum();
+    // Ship the arm the converged posterior exploits: the most-pulled arm
+    // over the final quarter of pulls (a single lucky success near the
+    // limit must not be "shipped").
+    let history = env.history();
+    let tail = &history[history.len() - history.len() / 4..];
+    let mut pulls = std::collections::HashMap::<usize, usize>::new();
+    for p in tail {
+        *pulls.entry(p.arm).or_insert(0) += 1;
+    }
+    let shipped = pulls
+        .into_iter()
+        .max_by_key(|&(arm, n)| (n, arm))
+        .map(|(arm, _)| env.freqs()[arm])
+        .unwrap_or(0.0);
+    Ok(StageOutcome {
+        stage,
+        name,
+        runs_used: history.len() as u32,
+        runtime_hours: runtime,
+        best_passing_ghz: shipped,
+    })
+}
+
+/// The *delivered* quality of a stage's shipped target: the target times
+/// its fresh pass rate (a shipped target that fails reproduction delivers
+/// nothing — Challenge 2's unpredictability trap).
+#[must_use]
+pub fn delivered_quality_ghz(flow: &SpnrFlow, outcome: &StageOutcome) -> f64 {
+    if outcome.best_passing_ghz <= 0.0 {
+        return 0.0;
+    }
+    let opts = SpnrOptions::with_target_ghz(outcome.best_passing_ghz)
+        .expect("stage outcomes carry valid targets");
+    let passes = (10_000..10_020)
+        .filter(|&s| flow.run(&opts, s).meets_timing())
+        .count();
+    outcome.best_passing_ghz * passes as f64 / 20.0
+}
+
+/// Stage 2 — bandit orchestration over the full arm set.
+///
+/// # Errors
+///
+/// Propagates environment/policy failures.
+pub fn stage2_bandit(flow: &SpnrFlow, budget: u32, seed: u64) -> Result<StageOutcome, CoreError> {
+    let freqs: Vec<f64> = (0..ARM_COUNT)
+        .map(|i| {
+            SEARCH_LO_GHZ + (SEARCH_HI_GHZ - SEARCH_LO_GHZ) * i as f64 / (ARM_COUNT - 1) as f64
+        })
+        .collect();
+    bandit_over_arms(flow, freqs, budget, 5, seed, 2, "bandit")
+}
+
+/// Stage 3 — bandit orchestration over a predictor-pruned arm set: arms
+/// whose predicted pass probability is below `prune_below` never consume a
+/// tool run.
+///
+/// # Errors
+///
+/// Propagates prediction and environment failures. If pruning removes
+/// everything, the full arm set is used (fail-safe).
+pub fn stage3_pruned(
+    flow: &SpnrFlow,
+    predictor: &OutcomePredictor,
+    budget: u32,
+    prune_below: f64,
+    seed: u64,
+) -> Result<StageOutcome, CoreError> {
+    let feats = structural_features(flow.netlist(), seed).map_err(|e| CoreError::Subsystem {
+        detail: e.to_string(),
+    })?;
+    let all: Vec<f64> = (0..ARM_COUNT)
+        .map(|i| {
+            SEARCH_LO_GHZ + (SEARCH_HI_GHZ - SEARCH_LO_GHZ) * i as f64 / (ARM_COUNT - 1) as f64
+        })
+        .collect();
+    let scored: Vec<(f64, f64)> = all
+        .iter()
+        .map(|&f| {
+            let opts = SpnrOptions::with_target_ghz(f).expect("arm in range");
+            (f, predictor.success_probability(&feats, &opts))
+        })
+        .collect();
+    // Prune clearly-doomed arms, but never below 8 survivors: a wrongly
+    // pruned good arm is unrecoverable, while a surplus arm only costs a
+    // few exploratory pulls (the predictor is advisory, not absolute).
+    let mut kept: Vec<f64> = scored
+        .iter()
+        .filter(|&&(_, p)| p >= prune_below)
+        .map(|&(f, _)| f)
+        .collect();
+    if kept.len() < 8 {
+        let mut ranked = scored.clone();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
+        kept = ranked.iter().take(8.min(ranked.len())).map(|&(f, _)| f).collect();
+        kept.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
+    }
+    bandit_over_arms(flow, kept, budget, 5, seed, 3, "bandit+pruning")
+}
+
+/// Runs all four stages at one budget and returns their outcomes in stage
+/// order.
+///
+/// # Errors
+///
+/// Propagates any stage's failure.
+pub fn run_all_stages(
+    flow: &SpnrFlow,
+    predictor: &OutcomePredictor,
+    budget: u32,
+    seed: u64,
+) -> Result<Vec<StageOutcome>, CoreError> {
+    Ok(vec![
+        stage0_manual(flow, budget)?,
+        stage1_robot(flow, budget)?,
+        stage2_bandit(flow, budget, seed)?,
+        stage3_pruned(flow, predictor, budget, 0.05, seed)?,
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictor::RunCorpus;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn flow(seed: u64) -> SpnrFlow {
+        SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 250).unwrap(), seed)
+    }
+
+    fn predictor_from(flows: &[&SpnrFlow]) -> OutcomePredictor {
+        let mut corpus = RunCorpus::new();
+        for (i, f) in flows.iter().enumerate() {
+            corpus
+                .add_flow_sweep(f, &[0.5, 0.7, 0.85, 0.95, 1.1, 1.3], 5, i as u64)
+                .unwrap();
+        }
+        OutcomePredictor::train(&corpus).unwrap()
+    }
+
+    #[test]
+    fn stages_improve_monotonically_in_aggregate() {
+        // Train the predictor on *other* designs (transfer setting).
+        let train: Vec<SpnrFlow> = (0..3).map(|s| flow(700 + s)).collect();
+        let refs: Vec<&SpnrFlow> = train.iter().collect();
+        let predictor = predictor_from(&refs);
+
+        let mut totals = [0.0f64; 4];
+        for seed in 0..3u64 {
+            let f = flow(seed);
+            let outs = run_all_stages(&f, &predictor, 60, seed).unwrap();
+            for (i, o) in outs.iter().enumerate() {
+                totals[i] += delivered_quality_ghz(&f, o) / f.fmax_ref_ghz();
+            }
+        }
+        // Aggregate over designs: each ML stage at least matches the
+        // previous one (tolerance for bandit noise), and the manual
+        // baseline is clearly behind the final stage.
+        assert!(totals[1] >= totals[0] - 0.10, "robot {totals:?}");
+        assert!(totals[2] >= totals[1] - 0.25, "bandit {totals:?}");
+        assert!(totals[3] >= totals[2] - 0.15, "pruned {totals:?}");
+        assert!(
+            totals[3] > totals[0],
+            "stage 3 should beat manual: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn manual_stops_at_first_pass() {
+        let f = flow(9);
+        let o = stage0_manual(&f, 40).unwrap();
+        assert!(o.best_passing_ghz > 0.0);
+        assert!(o.runs_used < 15, "manual used {} runs", o.runs_used);
+    }
+
+    #[test]
+    fn pruning_removes_hopeless_arms_without_losing_quality() {
+        let train: Vec<SpnrFlow> = (0..3).map(|s| flow(800 + s)).collect();
+        let refs: Vec<&SpnrFlow> = train.iter().collect();
+        let predictor = predictor_from(&refs);
+        let f = flow(42);
+        let s2 = stage2_bandit(&f, 60, 1).unwrap();
+        let s3 = stage3_pruned(&f, &predictor, 60, 0.05, 1).unwrap();
+        assert!(s3.best_passing_ghz >= s2.best_passing_ghz * 0.9);
+    }
+
+    #[test]
+    fn outcomes_report_budget_accounting() {
+        let f = flow(3);
+        let o = stage2_bandit(&f, 60, 2).unwrap();
+        assert_eq!(o.runs_used, 60);
+        assert!(o.runtime_hours > 0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Design-capability ramp and process-stability metrics (paper §5(3)).
+//!
+//! "Metrics for IC design learning ('design capability ramp') and IC
+//! design process stability might be defined that are analogous to
+//! long-standing yield learning and process stability metrics (D0, Cp,
+//! Cpk) in IC manufacturing." This module defines them:
+//!
+//! - [`process_capability`]: Cp/Cpk over a QoR sample against spec limits
+//!   (the manufacturing indices, applied to design-process outputs).
+//! - [`defect_density`]: a D0 analogue — flow-failure rate per unit of
+//!   design size, from pass/fail run records.
+//! - [`LearningCurve`]: Wright's-law fit of a QoR or cost metric against
+//!   cumulative design experience (the "ramp").
+
+use crate::CostError;
+
+/// The classic process-capability pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Capability {
+    /// Cp = (USL − LSL) / 6σ: potential capability.
+    pub cp: f64,
+    /// Cpk = min(USL − μ, μ − LSL) / 3σ: realized (centred) capability.
+    pub cpk: f64,
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub sigma: f64,
+}
+
+/// Computes Cp/Cpk for a QoR sample against `[lsl, usl]` spec limits.
+///
+/// # Errors
+///
+/// Returns [`CostError::InvalidParameter`] if the sample has fewer than 2
+/// points, the limits are inverted, or the sample is constant.
+pub fn process_capability(samples: &[f64], lsl: f64, usl: f64) -> Result<Capability, CostError> {
+    if samples.len() < 2 {
+        return Err(CostError::InvalidParameter {
+            name: "samples",
+            detail: "need at least two samples".into(),
+        });
+    }
+    if usl <= lsl {
+        return Err(CostError::InvalidParameter {
+            name: "usl",
+            detail: format!("USL {usl} must exceed LSL {lsl}"),
+        });
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    let sigma = var.sqrt();
+    if sigma < 1e-12 {
+        return Err(CostError::InvalidParameter {
+            name: "samples",
+            detail: "sample is constant; capability is unbounded".into(),
+        });
+    }
+    Ok(Capability {
+        cp: (usl - lsl) / (6.0 * sigma),
+        cpk: ((usl - mean).min(mean - lsl)) / (3.0 * sigma),
+        mean,
+        sigma,
+    })
+}
+
+/// D0 analogue: flow failures per million design units (e.g. per Minst of
+/// attempted implementation).
+///
+/// # Errors
+///
+/// Returns [`CostError::InvalidParameter`] if `attempted_units <= 0`.
+pub fn defect_density(failures: usize, attempted_units: f64) -> Result<f64, CostError> {
+    if attempted_units <= 0.0 {
+        return Err(CostError::InvalidParameter {
+            name: "attempted_units",
+            detail: "must be positive".into(),
+        });
+    }
+    Ok(failures as f64 / attempted_units * 1.0e6)
+}
+
+/// Wright's-law learning curve `y = a · x^(-b)` fitted in log space:
+/// every doubling of cumulative experience multiplies the metric by
+/// `2^(-b)` (the "learning rate" is `1 - 2^(-b)`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LearningCurve {
+    /// First-unit value `a`.
+    pub first_unit: f64,
+    /// Learning exponent `b` (positive = improving).
+    pub exponent: f64,
+}
+
+impl LearningCurve {
+    /// Fits from `(cumulative_experience, metric)` points, all positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CostError::InvalidParameter`] for fewer than 2 points or
+    /// non-positive values.
+    pub fn fit(points: &[(f64, f64)]) -> Result<Self, CostError> {
+        if points.len() < 2 {
+            return Err(CostError::InvalidParameter {
+                name: "points",
+                detail: "need at least two points".into(),
+            });
+        }
+        if points.iter().any(|&(x, y)| x <= 0.0 || y <= 0.0) {
+            return Err(CostError::InvalidParameter {
+                name: "points",
+                detail: "experience and metric must be positive".into(),
+            });
+        }
+        let n = points.len() as f64;
+        let lx: Vec<f64> = points.iter().map(|p| p.0.ln()).collect();
+        let ly: Vec<f64> = points.iter().map(|p| p.1.ln()).collect();
+        let mx = lx.iter().sum::<f64>() / n;
+        let my = ly.iter().sum::<f64>() / n;
+        let sxx: f64 = lx.iter().map(|x| (x - mx) * (x - mx)).sum();
+        if sxx < 1e-12 {
+            return Err(CostError::InvalidParameter {
+                name: "points",
+                detail: "all experience values identical".into(),
+            });
+        }
+        let sxy: f64 = lx.iter().zip(&ly).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let slope = sxy / sxx;
+        let intercept = my - slope * mx;
+        Ok(Self {
+            first_unit: intercept.exp(),
+            exponent: -slope,
+        })
+    }
+
+    /// Predicted metric at cumulative experience `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x <= 0`.
+    #[must_use]
+    pub fn predict(&self, x: f64) -> f64 {
+        assert!(x > 0.0, "experience must be positive");
+        self.first_unit * x.powf(-self.exponent)
+    }
+
+    /// The per-doubling improvement fraction `1 - 2^(-b)`.
+    #[must_use]
+    pub fn learning_rate(&self) -> f64 {
+        1.0 - 2f64.powf(-self.exponent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_of_a_centred_tight_process() {
+        // Mean 10, sigma ~1, limits 4..16 => Cp = 12/6 = 2, Cpk = 2.
+        let samples: Vec<f64> = (0..100)
+            .map(|i| 10.0 + f64::from(i % 5) - 2.0)
+            .collect();
+        let c = process_capability(&samples, 4.0, 16.0).unwrap();
+        assert!((c.mean - 10.0).abs() < 1e-9);
+        assert!(c.cp > 1.0);
+        assert!((c.cp - c.cpk).abs() < 1e-9, "centred process: Cp == Cpk");
+    }
+
+    #[test]
+    fn off_centre_process_has_lower_cpk() {
+        let samples: Vec<f64> = (0..100).map(|i| 14.0 + f64::from(i % 3) - 1.0).collect();
+        let c = process_capability(&samples, 4.0, 16.0).unwrap();
+        assert!(c.cpk < c.cp);
+    }
+
+    #[test]
+    fn capability_validates() {
+        assert!(process_capability(&[1.0], 0.0, 1.0).is_err());
+        assert!(process_capability(&[1.0, 2.0], 5.0, 1.0).is_err());
+        assert!(process_capability(&[3.0, 3.0, 3.0], 0.0, 6.0).is_err());
+    }
+
+    #[test]
+    fn defect_density_scales() {
+        let d = defect_density(3, 1.5e6).unwrap();
+        assert!((d - 2.0).abs() < 1e-12);
+        assert!(defect_density(1, 0.0).is_err());
+    }
+
+    #[test]
+    fn learning_curve_recovers_exact_wright_law() {
+        // y = 100 x^-0.32 (a classic ~20% learning rate).
+        let pts: Vec<(f64, f64)> = (1..20)
+            .map(|i| {
+                let x = f64::from(i);
+                (x, 100.0 * x.powf(-0.32))
+            })
+            .collect();
+        let lc = LearningCurve::fit(&pts).unwrap();
+        assert!((lc.first_unit - 100.0).abs() < 1e-6);
+        assert!((lc.exponent - 0.32).abs() < 1e-9);
+        assert!((lc.learning_rate() - (1.0 - 2f64.powf(-0.32))).abs() < 1e-9);
+        assert!((lc.predict(8.0) - 100.0 * 8f64.powf(-0.32)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learning_curve_validates() {
+        assert!(LearningCurve::fit(&[(1.0, 2.0)]).is_err());
+        assert!(LearningCurve::fit(&[(1.0, 2.0), (0.0, 1.0)]).is_err());
+        assert!(LearningCurve::fit(&[(2.0, 2.0), (2.0, 1.0)]).is_err());
+    }
+}

@@ -1,0 +1,52 @@
+//! `ideaflow-flow` — the synthetic SP&R (synthesis / place / route) flow.
+//!
+//! This crate is the stand-in for the commercial RTL-to-GDSII flow the
+//! paper's experiments drive (PULPino RISC-V in 14nm foundry enablement).
+//! It has two faces:
+//!
+//! - [`spnr::SpnrFlow::run_physical`] executes the *real* pipeline built in
+//!   this workspace: floorplan → placement (annealing) → global route →
+//!   STA signoff, returning measured QoR.
+//! - [`spnr::SpnrFlow::run`] is the calibrated fast surface the ML layers
+//!   sample thousands of times: its mean response is calibrated from the
+//!   physical pipeline once per design, and its noise reproduces the Fig 3
+//!   statistics (Gaussian, i.i.d. per option vector, with variance growing
+//!   as the target approaches the achievable limit).
+//!
+//! Supporting modules: [`options`] (the tool's command-option space),
+//! [`noise`] (the Gaussian tool-noise model of Fig 3, refs \[29\]\[15\]),
+//! [`tree`] (the Fig 5 tree of per-step flow options), and [`record`]
+//! (per-step metric records consumed by `ideaflow-metrics`).
+
+pub mod noise;
+pub mod options;
+pub mod record;
+pub mod spnr;
+pub mod tree;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for flow configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for FlowError {}

@@ -1,0 +1,119 @@
+//! The Gaussian tool-noise model of paper Fig 3 (refs \[29\]\[15\]).
+//!
+//! Two empirical facts are reproduced: (i) per-option-vector QoR noise is
+//! essentially Gaussian, and (ii) noise grows as the target approaches the
+//! achievable limit ("SP&R implementation noise increases with target
+//! design quality"). Noise is a *deterministic function* of (arm
+//! fingerprint, sample index): re-running the same sample reproduces the
+//! same value, while successive samples of one arm are i.i.d. — exactly
+//! the bandit-arm abstraction of §3.1.
+
+/// Parameters of the noise law.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ToolNoise {
+    /// Relative QoR noise far from the limit (e.g. 0.006 = 0.6% area).
+    pub sigma0: f64,
+    /// Growth coefficient as utilization-of-limit `u = f/fmax` approaches 1:
+    /// `sigma(u) = sigma0 * (1 + beta * u^2 / max(1 - u, floor))`.
+    pub beta: f64,
+    /// Floor on `1 - u` so sigma stays finite past the limit.
+    pub floor: f64,
+}
+
+impl Default for ToolNoise {
+    fn default() -> Self {
+        Self {
+            sigma0: 0.006,
+            beta: 0.35,
+            floor: 0.04,
+        }
+    }
+}
+
+impl ToolNoise {
+    /// Relative noise at limit-utilization `u` (clamped at 0).
+    #[must_use]
+    pub fn sigma_at(&self, u: f64) -> f64 {
+        let u = u.max(0.0);
+        self.sigma0 * (1.0 + self.beta * u * u / (1.0 - u).max(self.floor))
+    }
+}
+
+/// A deterministic standard-normal draw for `(fingerprint, sample, salt)`.
+///
+/// Uses splitmix64 bit-mixing and a Box–Muller transform; the result is
+/// exactly reproducible and has no cross-correlation between salts (used
+/// to draw independent noises for area, timing, power from one sample id).
+#[must_use]
+pub fn gaussian_draw(fingerprint: u64, sample: u32, salt: u64) -> f64 {
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let base = fingerprint
+        .wrapping_add(u64::from(sample).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(salt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    let u1_bits = mix(base);
+    let u2_bits = mix(base.wrapping_add(0xA076_1D64_78BD_642F));
+    let u1 = ((u1_bits >> 11) as f64 / (1u64 << 53) as f64).max(1e-300);
+    let u2 = (u2_bits >> 11) as f64 / (1u64 << 53) as f64;
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigma_grows_toward_limit() {
+        let n = ToolNoise::default();
+        assert!(n.sigma_at(0.95) > n.sigma_at(0.7));
+        assert!(n.sigma_at(0.7) > n.sigma_at(0.3));
+        assert!((n.sigma_at(0.0) - n.sigma0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_is_finite_past_limit() {
+        let n = ToolNoise::default();
+        assert!(n.sigma_at(1.0).is_finite());
+        assert!(n.sigma_at(1.5).is_finite());
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        assert_eq!(gaussian_draw(42, 7, 1), gaussian_draw(42, 7, 1));
+        assert_ne!(gaussian_draw(42, 7, 1), gaussian_draw(42, 8, 1));
+        assert_ne!(gaussian_draw(42, 7, 1), gaussian_draw(42, 7, 2));
+        assert_ne!(gaussian_draw(43, 7, 1), gaussian_draw(42, 7, 1));
+    }
+
+    #[test]
+    fn draws_are_standard_normal() {
+        let xs: Vec<f64> = (0..5_000).map(|i| gaussian_draw(99, i, 0)).collect();
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+        // Tails exist but are not absurd.
+        assert!(xs.iter().all(|x| x.abs() < 6.0));
+        assert!(xs.iter().any(|x| x.abs() > 2.0));
+    }
+
+    #[test]
+    fn salts_decorrelate() {
+        let a: Vec<f64> = (0..2_000).map(|i| gaussian_draw(5, i, 1)).collect();
+        let b: Vec<f64> = (0..2_000).map(|i| gaussian_draw(5, i, 2)).collect();
+        let n = a.len() as f64;
+        let ma = a.iter().sum::<f64>() / n;
+        let mb = b.iter().sum::<f64>() / n;
+        let cov: f64 = a
+            .iter()
+            .zip(&b)
+            .map(|(x, y)| (x - ma) * (y - mb))
+            .sum::<f64>()
+            / n;
+        assert!(cov.abs() < 0.05, "cov {cov}");
+    }
+}

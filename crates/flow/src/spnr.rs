@@ -1,0 +1,468 @@
+//! The SP&R flow: physical pipeline and calibrated fast surface.
+
+use serde::{Deserialize, Serialize};
+use crate::noise::{gaussian_draw, ToolNoise};
+use crate::options::SpnrOptions;
+use crate::record::{FlowStep, StepRecord};
+use ideaflow_netlist::generate::DesignSpec;
+use ideaflow_netlist::graph::Netlist;
+use ideaflow_place::cts::{synthesize, CtsStyle};
+use ideaflow_place::floorplan::Floorplan;
+use ideaflow_place::placement::{net_hpwl, total_hpwl};
+use ideaflow_place::placer::{anneal_placement, partition_seeded_placement, PlacerConfig};
+use ideaflow_route::drv::{behavior_from_congestion, simulate, DrvConfig, DrvTrajectory};
+use ideaflow_route::global::{GlobalRoute, RouteConfig};
+use ideaflow_timing::graph::TimingGraph;
+use ideaflow_timing::model::{Constraints, Corner, WireModel};
+use ideaflow_timing::pba::{max_frequency_ghz, pba};
+use ideaflow_timing::si::apply_coupling;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// QoR returned by one (fast-surface) SP&R run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QorSample {
+    /// The target frequency that was asked for, GHz.
+    pub target_ghz: f64,
+    /// Post-route cell area, um².
+    pub area_um2: f64,
+    /// Signoff worst negative slack, ps (>= 0 means timing met).
+    pub wns_ps: f64,
+    /// Leakage power, nW.
+    pub leakage_nw: f64,
+    /// Wall-clock runtime of the run, hours (model value).
+    pub runtime_hours: f64,
+}
+
+impl QorSample {
+    /// Whether the run closed timing.
+    #[must_use]
+    pub fn meets_timing(&self) -> bool {
+        self.wns_ps >= 0.0
+    }
+}
+
+/// QoR plus physical artifacts from a full pipeline run.
+#[derive(Debug, Clone)]
+pub struct PhysicalOutcome {
+    /// Headline QoR.
+    pub qor: QorSample,
+    /// Total placed HPWL, um.
+    pub hpwl_um: f64,
+    /// Global-routing overflow.
+    pub route_overflow: f64,
+    /// Fraction of routing bins over capacity.
+    pub hot_fraction: f64,
+    /// Clock skew from the synthesized clock tree, ps.
+    pub clock_skew_ps: f64,
+    /// Clock buffers inserted by CTS.
+    pub clock_buffers: usize,
+    /// The detailed-route DRV trajectory of this run.
+    pub drv: DrvTrajectory,
+}
+
+/// The synthetic SP&R flow for one design.
+///
+/// Construction calibrates the fast surface against the design's real
+/// timing graph (achievable-frequency estimate) so that the thousands of
+/// cheap samples the ML layers draw are anchored to the same physics the
+/// full pipeline exercises.
+#[derive(Debug, Clone)]
+pub struct SpnrFlow {
+    spec: DesignSpec,
+    seed: u64,
+    netlist: Netlist,
+    noise: ToolNoise,
+    fmax_ref_ghz: f64,
+    base_area_um2: f64,
+    base_leakage_nw: f64,
+}
+
+impl SpnrFlow {
+    /// Builds and calibrates the flow for a design.
+    #[must_use]
+    pub fn new(spec: DesignSpec, seed: u64) -> Self {
+        let netlist = spec.generate(seed);
+        let graph = TimingGraph::build(&netlist, WireModel::default());
+        let fmax_ref_ghz =
+            max_frequency_ghz(&graph, &[Corner::SLOW]).expect("generated designs have endpoints");
+        let base_area_um2 = netlist.total_area_um2();
+        let base_leakage_nw = netlist.total_leakage_nw();
+        Self {
+            spec,
+            seed,
+            netlist,
+            noise: ToolNoise::default(),
+            fmax_ref_ghz,
+            base_area_um2,
+            base_leakage_nw,
+        }
+    }
+
+    /// Overrides the noise law (for calibration ablations).
+    #[must_use]
+    pub fn with_noise(mut self, noise: ToolNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// The design spec.
+    #[must_use]
+    pub fn spec(&self) -> &DesignSpec {
+        &self.spec
+    }
+
+    /// The calibrated reference fmax (medium efforts, default floorplan).
+    #[must_use]
+    pub fn fmax_ref_ghz(&self) -> f64 {
+        self.fmax_ref_ghz
+    }
+
+    /// The generated netlist.
+    #[must_use]
+    pub fn netlist(&self) -> &Netlist {
+        &self.netlist
+    }
+
+    /// Effective achievable frequency for an option vector (mean, no
+    /// noise).
+    #[must_use]
+    pub fn fmax_effective_ghz(&self, opts: &SpnrOptions) -> f64 {
+        let util_over = ((opts.utilization - 0.70) / 0.25).max(0.0);
+        let util_penalty = 1.0 - 0.12 * util_over * util_over;
+        let a = opts.aspect_ratio.ln();
+        let aspect_penalty = 1.0 - 0.05 * a * a;
+        // Aggressive CTS trades skew for clock power: the skew eats setup
+        // margin, lowering the achievable frequency slightly.
+        let cts_penalty = if opts.cts_aggressive { 0.985 } else { 1.0 };
+        self.fmax_ref_ghz
+            * opts.combined_fmax_factor()
+            * util_penalty
+            * aspect_penalty
+            * cts_penalty
+    }
+
+    /// One fast-surface run. Deterministic in `(options, sample)`; across
+    /// `sample` values the QoR noise is i.i.d. Gaussian with variance
+    /// growing near the achievable limit (Fig 3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` fail [`SpnrOptions::validate`].
+    #[must_use]
+    pub fn run(&self, options: &SpnrOptions, sample: u32) -> QorSample {
+        options.validate().expect("options must validate");
+        let fp = options.fingerprint() ^ self.seed;
+        let fmax = self.fmax_effective_ghz(options);
+        let u = options.target_ghz / fmax;
+        let nf = options.combined_noise_factor();
+
+        // Area: optimization pressure near the limit costs area (upsizing,
+        // VT swaps, buffering).
+        let pressure = 0.25 * u * u / (1.0 - u).max(0.05);
+        let area_mean =
+            self.base_area_um2 * options.combined_area_factor() * (1.0 + pressure)
+                / (options.utilization / 0.70).powf(0.15);
+        let sigma_rel = self.noise.sigma_at(u) * nf;
+        let area = area_mean * (1.0 + sigma_rel * gaussian_draw(fp, sample, 1));
+
+        // Timing: mean WNS is the period headroom; noise grows near fmax
+        // and scales with the tool's configured noise level (so the
+        // noise-calibration ablation affects timing, not just area).
+        let wns_mean = 1_000.0 / options.target_ghz - 1_000.0 / fmax;
+        let noise_scale = self.noise.sigma0 / ToolNoise::default().sigma0;
+        let wns_sigma = (4.0 + 45.0 * u * u) * nf * noise_scale;
+        let wns = wns_mean + wns_sigma * gaussian_draw(fp, sample, 2);
+
+        // Leakage: timing pressure forces low-VT usage; aggressive CTS
+        // saves clock-buffer leakage.
+        let cts_leak = if options.cts_aggressive { 0.97 } else { 1.0 };
+        let leak_mean = self.base_leakage_nw * (1.0 + 0.8 * u * u) * cts_leak;
+        let leakage = leak_mean * (1.0 + 0.03 * gaussian_draw(fp, sample, 3));
+
+        // Runtime model: size- and effort-dependent, slower near the limit.
+        let kinst = self.netlist.instance_count() as f64 / 1_000.0;
+        let runtime_mean =
+            0.5 * kinst.powf(0.8) * options.combined_runtime_factor() * (1.0 + 0.6 * u.min(1.5));
+        let runtime =
+            (runtime_mean * (1.0 + 0.05 * gaussian_draw(fp, sample, 4))).max(0.01);
+
+        QorSample {
+            target_ghz: options.target_ghz,
+            area_um2: area,
+            wns_ps: wns,
+            leakage_nw: leakage,
+            runtime_hours: runtime,
+        }
+    }
+
+    /// One fast-surface run plus its per-step METRICS records.
+    #[must_use]
+    pub fn run_logged(&self, options: &SpnrOptions, sample: u32) -> (QorSample, Vec<StepRecord>) {
+        let qor = self.run(options, sample);
+        let run_id = format!(
+            "{}_{:016x}_s{sample}",
+            self.netlist.name(),
+            options.fingerprint()
+        );
+        let share = |f: f64| qor.runtime_hours * f;
+        let mut records = Vec::with_capacity(FlowStep::ORDER.len());
+        for step in FlowStep::ORDER {
+            let mut r = StepRecord::new(step, &run_id);
+            r.push("target_ghz", qor.target_ghz);
+            match step {
+                FlowStep::Synthesis => {
+                    r.push("instances", self.netlist.instance_count() as f64);
+                    r.push("area_um2", qor.area_um2 * 0.92);
+                    r.push("runtime_hours", share(0.15));
+                }
+                FlowStep::Floorplan => {
+                    r.push("utilization", options.utilization);
+                    r.push("aspect_ratio", options.aspect_ratio);
+                    r.push("runtime_hours", share(0.05));
+                }
+                FlowStep::Place => {
+                    r.push("area_um2", qor.area_um2 * 0.97);
+                    r.push("wns_ps", qor.wns_ps + 14.0);
+                    r.push("runtime_hours", share(0.30));
+                }
+                FlowStep::Cts => {
+                    r.push("wns_ps", qor.wns_ps + 6.0);
+                    r.push("cts_aggressive", f64::from(options.cts_aggressive));
+                    r.push("runtime_hours", share(0.10));
+                }
+                FlowStep::Route => {
+                    r.push("area_um2", qor.area_um2);
+                    r.push("wns_ps", qor.wns_ps + 2.0);
+                    r.push("runtime_hours", share(0.30));
+                }
+                FlowStep::Signoff => {
+                    r.push("area_um2", qor.area_um2);
+                    r.push("wns_ps", qor.wns_ps);
+                    r.push("leakage_nw", qor.leakage_nw);
+                    r.push("runtime_hours", share(0.10));
+                }
+            }
+            records.push(r);
+        }
+        (qor, records)
+    }
+
+    /// Runs the full physical pipeline: floorplan → partition-seeded
+    /// placement → annealing → global route → SI-aware multi-corner signoff
+    /// → detailed-route DRV simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` fail validation (as [`SpnrFlow::run`]).
+    #[must_use]
+    pub fn run_physical(&self, options: &SpnrOptions, sample: u32) -> PhysicalOutcome {
+        options.validate().expect("options must validate");
+        let run_seed = self.seed ^ options.fingerprint() ^ (u64::from(sample) << 17);
+        let fp = Floorplan::for_netlist(&self.netlist, options.utilization, options.aspect_ratio)
+            .expect("validated options fit");
+        let start = partition_seeded_placement(&self.netlist, &fp, run_seed)
+            .expect("floorplan sized for netlist");
+        let moves = match options.place_effort {
+            crate::options::Effort::Low => 15_000,
+            crate::options::Effort::Medium => 40_000,
+            crate::options::Effort::High => 90_000,
+        };
+        let placed = anneal_placement(
+            &self.netlist,
+            &fp,
+            start,
+            PlacerConfig {
+                moves,
+                t_initial: 60.0,
+                t_final: 0.3,
+                },
+            run_seed.wrapping_add(1),
+        );
+        let hpwl = total_hpwl(&self.netlist, &fp, &placed.placement);
+        // Clock-tree synthesis: skew tightens the effective setup budget.
+        let cts = synthesize(
+            &self.netlist,
+            &fp,
+            &placed.placement,
+            if options.cts_aggressive {
+                CtsStyle::Aggressive
+            } else {
+                CtsStyle::Balanced
+            },
+        )
+        .expect("generated designs have flops");
+        let route = GlobalRoute::run(
+            &self.netlist,
+            &fp,
+            &placed.placement,
+            RouteConfig {
+                cols: 16,
+                rows: 16,
+                capacity: 40.0 / options.utilization,
+            },
+        );
+        // Timing with placement-derived net lengths.
+        let lengths: Vec<f64> = (0..self.netlist.net_count())
+            .map(|n| net_hpwl(&self.netlist, &fp, &placed.placement, n).max(0.5))
+            .collect();
+        let mut graph =
+            TimingGraph::build_with_lengths(&self.netlist, WireModel::default(), lengths);
+        let couple_rate = 0.05 + 0.4 * route.hot_fraction(0.8);
+        apply_coupling(&mut graph, couple_rate.min(0.6), run_seed.wrapping_add(2));
+        let mut cons = Constraints::at_frequency_ghz(options.target_ghz)
+            .expect("validated frequency in range");
+        // Worst-case skew is additional setup uncertainty at every capture
+        // flop.
+        cons.setup_ps += cts.skew_ps();
+        let signoff = pba(&graph, &cons, &Corner::STANDARD).expect("endpoints exist");
+        // Detailed routing.
+        let mut rng = StdRng::seed_from_u64(run_seed.wrapping_add(3));
+        let behavior = behavior_from_congestion(route.hot_fraction(1.0), &mut rng);
+        let initial_drvs =
+            (500.0 + route.total_overflow() * 30.0 + self.netlist.net_count() as f64 * 0.5)
+                .round() as u64;
+        let drv = simulate(
+            behavior,
+            initial_drvs.max(1),
+            DrvConfig::default(),
+            run_seed.wrapping_add(4),
+        )
+        .expect("positive initial DRVs");
+        let qor = QorSample {
+            target_ghz: options.target_ghz,
+            area_um2: self.netlist.total_area_um2(),
+            wns_ps: signoff.wns_ps,
+            leakage_nw: self.netlist.total_leakage_nw(),
+            runtime_hours: 0.0,
+        };
+        PhysicalOutcome {
+            qor,
+            hpwl_um: hpwl,
+            route_overflow: route.total_overflow(),
+            hot_fraction: route.hot_fraction(1.0),
+            clock_skew_ps: cts.skew_ps(),
+            clock_buffers: cts.buffer_count,
+            drv,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::options::Effort;
+    use ideaflow_netlist::generate::DesignClass;
+
+    fn flow() -> SpnrFlow {
+        SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 400).unwrap(), 0xDAC)
+    }
+
+    #[test]
+    fn calibration_produces_sane_fmax() {
+        let f = flow();
+        assert!(
+            f.fmax_ref_ghz() > 0.05 && f.fmax_ref_ghz() < 10.0,
+            "fmax {}",
+            f.fmax_ref_ghz()
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_sample() {
+        let f = flow();
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        assert_eq!(f.run(&o, 3), f.run(&o, 3));
+        assert_ne!(f.run(&o, 3), f.run(&o, 4));
+    }
+
+    #[test]
+    fn area_noise_grows_near_fmax() {
+        let f = flow();
+        let fmax = f.fmax_effective_ghz(&SpnrOptions::with_target_ghz(0.4).unwrap());
+        let spread = |ghz: f64| {
+            let o = SpnrOptions::with_target_ghz(ghz).unwrap();
+            let areas: Vec<f64> = (0..60).map(|s| f.run(&o, s).area_um2).collect();
+            let m = areas.iter().sum::<f64>() / areas.len() as f64;
+            (areas
+                .iter()
+                .map(|a| (a - m) * (a - m))
+                .sum::<f64>()
+                / areas.len() as f64)
+                .sqrt()
+                / m
+        };
+        let low = spread(fmax * 0.5);
+        let high = spread(fmax * 0.95);
+        assert!(high > low * 1.5, "high {high} vs low {low}");
+    }
+
+    #[test]
+    fn success_rate_declines_with_target() {
+        let f = flow();
+        let o_easy = SpnrOptions::with_target_ghz(f.fmax_ref_ghz() * 0.6).unwrap();
+        let o_hard = SpnrOptions::with_target_ghz(f.fmax_ref_ghz() * 1.2).unwrap();
+        let rate = |o: &SpnrOptions| {
+            (0..40).filter(|&s| f.run(o, s).meets_timing()).count() as f64 / 40.0
+        };
+        assert!(rate(&o_easy) > 0.9);
+        assert!(rate(&o_hard) < 0.2);
+    }
+
+    #[test]
+    fn high_effort_expands_fmax_and_runtime() {
+        let f = flow();
+        let mut hi = SpnrOptions::with_target_ghz(0.4).unwrap();
+        hi.synth_effort = Effort::High;
+        hi.place_effort = Effort::High;
+        hi.route_effort = Effort::High;
+        let lo = SpnrOptions::with_target_ghz(0.4).unwrap();
+        assert!(f.fmax_effective_ghz(&hi) > f.fmax_effective_ghz(&lo));
+        assert!(f.run(&hi, 0).runtime_hours > f.run(&lo, 0).runtime_hours);
+    }
+
+    #[test]
+    fn over_utilization_hurts_fmax() {
+        let f = flow();
+        let mut tight = SpnrOptions::with_target_ghz(0.4).unwrap();
+        tight.utilization = 0.92;
+        let norm = SpnrOptions::with_target_ghz(0.4).unwrap();
+        assert!(f.fmax_effective_ghz(&tight) < f.fmax_effective_ghz(&norm));
+    }
+
+    #[test]
+    fn logged_run_covers_all_steps() {
+        let f = flow();
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        let (qor, records) = f.run_logged(&o, 1);
+        assert_eq!(records.len(), 6);
+        let signoff = records.last().unwrap();
+        assert_eq!(signoff.metric("wns_ps"), Some(qor.wns_ps));
+        // Step runtimes sum to the run's runtime.
+        let sum: f64 = records
+            .iter()
+            .filter_map(|r| r.metric("runtime_hours"))
+            .sum();
+        assert!((sum - qor.runtime_hours).abs() < 1e-9);
+    }
+
+    #[test]
+    fn physical_run_produces_consistent_artifacts() {
+        let f = SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 200).unwrap(), 7);
+        let o = SpnrOptions::with_target_ghz(f.fmax_ref_ghz() * 0.7).unwrap();
+        let p = f.run_physical(&o, 0);
+        assert!(p.hpwl_um > 0.0);
+        assert!(p.hot_fraction >= 0.0 && p.hot_fraction <= 1.0);
+        assert_eq!(p.drv.counts.len(), 20);
+        assert!(p.qor.area_um2 > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "options must validate")]
+    fn invalid_options_panic() {
+        let f = flow();
+        let mut o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        o.utilization = 0.05;
+        let _ = f.run(&o, 0);
+    }
+}

@@ -1,0 +1,194 @@
+//! The tree of flow-step options (paper Fig 5(a)).
+//!
+//! "Thousands of potential options at each flow step, along with iteration,
+//! result in an enormous tree of possible flow trajectories." We model a
+//! trajectory as one option choice per flow step; the tree's leaves are
+//! complete [`SpnrOptions`] vectors. The orchestration stages in
+//! `ideaflow-core` search this tree.
+
+use crate::options::{Effort, SpnrOptions};
+use crate::FlowError;
+
+/// One step's option axis: a name and its discrete settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptionAxis {
+    /// Axis name (e.g. "place_effort").
+    pub name: &'static str,
+    /// Human-readable setting labels.
+    pub settings: Vec<String>,
+}
+
+/// The standard option tree: per-step axes in flow order.
+///
+/// Axes: synthesis effort ×3, utilization ×4, aspect ratio ×3, placement
+/// effort ×3, CTS style ×2, route effort ×3 — 648 leaves. Real tools have "well over ten thousand
+/// combinations"; this is the same combinatorial shape at benchmark scale.
+#[must_use]
+pub fn standard_axes() -> Vec<OptionAxis> {
+    vec![
+        OptionAxis {
+            name: "synth_effort",
+            settings: vec!["low".into(), "medium".into(), "high".into()],
+        },
+        OptionAxis {
+            name: "utilization",
+            settings: vec!["0.60".into(), "0.70".into(), "0.78".into(), "0.85".into()],
+        },
+        OptionAxis {
+            name: "aspect_ratio",
+            settings: vec!["0.5".into(), "1.0".into(), "2.0".into()],
+        },
+        OptionAxis {
+            name: "place_effort",
+            settings: vec!["low".into(), "medium".into(), "high".into()],
+        },
+        OptionAxis {
+            name: "cts_style",
+            settings: vec!["balanced".into(), "aggressive".into()],
+        },
+        OptionAxis {
+            name: "route_effort",
+            settings: vec!["low".into(), "medium".into(), "high".into()],
+        },
+    ]
+}
+
+/// A trajectory: one setting index per axis.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Trajectory(pub Vec<usize>);
+
+impl Trajectory {
+    /// Validates the trajectory against a set of axes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidParameter`] on length or range mismatch.
+    pub fn validate(&self, axes: &[OptionAxis]) -> Result<(), FlowError> {
+        if self.0.len() != axes.len() {
+            return Err(FlowError::InvalidParameter {
+                name: "trajectory",
+                detail: format!("{} choices for {} axes", self.0.len(), axes.len()),
+            });
+        }
+        for (i, (&c, axis)) in self.0.iter().zip(axes).enumerate() {
+            if c >= axis.settings.len() {
+                return Err(FlowError::InvalidParameter {
+                    name: "trajectory",
+                    detail: format!("axis {i} ({}) has no setting {c}", axis.name),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Total number of leaves (complete trajectories) of an axis set.
+#[must_use]
+pub fn leaf_count(axes: &[OptionAxis]) -> u128 {
+    axes.iter().map(|a| a.settings.len() as u128).product()
+}
+
+/// Total number of nodes in the option tree (including internal nodes and
+/// the root) — the "enormous tree" headcount of Fig 5(a).
+#[must_use]
+pub fn node_count(axes: &[OptionAxis]) -> u128 {
+    let mut nodes = 1u128; // root
+    let mut width = 1u128;
+    for a in axes {
+        width *= a.settings.len() as u128;
+        nodes += width;
+    }
+    nodes
+}
+
+/// Materializes a standard-axes trajectory into tool options at a target
+/// frequency.
+///
+/// # Errors
+///
+/// Propagates validation failures.
+pub fn options_for_trajectory(
+    trajectory: &Trajectory,
+    target_ghz: f64,
+) -> Result<SpnrOptions, FlowError> {
+    let axes = standard_axes();
+    trajectory.validate(&axes)?;
+    let effort_of = |i: usize| Effort::ALL[i];
+    let mut opts = SpnrOptions::with_target_ghz(target_ghz)?;
+    opts.synth_effort = effort_of(trajectory.0[0]);
+    opts.utilization = [0.60, 0.70, 0.78, 0.85][trajectory.0[1]];
+    opts.aspect_ratio = [0.5, 1.0, 2.0][trajectory.0[2]];
+    opts.place_effort = effort_of(trajectory.0[3]);
+    opts.cts_aggressive = trajectory.0[4] == 1;
+    opts.route_effort = effort_of(trajectory.0[5]);
+    Ok(opts)
+}
+
+/// Enumerates all trajectories (use only when the axis set is small).
+#[must_use]
+pub fn enumerate_trajectories(axes: &[OptionAxis]) -> Vec<Trajectory> {
+    let mut out = vec![Trajectory(Vec::new())];
+    for axis in axes {
+        let mut next = Vec::with_capacity(out.len() * axis.settings.len());
+        for t in &out {
+            for c in 0..axis.settings.len() {
+                let mut v = t.0.clone();
+                v.push(c);
+                next.push(Trajectory(v));
+            }
+        }
+        out = next;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_tree_shape() {
+        let axes = standard_axes();
+        assert_eq!(axes.len(), 6);
+        assert_eq!(leaf_count(&axes), 3 * 4 * 3 * 3 * 2 * 3);
+        // node_count = 1 + 3 + 12 + 36 + 108 + 216 + 648
+        assert_eq!(node_count(&axes), 1 + 3 + 12 + 36 + 108 + 216 + 648);
+    }
+
+    #[test]
+    fn enumerate_covers_all_leaves() {
+        let axes = standard_axes();
+        let all = enumerate_trajectories(&axes);
+        assert_eq!(all.len() as u128, leaf_count(&axes));
+        // All distinct.
+        let mut set = std::collections::HashSet::new();
+        for t in &all {
+            assert!(set.insert(t.clone()));
+            t.validate(&axes).unwrap();
+        }
+    }
+
+    #[test]
+    fn trajectory_materializes_to_valid_options() {
+        let axes = standard_axes();
+        for t in enumerate_trajectories(&axes).iter().step_by(37) {
+            let o = options_for_trajectory(t, 0.5).unwrap();
+            o.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn invalid_trajectories_are_rejected() {
+        let axes = standard_axes();
+        assert!(Trajectory(vec![0; 5]).validate(&axes).is_err());
+        assert!(Trajectory(vec![9, 0, 0, 0, 0, 0]).validate(&axes).is_err());
+        assert!(options_for_trajectory(&Trajectory(vec![0; 5]), 0.5).is_err());
+    }
+
+    #[test]
+    fn distinct_trajectories_give_distinct_options() {
+        let a = options_for_trajectory(&Trajectory(vec![0, 0, 0, 0, 0, 0]), 0.5).unwrap();
+        let b = options_for_trajectory(&Trajectory(vec![2, 3, 2, 2, 1, 2]), 0.5).unwrap();
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

@@ -1,0 +1,217 @@
+//! Flat-classifier baselines for doomed-run prediction.
+//!
+//! The MDP strategy card and the HMM detector both exploit temporal
+//! structure. The natural ablation question — does that structure earn
+//! its keep? — needs a memoryless baseline: a logistic regression over
+//! the instantaneous `(violations, ΔDRV, iteration)` feature vector,
+//! evaluated under the same consecutive-STOP protocol.
+
+use crate::doomed::{Action, ErrorRow};
+use crate::MdpError;
+use ideaflow_mlkit::logreg::{LogisticConfig, LogisticRegression};
+use ideaflow_mlkit::scale::StandardScaler;
+
+/// A trained per-iteration logistic GO/STOP classifier.
+#[derive(Debug, Clone)]
+pub struct LogisticBaseline {
+    scaler: StandardScaler,
+    model: LogisticRegression,
+    /// STOP when predicted success probability falls below this.
+    pub stop_below: f64,
+}
+
+/// Feature row at iteration `t >= 1`: `[ln(v+1), normalized delta, t]`.
+fn features(counts: &[u64], t: usize) -> Vec<f64> {
+    let v = counts[t];
+    let prev = counts[t - 1];
+    let nd = (v as f64 - prev as f64) / (prev.max(1) as f64);
+    vec![(v as f64 + 1.0).ln(), nd, t as f64]
+}
+
+impl LogisticBaseline {
+    /// Trains on completed runs: every iteration `t >= 1` becomes one
+    /// sample labelled by the run's final outcome.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidParameter`] on degenerate corpora;
+    /// propagates fit errors.
+    pub fn train(
+        runs: &[Vec<u64>],
+        success_threshold: u64,
+        stop_below: f64,
+    ) -> Result<Self, MdpError> {
+        if runs.is_empty() || runs.iter().any(|r| r.len() < 2) {
+            return Err(MdpError::InvalidParameter {
+                name: "runs",
+                detail: "need non-trivial training runs".into(),
+            });
+        }
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for run in runs {
+            let label = *run.last().expect("non-empty") < success_threshold;
+            for t in 1..run.len() {
+                xs.push(features(run, t));
+                ys.push(label);
+            }
+        }
+        let scaler = StandardScaler::fit(&xs).map_err(|e| MdpError::InvalidParameter {
+            name: "runs",
+            detail: e.to_string(),
+        })?;
+        let model = LogisticRegression::fit(
+            &scaler.transform(&xs),
+            &ys,
+            LogisticConfig {
+                learning_rate: 0.3,
+                epochs: 800,
+                l2: 1e-5,
+            },
+        )
+        .map_err(|e| MdpError::InvalidParameter {
+            name: "runs",
+            detail: e.to_string(),
+        })?;
+        Ok(Self {
+            scaler,
+            model,
+            stop_below,
+        })
+    }
+
+    /// GO/STOP for iteration `t` (iteration 0 is always GO).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= counts.len()`.
+    #[must_use]
+    pub fn decide(&self, counts: &[u64], t: usize) -> Action {
+        assert!(t < counts.len(), "prefix index out of range");
+        if t == 0 {
+            return Action::Go;
+        }
+        let row = self.scaler.transform_row(&features(counts, t));
+        if self.model.predict_proba(&row) < self.stop_below {
+            Action::Stop
+        } else {
+            Action::Go
+        }
+    }
+
+    /// Evaluates with `k`-consecutive-STOP gating (same protocol as the
+    /// card and the HMM detector).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidParameter`] on empty input or `k == 0`.
+    pub fn evaluate(
+        &self,
+        runs: &[Vec<u64>],
+        success_threshold: u64,
+        k_consecutive: usize,
+    ) -> Result<ErrorRow, MdpError> {
+        if k_consecutive == 0 || runs.is_empty() {
+            return Err(MdpError::InvalidParameter {
+                name: "k_consecutive",
+                detail: "need runs and k >= 1".into(),
+            });
+        }
+        let mut type1 = 0usize;
+        let mut type2 = 0usize;
+        let mut saved_total = 0usize;
+        let mut saved_count = 0usize;
+        for run in runs {
+            let succeeded = *run.last().expect("non-empty") < success_threshold;
+            let mut consecutive = 0usize;
+            let mut stopped_at: Option<usize> = None;
+            for t in 0..run.len() {
+                match self.decide(run, t) {
+                    Action::Stop => {
+                        consecutive += 1;
+                        if consecutive >= k_consecutive {
+                            stopped_at = Some(t);
+                            break;
+                        }
+                    }
+                    Action::Go => consecutive = 0,
+                }
+            }
+            match (stopped_at, succeeded) {
+                (Some(_), true) => type1 += 1,
+                (None, false) => type2 += 1,
+                (Some(t), false) => {
+                    saved_total += run.len() - 1 - t;
+                    saved_count += 1;
+                }
+                (None, true) => {}
+            }
+        }
+        Ok(ErrorRow {
+            k_consecutive,
+            total_runs: runs.len(),
+            type1,
+            type2,
+            mean_iterations_saved: if saved_count == 0 {
+                0.0
+            } else {
+                saved_total as f64 / saved_count as f64
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<u64>> {
+        let mut runs = Vec::new();
+        for k in 0..25u64 {
+            let mut fall = Vec::new();
+            let mut v = 9_000.0 + 211.0 * k as f64;
+            for _ in 0..20 {
+                v *= 0.58;
+                fall.push(v.round() as u64);
+            }
+            runs.push(fall);
+            let mut plateau = Vec::new();
+            let mut v = 7_000.0 + 113.0 * k as f64;
+            for _ in 0..20 {
+                if v > 1_500.0 {
+                    v *= 0.8;
+                }
+                plateau.push(v.round() as u64);
+            }
+            runs.push(plateau);
+        }
+        runs
+    }
+
+    #[test]
+    fn baseline_learns_the_easy_structure() {
+        let b = LogisticBaseline::train(&corpus(), 200, 0.5).unwrap();
+        let row = b.evaluate(&corpus(), 200, 2).unwrap();
+        assert!(row.error_rate() < 0.3, "error {}", row.error_rate());
+    }
+
+    #[test]
+    fn stop_threshold_controls_eagerness() {
+        let timid = LogisticBaseline::train(&corpus(), 200, 0.1).unwrap();
+        let eager = LogisticBaseline::train(&corpus(), 200, 0.9).unwrap();
+        let rt = timid.evaluate(&corpus(), 200, 1).unwrap();
+        let re = eager.evaluate(&corpus(), 200, 1).unwrap();
+        assert!(re.type1 >= rt.type1);
+        assert!(re.type2 <= rt.type2);
+    }
+
+    #[test]
+    fn validates_input() {
+        assert!(LogisticBaseline::train(&[], 200, 0.5).is_err());
+        let single_class = vec![vec![10u64, 5, 1]; 3];
+        assert!(LogisticBaseline::train(&single_class, 200, 0.5).is_err());
+        let b = LogisticBaseline::train(&corpus(), 200, 0.5).unwrap();
+        assert!(b.evaluate(&[], 200, 1).is_err());
+        assert!(b.evaluate(&corpus(), 200, 0).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! The HMM alternative for doomed-run prediction.
+//!
+//! §3.3: "Tool logfile data can be viewed as time series to which hidden
+//! Markov models \[36\] ... may be applied." This module trains one HMM on
+//! successful runs' ΔDRV-bin sequences and one on failed runs', then
+//! classifies a running prefix by log-likelihood ratio — the classic
+//! two-model detector. It exposes the same GO/STOP prefix interface as
+//! the MDP strategy card so the two can be evaluated head-to-head with
+//! identical consecutive-STOP gating.
+
+use crate::doomed::{bin_delta, Action, ErrorRow, D_BINS};
+use crate::hmm::Hmm;
+use crate::MdpError;
+
+/// A trained two-model HMM detector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HmmDetector {
+    success_model: Hmm,
+    fail_model: Hmm,
+    /// STOP when `loglik(fail) - loglik(success) > threshold`.
+    pub threshold: f64,
+}
+
+/// Observation sequence for a run: ΔDRV bins from iteration 1 on.
+#[must_use]
+pub fn observations(counts: &[u64]) -> Vec<usize> {
+    counts
+        .windows(2)
+        .map(|w| bin_delta(w[0], w[1]))
+        .collect()
+}
+
+/// Deterministic seeded initial HMM with sticky transitions.
+fn initial_hmm(states: usize, symbols: usize, seed: u64) -> Hmm {
+    let mut z = seed.max(1);
+    let mut next = move || {
+        z ^= z << 13;
+        z ^= z >> 7;
+        z ^= z << 17;
+        (z >> 11) as f64 / (1u64 << 53) as f64
+    };
+    let norm = |v: &mut Vec<f64>| {
+        let s: f64 = v.iter().sum();
+        for x in v.iter_mut() {
+            *x /= s;
+        }
+    };
+    let mut initial: Vec<f64> = (0..states).map(|_| 0.5 + next()).collect();
+    norm(&mut initial);
+    let transition: Vec<Vec<f64>> = (0..states)
+        .map(|i| {
+            let mut row: Vec<f64> = (0..states)
+                .map(|j| if i == j { 4.0 } else { 0.5 } + next() * 0.5)
+                .collect();
+            norm(&mut row);
+            row
+        })
+        .collect();
+    let emission: Vec<Vec<f64>> = (0..states)
+        .map(|_| {
+            let mut row: Vec<f64> = (0..symbols).map(|_| 0.5 + next()).collect();
+            norm(&mut row);
+            row
+        })
+        .collect();
+    Hmm::new(initial, transition, emission).expect("constructed stochastic")
+}
+
+impl HmmDetector {
+    /// Trains the detector on completed runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidParameter`] if either class is empty or
+    /// runs are shorter than 2 iterations; propagates Baum–Welch errors.
+    pub fn train(
+        runs: &[Vec<u64>],
+        success_threshold: u64,
+        hidden_states: usize,
+        baum_welch_iters: usize,
+        threshold: f64,
+        seed: u64,
+    ) -> Result<Self, MdpError> {
+        if hidden_states == 0 {
+            return Err(MdpError::InvalidParameter {
+                name: "hidden_states",
+                detail: "need at least one hidden state".into(),
+            });
+        }
+        if runs.iter().any(|r| r.len() < 2) {
+            return Err(MdpError::InvalidParameter {
+                name: "runs",
+                detail: "each run needs at least two iterations".into(),
+            });
+        }
+        let (succ, fail): (Vec<&Vec<u64>>, Vec<&Vec<u64>>) = runs
+            .iter()
+            .partition(|r| *r.last().expect("non-empty") < success_threshold);
+        if succ.is_empty() || fail.is_empty() {
+            return Err(MdpError::InvalidParameter {
+                name: "runs",
+                detail: "need both successful and failed training runs".into(),
+            });
+        }
+        let succ_obs: Vec<Vec<usize>> = succ.iter().map(|r| observations(r)).collect();
+        let fail_obs: Vec<Vec<usize>> = fail.iter().map(|r| observations(r)).collect();
+        let mut success_model = initial_hmm(hidden_states, D_BINS, seed ^ 0x5);
+        let mut fail_model = initial_hmm(hidden_states, D_BINS, seed ^ 0xF);
+        for _ in 0..baum_welch_iters {
+            success_model = success_model.baum_welch_step(&succ_obs)?;
+            fail_model = fail_model.baum_welch_step(&fail_obs)?;
+        }
+        Ok(Self {
+            success_model,
+            fail_model,
+            threshold,
+        })
+    }
+
+    /// GO/STOP for iteration `t` given the prefix `counts[..=t]`.
+    /// Iteration 0 is always GO (no delta yet).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t >= counts.len()`.
+    #[must_use]
+    pub fn decide(&self, counts: &[u64], t: usize) -> Action {
+        assert!(t < counts.len(), "prefix index out of range");
+        if t == 0 {
+            return Action::Go;
+        }
+        let obs = observations(&counts[..=t]);
+        let llr = self.fail_model.log_likelihood(&obs)
+            - self.success_model.log_likelihood(&obs);
+        if llr > self.threshold {
+            Action::Stop
+        } else {
+            Action::Go
+        }
+    }
+
+    /// Evaluates the detector with `k`-consecutive-STOP gating (the same
+    /// protocol as [`crate::doomed::evaluate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidParameter`] on empty input or `k == 0`.
+    pub fn evaluate(
+        &self,
+        runs: &[Vec<u64>],
+        success_threshold: u64,
+        k_consecutive: usize,
+    ) -> Result<ErrorRow, MdpError> {
+        if k_consecutive == 0 || runs.is_empty() {
+            return Err(MdpError::InvalidParameter {
+                name: "k_consecutive",
+                detail: "need runs and k >= 1".into(),
+            });
+        }
+        let mut type1 = 0usize;
+        let mut type2 = 0usize;
+        let mut saved_total = 0usize;
+        let mut saved_count = 0usize;
+        for run in runs {
+            let succeeded = *run.last().expect("non-empty") < success_threshold;
+            let mut consecutive = 0usize;
+            let mut stopped_at: Option<usize> = None;
+            for t in 0..run.len() {
+                match self.decide(run, t) {
+                    Action::Stop => {
+                        consecutive += 1;
+                        if consecutive >= k_consecutive {
+                            stopped_at = Some(t);
+                            break;
+                        }
+                    }
+                    Action::Go => consecutive = 0,
+                }
+            }
+            match (stopped_at, succeeded) {
+                (Some(_), true) => type1 += 1,
+                (None, false) => type2 += 1,
+                (Some(t), false) => {
+                    saved_total += run.len() - 1 - t;
+                    saved_count += 1;
+                }
+                (None, true) => {}
+            }
+        }
+        Ok(ErrorRow {
+            k_consecutive,
+            total_runs: runs.len(),
+            type1,
+            type2,
+            mean_iterations_saved: if saved_count == 0 {
+                0.0
+            } else {
+                saved_total as f64 / saved_count as f64
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn corpus() -> Vec<Vec<u64>> {
+        // Deterministic synthetic mix: falling (success), plateau and
+        // rising (failures).
+        let mut runs = Vec::new();
+        for k in 0..30u64 {
+            let mut fall = Vec::new();
+            let mut v = 8_000.0 + 137.0 * k as f64;
+            for _ in 0..20 {
+                v *= 0.58;
+                fall.push(v.round() as u64);
+            }
+            runs.push(fall);
+            let mut plateau = Vec::new();
+            let mut v = 6_000.0 + 91.0 * k as f64;
+            for i in 0..20 {
+                if v > 1_200.0 {
+                    v *= 0.8;
+                }
+                // Small deterministic wiggle.
+                plateau.push((v + f64::from((i * 7 + k as usize) as u32 % 40)).round() as u64);
+            }
+            runs.push(plateau);
+            let mut rise = Vec::new();
+            let mut v = 4_000.0 + 53.0 * k as f64;
+            for i in 0..20 {
+                v *= if i < 4 { 0.9 } else { 1.14 };
+                rise.push(v.round() as u64);
+            }
+            runs.push(rise);
+        }
+        runs
+    }
+
+    fn detector() -> HmmDetector {
+        HmmDetector::train(&corpus(), 200, 3, 12, 0.0, 7).unwrap()
+    }
+
+    #[test]
+    fn hmm_detector_separates_classes() {
+        let d = detector();
+        let row = d.evaluate(&corpus(), 200, 2).unwrap();
+        assert!(
+            row.error_rate() < 0.15,
+            "error {} (T1 {}, T2 {})",
+            row.error_rate(),
+            row.type1,
+            row.type2
+        );
+        assert!(row.mean_iterations_saved > 3.0);
+    }
+
+    #[test]
+    fn gating_reduces_errors_or_keeps_them_low() {
+        let d = detector();
+        let k1 = d.evaluate(&corpus(), 200, 1).unwrap();
+        let k3 = d.evaluate(&corpus(), 200, 3).unwrap();
+        assert!(k3.type1 <= k1.type1);
+    }
+
+    #[test]
+    fn observations_track_deltas() {
+        let obs = observations(&[1_000, 500, 500, 1_500]);
+        assert_eq!(obs.len(), 3);
+        assert!(obs[0] > obs[1], "falling then flat");
+        assert_eq!(obs[2], 0, "tripling is a strong rise");
+    }
+
+    #[test]
+    fn training_validates_input() {
+        assert!(HmmDetector::train(&[], 200, 2, 3, 0.0, 1).is_err());
+        // Single-class corpus.
+        let all_success = vec![vec![100u64, 50, 10]; 4];
+        assert!(HmmDetector::train(&all_success, 200, 2, 3, 0.0, 1).is_err());
+        assert!(HmmDetector::train(&corpus(), 200, 0, 3, 0.0, 1).is_err());
+        assert!(HmmDetector::train(&[vec![5]], 200, 2, 3, 0.0, 1).is_err());
+    }
+
+    #[test]
+    fn threshold_shifts_the_operating_point() {
+        let lenient = HmmDetector::train(&corpus(), 200, 3, 12, 5.0, 7).unwrap();
+        let eager = HmmDetector::train(&corpus(), 200, 3, 12, -5.0, 7).unwrap();
+        let rl = lenient.evaluate(&corpus(), 200, 1).unwrap();
+        let re = eager.evaluate(&corpus(), 200, 1).unwrap();
+        // Eager stopping: more Type-1, fewer Type-2.
+        assert!(re.type1 >= rl.type1);
+        assert!(re.type2 <= rl.type2);
+    }
+}

@@ -1,0 +1,289 @@
+//! Tabular Q-learning — the paper's fourth ML-insertion stage
+//! ("reinforcement learning, intelligence", Fig 5(b) stage 4).
+//!
+//! Where [`crate::doomed::derive_card`] builds an explicit empirical model
+//! and solves it (model-based), [`QLearner`] learns the GO/STOP policy
+//! *online* from one episode at a time with no transition model at all —
+//! the natural next step when logfiles arrive as a stream rather than a
+//! corpus. The learned greedy policy is exported as the same
+//! [`StrategyCard`] shape so the evaluation protocol is shared.
+
+use crate::doomed::{
+    bin_delta, bin_violations, fill_rule, state_index, Action, DoomedConfig, StrategyCard,
+    D_BINS, V_BINS,
+};
+use crate::MdpError;
+
+/// Q-learning hyper-parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QConfig {
+    /// Learning rate α.
+    pub alpha: f64,
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Exploration rate ε (epsilon-greedy behaviour policy).
+    pub epsilon: f64,
+    /// Training epochs over the episode stream.
+    pub epochs: usize,
+    /// Reward shaping (shared with the model-based card).
+    pub rewards: DoomedConfig,
+}
+
+impl Default for QConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.15,
+            gamma: 0.98,
+            epsilon: 0.1,
+            epochs: 12,
+            rewards: DoomedConfig::default(),
+        }
+    }
+}
+
+/// An online tabular Q-learner over the doomed-run state space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QLearner {
+    /// `q[state][action]` with action 0 = GO, 1 = STOP.
+    q: Vec<[f64; 2]>,
+    /// Visit counts per state (0 ⇒ policy falls back to the fill rule).
+    visits: Vec<u64>,
+    cfg: QConfig,
+    rng_state: u64,
+}
+
+impl QLearner {
+    /// Creates a learner with zero-initialized Q values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidParameter`] for out-of-range
+    /// hyper-parameters.
+    pub fn new(cfg: QConfig, seed: u64) -> Result<Self, MdpError> {
+        if !(cfg.alpha > 0.0 && cfg.alpha <= 1.0) {
+            return Err(MdpError::InvalidParameter {
+                name: "alpha",
+                detail: format!("must be in (0,1], got {}", cfg.alpha),
+            });
+        }
+        if !(0.0..=1.0).contains(&cfg.gamma) || !(0.0..=1.0).contains(&cfg.epsilon) {
+            return Err(MdpError::InvalidParameter {
+                name: "gamma",
+                detail: "gamma and epsilon must be in [0,1]".into(),
+            });
+        }
+        Ok(Self {
+            q: vec![[0.0; 2]; V_BINS * D_BINS],
+            visits: vec![0; V_BINS * D_BINS],
+            cfg,
+            rng_state: seed.max(1),
+        })
+    }
+
+    fn rand01(&mut self) -> f64 {
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Replays one completed-run episode, updating Q along the trajectory.
+    ///
+    /// The behaviour policy is ε-greedy over the current Q; when it (or
+    /// the logged run) reaches the final iteration, the terminal reward is
+    /// the success/failure outcome; an off-policy STOP bootstraps against
+    /// the STOP reward (0).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MdpError::InvalidParameter`] for runs shorter than 2.
+    pub fn replay_episode(&mut self, run: &[u64]) -> Result<(), MdpError> {
+        if run.len() < 2 {
+            return Err(MdpError::InvalidParameter {
+                name: "run",
+                detail: "episode needs at least two iterations".into(),
+            });
+        }
+        let succeeded = *run.last().expect("non-empty") < self.cfg.rewards.success_threshold;
+        let terminal = if succeeded {
+            self.cfg.rewards.success_reward
+        } else {
+            -self.cfg.rewards.failure_penalty
+        };
+        for t in 1..run.len() {
+            let s = state_index(bin_violations(run[t]), bin_delta(run[t - 1], run[t]));
+            self.visits[s] += 1;
+            // ε-greedy action choice (training exploration only; the run
+            // itself always continued, so GO transitions are observed and
+            // STOP transitions bootstrap to their known reward).
+            let explore = self.rand01() < self.cfg.epsilon;
+            let greedy_stop = self.q[s][1] > self.q[s][0];
+            let take_stop = if explore { self.rand01() < 0.5 } else { greedy_stop };
+            if take_stop {
+                // STOP: immediate 0 reward, episode (for learning) ends.
+                let target = 0.0;
+                self.q[s][1] += self.cfg.alpha * (target - self.q[s][1]);
+                // Continue scanning the logged run: later states still
+                // provide GO updates (experience replay over the log).
+            }
+            // GO update from the logged transition.
+            let (reward, next_best) = if t + 1 < run.len() {
+                let ns = state_index(
+                    bin_violations(run[t + 1]),
+                    bin_delta(run[t], run[t + 1]),
+                );
+                (
+                    -self.cfg.rewards.step_penalty,
+                    self.q[ns][0].max(self.q[ns][1]),
+                )
+            } else {
+                (terminal - self.cfg.rewards.step_penalty, 0.0)
+            };
+            let target = reward + self.cfg.gamma * next_best;
+            self.q[s][0] += self.cfg.alpha * (target - self.q[s][0]);
+        }
+        Ok(())
+    }
+
+    /// Trains over a corpus for the configured number of epochs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`QLearner::replay_episode`] errors.
+    pub fn train(&mut self, runs: &[Vec<u64>]) -> Result<(), MdpError> {
+        for _ in 0..self.cfg.epochs {
+            for run in runs {
+                self.replay_episode(run)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Exports the greedy policy as a [`StrategyCard`] (unvisited states
+    /// take the footnote-5 fill rule, like the model-based card).
+    #[must_use]
+    pub fn to_card(&self) -> StrategyCard {
+        let mut actions = Vec::with_capacity(self.q.len());
+        let mut observed = Vec::with_capacity(self.q.len());
+        for s in 0..self.q.len() {
+            if self.visits[s] > 0 {
+                actions.push(if self.q[s][1] > self.q[s][0] {
+                    Action::Stop
+                } else {
+                    Action::Go
+                });
+                observed.push(true);
+            } else {
+                actions.push(fill_rule(s / D_BINS, s % D_BINS));
+                observed.push(false);
+            }
+        }
+        StrategyCard::from_parts(actions, observed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doomed::{error_table, evaluate};
+
+    fn corpus() -> Vec<Vec<u64>> {
+        let mut runs = Vec::new();
+        for k in 0..40u64 {
+            let mut fall = Vec::new();
+            let mut v = 8_000.0 + 173.0 * k as f64;
+            for _ in 0..20 {
+                v *= 0.57;
+                fall.push(v.round() as u64);
+            }
+            runs.push(fall);
+            let mut plateau = Vec::new();
+            let mut v = 6_000.0 + 97.0 * k as f64;
+            for _ in 0..20 {
+                if v > 1_200.0 {
+                    v *= 0.8;
+                }
+                plateau.push(v.round() as u64);
+            }
+            runs.push(plateau);
+            let mut rise = Vec::new();
+            let mut v = 4_000.0 + 61.0 * k as f64;
+            for i in 0..20 {
+                v *= if i < 4 { 0.9 } else { 1.13 };
+                rise.push(v.round() as u64);
+            }
+            runs.push(rise);
+        }
+        runs
+    }
+
+    #[test]
+    fn q_learned_card_is_competitive_with_model_based() {
+        let runs = corpus();
+        let mut q = QLearner::new(QConfig::default(), 11).unwrap();
+        q.train(&runs).unwrap();
+        let q_card = q.to_card();
+        let rows = error_table(&q_card, &runs, 200).unwrap();
+        assert!(
+            rows[2].error_rate() < 0.10,
+            "q-card error at k=3: {}",
+            rows[2].error_rate()
+        );
+        // Same protocol as the model-based card.
+        let mb = crate::doomed::derive_card(&runs, DoomedConfig::default()).unwrap();
+        let mb_rows = error_table(&mb, &runs, 200).unwrap();
+        assert!(rows[2].error_rate() <= mb_rows[2].error_rate() + 0.10);
+    }
+
+    #[test]
+    fn visited_states_dominate_the_card() {
+        let runs = corpus();
+        let mut q = QLearner::new(QConfig::default(), 3).unwrap();
+        q.train(&runs).unwrap();
+        let card = q.to_card();
+        // Low-DRV falling states (heavily visited by successes): GO.
+        assert_eq!(card.action(1, 4), Action::Go);
+        // Rising states at growing counts: STOP.
+        assert!(
+            evaluate(&card, &runs, 200, 2).unwrap().type2 <= 10,
+            "doomed runs must mostly be caught"
+        );
+    }
+
+    #[test]
+    fn hyperparameters_are_validated() {
+        let bad_alpha = QConfig {
+            alpha: 0.0,
+            ..QConfig::default()
+        };
+        assert!(QLearner::new(bad_alpha, 1).is_err());
+        let bad_gamma = QConfig {
+            gamma: 1.5,
+            ..QConfig::default()
+        };
+        assert!(QLearner::new(bad_gamma, 1).is_err());
+        let mut q = QLearner::new(QConfig::default(), 1).unwrap();
+        assert!(q.replay_episode(&[5]).is_err());
+    }
+
+    #[test]
+    fn more_training_does_not_hurt() {
+        let runs = corpus();
+        let mut short = QLearner::new(
+            QConfig {
+                epochs: 1,
+                ..QConfig::default()
+            },
+            7,
+        )
+        .unwrap();
+        short.train(&runs).unwrap();
+        let mut long = QLearner::new(QConfig::default(), 7).unwrap();
+        long.train(&runs).unwrap();
+        let e_short = error_table(&short.to_card(), &runs, 200).unwrap()[2].error_rate();
+        let e_long = error_table(&long.to_card(), &runs, 200).unwrap()[2].error_rate();
+        assert!(e_long <= e_short + 0.05, "long {e_long} vs short {e_short}");
+    }
+}

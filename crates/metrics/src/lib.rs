@@ -1,0 +1,66 @@
+//! `ideaflow-metrics` — a reimplementation of the METRICS system
+//! (paper §4, Fig 11; refs \[9\]\[28\]\[43\]).
+//!
+//! METRICS "instruments design tools and design processes for continuous
+//! collection of design artifact and design process data, so as to produce
+//! predictions and guidance for improving the current design process". Its
+//! three components, reproduced here:
+//!
+//! - **Instrumentation** ([`xml`], plus the wrapper adapters over
+//!   `ideaflow-flow` step records): tool data is encoded into XML and
+//!   handed to a transmitter.
+//! - **The METRICS server** ([`server`]): a central collection point fed
+//!   by concurrent transmitters (crossbeam channel), queryable by run,
+//!   step and metric.
+//! - **The data miner** ([`miner`]): regression/sensitivity analyses that
+//!   predict design-specific tool outcomes and best option settings, and
+//!   prescribe achievable clock frequency — the two validation uses the
+//!   paper describes.
+//!
+//! The paper's "METRICS 2.0" lesson — predictions should feed back into
+//! the flow "without human intervention" — is [`feedback`].
+
+pub mod feedback;
+pub mod miner;
+pub mod server;
+pub mod vocabulary;
+pub mod xml;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for the METRICS system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetricsError {
+    /// XML parse failure.
+    ParseXml {
+        /// Description of the malformation.
+        detail: String,
+    },
+    /// A query or mining operation had no usable data.
+    NoData {
+        /// What was missing.
+        detail: String,
+    },
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::ParseXml { detail } => write!(f, "xml parse error: {detail}"),
+            MetricsError::NoData { detail } => write!(f, "no data: {detail}"),
+            MetricsError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for MetricsError {}

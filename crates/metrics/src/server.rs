@@ -1,0 +1,295 @@
+//! The METRICS server and transmitters.
+//!
+//! Transmitters (one per instrumented tool) serialize records to XML and
+//! push them over a channel; the server ingests, decodes and stores them,
+//! then answers queries. The channel boundary means the server "may reside
+//! on different machines and/or networks than those used by the design
+//! tools" — here it is a crossbeam channel, with the same decoupling.
+
+use crate::xml::{decode, encode, MetricRecord};
+use crate::MetricsError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use ideaflow_flow::record::{FlowStep, StepRecord};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A transmitter handle held by an instrumented tool.
+#[derive(Debug, Clone)]
+pub struct Transmitter {
+    tx: Sender<String>,
+    seq: Arc<AtomicU64>,
+}
+
+impl Transmitter {
+    /// Sends one step record (encoded to XML on the way out).
+    pub fn send(&self, record: StepRecord) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let wire = encode(&MetricRecord { seq, record });
+        // A dropped server is fine: transmitters never block the tool.
+        let _ = self.tx.send(wire);
+    }
+}
+
+/// The central METRICS store.
+#[derive(Debug)]
+pub struct MetricsServer {
+    rx: Receiver<String>,
+    store: Mutex<Vec<MetricRecord>>,
+    rejected: AtomicU64,
+}
+
+impl MetricsServer {
+    /// Creates a server and a transmitter factory channel.
+    #[must_use]
+    pub fn new() -> (Arc<Self>, Transmitter) {
+        let (tx, rx) = unbounded();
+        let server = Arc::new(Self {
+            rx,
+            store: Mutex::new(Vec::new()),
+            rejected: AtomicU64::new(0),
+        });
+        let transmitter = Transmitter {
+            tx,
+            seq: Arc::new(AtomicU64::new(0)),
+        };
+        (server, transmitter)
+    }
+
+    /// Drains the inbound channel into the store, returning how many
+    /// records were ingested. Malformed documents are counted and dropped.
+    pub fn ingest(&self) -> usize {
+        let mut n = 0;
+        let mut store = self.store.lock();
+        while let Ok(wire) = self.rx.try_recv() {
+            match decode(&wire) {
+                Ok(rec) => {
+                    store.push(rec);
+                    n += 1;
+                }
+                Err(_) => {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        n
+    }
+
+    /// Number of records stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.store.lock().len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.store.lock().is_empty()
+    }
+
+    /// Number of malformed documents dropped.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// All records for a run, in sequence order.
+    #[must_use]
+    pub fn records_for_run(&self, run_id: &str) -> Vec<MetricRecord> {
+        let mut v: Vec<MetricRecord> = self
+            .store
+            .lock()
+            .iter()
+            .filter(|r| r.record.run_id == run_id)
+            .cloned()
+            .collect();
+        v.sort_by_key(|r| r.seq);
+        v
+    }
+
+    /// The values of one metric at one step across all runs, as
+    /// `(run_id, value)` pairs in sequence order.
+    #[must_use]
+    pub fn metric_across_runs(&self, step: FlowStep, metric: &str) -> Vec<(String, f64)> {
+        let mut v: Vec<(u64, String, f64)> = self
+            .store
+            .lock()
+            .iter()
+            .filter(|r| r.record.step == step)
+            .filter_map(|r| {
+                r.record
+                    .metric(metric)
+                    .map(|m| (r.seq, r.record.run_id.clone(), m))
+            })
+            .collect();
+        v.sort_by_key(|(seq, _, _)| *seq);
+        v.into_iter().map(|(_, id, m)| (id, m)).collect()
+    }
+
+    /// Serializes the entire store to pretty JSON (the persistence format
+    /// of this METRICS reimplementation: lesson (4)(i) of the paper's
+    /// retrospective — "today's commodity ... database technologies" make
+    /// the server trivial to persist).
+    #[must_use]
+    pub fn export_json(&self) -> String {
+        serde_json::to_string_pretty(&*self.store.lock()).expect("records are serializable")
+    }
+
+    /// Imports records from the JSON produced by
+    /// [`MetricsServer::export_json`], appending to the store. Returns how
+    /// many records were imported.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::ParseXml`] (reused parse-error variant) on
+    /// malformed JSON.
+    pub fn import_json(&self, json: &str) -> Result<usize, MetricsError> {
+        let records: Vec<MetricRecord> =
+            serde_json::from_str(json).map_err(|e| MetricsError::ParseXml {
+                detail: format!("json: {e}"),
+            })?;
+        let n = records.len();
+        self.store.lock().extend(records);
+        Ok(n)
+    }
+
+    /// Builds an aligned per-run matrix: for each run that reported every
+    /// requested `(step, metric)` column, one row of values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::NoData`] if no run covers all columns.
+    pub fn run_matrix(
+        &self,
+        columns: &[(FlowStep, &str)],
+    ) -> Result<(Vec<String>, Vec<Vec<f64>>), MetricsError> {
+        let store = self.store.lock();
+        let mut run_ids: Vec<String> = store.iter().map(|r| r.record.run_id.clone()).collect();
+        run_ids.sort();
+        run_ids.dedup();
+        let mut ids = Vec::new();
+        let mut rows = Vec::new();
+        for id in run_ids {
+            let mut row = Vec::with_capacity(columns.len());
+            let mut complete = true;
+            for &(step, metric) in columns {
+                let v = store
+                    .iter()
+                    .find(|r| r.record.run_id == id && r.record.step == step)
+                    .and_then(|r| r.record.metric(metric));
+                match v {
+                    Some(x) => row.push(x),
+                    None => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                ids.push(id);
+                rows.push(row);
+            }
+        }
+        if rows.is_empty() {
+            return Err(MetricsError::NoData {
+                detail: "no run reported every requested column".into(),
+            });
+        }
+        Ok((ids, rows))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(run: &str, step: FlowStep, metrics: &[(&str, f64)]) -> StepRecord {
+        let mut r = StepRecord::new(step, run);
+        for (n, v) in metrics {
+            r.push(n, *v);
+        }
+        r
+    }
+
+    #[test]
+    fn transmit_ingest_query() {
+        let (server, tx) = MetricsServer::new();
+        tx.send(rec("r1", FlowStep::Place, &[("hpwl_um", 100.0)]));
+        tx.send(rec("r1", FlowStep::Signoff, &[("wns_ps", -5.0)]));
+        tx.send(rec("r2", FlowStep::Place, &[("hpwl_um", 90.0)]));
+        assert_eq!(server.ingest(), 3);
+        assert_eq!(server.len(), 3);
+        let r1 = server.records_for_run("r1");
+        assert_eq!(r1.len(), 2);
+        assert!(r1[0].seq < r1[1].seq);
+        let hpwl = server.metric_across_runs(FlowStep::Place, "hpwl_um");
+        assert_eq!(hpwl.len(), 2);
+        assert_eq!(hpwl[0].1, 100.0);
+    }
+
+    #[test]
+    fn concurrent_transmitters_are_all_collected() {
+        let (server, tx) = MetricsServer::new();
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let txc = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50 {
+                    txc.send(rec(
+                        &format!("run_{t}_{i}"),
+                        FlowStep::Route,
+                        &[("drvs", f64::from(i))],
+                    ));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.ingest(), 200);
+        assert_eq!(server.rejected(), 0);
+    }
+
+    #[test]
+    fn run_matrix_aligns_complete_runs() {
+        let (server, tx) = MetricsServer::new();
+        for (run, hpwl, wns) in [("a", 10.0, 1.0), ("b", 20.0, -2.0)] {
+            tx.send(rec(run, FlowStep::Place, &[("hpwl_um", hpwl)]));
+            tx.send(rec(run, FlowStep::Signoff, &[("wns_ps", wns)]));
+        }
+        // An incomplete run: missing signoff.
+        tx.send(rec("c", FlowStep::Place, &[("hpwl_um", 30.0)]));
+        server.ingest();
+        let (ids, rows) = server
+            .run_matrix(&[(FlowStep::Place, "hpwl_um"), (FlowStep::Signoff, "wns_ps")])
+            .unwrap();
+        assert_eq!(ids, vec!["a".to_owned(), "b".to_owned()]);
+        assert_eq!(rows, vec![vec![10.0, 1.0], vec![20.0, -2.0]]);
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_store() {
+        let (server, tx) = MetricsServer::new();
+        tx.send(rec("r1", FlowStep::Place, &[("hpwl_um", 100.0)]));
+        tx.send(rec("r2", FlowStep::Signoff, &[("wns_ps", -5.0)]));
+        server.ingest();
+        let json = server.export_json();
+        let (restored, _tx2) = MetricsServer::new();
+        assert_eq!(restored.import_json(&json).unwrap(), 2);
+        assert_eq!(restored.len(), 2);
+        assert_eq!(
+            restored.metric_across_runs(FlowStep::Place, "hpwl_um"),
+            server.metric_across_runs(FlowStep::Place, "hpwl_um")
+        );
+        assert!(restored.import_json("not json").is_err());
+    }
+
+    #[test]
+    fn empty_matrix_is_an_error() {
+        let (server, _tx) = MetricsServer::new();
+        assert!(server
+            .run_matrix(&[(FlowStep::Place, "hpwl_um")])
+            .is_err());
+        assert!(server.is_empty());
+    }
+}

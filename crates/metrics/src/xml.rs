@@ -1,0 +1,177 @@
+//! XML encoding of metric records.
+//!
+//! "During collection, the data are encoded into XML format and
+//! transferred from transmitters to the web server." We implement the
+//! same wire shape with a small, dependency-free codec:
+//!
+//! ```xml
+//! <record run="pulpino_01" step="place" seq="12">
+//!   <metric name="hpwl_um" value="12345.6"/>
+//! </record>
+//! ```
+
+use serde::{Deserialize, Serialize};
+use crate::MetricsError;
+use ideaflow_flow::record::{FlowStep, StepRecord};
+
+/// A transmitted record: a flow step record plus a logical sequence number
+/// (the workspace has no wall clock by policy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricRecord {
+    /// Logical sequence number assigned by the transmitter.
+    pub seq: u64,
+    /// The underlying step record.
+    pub record: StepRecord,
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn unescape(s: &str) -> String {
+    s.replace("&quot;", "\"")
+        .replace("&gt;", ">")
+        .replace("&lt;", "<")
+        .replace("&amp;", "&")
+}
+
+/// Encodes a record to its XML wire form.
+#[must_use]
+pub fn encode(record: &MetricRecord) -> String {
+    let mut out = format!(
+        "<record run=\"{}\" step=\"{}\" seq=\"{}\">\n",
+        escape(&record.record.run_id),
+        record.record.step.name(),
+        record.seq
+    );
+    for (name, value) in &record.record.metrics {
+        out.push_str(&format!(
+            "  <metric name=\"{}\" value=\"{value}\"/>\n",
+            escape(name)
+        ));
+    }
+    out.push_str("</record>\n");
+    out
+}
+
+/// Extracts the value of `attr="..."` from a tag body.
+fn attr(tag: &str, name: &str) -> Result<String, MetricsError> {
+    let pat = format!("{name}=\"");
+    let start = tag.find(&pat).ok_or_else(|| MetricsError::ParseXml {
+        detail: format!("missing attribute `{name}` in `{tag}`"),
+    })? + pat.len();
+    let end = tag[start..].find('"').ok_or_else(|| MetricsError::ParseXml {
+        detail: format!("unterminated attribute `{name}`"),
+    })? + start;
+    Ok(unescape(&tag[start..end]))
+}
+
+fn step_from_name(name: &str) -> Result<FlowStep, MetricsError> {
+    FlowStep::ORDER
+        .into_iter()
+        .find(|s| s.name() == name)
+        .ok_or_else(|| MetricsError::ParseXml {
+            detail: format!("unknown step `{name}`"),
+        })
+}
+
+/// Decodes one record from its XML wire form.
+///
+/// # Errors
+///
+/// Returns [`MetricsError::ParseXml`] on any malformation.
+pub fn decode(xml: &str) -> Result<MetricRecord, MetricsError> {
+    let mut lines = xml.lines().map(str::trim).filter(|l| !l.is_empty());
+    let head = lines.next().ok_or_else(|| MetricsError::ParseXml {
+        detail: "empty document".into(),
+    })?;
+    if !head.starts_with("<record ") {
+        return Err(MetricsError::ParseXml {
+            detail: format!("expected <record ...>, got `{head}`"),
+        });
+    }
+    let run_id = attr(head, "run")?;
+    let step = step_from_name(&attr(head, "step")?)?;
+    let seq: u64 = attr(head, "seq")?
+        .parse()
+        .map_err(|e| MetricsError::ParseXml {
+            detail: format!("bad seq: {e}"),
+        })?;
+    let mut record = StepRecord::new(step, &run_id);
+    for line in lines {
+        if line == "</record>" {
+            return Ok(MetricRecord { seq, record });
+        }
+        if !line.starts_with("<metric ") {
+            return Err(MetricsError::ParseXml {
+                detail: format!("expected <metric .../>, got `{line}`"),
+            });
+        }
+        let name = attr(line, "name")?;
+        let value: f64 = attr(line, "value")?
+            .parse()
+            .map_err(|e| MetricsError::ParseXml {
+                detail: format!("bad value for `{name}`: {e}"),
+            })?;
+        record.push(&name, value);
+    }
+    Err(MetricsError::ParseXml {
+        detail: "missing </record> terminator".into(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricRecord {
+        let mut r = StepRecord::new(FlowStep::Route, "cpu_0001_s3");
+        r.push("drv_final", 184.0);
+        r.push("overflow", 2.5);
+        r.push("odd \"name\" <&>", -1.0);
+        MetricRecord { seq: 42, record: r }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let rec = sample();
+        let xml = encode(&rec);
+        let back = decode(&xml).unwrap();
+        assert_eq!(rec, back);
+    }
+
+    #[test]
+    fn escaping_is_applied() {
+        let xml = encode(&sample());
+        assert!(xml.contains("&quot;name&quot;"));
+        assert!(xml.contains("&lt;&amp;&gt;"));
+        assert!(!xml.contains("\"name\" <&>"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        assert!(decode("").is_err());
+        assert!(decode("<nope/>").is_err());
+        assert!(decode("<record run=\"a\" step=\"place\" seq=\"1\">\n").is_err());
+        assert!(decode("<record run=\"a\" step=\"nostep\" seq=\"1\">\n</record>").is_err());
+        assert!(
+            decode("<record run=\"a\" step=\"place\" seq=\"x\">\n</record>").is_err()
+        );
+        assert!(decode(
+            "<record run=\"a\" step=\"place\" seq=\"1\">\n<metric name=\"m\" value=\"zz\"/>\n</record>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_metrics_are_fine() {
+        let rec = MetricRecord {
+            seq: 0,
+            record: StepRecord::new(FlowStep::Synthesis, "r"),
+        };
+        assert_eq!(decode(&encode(&rec)).unwrap(), rec);
+    }
+}

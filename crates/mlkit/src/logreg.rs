@@ -1,0 +1,208 @@
+//! Binary logistic regression trained by batch gradient descent.
+//!
+//! Used for doomed-run classification baselines in `mdp` (a flat classifier
+//! over (DRV, ΔDRV) features to compare against the MDP strategy card).
+
+use crate::MlError;
+
+/// Numerically-stable logistic sigmoid.
+#[must_use]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Training hyper-parameters for [`LogisticRegression::fit`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LogisticConfig {
+    /// Gradient-descent learning rate.
+    pub learning_rate: f64,
+    /// Number of full-batch epochs.
+    pub epochs: usize,
+    /// L2 penalty on weights (not the intercept).
+    pub l2: f64,
+}
+
+impl Default for LogisticConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.1,
+            epochs: 500,
+            l2: 1e-4,
+        }
+    }
+}
+
+/// A fitted binary logistic model `P(y=1|x) = sigmoid(w.x + b)`.
+///
+/// # Example
+///
+/// ```
+/// use ideaflow_mlkit::logreg::{LogisticConfig, LogisticRegression};
+///
+/// # fn main() -> Result<(), ideaflow_mlkit::MlError> {
+/// let xs = vec![vec![-2.0], vec![-1.5], vec![1.5], vec![2.0]];
+/// let ys = vec![false, false, true, true];
+/// let m = LogisticRegression::fit(&xs, &ys, LogisticConfig::default())?;
+/// assert!(m.predict_proba(&[2.5]) > 0.8);
+/// assert!(m.predict_proba(&[-2.5]) < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    intercept: f64,
+}
+
+impl LogisticRegression {
+    /// Fits by full-batch gradient descent on the regularized log loss.
+    ///
+    /// # Errors
+    ///
+    /// - [`MlError::DimensionMismatch`] on shape problems or empty data.
+    /// - [`MlError::DegenerateData`] if only one class is present.
+    /// - [`MlError::InvalidParameter`] on non-positive learning rate.
+    pub fn fit(xs: &[Vec<f64>], ys: &[bool], cfg: LogisticConfig) -> Result<Self, MlError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(MlError::DimensionMismatch {
+                detail: format!("{} rows vs {} labels", xs.len(), ys.len()),
+            });
+        }
+        if cfg.learning_rate <= 0.0 {
+            return Err(MlError::InvalidParameter {
+                name: "learning_rate",
+                detail: "must be positive".into(),
+            });
+        }
+        let pos = ys.iter().filter(|&&y| y).count();
+        if pos == 0 || pos == ys.len() {
+            return Err(MlError::DegenerateData {
+                detail: "logistic regression needs both classes present".into(),
+            });
+        }
+        let d = xs[0].len();
+        let n = xs.len() as f64;
+        let mut w = vec![0.0f64; d];
+        let mut b = 0.0f64;
+        for _ in 0..cfg.epochs {
+            let mut gw = vec![0.0f64; d];
+            let mut gb = 0.0f64;
+            for (x, &y) in xs.iter().zip(ys) {
+                let z = b + w.iter().zip(x).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let err = sigmoid(z) - f64::from(u8::from(y));
+                for (g, xi) in gw.iter_mut().zip(x) {
+                    *g += err * xi;
+                }
+                gb += err;
+            }
+            for (wi, g) in w.iter_mut().zip(&gw) {
+                *wi -= cfg.learning_rate * (g / n + cfg.l2 * *wi);
+            }
+            b -= cfg.learning_rate * gb / n;
+        }
+        Ok(Self {
+            weights: w,
+            intercept: b,
+        })
+    }
+
+    /// Probability that `x` belongs to the positive class.
+    #[must_use]
+    pub fn predict_proba(&self, x: &[f64]) -> f64 {
+        let z = self.intercept
+            + self
+                .weights
+                .iter()
+                .zip(x)
+                .map(|(w, v)| w * v)
+                .sum::<f64>();
+        sigmoid(z)
+    }
+
+    /// Hard classification at threshold 0.5.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> bool {
+        self.predict_proba(x) >= 0.5
+    }
+
+    /// Fitted weights.
+    #[must_use]
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    #[must_use]
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basics() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(50.0) > 0.999);
+        assert!(sigmoid(-50.0) < 0.001);
+        // Stability at extremes.
+        assert!(sigmoid(1000.0).is_finite());
+        assert!(sigmoid(-1000.0).is_finite());
+    }
+
+    #[test]
+    fn learns_linearly_separable_2d() {
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..20 {
+            let t = f64::from(i) / 4.0;
+            xs.push(vec![t, -1.0 - t]);
+            ys.push(false);
+            xs.push(vec![t, 1.0 + t]);
+            ys.push(true);
+        }
+        let m = LogisticRegression::fit(&xs, &ys, LogisticConfig::default()).unwrap();
+        let correct = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| m.predict(x) == y)
+            .count();
+        assert_eq!(correct, xs.len());
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let err = LogisticRegression::fit(
+            &[vec![0.0], vec![1.0]],
+            &[true, true],
+            LogisticConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, MlError::DegenerateData { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_learning_rate() {
+        let cfg = LogisticConfig {
+            learning_rate: 0.0,
+            ..LogisticConfig::default()
+        };
+        assert!(LogisticRegression::fit(&[vec![0.0], vec![1.0]], &[false, true], cfg).is_err());
+    }
+
+    #[test]
+    fn probability_monotone_in_feature() {
+        let xs: Vec<Vec<f64>> = (-10..=10).map(|i| vec![f64::from(i)]).collect();
+        let ys: Vec<bool> = (-10..=10).map(|i| i > 0).collect();
+        let m = LogisticRegression::fit(&xs, &ys, LogisticConfig::default()).unwrap();
+        assert!(m.predict_proba(&[3.0]) > m.predict_proba(&[1.0]));
+        assert!(m.predict_proba(&[1.0]) > m.predict_proba(&[-1.0]));
+    }
+}

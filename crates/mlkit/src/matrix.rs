@@ -1,0 +1,390 @@
+//! Dense row-major matrices and the linear solvers used by the regression
+//! models in this crate.
+//!
+//! This is intentionally a minimal linear-algebra layer: the paper's ML
+//! applications never need more than solving small normal-equation systems.
+
+use crate::MlError;
+
+/// A dense, row-major `f64` matrix.
+///
+/// # Example
+///
+/// ```
+/// use ideaflow_mlkit::matrix::Matrix;
+///
+/// # fn main() -> Result<(), ideaflow_mlkit::MlError> {
+/// let a = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 4.0]])?;
+/// let x = a.solve(&[2.0, 8.0])?;
+/// assert_eq!(x, vec![1.0, 2.0]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows x cols` matrix of zeros.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n x n` identity matrix.
+    #[must_use]
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if rows are ragged or empty.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Result<Self, MlError> {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, Vec::len);
+        if nrows == 0 || ncols == 0 {
+            return Err(MlError::DimensionMismatch {
+                detail: "matrix must have at least one row and one column".into(),
+            });
+        }
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for r in rows {
+            if r.len() != ncols {
+                return Err(MlError::DimensionMismatch {
+                    detail: format!("ragged row: expected {ncols}, found {}", r.len()),
+                });
+            }
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: nrows,
+            cols: ncols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the transpose of `self`.
+    #[must_use]
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t[(j, i)] = self[(i, j)];
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, MlError> {
+        if self.cols != rhs.rows {
+            return Err(MlError::DimensionMismatch {
+                detail: format!(
+                    "cannot multiply {}x{} by {}x{}",
+                    self.rows, self.cols, rhs.rows, rhs.cols
+                ),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] += a * rhs[(k, j)];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix-vector product `self * v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::DimensionMismatch`] if `v.len() != self.cols()`.
+    pub fn matvec(&self, v: &[f64]) -> Result<Vec<f64>, MlError> {
+        if v.len() != self.cols {
+            return Err(MlError::DimensionMismatch {
+                detail: format!("matvec: {} columns vs vector of {}", self.cols, v.len()),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self[(i, j)] * v[j]).sum())
+            .collect())
+    }
+
+    /// Adds `lambda` to each diagonal entry in place (ridge regularization).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self[(i, i)] += lambda;
+        }
+    }
+
+    /// Solves `self * x = b` for square `self` by Gaussian elimination with
+    /// partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// - [`MlError::DimensionMismatch`] if `self` is not square or `b` has
+    ///   the wrong length.
+    /// - [`MlError::SingularSystem`] if a pivot underflows.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MlError> {
+        if self.rows != self.cols {
+            return Err(MlError::DimensionMismatch {
+                detail: format!("solve requires square matrix, got {}x{}", self.rows, self.cols),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(MlError::DimensionMismatch {
+                detail: format!("rhs has {} entries for {} rows", b.len(), self.rows),
+            });
+        }
+        let n = self.rows;
+        let mut a = self.data.clone();
+        let mut x = b.to_vec();
+        for col in 0..n {
+            // Partial pivot.
+            let mut piv = col;
+            let mut best = a[col * n + col].abs();
+            for r in (col + 1)..n {
+                let v = a[r * n + col].abs();
+                if v > best {
+                    best = v;
+                    piv = r;
+                }
+            }
+            if best < 1e-12 {
+                return Err(MlError::SingularSystem);
+            }
+            if piv != col {
+                for j in 0..n {
+                    a.swap(col * n + j, piv * n + j);
+                }
+                x.swap(col, piv);
+            }
+            let d = a[col * n + col];
+            for r in (col + 1)..n {
+                let f = a[r * n + col] / d;
+                if f == 0.0 {
+                    continue;
+                }
+                for j in col..n {
+                    a[r * n + j] -= f * a[col * n + j];
+                }
+                x[r] -= f * x[col];
+            }
+        }
+        // Back substitution.
+        for col in (0..n).rev() {
+            let mut s = x[col];
+            for j in (col + 1)..n {
+                s -= a[col * n + j] * x[j];
+            }
+            x[col] = s / a[col * n + col];
+        }
+        Ok(x)
+    }
+
+    /// Solves `self * x = b` for a symmetric positive-definite `self` by
+    /// Cholesky decomposition. Roughly twice as fast as [`Matrix::solve`]
+    /// and numerically preferable for normal equations.
+    ///
+    /// # Errors
+    ///
+    /// - [`MlError::DimensionMismatch`] on shape mismatch.
+    /// - [`MlError::SingularSystem`] if the matrix is not positive definite.
+    pub fn solve_spd(&self, b: &[f64]) -> Result<Vec<f64>, MlError> {
+        if self.rows != self.cols {
+            return Err(MlError::DimensionMismatch {
+                detail: format!(
+                    "solve_spd requires square matrix, got {}x{}",
+                    self.rows, self.cols
+                ),
+            });
+        }
+        if b.len() != self.rows {
+            return Err(MlError::DimensionMismatch {
+                detail: format!("rhs has {} entries for {} rows", b.len(), self.rows),
+            });
+        }
+        let n = self.rows;
+        // Lower-triangular factor L with self = L L^T.
+        let mut l = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = self[(i, j)];
+                for k in 0..j {
+                    s -= l[i * n + k] * l[j * n + k];
+                }
+                if i == j {
+                    if s <= 1e-14 {
+                        return Err(MlError::SingularSystem);
+                    }
+                    l[i * n + j] = s.sqrt();
+                } else {
+                    l[i * n + j] = s / l[j * n + j];
+                }
+            }
+        }
+        // Forward solve L y = b.
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut s = b[i];
+            for k in 0..i {
+                s -= l[i * n + k] * y[k];
+            }
+            y[i] = s / l[i * n + i];
+        }
+        // Back solve L^T x = y.
+        let mut x = vec![0.0f64; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for k in (i + 1)..n {
+                s -= l[k * n + i] * x[k];
+            }
+            x[i] = s / l[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_solves_trivially() {
+        let id = Matrix::identity(3);
+        let x = id.solve(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_matches_known_system() {
+        // [2 1; 1 3] x = [5; 10] -> x = [1, 3]
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = a.solve(&[5.0, 10.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_spd_matches_solve() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 5.0],
+        ])
+        .unwrap();
+        let b = [1.0, 2.0, 3.0];
+        let x1 = a.solve(&b).unwrap();
+        let x2 = a.solve_spd(&b).unwrap();
+        for (u, v) in x1.iter().zip(&x2) {
+            assert!((u - v).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn solve_detects_singularity() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert_eq!(a.solve(&[1.0, 2.0]).unwrap_err(), MlError::SingularSystem);
+    }
+
+    #[test]
+    fn solve_spd_rejects_indefinite() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        assert_eq!(
+            a.solve_spd(&[1.0, 1.0]).unwrap_err(),
+            MlError::SingularSystem
+        );
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_entry() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = a.solve(&[2.0, 3.0]).unwrap();
+        assert!((x[0] - 3.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matmul_and_transpose() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let at = a.transpose();
+        let p = at.matmul(&a).unwrap();
+        // A^T A = [10 14; 14 20]
+        assert_eq!(p[(0, 0)], 10.0);
+        assert_eq!(p[(0, 1)], 14.0);
+        assert_eq!(p[(1, 0)], 14.0);
+        assert_eq!(p[(1, 1)], 20.0);
+    }
+
+    #[test]
+    fn matvec_checks_dimensions() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]).unwrap();
+        assert!(a.matvec(&[1.0]).is_err());
+        assert_eq!(a.matvec(&[1.0, 1.0]).unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn from_rows_rejects_empty() {
+        assert!(Matrix::from_rows(&[]).is_err());
+    }
+
+    #[test]
+    fn add_diagonal_is_ridge() {
+        let mut a = Matrix::zeros(2, 2);
+        a.add_diagonal(0.5);
+        assert_eq!(a[(0, 0)], 0.5);
+        assert_eq!(a[(1, 1)], 0.5);
+        assert_eq!(a[(0, 1)], 0.0);
+    }
+}

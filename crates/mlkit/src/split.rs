@@ -1,0 +1,188 @@
+//! Deterministic train/test splitting and k-fold cross validation.
+//!
+//! All randomness is driven by a caller-supplied seed (the workspace policy:
+//! no global RNG, no wall clock), using a small splitmix64 shuffler so this
+//! module needs no external dependency.
+
+use crate::{Dataset, MlError};
+
+/// A deterministic splitmix64 stream used for shuffling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..n` (n > 0) via rejection-free modulo (bias is
+    /// negligible for the small n used here).
+    fn index(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// Fisher–Yates shuffle of `0..n` driven by `seed`.
+#[must_use]
+pub fn shuffled_indices(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = SplitMix64(seed);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = rng.index(i + 1);
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Splits a dataset into `(train, test)` with `test_fraction` of samples in
+/// the test set, shuffled deterministically by `seed`.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] unless `0 < test_fraction < 1`, or
+/// [`MlError::DegenerateData`] if either side would be empty.
+pub fn train_test_split(
+    data: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), MlError> {
+    if !(test_fraction > 0.0 && test_fraction < 1.0) {
+        return Err(MlError::InvalidParameter {
+            name: "test_fraction",
+            detail: format!("must be in (0,1), got {test_fraction}"),
+        });
+    }
+    let n = data.len();
+    let n_test = ((n as f64) * test_fraction).round() as usize;
+    if n_test == 0 || n_test == n {
+        return Err(MlError::DegenerateData {
+            detail: format!("split of {n} samples at {test_fraction} leaves an empty side"),
+        });
+    }
+    let idx = shuffled_indices(n, seed);
+    let (test_idx, train_idx) = idx.split_at(n_test);
+    let take = |ids: &[usize]| Dataset {
+        xs: ids.iter().map(|&i| data.xs[i].clone()).collect(),
+        ys: ids.iter().map(|&i| data.ys[i]).collect(),
+    };
+    Ok((take(train_idx), take(test_idx)))
+}
+
+/// Yields `k` (train, validation) folds for cross validation.
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] if `k < 2` or `k > data.len()`.
+pub fn k_fold(data: &Dataset, k: usize, seed: u64) -> Result<Vec<(Dataset, Dataset)>, MlError> {
+    if k < 2 || k > data.len() {
+        return Err(MlError::InvalidParameter {
+            name: "k",
+            detail: format!("must be in 2..={}, got {k}", data.len()),
+        });
+    }
+    let idx = shuffled_indices(data.len(), seed);
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let val_ids: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| pos % k == f)
+            .map(|(_, &i)| i)
+            .collect();
+        let train_ids: Vec<usize> = idx
+            .iter()
+            .enumerate()
+            .filter(|(pos, _)| pos % k != f)
+            .map(|(_, &i)| i)
+            .collect();
+        let take = |ids: &[usize]| Dataset {
+            xs: ids.iter().map(|&i| data.xs[i].clone()).collect(),
+            ys: ids.iter().map(|&i| data.ys[i]).collect(),
+        };
+        folds.push((take(&train_ids), take(&val_ids)));
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy(n: usize) -> Dataset {
+        Dataset::new(
+            (0..n).map(|i| vec![i as f64]).collect(),
+            (0..n).map(|i| i as f64).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let d = toy(100);
+        let (train, test) = train_test_split(&d, 0.25, 42).unwrap();
+        assert_eq!(test.len(), 25);
+        assert_eq!(train.len(), 75);
+        let mut all: Vec<i64> = train
+            .ys
+            .iter()
+            .chain(test.ys.iter())
+            .map(|&y| y as i64)
+            .collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let d = toy(50);
+        let (a, _) = train_test_split(&d, 0.2, 7).unwrap();
+        let (b, _) = train_test_split(&d, 0.2, 7).unwrap();
+        let (c, _) = train_test_split(&d, 0.2, 8).unwrap();
+        assert_eq!(a.ys, b.ys);
+        assert_ne!(a.ys, c.ys);
+    }
+
+    #[test]
+    fn split_rejects_bad_fraction() {
+        let d = toy(10);
+        assert!(train_test_split(&d, 0.0, 0).is_err());
+        assert!(train_test_split(&d, 1.0, 0).is_err());
+        assert!(train_test_split(&d, 0.01, 0).is_err()); // rounds to empty test
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let d = toy(30);
+        let folds = k_fold(&d, 5, 3).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen: Vec<i64> = folds
+            .iter()
+            .flat_map(|(_, val)| val.ys.iter().map(|&y| y as i64))
+            .collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..30).collect::<Vec<i64>>());
+        for (train, val) in &folds {
+            assert_eq!(train.len() + val.len(), 30);
+        }
+    }
+
+    #[test]
+    fn k_fold_rejects_bad_k() {
+        let d = toy(5);
+        assert!(k_fold(&d, 1, 0).is_err());
+        assert!(k_fold(&d, 6, 0).is_err());
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let idx = shuffled_indices(1000, 9);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1000).collect::<Vec<usize>>());
+        assert_ne!(idx, (0..1000).collect::<Vec<usize>>());
+    }
+}

@@ -1,0 +1,292 @@
+//! Descriptive statistics, histograms and Gaussianity tests.
+//!
+//! Figure 3 (right) of the paper shows that SP&R tool noise "is essentially
+//! Gaussian" \[29\]\[15\]. The [`jarque_bera`] statistic and the moment helpers
+//! here are what the Fig 3 harness uses to verify that our simulated tool
+//! noise has the same property.
+
+/// Arithmetic mean. Returns 0.0 for an empty slice.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance (divides by `n`). Returns 0.0 for fewer than 2 items.
+#[must_use]
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+#[must_use]
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Sample skewness (third standardized moment). 0 for Gaussian data.
+#[must_use]
+pub fn skewness(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 3 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s < 1e-14 {
+        return 0.0;
+    }
+    xs.iter().map(|x| ((x - m) / s).powi(3)).sum::<f64>() / n as f64
+}
+
+/// Excess kurtosis (fourth standardized moment minus 3). 0 for Gaussian data.
+#[must_use]
+pub fn excess_kurtosis(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 4 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let s = std_dev(xs);
+    if s < 1e-14 {
+        return 0.0;
+    }
+    xs.iter().map(|x| ((x - m) / s).powi(4)).sum::<f64>() / n as f64 - 3.0
+}
+
+/// Jarque–Bera statistic `n/6 (S^2 + K^2/4)`.
+///
+/// Under the null hypothesis of normality the statistic is asymptotically
+/// chi-squared with 2 degrees of freedom; values below ~5.99 fail to reject
+/// normality at the 5% level.
+#[must_use]
+pub fn jarque_bera(xs: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let s = skewness(xs);
+    let k = excess_kurtosis(xs);
+    n / 6.0 * (s * s + k * k / 4.0)
+}
+
+/// Pearson correlation coefficient. Returns 0.0 on degenerate input.
+#[must_use]
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return 0.0;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx < 1e-14 || syy < 1e-14 {
+        return 0.0;
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+/// The `q`-quantile (0..=1) by linear interpolation on the sorted data.
+/// Returns 0.0 for empty input.
+///
+/// # Panics
+///
+/// Panics if `q` is outside `\[0, 1\]` or any value is NaN.
+#[must_use]
+pub fn quantile(xs: &[f64], q: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1]");
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (v.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        v[lo]
+    } else {
+        let frac = pos - lo as f64;
+        v[lo] * (1.0 - frac) + v[hi] * frac
+    }
+}
+
+/// A fixed-width histogram over `[lo, hi)` with out-of-range values clamped
+/// to the edge bins.
+///
+/// # Example
+///
+/// ```
+/// use ideaflow_mlkit::stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for x in [1.0, 1.5, 7.2] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.counts()[0], 2);
+/// assert_eq!(h.total(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` equal-width bins over `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    #[must_use]
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+        }
+    }
+
+    /// Adds one observation (clamped into range).
+    pub fn add(&mut self, x: f64) {
+        let nbins = self.counts.len();
+        let t = ((x - self.lo) / (self.hi - self.lo) * nbins as f64).floor();
+        let idx = if t < 0.0 {
+            0
+        } else if t as usize >= nbins {
+            nbins - 1
+        } else {
+            t as usize
+        };
+        self.counts[idx] += 1;
+    }
+
+    /// Per-bin counts.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Center of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    #[must_use]
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + w * (i as f64 + 0.5)
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_of_known_data() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(skewness(&[]), 0.0);
+        assert_eq!(excess_kurtosis(&[]), 0.0);
+        assert_eq!(quantile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn symmetric_data_has_zero_skew() {
+        let xs = [-2.0, -1.0, 0.0, 1.0, 2.0];
+        assert!(skewness(&xs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_has_negative_excess_kurtosis() {
+        let xs: Vec<f64> = (0..1000).map(|i| f64::from(i) / 1000.0).collect();
+        // Continuous uniform excess kurtosis is -1.2.
+        assert!((excess_kurtosis(&xs) + 1.2).abs() < 0.05);
+    }
+
+    #[test]
+    fn jarque_bera_small_for_gaussian_like() {
+        // Deterministic pseudo-Gaussian via sum of 12 uniforms (Irwin-Hall).
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let xs: Vec<f64> = (0..2000)
+            .map(|_| (0..12).map(|_| next()).sum::<f64>() - 6.0)
+            .collect();
+        assert!(jarque_bera(&xs) < 6.0, "jb = {}", jarque_bera(&xs));
+    }
+
+    #[test]
+    fn jarque_bera_large_for_skewed() {
+        let xs: Vec<f64> = (0..2000).map(|i| (f64::from(i) / 100.0).exp() % 7.0).collect();
+        assert!(jarque_bera(&xs) > 6.0);
+    }
+
+    #[test]
+    fn pearson_detects_perfect_correlation() {
+        let xs: Vec<f64> = (0..50).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + 1.0).collect();
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((pearson(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamps() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        h.add(-5.0); // clamps to bin 0
+        h.add(0.5);
+        h.add(9.99);
+        h.add(50.0); // clamps to last bin
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.total(), 4);
+        assert!((h.bin_center(0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        let _ = Histogram::new(0.0, 1.0, 0);
+    }
+}

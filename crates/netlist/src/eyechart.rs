@@ -1,0 +1,262 @@
+//! Eyecharts: constructive benchmarks with known optimal solutions.
+//!
+//! Paper §3.3(iii) (and refs \[11\]\[23\]\[45\]) calls for "synthetic design
+//! proxies ('eye charts') that enable characterization of tools and flows".
+//! The classic instance is gate sizing on an inverter chain: for a chain of
+//! `n` stages driving a load `F` times the input capacitance, logical-effort
+//! theory gives the continuous optimum (equal stage effort `F^(1/n)`), and
+//! for a discrete drive set the optimum is computable exactly by dynamic
+//! programming. Heuristic sizers can then be scored against a known answer —
+//! exactly the "constructive benchmarking" of \[11\].
+
+use crate::cell::{CellKind, LibCell, VtFlavor};
+use crate::NetlistError;
+
+/// Available discrete drives, ascending.
+pub const DRIVES: [u8; 4] = [1, 2, 4, 8];
+
+/// An inverter-chain sizing eyechart.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Eyechart {
+    /// Number of inverter stages.
+    pub stages: usize,
+    /// Output load in unit input-capacitances of an X1 inverter.
+    pub load: f64,
+}
+
+/// A sizing solution: one drive per stage, with its evaluated delay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingSolution {
+    /// Drive strength chosen for each stage.
+    pub drives: Vec<u8>,
+    /// Total chain delay in picoseconds.
+    pub delay_ps: f64,
+    /// Total area in square microns.
+    pub area_um2: f64,
+}
+
+impl Eyechart {
+    /// Creates an eyechart.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::InvalidParameter`] if `stages == 0` or
+    /// `load <= 0`.
+    pub fn new(stages: usize, load: f64) -> Result<Self, NetlistError> {
+        if stages == 0 {
+            return Err(NetlistError::InvalidParameter {
+                name: "stages",
+                detail: "chain needs at least one stage".into(),
+            });
+        }
+        if load.is_nan() || load <= 0.0 {
+            return Err(NetlistError::InvalidParameter {
+                name: "load",
+                detail: format!("must be positive, got {load}"),
+            });
+        }
+        Ok(Self { stages, load })
+    }
+
+    /// Evaluates the chain delay and area for a drive assignment.
+    ///
+    /// Stage `i` drives stage `i+1`'s input capacitance; the last stage
+    /// drives `self.load`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drives.len() != self.stages` or a drive is invalid.
+    #[must_use]
+    pub fn evaluate(&self, drives: &[u8]) -> SizingSolution {
+        assert_eq!(drives.len(), self.stages, "one drive per stage required");
+        let cells: Vec<LibCell> = drives
+            .iter()
+            .map(|&d| LibCell::new(CellKind::Inv, d, VtFlavor::StdVt).expect("valid drive"))
+            .collect();
+        let mut delay = 0.0;
+        let mut area = 0.0;
+        for (i, c) in cells.iter().enumerate() {
+            let load = if i + 1 < cells.len() {
+                cells[i + 1].input_cap()
+            } else {
+                self.load
+            };
+            delay += c.delay_ps(load);
+            area += c.area_um2();
+        }
+        SizingSolution {
+            drives: drives.to_vec(),
+            delay_ps: delay,
+            area_um2: area,
+        }
+    }
+
+    /// The exact minimum-delay sizing over the discrete drive set, by
+    /// dynamic programming backwards over stages. This is the "known
+    /// optimal solution" the eyechart is constructed around.
+    #[must_use]
+    pub fn optimal(&self) -> SizingSolution {
+        // state: drive of current stage; value: min delay from this stage
+        // to the end, given the stage's drive.
+        let n = self.stages;
+        // best[i][d] = (delay from stage i..end when stage i has drive d,
+        //               index of best next drive)
+        let mut best = vec![[(f64::INFINITY, 0usize); DRIVES.len()]; n];
+        for (di, &d) in DRIVES.iter().enumerate() {
+            let c = LibCell::new(CellKind::Inv, d, VtFlavor::StdVt).expect("valid drive");
+            best[n - 1][di] = (c.delay_ps(self.load), 0);
+        }
+        for i in (0..n - 1).rev() {
+            for (di, &d) in DRIVES.iter().enumerate() {
+                let c = LibCell::new(CellKind::Inv, d, VtFlavor::StdVt).expect("valid drive");
+                let mut bd = f64::INFINITY;
+                let mut barg = 0usize;
+                for (nj, &nd) in DRIVES.iter().enumerate() {
+                    let next =
+                        LibCell::new(CellKind::Inv, nd, VtFlavor::StdVt).expect("valid drive");
+                    let v = c.delay_ps(next.input_cap()) + best[i + 1][nj].0;
+                    if v < bd {
+                        bd = v;
+                        barg = nj;
+                    }
+                }
+                best[i][di] = (bd, barg);
+            }
+        }
+        // First stage: smallest total; trace forward.
+        let (mut di, _) = best[0]
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1 .0.partial_cmp(&b.1 .0).expect("finite delays"))
+            .map(|(i, v)| (i, v.0))
+            .expect("non-empty drive set");
+        let mut drives = Vec::with_capacity(n);
+        for row in &best {
+            drives.push(DRIVES[di]);
+            di = row[di].1;
+        }
+        self.evaluate(&drives)
+    }
+
+    /// The continuous logical-effort optimum delay (a lower bound for the
+    /// discrete problem): `n * tau * (p + g * F^(1/n))` with `g = p = 1`
+    /// for inverters. Because the discrete sizer may choose up to an X8
+    /// first stage, the binding electrical effort is `F = load / 8`.
+    #[must_use]
+    pub fn continuous_lower_bound_ps(&self) -> f64 {
+        const TAU_PS: f64 = 4.0;
+        let max_first_cap = f64::from(*DRIVES.last().expect("non-empty drive set"));
+        let f = self.load / max_first_cap;
+        let n = self.stages as f64;
+        n * TAU_PS * (1.0 + f.powf(1.0 / n))
+    }
+
+    /// Scores a heuristic's solution: ratio of its delay to the discrete
+    /// optimum (1.0 = optimal; the paper's eyechart suboptimality metric).
+    #[must_use]
+    pub fn suboptimality(&self, drives: &[u8]) -> f64 {
+        self.evaluate(drives).delay_ps / self.optimal().delay_ps
+    }
+}
+
+/// A simple greedy sizer (the "heuristic under test"): sizes each stage to
+/// the geometric taper nearest the continuous optimum.
+#[must_use]
+pub fn greedy_taper_sizing(chart: &Eyechart) -> Vec<u8> {
+    let n = chart.stages;
+    let taper = chart.load.powf(1.0 / n as f64);
+    // Ideal continuous size of stage i is taper^i (stage 0 is X1-normalized);
+    // snap to the nearest available drive.
+    (0..n)
+        .map(|i| {
+            let ideal = taper.powi(i as i32 + 1) / taper; // taper^i
+            let mut best = DRIVES[0];
+            let mut err = f64::INFINITY;
+            for &d in &DRIVES {
+                let e = (f64::from(d) - ideal).abs();
+                if e < err {
+                    err = e;
+                    best = d;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimal_beats_all_uniform_assignments() {
+        let chart = Eyechart::new(4, 64.0).unwrap();
+        let opt = chart.optimal();
+        for &d in &DRIVES {
+            let uni = chart.evaluate(&[d; 4]);
+            assert!(
+                opt.delay_ps <= uni.delay_ps + 1e-9,
+                "optimal {} vs uniform X{d} {}",
+                opt.delay_ps,
+                uni.delay_ps
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_is_exhaustively_optimal_on_small_chain() {
+        let chart = Eyechart::new(3, 32.0).unwrap();
+        let opt = chart.optimal();
+        let mut best = f64::INFINITY;
+        for &a in &DRIVES {
+            for &b in &DRIVES {
+                for &c in &DRIVES {
+                    best = best.min(chart.evaluate(&[a, b, c]).delay_ps);
+                }
+            }
+        }
+        assert!((opt.delay_ps - best).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optimal_respects_continuous_lower_bound() {
+        for stages in 1..6 {
+            let chart = Eyechart::new(stages, 100.0).unwrap();
+            assert!(chart.optimal().delay_ps >= chart.continuous_lower_bound_ps() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn ascending_drives_for_big_load() {
+        // Driving a huge load, the optimum tapers sizes upward.
+        let chart = Eyechart::new(3, 200.0).unwrap();
+        let opt = chart.optimal();
+        assert!(opt.drives.windows(2).all(|w| w[0] <= w[1]), "{:?}", opt.drives);
+        assert_eq!(*opt.drives.last().unwrap(), 8);
+    }
+
+    #[test]
+    fn greedy_is_near_optimal() {
+        let chart = Eyechart::new(5, 64.0).unwrap();
+        let g = greedy_taper_sizing(&chart);
+        let sub = chart.suboptimality(&g);
+        assert!(sub < 1.25, "greedy suboptimality {sub}");
+        assert!(sub >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn rejects_degenerate_charts() {
+        assert!(Eyechart::new(0, 4.0).is_err());
+        assert!(Eyechart::new(3, 0.0).is_err());
+        assert!(Eyechart::new(3, -1.0).is_err());
+    }
+
+    #[test]
+    fn evaluate_accumulates_area() {
+        let chart = Eyechart::new(2, 8.0).unwrap();
+        let s = chart.evaluate(&[1, 8]);
+        let a1 = LibCell::new(CellKind::Inv, 1, VtFlavor::StdVt).unwrap().area_um2();
+        let a8 = LibCell::new(CellKind::Inv, 8, VtFlavor::StdVt).unwrap().area_um2();
+        assert!((s.area_um2 - (a1 + a8)).abs() < 1e-12);
+    }
+}

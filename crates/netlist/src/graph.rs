@@ -1,0 +1,444 @@
+//! The gate-level netlist graph.
+//!
+//! A [`Netlist`] is a set of [`Instance`]s connected by single-driver
+//! [`Net`]s, plus primary inputs and outputs. Sequential elements (DFFs) cut
+//! the combinational graph: a DFF's D pin is a timing endpoint and its Q pin
+//! a timing startpoint, so [`Netlist::topo_order`] is well-defined whenever
+//! the *combinational* subgraph is acyclic.
+
+use crate::cell::LibCell;
+#[cfg(test)]
+use crate::cell::CellKind;
+use crate::NetlistError;
+
+/// Index of a net within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Index of an instance within a [`Netlist`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstId(pub u32);
+
+/// What drives a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Driver {
+    /// Driven by the `i`-th primary input.
+    PrimaryInput(u32),
+    /// Driven by an instance's output pin.
+    Instance(InstId),
+}
+
+/// One placed-or-unplaced standard-cell instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// The library cell implementing this instance.
+    pub cell: LibCell,
+    /// Input nets, in pin order; length must equal `cell.kind.input_count()`.
+    pub inputs: Vec<NetId>,
+    /// The net driven by this instance's output.
+    pub output: NetId,
+}
+
+/// A signal net: one driver, any number of sinks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// The unique driver.
+    pub driver: Driver,
+    /// Instance input pins this net fans out to (an instance may appear
+    /// multiple times if several of its pins connect).
+    pub sinks: Vec<InstId>,
+    /// Whether this net is also a primary output.
+    pub is_primary_output: bool,
+}
+
+/// A validated gate-level netlist.
+///
+/// Use [`NetlistBuilder`] to construct one; the builder's
+/// [`finish`](NetlistBuilder::finish) validates single-driver nets, pin
+/// arity, and combinational acyclicity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    instances: Vec<Instance>,
+    nets: Vec<Net>,
+    primary_input_count: u32,
+    topo: Vec<InstId>,
+}
+
+impl Netlist {
+    /// The netlist's name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All instances.
+    #[must_use]
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// All nets.
+    #[must_use]
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// One instance by id.
+    #[must_use]
+    pub fn instance(&self, id: InstId) -> &Instance {
+        &self.instances[id.0 as usize]
+    }
+
+    /// Mutable access to one instance (used by sizing/VT-swap optimizers).
+    pub fn instance_mut(&mut self, id: InstId) -> &mut Instance {
+        &mut self.instances[id.0 as usize]
+    }
+
+    /// One net by id.
+    #[must_use]
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Number of primary inputs.
+    #[must_use]
+    pub fn primary_input_count(&self) -> usize {
+        self.primary_input_count as usize
+    }
+
+    /// Instance count.
+    #[must_use]
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Net count.
+    #[must_use]
+    pub fn net_count(&self) -> usize {
+        self.nets.len()
+    }
+
+    /// Ids of sequential (DFF) instances.
+    pub fn sequential_instances(&self) -> impl Iterator<Item = InstId> + '_ {
+        self.instances
+            .iter()
+            .enumerate()
+            .filter(|(_, inst)| inst.cell.kind.is_sequential())
+            .map(|(i, _)| InstId(i as u32))
+    }
+
+    /// Number of DFFs.
+    #[must_use]
+    pub fn flop_count(&self) -> usize {
+        self.sequential_instances().count()
+    }
+
+    /// Total cell area in square microns.
+    #[must_use]
+    pub fn total_area_um2(&self) -> f64 {
+        self.instances.iter().map(|i| i.cell.area_um2()).sum()
+    }
+
+    /// Total leakage in nanowatts.
+    #[must_use]
+    pub fn total_leakage_nw(&self) -> f64 {
+        self.instances.iter().map(|i| i.cell.leakage_nw()).sum()
+    }
+
+    /// A topological order of instances over combinational edges (DFF
+    /// outputs are treated as graph sources). Computed once at build time.
+    #[must_use]
+    pub fn topo_order(&self) -> &[InstId] {
+        &self.topo
+    }
+
+    /// Fanout (sink count) of each net.
+    #[must_use]
+    pub fn fanouts(&self) -> Vec<usize> {
+        self.nets.iter().map(|n| n.sinks.len()).collect()
+    }
+}
+
+/// Incremental builder for [`Netlist`].
+///
+/// # Example
+///
+/// ```
+/// use ideaflow_netlist::cell::{CellKind, LibCell};
+/// use ideaflow_netlist::graph::NetlistBuilder;
+///
+/// # fn main() -> Result<(), ideaflow_netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("tiny");
+/// let a = b.add_primary_input();
+/// let n1 = b.add_instance(LibCell::unit(CellKind::Inv), &[a])?;
+/// let n2 = b.add_instance(LibCell::unit(CellKind::Inv), &[n1])?;
+/// b.mark_primary_output(n2);
+/// let nl = b.finish()?;
+/// assert_eq!(nl.instance_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    instances: Vec<Instance>,
+    nets: Vec<Net>,
+    primary_input_count: u32,
+}
+
+impl NetlistBuilder {
+    /// Starts an empty netlist with the given name.
+    #[must_use]
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_owned(),
+            instances: Vec::new(),
+            nets: Vec::new(),
+            primary_input_count: 0,
+        }
+    }
+
+    /// Adds a primary input and returns the net it drives.
+    pub fn add_primary_input(&mut self) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            driver: Driver::PrimaryInput(self.primary_input_count),
+            sinks: Vec::new(),
+            is_primary_output: false,
+        });
+        self.primary_input_count += 1;
+        id
+    }
+
+    /// Adds an instance whose inputs are the given nets; returns the net
+    /// driven by the new instance's output.
+    ///
+    /// # Errors
+    ///
+    /// - [`NetlistError::InvalidParameter`] if the input count does not
+    ///   match the cell kind's arity.
+    /// - [`NetlistError::DanglingPin`] if an input net id is out of range.
+    pub fn add_instance(&mut self, cell: LibCell, inputs: &[NetId]) -> Result<NetId, NetlistError> {
+        if inputs.len() != cell.kind.input_count() {
+            return Err(NetlistError::InvalidParameter {
+                name: "inputs",
+                detail: format!(
+                    "{} takes {} inputs, got {}",
+                    cell.kind,
+                    cell.kind.input_count(),
+                    inputs.len()
+                ),
+            });
+        }
+        let inst_id = InstId(self.instances.len() as u32);
+        for &n in inputs {
+            if n.0 as usize >= self.nets.len() {
+                return Err(NetlistError::DanglingPin {
+                    instance: inst_id.0 as usize,
+                });
+            }
+            self.nets[n.0 as usize].sinks.push(inst_id);
+        }
+        let out = NetId(self.nets.len() as u32);
+        self.nets.push(Net {
+            driver: Driver::Instance(inst_id),
+            sinks: Vec::new(),
+            is_primary_output: false,
+        });
+        self.instances.push(Instance {
+            cell,
+            inputs: inputs.to_vec(),
+            output: out,
+        });
+        Ok(out)
+    }
+
+    /// Marks a net as a primary output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range.
+    pub fn mark_primary_output(&mut self, net: NetId) {
+        self.nets[net.0 as usize].is_primary_output = true;
+    }
+
+    /// Validates and freezes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::CombinationalCycle`] if the combinational
+    /// subgraph (edges through non-DFF instances) is cyclic.
+    pub fn finish(self) -> Result<Netlist, NetlistError> {
+        let topo = compute_topo(&self.instances, &self.nets)?;
+        Ok(Netlist {
+            name: self.name,
+            instances: self.instances,
+            nets: self.nets,
+            primary_input_count: self.primary_input_count,
+            topo,
+        })
+    }
+}
+
+/// Kahn's algorithm over combinational edges. DFFs have in-degree 0 (their
+/// D input does not create an ordering edge).
+fn compute_topo(instances: &[Instance], nets: &[Net]) -> Result<Vec<InstId>, NetlistError> {
+    let n = instances.len();
+    let mut indeg = vec![0usize; n];
+    for (i, inst) in instances.iter().enumerate() {
+        if inst.cell.kind.is_sequential() {
+            continue; // DFF: source in the combinational graph
+        }
+        for &input in &inst.inputs {
+            if let Driver::Instance(src) = nets[input.0 as usize].driver {
+                if !instances[src.0 as usize].cell.kind.is_sequential() {
+                    indeg[i] += 1;
+                } else {
+                    // edge from DFF output: DFF is a source, no constraint
+                }
+                let _ = src;
+            }
+        }
+    }
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut order = Vec::with_capacity(n);
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(InstId(u as u32));
+        let out = instances[u].output;
+        if instances[u].cell.kind.is_sequential() {
+            // Q output feeds combinational logic but those edges were not
+            // counted in indeg, so nothing to decrement — except they WERE
+            // skipped above, so sinks of a DFF got no in-degree from it.
+            continue;
+        }
+        for &sink in &nets[out.0 as usize].sinks {
+            let s = sink.0 as usize;
+            if instances[s].cell.kind.is_sequential() {
+                continue;
+            }
+            indeg[s] -= 1;
+            if indeg[s] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    if order.len() != n {
+        return Err(NetlistError::CombinationalCycle);
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::VtFlavor;
+
+    fn inv() -> LibCell {
+        LibCell::unit(CellKind::Inv)
+    }
+
+    #[test]
+    fn chain_topo_order_is_respected() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.add_primary_input();
+        let mut prev = a;
+        for _ in 0..10 {
+            prev = b.add_instance(inv(), &[prev]).unwrap();
+        }
+        b.mark_primary_output(prev);
+        let nl = b.finish().unwrap();
+        let order = nl.topo_order();
+        assert_eq!(order.len(), 10);
+        // In a chain the topological order must be 0,1,...,9.
+        let ids: Vec<u32> = order.iter().map(|i| i.0).collect();
+        assert_eq!(ids, (0..10).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn dff_breaks_cycles() {
+        // Feedback loop through a DFF: q -> inv -> dff(d) -> q is fine.
+        let mut b = NetlistBuilder::new("loop");
+        // DFF first with a temporary input we patch conceptually: build it
+        // as dff fed by the inverter, inverter fed by dff. The builder's
+        // append-only API can't express a cycle directly, so construct via
+        // two steps with the primary input seeding the loop.
+        let pi = b.add_primary_input();
+        let q = b.add_instance(LibCell::unit(CellKind::Dff), &[pi]).unwrap();
+        let inv_out = b.add_instance(inv(), &[q]).unwrap();
+        // Second DFF fed by the inverter; its output loops nowhere. This
+        // verifies DFFs are topological sources.
+        let q2 = b
+            .add_instance(LibCell::unit(CellKind::Dff), &[inv_out])
+            .unwrap();
+        b.mark_primary_output(q2);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.flop_count(), 2);
+        assert_eq!(nl.topo_order().len(), 3);
+    }
+
+    #[test]
+    fn arity_is_validated() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.add_primary_input();
+        let err = b
+            .add_instance(LibCell::unit(CellKind::Nand2), &[a])
+            .unwrap_err();
+        assert!(matches!(err, NetlistError::InvalidParameter { .. }));
+    }
+
+    #[test]
+    fn dangling_net_is_rejected() {
+        let mut b = NetlistBuilder::new("bad");
+        let err = b.add_instance(inv(), &[NetId(99)]).unwrap_err();
+        assert!(matches!(err, NetlistError::DanglingPin { .. }));
+    }
+
+    #[test]
+    fn area_and_leakage_aggregate() {
+        let mut b = NetlistBuilder::new("sum");
+        let a = b.add_primary_input();
+        let n1 = b.add_instance(inv(), &[a]).unwrap();
+        let _ = b
+            .add_instance(
+                LibCell::new(CellKind::Nand2, 2, VtFlavor::HighVt).unwrap(),
+                &[a, n1],
+            )
+            .unwrap();
+        let nl = b.finish().unwrap();
+        let expect = inv().area_um2()
+            + LibCell::new(CellKind::Nand2, 2, VtFlavor::HighVt)
+                .unwrap()
+                .area_um2();
+        assert!((nl.total_area_um2() - expect).abs() < 1e-12);
+        assert!(nl.total_leakage_nw() > 0.0);
+    }
+
+    #[test]
+    fn fanout_counts() {
+        let mut b = NetlistBuilder::new("fan");
+        let a = b.add_primary_input();
+        for _ in 0..5 {
+            let _ = b.add_instance(inv(), &[a]).unwrap();
+        }
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.net(NetId(0)).sinks.len(), 5);
+        assert_eq!(nl.fanouts()[0], 5);
+    }
+
+    #[test]
+    fn primary_io_bookkeeping() {
+        let mut b = NetlistBuilder::new("io");
+        let a = b.add_primary_input();
+        let bnet = b.add_primary_input();
+        let o = b.add_instance(LibCell::unit(CellKind::And2), &[a, bnet]).unwrap();
+        b.mark_primary_output(o);
+        let nl = b.finish().unwrap();
+        assert_eq!(nl.primary_input_count(), 2);
+        assert!(nl.net(o).is_primary_output);
+        assert_eq!(nl.net_count(), 3);
+    }
+}

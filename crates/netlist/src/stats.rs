@@ -1,0 +1,230 @@
+//! Structural attributes of design instances.
+//!
+//! Paper §3.3(i)–(ii): ML models need "identification of structural
+//! attributes of design instances that determine flow outcomes" and of
+//! "natural structure in designs (cf. \[44\], Rent-parameter evaluation) that
+//! will permit extreme partitioning". This module computes those
+//! attributes: Rent exponent via recursive bisection, fanout distribution,
+//! and logic depth — the feature vector consumed by the flow-outcome
+//! predictors in `ideaflow-core`.
+
+use crate::graph::{Driver, Netlist};
+use crate::partition::{recursive_bisection, BlockNode};
+use crate::NetlistError;
+
+/// Structural feature vector of a netlist, used as ML features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StructuralFeatures {
+    /// Instance count.
+    pub instances: usize,
+    /// Net count.
+    pub nets: usize,
+    /// Flop fraction.
+    pub flop_ratio: f64,
+    /// Mean net fanout.
+    pub mean_fanout: f64,
+    /// 95th-percentile net fanout.
+    pub p95_fanout: f64,
+    /// Maximum combinational depth (levels).
+    pub max_depth: usize,
+    /// Estimated Rent exponent.
+    pub rent_exponent: f64,
+}
+
+impl StructuralFeatures {
+    /// Flattens into an ML feature row (fixed order).
+    #[must_use]
+    pub fn to_row(&self) -> Vec<f64> {
+        vec![
+            (self.instances as f64).ln(),
+            (self.nets as f64).ln(),
+            self.flop_ratio,
+            self.mean_fanout,
+            self.p95_fanout,
+            self.max_depth as f64,
+            self.rent_exponent,
+        ]
+    }
+
+    /// Number of features in [`StructuralFeatures::to_row`].
+    pub const WIDTH: usize = 7;
+}
+
+/// Computes the full feature vector.
+///
+/// # Errors
+///
+/// Propagates partitioner errors from the Rent estimation.
+pub fn structural_features(
+    netlist: &Netlist,
+    seed: u64,
+) -> Result<StructuralFeatures, NetlistError> {
+    let fanouts = netlist.fanouts();
+    let mean_fanout = if fanouts.is_empty() {
+        0.0
+    } else {
+        fanouts.iter().sum::<usize>() as f64 / fanouts.len() as f64
+    };
+    let mut sorted = fanouts.clone();
+    sorted.sort_unstable();
+    let p95_fanout = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[(sorted.len() - 1) * 95 / 100] as f64
+    };
+    Ok(StructuralFeatures {
+        instances: netlist.instance_count(),
+        nets: netlist.net_count(),
+        flop_ratio: netlist.flop_count() as f64 / netlist.instance_count().max(1) as f64,
+        mean_fanout,
+        p95_fanout,
+        max_depth: max_logic_depth(netlist),
+        rent_exponent: rent_exponent(netlist, seed)?,
+    })
+}
+
+/// Maximum combinational depth in levels (DFF outputs and primary inputs
+/// are level 0).
+#[must_use]
+pub fn max_logic_depth(netlist: &Netlist) -> usize {
+    let mut level = vec![0usize; netlist.instance_count()];
+    let mut max = 0;
+    for &iid in netlist.topo_order() {
+        let inst = netlist.instance(iid);
+        if inst.cell.kind.is_sequential() {
+            continue;
+        }
+        let mut l = 0usize;
+        for &input in &inst.inputs {
+            if let Driver::Instance(src) = netlist.net(input).driver {
+                if !netlist.instance(src).cell.kind.is_sequential() {
+                    l = l.max(level[src.0 as usize] + 1);
+                }
+            }
+        }
+        level[iid.0 as usize] = l;
+        max = max.max(l);
+    }
+    max
+}
+
+/// Estimates the Rent exponent `p` from `T = t * B^p` where `B` is block
+/// size (cells) and `T` the external net count, fitting a log-log line over
+/// the recursive-bisection hierarchy.
+///
+/// Typical values: ~0.5–0.75 for real logic; higher means less locality.
+///
+/// # Errors
+///
+/// Propagates partitioner errors; returns
+/// [`NetlistError::InvalidParameter`] if the hierarchy yields fewer than
+/// two usable levels.
+pub fn rent_exponent(netlist: &Netlist, seed: u64) -> Result<f64, NetlistError> {
+    let leaf = (netlist.instance_count() / 64).clamp(8, 64);
+    let tree = recursive_bisection(netlist, leaf, seed)?;
+    // Average (block size, external nets) per level, skipping the root
+    // (external = 0) and blocks with zero external nets.
+    let mut points: Vec<(f64, f64)> = Vec::new();
+    for depth in 1..tree.height() {
+        let nodes: Vec<&BlockNode> = tree.nodes_at_depth(depth);
+        let usable: Vec<&&BlockNode> = nodes
+            .iter()
+            .filter(|b| b.external_nets > 0 && !b.members.is_empty())
+            .collect();
+        if usable.is_empty() {
+            continue;
+        }
+        let mean_b = usable.iter().map(|b| b.members.len() as f64).sum::<f64>()
+            / usable.len() as f64;
+        let mean_t = usable.iter().map(|b| b.external_nets as f64).sum::<f64>()
+            / usable.len() as f64;
+        points.push((mean_b.ln(), mean_t.ln()));
+    }
+    if points.len() < 2 {
+        return Err(NetlistError::InvalidParameter {
+            name: "netlist",
+            detail: "too small for Rent estimation".into(),
+        });
+    }
+    // Least-squares slope.
+    let n = points.len() as f64;
+    let mx = points.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = points.iter().map(|p| p.1).sum::<f64>() / n;
+    let sxx: f64 = points.iter().map(|p| (p.0 - mx) * (p.0 - mx)).sum();
+    let sxy: f64 = points.iter().map(|p| (p.0 - mx) * (p.1 - my)).sum();
+    if sxx < 1e-12 {
+        return Err(NetlistError::InvalidParameter {
+            name: "netlist",
+            detail: "degenerate Rent fit".into(),
+        });
+    }
+    Ok(sxy / sxx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellKind, LibCell};
+    use crate::generate::{DesignClass, DesignSpec};
+    use crate::graph::NetlistBuilder;
+
+    #[test]
+    fn depth_of_chain() {
+        let mut b = NetlistBuilder::new("chain");
+        let mut net = b.add_primary_input();
+        for _ in 0..12 {
+            net = b.add_instance(LibCell::unit(CellKind::Inv), &[net]).unwrap();
+        }
+        let nl = b.finish().unwrap();
+        assert_eq!(max_logic_depth(&nl), 11); // first gate is level 0
+    }
+
+    #[test]
+    fn dff_resets_depth() {
+        let mut b = NetlistBuilder::new("pipelined");
+        let mut net = b.add_primary_input();
+        for _ in 0..5 {
+            net = b.add_instance(LibCell::unit(CellKind::Inv), &[net]).unwrap();
+        }
+        let q = b.add_instance(LibCell::unit(CellKind::Dff), &[net]).unwrap();
+        let mut net2 = q;
+        for _ in 0..3 {
+            net2 = b.add_instance(LibCell::unit(CellKind::Inv), &[net2]).unwrap();
+        }
+        let nl = b.finish().unwrap();
+        // Depth restarts after the flop: max is the longer segment (5 gates
+        // => depth 4).
+        assert_eq!(max_logic_depth(&nl), 4);
+        let _ = net2;
+    }
+
+    #[test]
+    fn rent_exponent_in_plausible_range() {
+        let nl = DesignSpec::new(DesignClass::Cpu, 1024).unwrap().generate(4);
+        let p = rent_exponent(&nl, 7).unwrap();
+        assert!(p > 0.1 && p < 1.2, "rent exponent {p}");
+    }
+
+    #[test]
+    fn low_locality_class_has_higher_rent() {
+        let noc = DesignSpec::new(DesignClass::Noc, 1024).unwrap().generate(4);
+        let dsp = DesignSpec::new(DesignClass::Dsp, 1024).unwrap().generate(4);
+        let p_noc = rent_exponent(&noc, 7).unwrap();
+        let p_dsp = rent_exponent(&dsp, 7).unwrap();
+        assert!(
+            p_noc > p_dsp - 0.05,
+            "NOC rent {p_noc} should not be far below DSP rent {p_dsp}"
+        );
+    }
+
+    #[test]
+    fn features_have_expected_width() {
+        let nl = DesignSpec::new(DesignClass::Cpu, 512).unwrap().generate(9);
+        let f = structural_features(&nl, 1).unwrap();
+        assert_eq!(f.to_row().len(), StructuralFeatures::WIDTH);
+        assert!(f.flop_ratio > 0.0 && f.flop_ratio < 1.0);
+        assert!(f.mean_fanout > 0.0);
+        assert!(f.p95_fanout >= f.mean_fanout.floor());
+        assert!(f.max_depth > 1);
+    }
+}

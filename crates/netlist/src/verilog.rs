@@ -1,0 +1,337 @@
+//! Structural-Verilog export and import for the gate-level netlist.
+//!
+//! A production netlist library must interoperate with the rest of an EDA
+//! flow; the lingua franca is a flat structural Verilog module. This
+//! module writes and parses the subset the workspace's netlists need:
+//!
+//! ```verilog
+//! module NAME (input pi0, ..., output po0, ...);
+//!   wire n0, n1, ...;
+//!   NAND2_X1_SVT u3 (.a(n0), .b(n1), .y(n2));
+//! endmodule
+//! ```
+//!
+//! The writer/parser pair round-trips every netlist this crate can build,
+//! so designs can be persisted, diffed and exchanged.
+
+use crate::cell::{CellKind, LibCell, VtFlavor};
+use crate::graph::{Driver, Netlist, NetlistBuilder, NetId};
+use crate::NetlistError;
+use std::fmt::Write as _;
+
+/// Input pin names per arity (a, b, s for the 3rd input).
+const PIN_NAMES: [&str; 3] = ["a", "b", "s"];
+
+/// Writes a netlist as a flat structural Verilog module.
+#[must_use]
+pub fn to_verilog(netlist: &Netlist) -> String {
+    let mut out = String::new();
+    let pi_count = netlist.primary_input_count();
+    let pos: Vec<usize> = netlist
+        .nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.is_primary_output)
+        .map(|(i, _)| i)
+        .collect();
+    let mut ports: Vec<String> = (0..pi_count).map(|i| format!("input pi{i}")).collect();
+    ports.extend(pos.iter().map(|i| format!("output n{i}")));
+    let _ = writeln!(out, "module {} ({});", sanitize(netlist.name()), ports.join(", "));
+    // Wires: every net that is not a PI-driven port... for simplicity all
+    // instance-driven nets are wires (output ports may alias wires; the
+    // parser accepts this).
+    let wires: Vec<String> = netlist
+        .nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| matches!(n.driver, Driver::Instance(_)))
+        .map(|(i, _)| format!("n{i}"))
+        .collect();
+    if !wires.is_empty() {
+        let _ = writeln!(out, "  wire {};", wires.join(", "));
+    }
+    for (idx, inst) in netlist.instances().iter().enumerate() {
+        let mut pins: Vec<String> = inst
+            .inputs
+            .iter()
+            .enumerate()
+            .map(|(pin, net)| format!(".{}({})", PIN_NAMES[pin], net_name(netlist, *net)))
+            .collect();
+        pins.push(format!(".y(n{})", inst.output.0));
+        let _ = writeln!(out, "  {} u{idx} ({});", inst.cell, pins.join(", "));
+    }
+    let _ = writeln!(out, "endmodule");
+    out
+}
+
+fn net_name(netlist: &Netlist, net: NetId) -> String {
+    match netlist.net(net).driver {
+        Driver::PrimaryInput(i) => format!("pi{i}"),
+        Driver::Instance(_) => format!("n{}", net.0),
+    }
+}
+
+fn sanitize(name: &str) -> String {
+    let mut s: String = name
+        .chars()
+        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .collect();
+    if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        s.insert(0, 'm');
+    }
+    s
+}
+
+/// Parses a cell name like `NAND2_X4_LVT` back into a [`LibCell`].
+fn parse_cell(name: &str) -> Result<LibCell, NetlistError> {
+    let parts: Vec<&str> = name.split('_').collect();
+    if parts.len() != 3 {
+        return Err(NetlistError::InvalidParameter {
+            name: "cell",
+            detail: format!("unparseable cell name `{name}`"),
+        });
+    }
+    let kind = CellKind::ALL
+        .into_iter()
+        .find(|k| k.to_string() == parts[0])
+        .ok_or_else(|| NetlistError::InvalidParameter {
+            name: "cell",
+            detail: format!("unknown cell kind `{}`", parts[0]),
+        })?;
+    let drive: u8 = parts[1]
+        .strip_prefix('X')
+        .and_then(|d| d.parse().ok())
+        .ok_or_else(|| NetlistError::InvalidParameter {
+            name: "cell",
+            detail: format!("bad drive `{}`", parts[1]),
+        })?;
+    let vt = match parts[2] {
+        "LVT" => VtFlavor::LowVt,
+        "SVT" => VtFlavor::StdVt,
+        "HVT" => VtFlavor::HighVt,
+        other => {
+            return Err(NetlistError::InvalidParameter {
+                name: "cell",
+                detail: format!("unknown VT flavour `{other}`"),
+            })
+        }
+    };
+    LibCell::new(kind, drive, vt)
+}
+
+/// Parses a flat structural Verilog module produced by [`to_verilog`]
+/// (or written by hand in the same subset).
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidParameter`] describing the first
+/// malformation encountered, or graph-validation errors from the builder.
+pub fn from_verilog(src: &str) -> Result<Netlist, NetlistError> {
+    let mut name = "parsed".to_owned();
+    let mut pi_order: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    struct InstLine {
+        cell: LibCell,
+        pins: Vec<(String, String)>,
+    }
+    let mut instances: Vec<InstLine> = Vec::new();
+
+    for raw in src.lines() {
+        let line = raw.trim().trim_end_matches(';').trim();
+        if line.is_empty() || line == "endmodule" || line.starts_with("wire ") {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("module ") {
+            let open = rest.find('(').ok_or_else(|| NetlistError::InvalidParameter {
+                name: "verilog",
+                detail: "module line missing port list".into(),
+            })?;
+            name = rest[..open].trim().to_owned();
+            let ports = rest[open + 1..]
+                .trim_end_matches(')')
+                .split(',')
+                .map(str::trim);
+            for p in ports {
+                if let Some(n) = p.strip_prefix("input ") {
+                    pi_order.push(n.trim().to_owned());
+                } else if let Some(n) = p.strip_prefix("output ") {
+                    outputs.push(n.trim().to_owned());
+                }
+            }
+            continue;
+        }
+        // Instance line: CELL uN (.a(x), .b(y), .y(z));
+        let open = line.find('(').ok_or_else(|| NetlistError::InvalidParameter {
+            name: "verilog",
+            detail: format!("unparseable line `{line}`"),
+        })?;
+        let head: Vec<&str> = line[..open].split_whitespace().collect();
+        if head.len() != 2 {
+            return Err(NetlistError::InvalidParameter {
+                name: "verilog",
+                detail: format!("expected `CELL instance (` in `{line}`"),
+            });
+        }
+        let cell = parse_cell(head[0])?;
+        let body = line[open + 1..].trim_end_matches(')');
+        let mut pins = Vec::new();
+        for conn in body.split("),") {
+            let conn = conn.trim().trim_end_matches(')');
+            let Some(rest) = conn.strip_prefix('.') else {
+                continue;
+            };
+            let Some(par) = rest.find('(') else {
+                return Err(NetlistError::InvalidParameter {
+                    name: "verilog",
+                    detail: format!("bad pin connection `{conn}`"),
+                });
+            };
+            pins.push((
+                rest[..par].trim().to_owned(),
+                rest[par + 1..].trim().to_owned(),
+            ));
+        }
+        instances.push(InstLine { cell, pins });
+    }
+
+    // Rebuild: nets are identified by driver name. Instances must be added
+    // in an order where inputs already exist; a simple worklist handles
+    // arbitrary ordering of lines.
+    let mut b = NetlistBuilder::new(&name);
+    let mut net_of: std::collections::HashMap<String, NetId> = std::collections::HashMap::new();
+    for pi in &pi_order {
+        let id = b.add_primary_input();
+        net_of.insert(pi.clone(), id);
+    }
+    let mut remaining: Vec<&InstLine> = instances.iter().collect();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|inst| {
+            let n_in = inst.cell.kind.input_count();
+            let mut ins: Vec<NetId> = Vec::with_capacity(n_in);
+            let mut out_name: Option<&str> = None;
+            for (pin, net) in &inst.pins {
+                if pin == "y" {
+                    out_name = Some(net);
+                } else if let Some(&id) = net_of.get(net) {
+                    ins.push(id);
+                } else {
+                    return true; // input not yet defined; retry later
+                }
+            }
+            if ins.len() != n_in || out_name.is_none() {
+                return true; // malformed; will error below when stuck
+            }
+            let out = b
+                .add_instance(inst.cell, &ins)
+                .expect("arity checked above");
+            net_of.insert(out_name.expect("checked").to_owned(), out);
+            false
+        });
+        if remaining.len() == before {
+            return Err(NetlistError::InvalidParameter {
+                name: "verilog",
+                detail: format!(
+                    "{} instance(s) reference undefined nets or are malformed",
+                    remaining.len()
+                ),
+            });
+        }
+    }
+    for o in &outputs {
+        if let Some(&id) = net_of.get(o) {
+            b.mark_primary_output(id);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::{DesignClass, DesignSpec};
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let nl = DesignSpec::new(DesignClass::Cpu, 200).unwrap().generate(7);
+        let v = to_verilog(&nl);
+        let back = from_verilog(&v).unwrap();
+        assert_eq!(back.instance_count(), nl.instance_count());
+        assert_eq!(back.primary_input_count(), nl.primary_input_count());
+        assert_eq!(back.flop_count(), nl.flop_count());
+        assert!((back.total_area_um2() - nl.total_area_um2()).abs() < 1e-9);
+        // Fanout multiset must survive (graph isomorphism proxy).
+        let mut fa = nl.fanouts();
+        let mut fb = back.fanouts();
+        fa.sort_unstable();
+        fb.sort_unstable();
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn roundtrip_twice_is_identical_text() {
+        let nl = DesignSpec::new(DesignClass::Dsp, 150).unwrap().generate(3);
+        let v1 = to_verilog(&nl);
+        let v2 = to_verilog(&from_verilog(&v1).unwrap());
+        assert_eq!(v1, v2);
+    }
+
+    #[test]
+    fn parses_handwritten_module() {
+        let src = "\
+module tiny (input pi0, input pi1, output n2);
+  wire n0, n1, n2;
+  INV_X1_SVT u0 (.a(pi0), .y(n0));
+  NAND2_X4_LVT u1 (.a(n0), .b(pi1), .y(n1));
+  DFF_X1_SVT u2 (.a(n1), .y(n2));
+endmodule
+";
+        let nl = from_verilog(src).unwrap();
+        assert_eq!(nl.instance_count(), 3);
+        assert_eq!(nl.flop_count(), 1);
+        assert_eq!(nl.primary_input_count(), 2);
+        let nand = &nl.instances()[1];
+        assert_eq!(nand.cell.drive, 4);
+        assert_eq!(nand.cell.vt, VtFlavor::LowVt);
+    }
+
+    #[test]
+    fn out_of_order_instances_parse() {
+        let src = "\
+module ooo (input pi0, output n1);
+  wire n0, n1;
+  BUF_X1_SVT u1 (.a(n0), .y(n1));
+  INV_X1_SVT u0 (.a(pi0), .y(n0));
+endmodule
+";
+        let nl = from_verilog(src).unwrap();
+        assert_eq!(nl.instance_count(), 2);
+    }
+
+    #[test]
+    fn rejects_malformations() {
+        assert!(from_verilog("module bad").is_err());
+        assert!(from_verilog(
+            "module m (input pi0);\n  BOGUS_X1_SVT u0 (.a(pi0), .y(n0));\nendmodule"
+        )
+        .is_err());
+        assert!(from_verilog(
+            "module m (input pi0);\n  INV_X3_SVT u0 (.a(pi0), .y(n0));\nendmodule"
+        )
+        .is_err());
+        // Dangling input net: never resolvable.
+        assert!(from_verilog(
+            "module m (input pi0);\n  INV_X1_SVT u0 (.a(ghost), .y(n0));\nendmodule"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn module_names_are_sanitized() {
+        let nl = DesignSpec::new(DesignClass::Noc, 64).unwrap().generate(1);
+        let v = to_verilog(&nl);
+        let first = v.lines().next().unwrap();
+        assert!(first.starts_with("module "));
+        assert!(!first.contains('-'));
+    }
+}

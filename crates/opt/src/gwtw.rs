@@ -1,0 +1,309 @@
+//! Go-With-The-Winners orchestration (paper Fig 6(a), refs \[2\]\[24\]).
+//!
+//! GWTW launches a population of optimization threads, lets each run for a
+//! review period, then ranks them, terminates the laggards and clones the
+//! leaders in their place. The paper proposes exactly this for orchestrating
+//! N robot engineers over flow trajectories; here it is implemented
+//! generically over any [`Landscape`] (and reused in `ideaflow-core` over
+//! whole SP&R flows).
+
+use crate::anneal::AnnealConfig;
+use crate::{Landscape, SearchOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
+
+/// GWTW population parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GwtwConfig {
+    /// Number of concurrent threads (the paper: "tens to thousands,
+    /// constrained chiefly by compute and license resources").
+    pub population: usize,
+    /// Moves each thread makes between reviews.
+    pub review_period: usize,
+    /// Number of review rounds.
+    pub rounds: usize,
+    /// Fraction of the population cloned at each review (the "winners").
+    pub survivor_fraction: f64,
+    /// Per-thread annealing temperature at the first round.
+    pub t_initial: f64,
+    /// Per-thread annealing temperature at the last round.
+    pub t_final: f64,
+}
+
+impl Default for GwtwConfig {
+    fn default() -> Self {
+        Self {
+            population: 16,
+            review_period: 250,
+            rounds: 8,
+            survivor_fraction: 0.5,
+            t_initial: 5.0,
+            t_final: 0.05,
+        }
+    }
+}
+
+/// Per-round record of the population (for the Fig 6(a) trajectory plot).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GwtwRound {
+    /// Cost of every thread at review time, unsorted (thread order).
+    pub costs: Vec<f64>,
+    /// Best cost in the population at this review.
+    pub best: f64,
+    /// Number of threads terminated and replaced by clones.
+    pub terminated: usize,
+}
+
+/// Outcome of a GWTW run.
+#[derive(Debug, Clone)]
+pub struct GwtwOutcome<S> {
+    /// Final best search outcome (trajectory = population best per round).
+    pub best: SearchOutcome<S>,
+    /// Per-round population snapshots.
+    pub rounds: Vec<GwtwRound>,
+}
+
+/// Runs Go-With-The-Winners.
+///
+/// Each round, every thread anneals for `review_period` moves in parallel
+/// (deterministically seeded); then the population is sorted by cost, the
+/// worst `1 - survivor_fraction` are terminated, and clones of the winners
+/// (uniformly chosen among survivors) take their slots.
+///
+/// # Panics
+///
+/// Panics if `population == 0`, `rounds == 0`, or `survivor_fraction` is
+/// outside `(0, 1]`.
+pub fn gwtw<L: Landscape>(landscape: &L, cfg: GwtwConfig, seed: u64) -> GwtwOutcome<L::State> {
+    assert!(cfg.population > 0, "population must be positive");
+    assert!(cfg.rounds > 0, "rounds must be positive");
+    assert!(
+        cfg.survivor_fraction > 0.0 && cfg.survivor_fraction <= 1.0,
+        "survivor_fraction must be in (0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut population: Vec<(L::State, f64)> = (0..cfg.population)
+        .map(|_| {
+            let s = landscape.random_state(&mut rng);
+            let c = landscape.cost(&s);
+            (s, c)
+        })
+        .collect();
+
+    let n_survive = ((cfg.population as f64) * cfg.survivor_fraction).ceil() as usize;
+    let mut rounds = Vec::with_capacity(cfg.rounds);
+    let mut trajectory = Vec::with_capacity(cfg.rounds);
+    let mut evaluations = cfg.population;
+
+    let mut best_state = population[0].0.clone();
+    let mut best_cost = population[0].1;
+
+    for round in 0..cfg.rounds {
+        // Geometric ladder hitting t_final exactly at the last round.
+        let frac = if cfg.rounds > 1 {
+            round as f64 / (cfg.rounds - 1) as f64
+        } else {
+            1.0
+        };
+        let t_round = cfg.t_initial * (cfg.t_final / cfg.t_initial).powf(frac);
+        let round_seed = seed ^ ((round as u64 + 1) << 24);
+        // Each thread anneals at fixed temperature for the review period.
+        population = population
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, (state, cost))| {
+                let mut trng = StdRng::seed_from_u64(round_seed ^ (i as u64).wrapping_mul(0xABCD_1234_5678_9EF1));
+                let mut s = state;
+                let mut c = cost;
+                for _ in 0..cfg.review_period {
+                    let cand = landscape.neighbor(&s, &mut trng);
+                    let cc = landscape.cost(&cand);
+                    if cc <= c || trng.gen::<f64>() < ((c - cc) / t_round).exp() {
+                        s = cand;
+                        c = cc;
+                    }
+                }
+                (s, c)
+            })
+            .collect();
+        evaluations += cfg.population * cfg.review_period;
+
+        let costs: Vec<f64> = population.iter().map(|(_, c)| *c).collect();
+        // Rank: indices sorted by cost ascending.
+        let mut order: Vec<usize> = (0..population.len()).collect();
+        order.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite costs"));
+        let round_best = costs[order[0]];
+        if round_best < best_cost {
+            best_cost = round_best;
+            best_state = population[order[0]].0.clone();
+        }
+        trajectory.push(best_cost);
+
+        // Terminate losers; clone winners into their slots.
+        let terminated = population.len() - n_survive;
+        let survivors: Vec<(L::State, f64)> = order[..n_survive]
+            .iter()
+            .map(|&i| population[i].clone())
+            .collect();
+        let mut next = survivors.clone();
+        for _ in 0..terminated {
+            let pick = rng.gen_range(0..survivors.len());
+            next.push(survivors[pick].clone());
+        }
+        population = next;
+        rounds.push(GwtwRound {
+            costs,
+            best: round_best,
+            terminated,
+        });
+    }
+
+    GwtwOutcome {
+        best: SearchOutcome {
+            best_state,
+            best_cost,
+            trajectory,
+            evaluations,
+        },
+        rounds,
+    }
+}
+
+/// Independent multistart annealing at the *same total budget* as a GWTW
+/// configuration — the baseline GWTW must beat (paper: "simple multistart
+/// ... is hopeless").
+pub fn independent_baseline<L: Landscape>(
+    landscape: &L,
+    cfg: GwtwConfig,
+    seed: u64,
+) -> SearchOutcome<L::State> {
+    let moves = cfg.review_period * cfg.rounds;
+    let outcomes: Vec<SearchOutcome<L::State>> = (0..cfg.population)
+        .into_par_iter()
+        .map(|i| {
+            let s = seed ^ (0x51_7CC1_B727_2202u64.wrapping_mul(i as u64 + 1));
+            let mut rng = StdRng::seed_from_u64(s);
+            let start = landscape.random_state(&mut rng);
+            crate::anneal::simulated_annealing(
+                landscape,
+                start,
+                AnnealConfig {
+                    t_initial: cfg.t_initial,
+                    t_final: cfg.t_final,
+                    moves,
+                },
+                s.wrapping_add(7),
+            )
+        })
+        .collect();
+    
+    outcomes
+        .into_iter()
+        .min_by(|a, b| a.best_cost.partial_cmp(&b.best_cost).expect("finite costs"))
+        .expect("non-empty population")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::landscape::{BigValley, NkLandscape};
+
+    fn small_cfg() -> GwtwConfig {
+        GwtwConfig {
+            population: 8,
+            review_period: 150,
+            rounds: 6,
+            survivor_fraction: 0.5,
+            t_initial: 3.0,
+            t_final: 0.05,
+        }
+    }
+
+    #[test]
+    fn gwtw_rounds_track_population() {
+        let l = BigValley::new(5, 3.0, 3);
+        let out = gwtw(&l, small_cfg(), 1);
+        assert_eq!(out.rounds.len(), 6);
+        for r in &out.rounds {
+            assert_eq!(r.costs.len(), 8);
+            assert_eq!(r.terminated, 4);
+            let min = r.costs.iter().cloned().fold(f64::INFINITY, f64::min);
+            assert_eq!(min, r.best);
+        }
+        out.best.assert_invariants();
+    }
+
+    #[test]
+    fn gwtw_beats_or_matches_independent_on_rugged_landscape() {
+        // Temperatures must match the landscape's cost scale: NK costs are
+        // in [-1, 0], so deltas are ~1e-2.
+        let l = NkLandscape::new(40, 6, 99);
+        let cfg = GwtwConfig {
+            population: 12,
+            review_period: 120,
+            rounds: 10,
+            survivor_fraction: 0.5,
+            t_initial: 0.05,
+            t_final: 0.002,
+        };
+        let mut gwtw_total = 0.0;
+        let mut ind_total = 0.0;
+        for seed in 0..6u64 {
+            gwtw_total += gwtw(&l, cfg, seed).best.best_cost;
+            ind_total += independent_baseline(&l, cfg, seed).best_cost;
+        }
+        // GWTW concentrates budget on winners; expect an advantage on
+        // average (allowing slight tolerance for seed noise).
+        assert!(
+            gwtw_total <= ind_total + 0.02,
+            "gwtw {gwtw_total} vs independent {ind_total}"
+        );
+    }
+
+    #[test]
+    fn population_best_never_worsens_across_rounds() {
+        let l = BigValley::new(4, 2.0, 8);
+        let out = gwtw(&l, small_cfg(), 2);
+        let bests: Vec<f64> = out.rounds.iter().map(|r| r.best).collect();
+        // best-so-far trajectory is monotone even if per-round best wiggles.
+        for w in out.best.trajectory.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        assert_eq!(bests.len(), out.best.trajectory.len());
+    }
+
+    #[test]
+    fn survivor_fraction_one_disables_termination() {
+        let l = BigValley::new(3, 1.0, 4);
+        let cfg = GwtwConfig {
+            survivor_fraction: 1.0,
+            ..small_cfg()
+        };
+        let out = gwtw(&l, cfg, 5);
+        assert!(out.rounds.iter().all(|r| r.terminated == 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let l = NkLandscape::new(24, 3, 7);
+        let a = gwtw(&l, small_cfg(), 10);
+        let b = gwtw(&l, small_cfg(), 10);
+        assert_eq!(a.best.best_cost, b.best.best_cost);
+        assert_eq!(
+            a.rounds.iter().map(|r| r.best).collect::<Vec<_>>(),
+            b.rounds.iter().map(|r| r.best).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "population must be positive")]
+    fn rejects_empty_population() {
+        let l = BigValley::new(2, 1.0, 0);
+        let cfg = GwtwConfig {
+            population: 0,
+            ..small_cfg()
+        };
+        let _ = gwtw(&l, cfg, 0);
+    }
+}

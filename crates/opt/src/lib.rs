@@ -1,0 +1,93 @@
+//! `ideaflow-opt` — optimization substrate: cost landscapes and the
+//! orchestration strategies of paper Fig 6.
+//!
+//! Solution 2 of the paper proposes orchestrating N "robot engineers" to
+//! concurrently search multiple flow trajectories, noting that naive
+//! multistart or BFS/DFS "is hopeless", and pointing at two families:
+//!
+//! - **Go-With-The-Winners** (Aldous–Vazirani \[2\], applied to gate sizing in
+//!   \[24\]): run a population of optimization threads, periodically clone the
+//!   most promising and terminate the rest — [`gwtw`].
+//! - **Adaptive multistart** (Boese–Kahng–Muddu \[5\], Hagen–Kahng \[12\]):
+//!   exploit the "big valley" structure of physical-design cost landscapes
+//!   by constructing new starting points from the best local minima found so
+//!   far — [`multistart`].
+//!
+//! Both are generic over a [`Landscape`]; the crate ships a rugged
+//! continuous [`landscape::BigValley`] and a discrete
+//! [`landscape::NkLandscape`], and `ideaflow-place` implements the trait
+//! for real placement so the same orchestrators drive physical design.
+
+pub mod anneal;
+pub mod gwtw;
+pub mod landscape;
+pub mod local;
+pub mod multistart;
+
+use rand::rngs::StdRng;
+
+/// A cost landscape that search strategies can explore.
+///
+/// Implementations must be `Sync` so populations can be searched in
+/// parallel (the paper's "parallel search under the hood").
+pub trait Landscape: Sync {
+    /// A point in the search space.
+    type State: Clone + Send + Sync;
+
+    /// Samples a uniformly random state.
+    fn random_state(&self, rng: &mut StdRng) -> Self::State;
+
+    /// Evaluates the cost (lower is better).
+    fn cost(&self, state: &Self::State) -> f64;
+
+    /// Proposes a random neighbouring state (small move).
+    fn neighbor(&self, state: &Self::State, rng: &mut StdRng) -> Self::State;
+
+    /// A distance metric between states (used for big-valley analysis and
+    /// adaptive-multistart pooling).
+    fn distance(&self, a: &Self::State, b: &Self::State) -> f64;
+
+    /// Constructs a promising new start from a pool of `(state, cost)`
+    /// local minima — the heart of adaptive multistart. The default
+    /// ignores the pool (plain multistart behaviour); structured
+    /// landscapes override it.
+    fn combine(&self, _pool: &[(Self::State, f64)], rng: &mut StdRng) -> Self::State {
+        self.random_state(rng)
+    }
+}
+
+/// Outcome of a search: the best state found, its cost, and the cost
+/// trajectory (best-so-far after each probe), for plotting and for the
+/// equal-budget comparisons in the Fig 6 harnesses.
+#[derive(Debug, Clone)]
+pub struct SearchOutcome<S> {
+    /// Best state found.
+    pub best_state: S,
+    /// Cost of `best_state`.
+    pub best_cost: f64,
+    /// Best-so-far cost after each evaluation.
+    pub trajectory: Vec<f64>,
+    /// Total number of cost evaluations spent.
+    pub evaluations: usize,
+}
+
+impl<S> SearchOutcome<S> {
+    /// Asserts the internal consistency every strategy must maintain:
+    /// a monotone non-increasing trajectory ending at `best_cost`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the invariant is violated (used by tests).
+    pub fn assert_invariants(&self) {
+        assert!(
+            self.trajectory.windows(2).all(|w| w[1] <= w[0] + 1e-12),
+            "trajectory must be non-increasing"
+        );
+        if let Some(&last) = self.trajectory.last() {
+            assert!(
+                (last - self.best_cost).abs() < 1e-9,
+                "trajectory must end at best_cost"
+            );
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! GSRC Bookshelf export/import for placements.
+//!
+//! The paper's footnote 6 holds up "the MARCO GSRC Bookshelf of
+//! Fundamental CAD Algorithms" \[6\] as the model for open research
+//! infrastructure. This module speaks the Bookshelf placement format —
+//! `.nodes` (cells and sizes), `.nets` (hypergraph) and `.pl` (locations)
+//! — so placements produced here can be consumed by academic placers and
+//! vice versa.
+
+use crate::floorplan::Floorplan;
+use crate::placement::Placement;
+use crate::PlaceError;
+use ideaflow_netlist::graph::{Driver, Netlist};
+use std::fmt::Write as _;
+
+/// The three Bookshelf files for a placed design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BookshelfBundle {
+    /// `.nodes`: node names and dimensions.
+    pub nodes: String,
+    /// `.nets`: the hypergraph.
+    pub nets: String,
+    /// `.pl`: placed locations.
+    pub pl: String,
+}
+
+/// Exports a placed netlist as a Bookshelf bundle. Primary inputs become
+/// fixed terminal nodes on the die edge.
+#[must_use]
+pub fn export(netlist: &Netlist, fp: &Floorplan, placement: &Placement) -> BookshelfBundle {
+    let n_cells = netlist.instance_count();
+    let n_terminals = netlist.primary_input_count();
+
+    let mut nodes = String::from("UCLA nodes 1.0\n");
+    let _ = writeln!(nodes, "NumNodes : {}", n_cells + n_terminals);
+    let _ = writeln!(nodes, "NumTerminals : {n_terminals}");
+    for (i, inst) in netlist.instances().iter().enumerate() {
+        // Near-uniform site footprint: width scales with area.
+        let w = (inst.cell.area_um2() / 0.4).max(0.2);
+        let _ = writeln!(nodes, "  o{i} {w:.3} 0.400");
+    }
+    for t in 0..n_terminals {
+        let _ = writeln!(nodes, "  p{t} 0.000 0.000 terminal");
+    }
+
+    let mut nets = String::from("UCLA nets 1.0\n");
+    let multi: Vec<(usize, &ideaflow_netlist::graph::Net)> = netlist
+        .nets()
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            let pins = n.sinks.len() + 1;
+            pins >= 2
+        })
+        .collect();
+    let total_pins: usize = multi.iter().map(|(_, n)| n.sinks.len() + 1).sum();
+    let _ = writeln!(nets, "NumNets : {}", multi.len());
+    let _ = writeln!(nets, "NumPins : {total_pins}");
+    for (i, net) in &multi {
+        let _ = writeln!(nets, "NetDegree : {} net{i}", net.sinks.len() + 1);
+        match net.driver {
+            Driver::PrimaryInput(p) => {
+                let _ = writeln!(nets, "  p{p} O");
+            }
+            Driver::Instance(id) => {
+                let _ = writeln!(nets, "  o{} O", id.0);
+            }
+        }
+        for s in &net.sinks {
+            let _ = writeln!(nets, "  o{} I", s.0);
+        }
+    }
+
+    let mut pl = String::from("UCLA pl 1.0\n");
+    for i in 0..n_cells {
+        let (x, y) = fp.slot_center(placement.slot[i]);
+        let _ = writeln!(pl, "o{i} {x:.4} {y:.4} : N");
+    }
+    for t in 0..n_terminals {
+        let (x, y) = crate::placement::primary_input_location(fp, t as u32, n_terminals);
+        let _ = writeln!(pl, "p{t} {x:.4} {y:.4} : N /FIXED");
+    }
+
+    BookshelfBundle { nodes, nets, pl }
+}
+
+/// Parses a `.pl` file back into slot assignments against a floorplan:
+/// each movable node is mapped to the nearest site.
+///
+/// # Errors
+///
+/// Returns [`PlaceError::InvalidParameter`] on malformed lines, unknown
+/// node names, or if two nodes map to the same site (the `.pl` does not
+/// match the floorplan's discretization).
+pub fn import_pl(
+    pl: &str,
+    netlist: &Netlist,
+    fp: &Floorplan,
+) -> Result<Placement, PlaceError> {
+    let n = netlist.instance_count();
+    let mut slot = vec![usize::MAX; n];
+    for line in pl.lines().skip(1) {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('p') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let (Some(name), Some(xs), Some(ys)) = (it.next(), it.next(), it.next()) else {
+            return Err(PlaceError::InvalidParameter {
+                name: "pl",
+                detail: format!("malformed line `{line}`"),
+            });
+        };
+        let idx: usize = name
+            .strip_prefix('o')
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| PlaceError::InvalidParameter {
+                name: "pl",
+                detail: format!("unknown node `{name}`"),
+            })?;
+        if idx >= n {
+            return Err(PlaceError::InvalidParameter {
+                name: "pl",
+                detail: format!("node index {idx} out of range"),
+            });
+        }
+        let (x, y): (f64, f64) = match (xs.parse(), ys.parse()) {
+            (Ok(x), Ok(y)) => (x, y),
+            _ => {
+                return Err(PlaceError::InvalidParameter {
+                    name: "pl",
+                    detail: format!("bad coordinates in `{line}`"),
+                })
+            }
+        };
+        // Nearest site.
+        let col = ((x / fp.width_um() * fp.cols() as f64 - 0.5).round() as isize)
+            .clamp(0, fp.cols() as isize - 1) as usize;
+        let row = ((y / fp.height_um() * fp.rows() as f64 - 0.5).round() as isize)
+            .clamp(0, fp.rows() as isize - 1) as usize;
+        slot[idx] = row * fp.cols() + col;
+    }
+    if slot.contains(&usize::MAX) {
+        return Err(PlaceError::InvalidParameter {
+            name: "pl",
+            detail: "placement file does not cover every movable node".into(),
+        });
+    }
+    let p = Placement { slot };
+    p.validate(netlist, fp)?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placer::partition_seeded_placement;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn setup() -> (Netlist, Floorplan, Placement) {
+        let nl = DesignSpec::new(DesignClass::Cpu, 200).unwrap().generate(9);
+        let fp = Floorplan::for_netlist(&nl, 0.7, 1.0).unwrap();
+        let p = partition_seeded_placement(&nl, &fp, 4).unwrap();
+        (nl, fp, p)
+    }
+
+    #[test]
+    fn bundle_headers_are_consistent() {
+        let (nl, fp, p) = setup();
+        let b = export(&nl, &fp, &p);
+        assert!(b.nodes.starts_with("UCLA nodes 1.0"));
+        assert!(b.nets.starts_with("UCLA nets 1.0"));
+        assert!(b.pl.starts_with("UCLA pl 1.0"));
+        let declared: usize = b
+            .nodes
+            .lines()
+            .find(|l| l.starts_with("NumNodes"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap();
+        assert_eq!(
+            declared,
+            nl.instance_count() + nl.primary_input_count()
+        );
+        // Pin count declared == pin lines emitted.
+        let pins: usize = b
+            .nets
+            .lines()
+            .find(|l| l.starts_with("NumPins"))
+            .and_then(|l| l.split(':').nth(1))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap();
+        let pin_lines = b
+            .nets
+            .lines()
+            .filter(|l| {
+                let t = l.trim_start();
+                t.starts_with('o') || t.starts_with('p')
+            })
+            .count();
+        assert_eq!(pins, pin_lines);
+    }
+
+    #[test]
+    fn pl_roundtrip_recovers_the_placement() {
+        let (nl, fp, p) = setup();
+        let b = export(&nl, &fp, &p);
+        let back = import_pl(&b.pl, &nl, &fp).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    fn import_rejects_malformations() {
+        let (nl, fp, _) = setup();
+        assert!(import_pl("UCLA pl 1.0\no0 zzz 1.0 : N", &nl, &fp).is_err());
+        assert!(import_pl("UCLA pl 1.0\nq0 1.0 1.0 : N", &nl, &fp).is_err());
+        // Missing nodes.
+        assert!(import_pl("UCLA pl 1.0\no0 1.0 1.0 : N", &nl, &fp).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Bin-based routing-demand (congestion) estimation from a placement.
+//!
+//! Each net's bounding box contributes demand smeared uniformly over the
+//! bins it covers — the standard RUDY estimator. The resulting map is the
+//! interface between placement and the detailed-route DRV model in
+//! `ideaflow-route` (congested bins breed design-rule violations).
+
+use crate::floorplan::Floorplan;
+use crate::placement::{primary_input_location, Placement};
+use ideaflow_netlist::graph::{Driver, Netlist};
+
+/// A rectangular grid of routing-demand values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CongestionMap {
+    cols: usize,
+    rows: usize,
+    /// Demand per bin (dimensionless utilization against `capacity`).
+    demand: Vec<f64>,
+    /// Per-bin routing capacity.
+    capacity: f64,
+}
+
+impl CongestionMap {
+    /// Estimates congestion with a `cols x rows` bin grid and the given
+    /// per-bin capacity, using the RUDY model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cols == 0 || rows == 0` or `capacity <= 0`.
+    #[must_use]
+    pub fn estimate(
+        netlist: &Netlist,
+        fp: &Floorplan,
+        placement: &Placement,
+        cols: usize,
+        rows: usize,
+        capacity: f64,
+    ) -> Self {
+        assert!(cols > 0 && rows > 0, "bin grid must be non-empty");
+        assert!(capacity > 0.0, "capacity must be positive");
+        let mut demand = vec![0.0f64; cols * rows];
+        let bin_w = fp.width_um() / cols as f64;
+        let bin_h = fp.height_um() / rows as f64;
+        for net in netlist.nets() {
+            let mut min_x = f64::INFINITY;
+            let mut max_x = f64::NEG_INFINITY;
+            let mut min_y = f64::INFINITY;
+            let mut max_y = f64::NEG_INFINITY;
+            let mut pins = 0usize;
+            let mut include = |p: (f64, f64)| {
+                min_x = min_x.min(p.0);
+                max_x = max_x.max(p.0);
+                min_y = min_y.min(p.1);
+                max_y = max_y.max(p.1);
+            };
+            match net.driver {
+                Driver::PrimaryInput(i) => {
+                    include(primary_input_location(fp, i, netlist.primary_input_count()));
+                    pins += 1;
+                }
+                Driver::Instance(id) => {
+                    include(placement.location(fp, id));
+                    pins += 1;
+                }
+            }
+            for &s in &net.sinks {
+                include(placement.location(fp, s));
+                pins += 1;
+            }
+            if pins < 2 {
+                continue;
+            }
+            let w = (max_x - min_x).max(bin_w * 0.5);
+            let h = (max_y - min_y).max(bin_h * 0.5);
+            // RUDY: wirelength density over the bbox.
+            let density = (w + h) / (w * h);
+            let c0 = ((min_x / bin_w).floor() as isize).clamp(0, cols as isize - 1) as usize;
+            let c1 = ((max_x / bin_w).floor() as isize).clamp(0, cols as isize - 1) as usize;
+            let r0 = ((min_y / bin_h).floor() as isize).clamp(0, rows as isize - 1) as usize;
+            let r1 = ((max_y / bin_h).floor() as isize).clamp(0, rows as isize - 1) as usize;
+            for r in r0..=r1 {
+                for c in c0..=c1 {
+                    demand[r * cols + c] += density * bin_w.min(bin_h);
+                }
+            }
+        }
+        Self {
+            cols,
+            rows,
+            demand,
+            capacity,
+        }
+    }
+
+    /// Grid width in bins.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Grid height in bins.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Demand at `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    #[must_use]
+    pub fn demand_at(&self, col: usize, row: usize) -> f64 {
+        assert!(col < self.cols && row < self.rows, "bin out of range");
+        self.demand[row * self.cols + col]
+    }
+
+    /// Utilization (demand / capacity) at `(col, row)`.
+    #[must_use]
+    pub fn utilization_at(&self, col: usize, row: usize) -> f64 {
+        self.demand_at(col, row) / self.capacity
+    }
+
+    /// Maximum bin utilization.
+    #[must_use]
+    pub fn max_utilization(&self) -> f64 {
+        self.demand
+            .iter()
+            .fold(0.0f64, |m, &d| m.max(d / self.capacity))
+    }
+
+    /// Mean bin utilization.
+    #[must_use]
+    pub fn mean_utilization(&self) -> f64 {
+        if self.demand.is_empty() {
+            return 0.0;
+        }
+        self.demand.iter().sum::<f64>() / (self.capacity * self.demand.len() as f64)
+    }
+
+    /// Total overflow: `Σ max(0, demand - capacity)` over bins.
+    #[must_use]
+    pub fn total_overflow(&self) -> f64 {
+        self.demand
+            .iter()
+            .map(|&d| (d - self.capacity).max(0.0))
+            .sum()
+    }
+
+    /// Fraction of bins whose utilization exceeds `threshold`.
+    #[must_use]
+    pub fn hot_fraction(&self, threshold: f64) -> f64 {
+        if self.demand.is_empty() {
+            return 0.0;
+        }
+        let hot = self
+            .demand
+            .iter()
+            .filter(|&&d| d / self.capacity > threshold)
+            .count();
+        hot as f64 / self.demand.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placer::{anneal_placement, random_placement, PlacerConfig};
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn setup() -> (Netlist, Floorplan) {
+        let nl = DesignSpec::new(DesignClass::Cpu, 300).unwrap().generate(5);
+        let fp = Floorplan::for_netlist(&nl, 0.7, 1.0).unwrap();
+        (nl, fp)
+    }
+
+    #[test]
+    fn congestion_is_nonnegative_and_finite() {
+        let (nl, fp) = setup();
+        let p = random_placement(&nl, &fp, 1).unwrap();
+        let m = CongestionMap::estimate(&nl, &fp, &p, 8, 8, 20.0);
+        for r in 0..8 {
+            for c in 0..8 {
+                let d = m.demand_at(c, r);
+                assert!(d.is_finite() && d >= 0.0);
+            }
+        }
+        assert!(m.max_utilization() >= m.mean_utilization());
+    }
+
+    #[test]
+    fn optimized_placement_has_less_congestion() {
+        let (nl, fp) = setup();
+        let start = random_placement(&nl, &fp, 2).unwrap();
+        let random_map = CongestionMap::estimate(&nl, &fp, &start, 8, 8, 20.0);
+        let out = anneal_placement(
+            &nl,
+            &fp,
+            start,
+            PlacerConfig {
+                moves: 20_000,
+                t_initial: 50.0,
+                t_final: 0.2,
+            },
+            3,
+        );
+        let opt_map = CongestionMap::estimate(&nl, &fp, &out.placement, 8, 8, 20.0);
+        assert!(
+            opt_map.mean_utilization() < random_map.mean_utilization(),
+            "optimized {} vs random {}",
+            opt_map.mean_utilization(),
+            random_map.mean_utilization()
+        );
+    }
+
+    #[test]
+    fn overflow_rises_as_capacity_falls() {
+        let (nl, fp) = setup();
+        let p = random_placement(&nl, &fp, 4).unwrap();
+        let loose = CongestionMap::estimate(&nl, &fp, &p, 8, 8, 100.0);
+        let tight = CongestionMap::estimate(&nl, &fp, &p, 8, 8, 1.0);
+        assert!(tight.total_overflow() > loose.total_overflow());
+        assert!(tight.hot_fraction(1.0) >= loose.hot_fraction(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "bin grid must be non-empty")]
+    fn rejects_empty_grid() {
+        let (nl, fp) = setup();
+        let p = random_placement(&nl, &fp, 1).unwrap();
+        let _ = CongestionMap::estimate(&nl, &fp, &p, 0, 8, 10.0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Die/core geometry derived from netlist area and target utilization.
+
+use crate::PlaceError;
+use ideaflow_netlist::graph::Netlist;
+
+/// A rectangular core area discretized into placement sites.
+///
+/// Sites form a `cols x rows` grid; each site can hold one instance (the
+/// synthetic library's cells are near-uniform in footprint, so a slot
+/// abstraction is adequate for the flow-level behaviour we reproduce).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Floorplan {
+    width_um: f64,
+    height_um: f64,
+    cols: usize,
+    rows: usize,
+    utilization: f64,
+}
+
+impl Floorplan {
+    /// Derives a square-ish floorplan for `netlist` at `utilization`
+    /// (fraction of core area occupied by cells) and the given aspect
+    /// ratio (height / width).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PlaceError::InvalidParameter`] if `utilization` is outside
+    /// `(0, 1]` or `aspect_ratio <= 0`.
+    pub fn for_netlist(
+        netlist: &Netlist,
+        utilization: f64,
+        aspect_ratio: f64,
+    ) -> Result<Self, PlaceError> {
+        if !(utilization > 0.0 && utilization <= 1.0) {
+            return Err(PlaceError::InvalidParameter {
+                name: "utilization",
+                detail: format!("must be in (0,1], got {utilization}"),
+            });
+        }
+        if aspect_ratio.is_nan() || aspect_ratio <= 0.0 {
+            return Err(PlaceError::InvalidParameter {
+                name: "aspect_ratio",
+                detail: format!("must be positive, got {aspect_ratio}"),
+            });
+        }
+        let cell_area = netlist.total_area_um2();
+        let core_area = cell_area / utilization;
+        let width = (core_area / aspect_ratio).sqrt();
+        let height = core_area / width;
+        // Slot pitch: area per site such that sites >= instances with slack
+        // 1/utilization.
+        let n = netlist.instance_count();
+        let sites_needed = ((n as f64) / utilization).ceil();
+        let cols = (sites_needed / aspect_ratio).sqrt().ceil() as usize;
+        let rows = ((sites_needed / cols as f64).ceil() as usize).max(1);
+        Ok(Self {
+            width_um: width,
+            height_um: height,
+            cols: cols.max(1),
+            rows,
+            utilization,
+        })
+    }
+
+    /// Core width in microns.
+    #[must_use]
+    pub fn width_um(&self) -> f64 {
+        self.width_um
+    }
+
+    /// Core height in microns.
+    #[must_use]
+    pub fn height_um(&self) -> f64 {
+        self.height_um
+    }
+
+    /// Number of site columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of site rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Total number of sites.
+    #[must_use]
+    pub fn site_count(&self) -> usize {
+        self.cols * self.rows
+    }
+
+    /// Requested utilization.
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    /// Centre coordinates (um) of site `(col, row)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the site is out of range.
+    #[must_use]
+    pub fn site_center(&self, col: usize, row: usize) -> (f64, f64) {
+        assert!(col < self.cols && row < self.rows, "site out of range");
+        let px = self.width_um / self.cols as f64;
+        let py = self.height_um / self.rows as f64;
+        ((col as f64 + 0.5) * px, (row as f64 + 0.5) * py)
+    }
+
+    /// Site index for a flat slot id.
+    #[must_use]
+    pub fn slot_to_site(&self, slot: usize) -> (usize, usize) {
+        (slot % self.cols, slot / self.cols)
+    }
+
+    /// Centre coordinates of a flat slot id.
+    #[must_use]
+    pub fn slot_center(&self, slot: usize) -> (f64, f64) {
+        let (c, r) = self.slot_to_site(slot);
+        self.site_center(c, r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn nl() -> Netlist {
+        DesignSpec::new(DesignClass::Cpu, 400).unwrap().generate(1)
+    }
+
+    #[test]
+    fn floorplan_has_enough_sites() {
+        let n = nl();
+        let fp = Floorplan::for_netlist(&n, 0.7, 1.0).unwrap();
+        assert!(fp.site_count() >= n.instance_count());
+    }
+
+    #[test]
+    fn area_matches_utilization() {
+        let n = nl();
+        let fp = Floorplan::for_netlist(&n, 0.5, 1.0).unwrap();
+        let core = fp.width_um() * fp.height_um();
+        assert!((core - n.total_area_um2() / 0.5).abs() / core < 1e-9);
+    }
+
+    #[test]
+    fn aspect_ratio_is_respected() {
+        let n = nl();
+        let fp = Floorplan::for_netlist(&n, 0.7, 2.0).unwrap();
+        assert!((fp.height_um() / fp.width_um() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn higher_utilization_means_smaller_die() {
+        let n = nl();
+        let loose = Floorplan::for_netlist(&n, 0.5, 1.0).unwrap();
+        let tight = Floorplan::for_netlist(&n, 0.9, 1.0).unwrap();
+        assert!(tight.width_um() < loose.width_um());
+        assert!(tight.site_count() < loose.site_count());
+    }
+
+    #[test]
+    fn slot_roundtrip() {
+        let n = nl();
+        let fp = Floorplan::for_netlist(&n, 0.7, 1.0).unwrap();
+        let slot = fp.cols() + 2; // col 2, row 1
+        assert_eq!(fp.slot_to_site(slot), (2, 1));
+        let (x, y) = fp.slot_center(slot);
+        assert!(x > 0.0 && x < fp.width_um());
+        assert!(y > 0.0 && y < fp.height_um());
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let n = nl();
+        assert!(Floorplan::for_netlist(&n, 0.0, 1.0).is_err());
+        assert!(Floorplan::for_netlist(&n, 1.5, 1.0).is_err());
+        assert!(Floorplan::for_netlist(&n, 0.5, 0.0).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! `ideaflow-route` — global routing and the detailed-route DRV simulator.
+//!
+//! The paper's doomed-run experiment (Figs 9–10 and the §3.3 table) consumes
+//! detailed-router logfiles: per-iteration design-rule-violation (DRV)
+//! counts over the router's default 20 iterations. We have no commercial
+//! router, so this crate provides the closest synthetic equivalent:
+//!
+//! - [`global`]: an L-shaped two-pass global router over the placement's
+//!   bin grid, producing per-bin track usage and overflow — the physical
+//!   driver of DRVs.
+//! - [`drv`]: a stochastic DRV-trajectory generator with the four
+//!   behaviour classes visible in the paper's Fig 9 (fast convergence,
+//!   slow convergence, plateau, divergence), seeded by congestion overflow.
+//! - [`logfile`]: router logfiles and the two corpora of the paper's
+//!   experiment — "artificial layouts" (training) and "floorplans of an
+//!   embedded CPU" (testing) — with class mixes chosen so the strategy-card
+//!   evaluation reproduces the table's error structure.
+
+pub mod drv;
+pub mod global;
+pub mod logfile;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for routing operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+        }
+    }
+}
+
+impl Error for RouteError {}

@@ -1,0 +1,405 @@
+//! ML analysis correlation — "accuracy for free" (paper §3.2, Fig 8).
+//!
+//! Two applications from the paper, both implemented against our dual
+//! engines:
+//!
+//! 1. **GBA→PBA prediction** (near-term extension (1) of \[20\]): learn a
+//!    model that predicts signoff path-based slack from cheap graph-based
+//!    results plus structural path features. The corrected cheap engine
+//!    then sits near the signoff point of the accuracy/cost plane at a
+//!    fraction of the cost — the Fig 8 curve shift.
+//! 2. **Missing-corner prediction** (near-term extension (2)): predict
+//!    slack at a corner that was never analyzed from the corners that
+//!    were.
+
+use crate::graph::{gba, Endpoint, GbaReport, TimingGraph};
+use crate::model::{Constraints, Corner};
+use crate::pba::{pba, PbaReport};
+use crate::TimingError;
+use ideaflow_mlkit::forest::{ForestConfig, RandomForest};
+use ideaflow_mlkit::knn::KnnRegressor;
+use ideaflow_mlkit::linreg::RidgeRegression;
+use ideaflow_mlkit::scale::StandardScaler;
+use ideaflow_mlkit::tree::{RegressionTree, TreeConfig};
+use ideaflow_netlist::graph::Driver;
+
+/// Number of features in [`endpoint_features`] rows.
+pub const FEATURE_WIDTH: usize = 5;
+
+/// Cheap per-endpoint features: GBA slack plus a GBA-model retrace of the
+/// critical path (typical corner only — no signoff work involved).
+///
+/// Feature order: `[gba_slack, depth, wire_delay, coupled_nets, end_load]`.
+#[must_use]
+pub fn endpoint_features(
+    graph: &TimingGraph<'_>,
+    report: &GbaReport,
+) -> Vec<(Endpoint, Vec<f64>)> {
+    let nl = graph.netlist();
+    report
+        .endpoint_slacks
+        .iter()
+        .map(|&(ep, slack)| {
+            let end_net = match ep {
+                Endpoint::FlopD(id) => nl.instance(id).inputs[0],
+                Endpoint::PrimaryOutput(net) => net,
+            };
+            // Cheap backpointer retrace under the GBA delay model.
+            let mut depth = 0usize;
+            let mut wire = graph.gba_wire_delay_ps(end_net, Corner::TYPICAL);
+            let mut coupled = usize::from(graph.is_coupled(end_net));
+            let mut net = end_net;
+            loop {
+                match nl.net(net).driver {
+                    Driver::PrimaryInput(_) => break,
+                    Driver::Instance(id) => {
+                        let inst = nl.instance(id);
+                        if inst.cell.kind.is_sequential() {
+                            break;
+                        }
+                        let pin =
+                            report.critical_input[id.0 as usize].expect("comb critical pin");
+                        let input = inst.inputs[pin];
+                        depth += 1;
+                        wire += graph.gba_wire_delay_ps(input, Corner::TYPICAL);
+                        coupled += usize::from(graph.is_coupled(input));
+                        net = input;
+                    }
+                }
+            }
+            let features = vec![
+                slack,
+                depth as f64,
+                wire,
+                coupled as f64,
+                graph.net_load(end_net),
+            ];
+            (ep, features)
+        })
+        .collect()
+}
+
+/// The model families compared in the correction ablation. Features are
+/// standardized before fitting (required for k-NN, harmless elsewhere).
+#[derive(Debug, Clone)]
+pub enum CorrectionModel {
+    /// Ridge linear regression.
+    Linear(StandardScaler, RidgeRegression),
+    /// k-nearest neighbours.
+    Knn(StandardScaler, KnnRegressor),
+    /// CART regression tree.
+    Tree(StandardScaler, RegressionTree),
+    /// Bagged regression forest.
+    Forest(StandardScaler, RandomForest),
+}
+
+/// Which family to fit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelFamily {
+    /// Ridge linear regression (default; the relationship is near-linear).
+    Linear,
+    /// k-NN with `k = 5`.
+    Knn,
+    /// Regression tree of depth 5.
+    Tree,
+    /// Bagged forest of 20 depth-6 trees.
+    Forest,
+}
+
+impl CorrectionModel {
+    /// Fits a correction model mapping endpoint features to signoff slack.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying model's fit errors.
+    pub fn fit(
+        family: ModelFamily,
+        xs: &[Vec<f64>],
+        ys: &[f64],
+    ) -> Result<Self, ideaflow_mlkit::MlError> {
+        let scaler = StandardScaler::fit(xs)?;
+        let xs_std = scaler.transform(xs);
+        Ok(match family {
+            ModelFamily::Linear => {
+                Self::Linear(scaler, RidgeRegression::fit(&xs_std, ys, 1e-6)?)
+            }
+            ModelFamily::Knn => Self::Knn(
+                scaler,
+                KnnRegressor::fit(xs_std, ys.to_vec(), 5.min(xs.len()))?,
+            ),
+            ModelFamily::Tree => Self::Tree(
+                scaler,
+                RegressionTree::fit(
+                    &xs_std,
+                    ys,
+                    TreeConfig {
+                        max_depth: 5,
+                        min_samples_split: 8,
+                    },
+                )?,
+            ),
+            ModelFamily::Forest => Self::Forest(
+                scaler,
+                RandomForest::fit(
+                    &xs_std,
+                    ys,
+                    ForestConfig {
+                        trees: 20,
+                        tree: TreeConfig {
+                            max_depth: 6,
+                            min_samples_split: 4,
+                        },
+                        seed: 0xF0E,
+                    },
+                )?,
+            ),
+        })
+    }
+
+    /// Predicts signoff slack for one endpoint's features.
+    #[must_use]
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            Self::Linear(s, m) => m.predict(&s.transform_row(x)),
+            Self::Knn(s, m) => m.predict(&s.transform_row(x)),
+            Self::Tree(s, m) => m.predict(&s.transform_row(x)),
+            Self::Forest(s, m) => m.predict(&s.transform_row(x)),
+        }
+    }
+}
+
+/// One point on the Fig 8 accuracy/cost plane.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccuracyCostPoint {
+    /// Engine or model name.
+    pub name: String,
+    /// Cost in arc evaluations (runtime proxy).
+    pub cost_arcs: usize,
+    /// RMS slack error vs the golden signoff, ps.
+    pub rmse_ps: f64,
+}
+
+/// Evaluates the accuracy/cost plane on one design: raw GBA, GBA+ML
+/// correction (model trained on `train` endpoints, evaluated on the rest),
+/// single-corner PBA, and golden multi-corner PBA (zero error by
+/// definition).
+///
+/// `train_fraction` of endpoints (deterministic prefix after sorting by
+/// endpoint id) are used to fit the correction.
+///
+/// # Errors
+///
+/// Propagates analysis and fit errors;
+/// [`TimingError::InvalidParameter`] if the split leaves either side empty.
+pub fn accuracy_cost_curve(
+    graph: &TimingGraph<'_>,
+    constraints: &Constraints,
+    family: ModelFamily,
+    train_fraction: f64,
+) -> Result<Vec<AccuracyCostPoint>, TimingError> {
+    let gba_r = gba(graph, constraints, Corner::TYPICAL)?;
+    let golden: PbaReport = pba(graph, constraints, &Corner::STANDARD)?;
+    let single = pba(graph, constraints, &[Corner::SLOW])?;
+
+    let feats = endpoint_features(graph, &gba_r);
+    let n = feats.len();
+    let n_train = ((n as f64) * train_fraction).round() as usize;
+    if n_train == 0 || n_train >= n {
+        return Err(TimingError::InvalidParameter {
+            name: "train_fraction",
+            detail: format!("split {n_train}/{n} leaves an empty side"),
+        });
+    }
+    let golden_of = |ep: Endpoint| golden.slack_of(ep).expect("golden covers all endpoints");
+
+    // Interleaved split: endpoints come grouped by kind (flops first, then
+    // primary outputs), so a prefix split would train on one kind only.
+    let stride = (n as f64 / n_train as f64).max(1.0);
+    let mut train: Vec<&(Endpoint, Vec<f64>)> = Vec::with_capacity(n_train);
+    let mut test: Vec<&(Endpoint, Vec<f64>)> = Vec::with_capacity(n - n_train);
+    let mut next_train = 0.0f64;
+    for (i, item) in feats.iter().enumerate() {
+        if (i as f64) >= next_train && train.len() < n_train {
+            train.push(item);
+            next_train += stride;
+        } else {
+            test.push(item);
+        }
+    }
+    let xs: Vec<Vec<f64>> = train.iter().map(|(_, f)| f.clone()).collect();
+    let ys: Vec<f64> = train.iter().map(|(ep, _)| golden_of(*ep)).collect();
+    let model = CorrectionModel::fit(family, &xs, &ys).map_err(|e| {
+        TimingError::InvalidParameter {
+            name: "correction_model",
+            detail: e.to_string(),
+        }
+    })?;
+
+    let rmse = |pairs: &[(f64, f64)]| -> f64 {
+        (pairs.iter().map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pairs.len() as f64).sqrt()
+    };
+
+    // Raw GBA error on test endpoints.
+    let gba_pairs: Vec<(f64, f64)> = test
+        .iter()
+        .map(|(ep, f)| (f[0], golden_of(*ep)))
+        .collect();
+    // Corrected GBA error.
+    let ml_pairs: Vec<(f64, f64)> = test
+        .iter()
+        .map(|(ep, f)| (model.predict(f), golden_of(*ep)))
+        .collect();
+    // Single-corner PBA error.
+    let sc_pairs: Vec<(f64, f64)> = test
+        .iter()
+        .map(|(ep, _)| {
+            (
+                single.slack_of(*ep).expect("single covers all endpoints"),
+                golden_of(*ep),
+            )
+        })
+        .collect();
+
+    Ok(vec![
+        AccuracyCostPoint {
+            name: "gba_tt".into(),
+            cost_arcs: gba_r.arcs_evaluated,
+            rmse_ps: rmse(&gba_pairs),
+        },
+        AccuracyCostPoint {
+            name: format!("gba_tt+ml_{family:?}").to_lowercase(),
+            cost_arcs: gba_r.arcs_evaluated + n, // prediction is O(endpoints)
+            rmse_ps: rmse(&ml_pairs),
+        },
+        AccuracyCostPoint {
+            name: "pba_slow".into(),
+            cost_arcs: single.arcs_evaluated,
+            rmse_ps: rmse(&sc_pairs),
+        },
+        AccuracyCostPoint {
+            name: "pba_standard(golden)".into(),
+            cost_arcs: golden.arcs_evaluated,
+            rmse_ps: 0.0,
+        },
+    ])
+}
+
+/// Missing-corner prediction: fit slack at `missing` from slacks at
+/// `analyzed` corners, per endpoint, and report test R².
+///
+/// # Errors
+///
+/// Propagates analysis and fit errors.
+pub fn missing_corner_r2(
+    graph: &TimingGraph<'_>,
+    constraints: &Constraints,
+    analyzed: &[Corner],
+    missing: Corner,
+    train_fraction: f64,
+) -> Result<f64, TimingError> {
+    let per_corner: Vec<PbaReport> = analyzed
+        .iter()
+        .map(|&c| pba(graph, constraints, &[c]))
+        .collect::<Result<_, _>>()?;
+    let target = pba(graph, constraints, &[missing])?;
+    let n = target.path_slacks.len();
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| per_corner.iter().map(|r| r.path_slacks[i].slack_ps).collect())
+        .collect();
+    let ys: Vec<f64> = target.path_slacks.iter().map(|p| p.slack_ps).collect();
+    let n_train = ((n as f64) * train_fraction).round() as usize;
+    if n_train == 0 || n_train >= n {
+        return Err(TimingError::InvalidParameter {
+            name: "train_fraction",
+            detail: format!("split {n_train}/{n} leaves an empty side"),
+        });
+    }
+    let model = RidgeRegression::fit(&xs[..n_train], &ys[..n_train], 1e-6).map_err(|e| {
+        TimingError::InvalidParameter {
+            name: "missing_corner_model",
+            detail: e.to_string(),
+        }
+    })?;
+    let pred: Vec<f64> = xs[n_train..].iter().map(|x| model.predict(x)).collect();
+    Ok(ideaflow_mlkit::eval::r2(&pred, &ys[n_train..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WireModel;
+    use crate::si::apply_coupling;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn graph() -> (ideaflow_netlist::graph::Netlist,) {
+        (DesignSpec::new(DesignClass::Cpu, 600).unwrap().generate(11),)
+    }
+
+    #[test]
+    fn ml_correction_improves_gba_accuracy() {
+        let (nl,) = graph();
+        let mut g = TimingGraph::build(&nl, WireModel::default());
+        apply_coupling(&mut g, 0.25, 3);
+        let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+        let pts = accuracy_cost_curve(&g, &cons, ModelFamily::Linear, 0.5).unwrap();
+        let gba_pt = pts.iter().find(|p| p.name == "gba_tt").unwrap();
+        let ml_pt = pts.iter().find(|p| p.name.contains("ml")).unwrap();
+        let golden = pts.iter().find(|p| p.name.contains("golden")).unwrap();
+        assert!(
+            ml_pt.rmse_ps < gba_pt.rmse_ps * 0.6,
+            "ml {} vs gba {}",
+            ml_pt.rmse_ps,
+            gba_pt.rmse_ps
+        );
+        // The "accuracy for free" shape: corrected model is far cheaper
+        // than golden signoff.
+        assert!(ml_pt.cost_arcs < golden.cost_arcs / 2);
+        assert_eq!(golden.rmse_ps, 0.0);
+    }
+
+    #[test]
+    fn all_families_fit() {
+        let (nl,) = graph();
+        let mut g = TimingGraph::build(&nl, WireModel::default());
+        apply_coupling(&mut g, 0.25, 3);
+        let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+        for fam in [
+            ModelFamily::Linear,
+            ModelFamily::Knn,
+            ModelFamily::Tree,
+            ModelFamily::Forest,
+        ] {
+            let pts = accuracy_cost_curve(&g, &cons, fam, 0.5).unwrap();
+            assert_eq!(pts.len(), 4);
+        }
+    }
+
+    #[test]
+    fn features_have_declared_width() {
+        let (nl,) = graph();
+        let g = TimingGraph::build(&nl, WireModel::default());
+        let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+        let r = gba(&g, &cons, Corner::TYPICAL).unwrap();
+        let feats = endpoint_features(&g, &r);
+        assert!(!feats.is_empty());
+        assert!(feats.iter().all(|(_, f)| f.len() == FEATURE_WIDTH));
+    }
+
+    #[test]
+    fn missing_corner_is_predictable() {
+        let (nl,) = graph();
+        let g = TimingGraph::build(&nl, WireModel::default());
+        let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+        let r2 = missing_corner_r2(&g, &cons, &Corner::STANDARD, Corner::LOW_VOLTAGE, 0.5)
+            .unwrap();
+        assert!(r2 > 0.9, "missing-corner R² = {r2}");
+    }
+
+    #[test]
+    fn bad_split_is_rejected() {
+        let (nl,) = graph();
+        let g = TimingGraph::build(&nl, WireModel::default());
+        let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+        assert!(accuracy_cost_curve(&g, &cons, ModelFamily::Linear, 0.0).is_err());
+    }
+}

@@ -1,0 +1,56 @@
+//! `ideaflow-timing` — static timing analysis with two engines and ML
+//! analysis correlation (paper §3.2, Fig 8).
+//!
+//! Analysis miscorrelation "exists when two different tools return different
+//! results for the same input data, analysis task and laws of physics", and
+//! it forces guardbands and iterations. This crate realizes the phenomenon
+//! with two real engines over one timing graph:
+//!
+//! - [`graph`]: the timing graph and the **graph-based** engine (GBA): one
+//!   topological pass, corner-derated, SI-blind, slew-pessimistic — fast.
+//! - [`pba`]: the **path-based** "signoff" engine (PBA): per-endpoint path
+//!   retrace with stage-by-stage pessimism removal, SI coupling pushout and
+//!   multi-corner analysis — accurate, and proportionally more expensive
+//!   (cost is counted in arc evaluations, the deterministic runtime proxy).
+//! - [`model`]: wire/corner models shared by both engines.
+//! - [`si`]: deterministic coupling assignment (which nets see crosstalk).
+//! - [`correlate`]: ML correction of GBA toward PBA ("accuracy for free",
+//!   Fig 8), including the paper's proposed GBA→PBA prediction and
+//!   missing-corner prediction.
+
+pub mod correlate;
+pub mod graph;
+pub mod model;
+pub mod optimize;
+pub mod pba;
+pub mod si;
+
+use std::error::Error;
+use std::fmt;
+
+/// Error type for timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TimingError {
+    /// A parameter was outside its valid domain.
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint description.
+        detail: String,
+    },
+    /// The netlist has no timing endpoints.
+    NoEndpoints,
+}
+
+impl fmt::Display for TimingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TimingError::InvalidParameter { name, detail } => {
+                write!(f, "invalid parameter `{name}`: {detail}")
+            }
+            TimingError::NoEndpoints => write!(f, "netlist has no timing endpoints"),
+        }
+    }
+}
+
+impl Error for TimingError {}

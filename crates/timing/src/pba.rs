@@ -1,0 +1,360 @@
+//! The path-based "signoff" engine (PBA).
+//!
+//! PBA retraces each endpoint's critical path and recomputes its delay
+//! stage-by-stage: the uniform GBA slew pessimism is replaced by a
+//! depth-converging slew model (deep stages see settled slews), SI pushout
+//! is added on coupled nets, and the analysis repeats at every corner,
+//! reporting the worst. It is the reference ("golden") timer of the
+//! workspace — more accurate, proportionally more expensive.
+
+use crate::graph::{gba, Endpoint, GbaReport, TimingGraph, GBA_SLEW_PESSIMISM};
+use crate::model::{Constraints, Corner};
+use crate::si::SI_PUSHOUT_FACTOR;
+use crate::TimingError;
+use ideaflow_netlist::graph::{Driver, NetId};
+
+/// Per-endpoint signoff result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathSlack {
+    /// The endpoint.
+    pub endpoint: Endpoint,
+    /// Signoff slack at the worst corner, ps.
+    pub slack_ps: f64,
+    /// Corner at which the worst slack occurred.
+    pub worst_corner: &'static str,
+    /// Number of combinational stages on the retraced path.
+    pub depth: usize,
+    /// Total wire delay on the path (typical corner), ps.
+    pub wire_delay_ps: f64,
+    /// Number of SI-coupled nets on the path.
+    pub coupled_nets: usize,
+}
+
+/// Full signoff report.
+#[derive(Debug, Clone)]
+pub struct PbaReport {
+    /// Per-endpoint path slacks.
+    pub path_slacks: Vec<PathSlack>,
+    /// Worst slack over endpoints and corners, ps.
+    pub wns_ps: f64,
+    /// Total negative slack, ps.
+    pub tns_ps: f64,
+    /// Arc evaluations performed (GBA passes + path retraces) — the
+    /// runtime proxy, directly comparable with
+    /// [`GbaReport::arcs_evaluated`].
+    pub arcs_evaluated: usize,
+}
+
+impl PbaReport {
+    /// Whether all endpoints meet timing at all corners.
+    #[must_use]
+    pub fn meets_timing(&self) -> bool {
+        self.wns_ps >= 0.0
+    }
+
+    /// Signoff slack for an endpoint, if present.
+    #[must_use]
+    pub fn slack_of(&self, ep: Endpoint) -> Option<f64> {
+        self.path_slacks
+            .iter()
+            .find(|p| p.endpoint == ep)
+            .map(|p| p.slack_ps)
+    }
+}
+
+/// Stage-delay model used by PBA: slew pessimism decays with depth (slews
+/// settle after a few stages), so stage `d` (0-based from the startpoint)
+/// carries factor `1 + (GBA_SLEW_PESSIMISM - 1) * exp(-d / 3)`.
+#[must_use]
+pub fn pba_slew_factor(depth_from_start: usize) -> f64 {
+    1.0 + (GBA_SLEW_PESSIMISM - 1.0) * (-(depth_from_start as f64) / 3.0).exp()
+}
+
+/// Runs path-based signoff over the given corners (typically
+/// [`Corner::STANDARD`]).
+///
+/// # Errors
+///
+/// - [`TimingError::InvalidParameter`] if `corners` is empty.
+/// - Propagates [`gba`] errors.
+pub fn pba(
+    graph: &TimingGraph<'_>,
+    constraints: &Constraints,
+    corners: &[Corner],
+) -> Result<PbaReport, TimingError> {
+    if corners.is_empty() {
+        return Err(TimingError::InvalidParameter {
+            name: "corners",
+            detail: "need at least one corner".into(),
+        });
+    }
+    let mut arcs = 0usize;
+    // One GBA pass per corner provides backpointers and a basis for
+    // retracing (paths may differ per corner; we retrace each corner's own
+    // critical path).
+    let mut per_corner: Vec<(Corner, GbaReport)> = Vec::with_capacity(corners.len());
+    for &corner in corners {
+        let r = gba(graph, constraints, corner)?;
+        arcs += r.arcs_evaluated;
+        per_corner.push((corner, r));
+    }
+
+    let endpoints = graph.endpoints();
+    let mut path_slacks = Vec::with_capacity(endpoints.len());
+    let mut wns = f64::INFINITY;
+    let mut tns = 0.0;
+    for ep in endpoints {
+        let mut worst_slack = f64::INFINITY;
+        let mut worst_corner = corners[0].name;
+        let mut worst_feat = (0usize, 0.0f64, 0usize);
+        for (corner, report) in &per_corner {
+            let (slack, depth, wire_ps, coupled) =
+                retrace_endpoint(graph, constraints, *corner, report, ep, &mut arcs);
+            if slack < worst_slack {
+                worst_slack = slack;
+                worst_corner = corner.name;
+                worst_feat = (depth, wire_ps, coupled);
+            }
+        }
+        wns = wns.min(worst_slack);
+        if worst_slack < 0.0 {
+            tns += worst_slack;
+        }
+        path_slacks.push(PathSlack {
+            endpoint: ep,
+            slack_ps: worst_slack,
+            worst_corner,
+            depth: worst_feat.0,
+            wire_delay_ps: worst_feat.1,
+            coupled_nets: worst_feat.2,
+        });
+    }
+    Ok(PbaReport {
+        path_slacks,
+        wns_ps: wns,
+        tns_ps: tns,
+        arcs_evaluated: arcs,
+    })
+}
+
+/// Retraces the critical path into `ep` at one corner and recomputes its
+/// delay with the PBA stage model. Returns `(slack, depth, wire_ps,
+/// coupled_count)`.
+fn retrace_endpoint(
+    graph: &TimingGraph<'_>,
+    constraints: &Constraints,
+    corner: Corner,
+    report: &GbaReport,
+    ep: Endpoint,
+    arcs: &mut usize,
+) -> (f64, usize, f64, usize) {
+    let nl = graph.netlist();
+    // Walk backwards from the endpoint net to a startpoint, collecting the
+    // (instance, input net) stages in reverse.
+    let (end_net, setup) = match ep {
+        Endpoint::FlopD(id) => (nl.instance(id).inputs[0], constraints.setup_ps),
+        Endpoint::PrimaryOutput(net) => (net, 0.0),
+    };
+    let mut stages_rev: Vec<(ideaflow_netlist::graph::InstId, NetId)> = Vec::new();
+    let mut net = end_net;
+    let start_arrival = loop {
+        match nl.net(net).driver {
+            Driver::PrimaryInput(_) => break constraints.input_delay_ps,
+            Driver::Instance(id) => {
+                let inst = nl.instance(id);
+                if inst.cell.kind.is_sequential() {
+                    break constraints.clk_to_q_ps * corner.cell_derate;
+                }
+                let pin = report.critical_input[id.0 as usize].expect("comb has critical pin");
+                let input = inst.inputs[pin];
+                stages_rev.push((id, input));
+                net = input;
+            }
+        }
+    };
+    // Recompute forward.
+    let mut t = start_arrival;
+    let mut wire_total = 0.0;
+    let mut coupled = 0usize;
+    let depth = stages_rev.len();
+    for (d, &(inst, input)) in stages_rev.iter().rev().enumerate() {
+        let mut wire = graph.gba_wire_delay_ps(input, corner);
+        if graph.is_coupled(input) {
+            wire *= 1.0 + SI_PUSHOUT_FACTOR;
+            coupled += 1;
+        }
+        wire_total += wire;
+        // Cell delay with path-specific slew factor instead of the GBA
+        // uniform pessimism.
+        let i = nl.instance(inst);
+        let raw = i.cell.delay_ps(graph.net_load(i.output)) * corner.cell_derate;
+        t += wire + raw * pba_slew_factor(d);
+        *arcs += 1;
+    }
+    // Final wire hop into the endpoint.
+    let mut last_wire = graph.gba_wire_delay_ps(end_net, corner);
+    if graph.is_coupled(end_net) {
+        last_wire *= 1.0 + SI_PUSHOUT_FACTOR;
+        coupled += 1;
+    }
+    wire_total += last_wire;
+    t += last_wire + setup;
+    (constraints.clock_period_ps - t, depth, wire_total, coupled)
+}
+
+/// Binary-searches the maximum frequency (GHz) at which the design meets
+/// signoff timing at the given corners.
+///
+/// # Errors
+///
+/// Propagates analysis errors.
+pub fn max_frequency_ghz(
+    graph: &TimingGraph<'_>,
+    corners: &[Corner],
+) -> Result<f64, TimingError> {
+    let mut lo = 0.01f64;
+    let mut hi = 20.0f64;
+    // Establish that lo passes; if not, return lo.
+    let pass = |ghz: f64| -> Result<bool, TimingError> {
+        let cons = Constraints::at_frequency_ghz(ghz)?;
+        Ok(pba(graph, &cons, corners)?.meets_timing())
+    };
+    if !pass(lo)? {
+        return Ok(lo);
+    }
+    if pass(hi)? {
+        return Ok(hi);
+    }
+    for _ in 0..40 {
+        let mid = f64::midpoint(lo, hi);
+        if pass(mid)? {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Ok(lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WireModel;
+    use crate::si::apply_coupling;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    fn graph_for(n: usize, seed: u64) -> (ideaflow_netlist::graph::Netlist, WireModel) {
+        (
+            DesignSpec::new(DesignClass::Cpu, n).unwrap().generate(seed),
+            WireModel::default(),
+        )
+    }
+
+    #[test]
+    fn pba_without_si_is_less_pessimistic_than_gba() {
+        // With no coupling, PBA only removes slew pessimism, so every
+        // endpoint's PBA slack >= its GBA slack at the same corner.
+        let (nl, wire) = graph_for(400, 1);
+        let g = TimingGraph::build(&nl, wire);
+        let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+        let gba_r = gba(&g, &cons, Corner::TYPICAL).unwrap();
+        let pba_r = pba(&g, &cons, &[Corner::TYPICAL]).unwrap();
+        for p in &pba_r.path_slacks {
+            let gs = gba_r.slack_of(p.endpoint).unwrap();
+            assert!(
+                p.slack_ps >= gs - 1e-6,
+                "endpoint {:?}: pba {} < gba {}",
+                p.endpoint,
+                p.slack_ps,
+                gs
+            );
+        }
+    }
+
+    #[test]
+    fn si_makes_pba_more_pessimistic_somewhere() {
+        let (nl, wire) = graph_for(500, 2);
+        let mut g = TimingGraph::build(&nl, wire);
+        apply_coupling(&mut g, 0.4, 9);
+        let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+        let gba_r = gba(&g, &cons, Corner::TYPICAL).unwrap();
+        let pba_r = pba(&g, &cons, &[Corner::TYPICAL]).unwrap();
+        // Some endpoint must now be worse under signoff than under GBA —
+        // the dangerous direction of miscorrelation.
+        let crossed = pba_r.path_slacks.iter().any(|p| {
+            let gs = gba_r.slack_of(p.endpoint).unwrap();
+            p.slack_ps < gs - 1e-9
+        });
+        assert!(crossed, "expected SI to push some endpoint past GBA");
+    }
+
+    #[test]
+    fn multi_corner_wns_is_at_most_single_corner() {
+        let (nl, wire) = graph_for(300, 3);
+        let g = TimingGraph::build(&nl, wire);
+        let cons = Constraints::at_frequency_ghz(0.7).unwrap();
+        let tt = pba(&g, &cons, &[Corner::TYPICAL]).unwrap();
+        let all = pba(&g, &cons, &Corner::STANDARD).unwrap();
+        assert!(all.wns_ps <= tt.wns_ps + 1e-9);
+        // Worst corner at the WNS endpoint should be one of the slow ones.
+        let worst = all
+            .path_slacks
+            .iter()
+            .min_by(|a, b| a.slack_ps.partial_cmp(&b.slack_ps).unwrap())
+            .unwrap();
+        assert!(worst.worst_corner.starts_with("ss_"), "{}", worst.worst_corner);
+    }
+
+    #[test]
+    fn pba_costs_more_than_gba() {
+        let (nl, wire) = graph_for(400, 4);
+        let g = TimingGraph::build(&nl, wire);
+        let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+        let gba_r = gba(&g, &cons, Corner::TYPICAL).unwrap();
+        let pba_r = pba(&g, &cons, &Corner::STANDARD).unwrap();
+        assert!(pba_r.arcs_evaluated > gba_r.arcs_evaluated);
+    }
+
+    #[test]
+    fn slew_factor_decays_to_one() {
+        assert!((pba_slew_factor(0) - GBA_SLEW_PESSIMISM).abs() < 1e-12);
+        assert!(pba_slew_factor(5) < pba_slew_factor(1));
+        assert!(pba_slew_factor(100) < 1.001);
+        assert!(pba_slew_factor(100) >= 1.0);
+    }
+
+    #[test]
+    fn max_frequency_is_bracketed() {
+        let (nl, wire) = graph_for(300, 5);
+        let g = TimingGraph::build(&nl, wire);
+        let fmax = max_frequency_ghz(&g, &[Corner::SLOW]).unwrap();
+        assert!(fmax > 0.01 && fmax < 20.0);
+        // Just below fmax passes; just above fails.
+        let pass = |ghz: f64| {
+            let cons = Constraints::at_frequency_ghz(ghz).unwrap();
+            pba(&g, &cons, &[Corner::SLOW]).unwrap().meets_timing()
+        };
+        assert!(pass(fmax * 0.98));
+        assert!(!pass(fmax * 1.05));
+    }
+
+    #[test]
+    fn empty_corner_set_is_rejected() {
+        let (nl, wire) = graph_for(100, 6);
+        let g = TimingGraph::build(&nl, wire);
+        let cons = Constraints::at_frequency_ghz(1.0).unwrap();
+        assert!(pba(&g, &cons, &[]).is_err());
+    }
+
+    #[test]
+    fn path_features_are_recorded() {
+        let (nl, wire) = graph_for(400, 7);
+        let mut g = TimingGraph::build(&nl, wire);
+        apply_coupling(&mut g, 0.3, 2);
+        let cons = Constraints::at_frequency_ghz(0.8).unwrap();
+        let r = pba(&g, &cons, &[Corner::TYPICAL]).unwrap();
+        assert!(r.path_slacks.iter().any(|p| p.depth > 0));
+        assert!(r.path_slacks.iter().all(|p| p.wire_delay_ps >= 0.0));
+        assert!(r.path_slacks.iter().any(|p| p.coupled_nets > 0));
+    }
+}

@@ -1,0 +1,133 @@
+//! Deterministic SI-coupling assignment.
+//!
+//! Which nets suffer crosstalk is a physical property (adjacency of long
+//! parallel wires). Without detailed geometry we assign coupling
+//! deterministically from net properties: long, multi-fanout nets in
+//! congested designs couple with higher probability, using a hash of the
+//! net id so the assignment is stable across engines and runs.
+
+use crate::graph::TimingGraph;
+use ideaflow_netlist::graph::NetId;
+
+/// Multiplier applied to a coupled net's wire delay by the signoff engine
+/// (victim pushout under worst-case aggressor alignment).
+pub const SI_PUSHOUT_FACTOR: f64 = 0.35;
+
+/// Splitmix-style hash to a uniform [0,1) value.
+fn hash01(seed: u64, x: u64) -> f64 {
+    let mut z = seed ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    (z >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Computes the coupled-net mask for a graph.
+///
+/// `base_rate` is the coupling probability of an average net; long nets
+/// (length above the 75th percentile) couple at 3x the base rate. The mask
+/// is deterministic in `seed`.
+#[must_use]
+pub fn coupling_mask(graph: &TimingGraph<'_>, base_rate: f64, seed: u64) -> Vec<bool> {
+    let nl = graph.netlist();
+    let mut lengths: Vec<f64> = (0..nl.net_count())
+        .map(|i| graph.net_length(NetId(i as u32)))
+        .collect();
+    let mut sorted = lengths.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite lengths"));
+    let p75 = if sorted.is_empty() {
+        0.0
+    } else {
+        sorted[(sorted.len() - 1) * 3 / 4]
+    };
+    lengths
+        .drain(..)
+        .enumerate()
+        .map(|(i, len)| {
+            let rate = if len > p75 {
+                (base_rate * 3.0).min(1.0)
+            } else {
+                base_rate
+            };
+            hash01(seed, i as u64) < rate
+        })
+        .collect()
+}
+
+/// Applies a coupling mask to the graph (convenience wrapper).
+pub fn apply_coupling(graph: &mut TimingGraph<'_>, base_rate: f64, seed: u64) {
+    let mask = coupling_mask(graph, base_rate, seed);
+    graph.set_coupled(mask);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::WireModel;
+    use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+    #[test]
+    fn coupling_rate_tracks_base_rate() {
+        let nl = DesignSpec::new(DesignClass::Cpu, 800).unwrap().generate(1);
+        let g = TimingGraph::build(&nl, WireModel::default());
+        let low = coupling_mask(&g, 0.05, 7);
+        let high = coupling_mask(&g, 0.5, 7);
+        let n_low = low.iter().filter(|&&b| b).count();
+        let n_high = high.iter().filter(|&&b| b).count();
+        assert!(n_high > n_low * 3, "high {n_high} vs low {n_low}");
+    }
+
+    #[test]
+    fn mask_is_deterministic() {
+        let nl = DesignSpec::new(DesignClass::Cpu, 400).unwrap().generate(2);
+        let g = TimingGraph::build(&nl, WireModel::default());
+        assert_eq!(coupling_mask(&g, 0.2, 3), coupling_mask(&g, 0.2, 3));
+        assert_ne!(coupling_mask(&g, 0.2, 3), coupling_mask(&g, 0.2, 4));
+    }
+
+    #[test]
+    fn long_nets_couple_more() {
+        let nl = DesignSpec::new(DesignClass::Noc, 800).unwrap().generate(3);
+        let g = TimingGraph::build(&nl, WireModel::default());
+        let mask = coupling_mask(&g, 0.1, 5);
+        let mut lens: Vec<f64> = (0..nl.net_count())
+            .map(|i| g.net_length(ideaflow_netlist::graph::NetId(i as u32)))
+            .collect();
+        lens.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let p75 = lens[(lens.len() - 1) * 3 / 4];
+        let (mut long_c, mut long_n, mut short_c, mut short_n) = (0, 0, 0, 0);
+        for (i, &coupled) in mask.iter().enumerate() {
+            let len = g.net_length(ideaflow_netlist::graph::NetId(i as u32));
+            if len > p75 {
+                long_n += 1;
+                if coupled {
+                    long_c += 1;
+                }
+            } else {
+                short_n += 1;
+                if coupled {
+                    short_c += 1;
+                }
+            }
+        }
+        if long_n > 20 && short_n > 20 {
+            let long_rate = long_c as f64 / long_n as f64;
+            let short_rate = short_c as f64 / short_n as f64;
+            assert!(
+                long_rate > short_rate,
+                "long {long_rate} vs short {short_rate}"
+            );
+        }
+    }
+
+    #[test]
+    fn apply_coupling_sets_graph_state() {
+        let nl = DesignSpec::new(DesignClass::Cpu, 300).unwrap().generate(4);
+        let mut g = TimingGraph::build(&nl, WireModel::default());
+        apply_coupling(&mut g, 0.9, 1);
+        let coupled = (0..nl.net_count())
+            .filter(|&i| g.is_coupled(ideaflow_netlist::graph::NetId(i as u32)))
+            .count();
+        assert!(coupled > nl.net_count() / 2);
+    }
+}

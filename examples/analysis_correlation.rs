@@ -1,0 +1,54 @@
+//! Analysis miscorrelation and "accuracy for free" (paper §3.2 / Fig 8):
+//! run the fast graph-based timer and the signoff path-based timer on the
+//! same design, measure their divergence, then close most of the gap with
+//! a learned correction at a fraction of signoff cost.
+//!
+//! ```sh
+//! cargo run --example analysis_correlation
+//! ```
+
+use ideaflow::netlist::generate::{DesignClass, DesignSpec};
+use ideaflow::timing::correlate::{accuracy_cost_curve, missing_corner_r2, ModelFamily};
+use ideaflow::timing::graph::{gba, TimingGraph};
+use ideaflow::timing::model::{Constraints, Corner, WireModel};
+use ideaflow::timing::pba::pba;
+use ideaflow::timing::si::apply_coupling;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let nl = DesignSpec::new(DesignClass::Cpu, 2_000)?.generate(0xACC);
+    let mut graph = TimingGraph::build(&nl, WireModel::default());
+    apply_coupling(&mut graph, 0.25, 7);
+    let cons = Constraints::at_frequency_ghz(0.8)?;
+
+    // Raw miscorrelation: count endpoints where the two engines disagree
+    // on sign (the dangerous kind: P&R thinks it passes, signoff fails).
+    let g = gba(&graph, &cons, Corner::TYPICAL)?;
+    let p = pba(&graph, &cons, &Corner::STANDARD)?;
+    let mut sign_flips = 0;
+    for ps in &p.path_slacks {
+        let gs = g.slack_of(ps.endpoint).expect("same endpoints");
+        if gs >= 0.0 && ps.slack_ps < 0.0 {
+            sign_flips += 1;
+        }
+    }
+    println!(
+        "endpoints: {}; GBA wns = {:+.1} ps, signoff wns = {:+.1} ps",
+        p.path_slacks.len(),
+        g.wns_ps,
+        p.wns_ps
+    );
+    println!(
+        "dangerous miscorrelation (GBA pass, signoff fail): {sign_flips} endpoints\n"
+    );
+
+    // The Fig 8 plane.
+    for point in accuracy_cost_curve(&graph, &cons, ModelFamily::Linear, 0.5)? {
+        println!(
+            "{:<24} cost = {:>8} arc evals, RMSE vs signoff = {:>8.2} ps",
+            point.name, point.cost_arcs, point.rmse_ps
+        );
+    }
+    let r2 = missing_corner_r2(&graph, &cons, &Corner::STANDARD, Corner::LOW_VOLTAGE, 0.5)?;
+    println!("\nmissing-corner (low-voltage) prediction R^2 = {r2:.4}");
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Orchestrating N robot engineers over the tree of flow options:
+//! Go-With-The-Winners against equal-budget independent search, on a real
+//! (simulated) SP&R flow (paper Solution 2 / Fig 5(a) / Fig 6(a)).
+//!
+//! ```sh
+//! cargo run --example design_space_explorer
+//! ```
+
+use ideaflow::core::orchestrate::{compare_orchestration, TrajectoryLandscape, TrajectoryObjective};
+use ideaflow::flow::spnr::SpnrFlow;
+use ideaflow::flow::tree::{leaf_count, options_for_trajectory, standard_axes};
+use ideaflow::netlist::generate::{DesignClass, DesignSpec};
+use ideaflow::opt::gwtw::GwtwConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let flow = SpnrFlow::new(DesignSpec::new(DesignClass::Dsp, 1_500)?, 0x0DE);
+    let fmax = flow.fmax_ref_ghz();
+    let axes = standard_axes();
+    println!(
+        "flow-option tree: {} steps, {} complete trajectories",
+        axes.len(),
+        leaf_count(&axes)
+    );
+    println!("design: DSP class, fmax = {:.3} GHz; target = {:.3} GHz\n", fmax, fmax * 0.85);
+
+    let cfg = GwtwConfig {
+        population: 8,
+        review_period: 20,
+        rounds: 5,
+        survivor_fraction: 0.5,
+        t_initial: 0.5,
+        t_final: 0.02,
+    };
+    let cmp = compare_orchestration(&flow, fmax * 0.85, cfg, 0xE5)?;
+    println!(
+        "go-with-the-winners best cost:      {:.4}\n\
+         independent multistart best cost:   {:.4}\n\
+         total tool runs spent (both):       {}",
+        cmp.gwtw_best_cost, cmp.independent_best_cost, cmp.total_runs
+    );
+
+    let opts = options_for_trajectory(&cmp.gwtw_trajectory, fmax * 0.85)?;
+    println!(
+        "\nwinning recipe: synth={:?} util={:.2} aspect={:.1} place={:?} route={:?}",
+        opts.synth_effort, opts.utilization, opts.aspect_ratio, opts.place_effort, opts.route_effort
+    );
+
+    // Show what the objective is made of for the winning recipe.
+    let scape = TrajectoryLandscape::new(&flow, fmax * 0.85, TrajectoryObjective::default())?;
+    let replay = scape.score(&cmp.gwtw_trajectory);
+    println!("replayed objective for the winning trajectory: {replay:.4}");
+    Ok(())
+}

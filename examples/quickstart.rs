@@ -1,0 +1,48 @@
+//! Quickstart: generate a design, calibrate the SP&R flow, run it, and
+//! let a robot engineer close timing with no human in the loop.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use ideaflow::core::robot::{RobotEngineer, TimingClosureTask};
+use ideaflow::flow::options::SpnrOptions;
+use ideaflow::flow::spnr::SpnrFlow;
+use ideaflow::netlist::generate::{DesignClass, DesignSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A PULPino-like CPU block in the synthetic 14nm-like enablement.
+    let spec = DesignSpec::new(DesignClass::Cpu, 2_000)?;
+    let flow = SpnrFlow::new(spec, 0xDAC_2018);
+    println!(
+        "design: {} instances, calibrated fmax = {:.3} GHz",
+        flow.netlist().instance_count(),
+        flow.fmax_ref_ghz()
+    );
+
+    // 2. One tool run at a comfortable target.
+    let opts = SpnrOptions::with_target_ghz(flow.fmax_ref_ghz() * 0.8)?;
+    let qor = flow.run(&opts, 0);
+    println!(
+        "single run @ {:.3} GHz: area = {:.0} um2, wns = {:+.1} ps, \
+         leakage = {:.0} nW, runtime = {:.2} h, timing {}",
+        qor.target_ghz,
+        qor.area_um2,
+        qor.wns_ps,
+        qor.leakage_nw,
+        qor.runtime_hours,
+        if qor.meets_timing() { "MET" } else { "VIOLATED" }
+    );
+
+    // 3. A robot engineer finds and verifies the highest safe target.
+    let report = RobotEngineer.close_timing(&flow, TimingClosureTask::default())?;
+    println!(
+        "robot signed off {:.3} GHz ({:.0}% of fmax) after {} runs, \
+         verified pass rate {:.0}%",
+        report.signed_off_ghz,
+        report.signed_off_ghz / flow.fmax_ref_ghz() * 100.0,
+        report.runs.len(),
+        report.pass_rate * 100.0
+    );
+    Ok(())
+}
