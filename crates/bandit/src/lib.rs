@@ -124,9 +124,10 @@ impl Environment for GaussianEnv {
     }
 
     fn optimal_mean(&self) -> Option<f64> {
-        self.means.iter().copied().fold(None, |acc, m| {
-            Some(acc.map_or(m, |a: f64| a.max(m)))
-        })
+        self.means
+            .iter()
+            .copied()
+            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
     }
 }
 

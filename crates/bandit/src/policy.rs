@@ -18,6 +18,14 @@ pub trait BanditPolicy {
 
     /// Display name.
     fn name(&self) -> &'static str;
+
+    /// The policy's current per-arm mean estimates (posterior means for
+    /// Bayesian policies, empirical means otherwise). Arms never pulled
+    /// report `0.0`. Used by the run journal to snapshot policy state at
+    /// each pull.
+    fn posterior_means(&self) -> Vec<f64> {
+        vec![0.0; self.arm_count()]
+    }
 }
 
 impl<P: BanditPolicy + ?Sized> BanditPolicy for Box<P> {
@@ -36,6 +44,15 @@ impl<P: BanditPolicy + ?Sized> BanditPolicy for Box<P> {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+
+    fn posterior_means(&self) -> Vec<f64> {
+        (**self).posterior_means()
+    }
+}
+
+/// Shared `posterior_means` over [`ArmStats`] tables.
+fn empirical_means(stats: &[ArmStats]) -> Vec<f64> {
+    stats.iter().map(|s| s.mean).collect()
 }
 
 /// Per-arm sufficient statistics (count, mean, M2 for Welford variance).
@@ -146,6 +163,10 @@ impl BanditPolicy for ThompsonGaussian {
     fn name(&self) -> &'static str {
         "thompson"
     }
+
+    fn posterior_means(&self) -> Vec<f64> {
+        empirical_means(&self.stats)
+    }
 }
 
 /// ε-greedy: with probability ε explore uniformly, else exploit the best
@@ -192,10 +213,13 @@ impl BanditPolicy for EpsilonGreedy {
         if rng.gen::<f64>() < self.epsilon {
             rng.gen_range(0..self.stats.len())
         } else {
+            // total_cmp: a NaN-poisoned mean (e.g. a pathological reward
+            // stream) must not panic the scheduler mid-run; under the IEEE
+            // total order it compares deterministically instead.
             self.stats
                 .iter()
                 .enumerate()
-                .max_by(|a, b| a.1.mean.partial_cmp(&b.1.mean).expect("finite means"))
+                .max_by(|a, b| f64::total_cmp(&a.1.mean, &b.1.mean))
                 .map(|(i, _)| i)
                 .expect("non-empty arms")
         }
@@ -211,6 +235,10 @@ impl BanditPolicy for EpsilonGreedy {
 
     fn name(&self) -> &'static str {
         "egreedy"
+    }
+
+    fn posterior_means(&self) -> Vec<f64> {
+        empirical_means(&self.stats)
     }
 }
 
@@ -285,6 +313,10 @@ impl BanditPolicy for Softmax {
     fn name(&self) -> &'static str {
         "softmax"
     }
+
+    fn posterior_means(&self) -> Vec<f64> {
+        empirical_means(&self.stats)
+    }
 }
 
 /// UCB1 (upper confidence bound) with a tunable exploration constant.
@@ -335,7 +367,9 @@ impl BanditPolicy for Ucb1 {
             .max_by(|a, b| {
                 let ua = a.1.mean + self.c * (2.0 * ln_t / a.1.n as f64).sqrt();
                 let ub = b.1.mean + self.c * (2.0 * ln_t / b.1.n as f64).sqrt();
-                ua.partial_cmp(&ub).expect("finite bounds")
+                // total_cmp for the same reason as EpsilonGreedy: NaN
+                // rewards must degrade selection, not panic it.
+                f64::total_cmp(&ua, &ub)
             })
             .map(|(i, _)| i)
             .expect("non-empty arms")
@@ -352,6 +386,10 @@ impl BanditPolicy for Ucb1 {
 
     fn name(&self) -> &'static str {
         "ucb1"
+    }
+
+    fn posterior_means(&self) -> Vec<f64> {
+        empirical_means(&self.stats)
     }
 }
 
@@ -424,6 +462,46 @@ mod tests {
         assert!(EpsilonGreedy::new(2, 1.5).is_err());
         assert!(Softmax::new(2, 0.0).is_err());
         assert!(Ucb1::new(2, 0.0).is_err());
+    }
+
+    #[test]
+    fn nan_rewards_cannot_panic_selection() {
+        // Regression: exploit/UCB argmax used partial_cmp().expect(),
+        // which panicked the moment any arm mean went NaN. A NaN reward
+        // stream must degrade selection, never abort the run.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut greedy = EpsilonGreedy::new(3, 0.0).unwrap();
+        let mut ucb = Ucb1::new(3, 0.5).unwrap();
+        for policy in [&mut greedy as &mut dyn BanditPolicy, &mut ucb] {
+            // Seed every arm, poisoning one with NaN.
+            for arm in 0..3 {
+                let a = policy.select(&mut rng);
+                assert!(a < 3);
+                policy.update(a, if arm == 1 { f64::NAN } else { 0.5 });
+            }
+            // Selection after poisoning must still return a valid arm.
+            for _ in 0..20 {
+                let a = policy.select(&mut rng);
+                assert!(a < 3);
+                policy.update(a, f64::NAN);
+            }
+        }
+    }
+
+    #[test]
+    fn posterior_means_track_empirical_means() {
+        let mut p = ThompsonGaussian::new(3, 1.0, 0.3).unwrap();
+        assert_eq!(p.posterior_means(), vec![0.0, 0.0, 0.0]);
+        p.update(1, 2.0);
+        p.update(1, 4.0);
+        p.update(2, -1.0);
+        let means = p.posterior_means();
+        assert_eq!(means.len(), 3);
+        assert!((means[1] - 3.0).abs() < 1e-12);
+        assert!((means[2] + 1.0).abs() < 1e-12);
+        // Box delegation preserves the snapshot.
+        let boxed: Box<dyn BanditPolicy> = Box::new(p);
+        assert_eq!(boxed.posterior_means(), means);
     }
 
     #[test]

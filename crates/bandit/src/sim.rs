@@ -7,8 +7,43 @@
 
 use crate::policy::BanditPolicy;
 use crate::{BanditError, Environment};
+use ideaflow_trace::{Journal, PayloadValue};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Emits one `bandit.pull` journal event: the pull index, chosen arm,
+/// observed reward, cumulative regret (NaN without an oracle) and the
+/// policy's posterior-mean snapshot after the update.
+fn journal_pull(
+    journal: &Journal,
+    policy: &impl BanditPolicy,
+    t: usize,
+    arm: usize,
+    reward: f64,
+    regret: Option<f64>,
+) {
+    if !journal.is_enabled() {
+        return;
+    }
+    let posterior: Vec<PayloadValue> = policy
+        .posterior_means()
+        .into_iter()
+        .map(PayloadValue::from)
+        .collect();
+    journal.emit(
+        "bandit.pull",
+        &[
+            ("t", (t as i64).into()),
+            ("policy", policy.name().into()),
+            ("arm", (arm as i64).into()),
+            ("reward", reward.into()),
+            ("cumulative_regret", regret.unwrap_or(f64::NAN).into()),
+            ("posterior_means", PayloadValue::Array(posterior)),
+        ],
+    );
+    journal.count("bandit.pulls", 1);
+    journal.observe("bandit.reward", reward);
+}
 
 /// The record of one bandit run.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +97,23 @@ pub fn run_sequential<P: BanditPolicy, E: Environment>(
     pulls: usize,
     seed: u64,
 ) -> Result<BanditRun, BanditError> {
+    run_sequential_journaled(policy, env, pulls, seed, &Journal::disabled())
+}
+
+/// [`run_sequential`] with a run-journal hook: one `bandit.pull` event
+/// per pull (arm, reward, regret, posterior snapshot). A disabled journal
+/// makes this identical to the plain entry point.
+///
+/// # Errors
+///
+/// Same conditions as [`run_sequential`].
+pub fn run_sequential_journaled<P: BanditPolicy, E: Environment>(
+    policy: &mut P,
+    env: &mut E,
+    pulls: usize,
+    seed: u64,
+    journal: &Journal,
+) -> Result<BanditRun, BanditError> {
     if policy.arm_count() != env.arm_count() {
         return Err(BanditError::InvalidParameter {
             name: "arms",
@@ -89,10 +141,13 @@ pub fn run_sequential<P: BanditPolicy, E: Environment>(
         policy.update(arm, r);
         chosen.push(arm);
         rewards.push(r);
+        let mut regret_now = None;
         if let Some(opt) = env.optimal_mean() {
             regret += opt - r;
             cumulative_regret.push(regret);
+            regret_now = Some(regret);
         }
+        journal_pull(journal, policy, t, arm, r, regret_now);
     }
     Ok(BanditRun {
         chosen,
@@ -124,6 +179,31 @@ pub fn run_concurrent<P: BanditPolicy, E: Environment>(
     concurrency: usize,
     seed: u64,
 ) -> Result<Vec<ConcurrentIteration>, BanditError> {
+    run_concurrent_journaled(
+        policy,
+        env,
+        iterations,
+        concurrency,
+        seed,
+        &Journal::disabled(),
+    )
+}
+
+/// [`run_concurrent`] with a run-journal hook: one `bandit.pull` event per
+/// launched tool run (so a 5×40 schedule journals exactly 200 pulls) plus
+/// one `bandit.iteration` event per feedback round.
+///
+/// # Errors
+///
+/// Same conditions as [`run_concurrent`].
+pub fn run_concurrent_journaled<P: BanditPolicy, E: Environment>(
+    policy: &mut P,
+    env: &mut E,
+    iterations: usize,
+    concurrency: usize,
+    seed: u64,
+    journal: &Journal,
+) -> Result<Vec<ConcurrentIteration>, BanditError> {
     if policy.arm_count() != env.arm_count() {
         return Err(BanditError::InvalidParameter {
             name: "arms",
@@ -139,7 +219,7 @@ pub fn run_concurrent<P: BanditPolicy, E: Environment>(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(iterations);
     let mut t = 0u32;
-    for _ in 0..iterations {
+    for iter in 0..iterations {
         // Select the batch first (no feedback within an iteration: the
         // licenses run concurrently).
         let arms: Vec<usize> = (0..concurrency).map(|_| policy.select(&mut rng)).collect();
@@ -153,6 +233,21 @@ pub fn run_concurrent<P: BanditPolicy, E: Environment>(
             .collect();
         for (&a, &r) in arms.iter().zip(&rewards) {
             policy.update(a, r);
+        }
+        if journal.is_enabled() {
+            for (k, (&a, &r)) in arms.iter().zip(&rewards).enumerate() {
+                let pull_index = iter * concurrency + k;
+                journal_pull(journal, policy, pull_index, a, r, None);
+            }
+            let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            journal.emit(
+                "bandit.iteration",
+                &[
+                    ("iteration", (iter as i64).into()),
+                    ("concurrency", (concurrency as i64).into()),
+                    ("best_reward", best.into()),
+                ],
+            );
         }
         out.push(ConcurrentIteration { arms, rewards });
     }
@@ -228,6 +323,52 @@ mod tests {
             .count();
         assert!(late > early, "late {late} vs early {early}");
         assert!(late >= 35, "late best-arm share {late}/50");
+    }
+
+    #[test]
+    fn journaled_sequential_emits_one_event_per_pull() {
+        let mut p = ThompsonGaussian::new(5, 1.0, 0.2).unwrap();
+        let mut e = env(1);
+        let journal = Journal::in_memory("seq-test");
+        let run = run_sequential_journaled(&mut p, &mut e, 50, 3, &journal).unwrap();
+
+        let mut p2 = ThompsonGaussian::new(5, 1.0, 0.2).unwrap();
+        let mut e2 = env(1);
+        let plain = run_sequential(&mut p2, &mut e2, 50, 3).unwrap();
+        assert_eq!(run, plain, "journaling must not perturb the run");
+
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        let pulls = reader.events_for_step("bandit.pull");
+        assert_eq!(pulls.len(), 50);
+        assert!(reader.seq_strictly_increasing_per_run());
+        // Each pull snapshots the full posterior.
+        let obj = pulls[49].payload.as_object().unwrap();
+        let posterior = obj
+            .iter()
+            .find(|(k, _)| k == "posterior_means")
+            .and_then(|(_, v)| v.as_array())
+            .unwrap();
+        assert_eq!(posterior.len(), 5);
+        let reward = reader.field_stats("bandit.pull", "reward").unwrap();
+        assert_eq!(reward.count, 50);
+        assert!((reward.mean - run.total_reward() / 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn journaled_concurrent_pull_count_equals_budget() {
+        let mut p = ThompsonGaussian::new(5, 1.0, 0.2).unwrap();
+        let mut e = env(2);
+        let journal = Journal::in_memory("conc-test");
+        let iters = run_concurrent_journaled(&mut p, &mut e, 40, 5, 11, &journal).unwrap();
+        assert_eq!(iters.len(), 40);
+
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        // The acceptance bar: per-pull event count equals the configured
+        // budget (iterations x concurrency).
+        assert_eq!(reader.events_for_step("bandit.pull").len(), 200);
+        assert_eq!(reader.events_for_step("bandit.iteration").len(), 40);
     }
 
     #[test]

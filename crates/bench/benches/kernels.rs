@@ -84,7 +84,9 @@ fn bench_placement(c: &mut Criterion) {
 /// E-F8: GBA vs multi-corner PBA cost (the accuracy/cost x-axis is arc
 /// evaluations; this is the wall-clock counterpart).
 fn bench_sta(c: &mut Criterion) {
-    let nl = DesignSpec::new(DesignClass::Cpu, 1_000).unwrap().generate(9);
+    let nl = DesignSpec::new(DesignClass::Cpu, 1_000)
+        .unwrap()
+        .generate(9);
     let graph = TimingGraph::build(&nl, WireModel::default());
     let cons = Constraints::at_frequency_ghz(0.8).unwrap();
     c.bench_function("fig08_gba_1k", |b| {
@@ -105,10 +107,7 @@ fn bench_doomed(c: &mut Criterion) {
         11,
     )
     .unwrap();
-    let seqs: Vec<Vec<u64>> = corpus
-        .iter()
-        .map(|l| l.trajectory.counts.clone())
-        .collect();
+    let seqs: Vec<Vec<u64>> = corpus.iter().map(|l| l.trajectory.counts.clone()).collect();
     c.bench_function("fig10_derive_card_400", |b| {
         b.iter(|| derive_card(&seqs, DoomedConfig::default()).unwrap())
     });
@@ -143,6 +142,46 @@ fn bench_orchestration(c: &mut Criterion) {
     });
 }
 
+/// Run-journal overhead on the instrumented physical-flow kernel (one
+/// [`SpnrFlow::run_physical`] emits seven per-stage events). Three
+/// variants: no journal field use at all, the no-op journal (target:
+/// indistinguishable from baseline), and a file-backed journal (target:
+/// <5% over baseline — the stage events amortize over the real work).
+fn bench_journal_overhead(c: &mut Criterion) {
+    let make_flow = || SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 500).unwrap(), 1);
+    let opts = SpnrOptions::with_target_ghz(make_flow().fmax_ref_ghz() * 0.9).unwrap();
+
+    let baseline = make_flow();
+    let mut s = 0u32;
+    c.bench_function("journal_overhead_baseline", |b| {
+        b.iter(|| {
+            s = s.wrapping_add(1);
+            baseline.run_physical(&opts, s)
+        })
+    });
+
+    let noop = make_flow().with_journal(ideaflow_trace::Journal::disabled());
+    let mut s = 0u32;
+    c.bench_function("journal_overhead_noop_sink", |b| {
+        b.iter(|| {
+            s = s.wrapping_add(1);
+            noop.run_physical(&opts, s)
+        })
+    });
+
+    let path = std::env::temp_dir().join("ideaflow_kernels_journal.jsonl");
+    let journal = ideaflow_trace::Journal::to_file("kernels_bench", &path).expect("temp journal");
+    let journaled = make_flow().with_journal(journal);
+    let mut s = 0u32;
+    c.bench_function("journal_overhead_file_sink", |b| {
+        b.iter(|| {
+            s = s.wrapping_add(1);
+            journaled.run_physical(&opts, s)
+        })
+    });
+    let _ = std::fs::remove_file(&path);
+}
+
 criterion_group!(
     name = kernels;
     config = Criterion::default().sample_size(10);
@@ -152,6 +191,7 @@ criterion_group!(
         bench_placement,
         bench_sta,
         bench_doomed,
-        bench_orchestration
+        bench_orchestration,
+        bench_journal_overhead
 );
 criterion_main!(kernels);

@@ -5,6 +5,12 @@ use ideaflow_bench::experiments::ablations;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("ablations");
+    journal.time("bench.ablations", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     println!("A-1: tool-noise calibration vs bandit convergence (5x40 Thompson)\n");
     let rows: Vec<Vec<String>> = ablations::noise_vs_bandit(2_000, 0xAB1)
         .iter()
@@ -18,10 +24,7 @@ fn main() {
         .collect();
     print!(
         "{}",
-        render_table(
-            &["sigma0", "lucky best / fmax", "delivered / fmax"],
-            &rows
-        )
+        render_table(&["sigma0", "lucky best / fmax", "delivered / fmax"], &rows)
     );
 
     println!("\nA-2: GWTW population x survivor-fraction sweep (equal total budget)\n");

@@ -4,6 +4,12 @@ use ideaflow_bench::{f, render_table};
 use ideaflow_costmodel::capability::CapabilityModel;
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig01_capability_gap");
+    journal.time("bench.fig01_capability_gap", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     let model = CapabilityModel::default();
     let series = model.series(1995..=2015).expect("non-empty range");
     let rows: Vec<Vec<String>> = series
@@ -20,10 +26,7 @@ fn main() {
     println!("Design Capability Gap (Fig 1): available vs realized transistor density\n");
     print!(
         "{}",
-        render_table(
-            &["year", "available/mm2", "realized/mm2", "gap"],
-            &rows
-        )
+        render_table(&["year", "available/mm2", "realized/mm2", "gap"], &rows)
     );
     println!(
         "\nPaper (Fig 1): densities track Moore scaling until ~2000, then realized\n\

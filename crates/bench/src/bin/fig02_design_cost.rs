@@ -5,6 +5,12 @@ use ideaflow_bench::{f, render_table};
 use ideaflow_costmodel::cost::{footnote1_scenarios, CostModel};
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig02_design_cost");
+    journal.time("bench.fig02_design_cost", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     let model = CostModel::new();
     let series = model.fig2_series(1985..=2015).expect("valid years");
     let rows: Vec<Vec<String>> = series
@@ -31,9 +37,7 @@ fn main() {
     let scen = footnote1_scenarios(&model).expect("fixed years");
     let rows: Vec<Vec<String>> = scen
         .iter()
-        .map(|(label, year, cost)| {
-            vec![label.clone(), year.to_string(), f(*cost, 1)]
-        })
+        .map(|(label, year, cost)| vec![label.clone(), year.to_string(), f(*cost, 1)])
         .collect();
     print!("{}", render_table(&["scenario", "year", "cost $M"], &rows));
     println!(

@@ -4,6 +4,12 @@ use ideaflow_bench::experiments::fig03_noise;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig03_spnr_noise");
+    journal.time("bench.fig03_spnr_noise", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     let d = fig03_noise::run(2_000, 40, 200, 0xDAC2018);
     println!(
         "SP&R implementation noise (Fig 3); testcase fmax = {:.3} GHz\n",

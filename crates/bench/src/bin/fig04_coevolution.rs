@@ -21,6 +21,12 @@ fn row(label: &str, p: CoevolutionParams) -> Vec<String> {
 }
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig04_coevolution");
+    journal.time("bench.fig04_coevolution", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     println!("SOC design coevolution (Fig 4): today vs future\n");
     let mut rows = vec![
         row("today", CoevolutionParams::today()),
@@ -53,8 +59,8 @@ fn main() {
         "{}",
         render_table(
             &[
-                "config", "flex", "parts", "recov", "sigma", "predict", "margin",
-                "iters", "TAT", "quality"
+                "config", "flex", "parts", "recov", "sigma", "predict", "margin", "iters", "TAT",
+                "quality"
             ],
             &rows
         )

@@ -5,6 +5,12 @@ use ideaflow_bench::experiments::fig05_stages;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig05_ml_stages");
+    journal.time("bench.fig05_ml_stages", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     let d = fig05_stages::run(400, 60, 0xF165);
     println!("Tree of flow options (Fig 5a):\n");
     for (name, n) in &d.axes {

@@ -4,6 +4,12 @@ use ideaflow_bench::experiments::fig06_orchestration;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig06a_gwtw");
+    journal.time("bench.fig06a_gwtw", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     println!("Go-With-The-Winners (Fig 6a) on a rugged big-valley landscape\n");
     let mut rows = Vec::new();
     let mut g_total = 0.0;
@@ -26,7 +32,12 @@ fn main() {
     print!(
         "{}",
         render_table(
-            &["seed", "gwtw best", "independent best", "population best per round"],
+            &[
+                "seed",
+                "gwtw best",
+                "independent best",
+                "population best per round"
+            ],
             &rows
         )
     );

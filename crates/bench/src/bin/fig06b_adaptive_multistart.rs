@@ -4,6 +4,12 @@ use ideaflow_bench::experiments::fig06_orchestration;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig06b_adaptive_multistart");
+    journal.time("bench.fig06b_adaptive_multistart", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     println!("Adaptive multistart (Fig 6b), 16 starts per strategy\n");
     let mut rows = Vec::new();
     let mut a_total = 0.0;

@@ -2,10 +2,13 @@
 //! concurrent samples x 40 iterations) plus the robustness ablation.
 
 use ideaflow_bench::experiments::fig07_mab;
-use ideaflow_bench::{f, render_table};
+use ideaflow_bench::{f, journal_from_args, render_table};
 
 fn main() {
-    let d = fig07_mab::run(2_000, 0xDAC2018);
+    let journal = journal_from_args("fig07_mab");
+    let d = journal.time("bench.fig07_mab", || {
+        fig07_mab::run_journaled(2_000, 0xDAC2018, &journal)
+    });
     println!(
         "MAB sampling of the SP&R flow (Fig 7): {} iterations x {} concurrent runs;\n\
          testcase fmax = {:.3} GHz\n",
@@ -16,19 +19,9 @@ fn main() {
         let pulls = &d.pulls[it * d.schedule.1..(it + 1) * d.schedule.1];
         let cells: Vec<String> = pulls
             .iter()
-            .map(|p| {
-                format!(
-                    "{:.3}{}",
-                    p.target_ghz,
-                    if p.success { "*" } else { " " }
-                )
-            })
+            .map(|p| format!("{:.3}{}", p.target_ghz, if p.success { "*" } else { " " }))
             .collect();
-        println!(
-            "{it:>9} | {} | {:.3}",
-            cells.join(" "),
-            d.best_line[it]
-        );
+        println!("{it:>9} | {} | {:.3}", cells.join(" "), d.best_line[it]);
     }
     println!("\nRobustness ablation (normalized total reward over 6 repetitions):\n");
     let rows: Vec<Vec<String>> = fig07_mab::robustness(2_000, 6, 0xDAC2018)
@@ -49,4 +42,5 @@ fn main() {
         "\nPaper (Fig 7, ref [25]): Thompson Sampling adaptively concentrates samples\n\
          near the achievable frequency and is more robust than softmax/e-greedy."
     );
+    journal.finish();
 }

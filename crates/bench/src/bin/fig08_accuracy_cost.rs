@@ -4,22 +4,25 @@ use ideaflow_bench::experiments::fig08_accuracy;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig08_accuracy_cost");
+    journal.time("bench.fig08_accuracy_cost", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     let d = fig08_accuracy::run(2_000, 0xF18);
     println!("Accuracy-cost tradeoff in timing analysis (Fig 8)\n");
     let rows: Vec<Vec<String>> = d
         .points
         .iter()
-        .map(|p| {
-            vec![
-                p.name.clone(),
-                p.cost_arcs.to_string(),
-                f(p.rmse_ps, 2),
-            ]
-        })
+        .map(|p| vec![p.name.clone(), p.cost_arcs.to_string(), f(p.rmse_ps, 2)])
         .collect();
     print!(
         "{}",
-        render_table(&["engine", "cost (arc evals)", "RMSE vs signoff (ps)"], &rows)
+        render_table(
+            &["engine", "cost (arc evals)", "RMSE vs signoff (ps)"],
+            &rows
+        )
     );
     println!("\nCorrection-model family ablation (RMSE of corrected GBA):\n");
     let rows: Vec<Vec<String>> = d

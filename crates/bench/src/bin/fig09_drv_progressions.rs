@@ -4,6 +4,12 @@
 use ideaflow_bench::experiments::fig09_drv;
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig09_drv_progressions");
+    journal.time("bench.fig09_drv_progressions", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     let d = fig09_drv::run(0xF19);
     println!(
         "Example DRV progressions (Fig 9): lg(#DRVs) over {} router iterations\n",
@@ -41,7 +47,11 @@ fn main() {
         println!(
             "{b:?}: final DRVs = {} ({})",
             t.final_drvs(),
-            if t.succeeded(200) { "success" } else { "doomed" }
+            if t.succeeded(200) {
+                "success"
+            } else {
+                "doomed"
+            }
         );
     }
     println!(

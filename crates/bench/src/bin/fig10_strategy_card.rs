@@ -3,6 +3,12 @@
 use ideaflow_bench::experiments::fig10_card;
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig10_strategy_card");
+    journal.time("bench.fig10_strategy_card", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     let d = fig10_card::run(0xF10);
     println!(
         "MDP-based GO/STOP strategy card (Fig 10), derived from {} logfiles\n",
@@ -14,10 +20,7 @@ fn main() {
          S/G = learned STOP/GO; s/g = footnote-5 rule-filled (state unseen)\n"
     );
     print!("{}", fig10_card::render(&d.card));
-    println!(
-        "\nSTOP fraction of the card: {:.2}",
-        d.card.stop_fraction()
-    );
+    println!("\nSTOP fraction of the card: {:.2}", d.card.stop_fraction());
     println!(
         "\nPaper (Fig 10): STOP when violations are very large (right half); GO when\n\
          violations are small, and when moderately large but falling."

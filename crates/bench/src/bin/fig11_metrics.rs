@@ -4,10 +4,14 @@ use ideaflow_bench::experiments::fig11_metrics;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("fig11_metrics");
+    journal.time("bench.fig11_metrics", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     let d = fig11_metrics::run(2_000, 0xF11);
-    println!(
-        "METRICS 2.0 (Fig 11): instrumented tools -> transmitter -> server -> miner\n"
-    );
+    println!("METRICS 2.0 (Fig 11): instrumented tools -> transmitter -> server -> miner\n");
     println!("records collected by the server: {}\n", d.records_collected);
     println!("miner: option sensitivity vs signoff WNS (standardized effects):\n");
     let rows: Vec<Vec<String>> = d

@@ -4,6 +4,12 @@ use ideaflow_bench::experiments::tab01_doomed;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
+    let journal = ideaflow_bench::journal_from_args("tab01_doomed_errors");
+    journal.time("bench.tab01_doomed_errors", run_harness);
+    journal.finish();
+}
+
+fn run_harness() {
     let data = tab01_doomed::run(0xDAC2018);
     println!(
         "Strategy-card doomed-run prediction (success = final DRV < 200)\n\

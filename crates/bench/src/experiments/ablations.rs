@@ -51,8 +51,7 @@ pub fn noise_vs_bandit(instances: usize, seed: u64) -> Vec<NoiseRow> {
                 QorConstraints::timing_only(),
             )
             .expect("valid arm range");
-            let mut policy =
-                ThompsonGaussian::new(17, fmax, fmax * 0.3).expect("valid policy");
+            let mut policy = ThompsonGaussian::new(17, fmax, fmax * 0.3).expect("valid policy");
             run_concurrent(&mut policy, &mut env, 40, 5, seed ^ 0xAB1).expect("valid");
             let lucky = env.best_success_ghz().unwrap_or(0.0) / fmax;
             // Shipped arm: most pulled over the final quarter.
@@ -135,13 +134,13 @@ pub fn sizing_waste(instances: usize, seed: u64) -> Vec<WasteRow> {
         .expect("valid spec")
         .generate(seed);
     // A just-out-of-reach constraint so recovery has work to do.
-    let graph =
-        ideaflow_timing::graph::TimingGraph::build(&nl, ideaflow_timing::model::WireModel::default());
-    let fmax = ideaflow_timing::pba::max_frequency_ghz(
-        &graph,
-        &ideaflow_timing::model::Corner::STANDARD,
-    )
-    .expect("endpoints");
+    let graph = ideaflow_timing::graph::TimingGraph::build(
+        &nl,
+        ideaflow_timing::model::WireModel::default(),
+    );
+    let fmax =
+        ideaflow_timing::pba::max_frequency_ghz(&graph, &ideaflow_timing::model::Corner::STANDARD)
+            .expect("endpoints");
     let cons = Constraints::at_frequency_ghz(fmax * 1.04).expect("in range");
     [20.0, 60.0, 120.0]
         .iter()
@@ -193,7 +192,12 @@ mod tests {
                 .expect("row present")
                 .2
         };
-        assert!(at(0.5) <= at(1.0) + 0.35, "clone {} vs none {}", at(0.5), at(1.0));
+        assert!(
+            at(0.5) <= at(1.0) + 0.35,
+            "clone {} vs none {}",
+            at(0.5),
+            at(1.0)
+        );
     }
 
     #[test]

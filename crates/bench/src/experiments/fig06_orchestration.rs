@@ -122,7 +122,14 @@ mod tests {
             corr_total += p.big_valley_corr;
             assert_eq!(p.adaptive_minima.len(), 16);
         }
-        assert!(a_total < r_total + 0.5, "adaptive {a_total} vs random {r_total}");
-        assert!(corr_total / 5.0 > 0.0, "mean big-valley corr {}", corr_total / 5.0);
+        assert!(
+            a_total < r_total + 0.5,
+            "adaptive {a_total} vs random {r_total}"
+        );
+        assert!(
+            corr_total / 5.0 > 0.0,
+            "mean big-valley corr {}",
+            corr_total / 5.0
+        );
     }
 }

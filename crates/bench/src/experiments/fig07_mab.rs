@@ -7,10 +7,11 @@
 //! algorithms" (softmax, ε-greedy).
 
 use ideaflow_bandit::policy::{BanditPolicy, EpsilonGreedy, Softmax, ThompsonGaussian};
-use ideaflow_bandit::sim::run_concurrent;
+use ideaflow_bandit::sim::{run_concurrent, run_concurrent_journaled};
 use ideaflow_core::mab_env::{FrequencyArms, PullRecord, QorConstraints};
 use ideaflow_flow::spnr::SpnrFlow;
 use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+use ideaflow_trace::Journal;
 
 /// The Fig 7 scatter plus the best-so-far line.
 #[derive(Debug, Clone)]
@@ -28,6 +29,14 @@ pub struct Fig07Data {
 /// Runs the TS 5×40 schedule on a PULPino-like design.
 #[must_use]
 pub fn run(instances: usize, seed: u64) -> Fig07Data {
+    run_journaled(instances, seed, &Journal::disabled())
+}
+
+/// [`run`] with a run-journal hook: every tool pull of the 5×40 schedule
+/// lands in the journal as a `bandit.pull` event (200 in total), plus one
+/// `bandit.iteration` event per feedback round.
+#[must_use]
+pub fn run_journaled(instances: usize, seed: u64, journal: &Journal) -> Fig07Data {
     let flow = SpnrFlow::new(
         DesignSpec::new(DesignClass::Cpu, instances).expect("valid spec"),
         seed,
@@ -44,8 +53,15 @@ pub fn run(instances: usize, seed: u64) -> Fig07Data {
     let mut policy = ThompsonGaussian::new(17, fmax, fmax * 0.3).expect("valid policy");
     let iterations = 40;
     let concurrency = 5;
-    run_concurrent(&mut policy, &mut env, iterations, concurrency, seed ^ 0x715)
-        .expect("valid schedule");
+    run_concurrent_journaled(
+        &mut policy,
+        &mut env,
+        iterations,
+        concurrency,
+        seed ^ 0x715,
+        journal,
+    )
+    .expect("valid schedule");
     let pulls = env.history().to_vec();
     let mut best = 0.0f64;
     let best_line = (0..iterations)
@@ -104,9 +120,7 @@ pub fn robustness(instances: usize, reps: u64, seed: u64) -> Vec<RobustnessRow> 
     let policies: Vec<(&'static str, PolicyFactory)> = vec![
         (
             "thompson",
-            Box::new(move || {
-                Box::new(ThompsonGaussian::new(17, fmax, fmax * 0.3).expect("valid"))
-            }),
+            Box::new(move || Box::new(ThompsonGaussian::new(17, fmax, fmax * 0.3).expect("valid"))),
         ),
         (
             "softmax",
@@ -163,6 +177,25 @@ mod tests {
     }
 
     #[test]
+    fn journaled_run_emits_one_event_per_configured_pull() {
+        let journal = Journal::in_memory("fig07-test");
+        let d = run_journaled(300, 5, &journal);
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        // Acceptance bar: per-pull journal count equals the configured
+        // budget (iterations x concurrency).
+        assert_eq!(
+            reader.events_for_step("bandit.pull").len(),
+            d.schedule.0 * d.schedule.1
+        );
+        assert_eq!(
+            reader.events_for_step("bandit.iteration").len(),
+            d.schedule.0
+        );
+        assert!(reader.seq_strictly_increasing_per_run());
+    }
+
+    #[test]
     fn thompson_is_most_robust() {
         let rows = robustness(300, 6, 9);
         let ts = rows.iter().find(|r| r.policy == "thompson").unwrap();
@@ -175,6 +208,10 @@ mod tests {
                 r.worst_reward
             );
         }
-        assert!(ts.mean_reward > 0.5, "thompson mean reward {}", ts.mean_reward);
+        assert!(
+            ts.mean_reward > 0.5,
+            "thompson mean reward {}",
+            ts.mean_reward
+        );
     }
 }

@@ -10,7 +10,9 @@ use ideaflow_netlist::generate::{DesignClass, DesignSpec};
 use ideaflow_place::floorplan::Floorplan;
 use ideaflow_place::placement::net_hpwl;
 use ideaflow_place::placer::partition_seeded_placement;
-use ideaflow_timing::correlate::{accuracy_cost_curve, missing_corner_r2, AccuracyCostPoint, ModelFamily};
+use ideaflow_timing::correlate::{
+    accuracy_cost_curve, missing_corner_r2, AccuracyCostPoint, ModelFamily,
+};
 use ideaflow_timing::graph::TimingGraph;
 use ideaflow_timing::model::{Constraints, Corner, WireModel};
 use ideaflow_timing::si::apply_coupling;
@@ -43,8 +45,8 @@ pub fn run(instances: usize, seed: u64) -> Fig08Data {
     let mut graph = TimingGraph::build_with_lengths(&nl, WireModel::default(), lengths);
     apply_coupling(&mut graph, 0.25, seed ^ 0x51);
     let cons = Constraints::at_frequency_ghz(0.8).expect("valid frequency");
-    let points = accuracy_cost_curve(&graph, &cons, ModelFamily::Linear, 0.5)
-        .expect("analyzable design");
+    let points =
+        accuracy_cost_curve(&graph, &cons, ModelFamily::Linear, 0.5).expect("analyzable design");
     let mut family_rmse = Vec::new();
     for fam in [
         ModelFamily::Linear,
@@ -52,8 +54,7 @@ pub fn run(instances: usize, seed: u64) -> Fig08Data {
         ModelFamily::Tree,
         ModelFamily::Forest,
     ] {
-        let pts =
-            accuracy_cost_curve(&graph, &cons, fam, 0.5).expect("analyzable design");
+        let pts = accuracy_cost_curve(&graph, &cons, fam, 0.5).expect("analyzable design");
         let ml = pts
             .iter()
             .find(|p| p.name.contains("ml"))
@@ -87,7 +88,12 @@ mod tests {
         let golden = by_name("golden");
         // Accuracy-for-free: correction removes most of GBA's error at a
         // fraction of signoff cost.
-        assert!(ml.rmse_ps < 0.5 * gba.rmse_ps, "ml {} gba {}", ml.rmse_ps, gba.rmse_ps);
+        assert!(
+            ml.rmse_ps < 0.5 * gba.rmse_ps,
+            "ml {} gba {}",
+            ml.rmse_ps,
+            gba.rmse_ps
+        );
         assert!(ml.cost_arcs < golden.cost_arcs / 2);
         assert_eq!(golden.rmse_ps, 0.0);
         // Missing-corner prediction works.

@@ -6,9 +6,7 @@
 //! falling states are GO; moderately large DRVs with negative slope are
 //! GO.
 
-use ideaflow_mdp::doomed::{
-    derive_card, Action, DoomedConfig, StrategyCard, D_BINS, V_BINS,
-};
+use ideaflow_mdp::doomed::{derive_card, Action, DoomedConfig, StrategyCard, D_BINS, V_BINS};
 use ideaflow_route::logfile::fig10_corpus;
 
 /// The card plus render helpers.
@@ -85,7 +83,10 @@ mod tests {
             .flat_map(|v| (5..9).map(move |db| (v, db)))
             .filter(|&(v, db)| d.card.action(v, db) == Action::Go)
             .count();
-        assert!(go_count >= 8, "negative-slope moderate region GO cells: {go_count}/12");
+        assert!(
+            go_count >= 8,
+            "negative-slope moderate region GO cells: {go_count}/12"
+        );
         // The render covers every cell.
         let txt = render(&d.card);
         assert_eq!(txt.lines().count(), D_BINS + 1);

@@ -14,6 +14,44 @@
 
 pub mod experiments;
 
+use ideaflow_trace::Journal;
+
+/// Parses the common `--journal <path>` (or `--journal=<path>`) flag every
+/// `fig*`/`tab*` binary accepts and opens a file-backed run journal there;
+/// without the flag, returns the no-op journal. Call
+/// [`Journal::finish`] before the binary exits so the summary
+/// event and counters land in the file.
+///
+/// # Panics
+///
+/// Panics (with the offending path) if the journal file cannot be created,
+/// or if `--journal` is the last argument with no path following it.
+#[must_use]
+pub fn journal_from_args(run_id: &str) -> Journal {
+    journal_from_arg_list(run_id, std::env::args().skip(1))
+}
+
+/// [`journal_from_args`] over an explicit argument list (testable core).
+///
+/// # Panics
+///
+/// Same contract as [`journal_from_args`].
+pub fn journal_from_arg_list(run_id: &str, args: impl IntoIterator<Item = String>) -> Journal {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        let path = if a == "--journal" {
+            Some(args.next().expect("--journal requires a <path> argument"))
+        } else {
+            a.strip_prefix("--journal=").map(str::to_owned)
+        };
+        if let Some(path) = path {
+            return Journal::to_file(run_id, &path)
+                .unwrap_or_else(|e| panic!("cannot open journal file {path}: {e}"));
+        }
+    }
+    Journal::disabled()
+}
+
 /// Renders a simple aligned text table (header + rows of equal length).
 ///
 /// # Panics
@@ -81,5 +119,36 @@ mod tests {
     #[should_panic(expected = "ragged table row")]
     fn table_rejects_ragged_rows() {
         let _ = render_table(&["a"], &[vec!["1".into(), "2".into()]]);
+    }
+
+    #[test]
+    fn journal_flag_parses_both_spellings() {
+        let none = journal_from_arg_list("t", Vec::<String>::new());
+        assert!(!none.is_enabled());
+
+        let dir = std::env::temp_dir().join("ideaflow_bench_flag_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p1 = dir.join("a.jsonl");
+        let j1 = journal_from_arg_list(
+            "t",
+            vec!["--journal".to_owned(), p1.to_string_lossy().into_owned()],
+        );
+        assert!(j1.is_enabled());
+        j1.emit("x", &[("v", 1.0.into())]);
+        j1.finish();
+        assert!(Journal::load(&p1).unwrap().len() >= 2);
+
+        let p2 = dir.join("b.jsonl");
+        let j2 = journal_from_arg_list("t", vec![format!("--journal={}", p2.display())]);
+        assert!(j2.is_enabled());
+        j2.finish();
+        assert!(!Journal::load(&p2).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "--journal requires a <path> argument")]
+    fn journal_flag_requires_a_path() {
+        let _ = journal_from_arg_list("t", vec!["--journal".to_owned()]);
     }
 }

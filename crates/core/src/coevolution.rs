@@ -9,9 +9,9 @@
 //! makes the story quantitative using the workspace's guardband model so
 //! the Fig 4 harness can sweep it.
 
-use serde::{Deserialize, Serialize};
 use crate::CoreError;
 use ideaflow_place::guardband::GuardbandModel;
+use serde::{Deserialize, Serialize};
 
 /// Inputs of the coevolution model.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -138,8 +138,7 @@ pub fn evaluate(params: CoevolutionParams) -> Result<CoevolutionOutcome, CoreErr
     let turnaround_raw = expected_iterations * solve_time;
     // Quality: margins cost QoR directly; partitioning loses global
     // optimality unless the algorithms recover it.
-    let partition_loss =
-        0.02 * (params.partitions as f64).log2() * (1.0 - params.global_recovery);
+    let partition_loss = 0.02 * (params.partitions as f64).log2() * (1.0 - params.global_recovery);
     let achieved_quality = (1.0 - margin_pct / 100.0 * 2.5 - partition_loss).max(0.0);
     // Normalize turnaround so the "today" preset lands at 1.0.
     let today = CoevolutionParams::today();

@@ -180,11 +180,19 @@ mod tests {
     fn rewards_are_frequency_or_zero() {
         let f = flow();
         let fmax = f.fmax_ref_ghz();
-        let mut env =
-            FrequencyArms::linspace(&f, fmax * 0.4, fmax * 1.3, 10, QorConstraints::timing_only())
-                .unwrap();
+        let mut env = FrequencyArms::linspace(
+            &f,
+            fmax * 0.4,
+            fmax * 1.3,
+            10,
+            QorConstraints::timing_only(),
+        )
+        .unwrap();
         let low = env.pull(0, 0);
-        assert!((low - env.freqs()[0]).abs() < 1e-12, "easy arm pays its frequency");
+        assert!(
+            (low - env.freqs()[0]).abs() < 1e-12,
+            "easy arm pays its frequency"
+        );
         let hi = env.pull(9, 1);
         assert_eq!(hi, 0.0, "far-over-fmax arm pays zero");
         assert_eq!(env.history().len(), 2);
@@ -197,9 +205,14 @@ mod tests {
         // The Fig 7 schedule: 5 concurrent samples × 40 iterations.
         let f = flow();
         let fmax = f.fmax_ref_ghz();
-        let mut env =
-            FrequencyArms::linspace(&f, fmax * 0.4, fmax * 1.2, 17, QorConstraints::timing_only())
-                .unwrap();
+        let mut env = FrequencyArms::linspace(
+            &f,
+            fmax * 0.4,
+            fmax * 1.2,
+            17,
+            QorConstraints::timing_only(),
+        )
+        .unwrap();
         let mut policy = ThompsonGaussian::new(17, fmax, fmax * 0.3).unwrap();
         let iters = run_concurrent(&mut policy, &mut env, 40, 5, 7).unwrap();
         assert_eq!(iters.len(), 40);
@@ -251,8 +264,6 @@ mod tests {
         let f = flow();
         assert!(FrequencyArms::new(&f, vec![], QorConstraints::timing_only()).is_err());
         assert!(FrequencyArms::new(&f, vec![-1.0], QorConstraints::timing_only()).is_err());
-        assert!(
-            FrequencyArms::linspace(&f, 1.0, 0.5, 5, QorConstraints::timing_only()).is_err()
-        );
+        assert!(FrequencyArms::linspace(&f, 1.0, 0.5, 5, QorConstraints::timing_only()).is_err());
     }
 }

@@ -12,8 +12,9 @@ use crate::CoreError;
 use ideaflow_flow::options::SpnrOptions;
 use ideaflow_flow::spnr::SpnrFlow;
 use ideaflow_flow::tree::{options_for_trajectory, standard_axes, OptionAxis, Trajectory};
-use ideaflow_opt::gwtw::{gwtw, independent_baseline, GwtwConfig, GwtwOutcome};
+use ideaflow_opt::gwtw::{gwtw_journaled, independent_baseline, GwtwConfig, GwtwOutcome};
 use ideaflow_opt::Landscape;
+use ideaflow_trace::Journal;
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::sync::atomic::{AtomicU32, Ordering};
@@ -139,7 +140,10 @@ impl Landscape for TrajectoryLandscape<'_> {
         if pool.is_empty() {
             return self.random_state(rng);
         }
-        let worst = pool.iter().map(|(_, c)| *c).fold(f64::NEG_INFINITY, f64::max);
+        let worst = pool
+            .iter()
+            .map(|(_, c)| *c)
+            .fold(f64::NEG_INFINITY, f64::max);
         Trajectory(
             self.axes
                 .iter()
@@ -189,15 +193,47 @@ pub fn compare_orchestration(
     cfg: GwtwConfig,
     seed: u64,
 ) -> Result<OrchestrationComparison, CoreError> {
+    compare_orchestration_journaled(flow, target_ghz, cfg, seed, &Journal::disabled())
+}
+
+/// [`compare_orchestration`] with a run-journal hook: the GWTW search
+/// journals its per-round population snapshots (`gwtw.round`), and the
+/// comparison itself closes with one `orchestrate.compare` event. Pass a
+/// flow built with [`SpnrFlow::with_journal`] on the same journal to also
+/// capture every underlying tool run.
+///
+/// # Errors
+///
+/// Propagates landscape construction errors.
+pub fn compare_orchestration_journaled(
+    flow: &SpnrFlow,
+    target_ghz: f64,
+    cfg: GwtwConfig,
+    seed: u64,
+    journal: &Journal,
+) -> Result<OrchestrationComparison, CoreError> {
     let scape = TrajectoryLandscape::new(flow, target_ghz, TrajectoryObjective::default())?;
-    let g: GwtwOutcome<Trajectory> = gwtw(&scape, cfg, seed);
+    let g: GwtwOutcome<Trajectory> = gwtw_journaled(&scape, cfg, seed, journal);
     let ind = independent_baseline(&scape, cfg, seed ^ 0xBEEF);
-    Ok(OrchestrationComparison {
+    let cmp = OrchestrationComparison {
         gwtw_best_cost: g.best.best_cost,
         independent_best_cost: ind.best_cost,
         gwtw_trajectory: g.best.best_state,
         total_runs: scape.runs_spent(),
-    })
+    };
+    if journal.is_enabled() {
+        journal.emit(
+            "orchestrate.compare",
+            &[
+                ("target_ghz", target_ghz.into()),
+                ("gwtw_best_cost", cmp.gwtw_best_cost.into()),
+                ("independent_best_cost", cmp.independent_best_cost.into()),
+                ("total_runs", i64::from(cmp.total_runs).into()),
+            ],
+        );
+        journal.count("orchestrate.comparisons", 1);
+    }
+    Ok(cmp)
 }
 
 #[cfg(test)]
@@ -242,8 +278,7 @@ mod tests {
     #[test]
     fn neighbor_changes_exactly_one_axis() {
         let f = flow();
-        let scape =
-            TrajectoryLandscape::new(&f, 0.4, TrajectoryObjective::default()).unwrap();
+        let scape = TrajectoryLandscape::new(&f, 0.4, TrajectoryObjective::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(2);
         let t = scape.random_state(&mut rng);
         for _ in 0..20 {
@@ -271,10 +306,31 @@ mod tests {
     }
 
     #[test]
+    fn journaled_orchestration_captures_rounds_and_tool_runs() {
+        let journal = Journal::in_memory("orch-test");
+        let f = flow().with_journal(journal.clone());
+        let fmax = f.fmax_ref_ghz();
+        let cmp =
+            compare_orchestration_journaled(&f, fmax * 0.85, small_cfg(), 3, &journal).unwrap();
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        assert_eq!(
+            reader.events_for_step("gwtw.round").len(),
+            small_cfg().rounds
+        );
+        assert_eq!(reader.events_for_step("orchestrate.compare").len(), 1);
+        // Every underlying tool run of the GWTW search is captured too
+        // (the baseline runs against the same landscape afterwards, so
+        // flow.sample count covers both searches).
+        let samples = reader.events_for_step("flow.sample").len();
+        assert_eq!(samples as u32, cmp.total_runs);
+        assert!(reader.seq_strictly_increasing_per_run());
+    }
+
+    #[test]
     fn run_counter_tracks_budget() {
         let f = flow();
-        let scape =
-            TrajectoryLandscape::new(&f, 0.4, TrajectoryObjective::default()).unwrap();
+        let scape = TrajectoryLandscape::new(&f, 0.4, TrajectoryObjective::default()).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let t = scape.random_state(&mut rng);
         for _ in 0..7 {
@@ -286,8 +342,6 @@ mod tests {
     #[test]
     fn invalid_target_is_rejected() {
         let f = flow();
-        assert!(
-            TrajectoryLandscape::new(&f, -1.0, TrajectoryObjective::default()).is_err()
-        );
+        assert!(TrajectoryLandscape::new(&f, -1.0, TrajectoryObjective::default()).is_err());
     }
 }

@@ -61,19 +61,19 @@ impl RunCorpus {
         samples: u32,
         seed: u64,
     ) -> Result<(), CoreError> {
-        let feats = structural_features(flow.netlist(), seed).map_err(|e| {
-            CoreError::Subsystem {
+        let feats =
+            structural_features(flow.netlist(), seed).map_err(|e| CoreError::Subsystem {
                 detail: e.to_string(),
-            }
-        })?;
+            })?;
         let fmax = flow.fmax_ref_ghz();
         for (i, &frac) in target_fractions.iter().enumerate() {
-            let opts = SpnrOptions::with_target_ghz((fmax * frac).clamp(0.01, 20.0)).map_err(
-                |e| CoreError::InvalidParameter {
-                    name: "target_fractions",
-                    detail: e.to_string(),
-                },
-            )?;
+            let opts =
+                SpnrOptions::with_target_ghz((fmax * frac).clamp(0.01, 20.0)).map_err(|e| {
+                    CoreError::InvalidParameter {
+                        name: "target_fractions",
+                        detail: e.to_string(),
+                    }
+                })?;
             for s in 0..samples {
                 let q = flow.run(&opts, (i as u32) * 1_000 + s);
                 self.xs.push(feature_row(&feats, &opts));
@@ -185,11 +185,10 @@ impl FmaxPredictor {
         let mut xs = Vec::with_capacity(flows.len());
         let mut ys = Vec::with_capacity(flows.len());
         for f in flows {
-            let feats = structural_features(f.netlist(), seed).map_err(|e| {
-                CoreError::Subsystem {
+            let feats =
+                structural_features(f.netlist(), seed).map_err(|e| CoreError::Subsystem {
                     detail: e.to_string(),
-                }
-            })?;
+                })?;
             xs.push(period_features(&feats));
             ys.push(1_000.0 / f.fmax_ref_ghz()); // minimum period, ps
         }
@@ -231,9 +230,7 @@ mod tests {
         let fractions = [0.5, 0.7, 0.85, 0.95, 1.05, 1.2];
         let mut corpus = RunCorpus::new();
         for (i, f) in flows.iter().enumerate() {
-            corpus
-                .add_flow_sweep(f, &fractions, 6, i as u64)
-                .unwrap();
+            corpus.add_flow_sweep(f, &fractions, 6, i as u64).unwrap();
         }
         OutcomePredictor::train(&corpus).unwrap()
     }

@@ -92,8 +92,7 @@ impl RobotEngineer {
                 })?;
             let q = flow.run(&opts, sample_id);
             sample_id += 1;
-            let pass = q.meets_timing()
-                && task.area_cap_um2.is_none_or(|cap| q.area_um2 <= cap);
+            let pass = q.meets_timing() && task.area_cap_um2.is_none_or(|cap| q.area_um2 <= cap);
             runs.push(q);
             Ok(pass)
         };
@@ -192,7 +191,9 @@ mod tests {
             .close_timing(&f, TimingClosureTask::default())
             .unwrap();
         let opts = SpnrOptions::with_target_ghz(report.signed_off_ghz).unwrap();
-        let passes = (500..530).filter(|&s| f.run(&opts, s).meets_timing()).count();
+        let passes = (500..530)
+            .filter(|&s| f.run(&opts, s).meets_timing())
+            .count();
         assert!(passes >= 18, "fresh pass rate {passes}/30");
     }
 

@@ -216,7 +216,9 @@ mod tests {
     #[test]
     fn single_pass_mostly_succeeds_on_fresh_designs() {
         let policy = trained_policy(0.72);
-        let eval: Vec<SpnrFlow> = (0..6).map(|s| flow(900 + s, 220 + 30 * s as usize)).collect();
+        let eval: Vec<SpnrFlow> = (0..6)
+            .map(|s| flow(900 + s, 220 + 30 * s as usize))
+            .collect();
         let refs: Vec<&SpnrFlow> = eval.iter().collect();
         let summary = compare_single_pass(&policy, &refs, 2).unwrap();
         assert!(
@@ -260,11 +262,7 @@ mod tests {
         assert!(iterate_baseline(&f, 1.0, 1.0, 10).is_err());
         assert!(iterate_baseline(&f, 1.0, 0.9, 0).is_err());
         assert!(compare_single_pass(&policy, &[], 0).is_err());
-        let p2 = FmaxPredictor::train(
-            &[&flow(1, 150), &flow(2, 250), &flow(3, 350)],
-            0,
-        )
-        .unwrap();
+        let p2 = FmaxPredictor::train(&[&flow(1, 150), &flow(2, 250), &flow(3, 350)], 0).unwrap();
         assert!(SinglePassPolicy::new(p2, 0.0).is_err());
     }
 }

@@ -111,10 +111,9 @@ fn bandit_over_arms(
 ) -> Result<StageOutcome, CoreError> {
     let arms = freqs.len();
     let mut env = FrequencyArms::new(flow, freqs, QorConstraints::timing_only())?;
-    let mut policy =
-        ThompsonGaussian::new(arms, 1.0, 0.3).map_err(|e| CoreError::Subsystem {
-            detail: e.to_string(),
-        })?;
+    let mut policy = ThompsonGaussian::new(arms, 1.0, 0.3).map_err(|e| CoreError::Subsystem {
+        detail: e.to_string(),
+    })?;
     let iterations = (budget as usize / concurrency).max(1);
     run_concurrent(&mut policy, &mut env, iterations, concurrency, seed).map_err(|e| {
         CoreError::Subsystem {
@@ -224,7 +223,11 @@ pub fn stage3_pruned(
     if kept.len() < 8 {
         let mut ranked = scored.clone();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite probabilities"));
-        kept = ranked.iter().take(8.min(ranked.len())).map(|&(f, _)| f).collect();
+        kept = ranked
+            .iter()
+            .take(8.min(ranked.len()))
+            .map(|&(f, _)| f)
+            .collect();
         kept.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
     }
     bandit_over_arms(flow, kept, budget, 5, seed, 3, "bandit+pruning")

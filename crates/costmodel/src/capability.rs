@@ -6,8 +6,8 @@
 //! A-factor (larger cells and wires for reliability/variability) and
 //! growth of uncore logic (small distributed functions that do not pack).
 
-use serde::{Deserialize, Serialize};
 use crate::CostError;
+use serde::{Deserialize, Serialize};
 
 /// One point of the Fig 1 series.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -130,7 +130,11 @@ mod tests {
         for w in gaps.windows(2) {
             assert!(w[1] >= w[0] - 1e-12);
         }
-        assert!(*gaps.last().unwrap() > 2.0, "2015 gap {}", gaps.last().unwrap());
+        assert!(
+            *gaps.last().unwrap() > 2.0,
+            "2015 gap {}",
+            gaps.last().unwrap()
+        );
         assert!(*gaps.last().unwrap() < 10.0);
     }
 

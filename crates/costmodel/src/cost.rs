@@ -1,7 +1,7 @@
 //! The ITRS-style SOC design cost model.
 
-use serde::Serialize;
 use crate::CostError;
+use serde::Serialize;
 
 /// A design-technology innovation: delivered in `year`, it multiplies
 /// designer productivity by `factor` from that year on.
@@ -21,23 +21,83 @@ pub struct DtInnovation {
 #[must_use]
 pub fn itrs_innovations() -> Vec<DtInnovation> {
     vec![
-        DtInnovation { name: "In-house place & route", year: 1993, factor: 3.8 },
-        DtInnovation { name: "Tall-thin engineer", year: 1995, factor: 1.4 },
-        DtInnovation { name: "Small-block reuse", year: 1997, factor: 2.5 },
-        DtInnovation { name: "Large-block reuse", year: 1999, factor: 2.0 },
-        DtInnovation { name: "IC implementation suite", year: 2001, factor: 2.0 },
-        DtInnovation { name: "RTL functional verification tool suite", year: 2003, factor: 1.7 },
-        DtInnovation { name: "Electronic system-level methodology", year: 2005, factor: 1.6 },
-        DtInnovation { name: "Very large block reuse", year: 2007, factor: 1.5 },
-        DtInnovation { name: "Intelligent testbench", year: 2009, factor: 1.45 },
-        DtInnovation { name: "Concurrent software compiler", year: 2011, factor: 1.35 },
-        DtInnovation { name: "Heterogeneous parallel processing", year: 2013, factor: 1.25 },
+        DtInnovation {
+            name: "In-house place & route",
+            year: 1993,
+            factor: 3.8,
+        },
+        DtInnovation {
+            name: "Tall-thin engineer",
+            year: 1995,
+            factor: 1.4,
+        },
+        DtInnovation {
+            name: "Small-block reuse",
+            year: 1997,
+            factor: 2.5,
+        },
+        DtInnovation {
+            name: "Large-block reuse",
+            year: 1999,
+            factor: 2.0,
+        },
+        DtInnovation {
+            name: "IC implementation suite",
+            year: 2001,
+            factor: 2.0,
+        },
+        DtInnovation {
+            name: "RTL functional verification tool suite",
+            year: 2003,
+            factor: 1.7,
+        },
+        DtInnovation {
+            name: "Electronic system-level methodology",
+            year: 2005,
+            factor: 1.6,
+        },
+        DtInnovation {
+            name: "Very large block reuse",
+            year: 2007,
+            factor: 1.5,
+        },
+        DtInnovation {
+            name: "Intelligent testbench",
+            year: 2009,
+            factor: 1.45,
+        },
+        DtInnovation {
+            name: "Concurrent software compiler",
+            year: 2011,
+            factor: 1.35,
+        },
+        DtInnovation {
+            name: "Heterogeneous parallel processing",
+            year: 2013,
+            factor: 1.25,
+        },
         // Forecast beyond 2013 (the optimism the paper says failed to
         // materialize; exclude these to reproduce the $3.4B scenario).
-        DtInnovation { name: "System-level design automation", year: 2016, factor: 1.8 },
-        DtInnovation { name: "Executable-specification flows", year: 2019, factor: 1.7 },
-        DtInnovation { name: "Chip-package-system co-design", year: 2022, factor: 1.6 },
-        DtInnovation { name: "No-human-in-the-loop implementation", year: 2025, factor: 1.9 },
+        DtInnovation {
+            name: "System-level design automation",
+            year: 2016,
+            factor: 1.8,
+        },
+        DtInnovation {
+            name: "Executable-specification flows",
+            year: 2019,
+            factor: 1.7,
+        },
+        DtInnovation {
+            name: "Chip-package-system co-design",
+            year: 2022,
+            factor: 1.6,
+        },
+        DtInnovation {
+            name: "No-human-in-the-loop implementation",
+            year: 2025,
+            factor: 1.9,
+        },
     ]
 }
 
@@ -122,7 +182,8 @@ impl CostModel {
         let engineer_cost_rel = self.cost_inflation.powf(dy);
         let f_anchor = self.productivity_factor(self.anchor_year, self.anchor_year);
         let f_now = self.productivity_factor(year, dt_freeze_year);
-        Ok(self.anchor_cost_musd * (self.transistors(year) / self.anchor_transistors)
+        Ok(self.anchor_cost_musd
+            * (self.transistors(year) / self.anchor_transistors)
             * engineer_cost_rel
             * (f_anchor / f_now))
     }
@@ -142,7 +203,10 @@ impl CostModel {
     /// # Errors
     ///
     /// Propagates [`CostModel::design_cost_musd`] errors.
-    pub fn fig2_series(&self, years: std::ops::RangeInclusive<u32>) -> Result<Vec<Fig2Row>, CostError> {
+    pub fn fig2_series(
+        &self,
+        years: std::ops::RangeInclusive<u32>,
+    ) -> Result<Vec<Fig2Row>, CostError> {
         years
             .map(|year| {
                 let design = self.design_cost_musd(year, u32::MAX)?;

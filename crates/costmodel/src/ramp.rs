@@ -157,9 +157,7 @@ mod tests {
     #[test]
     fn capability_of_a_centred_tight_process() {
         // Mean 10, sigma ~1, limits 4..16 => Cp = 12/6 = 2, Cpk = 2.
-        let samples: Vec<f64> = (0..100)
-            .map(|i| 10.0 + f64::from(i % 5) - 2.0)
-            .collect();
+        let samples: Vec<f64> = (0..100).map(|i| 10.0 + f64::from(i % 5) - 2.0).collect();
         let c = process_capability(&samples, 4.0, 16.0).unwrap();
         assert!((c.mean - 10.0).abs() < 1e-9);
         assert!(c.cp > 1.0);

@@ -4,11 +4,13 @@
 //! command-option combinations". We model the axes that matter to QoR:
 //! target frequency, utilization, aspect ratio, per-step efforts.
 
-use serde::{Deserialize, Serialize};
 use crate::FlowError;
+use serde::{Deserialize, Serialize};
 
 /// Tool effort level for a flow step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize,
+)]
 pub enum Effort {
     /// Fastest, lowest quality.
     Low,

@@ -1,6 +1,5 @@
 //! The SP&R flow: physical pipeline and calibrated fast surface.
 
-use serde::{Deserialize, Serialize};
 use crate::noise::{gaussian_draw, ToolNoise};
 use crate::options::SpnrOptions;
 use crate::record::{FlowStep, StepRecord};
@@ -16,8 +15,11 @@ use ideaflow_timing::graph::TimingGraph;
 use ideaflow_timing::model::{Constraints, Corner, WireModel};
 use ideaflow_timing::pba::{max_frequency_ghz, pba};
 use ideaflow_timing::si::apply_coupling;
+use ideaflow_trace::Journal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// QoR returned by one (fast-surface) SP&R run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -76,6 +78,7 @@ pub struct SpnrFlow {
     fmax_ref_ghz: f64,
     base_area_um2: f64,
     base_leakage_nw: f64,
+    journal: Journal,
 }
 
 impl SpnrFlow {
@@ -96,6 +99,7 @@ impl SpnrFlow {
             fmax_ref_ghz,
             base_area_um2,
             base_leakage_nw,
+            journal: Journal::disabled(),
         }
     }
 
@@ -104,6 +108,21 @@ impl SpnrFlow {
     pub fn with_noise(mut self, noise: ToolNoise) -> Self {
         self.noise = noise;
         self
+    }
+
+    /// Attaches a run journal: every subsequent [`SpnrFlow::run`],
+    /// [`SpnrFlow::run_logged`] and [`SpnrFlow::run_physical`] emits
+    /// structured events into it. Clones of the flow share the journal.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
+    }
+
+    /// The attached journal (disabled unless set).
+    #[must_use]
+    pub fn journal(&self) -> &Journal {
+        &self.journal
     }
 
     /// The design spec.
@@ -160,9 +179,8 @@ impl SpnrFlow {
         // Area: optimization pressure near the limit costs area (upsizing,
         // VT swaps, buffering).
         let pressure = 0.25 * u * u / (1.0 - u).max(0.05);
-        let area_mean =
-            self.base_area_um2 * options.combined_area_factor() * (1.0 + pressure)
-                / (options.utilization / 0.70).powf(0.15);
+        let area_mean = self.base_area_um2 * options.combined_area_factor() * (1.0 + pressure)
+            / (options.utilization / 0.70).powf(0.15);
         let sigma_rel = self.noise.sigma_at(u) * nf;
         let area = area_mean * (1.0 + sigma_rel * gaussian_draw(fp, sample, 1));
 
@@ -184,16 +202,30 @@ impl SpnrFlow {
         let kinst = self.netlist.instance_count() as f64 / 1_000.0;
         let runtime_mean =
             0.5 * kinst.powf(0.8) * options.combined_runtime_factor() * (1.0 + 0.6 * u.min(1.5));
-        let runtime =
-            (runtime_mean * (1.0 + 0.05 * gaussian_draw(fp, sample, 4))).max(0.01);
+        let runtime = (runtime_mean * (1.0 + 0.05 * gaussian_draw(fp, sample, 4))).max(0.01);
 
-        QorSample {
+        let qor = QorSample {
             target_ghz: options.target_ghz,
             area_um2: area,
             wns_ps: wns,
             leakage_nw: leakage,
             runtime_hours: runtime,
+        };
+        if self.journal.is_enabled() {
+            self.journal.emit(
+                "flow.sample",
+                &[
+                    ("sample", sample.into()),
+                    ("target_ghz", qor.target_ghz.into()),
+                    ("area_um2", qor.area_um2.into()),
+                    ("wns_ps", qor.wns_ps.into()),
+                    ("leakage_nw", qor.leakage_nw.into()),
+                    ("runtime_hours", qor.runtime_hours.into()),
+                ],
+            );
+            self.journal.count("flow.samples", 1);
         }
+        qor
     }
 
     /// One fast-surface run plus its per-step METRICS records.
@@ -245,6 +277,19 @@ impl SpnrFlow {
             }
             records.push(r);
         }
+        if self.journal.is_enabled() {
+            // Journal events carry the same metric vocabulary as the
+            // METRICS wire records, so journal-side and transmitter-side
+            // views of a run line up field for field.
+            for r in &records {
+                let fields: Vec<(&str, ideaflow_trace::PayloadValue)> =
+                    std::iter::once(("flow_run", r.run_id.as_str().into()))
+                        .chain(r.metrics.iter().map(|(k, v)| (k.as_str(), (*v).into())))
+                        .collect();
+                self.journal
+                    .emit(&format!("flow.step.{}", r.step.name()), &fields);
+            }
+        }
         (qor, records)
     }
 
@@ -259,8 +304,27 @@ impl SpnrFlow {
     pub fn run_physical(&self, options: &SpnrOptions, sample: u32) -> PhysicalOutcome {
         options.validate().expect("options must validate");
         let run_seed = self.seed ^ options.fingerprint() ^ (u64::from(sample) << 17);
+        let flow_run = format!(
+            "{}_{:016x}_s{sample}",
+            self.netlist.name(),
+            options.fingerprint()
+        );
+        let t_total = Instant::now();
+        let t0 = Instant::now();
         let fp = Floorplan::for_netlist(&self.netlist, options.utilization, options.aspect_ratio)
             .expect("validated options fit");
+        if self.journal.is_enabled() {
+            self.journal.emit(
+                "flow.floorplan",
+                &[
+                    ("flow_run", flow_run.as_str().into()),
+                    ("utilization", options.utilization.into()),
+                    ("aspect_ratio", options.aspect_ratio.into()),
+                    ("secs", t0.elapsed().as_secs_f64().into()),
+                ],
+            );
+        }
+        let t0 = Instant::now();
         let start = partition_seeded_placement(&self.netlist, &fp, run_seed)
             .expect("floorplan sized for netlist");
         let moves = match options.place_effort {
@@ -276,11 +340,24 @@ impl SpnrFlow {
                 moves,
                 t_initial: 60.0,
                 t_final: 0.3,
-                },
+            },
             run_seed.wrapping_add(1),
         );
         let hpwl = total_hpwl(&self.netlist, &fp, &placed.placement);
+        if self.journal.is_enabled() {
+            self.journal.emit(
+                "flow.place",
+                &[
+                    ("flow_run", flow_run.as_str().into()),
+                    ("moves", moves.into()),
+                    ("hpwl_um", hpwl.into()),
+                    ("secs", t0.elapsed().as_secs_f64().into()),
+                ],
+            );
+            self.journal.observe("flow.place.hpwl_um", hpwl);
+        }
         // Clock-tree synthesis: skew tightens the effective setup budget.
+        let t0 = Instant::now();
         let cts = synthesize(
             &self.netlist,
             &fp,
@@ -292,6 +369,18 @@ impl SpnrFlow {
             },
         )
         .expect("generated designs have flops");
+        if self.journal.is_enabled() {
+            self.journal.emit(
+                "flow.cts",
+                &[
+                    ("flow_run", flow_run.as_str().into()),
+                    ("skew_ps", cts.skew_ps().into()),
+                    ("buffers", cts.buffer_count.into()),
+                    ("secs", t0.elapsed().as_secs_f64().into()),
+                ],
+            );
+        }
+        let t0 = Instant::now();
         let route = GlobalRoute::run(
             &self.netlist,
             &fp,
@@ -302,7 +391,19 @@ impl SpnrFlow {
                 capacity: 40.0 / options.utilization,
             },
         );
+        if self.journal.is_enabled() {
+            self.journal.emit(
+                "flow.route",
+                &[
+                    ("flow_run", flow_run.as_str().into()),
+                    ("overflow", route.total_overflow().into()),
+                    ("hot_fraction", route.hot_fraction(1.0).into()),
+                    ("secs", t0.elapsed().as_secs_f64().into()),
+                ],
+            );
+        }
         // Timing with placement-derived net lengths.
+        let t0 = Instant::now();
         let lengths: Vec<f64> = (0..self.netlist.net_count())
             .map(|n| net_hpwl(&self.netlist, &fp, &placed.placement, n).max(0.5))
             .collect();
@@ -316,12 +417,25 @@ impl SpnrFlow {
         // flop.
         cons.setup_ps += cts.skew_ps();
         let signoff = pba(&graph, &cons, &Corner::STANDARD).expect("endpoints exist");
+        if self.journal.is_enabled() {
+            self.journal.emit(
+                "flow.signoff",
+                &[
+                    ("flow_run", flow_run.as_str().into()),
+                    ("wns_ps", signoff.wns_ps.into()),
+                    ("skew_ps", cts.skew_ps().into()),
+                    ("secs", t0.elapsed().as_secs_f64().into()),
+                ],
+            );
+            self.journal.observe("flow.signoff.wns_ps", signoff.wns_ps);
+        }
         // Detailed routing.
+        let t0 = Instant::now();
         let mut rng = StdRng::seed_from_u64(run_seed.wrapping_add(3));
         let behavior = behavior_from_congestion(route.hot_fraction(1.0), &mut rng);
         let initial_drvs =
-            (500.0 + route.total_overflow() * 30.0 + self.netlist.net_count() as f64 * 0.5)
-                .round() as u64;
+            (500.0 + route.total_overflow() * 30.0 + self.netlist.net_count() as f64 * 0.5).round()
+                as u64;
         let drv = simulate(
             behavior,
             initial_drvs.max(1),
@@ -329,6 +443,17 @@ impl SpnrFlow {
             run_seed.wrapping_add(4),
         )
         .expect("positive initial DRVs");
+        if self.journal.is_enabled() {
+            self.journal.emit(
+                "flow.detail_route",
+                &[
+                    ("flow_run", flow_run.as_str().into()),
+                    ("initial_drvs", initial_drvs.into()),
+                    ("final_drvs", drv.counts.last().copied().unwrap_or(0).into()),
+                    ("secs", t0.elapsed().as_secs_f64().into()),
+                ],
+            );
+        }
         let qor = QorSample {
             target_ghz: options.target_ghz,
             area_um2: self.netlist.total_area_um2(),
@@ -336,6 +461,22 @@ impl SpnrFlow {
             leakage_nw: self.netlist.total_leakage_nw(),
             runtime_hours: 0.0,
         };
+        if self.journal.is_enabled() {
+            self.journal.emit(
+                "flow.run_physical",
+                &[
+                    ("flow_run", flow_run.as_str().into()),
+                    ("sample", sample.into()),
+                    ("target_ghz", qor.target_ghz.into()),
+                    ("wns_ps", qor.wns_ps.into()),
+                    ("hpwl_um", hpwl.into()),
+                    ("secs", t_total.elapsed().as_secs_f64().into()),
+                ],
+            );
+            self.journal.count("flow.run_physical.calls", 1);
+            self.journal
+                .observe("flow.run_physical.secs", t_total.elapsed().as_secs_f64());
+        }
         PhysicalOutcome {
             qor,
             hpwl_um: hpwl,
@@ -384,13 +525,7 @@ mod tests {
             let o = SpnrOptions::with_target_ghz(ghz).unwrap();
             let areas: Vec<f64> = (0..60).map(|s| f.run(&o, s).area_um2).collect();
             let m = areas.iter().sum::<f64>() / areas.len() as f64;
-            (areas
-                .iter()
-                .map(|a| (a - m) * (a - m))
-                .sum::<f64>()
-                / areas.len() as f64)
-                .sqrt()
-                / m
+            (areas.iter().map(|a| (a - m) * (a - m)).sum::<f64>() / areas.len() as f64).sqrt() / m
         };
         let low = spread(fmax * 0.5);
         let high = spread(fmax * 0.95);
@@ -402,9 +537,8 @@ mod tests {
         let f = flow();
         let o_easy = SpnrOptions::with_target_ghz(f.fmax_ref_ghz() * 0.6).unwrap();
         let o_hard = SpnrOptions::with_target_ghz(f.fmax_ref_ghz() * 1.2).unwrap();
-        let rate = |o: &SpnrOptions| {
-            (0..40).filter(|&s| f.run(o, s).meets_timing()).count() as f64 / 40.0
-        };
+        let rate =
+            |o: &SpnrOptions| (0..40).filter(|&s| f.run(o, s).meets_timing()).count() as f64 / 40.0;
         assert!(rate(&o_easy) > 0.9);
         assert!(rate(&o_hard) < 0.2);
     }
@@ -455,6 +589,41 @@ mod tests {
         assert!(p.hot_fraction >= 0.0 && p.hot_fraction <= 1.0);
         assert_eq!(p.drv.counts.len(), 20);
         assert!(p.qor.area_um2 > 0.0);
+    }
+
+    #[test]
+    fn journaled_physical_run_emits_step_events() {
+        let f = SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 200).unwrap(), 7)
+            .with_journal(ideaflow_trace::Journal::in_memory("phys"));
+        let o = SpnrOptions::with_target_ghz(f.fmax_ref_ghz() * 0.7).unwrap();
+        let _ = f.run_physical(&o, 0);
+        let _ = f.run(&o, 0);
+        let lines = f.journal().drain_lines();
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines.join("\n")).unwrap();
+        assert!(reader.seq_strictly_increasing_per_run());
+        for step in [
+            "flow.floorplan",
+            "flow.place",
+            "flow.cts",
+            "flow.route",
+            "flow.signoff",
+            "flow.detail_route",
+            "flow.run_physical",
+            "flow.sample",
+        ] {
+            assert_eq!(reader.events_for_step(step).len(), 1, "step {step}");
+        }
+        let place = &reader.events_for_step("flow.place")[0];
+        assert!(place.payload.get("hpwl_um").is_some());
+        assert!(place.payload.get("secs").is_some());
+    }
+
+    #[test]
+    fn disabled_journal_changes_nothing() {
+        let base = flow();
+        let journaled = flow().with_journal(ideaflow_trace::Journal::in_memory("j"));
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        assert_eq!(base.run(&o, 5), journaled.run(&o, 5));
     }
 
     #[test]

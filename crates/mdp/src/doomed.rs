@@ -14,9 +14,9 @@
 
 #![allow(clippy::needless_range_loop)] // state-indexed MDP assembly reads better indexed
 
-use serde::{Deserialize, Serialize};
 use crate::finite::FiniteMdp;
 use crate::MdpError;
+use serde::{Deserialize, Serialize};
 
 /// Number of violation bins (the Fig 10 x-axis).
 pub const V_BINS: usize = 18;
@@ -134,7 +134,10 @@ impl StrategyCard {
         if t == 0 {
             return Action::Go;
         }
-        self.action(bin_violations(counts[t]), bin_delta(counts[t - 1], counts[t]))
+        self.action(
+            bin_violations(counts[t]),
+            bin_delta(counts[t - 1], counts[t]),
+        )
     }
 
     /// Fraction of card cells that say STOP.
@@ -196,9 +199,8 @@ pub fn derive_card(runs: &[Vec<u64>], cfg: DoomedConfig) -> Result<StrategyCard,
         let succeeded = *run.last().expect("non-empty run") < cfg.success_threshold;
         // Iteration 0 has no defined delta and is never a decision point,
         // so training transitions start at t = 1.
-        let state_at = |t: usize| {
-            state_index(bin_violations(run[t]), bin_delta(run[t - 1], run[t]))
-        };
+        let state_at =
+            |t: usize| state_index(bin_violations(run[t]), bin_delta(run[t - 1], run[t]));
         for t in 1..run.len() {
             let s = state_at(t);
             seen[s] = true;
@@ -255,7 +257,11 @@ pub fn derive_card(runs: &[Vec<u64>], cfg: DoomedConfig) -> Result<StrategyCard,
     for s in 0..n_card {
         let (vbin, dbin) = (s / D_BINS, s % D_BINS);
         if seen[s] {
-            actions.push(if sol.policy[s] == 0 { Action::Go } else { Action::Stop });
+            actions.push(if sol.policy[s] == 0 {
+                Action::Go
+            } else {
+                Action::Stop
+            });
             observed.push(true);
         } else {
             actions.push(fill_rule(vbin, dbin));

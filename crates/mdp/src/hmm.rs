@@ -213,8 +213,9 @@ impl Hmm {
             }
             for t in 1..t_len {
                 for j in 0..n {
-                    let inflow: f64 =
-                        (0..n).map(|i| alphas[t - 1][i] * self.transition[i][j]).sum();
+                    let inflow: f64 = (0..n)
+                        .map(|i| alphas[t - 1][i] * self.transition[i][j])
+                        .sum();
                     alphas[t][j] = inflow * self.emission[j][obs[t]];
                 }
                 scales[t] = alphas[t].iter().sum::<f64>().max(1e-300);
@@ -343,11 +344,7 @@ mod tests {
     fn baum_welch_increases_likelihood() {
         // Start from a vague model and train on sticky data.
         let data: Vec<Vec<usize>> = (0..10)
-            .map(|k| {
-                (0..30)
-                    .map(|t| usize::from((t + k) % 15 >= 7))
-                    .collect()
-            })
+            .map(|k| (0..30).map(|t| usize::from((t + k) % 15 >= 7)).collect())
             .collect();
         let mut h = Hmm::new(
             vec![0.6, 0.4],

@@ -24,10 +24,7 @@ pub struct HmmDetector {
 /// Observation sequence for a run: ΔDRV bins from iteration 1 on.
 #[must_use]
 pub fn observations(counts: &[u64]) -> Vec<usize> {
-    counts
-        .windows(2)
-        .map(|w| bin_delta(w[0], w[1]))
-        .collect()
+    counts.windows(2).map(|w| bin_delta(w[0], w[1])).collect()
 }
 
 /// Deterministic seeded initial HMM with sticky transitions.
@@ -130,8 +127,7 @@ impl HmmDetector {
             return Action::Go;
         }
         let obs = observations(&counts[..=t]);
-        let llr = self.fail_model.log_likelihood(&obs)
-            - self.success_model.log_likelihood(&obs);
+        let llr = self.fail_model.log_likelihood(&obs) - self.success_model.log_likelihood(&obs);
         if llr > self.threshold {
             Action::Stop
         } else {

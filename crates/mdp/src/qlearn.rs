@@ -9,8 +9,8 @@
 //! [`StrategyCard`] shape so the evaluation protocol is shared.
 
 use crate::doomed::{
-    bin_delta, bin_violations, fill_rule, state_index, Action, DoomedConfig, StrategyCard,
-    D_BINS, V_BINS,
+    bin_delta, bin_violations, fill_rule, state_index, Action, DoomedConfig, StrategyCard, D_BINS,
+    V_BINS,
 };
 use crate::MdpError;
 
@@ -120,7 +120,11 @@ impl QLearner {
             // STOP transitions bootstrap to their known reward).
             let explore = self.rand01() < self.cfg.epsilon;
             let greedy_stop = self.q[s][1] > self.q[s][0];
-            let take_stop = if explore { self.rand01() < 0.5 } else { greedy_stop };
+            let take_stop = if explore {
+                self.rand01() < 0.5
+            } else {
+                greedy_stop
+            };
             if take_stop {
                 // STOP: immediate 0 reward, episode (for learning) ends.
                 let target = 0.0;
@@ -130,10 +134,7 @@ impl QLearner {
             }
             // GO update from the logged transition.
             let (reward, next_best) = if t + 1 < run.len() {
-                let ns = state_index(
-                    bin_violations(run[t + 1]),
-                    bin_delta(run[t], run[t + 1]),
-                );
+                let ns = state_index(bin_violations(run[t + 1]), bin_delta(run[t], run[t + 1]));
                 (
                     -self.cfg.rewards.step_penalty,
                     self.q[ns][0].max(self.q[ns][1]),

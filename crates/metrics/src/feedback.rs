@@ -112,7 +112,10 @@ mod tests {
         let passes = (100..120)
             .filter(|&s| flow.run(&opts, s).meets_timing())
             .count();
-        assert!(passes >= 13, "only {passes}/20 runs passed at the adapted target");
+        assert!(
+            passes >= 13,
+            "only {passes}/20 runs passed at the adapted target"
+        );
     }
 
     #[test]

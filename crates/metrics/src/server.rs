@@ -10,6 +10,7 @@ use crate::xml::{decode, encode, MetricRecord};
 use crate::MetricsError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use ideaflow_flow::record::{FlowStep, StepRecord};
+use ideaflow_trace::Journal;
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -18,16 +19,52 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct Transmitter {
     tx: Sender<String>,
-    seq: Arc<AtomicU64>,
+    // Sequence assignment and channel push happen under one lock so the
+    // receiver observes seq numbers in strictly increasing order even
+    // with cloned transmitters on many threads. (The previous
+    // fetch_add-then-send pair could interleave between the two steps.)
+    seq: Arc<Mutex<u64>>,
+    journal: Journal,
 }
 
 impl Transmitter {
     /// Sends one step record (encoded to XML on the way out).
     pub fn send(&self, record: StepRecord) {
-        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
-        let wire = encode(&MetricRecord { seq, record });
-        // A dropped server is fine: transmitters never block the tool.
-        let _ = self.tx.send(wire);
+        let wire;
+        let seq;
+        {
+            let mut guard = self.seq.lock();
+            seq = *guard;
+            *guard += 1;
+            wire = encode(&MetricRecord {
+                seq,
+                record: record.clone(),
+            });
+            // A dropped server is fine: transmitters never block the tool.
+            let _ = self.tx.send(wire);
+        }
+        if self.journal.is_enabled() {
+            let mut fields: Vec<(&str, ideaflow_trace::PayloadValue)> = vec![
+                ("wire_seq", (seq as i64).into()),
+                ("run_id", record.run_id.as_str().into()),
+            ];
+            for (name, value) in &record.metrics {
+                fields.push((name.as_str(), (*value).into()));
+            }
+            self.journal
+                .emit(&format!("metrics.wire.{}", record.step.name()), &fields);
+            self.journal.count("metrics.records_sent", 1);
+        }
+    }
+
+    /// Returns a transmitter that co-journals every wire record: each
+    /// [`Transmitter::send`] also emits a `metrics.wire.<step>` journal
+    /// event carrying the wire sequence number and the record's metrics,
+    /// so the METRICS stream and the run journal share one vocabulary.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Journal) -> Self {
+        self.journal = journal;
+        self
     }
 }
 
@@ -51,7 +88,8 @@ impl MetricsServer {
         });
         let transmitter = Transmitter {
             tx,
-            seq: Arc::new(AtomicU64::new(0)),
+            seq: Arc::new(Mutex::new(0)),
+            journal: Journal::disabled(),
         };
         (server, transmitter)
     }
@@ -251,6 +289,63 @@ mod tests {
     }
 
     #[test]
+    fn receiver_observes_strictly_increasing_seq_across_threads() {
+        // Regression: seq was a Relaxed fetch_add followed by a separate
+        // channel send, so two threads could swap between the two steps
+        // and the receiver would see seq numbers out of order. Now both
+        // happen under one lock; arrival order must equal seq order.
+        let (server, tx) = MetricsServer::new();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let txc = tx.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    txc.send(rec(
+                        &format!("run_{t}_{i}"),
+                        FlowStep::Place,
+                        &[("hpwl_um", f64::from(i))],
+                    ));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(server.ingest(), 800);
+        // Store order is arrival order (ingest pushes as it drains).
+        let store = server.store.lock();
+        for w in store.windows(2) {
+            assert!(
+                w[0].seq < w[1].seq,
+                "receiver saw seq {} before {}",
+                w[0].seq,
+                w[1].seq
+            );
+        }
+    }
+
+    #[test]
+    fn journaled_transmitter_co_journals_wire_records() {
+        let journal = ideaflow_trace::Journal::in_memory("wire-test");
+        let (server, tx) = MetricsServer::new();
+        let tx = tx.with_journal(journal.clone());
+        tx.send(rec("r1", FlowStep::Place, &[("hpwl_um", 100.0)]));
+        tx.send(rec("r1", FlowStep::Signoff, &[("wns_ps", -5.0)]));
+        assert_eq!(server.ingest(), 2);
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        assert_eq!(reader.events_for_step("metrics.wire.place").len(), 1);
+        assert_eq!(reader.events_for_step("metrics.wire.signoff").len(), 1);
+        let hpwl = reader.field_stats("metrics.wire.place", "hpwl_um").unwrap();
+        assert_eq!(hpwl.mean, 100.0);
+        // Wire seq mirrors the channel's order.
+        let seqs = reader
+            .field_stats("metrics.wire.signoff", "wire_seq")
+            .unwrap();
+        assert_eq!(seqs.mean, 1.0);
+    }
+
+    #[test]
     fn run_matrix_aligns_complete_runs() {
         let (server, tx) = MetricsServer::new();
         for (run, hpwl, wns) in [("a", 10.0, 1.0), ("b", 20.0, -2.0)] {
@@ -287,9 +382,7 @@ mod tests {
     #[test]
     fn empty_matrix_is_an_error() {
         let (server, _tx) = MetricsServer::new();
-        assert!(server
-            .run_matrix(&[(FlowStep::Place, "hpwl_um")])
-            .is_err());
+        assert!(server.run_matrix(&[(FlowStep::Place, "hpwl_um")]).is_err());
         assert!(server.is_empty());
     }
 }

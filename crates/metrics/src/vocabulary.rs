@@ -27,19 +27,84 @@ pub struct MetricDef {
 /// The standard vocabulary shared by every instrumented tool in the
 /// workspace.
 pub const VOCABULARY: &[MetricDef] = &[
-    MetricDef { name: "target_ghz", unit: "GHz", non_negative: true, steps: None },
-    MetricDef { name: "instances", unit: "1", non_negative: true, steps: Some(&[FlowStep::Synthesis]) },
-    MetricDef { name: "area_um2", unit: "um^2", non_negative: true, steps: None },
-    MetricDef { name: "wns_ps", unit: "ps", non_negative: false, steps: None },
-    MetricDef { name: "leakage_nw", unit: "nW", non_negative: true, steps: Some(&[FlowStep::Signoff]) },
-    MetricDef { name: "runtime_hours", unit: "h", non_negative: true, steps: None },
-    MetricDef { name: "utilization", unit: "1", non_negative: true, steps: Some(&[FlowStep::Floorplan]) },
-    MetricDef { name: "aspect_ratio", unit: "1", non_negative: true, steps: Some(&[FlowStep::Floorplan]) },
-    MetricDef { name: "cts_aggressive", unit: "1", non_negative: true, steps: Some(&[FlowStep::Cts]) },
-    MetricDef { name: "hpwl_um", unit: "um", non_negative: true, steps: Some(&[FlowStep::Place]) },
-    MetricDef { name: "overflow", unit: "1", non_negative: true, steps: Some(&[FlowStep::Route]) },
-    MetricDef { name: "drv_final", unit: "1", non_negative: true, steps: Some(&[FlowStep::Route]) },
-    MetricDef { name: "clock_skew_ps", unit: "ps", non_negative: true, steps: Some(&[FlowStep::Cts]) },
+    MetricDef {
+        name: "target_ghz",
+        unit: "GHz",
+        non_negative: true,
+        steps: None,
+    },
+    MetricDef {
+        name: "instances",
+        unit: "1",
+        non_negative: true,
+        steps: Some(&[FlowStep::Synthesis]),
+    },
+    MetricDef {
+        name: "area_um2",
+        unit: "um^2",
+        non_negative: true,
+        steps: None,
+    },
+    MetricDef {
+        name: "wns_ps",
+        unit: "ps",
+        non_negative: false,
+        steps: None,
+    },
+    MetricDef {
+        name: "leakage_nw",
+        unit: "nW",
+        non_negative: true,
+        steps: Some(&[FlowStep::Signoff]),
+    },
+    MetricDef {
+        name: "runtime_hours",
+        unit: "h",
+        non_negative: true,
+        steps: None,
+    },
+    MetricDef {
+        name: "utilization",
+        unit: "1",
+        non_negative: true,
+        steps: Some(&[FlowStep::Floorplan]),
+    },
+    MetricDef {
+        name: "aspect_ratio",
+        unit: "1",
+        non_negative: true,
+        steps: Some(&[FlowStep::Floorplan]),
+    },
+    MetricDef {
+        name: "cts_aggressive",
+        unit: "1",
+        non_negative: true,
+        steps: Some(&[FlowStep::Cts]),
+    },
+    MetricDef {
+        name: "hpwl_um",
+        unit: "um",
+        non_negative: true,
+        steps: Some(&[FlowStep::Place]),
+    },
+    MetricDef {
+        name: "overflow",
+        unit: "1",
+        non_negative: true,
+        steps: Some(&[FlowStep::Route]),
+    },
+    MetricDef {
+        name: "drv_final",
+        unit: "1",
+        non_negative: true,
+        steps: Some(&[FlowStep::Route]),
+    },
+    MetricDef {
+        name: "clock_skew_ps",
+        unit: "ps",
+        non_negative: true,
+        steps: Some(&[FlowStep::Cts]),
+    },
 ];
 
 /// Looks up a metric definition by canonical name.

@@ -10,9 +10,9 @@
 //! </record>
 //! ```
 
-use serde::{Deserialize, Serialize};
 use crate::MetricsError;
 use ideaflow_flow::record::{FlowStep, StepRecord};
+use serde::{Deserialize, Serialize};
 
 /// A transmitted record: a flow step record plus a logical sequence number
 /// (the workspace has no wall clock by policy).
@@ -63,9 +63,12 @@ fn attr(tag: &str, name: &str) -> Result<String, MetricsError> {
     let start = tag.find(&pat).ok_or_else(|| MetricsError::ParseXml {
         detail: format!("missing attribute `{name}` in `{tag}`"),
     })? + pat.len();
-    let end = tag[start..].find('"').ok_or_else(|| MetricsError::ParseXml {
-        detail: format!("unterminated attribute `{name}`"),
-    })? + start;
+    let end = tag[start..]
+        .find('"')
+        .ok_or_else(|| MetricsError::ParseXml {
+            detail: format!("unterminated attribute `{name}`"),
+        })?
+        + start;
     Ok(unescape(&tag[start..end]))
 }
 
@@ -157,9 +160,7 @@ mod tests {
         assert!(decode("<nope/>").is_err());
         assert!(decode("<record run=\"a\" step=\"place\" seq=\"1\">\n").is_err());
         assert!(decode("<record run=\"a\" step=\"nostep\" seq=\"1\">\n</record>").is_err());
-        assert!(
-            decode("<record run=\"a\" step=\"place\" seq=\"x\">\n</record>").is_err()
-        );
+        assert!(decode("<record run=\"a\" step=\"place\" seq=\"x\">\n</record>").is_err());
         assert!(decode(
             "<record run=\"a\" step=\"place\" seq=\"1\">\n<metric name=\"m\" value=\"zz\"/>\n</record>"
         )

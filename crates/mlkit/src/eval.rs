@@ -44,7 +44,11 @@ pub fn mae(pred: &[f64], truth: &[f64]) -> f64 {
     if pred.is_empty() {
         return 0.0;
     }
-    pred.iter().zip(truth).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(truth)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 /// Coefficient of determination R². 1.0 is a perfect fit; 0.0 matches the
@@ -65,11 +69,7 @@ pub fn r2(pred: &[f64], truth: &[f64]) -> f64 {
     if ss_tot < 1e-14 {
         return 0.0;
     }
-    let ss_res: f64 = pred
-        .iter()
-        .zip(truth)
-        .map(|(p, t)| (p - t) * (p - t))
-        .sum();
+    let ss_res: f64 = pred.iter().zip(truth).map(|(p, t)| (p - t) * (p - t)).sum();
     1.0 - ss_res / ss_tot
 }
 

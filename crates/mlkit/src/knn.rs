@@ -129,20 +129,20 @@ mod tests {
 
     #[test]
     fn k1_returns_nearest_target() {
-        let knn = KnnRegressor::fit(
-            vec![vec![0.0, 0.0], vec![10.0, 10.0]],
-            vec![1.0, 2.0],
-            1,
-        )
-        .unwrap();
+        let knn =
+            KnnRegressor::fit(vec![vec![0.0, 0.0], vec![10.0, 10.0]], vec![1.0, 2.0], 1).unwrap();
         assert_eq!(knn.predict(&[1.0, 1.0]), 1.0);
         assert_eq!(knn.predict(&[9.0, 9.0]), 2.0);
     }
 
     #[test]
     fn k_equals_n_returns_global_mean() {
-        let knn = KnnRegressor::fit(vec![vec![0.0], vec![1.0], vec![2.0]], vec![3.0, 6.0, 9.0], 3)
-            .unwrap();
+        let knn = KnnRegressor::fit(
+            vec![vec![0.0], vec![1.0], vec![2.0]],
+            vec![3.0, 6.0, 9.0],
+            3,
+        )
+        .unwrap();
         assert!((knn.predict(&[100.0]) - 6.0).abs() < 1e-12);
     }
 
@@ -163,8 +163,7 @@ mod tests {
 
     #[test]
     fn batch_matches_single() {
-        let knn =
-            KnnRegressor::fit(vec![vec![0.0], vec![1.0]], vec![0.0, 10.0], 1).unwrap();
+        let knn = KnnRegressor::fit(vec![vec![0.0], vec![1.0]], vec![0.0, 10.0], 1).unwrap();
         let q = vec![vec![0.2], vec![0.9]];
         assert_eq!(knn.predict_batch(&q), vec![0.0, 10.0]);
     }

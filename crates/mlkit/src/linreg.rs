@@ -94,13 +94,7 @@ impl RidgeRegression {
             self.weights.len(),
             "feature width mismatch in RidgeRegression::predict"
         );
-        self.intercept
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>()
+        self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>()
     }
 
     /// Predicts for a batch of rows.
@@ -204,7 +198,10 @@ mod tests {
     #[test]
     fn rejects_negative_lambda() {
         let err = RidgeRegression::fit(&[vec![1.0]], &[1.0], -1.0).unwrap_err();
-        assert!(matches!(err, MlError::InvalidParameter { name: "lambda", .. }));
+        assert!(matches!(
+            err,
+            MlError::InvalidParameter { name: "lambda", .. }
+        ));
     }
 
     #[test]

@@ -114,13 +114,7 @@ impl LogisticRegression {
     /// Probability that `x` belongs to the positive class.
     #[must_use]
     pub fn predict_proba(&self, x: &[f64]) -> f64 {
-        let z = self.intercept
-            + self
-                .weights
-                .iter()
-                .zip(x)
-                .map(|(w, v)| w * v)
-                .sum::<f64>();
+        let z = self.intercept + self.weights.iter().zip(x).map(|(w, v)| w * v).sum::<f64>();
         sigmoid(z)
     }
 

@@ -165,7 +165,10 @@ impl Matrix {
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, MlError> {
         if self.rows != self.cols {
             return Err(MlError::DimensionMismatch {
-                detail: format!("solve requires square matrix, got {}x{}", self.rows, self.cols),
+                detail: format!(
+                    "solve requires square matrix, got {}x{}",
+                    self.rows, self.cols
+                ),
             });
         }
         if b.len() != self.rows {

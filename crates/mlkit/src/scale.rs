@@ -129,7 +129,9 @@ mod tests {
 
     #[test]
     fn transform_produces_unit_moments() {
-        let xs: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i), 10.0 * f64::from(i)]).collect();
+        let xs: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![f64::from(i), 10.0 * f64::from(i)])
+            .collect();
         let s = StandardScaler::fit(&xs).unwrap();
         let t = s.transform(&xs);
         for col in 0..2 {

@@ -250,7 +250,9 @@ mod tests {
 
     #[test]
     fn jarque_bera_large_for_skewed() {
-        let xs: Vec<f64> = (0..2000).map(|i| (f64::from(i) / 100.0).exp() % 7.0).collect();
+        let xs: Vec<f64> = (0..2000)
+            .map(|i| (f64::from(i) / 100.0).exp() % 7.0)
+            .collect();
         assert!(jarque_bera(&xs) > 6.0);
     }
 

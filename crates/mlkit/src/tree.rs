@@ -99,7 +99,11 @@ impl RegressionTree {
     /// Panics if `x.len()` differs from the training width.
     #[must_use]
     pub fn predict(&self, x: &[f64]) -> f64 {
-        assert_eq!(x.len(), self.width, "feature width mismatch in tree predict");
+        assert_eq!(
+            x.len(),
+            self.width,
+            "feature width mismatch in tree predict"
+        );
         let mut node = &self.root;
         loop {
             match node {
@@ -110,7 +114,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    node = if x[*feature] <= *threshold { left } else { right };
+                    node = if x[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
                 }
             }
         }
@@ -173,8 +181,7 @@ fn build(xs: &[Vec<f64>], ys: &[f64], idx: &[usize], depth: usize, min_split: us
                 continue;
             }
             let thr = f64::midpoint(lo, hi);
-            let (l, r): (Vec<usize>, Vec<usize>) =
-                idx.iter().partition(|&&i| xs[i][f] <= thr);
+            let (l, r): (Vec<usize>, Vec<usize>) = idx.iter().partition(|&&i| xs[i][f] <= thr);
             if l.is_empty() || r.is_empty() {
                 continue;
             }

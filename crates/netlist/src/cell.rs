@@ -135,7 +135,9 @@ impl fmt::Display for CellKind {
 }
 
 /// Threshold-voltage flavour of a cell; the classic leakage/speed trade.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord, Serialize, Deserialize,
+)]
 pub enum VtFlavor {
     /// Low VT: fastest, leakiest.
     LowVt,

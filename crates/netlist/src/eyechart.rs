@@ -231,7 +231,11 @@ mod tests {
         // Driving a huge load, the optimum tapers sizes upward.
         let chart = Eyechart::new(3, 200.0).unwrap();
         let opt = chart.optimal();
-        assert!(opt.drives.windows(2).all(|w| w[0] <= w[1]), "{:?}", opt.drives);
+        assert!(
+            opt.drives.windows(2).all(|w| w[0] <= w[1]),
+            "{:?}",
+            opt.drives
+        );
         assert_eq!(*opt.drives.last().unwrap(), 8);
     }
 
@@ -255,8 +259,12 @@ mod tests {
     fn evaluate_accumulates_area() {
         let chart = Eyechart::new(2, 8.0).unwrap();
         let s = chart.evaluate(&[1, 8]);
-        let a1 = LibCell::new(CellKind::Inv, 1, VtFlavor::StdVt).unwrap().area_um2();
-        let a8 = LibCell::new(CellKind::Inv, 8, VtFlavor::StdVt).unwrap().area_um2();
+        let a1 = LibCell::new(CellKind::Inv, 1, VtFlavor::StdVt)
+            .unwrap()
+            .area_um2();
+        let a8 = LibCell::new(CellKind::Inv, 8, VtFlavor::StdVt)
+            .unwrap()
+            .area_um2();
         assert!((s.area_um2 - (a1 + a8)).abs() < 1e-12);
     }
 }

@@ -7,10 +7,10 @@
 //! class-dependent behaviour. The default CPU preset at ~20k instances
 //! stands in for the paper's PULPino RISC-V testcase.
 
-use serde::{Deserialize, Serialize};
 use crate::cell::{CellKind, LibCell};
-use crate::graph::{Netlist, NetlistBuilder, NetId};
+use crate::graph::{NetId, Netlist, NetlistBuilder};
 use crate::NetlistError;
+use serde::{Deserialize, Serialize};
 
 /// Simple xorshift64* RNG so generation is deterministic without pulling a
 /// dependency into hot construction paths.
@@ -21,9 +21,7 @@ pub(crate) struct XorShift64 {
 
 impl XorShift64 {
     pub(crate) fn new(seed: u64) -> Self {
-        Self {
-            state: seed.max(1),
-        }
+        Self { state: seed.max(1) }
     }
 
     pub(crate) fn next_u64(&mut self) -> u64 {
@@ -344,12 +342,8 @@ mod tests {
 
     #[test]
     fn flop_ratio_tracks_class() {
-        let noc = DesignSpec::new(DesignClass::Noc, 2000)
-            .unwrap()
-            .generate(3);
-        let dsp = DesignSpec::new(DesignClass::Dsp, 2000)
-            .unwrap()
-            .generate(3);
+        let noc = DesignSpec::new(DesignClass::Noc, 2000).unwrap().generate(3);
+        let dsp = DesignSpec::new(DesignClass::Dsp, 2000).unwrap().generate(3);
         let noc_ratio = noc.flop_count() as f64 / noc.instance_count() as f64;
         let dsp_ratio = dsp.flop_count() as f64 / dsp.instance_count() as f64;
         assert!(noc_ratio > dsp_ratio, "NOC {noc_ratio} vs DSP {dsp_ratio}");

@@ -6,9 +6,9 @@
 //! a timing startpoint, so [`Netlist::topo_order`] is well-defined whenever
 //! the *combinational* subgraph is acyclic.
 
-use crate::cell::LibCell;
 #[cfg(test)]
 use crate::cell::CellKind;
+use crate::cell::LibCell;
 use crate::NetlistError;
 
 /// Index of a net within a [`Netlist`].
@@ -434,7 +434,9 @@ mod tests {
         let mut b = NetlistBuilder::new("io");
         let a = b.add_primary_input();
         let bnet = b.add_primary_input();
-        let o = b.add_instance(LibCell::unit(CellKind::And2), &[a, bnet]).unwrap();
+        let o = b
+            .add_instance(LibCell::unit(CellKind::And2), &[a, bnet])
+            .unwrap();
         b.mark_primary_output(o);
         let nl = b.finish().unwrap();
         assert_eq!(nl.primary_input_count(), 2);

@@ -301,11 +301,8 @@ fn bisect_block(
     // global FM but seeded per depth, restricted by fixing outside cells.
     // For simplicity and determinism we split by FM on the induced
     // sub-hypergraph.
-    let idx_of: std::collections::HashMap<u32, usize> = block
-        .iter()
-        .enumerate()
-        .map(|(i, v)| (v.0, i))
-        .collect();
+    let idx_of: std::collections::HashMap<u32, usize> =
+        block.iter().enumerate().map(|(i, v)| (v.0, i)).collect();
     let sub_members: Vec<Vec<u32>> = members
         .iter()
         .filter_map(|m| {
@@ -394,7 +391,12 @@ impl BlockNode {
     /// Tree height.
     #[must_use]
     pub fn height(&self) -> u32 {
-        1 + self.children.iter().map(BlockNode::height).max().unwrap_or(0)
+        1 + self
+            .children
+            .iter()
+            .map(BlockNode::height)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -413,14 +415,18 @@ mod tests {
         let pi_b = b.add_primary_input();
         let mut last_a = pi_a;
         for _ in 0..20 {
-            last_a = b.add_instance(LibCell::unit(CellKind::Inv), &[pi_a]).unwrap();
+            last_a = b
+                .add_instance(LibCell::unit(CellKind::Inv), &[pi_a])
+                .unwrap();
         }
         // One bridge from cluster A's last output into cluster B.
         let bridge = b
             .add_instance(LibCell::unit(CellKind::And2), &[last_a, pi_b])
             .unwrap();
         for _ in 0..20 {
-            let _ = b.add_instance(LibCell::unit(CellKind::Inv), &[bridge]).unwrap();
+            let _ = b
+                .add_instance(LibCell::unit(CellKind::Inv), &[bridge])
+                .unwrap();
         }
         b.finish().unwrap()
     }
@@ -445,7 +451,12 @@ mod tests {
         let n = nl.instance_count();
         let ones = p.side.iter().filter(|&&s| s).count();
         let lo = ((n as f64) * 0.4).floor() as usize;
-        assert!(ones >= lo && n - ones >= lo, "sides {} / {}", ones, n - ones);
+        assert!(
+            ones >= lo && n - ones >= lo,
+            "sides {} / {}",
+            ones,
+            n - ones
+        );
     }
 
     #[test]

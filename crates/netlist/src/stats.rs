@@ -134,10 +134,10 @@ pub fn rent_exponent(netlist: &Netlist, seed: u64) -> Result<f64, NetlistError> 
         if usable.is_empty() {
             continue;
         }
-        let mean_b = usable.iter().map(|b| b.members.len() as f64).sum::<f64>()
-            / usable.len() as f64;
-        let mean_t = usable.iter().map(|b| b.external_nets as f64).sum::<f64>()
-            / usable.len() as f64;
+        let mean_b =
+            usable.iter().map(|b| b.members.len() as f64).sum::<f64>() / usable.len() as f64;
+        let mean_t =
+            usable.iter().map(|b| b.external_nets as f64).sum::<f64>() / usable.len() as f64;
         points.push((mean_b.ln(), mean_t.ln()));
     }
     if points.len() < 2 {
@@ -173,7 +173,9 @@ mod tests {
         let mut b = NetlistBuilder::new("chain");
         let mut net = b.add_primary_input();
         for _ in 0..12 {
-            net = b.add_instance(LibCell::unit(CellKind::Inv), &[net]).unwrap();
+            net = b
+                .add_instance(LibCell::unit(CellKind::Inv), &[net])
+                .unwrap();
         }
         let nl = b.finish().unwrap();
         assert_eq!(max_logic_depth(&nl), 11); // first gate is level 0
@@ -184,12 +186,18 @@ mod tests {
         let mut b = NetlistBuilder::new("pipelined");
         let mut net = b.add_primary_input();
         for _ in 0..5 {
-            net = b.add_instance(LibCell::unit(CellKind::Inv), &[net]).unwrap();
+            net = b
+                .add_instance(LibCell::unit(CellKind::Inv), &[net])
+                .unwrap();
         }
-        let q = b.add_instance(LibCell::unit(CellKind::Dff), &[net]).unwrap();
+        let q = b
+            .add_instance(LibCell::unit(CellKind::Dff), &[net])
+            .unwrap();
         let mut net2 = q;
         for _ in 0..3 {
-            net2 = b.add_instance(LibCell::unit(CellKind::Inv), &[net2]).unwrap();
+            net2 = b
+                .add_instance(LibCell::unit(CellKind::Inv), &[net2])
+                .unwrap();
         }
         let nl = b.finish().unwrap();
         // Depth restarts after the flop: max is the longer segment (5 gates

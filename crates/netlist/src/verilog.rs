@@ -15,7 +15,7 @@
 //! so designs can be persisted, diffed and exchanged.
 
 use crate::cell::{CellKind, LibCell, VtFlavor};
-use crate::graph::{Driver, Netlist, NetlistBuilder, NetId};
+use crate::graph::{Driver, NetId, Netlist, NetlistBuilder};
 use crate::NetlistError;
 use std::fmt::Write as _;
 
@@ -36,7 +36,12 @@ pub fn to_verilog(netlist: &Netlist) -> String {
         .collect();
     let mut ports: Vec<String> = (0..pi_count).map(|i| format!("input pi{i}")).collect();
     ports.extend(pos.iter().map(|i| format!("output n{i}")));
-    let _ = writeln!(out, "module {} ({});", sanitize(netlist.name()), ports.join(", "));
+    let _ = writeln!(
+        out,
+        "module {} ({});",
+        sanitize(netlist.name()),
+        ports.join(", ")
+    );
     // Wires: every net that is not a PI-driven port... for simplicity all
     // instance-driven nets are wires (output ports may alias wires; the
     // parser accepts this).
@@ -74,7 +79,13 @@ fn net_name(netlist: &Netlist, net: NetId) -> String {
 fn sanitize(name: &str) -> String {
     let mut s: String = name
         .chars()
-        .map(|c| if c.is_alphanumeric() || c == '_' { c } else { '_' })
+        .map(|c| {
+            if c.is_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
         .collect();
     if s.is_empty() || s.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         s.insert(0, 'm');
@@ -142,10 +153,12 @@ pub fn from_verilog(src: &str) -> Result<Netlist, NetlistError> {
             continue;
         }
         if let Some(rest) = line.strip_prefix("module ") {
-            let open = rest.find('(').ok_or_else(|| NetlistError::InvalidParameter {
-                name: "verilog",
-                detail: "module line missing port list".into(),
-            })?;
+            let open = rest
+                .find('(')
+                .ok_or_else(|| NetlistError::InvalidParameter {
+                    name: "verilog",
+                    detail: "module line missing port list".into(),
+                })?;
             name = rest[..open].trim().to_owned();
             let ports = rest[open + 1..]
                 .trim_end_matches(')')
@@ -161,10 +174,12 @@ pub fn from_verilog(src: &str) -> Result<Netlist, NetlistError> {
             continue;
         }
         // Instance line: CELL uN (.a(x), .b(y), .y(z));
-        let open = line.find('(').ok_or_else(|| NetlistError::InvalidParameter {
-            name: "verilog",
-            detail: format!("unparseable line `{line}`"),
-        })?;
+        let open = line
+            .find('(')
+            .ok_or_else(|| NetlistError::InvalidParameter {
+                name: "verilog",
+                detail: format!("unparseable line `{line}`"),
+            })?;
         let head: Vec<&str> = line[..open].split_whitespace().collect();
         if head.len() != 2 {
             return Err(NetlistError::InvalidParameter {

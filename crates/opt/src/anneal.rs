@@ -2,6 +2,7 @@
 //! per-thread engine inside Go-With-The-Winners).
 
 use crate::{Landscape, SearchOutcome};
+use ideaflow_trace::Journal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -50,6 +51,20 @@ pub fn simulated_annealing<L: Landscape>(
     cfg: AnnealConfig,
     seed: u64,
 ) -> SearchOutcome<L::State> {
+    simulated_annealing_journaled(landscape, start, cfg, seed, &Journal::disabled())
+}
+
+/// [`simulated_annealing`] with a run-journal hook: emits one
+/// `anneal.run` event summarizing the schedule, acceptance counters and
+/// the best cost reached. A disabled journal makes this identical to the
+/// plain entry point.
+pub fn simulated_annealing_journaled<L: Landscape>(
+    landscape: &L,
+    start: L::State,
+    cfg: AnnealConfig,
+    seed: u64,
+    journal: &Journal,
+) -> SearchOutcome<L::State> {
     assert!(
         cfg.t_final > 0.0 && cfg.t_final <= cfg.t_initial,
         "invalid annealing schedule"
@@ -62,11 +77,18 @@ pub fn simulated_annealing<L: Landscape>(
     let mut trajectory = vec![best_cost];
     let alpha = cfg.alpha();
     let mut t = cfg.t_initial;
+    let mut accepted: u64 = 0;
+    let mut uphill_accepted: u64 = 0;
     for _ in 0..cfg.moves {
         let cand = landscape.neighbor(&current, &mut rng);
         let c = landscape.cost(&cand);
-        let accept = c <= current_cost || rng.gen::<f64>() < ((current_cost - c) / t).exp();
+        let downhill = c <= current_cost;
+        let accept = downhill || rng.gen::<f64>() < ((current_cost - c) / t).exp();
         if accept {
+            accepted += 1;
+            if !downhill {
+                uphill_accepted += 1;
+            }
             current = cand;
             current_cost = c;
             if c < best_cost {
@@ -76,6 +98,26 @@ pub fn simulated_annealing<L: Landscape>(
         }
         trajectory.push(best_cost);
         t *= alpha;
+    }
+    if journal.is_enabled() {
+        journal.emit(
+            "anneal.run",
+            &[
+                ("seed", (seed as i64).into()),
+                ("moves", (cfg.moves as i64).into()),
+                ("t_initial", cfg.t_initial.into()),
+                ("t_final", cfg.t_final.into()),
+                ("accepted", (accepted as i64).into()),
+                ("uphill_accepted", (uphill_accepted as i64).into()),
+                (
+                    "acceptance_rate",
+                    (accepted as f64 / cfg.moves.max(1) as f64).into(),
+                ),
+                ("best_cost", best_cost.into()),
+            ],
+        );
+        journal.count("anneal.runs", 1);
+        journal.observe("anneal.best_cost", best_cost);
     }
     SearchOutcome {
         best_state: best,
@@ -167,5 +209,36 @@ mod tests {
         let a = simulated_annealing(&l, start.clone(), AnnealConfig::default(), 9);
         let b = simulated_annealing(&l, start, AnnealConfig::default(), 9);
         assert_eq!(a.best_cost, b.best_cost);
+    }
+
+    #[test]
+    fn journaled_run_emits_acceptance_summary() {
+        let l = NkLandscape::new(16, 2, 11);
+        let mut rng = StdRng::seed_from_u64(3);
+        let start = l.random_state(&mut rng);
+        let journal = Journal::in_memory("anneal-test");
+        let cfg = AnnealConfig {
+            t_initial: 1.0,
+            t_final: 0.01,
+            moves: 500,
+        };
+        let out = simulated_annealing_journaled(&l, start.clone(), cfg, 4, &journal);
+        // Same result as the unjournaled path.
+        let plain = simulated_annealing(&l, start, cfg, 4);
+        assert_eq!(out.best_cost, plain.best_cost);
+
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        let runs = reader.events_for_step("anneal.run");
+        assert_eq!(runs.len(), 1);
+        let obj = runs[0].payload.as_object().unwrap();
+        let accepted = obj
+            .iter()
+            .find(|(k, _)| k == "accepted")
+            .map(|(_, v)| v.clone())
+            .unwrap();
+        let rate = reader.field_stats("anneal.run", "acceptance_rate").unwrap();
+        assert!(rate.mean > 0.0 && rate.mean <= 1.0, "rate {}", rate.mean);
+        assert!(matches!(accepted, ideaflow_trace::PayloadValue::Int(n) if n > 0));
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::anneal::AnnealConfig;
 use crate::{Landscape, SearchOutcome};
+use ideaflow_trace::Journal;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
@@ -76,6 +77,23 @@ pub struct GwtwOutcome<S> {
 /// Panics if `population == 0`, `rounds == 0`, or `survivor_fraction` is
 /// outside `(0, 1]`.
 pub fn gwtw<L: Landscape>(landscape: &L, cfg: GwtwConfig, seed: u64) -> GwtwOutcome<L::State> {
+    gwtw_journaled(landscape, cfg, seed, &Journal::disabled())
+}
+
+/// [`gwtw`] with a run-journal hook: emits one `gwtw.round` event per
+/// review (population cost spread, best, survivor count) and a final
+/// `gwtw.run` summary. A disabled journal makes this identical to the
+/// plain entry point.
+///
+/// # Panics
+///
+/// Same contract as [`gwtw`].
+pub fn gwtw_journaled<L: Landscape>(
+    landscape: &L,
+    cfg: GwtwConfig,
+    seed: u64,
+    journal: &Journal,
+) -> GwtwOutcome<L::State> {
     assert!(cfg.population > 0, "population must be positive");
     assert!(cfg.rounds > 0, "rounds must be positive");
     assert!(
@@ -113,7 +131,9 @@ pub fn gwtw<L: Landscape>(landscape: &L, cfg: GwtwConfig, seed: u64) -> GwtwOutc
             .into_par_iter()
             .enumerate()
             .map(|(i, (state, cost))| {
-                let mut trng = StdRng::seed_from_u64(round_seed ^ (i as u64).wrapping_mul(0xABCD_1234_5678_9EF1));
+                let mut trng = StdRng::seed_from_u64(
+                    round_seed ^ (i as u64).wrapping_mul(0xABCD_1234_5678_9EF1),
+                );
                 let mut s = state;
                 let mut c = cost;
                 for _ in 0..cfg.review_period {
@@ -152,11 +172,45 @@ pub fn gwtw<L: Landscape>(landscape: &L, cfg: GwtwConfig, seed: u64) -> GwtwOutc
             next.push(survivors[pick].clone());
         }
         population = next;
+        if journal.is_enabled() {
+            let mut sorted = costs.clone();
+            sorted.sort_by(f64::total_cmp);
+            let median = sorted[sorted.len() / 2];
+            let worst = sorted[sorted.len() - 1];
+            journal.emit(
+                "gwtw.round",
+                &[
+                    ("round", (round as i64).into()),
+                    ("t", t_round.into()),
+                    ("best", round_best.into()),
+                    ("median", median.into()),
+                    ("worst", worst.into()),
+                    ("terminated", (terminated as i64).into()),
+                    ("survivors", (n_survive as i64).into()),
+                    ("best_so_far", best_cost.into()),
+                ],
+            );
+            journal.observe("gwtw.round.best", round_best);
+        }
         rounds.push(GwtwRound {
             costs,
             best: round_best,
             terminated,
         });
+    }
+
+    if journal.is_enabled() {
+        journal.emit(
+            "gwtw.run",
+            &[
+                ("seed", (seed as i64).into()),
+                ("population", (cfg.population as i64).into()),
+                ("rounds", (cfg.rounds as i64).into()),
+                ("evaluations", (evaluations as i64).into()),
+                ("best_cost", best_cost.into()),
+            ],
+        );
+        journal.count("gwtw.runs", 1);
     }
 
     GwtwOutcome {
@@ -197,7 +251,7 @@ pub fn independent_baseline<L: Landscape>(
             )
         })
         .collect();
-    
+
     outcomes
         .into_iter()
         .min_by(|a, b| a.best_cost.partial_cmp(&b.best_cost).expect("finite costs"))
@@ -294,6 +348,31 @@ mod tests {
             a.rounds.iter().map(|r| r.best).collect::<Vec<_>>(),
             b.rounds.iter().map(|r| r.best).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn journaled_gwtw_emits_one_event_per_round() {
+        let l = BigValley::new(4, 2.0, 9);
+        let journal = Journal::in_memory("gwtw-test");
+        let out = gwtw_journaled(&l, small_cfg(), 3, &journal);
+        // Journaling must not perturb the search.
+        let plain = gwtw(&l, small_cfg(), 3);
+        assert_eq!(out.best.best_cost, plain.best.best_cost);
+
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        let per_round = reader.events_for_step("gwtw.round");
+        assert_eq!(per_round.len(), small_cfg().rounds);
+        assert_eq!(reader.events_for_step("gwtw.run").len(), 1);
+        assert!(reader.seq_strictly_increasing_per_run());
+        // Round snapshots mirror the returned outcome.
+        let best = reader.field_stats("gwtw.round", "best").unwrap();
+        let returned_min = out
+            .rounds
+            .iter()
+            .map(|r| r.best)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(best.min, returned_min);
     }
 
     #[test]

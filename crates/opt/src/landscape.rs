@@ -174,7 +174,11 @@ impl NkLandscape {
             })
             .collect();
         let tables: Vec<Vec<f64>> = (0..n)
-            .map(|_| (0..(1usize << (k + 1))).map(|_| rng.gen_range(0.0..1.0)).collect())
+            .map(|_| {
+                (0..(1usize << (k + 1)))
+                    .map(|_| rng.gen_range(0.0..1.0))
+                    .collect()
+            })
             .collect();
         Self {
             n,

@@ -75,7 +75,11 @@ mod tests {
         let out = local_search(&l, start, LocalSearchConfig::default(), 2);
         out.assert_invariants();
         assert!(out.best_cost < start_cost);
-        assert!(out.best_cost < 1.0, "should get near bowl centre: {}", out.best_cost);
+        assert!(
+            out.best_cost < 1.0,
+            "should get near bowl centre: {}",
+            out.best_cost
+        );
     }
 
     #[test]

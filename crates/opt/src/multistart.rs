@@ -8,6 +8,7 @@
 
 use crate::local::{local_search, LocalSearchConfig};
 use crate::{Landscape, SearchOutcome};
+use ideaflow_trace::Journal;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
@@ -61,6 +62,19 @@ pub fn random_multistart<L: Landscape>(
     cfg: MultistartConfig,
     seed: u64,
 ) -> MultistartOutcome<L::State> {
+    random_multistart_journaled(landscape, cfg, seed, &Journal::disabled())
+}
+
+/// [`random_multistart`] with a run-journal hook: emits one
+/// `multistart.start` event per completed local search (search runs in
+/// parallel; events are emitted afterwards in start order so the journal
+/// stays deterministic) and a `multistart.run` summary.
+pub fn random_multistart_journaled<L: Landscape>(
+    landscape: &L,
+    cfg: MultistartConfig,
+    seed: u64,
+    journal: &Journal,
+) -> MultistartOutcome<L::State> {
     let outcomes: Vec<SearchOutcome<L::State>> = (0..cfg.starts)
         .into_par_iter()
         .map(|i| {
@@ -70,6 +84,7 @@ pub fn random_multistart<L: Landscape>(
             local_search(landscape, start, cfg.local, s.wrapping_add(1))
         })
         .collect();
+    journal_starts(journal, "random", &outcomes);
     merge(outcomes)
 }
 
@@ -79,6 +94,17 @@ pub fn adaptive_multistart<L: Landscape>(
     landscape: &L,
     cfg: MultistartConfig,
     seed: u64,
+) -> MultistartOutcome<L::State> {
+    adaptive_multistart_journaled(landscape, cfg, seed, &Journal::disabled())
+}
+
+/// [`adaptive_multistart`] with a run-journal hook; see
+/// [`random_multistart_journaled`] for the event vocabulary.
+pub fn adaptive_multistart_journaled<L: Landscape>(
+    landscape: &L,
+    cfg: MultistartConfig,
+    seed: u64,
+    journal: &Journal,
 ) -> MultistartOutcome<L::State> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pool: Vec<(L::State, f64)> = Vec::new();
@@ -95,7 +121,39 @@ pub fn adaptive_multistart<L: Landscape>(
         pool.truncate(cfg.pool_size.max(1));
         outcomes.push(out);
     }
+    journal_starts(journal, "adaptive", &outcomes);
     merge(outcomes)
+}
+
+/// Emits per-start and summary journal events for a multistart run.
+fn journal_starts<S>(journal: &Journal, variant: &str, outcomes: &[SearchOutcome<S>]) {
+    if !journal.is_enabled() {
+        return;
+    }
+    let mut best_so_far = f64::INFINITY;
+    for (i, o) in outcomes.iter().enumerate() {
+        best_so_far = best_so_far.min(o.best_cost);
+        journal.emit(
+            "multistart.start",
+            &[
+                ("variant", variant.into()),
+                ("start", (i as i64).into()),
+                ("cost", o.best_cost.into()),
+                ("evaluations", (o.evaluations as i64).into()),
+                ("best_so_far", best_so_far.into()),
+            ],
+        );
+        journal.observe("multistart.start.cost", o.best_cost);
+    }
+    journal.emit(
+        "multistart.run",
+        &[
+            ("variant", variant.into()),
+            ("starts", (outcomes.len() as i64).into()),
+            ("best_cost", best_so_far.into()),
+        ],
+    );
+    journal.count("multistart.runs", 1);
 }
 
 /// Merges per-start outcomes into one overall outcome with a concatenated
@@ -220,7 +278,10 @@ mod tests {
         let l = BigValley::new(6, 3.0, 13);
         let out = random_multistart(&l, cfg(30), 3);
         let corr = big_valley_correlation(&l, &out.minima);
-        assert!(corr > 0.0, "expected positive big-valley correlation, got {corr}");
+        assert!(
+            corr > 0.0,
+            "expected positive big-valley correlation, got {corr}"
+        );
     }
 
     #[test]
@@ -239,6 +300,23 @@ mod tests {
         let ca: Vec<f64> = a.minima.iter().map(|m| m.cost).collect();
         let cb: Vec<f64> = b.minima.iter().map(|m| m.cost).collect();
         assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn journaled_multistart_emits_one_event_per_start() {
+        let l = BigValley::new(5, 2.0, 21);
+        let journal = Journal::in_memory("ms-test");
+        let out = random_multistart_journaled(&l, cfg(12), 4, &journal);
+        let plain = random_multistart(&l, cfg(12), 4);
+        assert_eq!(out.best.best_cost, plain.best.best_cost);
+
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        let starts = reader.events_for_step("multistart.start");
+        assert_eq!(starts.len(), 12);
+        let summary = reader.field_stats("multistart.run", "best_cost").unwrap();
+        assert_eq!(summary.min, out.best.best_cost);
+        assert!(reader.seq_strictly_increasing_per_run());
     }
 
     #[test]

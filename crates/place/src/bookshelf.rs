@@ -92,11 +92,7 @@ pub fn export(netlist: &Netlist, fp: &Floorplan, placement: &Placement) -> Books
 /// Returns [`PlaceError::InvalidParameter`] on malformed lines, unknown
 /// node names, or if two nodes map to the same site (the `.pl` does not
 /// match the floorplan's discretization).
-pub fn import_pl(
-    pl: &str,
-    netlist: &Netlist,
-    fp: &Floorplan,
-) -> Result<Placement, PlaceError> {
+pub fn import_pl(pl: &str, netlist: &Netlist, fp: &Floorplan) -> Result<Placement, PlaceError> {
     let n = netlist.instance_count();
     let mut slot = vec![usize::MAX; n];
     for line in pl.lines().skip(1) {
@@ -178,10 +174,7 @@ mod tests {
             .and_then(|l| l.split(':').nth(1))
             .and_then(|v| v.trim().parse().ok())
             .unwrap();
-        assert_eq!(
-            declared,
-            nl.instance_count() + nl.primary_input_count()
-        );
+        assert_eq!(declared, nl.instance_count() + nl.primary_input_count());
         // Pin count declared == pin lines emitted.
         let pins: usize = b
             .nets

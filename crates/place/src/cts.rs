@@ -142,14 +142,7 @@ pub fn synthesize(
     // delay.
     let mut insertion = Vec::with_capacity(sinks.len());
     let mut order = Vec::with_capacity(sinks.len());
-    accumulate_delays(
-        &root,
-        fp,
-        placement,
-        0.0,
-        &mut order,
-        &mut insertion,
-    );
+    accumulate_delays(&root, fp, placement, 0.0, &mut order, &mut insertion);
     let buffer_area = buffer_count as f64 * CLOCK_BUFFER.area_um2();
     Ok(ClockTree {
         root,
@@ -206,9 +199,15 @@ fn build_node(
         .map(|&s| (placement.location(fp, s), s))
         .collect();
     let min_x = locs.iter().map(|(l, _)| l.0).fold(f64::INFINITY, f64::min);
-    let max_x = locs.iter().map(|(l, _)| l.0).fold(f64::NEG_INFINITY, f64::max);
+    let max_x = locs
+        .iter()
+        .map(|(l, _)| l.0)
+        .fold(f64::NEG_INFINITY, f64::max);
     let min_y = locs.iter().map(|(l, _)| l.1).fold(f64::INFINITY, f64::min);
-    let max_y = locs.iter().map(|(l, _)| l.1).fold(f64::NEG_INFINITY, f64::max);
+    let max_y = locs
+        .iter()
+        .map(|(l, _)| l.1)
+        .fold(f64::NEG_INFINITY, f64::max);
     let split_x = (max_x - min_x) >= (max_y - min_y);
     let mut keyed: Vec<(f64, InstId)> = locs
         .into_iter()

@@ -75,7 +75,7 @@ pub fn normal_quantile(p: f64) -> f64 {
         3.754_408_661_907_416,
     ];
     const P_LOW: f64 = 0.024_25;
-    
+
     if p < P_LOW {
         let q = (-2.0 * p.ln()).sqrt();
         (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])

@@ -1,9 +1,9 @@
 //! Legal placements and half-perimeter wirelength (HPWL).
 
-use serde::{Deserialize, Serialize};
 use crate::floorplan::Floorplan;
 use crate::PlaceError;
 use ideaflow_netlist::graph::{Driver, InstId, Netlist};
+use serde::{Deserialize, Serialize};
 
 /// An assignment of every instance to a distinct floorplan slot.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]

@@ -58,12 +58,11 @@ pub fn partition_seeded_placement(
         });
     }
     let leaf = (n / 64).clamp(4, 64);
-    let tree = recursive_bisection(netlist, leaf, seed).map_err(|e| {
-        PlaceError::InvalidParameter {
+    let tree =
+        recursive_bisection(netlist, leaf, seed).map_err(|e| PlaceError::InvalidParameter {
             name: "netlist",
             detail: e.to_string(),
-        }
-    })?;
+        })?;
     // Assign slots by in-order walk of the hierarchy: contiguous slot runs
     // per block keep partitions spatially coherent under row-major slots.
     let mut slot = vec![usize::MAX; n];
@@ -267,11 +266,7 @@ impl ideaflow_opt::Landscape for PlacementLandscape<'_> {
     }
 
     fn distance(&self, a: &Placement, b: &Placement) -> f64 {
-        a.slot
-            .iter()
-            .zip(&b.slot)
-            .filter(|(x, y)| x != y)
-            .count() as f64
+        a.slot.iter().zip(&b.slot).filter(|(x, y)| x != y).count() as f64
     }
 }
 

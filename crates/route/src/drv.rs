@@ -8,11 +8,11 @@
 //! being driven by physical congestion when trajectories are generated from
 //! a routed design.
 
-use serde::{Deserialize, Serialize};
 use crate::RouteError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
 
 /// Latent behaviour class of a detailed-routing run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]

@@ -47,12 +47,7 @@ impl GlobalRoute {
     ///
     /// Panics if the grid is empty or capacity non-positive.
     #[must_use]
-    pub fn run(
-        netlist: &Netlist,
-        fp: &Floorplan,
-        placement: &Placement,
-        cfg: RouteConfig,
-    ) -> Self {
+    pub fn run(netlist: &Netlist, fp: &Floorplan, placement: &Placement, cfg: RouteConfig) -> Self {
         assert!(cfg.cols > 0 && cfg.rows > 0, "grid must be non-empty");
         assert!(cfg.capacity > 0.0, "capacity must be positive");
         let mut gr = Self {
@@ -106,12 +101,7 @@ impl GlobalRoute {
     }
 
     /// Walks the L from `a` to `b`; `horizontal_first` selects the elbow.
-    fn l_bins(
-        &self,
-        a: (usize, usize),
-        b: (usize, usize),
-        horizontal_first: bool,
-    ) -> Vec<usize> {
+    fn l_bins(&self, a: (usize, usize), b: (usize, usize), horizontal_first: bool) -> Vec<usize> {
         let mut bins = Vec::new();
         let (ac, ar) = a;
         let (bc, br) = b;
@@ -145,7 +135,11 @@ impl GlobalRoute {
             .map(|&i| {
                 let u = self.usage[i] / self.capacity;
                 // Congestion-aware cost: quadratic penalty past 80%.
-                1.0 + if u > 0.8 { (u - 0.8) * (u - 0.8) * 50.0 } else { 0.0 }
+                1.0 + if u > 0.8 {
+                    (u - 0.8) * (u - 0.8) * 50.0
+                } else {
+                    0.0
+                }
             })
             .sum()
     }

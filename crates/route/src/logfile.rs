@@ -7,11 +7,11 @@
 //! DRV distribution, mirroring the domain shift between the paper's
 //! training and testing sets.
 
-use serde::{Deserialize, Serialize};
 use crate::drv::{simulate, DrvConfig, DrvTrajectory, RouterBehavior};
 use crate::RouteError;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 /// A parsed detailed-router logfile.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -187,8 +187,8 @@ mod tests {
 
     #[test]
     fn corpora_contain_both_outcomes() {
-        let train = generate_corpus("t", 300, ClassMix::artificial(), DrvConfig::default(), 5)
-            .unwrap();
+        let train =
+            generate_corpus("t", 300, ClassMix::artificial(), DrvConfig::default(), 5).unwrap();
         let succ = train.iter().filter(|l| l.succeeded(200)).count();
         assert!(succ > 60, "too few successes: {succ}");
         assert!(succ < 240, "too few failures: {}", 300 - succ);
@@ -196,10 +196,16 @@ mod tests {
 
     #[test]
     fn test_mix_is_more_successful_than_train_mix() {
-        let train = generate_corpus("t", 500, ClassMix::artificial(), DrvConfig::default(), 7)
-            .unwrap();
-        let test = generate_corpus("e", 500, ClassMix::cpu_floorplans(), DrvConfig::default(), 7)
-            .unwrap();
+        let train =
+            generate_corpus("t", 500, ClassMix::artificial(), DrvConfig::default(), 7).unwrap();
+        let test = generate_corpus(
+            "e",
+            500,
+            ClassMix::cpu_floorplans(),
+            DrvConfig::default(),
+            7,
+        )
+        .unwrap();
         let s_train = train.iter().filter(|l| l.succeeded(200)).count();
         let s_test = test.iter().filter(|l| l.succeeded(200)).count();
         assert!(s_test > s_train, "test {s_test} vs train {s_train}");

@@ -31,10 +31,7 @@ pub const FEATURE_WIDTH: usize = 5;
 ///
 /// Feature order: `[gba_slack, depth, wire_delay, coupled_nets, end_load]`.
 #[must_use]
-pub fn endpoint_features(
-    graph: &TimingGraph<'_>,
-    report: &GbaReport,
-) -> Vec<(Endpoint, Vec<f64>)> {
+pub fn endpoint_features(graph: &TimingGraph<'_>, report: &GbaReport) -> Vec<(Endpoint, Vec<f64>)> {
     let nl = graph.netlist();
     report
         .endpoint_slacks
@@ -57,8 +54,7 @@ pub fn endpoint_features(
                         if inst.cell.kind.is_sequential() {
                             break;
                         }
-                        let pin =
-                            report.critical_input[id.0 as usize].expect("comb critical pin");
+                        let pin = report.critical_input[id.0 as usize].expect("comb critical pin");
                         let input = inst.inputs[pin];
                         depth += 1;
                         wire += graph.gba_wire_delay_ps(input, Corner::TYPICAL);
@@ -120,9 +116,7 @@ impl CorrectionModel {
         let scaler = StandardScaler::fit(xs)?;
         let xs_std = scaler.transform(xs);
         Ok(match family {
-            ModelFamily::Linear => {
-                Self::Linear(scaler, RidgeRegression::fit(&xs_std, ys, 1e-6)?)
-            }
+            ModelFamily::Linear => Self::Linear(scaler, RidgeRegression::fit(&xs_std, ys, 1e-6)?),
             ModelFamily::Knn => Self::Knn(
                 scaler,
                 KnnRegressor::fit(xs_std, ys.to_vec(), 5.min(xs.len()))?,
@@ -228,22 +222,18 @@ pub fn accuracy_cost_curve(
     }
     let xs: Vec<Vec<f64>> = train.iter().map(|(_, f)| f.clone()).collect();
     let ys: Vec<f64> = train.iter().map(|(ep, _)| golden_of(*ep)).collect();
-    let model = CorrectionModel::fit(family, &xs, &ys).map_err(|e| {
-        TimingError::InvalidParameter {
+    let model =
+        CorrectionModel::fit(family, &xs, &ys).map_err(|e| TimingError::InvalidParameter {
             name: "correction_model",
             detail: e.to_string(),
-        }
-    })?;
+        })?;
 
     let rmse = |pairs: &[(f64, f64)]| -> f64 {
         (pairs.iter().map(|(p, t)| (p - t) * (p - t)).sum::<f64>() / pairs.len() as f64).sqrt()
     };
 
     // Raw GBA error on test endpoints.
-    let gba_pairs: Vec<(f64, f64)> = test
-        .iter()
-        .map(|(ep, f)| (f[0], golden_of(*ep)))
-        .collect();
+    let gba_pairs: Vec<(f64, f64)> = test.iter().map(|(ep, f)| (f[0], golden_of(*ep))).collect();
     // Corrected GBA error.
     let ml_pairs: Vec<(f64, f64)> = test
         .iter()
@@ -304,7 +294,12 @@ pub fn missing_corner_r2(
     let target = pba(graph, constraints, &[missing])?;
     let n = target.path_slacks.len();
     let xs: Vec<Vec<f64>> = (0..n)
-        .map(|i| per_corner.iter().map(|r| r.path_slacks[i].slack_ps).collect())
+        .map(|i| {
+            per_corner
+                .iter()
+                .map(|r| r.path_slacks[i].slack_ps)
+                .collect()
+        })
         .collect();
     let ys: Vec<f64> = target.path_slacks.iter().map(|p| p.slack_ps).collect();
     let n_train = ((n as f64) * train_fraction).round() as usize;
@@ -390,8 +385,7 @@ mod tests {
         let (nl,) = graph();
         let g = TimingGraph::build(&nl, WireModel::default());
         let cons = Constraints::at_frequency_ghz(0.8).unwrap();
-        let r2 = missing_corner_r2(&g, &cons, &Corner::STANDARD, Corner::LOW_VOLTAGE, 0.5)
-            .unwrap();
+        let r2 = missing_corner_r2(&g, &cons, &Corner::STANDARD, Corner::LOW_VOLTAGE, 0.5).unwrap();
         assert!(r2 > 0.9, "missing-corner R² = {r2}");
     }
 

@@ -285,9 +285,13 @@ mod tests {
         let mut b = NetlistBuilder::new("chain");
         let mut net = b.add_primary_input();
         for _ in 0..n {
-            net = b.add_instance(LibCell::unit(CellKind::Inv), &[net]).unwrap();
+            net = b
+                .add_instance(LibCell::unit(CellKind::Inv), &[net])
+                .unwrap();
         }
-        let q = b.add_instance(LibCell::unit(CellKind::Dff), &[net]).unwrap();
+        let q = b
+            .add_instance(LibCell::unit(CellKind::Dff), &[net])
+            .unwrap();
         b.mark_primary_output(q);
         b.finish().unwrap()
     }
@@ -356,7 +360,10 @@ mod tests {
         let nl = b.finish().unwrap();
         let g = TimingGraph::build(&nl, WireModel::default());
         let cons = Constraints::at_frequency_ghz(1.0).unwrap();
-        assert_eq!(gba(&g, &cons, Corner::TYPICAL).unwrap_err(), TimingError::NoEndpoints);
+        assert_eq!(
+            gba(&g, &cons, Corner::TYPICAL).unwrap_err(),
+            TimingError::NoEndpoints
+        );
     }
 
     #[test]

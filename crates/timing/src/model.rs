@@ -92,8 +92,12 @@ impl Corner {
     };
 
     /// The standard analyzed corner set.
-    pub const STANDARD: [Corner; 4] =
-        [Corner::TYPICAL, Corner::SLOW, Corner::SLOW_WIRE, Corner::FAST];
+    pub const STANDARD: [Corner; 4] = [
+        Corner::TYPICAL,
+        Corner::SLOW,
+        Corner::SLOW_WIRE,
+        Corner::FAST,
+    ];
 }
 
 /// Clocking constraints for setup analysis.

@@ -255,8 +255,7 @@ mod tests {
         /// recovery has real work that is actually achievable.
         pub fn pick_recoverable_frequency(nl: &Netlist) -> Constraints {
             let graph = TimingGraph::build(nl, WireModel::default());
-            let fmax =
-                crate::pba::max_frequency_ghz(&graph, &Corner::STANDARD).expect("endpoints");
+            let fmax = crate::pba::max_frequency_ghz(&graph, &Corner::STANDARD).expect("endpoints");
             Constraints::at_frequency_ghz(fmax * 1.04).expect("in range")
         }
     }

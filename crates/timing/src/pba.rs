@@ -208,10 +208,7 @@ fn retrace_endpoint(
 /// # Errors
 ///
 /// Propagates analysis errors.
-pub fn max_frequency_ghz(
-    graph: &TimingGraph<'_>,
-    corners: &[Corner],
-) -> Result<f64, TimingError> {
+pub fn max_frequency_ghz(graph: &TimingGraph<'_>, corners: &[Corner]) -> Result<f64, TimingError> {
     let mut lo = 0.01f64;
     let mut hi = 20.0f64;
     // Establish that lo passes; if not, return lo.
@@ -302,7 +299,11 @@ mod tests {
             .iter()
             .min_by(|a, b| a.slack_ps.partial_cmp(&b.slack_ps).unwrap())
             .unwrap();
-        assert!(worst.worst_corner.starts_with("ss_"), "{}", worst.worst_corner);
+        assert!(
+            worst.worst_corner.starts_with("ss_"),
+            "{}",
+            worst.worst_corner
+        );
     }
 
     #[test]

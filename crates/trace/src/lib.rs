@@ -1,0 +1,420 @@
+//! The ideaflow run journal: a workspace-wide observability facade.
+//!
+//! The paper's §4 argues that reducing IC implementation effort needs
+//! machine-readable records of *every* tool run — "collect everything,
+//! analyze later". This crate is that collection layer for the simulated
+//! flow: a [`Journal`] handle that any subsystem (flow steps, annealers,
+//! bandit pulls, orchestration) can emit structured events into, with
+//!
+//! - **events**: [`RunEvent`] `{ run_id, step, seq, payload }` appended
+//!   as one JSON object per line (JSONL);
+//! - **counters** and **histograms**: cheap in-process aggregates,
+//!   flushed as a final `journal.summary` event;
+//! - **timers**: wall-clock scopes recorded as both an event field and a
+//!   histogram sample;
+//! - a **no-op default** ([`Journal::disabled`]) whose emit path is a
+//!   single `Option` check, so instrumented code costs ~nothing when
+//!   journaling is off.
+//!
+//! `seq` is assigned under the same lock that orders the write, so the
+//! sequence observed by any reader of one journal is strictly
+//! increasing — the same discipline `metrics::server::Transmitter` uses
+//! for its wire records.
+//!
+//! The reader half ([`Journal::load`] / [`JournalReader`]) parses JSONL
+//! back into events and computes per-step summary statistics, which is
+//! what downstream analysis (doomed-run prediction, bandit warm-starts)
+//! consumes.
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize, Value};
+
+pub mod reader;
+pub mod stats;
+
+pub use reader::{JournalReader, StepSummary};
+pub use stats::{FieldStats, Histogram};
+
+/// One journaled event: a step of a named run, with a monotone sequence
+/// number and a free-form JSON payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunEvent {
+    /// The run this event belongs to.
+    pub run_id: String,
+    /// The step or subsystem that emitted it (e.g. `flow.place`,
+    /// `anneal.round`, `bandit.pull`).
+    pub step: String,
+    /// Strictly increasing per journal (hence per run within one
+    /// journal), assigned at emit time.
+    pub seq: u64,
+    /// Event payload; an object for all events this workspace emits.
+    pub payload: Value,
+}
+
+enum Sink {
+    File(BufWriter<File>),
+    Memory(Vec<String>),
+}
+
+struct State {
+    seq: u64,
+    sink: Sink,
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+    summarized: bool,
+}
+
+struct Inner {
+    run_id: String,
+    state: Mutex<State>,
+}
+
+/// A cheap-to-clone journaling handle. Disabled by default; all emit
+/// paths early-return on a disabled journal.
+#[derive(Clone, Default)]
+pub struct Journal {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => f.write_str("Journal(disabled)"),
+            Some(i) => write!(f, "Journal(run_id={:?})", i.run_id),
+        }
+    }
+}
+
+impl Journal {
+    /// The no-op journal: every emit is a single branch.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A journal writing JSONL to `path` (truncating any existing file).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn to_file(run_id: &str, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(Self::with_sink(run_id, Sink::File(BufWriter::new(file))))
+    }
+
+    /// A journal buffering JSONL lines in memory (for tests and for
+    /// post-run inspection without touching the filesystem).
+    #[must_use]
+    pub fn in_memory(run_id: &str) -> Self {
+        Self::with_sink(run_id, Sink::Memory(Vec::new()))
+    }
+
+    fn with_sink(run_id: &str, sink: Sink) -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                run_id: run_id.to_owned(),
+                state: Mutex::new(State {
+                    seq: 0,
+                    sink,
+                    counters: Vec::new(),
+                    histograms: Vec::new(),
+                    summarized: false,
+                }),
+            })),
+        }
+    }
+
+    /// Whether events are actually recorded.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The run id, when enabled.
+    #[must_use]
+    pub fn run_id(&self) -> Option<&str> {
+        self.inner.as_deref().map(|i| i.run_id.as_str())
+    }
+
+    /// Emits one event. `fields` becomes the payload object; field order
+    /// is preserved. No-op when disabled.
+    pub fn emit(&self, step: &str, fields: &[(&str, Value)]) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let payload = Value::Object(
+            fields
+                .iter()
+                .map(|(k, v)| ((*k).to_owned(), v.clone()))
+                .collect(),
+        );
+        let mut state = inner.state.lock();
+        // seq is assigned and written under one lock so any reader of
+        // the sink observes a strictly increasing sequence.
+        let event = RunEvent {
+            run_id: inner.run_id.clone(),
+            step: step.to_owned(),
+            seq: state.seq,
+            payload,
+        };
+        state.seq += 1;
+        let line = serde_json::to_string(&event).expect("events are serializable");
+        match &mut state.sink {
+            Sink::File(w) => {
+                let _ = writeln!(w, "{line}");
+            }
+            Sink::Memory(lines) => lines.push(line),
+        }
+    }
+
+    /// Adds `delta` to a named counter. No-op when disabled.
+    pub fn count(&self, name: &str, delta: u64) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let mut state = inner.state.lock();
+        match state.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += delta,
+            None => state.counters.push((name.to_owned(), delta)),
+        }
+    }
+
+    /// Records `sample` into a named histogram. No-op when disabled.
+    pub fn observe(&self, name: &str, sample: f64) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let mut state = inner.state.lock();
+        match state.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.record(sample),
+            None => {
+                let mut h = Histogram::new();
+                h.record(sample);
+                state.histograms.push((name.to_owned(), h));
+            }
+        }
+    }
+
+    /// Runs `f`, emits a `<step>` event with the elapsed wall-clock
+    /// seconds in field `secs`, and records the duration into histogram
+    /// `<step>.secs`. When disabled, just runs `f`.
+    pub fn time<T>(&self, step: &str, f: impl FnOnce() -> T) -> T {
+        if self.inner.is_none() {
+            return f();
+        }
+        let start = std::time::Instant::now();
+        let out = f();
+        let secs = start.elapsed().as_secs_f64();
+        self.emit(step, &[("secs", secs.into())]);
+        self.observe(&format!("{step}.secs"), secs);
+        out
+    }
+
+    /// Emits the `journal.summary` event (counters and histogram stats
+    /// accumulated so far) and flushes the sink. Idempotent per journal:
+    /// later calls with no new aggregates emit nothing extra.
+    pub fn finish(&self) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        let (counters, histograms) = {
+            let mut state = inner.state.lock();
+            if state.summarized && state.counters.is_empty() && state.histograms.is_empty() {
+                match &mut state.sink {
+                    Sink::File(w) => {
+                        let _ = w.flush();
+                    }
+                    Sink::Memory(_) => {}
+                }
+                return;
+            }
+            state.summarized = true;
+            (
+                std::mem::take(&mut state.counters),
+                std::mem::take(&mut state.histograms),
+            )
+        };
+        let counters_v = Value::Object(
+            counters
+                .into_iter()
+                .map(|(n, v)| (n, Value::from(v)))
+                .collect(),
+        );
+        let histograms_v = Value::Object(
+            histograms
+                .into_iter()
+                .map(|(n, h)| (n, h.stats().to_payload()))
+                .collect(),
+        );
+        self.emit(
+            "journal.summary",
+            &[("counters", counters_v), ("histograms", histograms_v)],
+        );
+        let mut state = inner.state.lock();
+        if let Sink::File(w) = &mut state.sink {
+            let _ = w.flush();
+        }
+    }
+
+    /// Takes the buffered JSONL lines out of an in-memory journal.
+    /// Empty for disabled and file journals.
+    #[must_use]
+    pub fn drain_lines(&self) -> Vec<String> {
+        let Some(inner) = self.inner.as_deref() else {
+            return Vec::new();
+        };
+        let mut state = inner.state.lock();
+        match &mut state.sink {
+            Sink::Memory(lines) => std::mem::take(lines),
+            Sink::File(_) => Vec::new(),
+        }
+    }
+
+    /// Loads a JSONL journal file back into events.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error for unreadable files, or
+    /// `InvalidData` for lines that fail to parse as [`RunEvent`]s.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<JournalReader> {
+        let mut text = String::new();
+        File::open(path)?.read_to_string(&mut text)?;
+        JournalReader::from_jsonl(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Sink::File(w) = &mut self.state.get_mut().sink {
+            let _ = w.flush();
+        }
+    }
+}
+
+/// Parses JSONL text into events (the in-memory analogue of
+/// [`Journal::load`]).
+///
+/// # Errors
+///
+/// Returns a message naming the first malformed line.
+pub fn parse_jsonl(text: &str) -> Result<Vec<RunEvent>, String> {
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .enumerate()
+        .map(|(i, line)| {
+            serde_json::from_str::<RunEvent>(line).map_err(|e| format!("line {}: {e}", i + 1))
+        })
+        .collect()
+}
+
+/// Convenience re-export so instrumented crates can build payloads
+/// without importing serde directly.
+pub use serde::Value as PayloadValue;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_journal_is_inert() {
+        let j = Journal::disabled();
+        assert!(!j.is_enabled());
+        j.emit("x", &[("a", 1u64.into())]);
+        j.count("c", 3);
+        j.observe("h", 1.0);
+        assert_eq!(j.time("t", || 41 + 1), 42);
+        j.finish();
+        assert!(j.drain_lines().is_empty());
+    }
+
+    #[test]
+    fn memory_journal_round_trips_events() {
+        let j = Journal::in_memory("r0");
+        j.emit("flow.place", &[("hpwl_um", 123.5.into())]);
+        j.emit("flow.route", &[("drv", 7u64.into()), ("ok", true.into())]);
+        let lines = j.drain_lines();
+        assert_eq!(lines.len(), 2);
+        let events = parse_jsonl(&lines.join("\n")).unwrap();
+        assert_eq!(events[0].run_id, "r0");
+        assert_eq!(events[0].step, "flow.place");
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[1].seq, 1);
+        assert_eq!(events[1].payload.get("drv"), Some(&Value::Int(7)));
+    }
+
+    #[test]
+    fn clones_share_one_sequence() {
+        let j = Journal::in_memory("shared");
+        let j2 = j.clone();
+        j.emit("a", &[]);
+        j2.emit("b", &[]);
+        j.emit("c", &[]);
+        let events = parse_jsonl(&j.drain_lines().join("\n")).unwrap();
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn summary_event_carries_aggregates() {
+        let j = Journal::in_memory("agg");
+        j.count("moves.accepted", 10);
+        j.count("moves.accepted", 5);
+        j.count("moves.rejected", 2);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            j.observe("cost", x);
+        }
+        j.finish();
+        let events = parse_jsonl(&j.drain_lines().join("\n")).unwrap();
+        let summary = events.last().unwrap();
+        assert_eq!(summary.step, "journal.summary");
+        let counters = summary.payload.get("counters").unwrap();
+        assert_eq!(counters.get("moves.accepted"), Some(&Value::Int(15)));
+        assert_eq!(counters.get("moves.rejected"), Some(&Value::Int(2)));
+        let cost = summary
+            .payload
+            .get("histograms")
+            .unwrap()
+            .get("cost")
+            .unwrap();
+        assert_eq!(cost.get("count"), Some(&Value::Int(4)));
+        assert_eq!(cost.get("mean"), Some(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn finish_is_idempotent_when_nothing_new() {
+        let j = Journal::in_memory("idem");
+        j.count("c", 1);
+        j.finish();
+        j.finish();
+        let events = parse_jsonl(&j.drain_lines().join("\n")).unwrap();
+        let summaries = events
+            .iter()
+            .filter(|e| e.step == "journal.summary")
+            .count();
+        assert_eq!(summaries, 1);
+    }
+
+    #[test]
+    fn file_journal_loads_back() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ideaflow_trace_test_{}.jsonl", std::process::id()));
+        {
+            let j = Journal::to_file("file-run", &path).unwrap();
+            j.emit("step.one", &[("x", 1.5.into())]);
+            j.time("step.two", || ());
+            j.finish();
+        }
+        let reader = Journal::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reader.events.len(), 3);
+        assert!(reader.seq_strictly_increasing_per_run());
+        assert_eq!(reader.events[0].run_id, "file-run");
+        assert_eq!(reader.events_for_step("step.one").len(), 1);
+    }
+}

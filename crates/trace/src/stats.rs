@@ -1,0 +1,196 @@
+//! Streaming aggregates for the journal: a bounded-memory histogram
+//! with log-scale bins and the summary statistics derived from it.
+
+use serde::Value;
+
+/// A streaming histogram: exact count/sum/min/max plus base-2
+//  log-scale bins for quantile estimates, in O(1) memory per metric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// Bin `i` counts samples with `floor(log2(|x|)) == i - OFFSET`;
+    /// bin 0 holds zeros and tiny magnitudes, the last bin overflow.
+    bins: [u64; Self::BINS],
+    negatives: u64,
+}
+
+impl Histogram {
+    const BINS: usize = 96;
+    /// Bin index shift: magnitudes down to 2^-32 resolve distinctly.
+    const OFFSET: i32 = 32;
+
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            bins: [0; Self::BINS],
+            negatives: 0,
+        }
+    }
+
+    fn bin_index(x: f64) -> usize {
+        let mag = x.abs();
+        if mag < f64::MIN_POSITIVE {
+            return 0;
+        }
+        let idx = mag.log2().floor() as i32 + Self::OFFSET;
+        idx.clamp(0, Self::BINS as i32 - 1) as usize
+    }
+
+    /// Records one sample. Non-finite samples count toward `count` but
+    /// not toward bins or moments.
+    pub fn record(&mut self, x: f64) {
+        self.count += 1;
+        if !x.is_finite() {
+            return;
+        }
+        self.sum += x;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+        if x < 0.0 {
+            self.negatives += 1;
+        }
+        self.bins[Self::bin_index(x)] += 1;
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Upper bound of the magnitude bin holding the `q`-quantile of the
+    /// *nonnegative* samples (log-scale estimate, factor-of-2 accurate).
+    #[must_use]
+    pub fn quantile_estimate(&self, q: f64) -> f64 {
+        let total: u64 = self.bins.iter().sum();
+        if total == 0 {
+            return f64::NAN;
+        }
+        let target = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                if i == 0 {
+                    return 0.0;
+                }
+                return 2f64.powi(i as i32 - Self::OFFSET + 1);
+            }
+        }
+        self.max
+    }
+
+    /// Collapses to summary statistics.
+    #[must_use]
+    pub fn stats(&self) -> FieldStats {
+        FieldStats {
+            count: self.count,
+            mean: if self.count == 0 {
+                f64::NAN
+            } else {
+                self.sum / self.count as f64
+            },
+            min: self.min,
+            max: self.max,
+            p50: self.quantile_estimate(0.50),
+            p95: self.quantile_estimate(0.95),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Summary statistics for one metric or payload field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldStats {
+    /// Number of samples.
+    pub count: u64,
+    /// Arithmetic mean (NaN when empty).
+    pub mean: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Log-scale median estimate (factor-of-2 accurate).
+    pub p50: f64,
+    /// Log-scale 95th-percentile estimate.
+    pub p95: f64,
+}
+
+impl FieldStats {
+    /// Renders as a JSON payload object.
+    #[must_use]
+    pub fn to_payload(&self) -> Value {
+        Value::Object(vec![
+            ("count".to_owned(), Value::from(self.count)),
+            ("mean".to_owned(), Value::Float(self.mean)),
+            ("min".to_owned(), Value::Float(self.min)),
+            ("max".to_owned(), Value::Float(self.max)),
+            ("p50".to_owned(), Value::Float(self.p50)),
+            ("p95".to_owned(), Value::Float(self.p95)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_stats() {
+        let h = Histogram::new();
+        let s = h.stats();
+        assert_eq!(s.count, 0);
+        assert!(s.mean.is_nan());
+    }
+
+    #[test]
+    fn moments_are_exact() {
+        let mut h = Histogram::new();
+        for x in [1.0, 2.0, 3.0, 10.0] {
+            h.record(x);
+        }
+        let s = h.stats();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 10.0);
+    }
+
+    #[test]
+    fn quantile_estimates_are_factor_two_accurate() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(f64::from(i));
+        }
+        let p50 = h.quantile_estimate(0.5);
+        // True median 500; log-bin estimate must be within [500, 1024].
+        assert!((500.0..=1024.0).contains(&p50), "p50 {p50}");
+        let p95 = h.quantile_estimate(0.95);
+        assert!((950.0..=2048.0).contains(&p95), "p95 {p95}");
+    }
+
+    #[test]
+    fn non_finite_samples_do_not_poison_moments() {
+        let mut h = Histogram::new();
+        h.record(1.0);
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        let s = h.stats();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1.0);
+    }
+}

@@ -37,9 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         g.wns_ps,
         p.wns_ps
     );
-    println!(
-        "dangerous miscorrelation (GBA pass, signoff fail): {sign_flips} endpoints\n"
-    );
+    println!("dangerous miscorrelation (GBA pass, signoff fail): {sign_flips} endpoints\n");
 
     // The Fig 8 plane.
     for point in accuracy_cost_curve(&graph, &cons, ModelFamily::Linear, 0.5)? {

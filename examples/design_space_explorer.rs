@@ -6,7 +6,9 @@
 //! cargo run --example design_space_explorer
 //! ```
 
-use ideaflow::core::orchestrate::{compare_orchestration, TrajectoryLandscape, TrajectoryObjective};
+use ideaflow::core::orchestrate::{
+    compare_orchestration, TrajectoryLandscape, TrajectoryObjective,
+};
 use ideaflow::flow::spnr::SpnrFlow;
 use ideaflow::flow::tree::{leaf_count, options_for_trajectory, standard_axes};
 use ideaflow::netlist::generate::{DesignClass, DesignSpec};
@@ -21,7 +23,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         axes.len(),
         leaf_count(&axes)
     );
-    println!("design: DSP class, fmax = {:.3} GHz; target = {:.3} GHz\n", fmax, fmax * 0.85);
+    println!(
+        "design: DSP class, fmax = {:.3} GHz; target = {:.3} GHz\n",
+        fmax,
+        fmax * 0.85
+    );
 
     let cfg = GwtwConfig {
         population: 8,
@@ -42,7 +48,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let opts = options_for_trajectory(&cmp.gwtw_trajectory, fmax * 0.85)?;
     println!(
         "\nwinning recipe: synth={:?} util={:.2} aspect={:.1} place={:?} route={:?}",
-        opts.synth_effort, opts.utilization, opts.aspect_ratio, opts.place_effort, opts.route_effort
+        opts.synth_effort,
+        opts.utilization,
+        opts.aspect_ratio,
+        opts.place_effort,
+        opts.route_effort
     );
 
     // Show what the objective is made of for the winning recipe.

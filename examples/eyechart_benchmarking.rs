@@ -47,7 +47,10 @@ impl Landscape for SizingLandscape {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("eyechart family: inverter chains with known DP-optimal sizing\n");
-    println!("{:>7} {:>8} | {:>10} {:>12} {:>12}", "stages", "load", "optimal ps", "greedy subopt", "anneal subopt");
+    println!(
+        "{:>7} {:>8} | {:>10} {:>12} {:>12}",
+        "stages", "load", "optimal ps", "greedy subopt", "anneal subopt"
+    );
     let mut greedy_worst: f64 = 1.0;
     let mut anneal_worst: f64 = 1.0;
     for &stages in &[2usize, 3, 4, 5, 6, 8] {
@@ -69,9 +72,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let anneal = out.best_cost / optimal;
             greedy_worst = greedy_worst.max(greedy);
             anneal_worst = anneal_worst.max(anneal);
-            println!(
-                "{stages:>7} {load:>8.0} | {optimal:>10.1} {greedy:>12.4} {anneal:>12.4}"
-            );
+            println!("{stages:>7} {load:>8.0} | {optimal:>10.1} {greedy:>12.4} {anneal:>12.4}");
         }
     }
     println!(

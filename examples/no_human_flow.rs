@@ -26,11 +26,19 @@ use ideaflow::route::logfile::artificial_corpus;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let flow = SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 2_000)?, 0x1DEA);
     let fmax = flow.fmax_ref_ghz();
-    println!("== no-human-in-the-loop flow on a {:.3}-GHz-capable design ==\n", fmax);
+    println!(
+        "== no-human-in-the-loop flow on a {:.3}-GHz-capable design ==\n",
+        fmax
+    );
 
     // --- Stage 2: bandit search over target frequencies (5 x 20 budget).
-    let mut env =
-        FrequencyArms::linspace(&flow, fmax * 0.5, fmax * 1.15, 15, QorConstraints::timing_only())?;
+    let mut env = FrequencyArms::linspace(
+        &flow,
+        fmax * 0.5,
+        fmax * 1.15,
+        15,
+        QorConstraints::timing_only(),
+    )?;
     let mut policy = ThompsonGaussian::new(15, fmax, fmax * 0.3)?;
     run_concurrent(&mut policy, &mut env, 20, 5, 7)?;
     let best = env.best_success_ghz().unwrap_or(fmax * 0.5);
@@ -71,8 +79,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let targeter = AdaptiveTargeter::new(60.0, 0.95, best)?;
     let mut target = targeter.next_target_ghz(&server);
     for i in 0..8 {
-        let probe = if i < 4 { target * (0.75 + 0.08 * f64::from(i)) } else { target };
-        let (_q, records) = flow.run_logged(&SpnrOptions::with_target_ghz(probe.min(20.0))?, 100 + i);
+        let probe = if i < 4 {
+            target * (0.75 + 0.08 * f64::from(i))
+        } else {
+            target
+        };
+        let (_q, records) =
+            flow.run_logged(&SpnrOptions::with_target_ghz(probe.min(20.0))?, 100 + i);
         for r in records {
             tx.send(r);
         }
@@ -80,7 +93,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         target = targeter.next_target_ghz(&server).min(20.0);
     }
     let shipped = SpnrOptions::with_target_ghz(target)?;
-    let passes = (500..520).filter(|&s| flow.run(&shipped, s).meets_timing()).count();
+    let passes = (500..520)
+        .filter(|&s| flow.run(&shipped, s).meets_timing())
+        .count();
     println!(
         "metrics feedback: adapted target {:.3} GHz ({:.0}% of fmax), \
          fresh pass rate {}/20",

@@ -31,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         qor.wns_ps,
         qor.leakage_nw,
         qor.runtime_hours,
-        if qor.meets_timing() { "MET" } else { "VIOLATED" }
+        if qor.meets_timing() {
+            "MET"
+        } else {
+            "VIOLATED"
+        }
     );
 
     // 3. A robot engineer finds and verifies the highest safe target.

@@ -12,6 +12,9 @@
 //! - [`timing`]: dual-engine STA and ML analysis correlation (Fig 8).
 //! - [`flow`]: the noisy SP&R flow and its option tree (Figs 3, 5).
 //! - [`metrics`]: a METRICS 2.0 collection/mining system (Fig 11).
+//! - [`trace`]: the run journal — structured JSONL events, counters,
+//!   histograms, timers with a no-op default (the §4 "collect
+//!   everything" layer every subsystem emits into).
 //! - [`costmodel`]: the ITRS design-cost model (Figs 1–2).
 //! - [`core`]: the orchestration layer tying it all together (Fig 4,
 //!   staged ML insertion, robot engineers, single-pass driver).
@@ -48,3 +51,4 @@ pub use ideaflow_opt as opt;
 pub use ideaflow_place as place;
 pub use ideaflow_route as route;
 pub use ideaflow_timing as timing;
+pub use ideaflow_trace as trace;

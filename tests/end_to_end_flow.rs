@@ -56,9 +56,7 @@ fn physical_pipeline_end_to_end() {
     // Timing with placement-derived wire lengths: multi-corner signoff is
     // at least as pessimistic as typical-corner signoff.
     let lengths: Vec<f64> = (0..nl.net_count())
-        .map(|n| {
-            ideaflow::place::placement::net_hpwl(&nl, &fp, &out.placement, n).max(0.5)
-        })
+        .map(|n| ideaflow::place::placement::net_hpwl(&nl, &fp, &out.placement, n).max(0.5))
         .collect();
     let graph = TimingGraph::build_with_lengths(&nl, WireModel::default(), lengths);
     let cons = Constraints::at_frequency_ghz(0.5).unwrap();

@@ -2,13 +2,13 @@
 //! at reduced scale so `cargo test` stays fast. The full-scale harnesses
 //! live in `crates/bench/src/bin/`.
 
+use ideaflow::core::coevolution::{evaluate, CoevolutionParams};
+use ideaflow::costmodel::capability::CapabilityModel;
+use ideaflow::costmodel::cost::CostModel;
 use ideaflow_bench::experiments::{
     fig03_noise, fig06_orchestration, fig07_mab, fig08_accuracy, fig09_drv, fig10_card,
     fig11_metrics, tab01_doomed,
 };
-use ideaflow::costmodel::capability::CapabilityModel;
-use ideaflow::costmodel::cost::CostModel;
-use ideaflow::core::coevolution::{evaluate, CoevolutionParams};
 
 #[test]
 fn e_f1_capability_gap_compounds() {
@@ -78,10 +78,7 @@ fn e_f9_class_shapes() {
 fn e_f10_card_regions() {
     let d = fig10_card::run(4);
     // Very large violation counts: STOP (rule-filled right edge).
-    assert_eq!(
-        d.card.action(17, 3),
-        ideaflow::mdp::doomed::Action::Stop
-    );
+    assert_eq!(d.card.action(17, 3), ideaflow::mdp::doomed::Action::Stop);
 }
 
 #[test]

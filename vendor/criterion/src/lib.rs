@@ -1,0 +1,258 @@
+//! Offline vendored stand-in for `criterion`: wall-clock
+//! micro-benchmarking with the subset of the upstream API this
+//! workspace uses (`bench_function`, `iter`, `iter_batched`,
+//! `criterion_group!`/`criterion_main!`).
+//!
+//! Methodology is deliberately simple: per benchmark, a short warm-up
+//! estimates the iteration cost, then `sample_size` samples are timed
+//! and median / mean / min are reported on stdout. No plotting, no
+//! statistical regression analysis — just stable relative numbers for
+//! comparing kernels in the same process.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are sized; only a hint upstream, ignored here.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    target_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 100,
+            warm_up: Duration::from_millis(300),
+            target_time: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.target_time = d;
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            warm_up: self.warm_up,
+            target_time: self.target_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+
+    /// Upstream writes reports on drop; nothing to finalize here.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Times closures for one benchmark.
+pub struct Bencher {
+    warm_up: Duration,
+    target_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.calibrate(|| {
+            std_black_box(routine());
+        });
+        self.measure(iters, |n| {
+            let start = Instant::now();
+            for _ in 0..n {
+                std_black_box(routine());
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Benchmarks `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let iters = self.calibrate(|| {
+            let input = setup();
+            std_black_box(routine(input));
+        });
+        self.measure(iters, |n| {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std_black_box(routine(input));
+            }
+            start.elapsed()
+        });
+    }
+
+    /// Warm-up pass; returns the per-sample iteration count sized so all
+    /// samples together fit roughly in the measurement budget.
+    fn calibrate(&self, mut one: impl FnMut()) -> u64 {
+        let start = Instant::now();
+        let mut runs: u64 = 0;
+        while start.elapsed() < self.warm_up || runs == 0 {
+            one();
+            runs += 1;
+            if runs >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = start.elapsed().as_secs_f64() / runs as f64;
+        let budget = self.target_time.as_secs_f64() / self.sample_size as f64;
+        ((budget / per_iter.max(1e-9)).round() as u64).max(1)
+    }
+
+    fn measure(&mut self, iters: u64, mut sample: impl FnMut(u64) -> Duration) {
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let elapsed = sample(iters);
+            self.samples_ns
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        assert!(
+            !self.samples_ns.is_empty(),
+            "benchmark `{name}` never called iter()/iter_batched()"
+        );
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(f64::total_cmp);
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{name:<40} median {:>12}  mean {:>12}  min {:>12}  ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(sorted[0]),
+            sorted.len(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+            c.final_summary();
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0..1_000u64).sum::<u64>()));
+        c.bench_function("batched_reverse", |b| {
+            b.iter_batched(
+                || (0..64u32).collect::<Vec<_>>(),
+                |mut v| {
+                    v.reverse();
+                    v
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(30));
+        tiny(&mut c);
+    }
+
+    criterion_group!(
+        name = smoke;
+        config = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        targets = tiny
+    );
+
+    #[test]
+    fn group_macro_compiles_and_runs() {
+        smoke();
+    }
+}

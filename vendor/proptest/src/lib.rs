@@ -1,0 +1,360 @@
+//! Offline vendored stand-in for `proptest`: random-input property
+//! testing with the subset of the upstream API this workspace uses.
+//!
+//! Supported surface:
+//!
+//! - the [`proptest!`] block macro with an optional
+//!   `#![proptest_config(..)]` inner attribute and `pat in strategy`
+//!   argument bindings;
+//! - numeric [`Range`](std::ops::Range) strategies;
+//! - string-literal strategies restricted to the `[class]{m,n}` regex
+//!   shape (character classes with ranges, repetition count);
+//! - [`collection::vec`] with an exact size or a size range;
+//! - [`prop_assert!`] / [`prop_assert_eq!`].
+//!
+//! Unlike upstream there is no shrinking: a failing case reports its
+//! case index and panics, which is enough to reproduce (generation is
+//! deterministic per test name + case index).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// A generator of random test inputs.
+pub trait Strategy {
+    /// The generated input type.
+    type Value;
+    /// Draws one input.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A string strategy parsed from a `[class]{m,n}` regex literal.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut StdRng) -> String {
+        let (chars, min, max) = parse_class_regex(self)
+            .unwrap_or_else(|e| panic!("unsupported string strategy {self:?}: {e}"));
+        let len = rng.gen_range(min..=max);
+        (0..len)
+            .map(|_| chars[rng.gen_range(0..chars.len())])
+            .collect()
+    }
+}
+
+/// Parses the `[class]{m,n}` regex subset into (alphabet, min_len, max_len).
+fn parse_class_regex(pattern: &str) -> Result<(Vec<char>, usize, usize), String> {
+    let rest = pattern.strip_prefix('[').ok_or("expected leading `[`")?;
+    let mut chars = Vec::new();
+    let mut it = rest.chars().peekable();
+    let mut closed = false;
+    while let Some(c) = it.next() {
+        match c {
+            ']' => {
+                closed = true;
+                break;
+            }
+            '\\' => {
+                let esc = it.next().ok_or("dangling escape")?;
+                chars.push(esc);
+            }
+            c => {
+                if it.peek() == Some(&'-') {
+                    // Possible range `a-z`; `-` right before `]` is literal.
+                    let mut probe = it.clone();
+                    probe.next();
+                    match probe.peek() {
+                        Some(&end) if end != ']' => {
+                            it.next();
+                            it.next();
+                            if end < c {
+                                return Err(format!("bad range `{c}-{end}`"));
+                            }
+                            chars.extend((c..=end).filter(|ch| ch.is_ascii() || *ch == c));
+                            continue;
+                        }
+                        _ => {}
+                    }
+                }
+                chars.push(c);
+            }
+        }
+    }
+    if !closed {
+        return Err("unterminated character class".into());
+    }
+    let rep: String = it.collect();
+    let body = rep
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or("expected `{m,n}` repetition")?;
+    let (m, n) = match body.split_once(',') {
+        Some((m, n)) => (
+            m.trim().parse().map_err(|_| "bad min count")?,
+            n.trim().parse().map_err(|_| "bad max count")?,
+        ),
+        None => {
+            let k = body.trim().parse().map_err(|_| "bad count")?;
+            (k, k)
+        }
+    };
+    if chars.is_empty() {
+        return Err("empty character class".into());
+    }
+    if m > n {
+        return Err("min repetition exceeds max".into());
+    }
+    Ok((chars, m, n))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A length specification for [`vec`]: an exact `usize` or a range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn draw(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn draw(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn draw(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Strategy producing `Vec`s of `element` draws with length in `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.draw(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Macro runtime support; not part of the public API.
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+}
+
+/// Deterministic per-(test, case) seed so failures reproduce exactly.
+#[must_use]
+pub fn case_seed(test_name: &str, case: u32) -> u64 {
+    // FNV-1a over the name, mixed with the case index.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h ^ (u64::from(case).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// The property-test block macro. See the crate docs for the supported
+/// subset.
+#[macro_export]
+macro_rules! proptest {
+    (@funcs ($config:expr) ) => {};
+    (@funcs ($config:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut rng = <$crate::__rt::StdRng as $crate::__rt::SeedableRng>::seed_from_u64(
+                    $crate::case_seed(stringify!($name), case),
+                );
+                $(let $arg = $crate::Strategy::generate(&$strat, &mut rng);)+
+                // Closure so `?`-free bodies and early panics both report
+                // the failing case index.
+                let run = || $body;
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(run));
+                if let ::std::result::Result::Err(payload) = outcome {
+                    eprintln!(
+                        "proptest: property `{}` failed at case {case}/{}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@funcs ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+)
+    };
+}
+
+/// Asserts equality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_eq!($a, $b, $($fmt)+)
+    };
+}
+
+/// Asserts inequality inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)+) => {
+        assert_ne!($a, $b, $($fmt)+)
+    };
+}
+
+/// The commonly-imported surface, mirroring `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn class_regex_parses_ranges_and_escapes() {
+        let (chars, m, n) = parse_class_regex("[a-cX_\\]]{1,4}").unwrap();
+        assert_eq!(m, 1);
+        assert_eq!(n, 4);
+        for c in ['a', 'b', 'c', 'X', '_', ']'] {
+            assert!(chars.contains(&c), "missing {c:?}");
+        }
+        assert!(!chars.contains(&'d'));
+    }
+
+    #[test]
+    fn string_strategy_respects_alphabet_and_length() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..200 {
+            let s = "[a-z_<&\"]{1,12}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 12, "{s:?}");
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || "_<&\"".contains(c)));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let xs = collection::vec(0f64..1.0, 2..5).generate(&mut rng);
+            assert!((2..5).contains(&xs.len()));
+            let ys = collection::vec(0usize..4, 5).generate(&mut rng);
+            assert_eq!(ys.len(), 5);
+            assert!(ys.iter().all(|&y| y < 4));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The macro itself: bindings, mutable patterns, trailing commas.
+        #[test]
+        fn macro_binds_arguments(
+            a in 0u64..10,
+            mut xs in collection::vec(-1.0f64..1.0, 0..4),
+        ) {
+            xs.push(a as f64);
+            prop_assert!(xs.last().copied().unwrap() < 10.5);
+            prop_assert_eq!(xs.last().copied().unwrap() as u64, a);
+        }
+    }
+}

@@ -1,0 +1,297 @@
+//! Offline vendored stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the small API subset it actually uses: [`rngs::StdRng`],
+//! [`Rng`], and [`SeedableRng`]. The generator is xoshiro256++ seeded via
+//! SplitMix64 — a different stream than upstream `rand`'s ChaCha12, but
+//! the workspace only relies on *determinism per seed*, never on a
+//! specific stream.
+
+pub mod rngs {
+    /// A deterministic 64-bit generator (xoshiro256++).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into four non-zero words.
+            let mut z = seed;
+            let mut next = || {
+                z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut x = z;
+                x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                x ^ (x >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            Self { s }
+        }
+
+        pub(crate) fn next_raw(&mut self) -> u64 {
+            let res = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            res
+        }
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.next_raw()
+        }
+    }
+}
+
+/// The raw 64-bit source behind [`Rng`].
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be drawn uniformly from an RNG via [`Rng::gen`].
+pub trait Standard: Sized {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample uniformly.
+pub trait SampleUniform: Sized {
+    /// Draws from `[low, high)` (or `[low, high]` when `inclusive`).
+    fn sample_between<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<R: RngCore + ?Sized>(
+                low: Self,
+                high: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "cannot sample empty range");
+                } else {
+                    assert!(low < high, "cannot sample empty range");
+                }
+                // Two's-complement width as unsigned, widened to u64.
+                let span = high.wrapping_sub(low) as $u as u64;
+                let span = if inclusive {
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    span + 1
+                } else {
+                    span
+                };
+                // Multiply-shift bounded sampling (Lemire); the tiny bias
+                // over a 64-bit space is irrelevant for simulation use.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low.wrapping_add(hi as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+impl SampleUniform for f64 {
+    fn sample_between<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        if inclusive {
+            assert!(low <= high, "cannot sample empty range");
+        } else {
+            assert!(low < high, "cannot sample empty range");
+        }
+        low + (high - low) * f64::draw(rng)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_between<R: RngCore + ?Sized>(
+        low: Self,
+        high: Self,
+        inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        f64::sample_between(f64::from(low), f64::from(high), inclusive, rng) as f32
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+///
+/// A single impl generic over `T` (matching upstream rand's shape) so
+/// that unsuffixed literals like `0.10..0.40` unify through one
+/// candidate and the usual float/integer fallback applies.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_between(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (low, high) = self.into_inner();
+        T::sample_between(low, high, true, rng)
+    }
+}
+
+/// The user-facing random-value interface (API subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Draws uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::draw(self) < p
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable construction (API subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for rngs::StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        rngs::StdRng::from_u64(seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_and_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.gen_range(0usize..10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        for _ in 0..1_000 {
+            let v = rng.gen_range(5u64..=7);
+            assert!((5..=7).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1_000 {
+            let v = rng.gen_range(3.2f64..4.0);
+            assert!((3.2..4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_200..2_800).contains(&hits), "hits {hits}");
+    }
+}

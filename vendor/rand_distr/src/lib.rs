@@ -1,0 +1,106 @@
+//! Offline vendored stand-in for `rand_distr`: the [`Normal`]
+//! distribution and the [`Distribution`] trait, which is all the
+//! workspace uses.
+
+use rand::RngCore;
+
+/// A distribution that can be sampled with any RNG.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NormalError {
+    /// The standard deviation was negative or non-finite.
+    BadVariance,
+    /// The mean was non-finite.
+    MeanTooSmall,
+}
+
+impl core::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            NormalError::BadVariance => f.write_str("standard deviation must be finite and >= 0"),
+            NormalError::MeanTooSmall => f.write_str("mean must be finite"),
+        }
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+/// The normal (Gaussian) distribution `N(mean, std_dev^2)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal<T> {
+    mean: T,
+    std_dev: T,
+}
+
+impl Normal<f64> {
+    /// Creates a normal distribution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NormalError`] for a negative or non-finite standard
+    /// deviation, or a non-finite mean.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if !std_dev.is_finite() || std_dev < 0.0 {
+            return Err(NormalError::BadVariance);
+        }
+        if !mean.is_finite() {
+            return Err(NormalError::MeanTooSmall);
+        }
+        Ok(Self { mean, std_dev })
+    }
+
+    /// The mean.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// The standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+}
+
+impl Distribution<f64> for Normal<f64> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box-Muller transform; one fresh pair per sample keeps the
+        // implementation stateless (matters for `&self`).
+        let u1 = (((rng.next_u64() >> 11) as f64 + 0.5) / (1u64 << 53) as f64).max(1e-300);
+        let u2 = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let z = (-2.0 * u1.ln()).sqrt() * (core::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_validates() {
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, f64::NAN).is_err());
+        assert!(Normal::new(f64::INFINITY, 1.0).is_err());
+        assert!(Normal::new(3.0, 0.5).is_ok());
+    }
+
+    #[test]
+    fn samples_match_moments() {
+        let d = Normal::new(5.0, 2.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let n = 50_000;
+        let xs: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+}

@@ -1,0 +1,79 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! `into_par_iter()` returns the *sequential* iterator: on this
+//! single-core container there is no parallelism to win, and every
+//! call site in the workspace derives per-item seeds (so results are
+//! identical either way). The facade keeps call sites source-compatible
+//! with upstream rayon; swapping the real crate back in is a
+//! `Cargo.toml` change only.
+
+/// Parallel-iterator traits, mirroring `rayon::prelude`.
+pub mod prelude {
+    /// Conversion into a "parallel" iterator (sequential here).
+    pub trait IntoParallelIterator {
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item;
+        /// Converts `self` into an iterator over its elements.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        type Item = I::Item;
+
+        fn into_par_iter(self) -> I::IntoIter {
+            self.into_iter()
+        }
+    }
+
+    /// Borrowing conversion, mirroring `par_iter()`.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type.
+        type Iter: Iterator<Item = Self::Item>;
+        /// The element type.
+        type Item: 'data;
+        /// Iterates over borrowed elements.
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoParallelIterator,
+    {
+        type Iter = <&'data C as IntoParallelIterator>::Iter;
+        type Item = <&'data C as IntoParallelIterator>::Item;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_par_iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_and_vecs_iterate() {
+        let squares: Vec<u64> = (0u64..5).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(squares, vec![0, 1, 4, 9, 16]);
+
+        let v = vec![10, 20, 30];
+        let doubled: Vec<i32> = v
+            .into_par_iter()
+            .enumerate()
+            .map(|(i, x)| x + i as i32)
+            .collect();
+        assert_eq!(doubled, vec![10, 21, 32]);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().sum();
+        assert_eq!(sum, 6);
+        assert_eq!(v.len(), 3);
+    }
+}
