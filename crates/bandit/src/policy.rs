@@ -120,6 +120,39 @@ impl ThompsonGaussian {
             noise_guess,
         })
     }
+
+    /// Warm-starts the posterior from a recorded session: the per-arm
+    /// reward statistics of the journal's `bandit.pull` events become
+    /// each arm's sufficient statistics (count, mean, and M2 rebuilt
+    /// from the sample standard deviation), so a fresh policy resumes
+    /// where the journaled one stopped instead of re-exploring — the
+    /// ROADMAP's "bandit warm-start from journals". Arms outside this
+    /// policy's range and arms absent from the journal are left on
+    /// their priors. Returns the number of pulls absorbed.
+    pub fn seed_from_journal(&mut self, reader: &ideaflow_trace::JournalReader) -> usize {
+        let mut absorbed = 0usize;
+        for (arm, s) in reader.field_stats_grouped("bandit.pull", "arm", "reward") {
+            let Ok(idx) = usize::try_from(arm) else {
+                continue;
+            };
+            if idx >= self.stats.len() || s.count == 0 || !s.mean.is_finite() {
+                continue;
+            }
+            // std is the sample deviation over n-1, so M2 = std^2 * (n-1).
+            let m2 = if s.count >= 2 && s.std.is_finite() {
+                s.std * s.std * (s.count - 1) as f64
+            } else {
+                0.0
+            };
+            self.stats[idx] = ArmStats {
+                n: s.count,
+                mean: s.mean,
+                m2,
+            };
+            absorbed += s.count as usize;
+        }
+        absorbed
+    }
 }
 
 impl BanditPolicy for ThompsonGaussian {
@@ -502,6 +535,81 @@ mod tests {
         // Box delegation preserves the snapshot.
         let boxed: Box<dyn BanditPolicy> = Box::new(p);
         assert_eq!(boxed.posterior_means(), means);
+    }
+
+    #[test]
+    fn journal_seeding_restores_sufficient_statistics() {
+        // Record a session, seed a fresh policy from the journal, and
+        // check the restored arm stats match the live ones exactly.
+        let journal = ideaflow_trace::Journal::in_memory("warm");
+        let mut live = ThompsonGaussian::new(3, 1.0, 0.3).unwrap();
+        let mut env = crate::GaussianEnv::new(vec![0.0, 1.0, 0.2], vec![0.3, 0.3, 0.3], 5).unwrap();
+        crate::sim::run_sequential_journaled(&mut live, &mut env, 120, 9, &journal).unwrap();
+        let reader =
+            ideaflow_trace::JournalReader::from_jsonl(&journal.drain_lines().join("\n")).unwrap();
+
+        let mut warm = ThompsonGaussian::new(3, 1.0, 0.3).unwrap();
+        assert_eq!(warm.seed_from_journal(&reader), 120);
+        for (w, l) in warm.stats.iter().zip(&live.stats) {
+            assert_eq!(w.n, l.n);
+            assert!((w.mean - l.mean).abs() < 1e-9, "{} vs {}", w.mean, l.mean);
+            if l.n >= 2 {
+                assert!(
+                    (w.sample_std() - l.sample_std()).abs() < 1e-9,
+                    "{} vs {}",
+                    w.sample_std(),
+                    l.sample_std()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn journal_seeding_reduces_exploration_on_replay() {
+        // A recorded session where arm 1 clearly wins; the warm-started
+        // policy should waste fewer pulls re-discovering that than a
+        // cold policy facing the same environment.
+        let journal = ideaflow_trace::Journal::in_memory("replay");
+        let mut recorder = ThompsonGaussian::new(4, 1.0, 0.3).unwrap();
+        let means = vec![0.0, 1.0, 0.1, -0.2];
+        let mut env = crate::GaussianEnv::new(means.clone(), vec![0.3; 4], 21).unwrap();
+        crate::sim::run_sequential_journaled(&mut recorder, &mut env, 200, 13, &journal).unwrap();
+        let reader =
+            ideaflow_trace::JournalReader::from_jsonl(&journal.drain_lines().join("\n")).unwrap();
+
+        let suboptimal_pulls = |policy: &mut ThompsonGaussian| -> usize {
+            let mut env = crate::GaussianEnv::new(means.clone(), vec![0.3; 4], 77).unwrap();
+            let run = crate::sim::run_sequential(policy, &mut env, 60, 5).unwrap();
+            run.chosen.iter().filter(|&&a| a != 1).count()
+        };
+        let mut cold = ThompsonGaussian::new(4, 1.0, 0.3).unwrap();
+        let cold_waste = suboptimal_pulls(&mut cold);
+        let mut warm = ThompsonGaussian::new(4, 1.0, 0.3).unwrap();
+        assert_eq!(warm.seed_from_journal(&reader), 200);
+        let warm_waste = suboptimal_pulls(&mut warm);
+        assert!(
+            warm_waste < cold_waste,
+            "warm policy explored {warm_waste} suboptimal pulls vs cold {cold_waste}"
+        );
+    }
+
+    #[test]
+    fn journal_seeding_ignores_out_of_range_arms() {
+        let journal = ideaflow_trace::Journal::in_memory("oob");
+        journal.emit(
+            "bandit.pull",
+            &[("arm", 9i64.into()), ("reward", 1.0.into())],
+        );
+        journal.emit(
+            "bandit.pull",
+            &[("arm", 0i64.into()), ("reward", 2.0.into())],
+        );
+        let reader =
+            ideaflow_trace::JournalReader::from_jsonl(&journal.drain_lines().join("\n")).unwrap();
+        let mut p = ThompsonGaussian::new(2, 1.0, 0.3).unwrap();
+        assert_eq!(p.seed_from_journal(&reader), 1);
+        assert_eq!(p.stats[0].n, 1);
+        assert_eq!(p.stats[1].n, 0);
     }
 
     #[test]

@@ -130,6 +130,7 @@ pub fn run_sequential_journaled<P: BanditPolicy, E: Environment>(
             detail: "need at least one pull".into(),
         });
     }
+    let _span = journal.span("bandit.run_sequential");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut chosen = Vec::with_capacity(pulls);
     let mut rewards = Vec::with_capacity(pulls);
@@ -216,6 +217,7 @@ pub fn run_concurrent_journaled<P: BanditPolicy, E: Environment>(
             detail: "iterations and concurrency must be positive".into(),
         });
     }
+    let _span = journal.span("bandit.run_concurrent");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(iterations);
     let mut t = 0u32;

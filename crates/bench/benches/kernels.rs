@@ -180,6 +180,21 @@ fn bench_journal_overhead(c: &mut Criterion) {
         })
     });
     let _ = std::fs::remove_file(&path);
+
+    // Span bookkeeping + live telemetry aggregation without file IO
+    // (the `--telemetry-port`-without-`--journal` configuration).
+    // Target: <=2% over baseline.
+    let spans = make_flow().with_journal(
+        ideaflow_trace::Journal::telemetry_only("kernels_bench")
+            .with_telemetry(ideaflow_trace::TelemetryRegistry::new()),
+    );
+    let mut s = 0u32;
+    c.bench_function("journal_overhead_spans", |b| {
+        b.iter(|| {
+            s = s.wrapping_add(1);
+            spans.run_physical(&opts, s)
+        })
+    });
 }
 
 criterion_group!(

@@ -5,9 +5,9 @@ use ideaflow_bench::experiments::ablations;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("ablations");
-    journal.time("bench.ablations", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("ablations");
+    session.journal.time("bench.ablations", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

@@ -4,9 +4,11 @@ use ideaflow_bench::{f, render_table};
 use ideaflow_costmodel::capability::CapabilityModel;
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig01_capability_gap");
-    journal.time("bench.fig01_capability_gap", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig01_capability_gap");
+    session
+        .journal
+        .time("bench.fig01_capability_gap", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

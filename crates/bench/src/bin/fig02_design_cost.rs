@@ -5,9 +5,9 @@ use ideaflow_bench::{f, render_table};
 use ideaflow_costmodel::cost::{footnote1_scenarios, CostModel};
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig02_design_cost");
-    journal.time("bench.fig02_design_cost", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig02_design_cost");
+    session.journal.time("bench.fig02_design_cost", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

@@ -4,9 +4,9 @@ use ideaflow_bench::experiments::fig03_noise;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig03_spnr_noise");
-    journal.time("bench.fig03_spnr_noise", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig03_spnr_noise");
+    session.journal.time("bench.fig03_spnr_noise", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

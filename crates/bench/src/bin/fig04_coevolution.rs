@@ -21,9 +21,9 @@ fn row(label: &str, p: CoevolutionParams) -> Vec<String> {
 }
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig04_coevolution");
-    journal.time("bench.fig04_coevolution", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig04_coevolution");
+    session.journal.time("bench.fig04_coevolution", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

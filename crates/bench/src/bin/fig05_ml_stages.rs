@@ -5,9 +5,9 @@ use ideaflow_bench::experiments::fig05_stages;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig05_ml_stages");
-    journal.time("bench.fig05_ml_stages", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig05_ml_stages");
+    session.journal.time("bench.fig05_ml_stages", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

@@ -4,9 +4,9 @@ use ideaflow_bench::experiments::fig06_orchestration;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig06a_gwtw");
-    journal.time("bench.fig06a_gwtw", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig06a_gwtw");
+    session.journal.time("bench.fig06a_gwtw", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

@@ -4,9 +4,11 @@ use ideaflow_bench::experiments::fig06_orchestration;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig06b_adaptive_multistart");
-    journal.time("bench.fig06b_adaptive_multistart", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig06b_adaptive_multistart");
+    session
+        .journal
+        .time("bench.fig06b_adaptive_multistart", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

@@ -2,10 +2,11 @@
 //! concurrent samples x 40 iterations) plus the robustness ablation.
 
 use ideaflow_bench::experiments::fig07_mab;
-use ideaflow_bench::{f, journal_from_args, render_table};
+use ideaflow_bench::{f, render_table, session_from_args};
 
 fn main() {
-    let journal = journal_from_args("fig07_mab");
+    let session = session_from_args("fig07_mab");
+    let journal = session.journal.clone();
     let d = journal.time("bench.fig07_mab", || {
         fig07_mab::run_journaled(2_000, 0xDAC2018, &journal)
     });
@@ -42,5 +43,5 @@ fn main() {
         "\nPaper (Fig 7, ref [25]): Thompson Sampling adaptively concentrates samples\n\
          near the achievable frequency and is more robust than softmax/e-greedy."
     );
-    journal.finish();
+    session.finish();
 }

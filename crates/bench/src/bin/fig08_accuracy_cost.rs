@@ -4,9 +4,11 @@ use ideaflow_bench::experiments::fig08_accuracy;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig08_accuracy_cost");
-    journal.time("bench.fig08_accuracy_cost", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig08_accuracy_cost");
+    session
+        .journal
+        .time("bench.fig08_accuracy_cost", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

@@ -4,9 +4,11 @@
 use ideaflow_bench::experiments::fig09_drv;
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig09_drv_progressions");
-    journal.time("bench.fig09_drv_progressions", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig09_drv_progressions");
+    session
+        .journal
+        .time("bench.fig09_drv_progressions", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

@@ -3,9 +3,11 @@
 use ideaflow_bench::experiments::fig10_card;
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig10_strategy_card");
-    journal.time("bench.fig10_strategy_card", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig10_strategy_card");
+    session
+        .journal
+        .time("bench.fig10_strategy_card", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

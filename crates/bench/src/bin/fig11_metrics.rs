@@ -4,9 +4,9 @@ use ideaflow_bench::experiments::fig11_metrics;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("fig11_metrics");
-    journal.time("bench.fig11_metrics", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("fig11_metrics");
+    session.journal.time("bench.fig11_metrics", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

@@ -4,9 +4,11 @@ use ideaflow_bench::experiments::tab01_doomed;
 use ideaflow_bench::{f, render_table};
 
 fn main() {
-    let journal = ideaflow_bench::journal_from_args("tab01_doomed_errors");
-    journal.time("bench.tab01_doomed_errors", run_harness);
-    journal.finish();
+    let session = ideaflow_bench::session_from_args("tab01_doomed_errors");
+    session
+        .journal
+        .time("bench.tab01_doomed_errors", run_harness);
+    session.finish();
 }
 
 fn run_harness() {

@@ -14,7 +14,10 @@
 
 pub mod experiments;
 
-use ideaflow_trace::Journal;
+use std::time::Duration;
+
+use ideaflow_metrics::http::TelemetryServer;
+use ideaflow_trace::{Journal, TelemetryRegistry};
 
 /// Parses the common `--journal <path>` (or `--journal=<path>`) flag every
 /// `fig*`/`tab*` binary accepts and opens a file-backed run journal there;
@@ -50,6 +53,120 @@ pub fn journal_from_arg_list(run_id: &str, args: impl IntoIterator<Item = String
         }
     }
     Journal::disabled()
+}
+
+/// A bench binary's observability session: the run journal plus an
+/// optional live `/metrics` endpoint.
+///
+/// Built by [`session_from_args`]; the binary runs its workload through
+/// [`BenchSession::journal`] and calls [`BenchSession::finish`] last.
+pub struct BenchSession {
+    /// The run journal (file-backed, telemetry-only, or disabled,
+    /// depending on the flags given).
+    pub journal: Journal,
+    server: Option<TelemetryServer>,
+    hold: Duration,
+}
+
+impl BenchSession {
+    /// Finishes the journal, then — when a telemetry endpoint is up —
+    /// keeps it scrapeable for the `--telemetry-hold-ms` window before
+    /// shutting it down. Call this right before the binary exits.
+    pub fn finish(mut self) {
+        self.journal.finish();
+        if let Some(server) = self.server.as_mut() {
+            if !self.hold.is_zero() {
+                std::thread::sleep(self.hold);
+            }
+            server.shutdown();
+        }
+    }
+}
+
+/// Parses the observability flags every `fig*`/`tab*` binary accepts:
+///
+/// - `--journal <path>`: file-backed JSONL journal (as
+///   [`journal_from_args`]);
+/// - `--telemetry-port <port>`: serve live Prometheus metrics on
+///   `127.0.0.1:<port>` (`0` picks a free port; the chosen endpoint is
+///   printed to stderr). Works with or without `--journal` — without
+///   it, a telemetry-only journal drives the registry;
+/// - `--telemetry-hold-ms <ms>`: keep the endpoint up that long after
+///   the workload finishes, so short benches stay scrapeable.
+///
+/// # Panics
+///
+/// Panics on a missing/unparsable flag value or an unbindable port.
+#[must_use]
+pub fn session_from_args(run_id: &str) -> BenchSession {
+    session_from_arg_list(run_id, std::env::args().skip(1))
+}
+
+/// [`session_from_args`] over an explicit argument list (testable core).
+///
+/// # Panics
+///
+/// Same contract as [`session_from_args`].
+pub fn session_from_arg_list(run_id: &str, args: impl IntoIterator<Item = String>) -> BenchSession {
+    let args: Vec<String> = args.into_iter().collect();
+    let mut port: Option<u16> = None;
+    let mut hold_ms: u64 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let flag_value = |inline: Option<&str>, next: Option<&String>, flag: &str| -> String {
+            match inline {
+                Some(v) => v.to_owned(),
+                None => next
+                    .unwrap_or_else(|| panic!("{flag} requires a value"))
+                    .clone(),
+            }
+        };
+        if a == "--telemetry-port" || a.starts_with("--telemetry-port=") {
+            let v = flag_value(
+                a.strip_prefix("--telemetry-port="),
+                it.next(),
+                "--telemetry-port",
+            );
+            port = Some(
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--telemetry-port: invalid port {v:?}")),
+            );
+        } else if a == "--telemetry-hold-ms" || a.starts_with("--telemetry-hold-ms=") {
+            let v = flag_value(
+                a.strip_prefix("--telemetry-hold-ms="),
+                it.next(),
+                "--telemetry-hold-ms",
+            );
+            hold_ms = v
+                .parse()
+                .unwrap_or_else(|_| panic!("--telemetry-hold-ms: invalid value {v:?}"));
+        }
+    }
+    let journal = journal_from_arg_list(run_id, args);
+    let (journal, server) = match port {
+        None => (journal, None),
+        Some(p) => {
+            let registry = TelemetryRegistry::new();
+            let journal = if journal.is_enabled() {
+                journal
+            } else {
+                Journal::telemetry_only(run_id)
+            }
+            .with_telemetry(registry.clone());
+            let server = TelemetryServer::serve(p, registry)
+                .unwrap_or_else(|e| panic!("cannot bind telemetry port {p}: {e}"));
+            eprintln!(
+                "telemetry: http://127.0.0.1:{}/metrics (healthz: /healthz)",
+                server.port()
+            );
+            (journal, Some(server))
+        }
+    };
+    BenchSession {
+        journal,
+        server,
+        hold: Duration::from_millis(hold_ms),
+    }
 }
 
 /// Renders a simple aligned text table (header + rows of equal length).
@@ -150,5 +267,60 @@ mod tests {
     #[should_panic(expected = "--journal requires a <path> argument")]
     fn journal_flag_requires_a_path() {
         let _ = journal_from_arg_list("t", vec!["--journal".to_owned()]);
+    }
+
+    #[test]
+    fn session_without_flags_is_inert() {
+        let s = session_from_arg_list("t", Vec::<String>::new());
+        assert!(!s.journal.is_enabled());
+        assert!(s.server.is_none());
+        s.finish();
+    }
+
+    #[test]
+    fn session_with_telemetry_port_serves_live_metrics() {
+        use std::io::{Read, Write};
+        let s = session_from_arg_list("t", vec!["--telemetry-port".to_owned(), "0".to_owned()]);
+        // No --journal: a telemetry-only journal still drives the
+        // registry.
+        assert!(s.journal.is_enabled());
+        assert!(s.journal.drain_lines().is_empty());
+        s.journal.count("bench.iterations", 3);
+        s.journal.observe("bench.cost", 1.5);
+        let port = s.server.as_ref().unwrap().port();
+        let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(stream, "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.contains("ideaflow_bench_iterations_total 3"), "{body}");
+        assert!(body.contains("ideaflow_bench_cost_count 1"), "{body}");
+        s.finish();
+    }
+
+    #[test]
+    fn session_combines_journal_and_telemetry() {
+        let dir = std::env::temp_dir().join("ideaflow_bench_session_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("combined.jsonl");
+        let s = session_from_arg_list(
+            "t",
+            vec![
+                format!("--journal={}", p.display()),
+                "--telemetry-port=0".to_owned(),
+                "--telemetry-hold-ms=0".to_owned(),
+            ],
+        );
+        assert!(s.journal.is_enabled());
+        assert!(s.server.is_some());
+        s.journal.emit("x", &[("v", 1.0.into())]);
+        s.finish();
+        assert!(Journal::load(&p).unwrap().len() >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "--telemetry-port: invalid port")]
+    fn session_rejects_bad_port() {
+        let _ = session_from_arg_list("t", vec!["--telemetry-port=notaport".to_owned()]);
     }
 }

@@ -212,9 +212,16 @@ pub fn compare_orchestration_journaled(
     seed: u64,
     journal: &Journal,
 ) -> Result<OrchestrationComparison, CoreError> {
+    let span = journal.span("orchestrate.compare");
     let scape = TrajectoryLandscape::new(flow, target_ghz, TrajectoryObjective::default())?;
-    let g: GwtwOutcome<Trajectory> = gwtw_journaled(&scape, cfg, seed, journal);
-    let ind = independent_baseline(&scape, cfg, seed ^ 0xBEEF);
+    let g: GwtwOutcome<Trajectory> = {
+        let _gwtw_span = journal.span("orchestrate.gwtw");
+        gwtw_journaled(&scape, cfg, seed, journal)
+    };
+    let ind = {
+        let _baseline_span = journal.span("orchestrate.baseline");
+        independent_baseline(&scape, cfg, seed ^ 0xBEEF)
+    };
     let cmp = OrchestrationComparison {
         gwtw_best_cost: g.best.best_cost,
         independent_best_cost: ind.best_cost,
@@ -233,6 +240,7 @@ pub fn compare_orchestration_journaled(
         );
         journal.count("orchestrate.comparisons", 1);
     }
+    drop(span);
     Ok(cmp)
 }
 

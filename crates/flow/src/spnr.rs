@@ -310,7 +310,9 @@ impl SpnrFlow {
             options.fingerprint()
         );
         let t_total = Instant::now();
+        let span_run = self.journal.span("flow.run_physical");
         let t0 = Instant::now();
+        let span = self.journal.span("flow.floorplan");
         let fp = Floorplan::for_netlist(&self.netlist, options.utilization, options.aspect_ratio)
             .expect("validated options fit");
         if self.journal.is_enabled() {
@@ -324,7 +326,9 @@ impl SpnrFlow {
                 ],
             );
         }
+        drop(span);
         let t0 = Instant::now();
+        let span = self.journal.span("flow.place");
         let start = partition_seeded_placement(&self.netlist, &fp, run_seed)
             .expect("floorplan sized for netlist");
         let moves = match options.place_effort {
@@ -356,8 +360,10 @@ impl SpnrFlow {
             );
             self.journal.observe("flow.place.hpwl_um", hpwl);
         }
+        drop(span);
         // Clock-tree synthesis: skew tightens the effective setup budget.
         let t0 = Instant::now();
+        let span = self.journal.span("flow.cts");
         let cts = synthesize(
             &self.netlist,
             &fp,
@@ -380,7 +386,9 @@ impl SpnrFlow {
                 ],
             );
         }
+        drop(span);
         let t0 = Instant::now();
+        let span = self.journal.span("flow.route");
         let route = GlobalRoute::run(
             &self.netlist,
             &fp,
@@ -402,8 +410,10 @@ impl SpnrFlow {
                 ],
             );
         }
+        drop(span);
         // Timing with placement-derived net lengths.
         let t0 = Instant::now();
+        let span = self.journal.span("flow.signoff");
         let lengths: Vec<f64> = (0..self.netlist.net_count())
             .map(|n| net_hpwl(&self.netlist, &fp, &placed.placement, n).max(0.5))
             .collect();
@@ -429,8 +439,10 @@ impl SpnrFlow {
             );
             self.journal.observe("flow.signoff.wns_ps", signoff.wns_ps);
         }
+        drop(span);
         // Detailed routing.
         let t0 = Instant::now();
+        let span = self.journal.span("flow.detail_route");
         let mut rng = StdRng::seed_from_u64(run_seed.wrapping_add(3));
         let behavior = behavior_from_congestion(route.hot_fraction(1.0), &mut rng);
         let initial_drvs =
@@ -454,6 +466,7 @@ impl SpnrFlow {
                 ],
             );
         }
+        drop(span);
         let qor = QorSample {
             target_ghz: options.target_ghz,
             area_um2: self.netlist.total_area_um2(),
@@ -477,6 +490,7 @@ impl SpnrFlow {
             self.journal
                 .observe("flow.run_physical.secs", t_total.elapsed().as_secs_f64());
         }
+        drop(span_run);
         PhysicalOutcome {
             qor,
             hpwl_um: hpwl,
@@ -616,6 +630,32 @@ mod tests {
         let place = &reader.events_for_step("flow.place")[0];
         assert!(place.payload.get("hpwl_um").is_some());
         assert!(place.payload.get("secs").is_some());
+    }
+
+    #[test]
+    fn physical_run_emits_nested_spans() {
+        let f = SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 200).unwrap(), 7)
+            .with_journal(ideaflow_trace::Journal::in_memory("spans"));
+        let o = SpnrOptions::with_target_ghz(f.fmax_ref_ghz() * 0.7).unwrap();
+        let _ = f.run_physical(&o, 0);
+        let lines = f.journal().drain_lines();
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines.join("\n")).unwrap();
+        // Root span + one child per stage, all closed.
+        let opens = reader.events_for_step("span.open");
+        assert_eq!(opens.len(), 7);
+        assert_eq!(reader.events_for_step("span.close").len(), 7);
+        // The root is flow.run_physical; every stage span is its child.
+        let root = opens
+            .iter()
+            .find(|e| e.payload.get("name").and_then(|v| v.as_str()) == Some("flow.run_physical"))
+            .unwrap();
+        let root_id = root.payload.get("id").cloned().unwrap();
+        for e in &opens {
+            if e.payload.get("name") == root.payload.get("name") {
+                continue;
+            }
+            assert_eq!(e.payload.get("parent"), Some(&root_id), "{:?}", e.payload);
+        }
     }
 
     #[test]

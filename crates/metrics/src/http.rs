@@ -1,0 +1,176 @@
+//! A minimal std-only HTTP endpoint for live telemetry: `/metrics`
+//! (Prometheus text exposition from a [`TelemetryRegistry`]) and
+//! `/healthz`.
+//!
+//! This is the scrape side of the paper's §3.3 METRICS loop: a tool run
+//! attaches a registry to its journal, a [`TelemetryServer`] exposes the
+//! registry over HTTP, and a collector (or a human with `curl`) watches
+//! the run *while it executes*. One background thread, a nonblocking
+//! accept loop, no HTTP library — requests beyond `GET <path>` get the
+//! minimal correct error responses.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use ideaflow_trace::TelemetryRegistry;
+
+/// A running telemetry endpoint. Dropping (or calling
+/// [`TelemetryServer::shutdown`]) stops the listener thread.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    port: u16,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `127.0.0.1:port` (`port` 0 picks a free port) and serves
+    /// `registry` until shutdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the port cannot be bound.
+    pub fn serve(port: u16, registry: TelemetryRegistry) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        listener.set_nonblocking(true)?;
+        let port = listener.local_addr()?.port();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                match listener.accept() {
+                    Ok((stream, _)) => handle_connection(stream, &registry),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Self {
+            port,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound port (useful after binding port 0).
+    #[must_use]
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// Stops the listener thread and waits for it to exit. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, registry: &TelemetryRegistry) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    // Read until the request line is complete; headers are irrelevant.
+    let mut buf = [0u8; 1024];
+    let mut req = Vec::new();
+    loop {
+        match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => {
+                req.extend_from_slice(&buf[..n]);
+                if req.windows(2).any(|w| w == b"\r\n") || req.contains(&b'\n') {
+                    break;
+                }
+                if req.len() > 8192 {
+                    break;
+                }
+            }
+            Err(_) => break,
+        }
+    }
+    let line = String::from_utf8_lossy(&req);
+    let mut parts = line.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    let (status, content_type, body) = if method != "GET" {
+        (
+            "405 Method Not Allowed",
+            "text/plain",
+            "method not allowed\n".to_owned(),
+        )
+    } else {
+        match path {
+            "/metrics" => (
+                "200 OK",
+                "text/plain; version=0.0.4",
+                registry.render_prometheus(),
+            ),
+            "/healthz" => ("200 OK", "text/plain", "ok\n".to_owned()),
+            _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+        }
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(port: u16, path: &str) -> String {
+        let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: localhost\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let registry = TelemetryRegistry::new();
+        registry.inc_counter("requests", 3);
+        registry.observe("latency.secs", 0.25);
+        let mut server = TelemetryServer::serve(0, registry.clone()).unwrap();
+        let port = server.port();
+
+        let health = get(port, "/healthz");
+        assert!(health.starts_with("HTTP/1.1 200 OK"), "{health}");
+        assert!(health.ends_with("ok\n"), "{health}");
+
+        let metrics = get(port, "/metrics");
+        assert!(metrics.contains("ideaflow_requests_total 3"), "{metrics}");
+        assert!(
+            metrics.contains("ideaflow_latency_secs_count 1"),
+            "{metrics}"
+        );
+        let body_at = metrics.find("\r\n\r\n").unwrap() + 4;
+        assert!(
+            ideaflow_trace::telemetry::exposition_is_valid(&metrics[body_at..]),
+            "{metrics}"
+        );
+
+        // Live: a scrape after more activity sees the new values.
+        registry.inc_counter("requests", 1);
+        assert!(get(port, "/metrics").contains("ideaflow_requests_total 4"));
+
+        let missing = get(port, "/404");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+}

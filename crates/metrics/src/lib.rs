@@ -21,6 +21,7 @@
 //! the flow "without human intervention" — is [`feedback`].
 
 pub mod feedback;
+pub mod http;
 pub mod miner;
 pub mod server;
 pub mod vocabulary;

@@ -168,9 +168,15 @@ impl MetricsServer {
     /// of this METRICS reimplementation: lesson (4)(i) of the paper's
     /// retrospective — "today's commodity ... database technologies" make
     /// the server trivial to persist).
-    #[must_use]
-    pub fn export_json(&self) -> String {
-        serde_json::to_string_pretty(&*self.store.lock()).expect("records are serializable")
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MetricsError::ParseXml`] (reused serialization-error
+    /// variant) if a record fails to serialize.
+    pub fn export_json(&self) -> Result<String, MetricsError> {
+        serde_json::to_string_pretty(&*self.store.lock()).map_err(|e| MetricsError::ParseXml {
+            detail: format!("json: {e}"),
+        })
     }
 
     /// Imports records from the JSON produced by
@@ -368,7 +374,7 @@ mod tests {
         tx.send(rec("r1", FlowStep::Place, &[("hpwl_um", 100.0)]));
         tx.send(rec("r2", FlowStep::Signoff, &[("wns_ps", -5.0)]));
         server.ingest();
-        let json = server.export_json();
+        let json = server.export_json().unwrap();
         let (restored, _tx2) = MetricsServer::new();
         assert_eq!(restored.import_json(&json).unwrap(), 2);
         assert_eq!(restored.len(), 2);

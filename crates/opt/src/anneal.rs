@@ -69,6 +69,7 @@ pub fn simulated_annealing_journaled<L: Landscape>(
         cfg.t_final > 0.0 && cfg.t_final <= cfg.t_initial,
         "invalid annealing schedule"
     );
+    let _span = journal.span("anneal.run");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = start;
     let mut current_cost = landscape.cost(&current);

@@ -100,6 +100,7 @@ pub fn gwtw_journaled<L: Landscape>(
         cfg.survivor_fraction > 0.0 && cfg.survivor_fraction <= 1.0,
         "survivor_fraction must be in (0, 1]"
     );
+    let _span = journal.span("gwtw.run");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut population: Vec<(L::State, f64)> = (0..cfg.population)
         .map(|_| {
@@ -118,6 +119,7 @@ pub fn gwtw_journaled<L: Landscape>(
     let mut best_cost = population[0].1;
 
     for round in 0..cfg.rounds {
+        let _round_span = journal.span("gwtw.round");
         // Geometric ladder hitting t_final exactly at the last round.
         let frac = if cfg.rounds > 1 {
             round as f64 / (cfg.rounds - 1) as f64

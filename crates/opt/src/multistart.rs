@@ -75,6 +75,9 @@ pub fn random_multistart_journaled<L: Landscape>(
     seed: u64,
     journal: &Journal,
 ) -> MultistartOutcome<L::State> {
+    // One run-level span: starts run on worker threads, so per-start
+    // spans would root independently instead of nesting under the run.
+    let _span = journal.span("multistart.run");
     let outcomes: Vec<SearchOutcome<L::State>> = (0..cfg.starts)
         .into_par_iter()
         .map(|i| {
@@ -106,6 +109,7 @@ pub fn adaptive_multistart_journaled<L: Landscape>(
     seed: u64,
     journal: &Journal,
 ) -> MultistartOutcome<L::State> {
+    let _span = journal.span("multistart.run");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pool: Vec<(L::State, f64)> = Vec::new();
     let mut outcomes = Vec::with_capacity(cfg.starts);

@@ -1,0 +1,359 @@
+//! Journal analysis: the text renderings behind the `ifjournal` CLI.
+//!
+//! Four views over a loaded [`JournalReader`]:
+//!
+//! - [`summary_text`]: per-step event counts and numeric-field stats;
+//! - [`tail_text`]: the last N events, optionally filtered to a step;
+//! - [`diff_text`]: per-step/field mean deltas between two journals —
+//!   the run-to-run comparison the paper's §3.3 METRICS loop needs to
+//!   spot regressions across tool runs;
+//! - [`flame_folded`]: span events folded into `a;b;c <self-µs>`
+//!   stacks, the input format of standard flamegraph tooling.
+
+use crate::reader::JournalReader;
+use crate::RunEvent;
+use serde::Value;
+
+/// Renders the per-step summary as an aligned text table.
+#[must_use]
+pub fn summary_text(reader: &JournalReader) -> String {
+    let mut out = String::new();
+    let runs = reader.run_ids().len();
+    out.push_str(&format!(
+        "{} events, {} run{}\n\n",
+        reader.len(),
+        runs,
+        if runs == 1 { "" } else { "s" }
+    ));
+    out.push_str(&format!(
+        "{:<24} {:>6}  {}\n",
+        "step", "count", "fields (mean / p95)"
+    ));
+    for s in reader.summary() {
+        let fields: Vec<String> = s
+            .fields
+            .iter()
+            .map(|(name, st)| {
+                let flag = if st.negatives > 0 { "!" } else { "" };
+                format!("{name}={} /{}{flag}", short(st.mean), short(st.p95))
+            })
+            .collect();
+        out.push_str(&format!(
+            "{:<24} {:>6}  {}\n",
+            s.step,
+            s.count,
+            fields.join("  ")
+        ));
+    }
+    out
+}
+
+/// Renders the last `n` events (all runs interleaved, file order),
+/// optionally only those of one step.
+#[must_use]
+pub fn tail_text(reader: &JournalReader, step: Option<&str>, n: usize) -> String {
+    let events: Vec<&RunEvent> = match step {
+        Some(s) => reader.events_for_step(s),
+        None => reader.events.iter().collect(),
+    };
+    let start = events.len().saturating_sub(n);
+    let mut out = String::new();
+    for e in &events[start..] {
+        let payload = render_payload(&e.payload);
+        out.push_str(&format!("{:>6}  {:<24} {payload}\n", e.seq, e.step));
+    }
+    out
+}
+
+/// Per-step, per-field comparison of two journals: count deltas and
+/// mean deltas (with percentage where defined). Steps present in only
+/// one journal are flagged. Sorted by step for stable output.
+#[must_use]
+pub fn diff_text(a: &JournalReader, b: &JournalReader) -> String {
+    let sa = a.summary();
+    let sb = b.summary();
+    let mut steps: Vec<&str> = sa
+        .iter()
+        .map(|s| s.step.as_str())
+        .chain(sb.iter().map(|s| s.step.as_str()))
+        .collect();
+    steps.sort_unstable();
+    steps.dedup();
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>9} {:>9}  {}\n",
+        "step", "count a", "count b", "field mean a -> b (delta)"
+    ));
+    for step in steps {
+        let fa = sa.iter().find(|s| s.step == step);
+        let fb = sb.iter().find(|s| s.step == step);
+        match (fa, fb) {
+            (Some(x), None) => {
+                out.push_str(&format!(
+                    "{:<24} {:>9} {:>9}  only in a\n",
+                    step, x.count, "-"
+                ));
+            }
+            (None, Some(y)) => {
+                out.push_str(&format!(
+                    "{:<24} {:>9} {:>9}  only in b\n",
+                    step, "-", y.count
+                ));
+            }
+            (Some(x), Some(y)) => {
+                let mut cells: Vec<String> = Vec::new();
+                for (name, stx) in &x.fields {
+                    let Some((_, sty)) = y.fields.iter().find(|(n, _)| n == name) else {
+                        continue;
+                    };
+                    if stx.mean.is_nan() || sty.mean.is_nan() {
+                        continue;
+                    }
+                    let delta = sty.mean - stx.mean;
+                    let pct = if stx.mean != 0.0 {
+                        format!(" {:+.1}%", 100.0 * delta / stx.mean.abs())
+                    } else {
+                        String::new()
+                    };
+                    cells.push(format!(
+                        "{name}={} -> {} ({}{pct})",
+                        short(stx.mean),
+                        short(sty.mean),
+                        short_signed(delta)
+                    ));
+                }
+                out.push_str(&format!(
+                    "{:<24} {:>9} {:>9}  {}\n",
+                    step,
+                    x.count,
+                    y.count,
+                    cells.join("  ")
+                ));
+            }
+            (None, None) => unreachable!("step came from one of the summaries"),
+        }
+    }
+    out
+}
+
+/// A node of the reconstructed span tree.
+struct SpanNode {
+    id: i64,
+    parent: i64,
+    name: String,
+    secs: f64,
+}
+
+/// Folds `span.close` events into flamegraph folded-stack lines:
+/// `root;child;leaf <self-time-µs>`, one line per distinct stack, with
+/// self time = span time minus the time of its direct children
+/// (clamped at zero). Lines are merged and sorted so output is
+/// deterministic. Empty when the journal has no span events.
+#[must_use]
+pub fn flame_folded(reader: &JournalReader) -> String {
+    let mut nodes: Vec<SpanNode> = Vec::new();
+    for e in reader.events_for_step("span.close") {
+        let get_int = |k: &str| match e.payload.get(k) {
+            Some(Value::Int(i)) => Some(*i),
+            _ => None,
+        };
+        let (Some(id), Some(parent)) = (get_int("id"), get_int("parent")) else {
+            continue;
+        };
+        let Some(Value::Str(name)) = e.payload.get("name") else {
+            continue;
+        };
+        let secs = match e.payload.get("secs") {
+            Some(Value::Float(f)) => *f,
+            Some(Value::Int(i)) => *i as f64,
+            _ => 0.0,
+        };
+        nodes.push(SpanNode {
+            id,
+            parent,
+            name: name.clone(),
+            secs,
+        });
+    }
+
+    let mut stacks: Vec<(String, u64)> = Vec::new();
+    for n in &nodes {
+        let child_secs: f64 = nodes
+            .iter()
+            .filter(|c| c.parent == n.id)
+            .map(|c| c.secs)
+            .sum();
+        let self_us = ((n.secs - child_secs).max(0.0) * 1e6).round() as u64;
+        // Build the stack path by walking parents; a missing parent
+        // (still-open span at journal end) truncates the path there.
+        let mut path = vec![n.name.as_str()];
+        let mut cursor = n.parent;
+        while cursor >= 0 {
+            match nodes.iter().find(|p| p.id == cursor) {
+                Some(p) => {
+                    path.push(p.name.as_str());
+                    cursor = p.parent;
+                }
+                None => break,
+            }
+        }
+        path.reverse();
+        let line = path.join(";");
+        match stacks.iter_mut().find(|(l, _)| *l == line) {
+            Some((_, v)) => *v += self_us,
+            None => stacks.push((line, self_us)),
+        }
+    }
+    stacks.sort();
+    let mut out = String::new();
+    for (line, us) in stacks {
+        out.push_str(&format!("{line} {us}\n"));
+    }
+    out
+}
+
+fn render_payload(v: &Value) -> String {
+    match v.as_object() {
+        Some(obj) => {
+            let cells: Vec<String> = obj
+                .iter()
+                .map(|(k, val)| format!("{k}={}", render_value(val)))
+                .collect();
+            cells.join(" ")
+        }
+        None => render_value(v),
+    }
+}
+
+fn render_value(v: &Value) -> String {
+    match v {
+        Value::Null => "null".to_owned(),
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => short(*f),
+        Value::Str(s) => s.clone(),
+        Value::Array(xs) => format!("[{} items]", xs.len()),
+        Value::Object(fs) => format!("{{{} fields}}", fs.len()),
+    }
+}
+
+/// Compact numeric rendering for tables: four significant-ish digits.
+fn short(x: f64) -> String {
+    if x.is_nan() {
+        return "nan".to_owned();
+    }
+    if x == 0.0 {
+        return "0".to_owned();
+    }
+    let a = x.abs();
+    if !(1e-3..1e6).contains(&a) {
+        format!("{x:.3e}")
+    } else if a >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+fn short_signed(x: f64) -> String {
+    if x > 0.0 {
+        format!("+{}", short(x))
+    } else {
+        short(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Journal;
+
+    fn reader(j: &Journal) -> JournalReader {
+        JournalReader::from_jsonl(&j.drain_lines().join("\n")).unwrap()
+    }
+
+    #[test]
+    fn summary_text_lists_every_step() {
+        let j = Journal::in_memory("s");
+        j.emit("flow.place", &[("hpwl_um", 10.0.into())]);
+        j.emit("flow.place", &[("hpwl_um", 20.0.into())]);
+        j.emit("flow.route", &[("drv", 3u64.into())]);
+        let text = summary_text(&reader(&j));
+        assert!(text.contains("flow.place"), "{text}");
+        assert!(text.contains("flow.route"), "{text}");
+        assert!(text.contains("hpwl_um=15"), "{text}");
+    }
+
+    #[test]
+    fn summary_text_flags_sign_lossy_quantiles() {
+        let j = Journal::in_memory("neg");
+        j.emit("opt.delta", &[("gain", (-2.0).into())]);
+        j.emit("opt.delta", &[("gain", 5.0.into())]);
+        let text = summary_text(&reader(&j));
+        assert!(text.contains('!'), "negatives flag missing: {text}");
+    }
+
+    #[test]
+    fn tail_text_filters_and_limits() {
+        let j = Journal::in_memory("t");
+        for i in 0..10 {
+            j.emit("a", &[("i", (i as u64).into())]);
+            j.emit("b", &[("i", (i as u64).into())]);
+        }
+        let r = reader(&j);
+        let all = tail_text(&r, None, 5);
+        assert_eq!(all.lines().count(), 5);
+        let only_a = tail_text(&r, Some("a"), 3);
+        assert_eq!(only_a.lines().count(), 3);
+        assert!(only_a.lines().all(|l| l.contains(" a ")), "{only_a}");
+        assert!(only_a.contains("i=9"), "{only_a}");
+    }
+
+    #[test]
+    fn diff_text_reports_mean_deltas_and_missing_steps() {
+        let a = Journal::in_memory("a");
+        a.emit("flow.place", &[("hpwl_um", 100.0.into())]);
+        a.emit("a.only", &[]);
+        let b = Journal::in_memory("b");
+        b.emit("flow.place", &[("hpwl_um", 110.0.into())]);
+        b.emit("b.only", &[]);
+        let text = diff_text(&reader(&a), &reader(&b));
+        assert!(text.contains("hpwl_um=100.0 -> 110.0"), "{text}");
+        assert!(text.contains("+10.0%"), "{text}");
+        assert!(text.contains("only in a"), "{text}");
+        assert!(text.contains("only in b"), "{text}");
+    }
+
+    #[test]
+    fn flame_folded_builds_stacks_with_self_time() {
+        let j = Journal::in_memory("f");
+        {
+            let _root = j.span("flow");
+            {
+                let _c1 = j.span("place");
+            }
+            {
+                let _c2 = j.span("route");
+            }
+        }
+        let text = flame_folded(&reader(&j));
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(lines.iter().any(|l| l.starts_with("flow ")), "{text}");
+        assert!(lines.iter().any(|l| l.starts_with("flow;place ")), "{text}");
+        assert!(lines.iter().any(|l| l.starts_with("flow;route ")), "{text}");
+        // Every line ends in an integer microsecond count.
+        for l in lines {
+            let (_, us) = l.rsplit_once(' ').unwrap();
+            us.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn flame_folded_is_empty_without_spans() {
+        let j = Journal::in_memory("nospans");
+        j.emit("flow.place", &[]);
+        assert!(flame_folded(&reader(&j)).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! `ifjournal`: offline analysis of ideaflow run journals (JSONL).
+//!
+//! ```text
+//! ifjournal summary <run.jsonl>            per-step counts + field stats
+//! ifjournal tail [--step S] [-n N] <run.jsonl>
+//!                                          last N events (default 10)
+//! ifjournal diff <a.jsonl> <b.jsonl>       per-step field-mean deltas
+//! ifjournal flame <run.jsonl>              folded stacks from span events
+//! ```
+//!
+//! Exit codes: 0 ok, 1 I/O or parse failure, 2 usage error.
+
+use ideaflow_trace::analyze;
+use ideaflow_trace::{Journal, JournalReader};
+
+const USAGE: &str = "usage: ifjournal <summary|tail|diff|flame> ...
+  ifjournal summary <run.jsonl>
+  ifjournal tail [--step <step>] [-n <count>] <run.jsonl>
+  ifjournal diff <a.jsonl> <b.jsonl>
+  ifjournal flame <run.jsonl>";
+
+fn main() {
+    std::process::exit(run(std::env::args().skip(1).collect()));
+}
+
+fn run(args: Vec<String>) -> i32 {
+    let Some(cmd) = args.first() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    match cmd.as_str() {
+        "summary" => one_file(&args[1..], analyze::summary_text),
+        "flame" => one_file(&args[1..], analyze::flame_folded),
+        "tail" => tail(&args[1..]),
+        "diff" => diff(&args[1..]),
+        _ => {
+            eprintln!("ifjournal: unknown subcommand {cmd:?}\n{USAGE}");
+            2
+        }
+    }
+}
+
+fn load(path: &str) -> Result<JournalReader, i32> {
+    Journal::load(path).map_err(|e| {
+        eprintln!("ifjournal: {path}: {e}");
+        1
+    })
+}
+
+fn one_file(args: &[String], render: impl Fn(&JournalReader) -> String) -> i32 {
+    let [path] = args else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    match load(path) {
+        Ok(r) => {
+            print!("{}", render(&r));
+            0
+        }
+        Err(code) => code,
+    }
+}
+
+fn tail(args: &[String]) -> i32 {
+    let mut step: Option<String> = None;
+    let mut n: usize = 10;
+    let mut path: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--step" => match it.next() {
+                Some(s) => step = Some(s.clone()),
+                None => {
+                    eprintln!("ifjournal: --step needs a value\n{USAGE}");
+                    return 2;
+                }
+            },
+            "-n" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => n = v,
+                None => {
+                    eprintln!("ifjournal: -n needs an integer\n{USAGE}");
+                    return 2;
+                }
+            },
+            _ if path.is_none() && !a.starts_with('-') => path = Some(a),
+            _ => {
+                eprintln!("ifjournal: unexpected argument {a:?}\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    match load(path) {
+        Ok(r) => {
+            print!("{}", analyze::tail_text(&r, step.as_deref(), n));
+            0
+        }
+        Err(code) => code,
+    }
+}
+
+fn diff(args: &[String]) -> i32 {
+    let [a, b] = args else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    match (load(a), load(b)) {
+        (Ok(ra), Ok(rb)) => {
+            print!("{}", analyze::diff_text(&ra, &rb));
+            0
+        }
+        (Err(code), _) | (_, Err(code)) => code,
+    }
+}

@@ -29,16 +29,22 @@
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize, Value};
 
+pub mod analyze;
 pub mod reader;
+pub mod span;
 pub mod stats;
+pub mod telemetry;
 
 pub use reader::{JournalReader, StepSummary};
+pub use span::Span;
 pub use stats::{FieldStats, Histogram};
+pub use telemetry::TelemetryRegistry;
 
 /// One journaled event: a step of a named run, with a monotone sequence
 /// number and a free-form JSON payload.
@@ -59,6 +65,10 @@ pub struct RunEvent {
 enum Sink {
     File(BufWriter<File>),
     Memory(Vec<String>),
+    /// Discards event lines (seq still advances). Used by
+    /// [`Journal::telemetry_only`] so live aggregation can run without
+    /// paying for serialization or I/O.
+    Null,
 }
 
 struct State {
@@ -67,11 +77,15 @@ struct State {
     counters: Vec<(String, u64)>,
     histograms: Vec<(String, Histogram)>,
     summarized: bool,
+    telemetry: Option<TelemetryRegistry>,
 }
 
 struct Inner {
     run_id: String,
     state: Mutex<State>,
+    /// Next span id; spans are numbered in open order per journal, which
+    /// keeps fixed-seed runs byte-identical modulo wall-clock fields.
+    next_span: AtomicU64,
 }
 
 /// A cheap-to-clone journaling handle. Disabled by default; all emit
@@ -114,6 +128,14 @@ impl Journal {
         Self::with_sink(run_id, Sink::Memory(Vec::new()))
     }
 
+    /// A journal that discards event lines but still drives counters,
+    /// histograms, spans, and any attached [`TelemetryRegistry`] — live
+    /// telemetry with no file.
+    #[must_use]
+    pub fn telemetry_only(run_id: &str) -> Self {
+        Self::with_sink(run_id, Sink::Null)
+    }
+
     fn with_sink(run_id: &str, sink: Sink) -> Self {
         Self {
             inner: Some(Arc::new(Inner {
@@ -124,9 +146,30 @@ impl Journal {
                     counters: Vec::new(),
                     histograms: Vec::new(),
                     summarized: false,
+                    telemetry: None,
                 }),
+                next_span: AtomicU64::new(0),
             })),
         }
+    }
+
+    /// Attaches a live telemetry registry: every subsequent `count`,
+    /// `observe`, and emitted event is mirrored into it as it happens.
+    /// Returns `self` for builder-style chaining; no-op when disabled.
+    #[must_use]
+    pub fn with_telemetry(self, registry: TelemetryRegistry) -> Self {
+        if let Some(inner) = self.inner.as_deref() {
+            inner.state.lock().telemetry = Some(registry);
+        }
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    #[must_use]
+    pub fn telemetry(&self) -> Option<TelemetryRegistry> {
+        self.inner
+            .as_deref()
+            .and_then(|i| i.state.lock().telemetry.clone())
     }
 
     /// Whether events are actually recorded.
@@ -147,28 +190,36 @@ impl Journal {
         let Some(inner) = self.inner.as_deref() else {
             return;
         };
+        let mut state = inner.state.lock();
+        // seq is assigned and written under one lock so any reader of
+        // the sink observes a strictly increasing sequence.
+        let seq = state.seq;
+        state.seq += 1;
+        if let Some(t) = &state.telemetry {
+            t.inc_counter("journal.events", 1);
+        }
+        if matches!(state.sink, Sink::Null) {
+            return; // telemetry-only: seq advanced, line discarded unserialized
+        }
         let payload = Value::Object(
             fields
                 .iter()
                 .map(|(k, v)| ((*k).to_owned(), v.clone()))
                 .collect(),
         );
-        let mut state = inner.state.lock();
-        // seq is assigned and written under one lock so any reader of
-        // the sink observes a strictly increasing sequence.
         let event = RunEvent {
             run_id: inner.run_id.clone(),
             step: step.to_owned(),
-            seq: state.seq,
+            seq,
             payload,
         };
-        state.seq += 1;
         let line = serde_json::to_string(&event).expect("events are serializable");
         match &mut state.sink {
             Sink::File(w) => {
                 let _ = writeln!(w, "{line}");
             }
             Sink::Memory(lines) => lines.push(line),
+            Sink::Null => unreachable!("handled above"),
         }
     }
 
@@ -178,6 +229,9 @@ impl Journal {
             return;
         };
         let mut state = inner.state.lock();
+        if let Some(t) = &state.telemetry {
+            t.inc_counter(name, delta);
+        }
         match state.counters.iter_mut().find(|(n, _)| n == name) {
             Some((_, v)) => *v += delta,
             None => state.counters.push((name.to_owned(), delta)),
@@ -190,6 +244,9 @@ impl Journal {
             return;
         };
         let mut state = inner.state.lock();
+        if let Some(t) = &state.telemetry {
+            t.observe(name, sample);
+        }
         match state.histograms.iter_mut().find(|(n, _)| n == name) {
             Some((_, h)) => h.record(sample),
             None => {
@@ -229,7 +286,7 @@ impl Journal {
                     Sink::File(w) => {
                         let _ = w.flush();
                     }
-                    Sink::Memory(_) => {}
+                    Sink::Memory(_) | Sink::Null => {}
                 }
                 return;
             }
@@ -271,7 +328,7 @@ impl Journal {
         let mut state = inner.state.lock();
         match &mut state.sink {
             Sink::Memory(lines) => std::mem::take(lines),
-            Sink::File(_) => Vec::new(),
+            Sink::File(_) | Sink::Null => Vec::new(),
         }
     }
 

@@ -125,6 +125,40 @@ impl JournalReader {
             .collect()
     }
 
+    /// Statistics of `value_field` over the events of `step`, grouped by
+    /// the integer value of `group_field` (events missing either field
+    /// are skipped). Sorted by group key; the shape bandit warm-starts
+    /// consume: per-arm reward stats out of `bandit.pull` events.
+    #[must_use]
+    pub fn field_stats_grouped(
+        &self,
+        step: &str,
+        group_field: &str,
+        value_field: &str,
+    ) -> Vec<(i64, FieldStats)> {
+        let mut groups: Vec<(i64, Histogram)> = Vec::new();
+        for e in self.events_for_step(step) {
+            let Some(&Value::Int(key)) = e.payload.get(group_field) else {
+                continue;
+            };
+            let x = match e.payload.get(value_field) {
+                Some(Value::Float(f)) => *f,
+                Some(Value::Int(i)) => *i as f64,
+                _ => continue,
+            };
+            match groups.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, h)) => h.record(x),
+                None => {
+                    let mut h = Histogram::new();
+                    h.record(x);
+                    groups.push((key, h));
+                }
+            }
+        }
+        groups.sort_by_key(|(k, _)| *k);
+        groups.into_iter().map(|(k, h)| (k, h.stats())).collect()
+    }
+
     /// The stats for one step/field pair, when present.
     #[must_use]
     pub fn field_stats(&self, step: &str, field: &str) -> Option<FieldStats> {
@@ -169,6 +203,33 @@ mod tests {
         let drv = r.field_stats("flow.route", "drv").unwrap();
         assert_eq!(drv.count, 1);
         assert_eq!(drv.mean, 12.0);
+    }
+
+    #[test]
+    fn grouped_field_stats_split_by_integer_key() {
+        let j = Journal::in_memory("mab");
+        j.emit(
+            "bandit.pull",
+            &[("arm", 0u64.into()), ("reward", 1.0.into())],
+        );
+        j.emit(
+            "bandit.pull",
+            &[("arm", 1u64.into()), ("reward", 5.0.into())],
+        );
+        j.emit(
+            "bandit.pull",
+            &[("arm", 0u64.into()), ("reward", 3.0.into())],
+        );
+        j.emit("bandit.pull", &[("arm", 1u64.into())]); // no reward: skipped
+        let r = JournalReader::from_jsonl(&j.drain_lines().join("\n")).unwrap();
+        let groups = r.field_stats_grouped("bandit.pull", "arm", "reward");
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].0, 0);
+        assert_eq!(groups[0].1.count, 2);
+        assert_eq!(groups[0].1.mean, 2.0);
+        assert_eq!(groups[1].0, 1);
+        assert_eq!(groups[1].1.count, 1);
+        assert_eq!(groups[1].1.mean, 5.0);
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! RAII span tracing over the journal: nested wall-time scopes with
+//! stable ids, emitted as `span.open` / `span.close` events.
+//!
+//! A [`Span`] is opened with [`crate::Journal::span`] and closed on
+//! drop. Each span records
+//!
+//! - `name`: the scope (e.g. `flow.place`, `gwtw.round`);
+//! - `id`: per-journal open-order index (deterministic for a fixed
+//!   seed, unlike wall-clock times);
+//! - `parent`: the id of the innermost open span on the same thread and
+//!   journal, `-1` for roots;
+//! - `depth`: nesting depth (0 for roots);
+//! - `secs` (close only): elapsed wall time.
+//!
+//! Parentage is tracked per thread with a thread-local stack keyed by
+//! the journal's identity, so two journals instrumenting the same code
+//! never cross-link, and spans on worker threads root independently.
+//! Close events also feed the `span.<name>.secs` histogram, which flows
+//! into any attached [`crate::TelemetryRegistry`] live.
+//!
+//! The `ifjournal flame` subcommand folds these events into
+//! flamegraph-compatible stacks ([`crate::analyze::flame_folded`]).
+
+use std::cell::RefCell;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+use crate::Journal;
+
+thread_local! {
+    /// Stack of `(journal identity, span id)` for the spans currently
+    /// open on this thread. Journal identity is the `Arc<Inner>`
+    /// pointer; guards hold a `Journal` clone, so the pointer cannot be
+    /// recycled while any of its entries are on the stack.
+    static OPEN_SPANS: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// An open span; closing (dropping) it emits the `span.close` event.
+/// Spans from a disabled journal are inert.
+#[derive(Debug)]
+pub struct Span {
+    journal: Journal,
+    name: String,
+    id: u64,
+    parent: i64,
+    depth: u64,
+    start: Instant,
+}
+
+impl Journal {
+    /// Opens a span named `name`, emitting a `span.open` event and
+    /// registering it as the parent of any span opened on this thread
+    /// before the guard drops. Returns an inert guard when disabled.
+    #[must_use]
+    pub fn span(&self, name: &str) -> Span {
+        let Some(inner) = self.inner.as_deref() else {
+            return Span {
+                journal: Journal::disabled(),
+                name: String::new(),
+                id: 0,
+                parent: -1,
+                depth: 0,
+                start: Instant::now(),
+            };
+        };
+        let key = inner as *const _ as usize;
+        let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
+        let (parent, depth) = OPEN_SPANS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let depth = stack.iter().filter(|(k, _)| *k == key).count() as u64;
+            let parent = stack
+                .iter()
+                .rev()
+                .find(|(k, _)| *k == key)
+                .map_or(-1, |(_, id)| *id as i64);
+            stack.push((key, id));
+            (parent, depth)
+        });
+        let span = Span {
+            journal: self.clone(),
+            name: name.to_owned(),
+            id,
+            parent,
+            depth,
+            start: Instant::now(),
+        };
+        self.emit(
+            "span.open",
+            &[
+                ("name", name.into()),
+                ("id", id.into()),
+                ("parent", parent.into()),
+                ("depth", depth.into()),
+            ],
+        );
+        span
+    }
+}
+
+impl Span {
+    /// The span id (unique per journal).
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The parent span id, `-1` for roots.
+    #[must_use]
+    pub fn parent(&self) -> i64 {
+        self.parent
+    }
+
+    /// Nesting depth at open time (0 for roots).
+    #[must_use]
+    pub fn depth(&self) -> u64 {
+        self.depth
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(inner) = self.journal.inner.as_ref() else {
+            return;
+        };
+        let key = std::sync::Arc::as_ptr(inner) as usize;
+        OPEN_SPANS.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&e| e == (key, self.id)) {
+                stack.remove(pos);
+            }
+        });
+        let secs = self.start.elapsed().as_secs_f64();
+        self.journal.emit(
+            "span.close",
+            &[
+                ("name", self.name.as_str().into()),
+                ("id", self.id.into()),
+                ("parent", self.parent.into()),
+                ("depth", self.depth.into()),
+                ("secs", secs.into()),
+            ],
+        );
+        self.journal
+            .observe(&format!("span.{}.secs", self.name), secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::JournalReader;
+
+    fn load(journal: &Journal) -> JournalReader {
+        JournalReader::from_jsonl(&journal.drain_lines().join("\n")).unwrap()
+    }
+
+    #[test]
+    fn disabled_journal_yields_inert_spans() {
+        let j = Journal::disabled();
+        let s = j.span("x");
+        assert_eq!(s.id(), 0);
+        assert_eq!(s.parent(), -1);
+        drop(s);
+        assert!(j.drain_lines().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_link_parent_and_depth() {
+        let j = Journal::in_memory("spans");
+        {
+            let root = j.span("outer");
+            assert_eq!(root.parent(), -1);
+            assert_eq!(root.depth(), 0);
+            {
+                let child = j.span("inner");
+                assert_eq!(child.parent(), root.id() as i64);
+                assert_eq!(child.depth(), 1);
+            }
+            let sibling = j.span("inner2");
+            assert_eq!(sibling.parent(), root.id() as i64);
+            assert_eq!(sibling.depth(), 1);
+        }
+        let after = j.span("later");
+        assert_eq!(after.parent(), -1);
+        drop(after);
+        let r = load(&j);
+        assert_eq!(r.events_for_step("span.open").len(), 4);
+        assert_eq!(r.events_for_step("span.close").len(), 4);
+    }
+
+    #[test]
+    fn two_journals_do_not_cross_link() {
+        let a = Journal::in_memory("a");
+        let b = Journal::in_memory("b");
+        let _ra = a.span("root-a");
+        let rb = b.span("root-b");
+        // `b` has no open span of its own above `rb`.
+        assert_eq!(rb.parent(), -1);
+        let cb = b.span("child-b");
+        assert_eq!(cb.parent(), rb.id() as i64);
+    }
+
+    #[test]
+    fn close_feeds_the_span_histogram() {
+        let j = Journal::in_memory("h");
+        drop(j.span("stage"));
+        drop(j.span("stage"));
+        j.finish();
+        let r = load(&j);
+        let summary = &r.events_for_step("journal.summary")[0];
+        let hist = summary
+            .payload
+            .get("histograms")
+            .and_then(|h| h.get("span.stage.secs"))
+            .expect("span histogram present");
+        assert_eq!(hist.get("count"), Some(&serde::Value::Int(2)));
+    }
+}

@@ -8,7 +8,10 @@ use serde::Value;
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     count: u64,
+    finite: u64,
     sum: f64,
+    mean: f64,
+    m2: f64,
     min: f64,
     max: f64,
     /// Bin `i` counts samples with `floor(log2(|x|)) == i - OFFSET`;
@@ -27,7 +30,10 @@ impl Histogram {
     pub fn new() -> Self {
         Self {
             count: 0,
+            finite: 0,
             sum: 0.0,
+            mean: 0.0,
+            m2: 0.0,
             min: f64::INFINITY,
             max: f64::NEG_INFINITY,
             bins: [0; Self::BINS],
@@ -51,7 +57,13 @@ impl Histogram {
         if !x.is_finite() {
             return;
         }
+        self.finite += 1;
         self.sum += x;
+        // Welford update over the finite samples, so `stats()` can report
+        // an exact standard deviation alongside the log-bin quantiles.
+        let d = x - self.mean;
+        self.mean += d / self.finite as f64;
+        self.m2 += d * (x - self.mean);
         self.min = self.min.min(x);
         self.max = self.max.max(x);
         if x < 0.0 {
@@ -64,6 +76,20 @@ impl Histogram {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Sum of the finite samples.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Number of negative (finite) samples recorded. Log-scale quantile
+    /// estimates bin by magnitude, so any negatives make `p50`/`p95`
+    /// sign-lossy — callers should check this before trusting them.
+    #[must_use]
+    pub fn negatives(&self) -> u64 {
+        self.negatives
     }
 
     /// Upper bound of the magnitude bin holding the `q`-quantile of the
@@ -88,6 +114,15 @@ impl Histogram {
         self.max
     }
 
+    /// Sample standard deviation of the finite samples (NaN below 2).
+    #[must_use]
+    pub fn sample_std(&self) -> f64 {
+        if self.finite < 2 {
+            return f64::NAN;
+        }
+        (self.m2 / (self.finite - 1) as f64).sqrt()
+    }
+
     /// Collapses to summary statistics.
     #[must_use]
     pub fn stats(&self) -> FieldStats {
@@ -98,10 +133,12 @@ impl Histogram {
             } else {
                 self.sum / self.count as f64
             },
+            std: self.sample_std(),
             min: self.min,
             max: self.max,
             p50: self.quantile_estimate(0.50),
             p95: self.quantile_estimate(0.95),
+            negatives: self.negatives,
         }
     }
 }
@@ -119,6 +156,8 @@ pub struct FieldStats {
     pub count: u64,
     /// Arithmetic mean (NaN when empty).
     pub mean: f64,
+    /// Sample standard deviation over the finite samples (NaN below 2).
+    pub std: f64,
     /// Minimum sample.
     pub min: f64,
     /// Maximum sample.
@@ -127,6 +166,10 @@ pub struct FieldStats {
     pub p50: f64,
     /// Log-scale 95th-percentile estimate.
     pub p95: f64,
+    /// Negative samples seen. Non-zero means `p50`/`p95` are sign-lossy
+    /// (the log-scale bins track magnitude only) — treat them as
+    /// magnitude quantiles, not value quantiles.
+    pub negatives: u64,
 }
 
 impl FieldStats {
@@ -136,10 +179,12 @@ impl FieldStats {
         Value::Object(vec![
             ("count".to_owned(), Value::from(self.count)),
             ("mean".to_owned(), Value::Float(self.mean)),
+            ("std".to_owned(), Value::Float(self.std)),
             ("min".to_owned(), Value::Float(self.min)),
             ("max".to_owned(), Value::Float(self.max)),
             ("p50".to_owned(), Value::Float(self.p50)),
             ("p95".to_owned(), Value::Float(self.p95)),
+            ("negatives".to_owned(), Value::from(self.negatives)),
         ])
     }
 }
@@ -180,6 +225,29 @@ mod tests {
         assert!((500.0..=1024.0).contains(&p50), "p50 {p50}");
         let p95 = h.quantile_estimate(0.95);
         assert!((950.0..=2048.0).contains(&p95), "p95 {p95}");
+    }
+
+    #[test]
+    fn std_and_negatives_are_surfaced() {
+        let mut h = Histogram::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            h.record(x);
+        }
+        h.record(-1.0);
+        let s = h.stats();
+        assert_eq!(s.negatives, 1);
+        assert!(s.std.is_finite() && s.std > 0.0);
+        let payload = s.to_payload();
+        assert_eq!(payload.get("negatives"), Some(&Value::Int(1)));
+        assert!(matches!(payload.get("std"), Some(Value::Float(v)) if v.is_finite()));
+    }
+
+    #[test]
+    fn std_is_nan_below_two_finite_samples() {
+        let mut h = Histogram::new();
+        h.record(3.0);
+        h.record(f64::NAN);
+        assert!(h.stats().std.is_nan());
     }
 
     #[test]

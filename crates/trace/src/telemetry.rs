@@ -1,0 +1,306 @@
+//! Live in-process telemetry: counters, gauges, and histograms
+//! aggregated as the run executes, rendered in the Prometheus text
+//! exposition format.
+//!
+//! A [`TelemetryRegistry`] is the scrape-side companion of the journal:
+//! attach one with [`crate::Journal::with_telemetry`] and every
+//! `count`/`observe`/event is mirrored into it live, so an HTTP
+//! `/metrics` endpoint can expose the run *while it is in flight* —
+//! the METRICS loop of the paper's §3.3, where downstream predictors
+//! watch tool runs instead of waiting for post-hoc logs.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::stats::Histogram;
+use crate::FieldStats;
+
+#[derive(Default)]
+struct Registry {
+    counters: Vec<(String, u64)>,
+    gauges: Vec<(String, f64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+/// A cheap-to-clone handle to a shared metric registry. All methods
+/// take `&self`; clones observe the same underlying metrics.
+#[derive(Clone, Default)]
+pub struct TelemetryRegistry {
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl TelemetryRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to a monotone counter, creating it at zero first.
+    pub fn inc_counter(&self, name: &str, delta: u64) {
+        let mut reg = self.inner.lock();
+        match reg.counters.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v += delta,
+            None => reg.counters.push((name.to_owned(), delta)),
+        }
+    }
+
+    /// Sets a gauge to `value` (last write wins).
+    pub fn set_gauge(&self, name: &str, value: f64) {
+        let mut reg = self.inner.lock();
+        match reg.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => reg.gauges.push((name.to_owned(), value)),
+        }
+    }
+
+    /// Records `sample` into a histogram, creating it when absent.
+    pub fn observe(&self, name: &str, sample: f64) {
+        let mut reg = self.inner.lock();
+        match reg.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.record(sample),
+            None => {
+                let mut h = Histogram::new();
+                h.record(sample);
+                reg.histograms.push((name.to_owned(), h));
+            }
+        }
+    }
+
+    /// Current value of a counter, when present.
+    #[must_use]
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner
+            .lock()
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Current value of a gauge, when present.
+    #[must_use]
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        self.inner
+            .lock()
+            .gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+    }
+
+    /// Summary statistics of a histogram, when present.
+    #[must_use]
+    pub fn histogram_stats(&self, name: &str) -> Option<FieldStats> {
+        self.inner
+            .lock()
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.stats())
+    }
+
+    /// Renders every metric in the Prometheus text exposition format
+    /// (version 0.0.4). Counters get a `_total` suffix; histograms are
+    /// rendered as `summary` metrics with `quantile` labels sourced
+    /// from the log-bin estimates. Metric families are sorted by name
+    /// so the output is deterministic for a given registry state.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let reg = self.inner.lock();
+        let mut out = String::new();
+
+        let mut counters: Vec<_> = reg.counters.iter().collect();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, v) in counters {
+            let m = metric_name(name, "_total");
+            out.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
+        }
+
+        let mut gauges: Vec<_> = reg.gauges.iter().collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, v) in gauges {
+            let m = metric_name(name, "");
+            out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", num(*v)));
+        }
+
+        let mut histograms: Vec<_> = reg.histograms.iter().collect();
+        histograms.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, h) in histograms {
+            let m = metric_name(name, "");
+            let s = h.stats();
+            out.push_str(&format!("# TYPE {m} summary\n"));
+            out.push_str(&format!(
+                "{m}{{quantile=\"0.5\"}} {}\n",
+                num(h.quantile_estimate(0.50))
+            ));
+            out.push_str(&format!(
+                "{m}{{quantile=\"0.95\"}} {}\n",
+                num(h.quantile_estimate(0.95))
+            ));
+            out.push_str(&format!("{m}_sum {}\n", num(h.sum())));
+            out.push_str(&format!("{m}_count {}\n", s.count));
+        }
+        out
+    }
+}
+
+/// Prometheus-legal metric name: `ideaflow_` prefix, every character
+/// outside `[a-zA-Z0-9_:]` folded to `_`.
+fn metric_name(raw: &str, suffix: &str) -> String {
+    let body: String = raw
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    format!("ideaflow_{body}{suffix}")
+}
+
+/// Prometheus renders NaN literally; everything else via `{}` (which
+/// for f64 always includes enough digits to round-trip).
+fn num(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_owned()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Checks that `text` is well-formed exposition text: every line is a
+/// `# TYPE`/`# HELP` comment or a `name[{labels}] value` sample with a
+/// legal metric name and a parseable value, and every sample's family
+/// was declared by a preceding `# TYPE` line.
+#[must_use]
+pub fn exposition_is_valid(text: &str) -> bool {
+    let mut typed: Vec<&str> = Vec::new();
+    for line in text.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut parts = rest.splitn(3, ' ');
+            let kind = parts.next().unwrap_or("");
+            let name = parts.next().unwrap_or("");
+            if kind == "TYPE" {
+                if name.is_empty() || !name_is_legal(name) {
+                    return false;
+                }
+                typed.push(name);
+            } else if kind != "HELP" {
+                return false;
+            }
+            continue;
+        }
+        // Sample line: name[{labels}] value
+        let Some((name_part, value)) = line.rsplit_once(' ') else {
+            return false;
+        };
+        let name = match name_part.split_once('{') {
+            Some((n, labels)) => {
+                if !labels.ends_with('}') {
+                    return false;
+                }
+                n
+            }
+            None => name_part,
+        };
+        if !name_is_legal(name) {
+            return false;
+        }
+        if value != "NaN" && value.parse::<f64>().is_err() {
+            return false;
+        }
+        // The family is the name minus a summary/histogram suffix.
+        let family_ok = typed.iter().any(|t| {
+            name == *t
+                || name.strip_suffix("_sum") == Some(t)
+                || name.strip_suffix("_count") == Some(t)
+                || name.strip_suffix("_bucket") == Some(t)
+        });
+        if !family_ok {
+            return false;
+        }
+    }
+    true
+}
+
+fn name_is_legal(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_histograms_aggregate_live() {
+        let reg = TelemetryRegistry::new();
+        reg.inc_counter("flow.runs", 1);
+        reg.inc_counter("flow.runs", 2);
+        reg.set_gauge("anneal.temp", 0.5);
+        reg.set_gauge("anneal.temp", 0.25);
+        reg.observe("place.secs", 1.0);
+        reg.observe("place.secs", 3.0);
+        assert_eq!(reg.counter_value("flow.runs"), Some(3));
+        assert_eq!(reg.gauge_value("anneal.temp"), Some(0.25));
+        let s = reg.histogram_stats("place.secs").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let a = TelemetryRegistry::new();
+        let b = a.clone();
+        a.inc_counter("x", 1);
+        b.inc_counter("x", 1);
+        assert_eq!(a.counter_value("x"), Some(2));
+    }
+
+    #[test]
+    fn prometheus_exposition_golden() {
+        let reg = TelemetryRegistry::new();
+        reg.inc_counter("journal.events", 7);
+        reg.set_gauge("gwtw.width", 4.0);
+        reg.observe("flow.place.secs", 0.5);
+        reg.observe("flow.place.secs", 1.5);
+        let text = reg.render_prometheus();
+        let expected = "\
+# TYPE ideaflow_journal_events_total counter
+ideaflow_journal_events_total 7
+# TYPE ideaflow_gwtw_width gauge
+ideaflow_gwtw_width 4
+# TYPE ideaflow_flow_place_secs summary
+ideaflow_flow_place_secs{quantile=\"0.5\"} 1
+ideaflow_flow_place_secs{quantile=\"0.95\"} 2
+ideaflow_flow_place_secs_sum 2
+ideaflow_flow_place_secs_count 2
+";
+        assert_eq!(text, expected);
+        assert!(exposition_is_valid(&text));
+    }
+
+    #[test]
+    fn validator_rejects_malformed_exposition() {
+        assert!(!exposition_is_valid("no_type_line 1\n"));
+        assert!(!exposition_is_valid(
+            "# TYPE ok counter\n9leading_digit 1\n"
+        ));
+        assert!(!exposition_is_valid("# TYPE ok counter\nok notanumber\n"));
+        assert!(!exposition_is_valid("# FROB ok counter\n"));
+        assert!(exposition_is_valid(
+            "# TYPE ok counter\nok 3\n# HELP ok h\n"
+        ));
+    }
+}

@@ -89,7 +89,7 @@ fn metrics_survive_xml_and_json_transport() {
     server.ingest();
     let n = server.len();
     // JSON persistence roundtrip into a fresh server.
-    let json = server.export_json();
+    let json = server.export_json().unwrap();
     let (restored, _tx2) = MetricsServer::new();
     assert_eq!(restored.import_json(&json).unwrap(), n);
     assert_eq!(restored.len(), n);

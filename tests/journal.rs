@@ -90,6 +90,97 @@ fn journaled_runs_are_deterministic_under_a_fixed_seed() {
     assert_eq!(ea, eb);
 }
 
+#[test]
+fn diff_of_two_fixed_seed_journals_is_stable() {
+    // Two runs of the same seeded workload journal identical event
+    // shapes; `ifjournal diff` over them must report matching counts
+    // and (for the deterministic fields) zero mean deltas.
+    let journal_for = |id: &str| {
+        let j = Journal::in_memory(id);
+        journaled_physical_run(&j);
+        j.finish();
+        JournalReader::from_jsonl(&j.drain_lines().join("\n")).unwrap()
+    };
+    let a = journal_for("run-a");
+    let b = journal_for("run-b");
+    let text = ideaflow::trace::analyze::diff_text(&a, &b);
+    assert!(!text.is_empty());
+    assert!(!text.contains("only in"), "fixed seeds must match:\n{text}");
+    // Every step line reports identical event counts for a and b.
+    let place_line = text
+        .lines()
+        .find(|l| l.starts_with("flow.place"))
+        .expect("flow.place in diff");
+    assert!(place_line.contains("hpwl_um"), "{place_line}");
+    assert!(place_line.contains("+0.0%"), "{place_line}");
+}
+
+/// Span events from a journal, parsed as (kind, id, parent, seq).
+fn span_events(reader: &JournalReader) -> Vec<(bool, i64, i64, u64)> {
+    reader
+        .events
+        .iter()
+        .filter(|e| e.step == "span.open" || e.step == "span.close")
+        .map(|e| {
+            let get = |k: &str| match e.payload.get(k) {
+                Some(ideaflow::trace::PayloadValue::Int(i)) => *i,
+                other => panic!("span field {k} missing or non-int: {other:?}"),
+            };
+            (e.step == "span.open", get("id"), get("parent"), e.seq)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any pattern of nested/sequential spans: every close's seq is
+    /// greater than its open's seq, and every parent closes after all
+    /// of its children (RAII nesting observed through the journal).
+    #[test]
+    fn span_nesting_and_ordering_invariants(ops in proptest::collection::vec(0usize..3, 1..24)) {
+        let journal = Journal::in_memory("spans");
+        {
+            let mut open: Vec<ideaflow::trace::Span> = Vec::new();
+            for op in ops {
+                match op {
+                    // Open a child of the current innermost span.
+                    0 | 1 => open.push(journal.span("s")),
+                    // Close the innermost span (noop when none open).
+                    _ => {
+                        open.pop();
+                    }
+                }
+            }
+            // Close remaining guards innermost-first (a Vec drop would
+            // run front-to-back, i.e. outermost first).
+            while let Some(s) = open.pop() {
+                drop(s);
+            }
+        }
+        journal.finish();
+        let reader = JournalReader::from_jsonl(&journal.drain_lines().join("\n")).unwrap();
+        let events = span_events(&reader);
+        let opens: Vec<_> = events.iter().filter(|e| e.0).collect();
+        let closes: Vec<_> = events.iter().filter(|e| !e.0).collect();
+        prop_assert_eq!(opens.len(), closes.len(), "every span closes");
+        for close in &closes {
+            let open = opens.iter().find(|o| o.1 == close.1).expect("open for close");
+            prop_assert!(close.3 > open.3, "close seq {} <= open seq {}", close.3, open.3);
+            prop_assert_eq!(open.2, close.2, "parent consistent across open/close");
+            // The parent (if any) closes after this child.
+            if close.2 >= 0 {
+                let parent_close = closes.iter().find(|c| c.1 == close.2).expect("parent closes");
+                prop_assert!(
+                    parent_close.3 > close.3,
+                    "parent {} closed at {} before child {} at {}",
+                    close.2, parent_close.3, close.1, close.3
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
