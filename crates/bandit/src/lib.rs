@@ -62,6 +62,29 @@ pub trait Environment {
     }
 }
 
+/// An [`Environment`] whose reward computation is a *pure* function of
+/// `(arm, t)` — any bookkeeping is split into [`BatchEnvironment::record`].
+/// This is what lets the budgeted concurrent harness genuinely launch a
+/// batch of tool runs in parallel: rewards are computed concurrently via
+/// [`BatchEnvironment::peek`] (each pull keeps its sequential pull index,
+/// so values are bit-identical to the sequential loop), then
+/// [`BatchEnvironment::record`] is applied afterwards, in pull order, on
+/// one thread.
+///
+/// Implementors must keep `pull(arm, t)` equivalent to
+/// `peek(arm, t)` followed by `record(arm, t, reward)`.
+pub trait BatchEnvironment: Environment + Sync {
+    /// Computes the reward for `arm` at pull index `t` without mutating
+    /// the environment.
+    fn peek(&self, arm: usize, t: u32) -> f64;
+
+    /// Applies the bookkeeping for an observed pull (history, budgets).
+    /// Default: none.
+    fn record(&mut self, arm: usize, t: u32, reward: f64) {
+        let _ = (arm, t, reward);
+    }
+}
+
 /// A fixed Gaussian test environment with known means (for unit tests and
 /// regret studies).
 #[derive(Debug, Clone)]
@@ -107,6 +130,19 @@ impl Environment for GaussianEnv {
     }
 
     fn pull(&mut self, arm: usize, t: u32) -> f64 {
+        self.peek(arm, t)
+    }
+
+    fn optimal_mean(&self) -> Option<f64> {
+        self.means
+            .iter()
+            .copied()
+            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
+    }
+}
+
+impl BatchEnvironment for GaussianEnv {
+    fn peek(&self, arm: usize, t: u32) -> f64 {
         // Deterministic per (seed, arm, t) Gaussian.
         fn mix(mut z: u64) -> u64 {
             z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
@@ -121,13 +157,6 @@ impl Environment for GaussianEnv {
         let u2 = (mix(base.wrapping_add(1)) >> 11) as f64 / (1u64 << 53) as f64;
         let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
         self.means[arm] + self.sigmas[arm] * z
-    }
-
-    fn optimal_mean(&self) -> Option<f64> {
-        self.means
-            .iter()
-            .copied()
-            .fold(None, |acc, m| Some(acc.map_or(m, |a: f64| a.max(m))))
     }
 }
 

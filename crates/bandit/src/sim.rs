@@ -6,10 +6,11 @@
 //! its given budget of design schedule and number of tool licenses".
 
 use crate::policy::BanditPolicy;
-use crate::{BanditError, Environment};
+use crate::{BanditError, BatchEnvironment, Environment};
 use ideaflow_trace::{Journal, PayloadValue};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rayon::prelude::*;
 
 /// Emits one `bandit.pull` journal event: the pull index, chosen arm,
 /// observed reward, cumulative regret (NaN without an oracle) and the
@@ -167,13 +168,15 @@ pub struct ConcurrentIteration {
 }
 
 /// Budgeted concurrent loop: each iteration selects `concurrency` arms
-/// (with the policy's current posterior), launches them "in parallel",
-/// then feeds back all rewards at once — the Fig 7 5×40 schedule.
+/// (with the policy's current posterior), launches them in parallel on
+/// the executor pool, then feeds back all rewards at once — the Fig 7
+/// 5×40 schedule. Each pull keeps the pull index the sequential loop
+/// would assign it, so outcomes are bit-identical at any thread count.
 ///
 /// # Errors
 ///
 /// Same conditions as [`run_sequential`], plus `concurrency == 0`.
-pub fn run_concurrent<P: BanditPolicy, E: Environment>(
+pub fn run_concurrent<P: BanditPolicy, E: BatchEnvironment>(
     policy: &mut P,
     env: &mut E,
     iterations: usize,
@@ -197,7 +200,7 @@ pub fn run_concurrent<P: BanditPolicy, E: Environment>(
 /// # Errors
 ///
 /// Same conditions as [`run_concurrent`].
-pub fn run_concurrent_journaled<P: BanditPolicy, E: Environment>(
+pub fn run_concurrent_journaled<P: BanditPolicy, E: BatchEnvironment>(
     policy: &mut P,
     env: &mut E,
     iterations: usize,
@@ -225,17 +228,24 @@ pub fn run_concurrent_journaled<P: BanditPolicy, E: Environment>(
         // Select the batch first (no feedback within an iteration: the
         // licenses run concurrently).
         let arms: Vec<usize> = (0..concurrency).map(|_| policy.select(&mut rng)).collect();
-        let rewards: Vec<f64> = arms
-            .iter()
-            .map(|&a| {
-                let r = env.pull(a, t);
-                t += 1;
-                r
-            })
-            .collect();
-        for (&a, &r) in arms.iter().zip(&rewards) {
+        // Launch the batch on the pool: reward computation is pure in
+        // (arm, pull index), so the k-th pull of this iteration gets the
+        // exact pull index the sequential loop would hand it.
+        let base_t = t;
+        let rewards: Vec<f64> = {
+            let env: &E = env;
+            arms.clone()
+                .into_par_iter()
+                .enumerate()
+                .map(|(k, a)| env.peek(a, base_t + k as u32))
+                .collect()
+        };
+        // Feedback is sequential and in pull order, as before.
+        for (k, (&a, &r)) in arms.iter().zip(&rewards).enumerate() {
+            env.record(a, base_t + k as u32, r);
             policy.update(a, r);
         }
+        t = base_t + concurrency as u32;
         if journal.is_enabled() {
             for (k, (&a, &r)) in arms.iter().zip(&rewards).enumerate() {
                 let pull_index = iter * concurrency + k;

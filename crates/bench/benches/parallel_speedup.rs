@@ -1,0 +1,121 @@
+//! Criterion benches for the work-stealing executor and the QoR memo
+//! cache: the same orchestration kernels the paper artifacts run, pinned
+//! to explicit thread counts so the 1-vs-N speedup — and the cache's
+//! cold-vs-warm delta — are directly measurable. `bench_report` emits the
+//! machine-readable `BENCH_parallel.json` counterpart of these numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ideaflow_bandit::policy::ThompsonGaussian;
+use ideaflow_bandit::sim::run_concurrent;
+use ideaflow_core::mab_env::{FrequencyArms, QorConstraints};
+use ideaflow_exec::{with_pool, PoolBuilder, ThreadPool};
+use ideaflow_flow::cache::QorCache;
+use ideaflow_flow::options::SpnrOptions;
+use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+use ideaflow_opt::gwtw::{gwtw, GwtwConfig};
+use ideaflow_opt::landscape::BigValley;
+use ideaflow_opt::local::LocalSearchConfig;
+use ideaflow_opt::multistart::{adaptive_multistart, MultistartConfig};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn pools() -> Vec<(usize, ThreadPool)> {
+    THREADS
+        .iter()
+        .map(|&n| (n, PoolBuilder::new().threads(n).build()))
+        .collect()
+}
+
+/// Fig 6(a) kernel: one GWTW review cycle over a 16-clone population.
+fn bench_gwtw(c: &mut Criterion) {
+    let scape = BigValley::new(8, 3.0, 13);
+    let cfg = GwtwConfig {
+        population: 16,
+        review_period: 200,
+        rounds: 4,
+        survivor_fraction: 0.5,
+        t_initial: 3.0,
+        t_final: 0.05,
+    };
+    for (n, pool) in pools() {
+        c.bench_function(&format!("parallel_gwtw_threads_{n}"), |b| {
+            b.iter(|| with_pool(&pool, || gwtw(&scape, cfg, 3)))
+        });
+    }
+}
+
+/// Fig 6(b) kernel: adaptive multistart, starts fan out per batch.
+fn bench_multistart(c: &mut Criterion) {
+    let scape = BigValley::new(8, 3.0, 13);
+    let cfg = MultistartConfig {
+        starts: 8,
+        local: LocalSearchConfig {
+            max_evaluations: 400,
+            stall_limit: 100,
+        },
+        pool_size: 4,
+    };
+    for (n, pool) in pools() {
+        c.bench_function(&format!("parallel_multistart_threads_{n}"), |b| {
+            b.iter(|| with_pool(&pool, || adaptive_multistart(&scape, cfg, 5)))
+        });
+    }
+}
+
+/// Fig 7 kernel: the 5x40 Thompson schedule; each concurrent batch of
+/// tool runs is peeked in parallel.
+fn bench_bandit(c: &mut Criterion) {
+    let flow = SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 300).unwrap(), 33);
+    let fmax = flow.fmax_ref_ghz();
+    for (n, pool) in pools() {
+        c.bench_function(&format!("parallel_bandit_threads_{n}"), |b| {
+            b.iter(|| {
+                with_pool(&pool, || {
+                    let mut env = FrequencyArms::linspace(
+                        &flow,
+                        fmax * 0.5,
+                        fmax * 1.15,
+                        17,
+                        QorConstraints::timing_only(),
+                    )
+                    .unwrap();
+                    let mut policy = ThompsonGaussian::new(17, fmax, fmax * 0.3).unwrap();
+                    run_concurrent(&mut policy, &mut env, 40, 5, 7).unwrap();
+                    env.best_success_ghz()
+                })
+            })
+        });
+    }
+}
+
+/// The memo cache: the same 17 arms x 40 samples, cold (no cache) vs
+/// warm (every key pre-evaluated once).
+fn bench_cache(c: &mut Criterion) {
+    let spec = || DesignSpec::new(DesignClass::Cpu, 500).unwrap();
+    let cold = SpnrFlow::new(spec(), 1);
+    let warm = SpnrFlow::new(spec(), 1).with_cache(QorCache::new());
+    let fmax = cold.fmax_ref_ghz();
+    let arms: Vec<SpnrOptions> = (0..17)
+        .map(|i| SpnrOptions::with_target_ghz(fmax * (0.5 + 0.65 * f64::from(i) / 16.0)).unwrap())
+        .collect();
+    let sweep = |flow: &SpnrFlow| {
+        let mut acc = 0.0;
+        for opts in &arms {
+            for s in 0..40u32 {
+                acc += flow.run(opts, s).wns_ps;
+            }
+        }
+        acc
+    };
+    sweep(&warm); // pre-warm every (arm, sample) key
+    c.bench_function("qor_cache_cold", |b| b.iter(|| sweep(&cold)));
+    c.bench_function("qor_cache_warm", |b| b.iter(|| sweep(&warm)));
+}
+
+criterion_group!(
+    name = parallel_speedup;
+    config = Criterion::default().sample_size(10);
+    targets = bench_gwtw, bench_multistart, bench_bandit, bench_cache
+);
+criterion_main!(parallel_speedup);

@@ -1,0 +1,284 @@
+//! `bench_report` — machine-readable parallel-speedup report.
+//!
+//! Times the paper's orchestration kernels (Fig 6a GWTW, Fig 7 MAB) on
+//! explicit executor pools at 1/2/4 threads, verifies the outcomes are
+//! bit-identical across thread counts, measures the QoR memo cache cold
+//! vs warm, and writes everything to `BENCH_parallel.json`.
+//!
+//! Flags:
+//! - `--out <path>`: output path (default `BENCH_parallel.json`);
+//! - `--quick`: smaller workloads and a single timing repetition (CI).
+
+use std::time::Instant;
+
+use ideaflow_bandit::policy::ThompsonGaussian;
+use ideaflow_bandit::sim::run_concurrent;
+use ideaflow_bandit::{BatchEnvironment, Environment};
+use ideaflow_bench::{f, render_table};
+use ideaflow_exec::{with_pool, PoolBuilder};
+use ideaflow_flow::cache::QorCache;
+use ideaflow_flow::options::SpnrOptions;
+use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+use ideaflow_opt::gwtw::{gwtw, GwtwConfig};
+use ideaflow_opt::landscape::BigValley;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+/// Order-sensitive digest of a float sequence: bit-for-bit equality
+/// across thread counts is the determinism claim being checked.
+fn digest(values: impl IntoIterator<Item = f64>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for v in values {
+        h ^= v.to_bits();
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Best-of-`reps` wall time (seconds) plus the digest of the last run.
+fn time_best_of(reps: usize, mut run: impl FnMut() -> u64) -> (f64, u64) {
+    let mut best = f64::INFINITY;
+    let mut d = 0;
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        d = run();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    (best, d)
+}
+
+/// Frequency arms whose pulls are *physical* SP&R runs (the paper's
+/// actual setting — the fast surface is too cheap to need a pool).
+/// Pure in `(arm, t)`, so batches peek in parallel deterministically.
+struct PhysicalArms<'a> {
+    flow: &'a SpnrFlow,
+    freqs: Vec<f64>,
+    rewards: Vec<f64>,
+}
+
+impl<'a> PhysicalArms<'a> {
+    fn linspace(flow: &'a SpnrFlow, lo: f64, hi: f64, n: usize) -> Self {
+        Self {
+            flow,
+            freqs: (0..n)
+                .map(|i| lo + (hi - lo) * i as f64 / (n - 1) as f64)
+                .collect(),
+            rewards: Vec::new(),
+        }
+    }
+}
+
+impl Environment for PhysicalArms<'_> {
+    fn arm_count(&self) -> usize {
+        self.freqs.len()
+    }
+
+    fn pull(&mut self, arm: usize, t: u32) -> f64 {
+        let reward = self.peek(arm, t);
+        self.record(arm, t, reward);
+        reward
+    }
+}
+
+impl BatchEnvironment for PhysicalArms<'_> {
+    fn peek(&self, arm: usize, t: u32) -> f64 {
+        let opts = SpnrOptions::with_target_ghz(self.freqs[arm]).expect("valid arm");
+        let p = self.flow.run_physical(&opts, t);
+        if p.qor.meets_timing() {
+            self.freqs[arm]
+        } else {
+            0.0
+        }
+    }
+
+    fn record(&mut self, _arm: usize, _t: u32, reward: f64) {
+        self.rewards.push(reward);
+    }
+}
+
+struct WorkloadReport {
+    name: &'static str,
+    wall_s: Vec<f64>,
+    bit_identical: bool,
+}
+
+fn report_workload(
+    name: &'static str,
+    reps: usize,
+    mut run: impl FnMut() -> u64,
+) -> WorkloadReport {
+    let mut wall_s = Vec::new();
+    let mut digests = Vec::new();
+    for &n in &THREADS {
+        let pool = PoolBuilder::new().threads(n).build();
+        let (secs, d) = with_pool(&pool, || time_best_of(reps, &mut run));
+        wall_s.push(secs);
+        digests.push(d);
+    }
+    WorkloadReport {
+        name,
+        wall_s,
+        bit_identical: digests.iter().all(|&d| d == digests[0]),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut out = String::from("BENCH_parallel.json");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--out" {
+            out = it.next().expect("--out requires a <path> argument").clone();
+        } else if let Some(p) = a.strip_prefix("--out=") {
+            out = p.to_owned();
+        }
+    }
+    let reps = if quick { 1 } else { 3 };
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+
+    // Fig 6a kernel: one GWTW campaign; each review round fans the clone
+    // population out over the pool, one anneal segment per clone. The
+    // review period sets the per-task grain (~hundreds of µs), large
+    // enough that scheduling overhead is negligible.
+    let gwtw_cfg = GwtwConfig {
+        population: 16,
+        review_period: if quick { 300 } else { 2_000 },
+        rounds: if quick { 4 } else { 8 },
+        survivor_fraction: 0.5,
+        t_initial: 3.0,
+        t_final: 0.05,
+    };
+    let gwtw_scape = BigValley::new(12, 3.0, 0xDAC);
+    let gwtw = report_workload("fig06a_gwtw", reps, || {
+        let g = gwtw(&gwtw_scape, gwtw_cfg, 3);
+        digest(g.rounds.iter().map(|r| r.best).chain([g.best.best_cost]))
+    });
+
+    // Fig 7 kernel: the 5x40 Thompson schedule where — as in the paper —
+    // every pull is a full (physical) SP&R run, so a concurrent batch is
+    // five genuinely expensive tool runs peeked in parallel.
+    let instances = if quick { 100 } else { 400 };
+    let mab_iters = if quick { 10 } else { 40 };
+    let flow = SpnrFlow::new(
+        DesignSpec::new(DesignClass::Cpu, instances).expect("valid spec"),
+        0xF160_7DAC,
+    );
+    let fmax = flow.fmax_ref_ghz();
+    let mab = report_workload("fig07_mab", reps, || {
+        let mut env = PhysicalArms::linspace(&flow, fmax * 0.5, fmax * 1.15, 17);
+        let mut policy = ThompsonGaussian::new(17, fmax, fmax * 0.3).expect("valid policy");
+        run_concurrent(&mut policy, &mut env, mab_iters, 5, 0x715).expect("valid schedule");
+        digest(env.rewards.iter().copied())
+    });
+
+    // QoR memo cache: the same 17-arm x 40-sample sweep cold vs warm.
+    let cache_instances = if quick { 200 } else { 500 };
+    let cold_flow = SpnrFlow::new(
+        DesignSpec::new(DesignClass::Cpu, cache_instances).expect("valid spec"),
+        1,
+    );
+    let cache = QorCache::new();
+    let warm_flow = SpnrFlow::new(
+        DesignSpec::new(DesignClass::Cpu, cache_instances).expect("valid spec"),
+        1,
+    )
+    .with_cache(cache.clone());
+    let cfmax = cold_flow.fmax_ref_ghz();
+    let arms: Vec<SpnrOptions> = (0..17)
+        .map(|i| SpnrOptions::with_target_ghz(cfmax * (0.5 + 0.65 * f64::from(i) / 16.0)).unwrap())
+        .collect();
+    let sweep = |flow: &SpnrFlow| {
+        digest(
+            arms.iter()
+                .flat_map(|opts| (0..40u32).map(move |s| flow.run(opts, s).wns_ps)),
+        )
+    };
+    let (cold_s, cold_digest) = time_best_of(reps, || sweep(&cold_flow));
+    sweep(&warm_flow); // populate every key
+    let (warm_s, warm_digest) = time_best_of(reps, || sweep(&warm_flow));
+    let cache_identical = cold_digest == warm_digest;
+
+    let workloads = [gwtw, mab];
+    let speedups =
+        |w: &WorkloadReport| -> Vec<f64> { w.wall_s.iter().map(|&s| w.wall_s[0] / s).collect() };
+
+    // Human-readable summary.
+    let mut rows: Vec<Vec<String>> = workloads
+        .iter()
+        .map(|w| {
+            let sp = speedups(w);
+            vec![
+                w.name.to_owned(),
+                f(w.wall_s[0], 3),
+                f(w.wall_s[1], 3),
+                f(w.wall_s[2], 3),
+                f(sp[2], 2),
+                w.bit_identical.to_string(),
+            ]
+        })
+        .collect();
+    rows.push(vec![
+        "qor_cache(warm)".to_owned(),
+        f(cold_s, 3),
+        String::from("-"),
+        f(warm_s, 3),
+        f(cold_s / warm_s, 2),
+        cache_identical.to_string(),
+    ]);
+    println!(
+        "cores={cores} reps={reps}{}",
+        if quick { " (quick)" } else { "" }
+    );
+    print!(
+        "{}",
+        render_table(
+            &[
+                "workload",
+                "t1_s",
+                "t2_s",
+                "t4_s",
+                "speedup",
+                "bit_identical"
+            ],
+            &rows
+        )
+    );
+
+    // Machine-readable report.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"parallel_speedup\",\n");
+    json.push_str(&format!("  \"cores\": {cores},\n"));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str("  \"threads\": [1, 2, 4],\n");
+    json.push_str("  \"workloads\": [\n");
+    for (i, w) in workloads.iter().enumerate() {
+        let sp = speedups(w);
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_s\": [{:.6}, {:.6}, {:.6}], \"speedup\": [{:.3}, {:.3}, {:.3}], \"bit_identical\": {}}}{}\n",
+            w.name,
+            w.wall_s[0],
+            w.wall_s[1],
+            w.wall_s[2],
+            sp[0],
+            sp[1],
+            sp[2],
+            w.bit_identical,
+            if i + 1 < workloads.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!(
+        "  \"cache\": {{\"cold_s\": {:.6}, \"warm_s\": {:.6}, \"speedup\": {:.3}, \"hit_rate\": {:.4}, \"bit_identical\": {}}}\n",
+        cold_s,
+        warm_s,
+        cold_s / warm_s,
+        cache.hit_rate(),
+        cache_identical
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out, json).unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    eprintln!("wrote {out}");
+}

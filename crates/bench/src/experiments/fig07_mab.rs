@@ -9,6 +9,7 @@
 use ideaflow_bandit::policy::{BanditPolicy, EpsilonGreedy, Softmax, ThompsonGaussian};
 use ideaflow_bandit::sim::{run_concurrent, run_concurrent_journaled};
 use ideaflow_core::mab_env::{FrequencyArms, PullRecord, QorConstraints};
+use ideaflow_flow::cache::QorCache;
 use ideaflow_flow::spnr::SpnrFlow;
 use ideaflow_netlist::generate::{DesignClass, DesignSpec};
 use ideaflow_trace::Journal;
@@ -100,10 +101,15 @@ pub struct RobustnessRow {
 /// `reps` seeds.
 #[must_use]
 pub fn robustness(instances: usize, reps: u64, seed: u64) -> Vec<RobustnessRow> {
+    // Every repetition replays pull indices 0..200 over the same 17 arms,
+    // so across policies and reps most (arm, t) evaluations repeat — the
+    // QoR memo cache answers those without re-running the fast surface
+    // (and, being deterministic, without changing any reward).
     let flow = SpnrFlow::new(
         DesignSpec::new(DesignClass::Cpu, instances).expect("valid spec"),
         seed,
-    );
+    )
+    .with_cache(QorCache::new());
     let fmax = flow.fmax_ref_ghz();
     let make_env = || {
         FrequencyArms::linspace(

@@ -147,6 +147,9 @@ pub fn session_from_arg_list(run_id: &str, args: impl IntoIterator<Item = String
         None => (journal, None),
         Some(p) => {
             let registry = TelemetryRegistry::new();
+            // Surface the work-stealing pool's gauges (workers, busy
+            // workers, queue depth, tasks run) on the same endpoint.
+            ideaflow_exec::global().attach_telemetry(&registry);
             let journal = if journal.is_enabled() {
                 journal
             } else {
@@ -294,6 +297,9 @@ mod tests {
         stream.read_to_string(&mut body).unwrap();
         assert!(body.contains("ideaflow_bench_iterations_total 3"), "{body}");
         assert!(body.contains("ideaflow_bench_cost_count 1"), "{body}");
+        // The executor's gauges are seeded into every telemetry session,
+        // so pool health is scrapeable even before the workload fans out.
+        assert!(body.contains("ideaflow_exec_workers"), "{body}");
         s.finish();
     }
 

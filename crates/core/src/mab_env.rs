@@ -8,7 +8,7 @@
 //! iterations to regenerate Fig 7.
 
 use crate::CoreError;
-use ideaflow_bandit::Environment;
+use ideaflow_bandit::{BatchEnvironment, Environment};
 use ideaflow_flow::options::SpnrOptions;
 use ideaflow_flow::spnr::SpnrFlow;
 
@@ -139,6 +139,17 @@ impl Environment for FrequencyArms<'_> {
     }
 
     fn pull(&mut self, arm: usize, t: u32) -> f64 {
+        let reward = self.peek(arm, t);
+        self.record(arm, t, reward);
+        reward
+    }
+}
+
+impl BatchEnvironment for FrequencyArms<'_> {
+    /// The tool run itself: pure in `(arm, t)` (the fast surface is
+    /// deterministic per sample index), so concurrent batch pulls can
+    /// compute rewards in parallel.
+    fn peek(&self, arm: usize, t: u32) -> f64 {
         let ghz = self.freqs[arm];
         let opts = SpnrOptions::with_target_ghz(ghz).expect("validated in constructor");
         let q = self.flow.run(&opts, t);
@@ -151,17 +162,23 @@ impl Environment for FrequencyArms<'_> {
                 .constraints
                 .leakage_cap_nw
                 .is_none_or(|cap| q.leakage_nw <= cap);
-        self.history.push(PullRecord {
-            t,
-            arm,
-            target_ghz: ghz,
-            success,
-        });
         if success {
             ghz
         } else {
             0.0
         }
+    }
+
+    /// History bookkeeping, applied in pull order on one thread. Arm
+    /// frequencies are strictly positive, so `reward != 0.0` is exactly
+    /// the success flag [`BatchEnvironment::peek`] computed.
+    fn record(&mut self, arm: usize, t: u32, reward: f64) {
+        self.history.push(PullRecord {
+            t,
+            arm,
+            target_ghz: self.freqs[arm],
+            success: reward != 0.0,
+        });
     }
 }
 

@@ -41,9 +41,11 @@ impl Default for TrajectoryObjective {
     }
 }
 
-/// The flow-option tree as a search landscape. Each cost evaluation is a
-/// fresh (noisy) tool run — exactly what orchestrating robot engineers
-/// spends.
+/// The flow-option tree as a search landscape. Each cost evaluation is
+/// a tool run — exactly what orchestrating robot engineers spends —
+/// deterministic per trajectory (sample index derived from the
+/// trajectory's contents), like a deterministic EDA tool re-invoked on
+/// identical inputs.
 #[derive(Debug)]
 pub struct TrajectoryLandscape<'a> {
     flow: &'a SpnrFlow,
@@ -86,13 +88,19 @@ impl<'a> TrajectoryLandscape<'a> {
         self.counter.load(Ordering::Relaxed)
     }
 
-    /// Scores one trajectory with a fresh tool run.
+    /// Scores one trajectory with a tool run. The flow's sample index
+    /// is derived from the trajectory's *contents* (not from call
+    /// order), so scoring is deterministic per trajectory regardless
+    /// of how a parallel searcher schedules its evaluations — re-runs
+    /// of the same trajectory reproduce the same tool run, exactly as
+    /// a deterministic EDA tool re-invoked on identical inputs would
+    /// (and exactly what [`ideaflow_flow::cache::QorCache`] memoizes).
     #[must_use]
     pub fn score(&self, trajectory: &Trajectory) -> f64 {
         let opts = options_for_trajectory(trajectory, self.target_ghz)
             .expect("trajectories from this landscape are valid");
-        let sample = self.counter.fetch_add(1, Ordering::Relaxed);
-        let q = self.flow.run(&opts, sample);
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        let q = self.flow.run(&opts, trajectory_sample(trajectory));
         let mut cost = self.objective.area_weight * q.area_um2 / self.base_area
             + self.objective.runtime_weight * q.runtime_hours;
         if !q.meets_timing() {
@@ -100,6 +108,18 @@ impl<'a> TrajectoryLandscape<'a> {
         }
         cost
     }
+}
+
+/// FNV-1a over the trajectory's axis choices: an order-independent,
+/// content-derived sample index, so parallel scorers agree bit-for-bit
+/// with sequential ones.
+fn trajectory_sample(t: &Trajectory) -> u32 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &choice in &t.0 {
+        h ^= choice as u64 + 1;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h ^ (h >> 32)) as u32
 }
 
 impl Landscape for TrajectoryLandscape<'_> {

@@ -1,0 +1,227 @@
+//! Sharded concurrent memo cache for fast-surface QoR evaluations.
+//!
+//! [`crate::spnr::SpnrFlow::run`] is deterministic in
+//! `(options fingerprint ^ flow seed, sample index)`, so orchestration
+//! layers that revisit the same point — GWTW clones re-scoring a
+//! trajectory, a bandit pulling the same arm across repetitions — can
+//! reuse the first evaluation verbatim. [`QorCache`] memoizes exactly
+//! that key. It is sharded (key-hashed lock striping) so concurrent
+//! pool workers rarely contend, and cheap to clone (all clones share
+//! the same storage), matching how `SpnrFlow` itself is cloned across
+//! threads.
+//!
+//! A cache hit returns a bit-identical [`QorSample`] and the flow
+//! re-emits the same `flow.sample` journal event a cold run would, so
+//! enabling the cache can never change results or journal shapes —
+//! only `flow.cache.hits` / `flow.cache.misses` counters (mirrored
+//! into any attached telemetry registry) reveal it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::spnr::QorSample;
+
+/// Default shard count: enough stripes that a handful of pool workers
+/// rarely collide, small enough to stay cheap to allocate.
+const DEFAULT_SHARDS: usize = 16;
+
+#[derive(Debug, Default)]
+struct Shard {
+    map: Mutex<HashMap<(u64, u32), QorSample>>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    shards: Vec<Shard>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// A sharded, thread-safe `(fingerprint, sample) -> QorSample` memo
+/// cache. Clones share storage and counters.
+#[derive(Debug, Clone)]
+pub struct QorCache {
+    inner: Arc<Inner>,
+}
+
+impl Default for QorCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QorCache {
+    /// A cache with the default shard count.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A cache with an explicit shard count (at least 1).
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
+                hits: AtomicU64::new(0),
+                misses: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    fn shard(&self, fingerprint: u64, sample: u32) -> &Shard {
+        // Fibonacci-style mixing; the fingerprint is already a hash, the
+        // multiply spreads consecutive sample indices across shards.
+        let h = (fingerprint ^ (u64::from(sample) << 32 | u64::from(sample)))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        &self.inner.shards[(h >> 48) as usize % self.inner.shards.len()]
+    }
+
+    /// Looks up a memoized sample, counting the hit or miss.
+    #[must_use]
+    pub fn get(&self, fingerprint: u64, sample: u32) -> Option<QorSample> {
+        let found = self
+            .shard(fingerprint, sample)
+            .map
+            .lock()
+            .get(&(fingerprint, sample))
+            .cloned();
+        let counter = if found.is_some() {
+            &self.inner.hits
+        } else {
+            &self.inner.misses
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        found
+    }
+
+    /// Memoizes a sample (last write wins; all writes for a key carry
+    /// the same value because the flow is deterministic per key).
+    pub fn insert(&self, fingerprint: u64, sample: u32, qor: QorSample) {
+        self.shard(fingerprint, sample)
+            .map
+            .lock()
+            .insert((fingerprint, sample), qor);
+    }
+
+    /// Lookups answered from the cache so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.inner.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to a cold evaluation so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// `hits / (hits + misses)`, or 0 before any lookup.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.hits() as f64;
+        let total = h + self.misses() as f64;
+        if total == 0.0 {
+            0.0
+        } else {
+            h / total
+        }
+    }
+
+    /// Number of memoized entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.map.lock().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(v: f64) -> QorSample {
+        QorSample {
+            target_ghz: v,
+            area_um2: v * 2.0,
+            wns_ps: v * 3.0,
+            leakage_nw: v * 4.0,
+            runtime_hours: v * 5.0,
+        }
+    }
+
+    #[test]
+    fn get_insert_roundtrip_counts_hits_and_misses() {
+        let c = QorCache::new();
+        assert!(c.get(0xFEED, 1).is_none());
+        c.insert(0xFEED, 1, sample(1.0));
+        assert_eq!(c.get(0xFEED, 1), Some(sample(1.0)));
+        assert!(c.get(0xFEED, 2).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 2);
+        assert!((c.hit_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn clones_share_storage() {
+        let a = QorCache::new();
+        let b = a.clone();
+        b.insert(7, 7, sample(0.5));
+        assert_eq!(a.get(7, 7), Some(sample(0.5)));
+        assert_eq!(b.hits(), 1);
+    }
+
+    #[test]
+    fn keys_spread_over_shards() {
+        let c = QorCache::with_shards(8);
+        for i in 0..256u32 {
+            c.insert(
+                u64::from(i).wrapping_mul(0x1234_5678_9ABC),
+                i,
+                sample(f64::from(i)),
+            );
+        }
+        assert_eq!(c.len(), 256);
+        let populated = c
+            .inner
+            .shards
+            .iter()
+            .filter(|s| !s.map.lock().is_empty())
+            .count();
+        assert!(populated >= 4, "only {populated} of 8 shards populated");
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        let c = QorCache::with_shards(4);
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..100u32 {
+                        c.insert(u64::from(t), i, sample(f64::from(i)));
+                        assert_eq!(c.get(u64::from(t), i), Some(sample(f64::from(i))));
+                    }
+                });
+            }
+        });
+        assert_eq!(c.len(), 400);
+        assert_eq!(c.hits(), 400);
+    }
+
+    #[test]
+    fn single_shard_floor() {
+        let c = QorCache::with_shards(0);
+        c.insert(1, 1, sample(1.0));
+        assert_eq!(c.len(), 1);
+    }
+}

@@ -18,6 +18,7 @@
 //! [`tree`] (the Fig 5 tree of per-step flow options), and [`record`]
 //! (per-step metric records consumed by `ideaflow-metrics`).
 
+pub mod cache;
 pub mod noise;
 pub mod options;
 pub mod record;

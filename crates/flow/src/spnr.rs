@@ -1,5 +1,6 @@
 //! The SP&R flow: physical pipeline and calibrated fast surface.
 
+use crate::cache::QorCache;
 use crate::noise::{gaussian_draw, ToolNoise};
 use crate::options::SpnrOptions;
 use crate::record::{FlowStep, StepRecord};
@@ -79,6 +80,7 @@ pub struct SpnrFlow {
     base_area_um2: f64,
     base_leakage_nw: f64,
     journal: Journal,
+    cache: Option<QorCache>,
 }
 
 impl SpnrFlow {
@@ -100,6 +102,7 @@ impl SpnrFlow {
             base_area_um2,
             base_leakage_nw,
             journal: Journal::disabled(),
+            cache: None,
         }
     }
 
@@ -117,6 +120,23 @@ impl SpnrFlow {
     pub fn with_journal(mut self, journal: Journal) -> Self {
         self.journal = journal;
         self
+    }
+
+    /// Attaches a QoR memo cache: subsequent [`SpnrFlow::run`] calls
+    /// reuse memoized `(options, sample)` evaluations. Results are
+    /// bit-identical either way (the fast surface is deterministic per
+    /// key); only the `flow.cache.hits` / `flow.cache.misses` counters
+    /// show the difference. Clones of the flow share the cache.
+    #[must_use]
+    pub fn with_cache(mut self, cache: QorCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached QoR cache, if any.
+    #[must_use]
+    pub fn cache(&self) -> Option<&QorCache> {
+        self.cache.as_ref()
     }
 
     /// The attached journal (disabled unless set).
@@ -172,6 +192,16 @@ impl SpnrFlow {
     pub fn run(&self, options: &SpnrOptions, sample: u32) -> QorSample {
         options.validate().expect("options must validate");
         let fp = options.fingerprint() ^ self.seed;
+        if let Some(cache) = &self.cache {
+            if let Some(qor) = cache.get(fp, sample) {
+                // Re-emit exactly what the cold run emitted, so cached
+                // and cold journals are indistinguishable apart from
+                // the cache counters.
+                self.emit_sample(&qor, sample);
+                self.journal.count("flow.cache.hits", 1);
+                return qor;
+            }
+        }
         let fmax = self.fmax_effective_ghz(options);
         let u = options.target_ghz / fmax;
         let nf = options.combined_noise_factor();
@@ -211,6 +241,15 @@ impl SpnrFlow {
             leakage_nw: leakage,
             runtime_hours: runtime,
         };
+        if let Some(cache) = &self.cache {
+            cache.insert(fp, sample, qor.clone());
+            self.journal.count("flow.cache.misses", 1);
+        }
+        self.emit_sample(&qor, sample);
+        qor
+    }
+
+    fn emit_sample(&self, qor: &QorSample, sample: u32) {
         if self.journal.is_enabled() {
             self.journal.emit(
                 "flow.sample",
@@ -225,7 +264,6 @@ impl SpnrFlow {
             );
             self.journal.count("flow.samples", 1);
         }
-        qor
     }
 
     /// One fast-surface run plus its per-step METRICS records.
@@ -655,6 +693,64 @@ mod tests {
                 continue;
             }
             assert_eq!(e.payload.get("parent"), Some(&root_id), "{:?}", e.payload);
+        }
+    }
+
+    #[test]
+    fn cache_never_changes_results_and_counts_hits() {
+        let cache = crate::cache::QorCache::new();
+        let cold = flow();
+        let warm = flow().with_cache(cache.clone());
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        for s in 0..10 {
+            assert_eq!(cold.run(&o, s), warm.run(&o, s));
+        }
+        assert_eq!(cache.misses(), 10);
+        // Second pass is served entirely from the cache, bit-identical.
+        for s in 0..10 {
+            assert_eq!(cold.run(&o, s), warm.run(&o, s));
+        }
+        assert_eq!(cache.hits(), 10);
+        assert_eq!(cache.len(), 10);
+    }
+
+    #[test]
+    fn cache_hits_emit_the_same_journal_events_as_cold_runs() {
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        let strip_seq = |lines: Vec<String>| -> Vec<String> {
+            lines
+                .into_iter()
+                .filter(|l| l.contains("flow.sample"))
+                .collect()
+        };
+        let cold = flow().with_journal(ideaflow_trace::Journal::in_memory("cold"));
+        for s in 0..5 {
+            let _ = cold.run(&o, s);
+        }
+        let cold_lines = strip_seq(cold.journal().drain_lines());
+
+        let warm = flow()
+            .with_cache(crate::cache::QorCache::new())
+            .with_journal(ideaflow_trace::Journal::in_memory("cold"));
+        for s in 0..5 {
+            let _ = warm.run(&o, s); // populate
+        }
+        let _ = warm.journal().drain_lines();
+        for s in 0..5 {
+            let _ = warm.run(&o, s); // all hits
+        }
+        let warm_lines = strip_seq(warm.journal().drain_lines());
+        assert_eq!(warm.cache().unwrap().hits(), 5);
+        assert_eq!(cold_lines.len(), warm_lines.len());
+        for (c, w) in cold_lines.iter().zip(&warm_lines) {
+            // Same payloads; only the seq counter may differ.
+            let strip = |l: &str| {
+                l.split(',')
+                    .filter(|part| !part.contains("\"seq\""))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            assert_eq!(strip(c), strip(w));
         }
     }
 

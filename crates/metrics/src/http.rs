@@ -173,4 +173,31 @@ mod tests {
         server.shutdown();
         server.shutdown(); // idempotent
     }
+
+    #[test]
+    fn serves_executor_pool_gauges() {
+        // The gauges a `--telemetry-port` session scrapes for pool
+        // health: seeded at attach time, updated as tasks run.
+        let registry = TelemetryRegistry::new();
+        let pool = ideaflow_exec::PoolBuilder::new().threads(2).build();
+        pool.attach_telemetry(&registry);
+        let total: u64 = pool
+            .par_map((0..64u64).collect(), |i, x| i as u64 + x)
+            .iter()
+            .sum();
+        assert_eq!(total, 2 * (0..64u64).sum::<u64>());
+
+        let mut server = TelemetryServer::serve(0, registry).unwrap();
+        let metrics = get(server.port(), "/metrics");
+        assert!(metrics.contains("ideaflow_exec_workers 2"), "{metrics}");
+        assert!(metrics.contains("ideaflow_exec_workers_busy"), "{metrics}");
+        assert!(metrics.contains("ideaflow_exec_queue_depth"), "{metrics}");
+        assert!(metrics.contains("ideaflow_exec_tasks 64"), "{metrics}");
+        let body_at = metrics.find("\r\n\r\n").unwrap() + 4;
+        assert!(
+            ideaflow_trace::telemetry::exposition_is_valid(&metrics[body_at..]),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
 }

@@ -142,16 +142,13 @@ struct SpanNode {
     id: i64,
     parent: i64,
     name: String,
+    thread: String,
     secs: f64,
 }
 
-/// Folds `span.close` events into flamegraph folded-stack lines:
-/// `root;child;leaf <self-time-µs>`, one line per distinct stack, with
-/// self time = span time minus the time of its direct children
-/// (clamped at zero). Lines are merged and sorted so output is
-/// deterministic. Empty when the journal has no span events.
-#[must_use]
-pub fn flame_folded(reader: &JournalReader) -> String {
+/// Collects `span.close` events into span-tree nodes (shared by
+/// [`flame_folded`] and [`by_thread_text`]).
+fn collect_spans(reader: &JournalReader) -> Vec<SpanNode> {
     let mut nodes: Vec<SpanNode> = Vec::new();
     for e in reader.events_for_step("span.close") {
         let get_int = |k: &str| match e.payload.get(k) {
@@ -164,6 +161,10 @@ pub fn flame_folded(reader: &JournalReader) -> String {
         let Some(Value::Str(name)) = e.payload.get("name") else {
             continue;
         };
+        let thread = match e.payload.get("thread") {
+            Some(Value::Str(t)) => t.clone(),
+            _ => "unknown".to_owned(),
+        };
         let secs = match e.payload.get("secs") {
             Some(Value::Float(f)) => *f,
             Some(Value::Int(i)) => *i as f64,
@@ -173,18 +174,38 @@ pub fn flame_folded(reader: &JournalReader) -> String {
             id,
             parent,
             name: name.clone(),
+            thread,
             secs,
         });
     }
+    nodes
+}
 
+/// Self time of a node: its span time minus its direct children's span
+/// time, clamped at zero. Children may have run on other threads (scope
+/// tasks parent under the spawning span), which is exactly the
+/// attribution wanted: a parent waiting on workers gets no credit for
+/// their work.
+fn self_secs(n: &SpanNode, nodes: &[SpanNode]) -> f64 {
+    let child_secs: f64 = nodes
+        .iter()
+        .filter(|c| c.parent == n.id)
+        .map(|c| c.secs)
+        .sum();
+    (n.secs - child_secs).max(0.0)
+}
+
+/// Folds `span.close` events into flamegraph folded-stack lines:
+/// `root;child;leaf <self-time-µs>`, one line per distinct stack, with
+/// self time = span time minus the time of its direct children
+/// (clamped at zero). Lines are merged and sorted so output is
+/// deterministic. Empty when the journal has no span events.
+#[must_use]
+pub fn flame_folded(reader: &JournalReader) -> String {
+    let nodes = collect_spans(reader);
     let mut stacks: Vec<(String, u64)> = Vec::new();
     for n in &nodes {
-        let child_secs: f64 = nodes
-            .iter()
-            .filter(|c| c.parent == n.id)
-            .map(|c| c.secs)
-            .sum();
-        let self_us = ((n.secs - child_secs).max(0.0) * 1e6).round() as u64;
+        let self_us = (self_secs(n, &nodes) * 1e6).round() as u64;
         // Build the stack path by walking parents; a missing parent
         // (still-open span at journal end) truncates the path there.
         let mut path = vec![n.name.as_str()];
@@ -209,6 +230,61 @@ pub fn flame_folded(reader: &JournalReader) -> String {
     let mut out = String::new();
     for (line, us) in stacks {
         out.push_str(&format!("{line} {us}\n"));
+    }
+    out
+}
+
+/// Per-thread span accounting (the `summary --by-thread` view): for
+/// each OS thread that closed spans, the span count, total self time,
+/// and the busiest span names by self time. Worker threads of the
+/// executor show up as `ifw-<n>`; spans from old journals without a
+/// `thread` field group under `unknown`. Sorted by self time
+/// descending so the hottest thread leads.
+#[must_use]
+pub fn by_thread_text(reader: &JournalReader) -> String {
+    let nodes = collect_spans(reader);
+    if nodes.is_empty() {
+        return "no span events\n".to_owned();
+    }
+    // thread -> (span count, total self secs, per-name self secs)
+    type ThreadRow = (String, usize, f64, Vec<(String, f64)>);
+    let mut threads: Vec<ThreadRow> = Vec::new();
+    for n in &nodes {
+        let s = self_secs(n, &nodes);
+        let entry = match threads.iter_mut().find(|(t, ..)| *t == n.thread) {
+            Some(e) => e,
+            None => {
+                threads.push((n.thread.clone(), 0, 0.0, Vec::new()));
+                threads.last_mut().expect("just pushed")
+            }
+        };
+        entry.1 += 1;
+        entry.2 += s;
+        match entry.3.iter_mut().find(|(name, _)| *name == n.name) {
+            Some((_, v)) => *v += s,
+            None => entry.3.push((n.name.clone(), s)),
+        }
+    }
+    threads.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>6} {:>10}  top spans by self time\n",
+        "thread", "spans", "self_s"
+    ));
+    for (thread, count, total, mut names) in threads {
+        names.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let top: Vec<String> = names
+            .iter()
+            .take(3)
+            .map(|(name, s)| format!("{name}={}", short(*s)))
+            .collect();
+        out.push_str(&format!(
+            "{:<16} {:>6} {:>10}  {}\n",
+            thread,
+            count,
+            short(total),
+            top.join("  ")
+        ));
     }
     out
 }
@@ -355,5 +431,37 @@ mod tests {
         let j = Journal::in_memory("nospans");
         j.emit("flow.place", &[]);
         assert!(flame_folded(&reader(&j)).is_empty());
+    }
+
+    #[test]
+    fn by_thread_text_accounts_spans_per_thread() {
+        let j = Journal::in_memory("bt");
+        {
+            let _root = j.span("flow");
+            let snap = crate::SpanStack::capture();
+            let jc = j.clone();
+            std::thread::Builder::new()
+                .name("w-1".into())
+                .spawn(move || {
+                    snap.enter(|| {
+                        let _task = jc.span("task");
+                    });
+                })
+                .unwrap()
+                .join()
+                .unwrap();
+        }
+        let text = by_thread_text(&reader(&j));
+        assert!(text.contains("w-1"), "{text}");
+        assert!(text.contains("task="), "{text}");
+        // Header plus at least two thread rows (the test thread and w-1).
+        assert!(text.lines().count() >= 3, "{text}");
+    }
+
+    #[test]
+    fn by_thread_text_without_spans_says_so() {
+        let j = Journal::in_memory("ns");
+        j.emit("x", &[]);
+        assert_eq!(by_thread_text(&reader(&j)), "no span events\n");
     }
 }

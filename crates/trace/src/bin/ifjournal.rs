@@ -1,7 +1,10 @@
 //! `ifjournal`: offline analysis of ideaflow run journals (JSONL).
 //!
 //! ```text
-//! ifjournal summary <run.jsonl>            per-step counts + field stats
+//! ifjournal summary [--by-thread] <run.jsonl>
+//!                                          per-step counts + field stats
+//!                                          (--by-thread: per-worker span
+//!                                          counts and self time instead)
 //! ifjournal tail [--step S] [-n N] <run.jsonl>
 //!                                          last N events (default 10)
 //! ifjournal diff <a.jsonl> <b.jsonl>       per-step field-mean deltas
@@ -14,7 +17,7 @@ use ideaflow_trace::analyze;
 use ideaflow_trace::{Journal, JournalReader};
 
 const USAGE: &str = "usage: ifjournal <summary|tail|diff|flame> ...
-  ifjournal summary <run.jsonl>
+  ifjournal summary [--by-thread] <run.jsonl>
   ifjournal tail [--step <step>] [-n <count>] <run.jsonl>
   ifjournal diff <a.jsonl> <b.jsonl>
   ifjournal flame <run.jsonl>";
@@ -29,7 +32,7 @@ fn run(args: Vec<String>) -> i32 {
         return 2;
     };
     match cmd.as_str() {
-        "summary" => one_file(&args[1..], analyze::summary_text),
+        "summary" => summary(&args[1..]),
         "flame" => one_file(&args[1..], analyze::flame_folded),
         "tail" => tail(&args[1..]),
         "diff" => diff(&args[1..]),
@@ -45,6 +48,20 @@ fn load(path: &str) -> Result<JournalReader, i32> {
         eprintln!("ifjournal: {path}: {e}");
         1
     })
+}
+
+fn summary(args: &[String]) -> i32 {
+    let by_thread = args.iter().any(|a| a == "--by-thread");
+    let rest: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--by-thread")
+        .cloned()
+        .collect();
+    if by_thread {
+        one_file(&rest, analyze::by_thread_text)
+    } else {
+        one_file(&rest, analyze::summary_text)
+    }
 }
 
 fn one_file(args: &[String], render: impl Fn(&JournalReader) -> String) -> i32 {

@@ -42,7 +42,7 @@ pub mod stats;
 pub mod telemetry;
 
 pub use reader::{JournalReader, StepSummary};
-pub use span::Span;
+pub use span::{thread_label, Span, SpanStack};
 pub use stats::{FieldStats, Histogram};
 pub use telemetry::TelemetryRegistry;
 

@@ -14,7 +14,13 @@
 //!
 //! Parentage is tracked per thread with a thread-local stack keyed by
 //! the journal's identity, so two journals instrumenting the same code
-//! never cross-link, and spans on worker threads root independently.
+//! never cross-link. Spans on plain `std::thread` threads root
+//! independently; an executor moving work to pool workers can preserve
+//! nesting by snapshotting the spawning thread's stack with
+//! [`SpanStack::capture`] and entering it around the task with
+//! [`SpanStack::enter`]. Every `span.open`/`span.close` event carries a
+//! `thread` field (the OS thread name) so per-worker attribution
+//! survives into offline analysis (`ifjournal summary --by-thread`).
 //! Close events also feed the `span.<name>.secs` histogram, which flows
 //! into any attached [`crate::TelemetryRegistry`] live.
 //!
@@ -33,6 +39,75 @@ thread_local! {
     /// pointer; guards hold a `Journal` clone, so the pointer cannot be
     /// recycled while any of its entries are on the stack.
     static OPEN_SPANS: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The label `span.open`/`span.close` events carry in their `thread`
+/// field: the OS thread name (`main`, a pool worker like `ifw-3`, the
+/// test name under the libtest harness), or `unnamed` for anonymous
+/// threads.
+#[must_use]
+pub fn thread_label() -> String {
+    std::thread::current()
+        .name()
+        .unwrap_or("unnamed")
+        .to_owned()
+}
+
+/// A snapshot of the open-span stack of one thread, used to carry span
+/// parentage across threads: an executor captures the stack on the
+/// spawning thread ([`SpanStack::capture`]) and replays it around the
+/// task body on the worker ([`SpanStack::enter`]), so spans the task
+/// opens nest under the spawning span instead of becoming depth-0
+/// roots.
+///
+/// The snapshot stores journal identities as raw pointer keys without
+/// holding the journals alive; the caller must guarantee the captured
+/// spans outlive every `enter` (an executor whose scope blocks until
+/// all tasks finish does, because the spawning thread keeps the span
+/// guards — and through them the journals — alive).
+#[derive(Debug, Clone, Default)]
+pub struct SpanStack {
+    entries: Vec<(usize, u64)>,
+}
+
+impl SpanStack {
+    /// Snapshots the current thread's open-span stack.
+    #[must_use]
+    pub fn capture() -> Self {
+        OPEN_SPANS.with(|stack| Self {
+            entries: stack.borrow().clone(),
+        })
+    }
+
+    /// Runs `f` with this snapshot installed as the current thread's
+    /// open-span stack, restoring the previous stack afterwards (also
+    /// on panic). Replacing — not appending — keeps re-entry on the
+    /// spawning thread (a caller executing its own queued task while it
+    /// waits) from double-counting the spans already open there.
+    pub fn enter<R>(&self, f: impl FnOnce() -> R) -> R {
+        struct Restore(Vec<(usize, u64)>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                OPEN_SPANS.with(|stack| *stack.borrow_mut() = std::mem::take(&mut self.0));
+            }
+        }
+        let previous = OPEN_SPANS
+            .with(|stack| std::mem::replace(&mut *stack.borrow_mut(), self.entries.clone()));
+        let _restore = Restore(previous);
+        f()
+    }
+
+    /// Number of open spans in the snapshot (over all journals).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot holds no open spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
 }
 
 /// An open span; closing (dropping) it emits the `span.close` event.
@@ -91,6 +166,7 @@ impl Journal {
                 ("id", id.into()),
                 ("parent", parent.into()),
                 ("depth", depth.into()),
+                ("thread", thread_label().as_str().into()),
             ],
         );
         span
@@ -138,6 +214,7 @@ impl Drop for Span {
                 ("parent", self.parent.into()),
                 ("depth", self.depth.into()),
                 ("secs", secs.into()),
+                ("thread", thread_label().as_str().into()),
             ],
         );
         self.journal
@@ -198,6 +275,78 @@ mod tests {
         assert_eq!(rb.parent(), -1);
         let cb = b.span("child-b");
         assert_eq!(cb.parent(), rb.id() as i64);
+    }
+
+    #[test]
+    fn span_events_carry_the_thread_label() {
+        let j = Journal::in_memory("thr");
+        drop(j.span("stage"));
+        let r = load(&j);
+        let expected = thread_label();
+        for step in ["span.open", "span.close"] {
+            let e = &r.events_for_step(step)[0];
+            assert_eq!(
+                e.payload.get("thread").and_then(|v| v.as_str()),
+                Some(expected.as_str()),
+                "{step}"
+            );
+        }
+    }
+
+    #[test]
+    fn captured_stack_parents_spans_on_another_thread() {
+        let j = Journal::in_memory("xthread");
+        let root = j.span("outer");
+        let root_id = root.id();
+        let snapshot = SpanStack::capture();
+        assert_eq!(snapshot.len(), 1);
+        let journal = j.clone();
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                // Without the snapshot the worker span would root at
+                // depth 0; entering the snapshot nests it under `outer`.
+                let orphan = journal.span("orphan");
+                assert_eq!(orphan.parent(), -1);
+                drop(orphan);
+                snapshot.enter(|| {
+                    let child = journal.span("child");
+                    assert_eq!(child.parent(), root_id as i64);
+                    assert_eq!(child.depth(), 1);
+                });
+            });
+        });
+        drop(root);
+    }
+
+    #[test]
+    fn enter_replaces_rather_than_appends() {
+        let j = Journal::in_memory("replay");
+        let root = j.span("outer");
+        let snapshot = SpanStack::capture();
+        // Re-entering on the same thread (the caller-helps path of a
+        // pool) must not double-count the already-open span.
+        snapshot.enter(|| {
+            let child = j.span("child");
+            assert_eq!(child.depth(), 1);
+            assert_eq!(child.parent(), root.id() as i64);
+        });
+        // The original stack is restored afterwards.
+        let sibling = j.span("sibling");
+        assert_eq!(sibling.parent(), root.id() as i64);
+        assert_eq!(sibling.depth(), 1);
+    }
+
+    #[test]
+    fn empty_snapshot_detaches_spans() {
+        let j = Journal::in_memory("detach");
+        let _root = j.span("outer");
+        let empty = SpanStack::default();
+        assert!(empty.is_empty());
+        empty.enter(|| {
+            let s = j.span("detached");
+            assert_eq!(s.parent(), -1);
+            assert_eq!(s.depth(), 0);
+        });
     }
 
     #[test]

@@ -15,6 +15,9 @@
 //! - [`trace`]: the run journal — structured JSONL events, counters,
 //!   histograms, timers with a no-op default (the §4 "collect
 //!   everything" layer every subsystem emits into).
+//! - [`exec`]: the std-only work-stealing executor behind every
+//!   parallel orchestration loop — `IDEAFLOW_THREADS` sizes it, and
+//!   results stay bit-identical at any thread count.
 //! - [`costmodel`]: the ITRS design-cost model (Figs 1–2).
 //! - [`core`]: the orchestration layer tying it all together (Fig 4,
 //!   staged ML insertion, robot engineers, single-pass driver).
@@ -42,6 +45,7 @@
 pub use ideaflow_bandit as bandit;
 pub use ideaflow_core as core;
 pub use ideaflow_costmodel as costmodel;
+pub use ideaflow_exec as exec;
 pub use ideaflow_flow as flow;
 pub use ideaflow_mdp as mdp;
 pub use ideaflow_metrics as metrics;

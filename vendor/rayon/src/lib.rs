@@ -1,53 +1,145 @@
-//! Offline vendored stand-in for `rayon`.
+//! Offline vendored stand-in for `rayon`, backed by the ideaflow
+//! work-stealing executor (`ideaflow-exec`).
 //!
-//! `into_par_iter()` returns the *sequential* iterator: on this
-//! single-core container there is no parallelism to win, and every
-//! call site in the workspace derives per-item seeds (so results are
-//! identical either way). The facade keeps call sites source-compatible
-//! with upstream rayon; swapping the real crate back in is a
-//! `Cargo.toml` change only.
+//! `into_par_iter()` no longer returns a sequential iterator: adapter
+//! chains are lazy, and the terminal operation (`collect`, `sum`)
+//! drives every `map` stage through [`ideaflow_exec::current_par_map`]
+//! — the innermost [`ideaflow_exec::with_pool`] override, a pool
+//! worker's own pool, or the lazy global pool sized by
+//! `IDEAFLOW_THREADS`. Results still land in input order (the executor
+//! writes each result into its item's index slot), and every call site
+//! in the workspace derives per-item seeds from indices, so output is
+//! bit-identical at any thread count.
+//!
+//! The facade keeps call sites source-compatible with upstream rayon;
+//! swapping the real crate back in is a `Cargo.toml` change only.
+
+use ideaflow_exec as exec;
+
+/// A lazy parallel iterator: adapters stack, the terminal op executes
+/// on the current executor pool.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Materializes the elements, running any mapped stages on the
+    /// current pool. Order always matches the source order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps each element through `f` (in parallel once driven).
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Pairs each element with its index.
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Drives the chain and collects the results in source order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+
+    /// Drives the chain and sums the results.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.drive().into_iter().sum()
+    }
+}
+
+/// The base of every chain: a materialized element list.
+#[derive(Debug, Clone)]
+pub struct ParVec<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for ParVec<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Lazy `map` adapter; its `drive` fans the closure out on the pool.
+#[derive(Debug, Clone)]
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P: ParallelIterator, R: Send, F: Fn(P::Item) -> R + Sync> ParallelIterator for Map<P, F> {
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let f = self.f;
+        exec::current_par_map(self.base.drive(), move |_, x| f(x))
+    }
+}
+
+/// Lazy `enumerate` adapter (index pairing itself is sequential; a
+/// following `map` still runs parallel).
+#[derive(Debug, Clone)]
+pub struct Enumerate<P> {
+    base: P,
+}
+
+impl<P: ParallelIterator> ParallelIterator for Enumerate<P> {
+    type Item = (usize, P::Item);
+
+    fn drive(self) -> Vec<(usize, P::Item)> {
+        self.base.drive().into_iter().enumerate().collect()
+    }
+}
 
 /// Parallel-iterator traits, mirroring `rayon::prelude`.
 pub mod prelude {
-    /// Conversion into a "parallel" iterator (sequential here).
-    pub trait IntoParallelIterator {
-        /// The iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// The element type.
-        type Item;
-        /// Converts `self` into an iterator over its elements.
-        fn into_par_iter(self) -> Self::Iter;
-    }
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        type Item = I::Item;
+/// Conversion into a parallel iterator.
+pub trait IntoParallelIterator {
+    /// The chain's starting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator over its elements.
+    fn into_par_iter(self) -> Self::Iter;
+}
 
-        fn into_par_iter(self) -> I::IntoIter {
-            self.into_iter()
+impl<I: IntoIterator> IntoParallelIterator for I
+where
+    I::Item: Send,
+{
+    type Iter = ParVec<I::Item>;
+    type Item = I::Item;
+
+    fn into_par_iter(self) -> ParVec<I::Item> {
+        ParVec {
+            items: self.into_iter().collect(),
         }
     }
+}
 
-    /// Borrowing conversion, mirroring `par_iter()`.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type.
-        type Iter: Iterator<Item = Self::Item>;
-        /// The element type.
-        type Item: 'data;
-        /// Iterates over borrowed elements.
-        fn par_iter(&'data self) -> Self::Iter;
-    }
+/// Borrowing conversion, mirroring `par_iter()`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The chain's starting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The element type.
+    type Item: Send + 'data;
+    /// Iterates over borrowed elements.
+    fn par_iter(&'data self) -> Self::Iter;
+}
 
-    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
-    where
-        &'data C: IntoParallelIterator,
-    {
-        type Iter = <&'data C as IntoParallelIterator>::Iter;
-        type Item = <&'data C as IntoParallelIterator>::Item;
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    type Item = <&'data C as IntoParallelIterator>::Item;
 
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_par_iter()
-        }
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
     }
 }
 
@@ -75,5 +167,30 @@ mod tests {
         let sum: i32 = v.par_iter().sum();
         assert_eq!(sum, 6);
         assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn chained_maps_stay_ordered() {
+        let out: Vec<u64> = (0u64..64)
+            .into_par_iter()
+            .map(|i| i * 3)
+            .map(|x| x + 1)
+            .collect();
+        assert_eq!(out, (0u64..64).map(|i| i * 3 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_match_sequential_on_any_pool() {
+        let expected: Vec<u64> = (0u64..100).map(|i| i.wrapping_mul(i) ^ 0xA5).collect();
+        for threads in [1, 4] {
+            let pool = ideaflow_exec::PoolBuilder::new().threads(threads).build();
+            let got: Vec<u64> = ideaflow_exec::with_pool(&pool, || {
+                (0u64..100)
+                    .into_par_iter()
+                    .map(|i| i.wrapping_mul(i) ^ 0xA5)
+                    .collect()
+            });
+            assert_eq!(got, expected, "threads={threads}");
+        }
     }
 }
