@@ -43,7 +43,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, OnceLock};
 use std::time::Duration;
 
@@ -73,16 +73,23 @@ struct Inner {
     tasks_run: AtomicU64,
     threads: usize,
     telemetry: Mutex<Option<TelemetryRegistry>>,
+    /// Cheap hot-path guard so untelemetered pools skip the registry
+    /// mutex (and the state-lock queue-depth read) on every task.
+    telemetry_attached: AtomicBool,
 }
 
 impl Inner {
     fn push(&self, task: Task) {
         let queue = local_worker_index(self).map_or(0, |w| 1 + w);
-        self.queues[queue].lock().push_back(task);
+        // Count before enqueueing: `note_pop` decrements when it pops, so
+        // the count must never lag the queue or a concurrent pop could
+        // underflow it. The brief over-count only makes a scanning worker
+        // re-poll until the push below lands.
         {
             let mut st = lock_state(&self.state);
             st.pending += 1;
         }
+        self.queues[queue].lock().push_back(task);
         self.work_available.notify_one();
         self.publish_gauges();
     }
@@ -129,6 +136,9 @@ impl Inner {
     }
 
     fn publish_gauges(&self) {
+        if !self.telemetry_attached.load(Ordering::Relaxed) {
+            return;
+        }
         let telemetry = self.telemetry.lock().clone();
         if let Some(t) = telemetry {
             t.set_gauge(
@@ -175,11 +185,14 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
         }
         let mut st = lock_state(&inner.state);
         loop {
-            if st.shutdown {
-                return;
-            }
+            // Drain before honoring shutdown, so Drop's contract (workers
+            // finish queued tasks) holds even for work pushed right before
+            // the shutdown flag flipped.
             if st.pending > 0 {
                 break;
+            }
+            if st.shutdown {
+                return;
             }
             st = inner
                 .work_available
@@ -227,6 +240,7 @@ impl PoolBuilder {
             tasks_run: AtomicU64::new(0),
             threads,
             telemetry: Mutex::new(None),
+            telemetry_attached: AtomicBool::new(false),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -319,6 +333,7 @@ impl ThreadPool {
     pub fn attach_telemetry(&self, registry: &TelemetryRegistry) {
         registry.set_gauge("exec.workers", self.inner.threads as f64);
         *self.inner.telemetry.lock() = Some(registry.clone());
+        self.inner.telemetry_attached.store(true, Ordering::Relaxed);
         self.inner.publish_gauges();
     }
 
