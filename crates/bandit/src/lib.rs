@@ -78,6 +78,16 @@ pub trait BatchEnvironment: Environment + Sync {
     /// the environment.
     fn peek(&self, arm: usize, t: u32) -> f64;
 
+    /// Fallible [`BatchEnvironment::peek`]: `None` means the tool run
+    /// backing the pull failed outright (crashed and exhausted its
+    /// supervisor's retries). The concurrent harness records such pulls
+    /// as *censored* — no posterior update, no environment bookkeeping —
+    /// so one dead license does not corrupt the policy's beliefs. The
+    /// default wraps the infallible [`BatchEnvironment::peek`].
+    fn try_peek(&self, arm: usize, t: u32) -> Option<f64> {
+        Some(self.peek(arm, t))
+    }
+
     /// Applies the bookkeeping for an observed pull (history, budgets).
     /// Default: none.
     fn record(&mut self, arm: usize, t: u32, reward: f64) {

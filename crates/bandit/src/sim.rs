@@ -163,8 +163,12 @@ pub fn run_sequential_journaled<P: BanditPolicy, E: Environment>(
 pub struct ConcurrentIteration {
     /// Arms launched this iteration (length = concurrency).
     pub arms: Vec<usize>,
-    /// Rewards observed.
+    /// Rewards observed (0.0 for censored pulls).
     pub rewards: Vec<f64>,
+    /// Which pulls were censored: the tool run failed outright, so the
+    /// reward is a placeholder and neither the policy posterior nor the
+    /// environment bookkeeping saw the pull.
+    pub censored: Vec<bool>,
 }
 
 /// Budgeted concurrent loop: each iteration selects `concurrency` arms
@@ -232,24 +236,44 @@ pub fn run_concurrent_journaled<P: BanditPolicy, E: BatchEnvironment>(
         // (arm, pull index), so the k-th pull of this iteration gets the
         // exact pull index the sequential loop would hand it.
         let base_t = t;
-        let rewards: Vec<f64> = {
+        let observed: Vec<Option<f64>> = {
             let env: &E = env;
             arms.clone()
                 .into_par_iter()
                 .enumerate()
-                .map(|(k, a)| env.peek(a, base_t + k as u32))
+                .map(|(k, a)| env.try_peek(a, base_t + k as u32))
                 .collect()
         };
-        // Feedback is sequential and in pull order, as before.
-        for (k, (&a, &r)) in arms.iter().zip(&rewards).enumerate() {
-            env.record(a, base_t + k as u32, r);
-            policy.update(a, r);
+        let censored: Vec<bool> = observed.iter().map(Option::is_none).collect();
+        let rewards: Vec<f64> = observed.iter().map(|r| r.unwrap_or(0.0)).collect();
+        // Feedback is sequential and in pull order, as before. Censored
+        // pulls are skipped entirely: the posterior and the environment
+        // history never see them, so a failed run wastes budget without
+        // corrupting beliefs.
+        for (k, &a) in arms.iter().enumerate() {
+            if let Some(r) = observed[k] {
+                env.record(a, base_t + k as u32, r);
+                policy.update(a, r);
+            }
         }
         t = base_t + concurrency as u32;
         if journal.is_enabled() {
-            for (k, (&a, &r)) in arms.iter().zip(&rewards).enumerate() {
+            for (k, &a) in arms.iter().enumerate() {
                 let pull_index = iter * concurrency + k;
-                journal_pull(journal, policy, pull_index, a, r, None);
+                match observed[k] {
+                    Some(r) => journal_pull(journal, policy, pull_index, a, r, None),
+                    None => {
+                        journal.emit(
+                            "bandit.censored",
+                            &[
+                                ("t", (pull_index as i64).into()),
+                                ("policy", policy.name().into()),
+                                ("arm", (a as i64).into()),
+                            ],
+                        );
+                        journal.count("faults.censored_pulls", 1);
+                    }
+                }
             }
             let best = rewards.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
             journal.emit(
@@ -261,7 +285,11 @@ pub fn run_concurrent_journaled<P: BanditPolicy, E: BatchEnvironment>(
                 ],
             );
         }
-        out.push(ConcurrentIteration { arms, rewards });
+        out.push(ConcurrentIteration {
+            arms,
+            rewards,
+            censored,
+        });
     }
     Ok(out)
 }
@@ -381,6 +409,111 @@ mod tests {
         // budget (iterations x concurrency).
         assert_eq!(reader.events_for_step("bandit.pull").len(), 200);
         assert_eq!(reader.events_for_step("bandit.iteration").len(), 40);
+    }
+
+    /// A Gaussian environment whose pulls fail deterministically in
+    /// `(arm, t)` at a fixed rate — a stand-in for tool runs whose
+    /// supervisor gave up.
+    #[derive(Debug, Clone)]
+    struct FlakyEnv {
+        inner: GaussianEnv,
+        rate: f64,
+    }
+
+    impl FlakyEnv {
+        fn fails(&self, arm: usize, t: u32) -> bool {
+            let mut h = (arm as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ u64::from(t).wrapping_mul(0xD1B5_4A32_D192_ED03);
+            h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            h ^= h >> 31;
+            ((h >> 11) as f64 / (1u64 << 53) as f64) < self.rate
+        }
+    }
+
+    impl Environment for FlakyEnv {
+        fn arm_count(&self) -> usize {
+            self.inner.arm_count()
+        }
+        fn pull(&mut self, arm: usize, t: u32) -> f64 {
+            self.inner.pull(arm, t)
+        }
+    }
+
+    impl BatchEnvironment for FlakyEnv {
+        fn peek(&self, arm: usize, t: u32) -> f64 {
+            self.inner.peek(arm, t)
+        }
+        fn try_peek(&self, arm: usize, t: u32) -> Option<f64> {
+            if self.fails(arm, t) {
+                None
+            } else {
+                Some(self.inner.peek(arm, t))
+            }
+        }
+    }
+
+    #[test]
+    fn censored_pulls_skip_feedback_but_keep_the_budget_shape() {
+        let mut p = ThompsonGaussian::new(5, 1.0, 0.2).unwrap();
+        let mut e = FlakyEnv {
+            inner: env(2),
+            rate: 0.08,
+        };
+        let journal = Journal::in_memory("censor-test");
+        let iters = run_concurrent_journaled(&mut p, &mut e, 40, 5, 11, &journal).unwrap();
+        assert_eq!(iters.len(), 40);
+
+        let censored: usize = iters
+            .iter()
+            .flat_map(|i| &i.censored)
+            .filter(|&&c| c)
+            .count();
+        assert!(censored > 0, "rate 0.08 over 200 pulls must censor some");
+        assert!(censored < 200, "not every pull may fail");
+        // Censored pulls carry the placeholder reward.
+        for it in &iters {
+            for (k, &c) in it.censored.iter().enumerate() {
+                if c {
+                    assert_eq!(it.rewards[k], 0.0);
+                }
+            }
+        }
+
+        // Journal: pull events + censored events partition the budget, and
+        // the posterior warm-start sees only the uncensored pulls.
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        let pulls = reader.events_for_step("bandit.pull").len();
+        let cens = reader.events_for_step("bandit.censored").len();
+        assert_eq!(pulls + cens, 200);
+        assert_eq!(cens, censored);
+        let mut warm = ThompsonGaussian::new(5, 1.0, 0.2).unwrap();
+        assert_eq!(warm.seed_from_journal(&reader), 200 - censored);
+
+        // Bit-identical rerun: censoring is pure in (arm, t).
+        let mut p2 = ThompsonGaussian::new(5, 1.0, 0.2).unwrap();
+        let mut e2 = FlakyEnv {
+            inner: env(2),
+            rate: 0.08,
+        };
+        let again = run_concurrent(&mut p2, &mut e2, 40, 5, 11).unwrap();
+        assert_eq!(iters, again);
+    }
+
+    #[test]
+    fn fault_free_censoring_path_matches_plain_peek() {
+        let mut p = ThompsonGaussian::new(5, 1.0, 0.2).unwrap();
+        let mut e = FlakyEnv {
+            inner: env(2),
+            rate: 0.0,
+        };
+        let flaky = run_concurrent(&mut p, &mut e, 40, 5, 11).unwrap();
+        let mut p2 = ThompsonGaussian::new(5, 1.0, 0.2).unwrap();
+        let mut e2 = env(2);
+        let plain = run_concurrent(&mut p2, &mut e2, 40, 5, 11).unwrap();
+        assert_eq!(flaky, plain);
+        assert!(flaky.iter().all(|i| i.censored.iter().all(|&c| !c)));
     }
 
     #[test]

@@ -5,12 +5,21 @@
 //! Panel (b): adaptive multistart vs random multistart, plus the
 //! big-valley evidence (cost/distance correlation of local minima).
 
-use ideaflow_opt::gwtw::{gwtw, independent_baseline, GwtwConfig};
+use ideaflow_core::orchestrate::{TrajectoryLandscape, TrajectoryObjective};
+use ideaflow_core::watchdog::DoomedKill;
+use ideaflow_faults::{FaultInjector, FaultPlan};
+use ideaflow_flow::cache::QorCache;
+use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_flow::supervise::Supervisor;
+use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+use ideaflow_opt::gwtw::{gwtw, gwtw_journaled, independent_baseline, GwtwConfig};
 use ideaflow_opt::landscape::BigValley;
 use ideaflow_opt::local::LocalSearchConfig;
 use ideaflow_opt::multistart::{
     adaptive_multistart, big_valley_correlation, random_multistart, MultistartConfig,
 };
+use ideaflow_trace::Journal;
+use std::sync::Arc;
 
 /// Panel (a) data: per-round population-best costs for GWTW and the final
 /// best of the equal-budget independent baseline.
@@ -88,6 +97,113 @@ pub fn run_ams(dim: usize, starts: usize, seed: u64) -> AmsPanel {
     }
 }
 
+/// Configuration of the fault-injected GWTW campaign over the real
+/// flow-option tree — the chaos-smoke workload.
+#[derive(Debug, Clone, Copy)]
+pub struct ChaosConfig {
+    /// Design seed for the SP&R flow.
+    pub flow_seed: u64,
+    /// Fault-plan seed.
+    pub fault_seed: u64,
+    /// Per-mode fault rate (crash / hang / corrupt each).
+    pub fault_rate: f64,
+    /// Target frequency as a fraction of the design's reference fmax.
+    pub target_frac: f64,
+    /// GWTW review rounds of the full (uninterrupted) campaign.
+    pub rounds: usize,
+    /// Search seed.
+    pub seed: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            flow_seed: 55,
+            fault_seed: 0xC_4A05,
+            fault_rate: 0.02,
+            target_frac: 0.85,
+            rounds: 6,
+            seed: 17,
+        }
+    }
+}
+
+/// Outcome of one chaos campaign; every field is a pure function of
+/// the [`ChaosConfig`] (and the rounds actually run), at any thread
+/// count, warm or cold cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosOutcome {
+    /// Final best cost.
+    pub best_cost: f64,
+    /// The winning trajectory's axis choices.
+    pub best_trajectory: Vec<usize>,
+    /// GWTW threads lost to exhausted-retry failures, summed over rounds.
+    pub casualties: usize,
+    /// Faults injected by the plan (all modes).
+    pub faults_injected: u64,
+    /// Model hours refunded by early-killed runs.
+    pub refunded_hours: f64,
+    /// Tool runs spent (cache hits included).
+    pub runs_spent: u32,
+    /// QoR-cache hits — nonzero exactly when the campaign resumed from
+    /// a checkpoint (or re-visited trajectories).
+    pub cache_hits: u64,
+}
+
+/// Runs the fault-injected GWTW campaign for `rounds` review rounds
+/// with the given (possibly journal-warmed) QoR cache. A truncated
+/// `rounds` simulates a campaign killed mid-flight; re-running with a
+/// cache seeded from the killed campaign's journal is the
+/// checkpoint-resume path, and reaches a final best bit-identical to
+/// the uninterrupted campaign.
+#[must_use]
+pub fn run_chaos_gwtw(
+    cfg: &ChaosConfig,
+    rounds: usize,
+    cache: QorCache,
+    journal: &Journal,
+) -> ChaosOutcome {
+    let flow = SpnrFlow::new(
+        DesignSpec::new(DesignClass::Cpu, 250).expect("valid spec"),
+        cfg.flow_seed,
+    )
+    .with_journal(journal.clone())
+    .with_cache(cache.clone())
+    .with_faults(FaultInjector::new(FaultPlan::uniform(
+        cfg.fault_seed,
+        cfg.fault_rate,
+    )));
+    let target = flow.fmax_ref_ghz() * cfg.target_frac;
+    let supervisor = Supervisor::default()
+        .with_seed(cfg.seed)
+        .with_deadline_hours(36.0)
+        .with_early_kill(Arc::new(DoomedKill::from_fill_rules(2, 100.0)));
+    let scape = TrajectoryLandscape::new(&flow, target, TrajectoryObjective::default())
+        .expect("valid target")
+        .with_supervisor(supervisor);
+    let gwtw_cfg = GwtwConfig {
+        population: 8,
+        review_period: 40,
+        rounds,
+        survivor_fraction: 0.5,
+        t_initial: 0.5,
+        t_final: 0.02,
+    };
+    let g = gwtw_journaled(&scape, gwtw_cfg, cfg.seed, journal);
+    let faults_injected = flow
+        .faults()
+        .map_or(0, ideaflow_faults::FaultInjector::total);
+    ChaosOutcome {
+        best_cost: g.best.best_cost,
+        best_trajectory: g.best.best_state.0.clone(),
+        casualties: g.rounds.iter().map(|r| r.casualties).sum(),
+        faults_injected,
+        refunded_hours: scape.refunded_hours(),
+        runs_spent: scape.runs_spent(),
+        cache_hits: cache.hits(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,6 +224,20 @@ mod tests {
             gwtw_total <= ind_total + 0.5,
             "gwtw {gwtw_total} vs independent {ind_total}"
         );
+    }
+
+    #[test]
+    fn chaos_campaign_is_deterministic_and_survives_faults() {
+        let cfg = ChaosConfig {
+            rounds: 2,
+            ..ChaosConfig::default()
+        };
+        let a = run_chaos_gwtw(&cfg, 2, QorCache::new(), &Journal::disabled());
+        assert!(a.faults_injected > 0, "the plan must actually inject");
+        assert!(a.best_cost.is_finite());
+        assert!(a.runs_spent > 0);
+        let b = run_chaos_gwtw(&cfg, 2, QorCache::new(), &Journal::disabled());
+        assert_eq!(a, b, "chaos campaign must be bit-identical per seed");
     }
 
     #[test]

@@ -25,6 +25,7 @@ pub mod predictor;
 pub mod robot;
 pub mod singlepass;
 pub mod stages;
+pub mod watchdog;
 
 use std::error::Error;
 use std::fmt;

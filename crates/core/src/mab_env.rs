@@ -150,9 +150,17 @@ impl BatchEnvironment for FrequencyArms<'_> {
     /// deterministic per sample index), so concurrent batch pulls can
     /// compute rewards in parallel.
     fn peek(&self, arm: usize, t: u32) -> f64 {
+        self.try_peek(arm, t)
+            .expect("tool run crashed; use try_peek on fault-injected flows")
+    }
+
+    /// [`BatchEnvironment::peek`] over a fallible flow: a crashed tool
+    /// run censors the pull (`None`) instead of panicking, so the
+    /// concurrent harness records it without touching the posterior.
+    fn try_peek(&self, arm: usize, t: u32) -> Option<f64> {
         let ghz = self.freqs[arm];
         let opts = SpnrOptions::with_target_ghz(ghz).expect("validated in constructor");
-        let q = self.flow.run(&opts, t);
+        let q = self.flow.try_run(&opts, t).ok()?;
         let success = q.meets_timing()
             && self
                 .constraints
@@ -162,11 +170,7 @@ impl BatchEnvironment for FrequencyArms<'_> {
                 .constraints
                 .leakage_cap_nw
                 .is_none_or(|cap| q.leakage_nw <= cap);
-        if success {
-            ghz
-        } else {
-            0.0
-        }
+        Some(if success { ghz } else { 0.0 })
     }
 
     /// History bookkeeping, applied in pull order on one thread. Arm
@@ -274,6 +278,36 @@ mod tests {
             assert_eq!(env.pull(arm, arm as u32), 0.0);
         }
         assert!(env.best_success_ghz().is_none());
+    }
+
+    #[test]
+    fn fault_injected_pulls_are_censored_not_fatal() {
+        use ideaflow_faults::{FaultInjector, FaultPlan};
+        let base = flow();
+        let fmax = base.fmax_ref_ghz();
+        let run_once = || {
+            let f = flow().with_faults(FaultInjector::new(FaultPlan::uniform(77, 0.06)));
+            let mut env = FrequencyArms::linspace(
+                &f,
+                fmax * 0.4,
+                fmax * 1.2,
+                17,
+                QorConstraints::timing_only(),
+            )
+            .unwrap();
+            let mut policy = ThompsonGaussian::new(17, fmax, fmax * 0.3).unwrap();
+            run_concurrent(&mut policy, &mut env, 40, 5, 7).unwrap()
+        };
+        let iters = run_once();
+        let censored: usize = iters
+            .iter()
+            .flat_map(|i| &i.censored)
+            .filter(|&&c| c)
+            .count();
+        assert!(censored > 0, "a 6% crash rate over 200 pulls must censor");
+        assert!(censored < 200);
+        // Bit-identical rerun: faults are pure in (plan, fingerprint, t).
+        assert_eq!(iters, run_once());
     }
 
     #[test]

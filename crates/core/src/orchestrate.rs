@@ -10,14 +10,15 @@
 
 use crate::CoreError;
 use ideaflow_flow::options::SpnrOptions;
-use ideaflow_flow::spnr::SpnrFlow;
+use ideaflow_flow::spnr::{QorSample, SpnrFlow};
+use ideaflow_flow::supervise::{SupervisedError, Supervisor};
 use ideaflow_flow::tree::{options_for_trajectory, standard_axes, OptionAxis, Trajectory};
 use ideaflow_opt::gwtw::{gwtw_journaled, independent_baseline, GwtwConfig, GwtwOutcome};
 use ideaflow_opt::Landscape;
 use ideaflow_trace::Journal;
 use rand::rngs::StdRng;
 use rand::Rng;
-use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Scalarized QoR objective for a trajectory (lower is better): normalized
 /// area plus a large penalty for failing timing plus a runtime term.
@@ -54,6 +55,10 @@ pub struct TrajectoryLandscape<'a> {
     objective: TrajectoryObjective,
     base_area: f64,
     counter: AtomicU32,
+    supervisor: Option<Supervisor>,
+    /// Model hours refunded by early-killed runs, in microhours (fixed
+    /// point so the counter can be a plain atomic).
+    refunded_microhours: AtomicU64,
 }
 
 impl<'a> TrajectoryLandscape<'a> {
@@ -79,13 +84,32 @@ impl<'a> TrajectoryLandscape<'a> {
             objective,
             base_area,
             counter: AtomicU32::new(0),
+            supervisor: None,
+            refunded_microhours: AtomicU64::new(0),
         })
+    }
+
+    /// Runs every evaluation under the given supervisor: crashes are
+    /// retried with fresh samples, deadline blowouts are treated as
+    /// hangs, and early-killed runs refund their downstream model hours
+    /// to this landscape's budget (see
+    /// [`TrajectoryLandscape::refunded_hours`]).
+    #[must_use]
+    pub fn with_supervisor(mut self, supervisor: Supervisor) -> Self {
+        self.supervisor = Some(supervisor);
+        self
     }
 
     /// Number of tool runs spent so far.
     #[must_use]
     pub fn runs_spent(&self) -> u32 {
         self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Model hours refunded to the budget by early-killed runs.
+    #[must_use]
+    pub fn refunded_hours(&self) -> f64 {
+        self.refunded_microhours.load(Ordering::Relaxed) as f64 / 1e6
     }
 
     /// Scores one trajectory with a tool run. The flow's sample index
@@ -101,6 +125,40 @@ impl<'a> TrajectoryLandscape<'a> {
             .expect("trajectories from this landscape are valid");
         self.counter.fetch_add(1, Ordering::Relaxed);
         let q = self.flow.run(&opts, trajectory_sample(trajectory));
+        self.objective_of(&q)
+    }
+
+    /// [`TrajectoryLandscape::score`] over a fallible flow: `None` means
+    /// the tool run failed terminally — the supervisor exhausted its
+    /// retries, or the early-kill predictor declared the run doomed (in
+    /// which case the skipped model hours are refunded to the budget).
+    /// Without a supervisor this falls back to a single unsupervised
+    /// [`SpnrFlow::try_run`].
+    #[must_use]
+    pub fn try_score(&self, trajectory: &Trajectory) -> Option<f64> {
+        let opts = options_for_trajectory(trajectory, self.target_ghz)
+            .expect("trajectories from this landscape are valid");
+        self.counter.fetch_add(1, Ordering::Relaxed);
+        let sample = trajectory_sample(trajectory);
+        match &self.supervisor {
+            Some(sup) => match sup.run(self.flow, &opts, sample) {
+                Ok(run) => Some(self.objective_of(&run.qor)),
+                Err(SupervisedError::Killed { hours_saved, .. }) => {
+                    self.refunded_microhours
+                        .fetch_add((hours_saved * 1e6) as u64, Ordering::Relaxed);
+                    None
+                }
+                Err(_) => None,
+            },
+            None => self
+                .flow
+                .try_run(&opts, sample)
+                .ok()
+                .map(|q| self.objective_of(&q)),
+        }
+    }
+
+    fn objective_of(&self, q: &QorSample) -> f64 {
         let mut cost = self.objective.area_weight * q.area_um2 / self.base_area
             + self.objective.runtime_weight * q.runtime_hours;
         if !q.meets_timing() {
@@ -136,6 +194,10 @@ impl Landscape for TrajectoryLandscape<'_> {
 
     fn cost(&self, state: &Trajectory) -> f64 {
         self.score(state)
+    }
+
+    fn try_cost(&self, state: &Trajectory) -> Option<f64> {
+        self.try_score(state)
     }
 
     fn neighbor(&self, state: &Trajectory, rng: &mut StdRng) -> Trajectory {
@@ -371,5 +433,66 @@ mod tests {
     fn invalid_target_is_rejected() {
         let f = flow();
         assert!(TrajectoryLandscape::new(&f, -1.0, TrajectoryObjective::default()).is_err());
+    }
+
+    #[test]
+    fn supervised_try_cost_matches_plain_cost_when_healthy() {
+        let f = flow();
+        let fmax = f.fmax_ref_ghz();
+        let plain =
+            TrajectoryLandscape::new(&f, fmax * 0.85, TrajectoryObjective::default()).unwrap();
+        let supervised = TrajectoryLandscape::new(&f, fmax * 0.85, TrajectoryObjective::default())
+            .unwrap()
+            .with_supervisor(Supervisor::default());
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let t = plain.random_state(&mut rng);
+            assert_eq!(supervised.try_cost(&t), Some(plain.cost(&t)));
+        }
+        assert_eq!(supervised.refunded_hours(), 0.0);
+    }
+
+    #[test]
+    fn killed_runs_refund_their_downstream_hours() {
+        use crate::watchdog::DoomedKill;
+        use std::sync::Arc;
+        let f = flow();
+        let fmax = f.fmax_ref_ghz();
+        // A hopeless target misses timing by hundreds of ps: the
+        // fill-rule card reads the deepening negative slack as doomed.
+        let scape = TrajectoryLandscape::new(&f, fmax * 3.0, TrajectoryObjective::default())
+            .unwrap()
+            .with_supervisor(
+                Supervisor::default()
+                    .with_early_kill(Arc::new(DoomedKill::from_fill_rules(1, 100.0))),
+            );
+        let mut rng = StdRng::seed_from_u64(10);
+        let t = scape.random_state(&mut rng);
+        assert_eq!(scape.try_cost(&t), None, "doomed run must be killed");
+        assert!(
+            scape.refunded_hours() > 0.0,
+            "the kill must refund the skipped steps"
+        );
+        // The plain (infallible) path still works for callers that opt
+        // out of supervision.
+        assert!(scape.cost(&t).is_finite());
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_none_without_refund() {
+        use ideaflow_faults::{FaultInjector, FaultPlan};
+        use ideaflow_flow::supervise::RetryPolicy;
+        let f = flow().with_faults(FaultInjector::new(FaultPlan {
+            crash_rate: 1.0,
+            ..FaultPlan::uniform(3, 0.0)
+        }));
+        let fmax = f.fmax_ref_ghz();
+        let scape = TrajectoryLandscape::new(&f, fmax * 0.85, TrajectoryObjective::default())
+            .unwrap()
+            .with_supervisor(Supervisor::new(RetryPolicy::none()));
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = scape.random_state(&mut rng);
+        assert_eq!(scape.try_cost(&t), None);
+        assert_eq!(scape.refunded_hours(), 0.0);
     }
 }

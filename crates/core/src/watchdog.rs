@@ -1,0 +1,155 @@
+//! Bridging the MDP doomed-run predictor (paper §3.3, Fig 10) into the
+//! supervised-run early-kill hook.
+//!
+//! The [`ideaflow_mdp::doomed::StrategyCard`] consumes per-iteration DRV
+//! count sequences; a supervised flow run reports per-step
+//! [`StepRecord`]s carrying `wns_ps`. [`DoomedKill`] maps the negative
+//! slack of each completed step to a violation-count proxy and walks the
+//! card over the resulting sequence, so the same GO/STOP policy that
+//! terminates doomed router runs also terminates doomed flow runs
+//! mid-trajectory — the paper's "schedule-aware resource allocation"
+//! applied to tool-run supervision.
+
+use ideaflow_flow::record::StepRecord;
+use ideaflow_flow::supervise::EarlyKill;
+use ideaflow_mdp::doomed::{Action, StrategyCard, D_BINS, V_BINS};
+
+/// An [`EarlyKill`] predictor backed by an MDP strategy card.
+#[derive(Debug, Clone)]
+pub struct DoomedKill {
+    card: StrategyCard,
+    /// Consecutive STOP signals required before killing (the paper's
+    /// Type-1-error guard; the streak must reach the latest report).
+    k_consecutive: usize,
+    /// Violation-count proxy per picosecond of negative slack.
+    violations_per_ps: f64,
+}
+
+impl DoomedKill {
+    /// Wraps a derived (or hand-built) card.
+    #[must_use]
+    pub fn new(card: StrategyCard, k_consecutive: usize, violations_per_ps: f64) -> Self {
+        Self {
+            card,
+            k_consecutive: k_consecutive.max(1),
+            violations_per_ps: violations_per_ps.max(0.0),
+        }
+    }
+
+    /// A card built purely from the paper's footnote-5 fill rules — the
+    /// zero-training fallback (every cell unobserved).
+    #[must_use]
+    pub fn from_fill_rules(k_consecutive: usize, violations_per_ps: f64) -> Self {
+        let actions = (0..V_BINS * D_BINS)
+            .map(|s| ideaflow_mdp::doomed::fill_rule(s / D_BINS, s % D_BINS))
+            .collect();
+        let observed = vec![false; V_BINS * D_BINS];
+        Self::new(
+            StrategyCard::from_parts(actions, observed),
+            k_consecutive,
+            violations_per_ps,
+        )
+    }
+
+    /// The violation-count proxy sequence for a record prefix: one entry
+    /// per step that reported `wns_ps`, zero for non-negative slack.
+    fn counts(&self, prefix: &[StepRecord]) -> Vec<u64> {
+        prefix
+            .iter()
+            .filter_map(|r| r.metric("wns_ps"))
+            .map(|wns| ((-wns).max(0.0) * self.violations_per_ps) as u64)
+            .collect()
+    }
+}
+
+impl EarlyKill for DoomedKill {
+    fn should_kill(&self, prefix: &[StepRecord]) -> bool {
+        let counts = self.counts(prefix);
+        if counts.len() < 2 {
+            // No defined slope yet — a run is never killed on its first
+            // timing report.
+            return false;
+        }
+        // The STOP streak must be unbroken up to the latest report:
+        // a recovering run (GO) resets the count, exactly like the
+        // k-consecutive gating in `ideaflow_mdp::doomed::evaluate`.
+        let mut consecutive = 0usize;
+        for t in 0..counts.len() {
+            match self.card.decide(&counts, t) {
+                Action::Stop => consecutive += 1,
+                Action::Go => consecutive = 0,
+            }
+        }
+        consecutive >= self.k_consecutive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ideaflow_flow::record::FlowStep;
+
+    fn record(step: FlowStep, wns_ps: f64) -> StepRecord {
+        let mut r = StepRecord::new(step, "test_run");
+        r.push("wns_ps", wns_ps);
+        r.push("runtime_hours", 1.0);
+        r
+    }
+
+    #[test]
+    fn healthy_prefixes_are_never_killed() {
+        let kill = DoomedKill::from_fill_rules(1, 100.0);
+        let prefix = vec![
+            record(FlowStep::Place, 20.0),
+            record(FlowStep::Cts, 12.0),
+            record(FlowStep::Route, 5.0),
+        ];
+        assert!(!kill.should_kill(&prefix));
+    }
+
+    #[test]
+    fn deeply_doomed_prefixes_are_killed() {
+        // -120 ps at 100 violations/ps = 12000 violations, vbin >= 12:
+        // the footnote-5 rules STOP regardless of slope.
+        let kill = DoomedKill::from_fill_rules(1, 100.0);
+        let prefix = vec![
+            record(FlowStep::Place, -106.0),
+            record(FlowStep::Cts, -114.0),
+            record(FlowStep::Route, -118.0),
+        ];
+        assert!(kill.should_kill(&prefix));
+    }
+
+    #[test]
+    fn single_timing_report_is_never_enough() {
+        let kill = DoomedKill::from_fill_rules(1, 100.0);
+        let prefix = vec![record(FlowStep::Place, -500.0)];
+        assert!(!kill.should_kill(&prefix), "no slope on the first report");
+    }
+
+    #[test]
+    fn recovery_resets_the_stop_streak() {
+        // Doomed early, then a strong recovery: the last decide() is GO,
+        // so even k = 1 must not kill.
+        let kill = DoomedKill::from_fill_rules(1, 100.0);
+        let prefix = vec![
+            record(FlowStep::Place, -120.0),
+            record(FlowStep::Cts, -121.0),
+            record(FlowStep::Route, 10.0),
+        ];
+        assert!(!kill.should_kill(&prefix));
+    }
+
+    #[test]
+    fn k_consecutive_gates_the_kill() {
+        // Counts [0, 11500, 11600]: t=1 and t=2 are STOP (vbin >= 12),
+        // t=0 is always GO — streak length 2.
+        let prefix = vec![
+            record(FlowStep::Place, 0.0),
+            record(FlowStep::Cts, -115.0),
+            record(FlowStep::Route, -116.0),
+        ];
+        assert!(DoomedKill::from_fill_rules(2, 100.0).should_kill(&prefix));
+        assert!(!DoomedKill::from_fill_rules(3, 100.0).should_kill(&prefix));
+    }
+}

@@ -520,6 +520,35 @@ fn par_map_on<T: Send, R: Send>(
         .collect()
 }
 
+/// A cooperative cancellation flag shared between a supervisor and the
+/// work it oversees. Cheap to clone (clones share the flag); checked at
+/// safe points — the token never preempts running code, it asks the
+/// next checkpoint to stop. Used by `flow::supervise::Supervisor` to
+/// abandon retry loops when a campaign is being torn down.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    cancelled: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation. Idempotent; visible to all clones.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Acquire)
+    }
+}
+
 static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
 
 /// The lazy global pool: built on first use from `IDEAFLOW_THREADS`

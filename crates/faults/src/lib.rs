@@ -1,0 +1,308 @@
+//! Deterministic fault injection for chaos campaigns.
+//!
+//! Kahng's roadmap treats commercial SP&R as a noisy, failure-prone
+//! black box: runs crash outright, hang far past their expected wall
+//! time, or report divergent outlier QoR (the heavy tail of Fig 3's
+//! noise distribution). This crate models those failure modes as plain
+//! data so the flow layer can rehearse them *reproducibly*: whether a
+//! given tool run fails — and how — is a pure function of
+//! `(plan seed, options fingerprint, sample index)`, never of thread
+//! timing. A chaos campaign therefore produces bit-identical results
+//! and bit-identical fault sites at any `IDEAFLOW_THREADS` setting,
+//! which is what makes the supervisor and checkpoint-resume layers
+//! testable at all.
+//!
+//! The crate is dependency-free on purpose: a [`Fault`] is plain data,
+//! and the decision procedure is a splitmix-style hash. Everything
+//! that *reacts* to a fault (retry, kill, censoring, journaling) lives
+//! upstream in `ideaflow-flow` and the orchestrators.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One injected failure mode for a single `(fingerprint, sample)` run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The tool dies before producing any QoR. The run yields an error.
+    Crash,
+    /// The tool finishes but takes `hours` of *model* wall time longer
+    /// than it should. Supervisors compare the inflated model runtime
+    /// against their deadline; real wall-clock time is never consulted,
+    /// so hangs are deterministic at any thread count.
+    Hang {
+        /// Extra model runtime added to the run, in hours.
+        hours: f64,
+    },
+    /// The tool finishes on schedule but reports a divergent outlier
+    /// QoR: worst negative slack degraded by `factor` (the far tail of
+    /// the per-sample noise distribution in the paper's Fig 3).
+    CorruptQor {
+        /// Multiplier (> 1) applied to the pessimistic slack terms.
+        factor: f64,
+    },
+}
+
+impl Fault {
+    /// Short stable name used in journal events and telemetry labels.
+    pub fn mode(&self) -> &'static str {
+        match self {
+            Fault::Crash => "crash",
+            Fault::Hang { .. } => "hang",
+            Fault::CorruptQor { .. } => "corrupt_qor",
+        }
+    }
+}
+
+/// A seeded, rate-parameterised schedule of faults.
+///
+/// `fault_for(fingerprint, sample)` hashes the plan seed with the run
+/// key and buckets the resulting uniform draw by the configured rates:
+/// `[0, crash_rate)` → crash, `[crash_rate, crash+hang)` → hang, then
+/// corrupt, else healthy. A second independent draw parameterises the
+/// fault magnitude (hang duration, corruption factor), so changing a
+/// rate does not reshuffle the magnitudes of the faults that remain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed mixed into every decision; two plans with different seeds
+    /// fail different runs.
+    pub seed: u64,
+    /// Probability a run crashes outright.
+    pub crash_rate: f64,
+    /// Probability a run hangs (finishes late).
+    pub hang_rate: f64,
+    /// Probability a run reports corrupted QoR.
+    pub corrupt_rate: f64,
+    /// Longest injected hang, in model hours. Hang durations are drawn
+    /// uniformly from `(0, hang_hours_max]`.
+    pub hang_hours_max: f64,
+    /// Strongest slack corruption multiplier. Factors are drawn
+    /// uniformly from `(1, corrupt_scale]`.
+    pub corrupt_scale: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never injects anything. `fault_for` is always `None`.
+    pub fn disabled() -> Self {
+        FaultPlan {
+            seed: 0,
+            crash_rate: 0.0,
+            hang_rate: 0.0,
+            corrupt_rate: 0.0,
+            hang_hours_max: 0.0,
+            corrupt_scale: 1.0,
+        }
+    }
+
+    /// A plan with uniform per-mode rates — the usual chaos-test entry
+    /// point. `rate` is the probability of *each* mode, so a run fails
+    /// with probability `3 * rate` overall.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan {
+            seed,
+            crash_rate: rate,
+            hang_rate: rate,
+            corrupt_rate: rate,
+            hang_hours_max: 48.0,
+            corrupt_scale: 4.0,
+        }
+    }
+
+    /// Whether this plan can ever inject a fault.
+    pub fn is_enabled(&self) -> bool {
+        self.crash_rate > 0.0 || self.hang_rate > 0.0 || self.corrupt_rate > 0.0
+    }
+
+    /// The fault (if any) this plan assigns to one `(fingerprint,
+    /// sample)` tool run. Pure: same inputs, same answer, forever.
+    pub fn fault_for(&self, fingerprint: u64, sample: u32) -> Option<Fault> {
+        if !self.is_enabled() {
+            return None;
+        }
+        let key = mix(self.seed, fingerprint, u64::from(sample));
+        let pick = unit(key);
+        let magnitude = unit(mix(key, 0x5EED_FA17, u64::from(sample)));
+        if pick < self.crash_rate {
+            Some(Fault::Crash)
+        } else if pick < self.crash_rate + self.hang_rate {
+            // (0, max]: `1 - magnitude` keeps the draw strictly positive.
+            Some(Fault::Hang {
+                hours: (1.0 - magnitude) * self.hang_hours_max,
+            })
+        } else if pick < self.crash_rate + self.hang_rate + self.corrupt_rate {
+            Some(Fault::CorruptQor {
+                factor: 1.0 + (1.0 - magnitude) * (self.corrupt_scale - 1.0),
+            })
+        } else {
+            None
+        }
+    }
+}
+
+/// Splitmix64-style avalanche over the three key words.
+fn mix(seed: u64, a: u64, b: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(a.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(b.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform draw in `[0, 1)`.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Shared handle combining a [`FaultPlan`] with per-mode injection
+/// counters. Clones share the counters, so a flow cloned across worker
+/// threads still reports one campaign-wide tally.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    counts: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    crashes: AtomicU64,
+    hangs: AtomicU64,
+    corruptions: AtomicU64,
+}
+
+impl FaultInjector {
+    /// Wraps a plan in a shareable injector.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector {
+            plan,
+            counts: Arc::new(Counters::default()),
+        }
+    }
+
+    /// The underlying plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decides the fault for one run and tallies it. Deterministic in
+    /// the decision; the counters are the only mutable state.
+    pub fn inject(&self, fingerprint: u64, sample: u32) -> Option<Fault> {
+        let fault = self.plan.fault_for(fingerprint, sample);
+        match fault {
+            Some(Fault::Crash) => {
+                self.counts.crashes.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Fault::Hang { .. }) => {
+                self.counts.hangs.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(Fault::CorruptQor { .. }) => {
+                self.counts.corruptions.fetch_add(1, Ordering::Relaxed);
+            }
+            None => {}
+        }
+        fault
+    }
+
+    /// Crashes injected so far (campaign-wide, shared across clones).
+    pub fn crashes(&self) -> u64 {
+        self.counts.crashes.load(Ordering::Relaxed)
+    }
+
+    /// Hangs injected so far.
+    pub fn hangs(&self) -> u64 {
+        self.counts.hangs.load(Ordering::Relaxed)
+    }
+
+    /// QoR corruptions injected so far.
+    pub fn corruptions(&self) -> u64 {
+        self.counts.corruptions.load(Ordering::Relaxed)
+    }
+
+    /// Total faults injected so far.
+    pub fn total(&self) -> u64 {
+        self.crashes() + self.hangs() + self.corruptions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_plan_never_faults() {
+        let plan = FaultPlan::disabled();
+        for fp in 0..64u64 {
+            for s in 0..64u32 {
+                assert_eq!(plan.fault_for(fp * 0x1234_5678, s), None);
+            }
+        }
+    }
+
+    #[test]
+    fn decisions_are_pure_functions_of_the_key() {
+        let plan = FaultPlan::uniform(42, 0.05);
+        for fp in [0u64, 7, 0xDEAD_BEEF, u64::MAX] {
+            for s in 0..32u32 {
+                assert_eq!(plan.fault_for(fp, s), plan.fault_for(fp, s));
+            }
+        }
+    }
+
+    #[test]
+    fn rates_are_roughly_respected() {
+        let plan = FaultPlan::uniform(7, 0.10);
+        let mut crash = 0;
+        let mut hang = 0;
+        let mut corrupt = 0;
+        let n = 20_000u32;
+        for s in 0..n {
+            match plan.fault_for(0xA11CE, s) {
+                Some(Fault::Crash) => crash += 1,
+                Some(Fault::Hang { hours }) => {
+                    assert!(hours > 0.0 && hours <= plan.hang_hours_max);
+                    hang += 1;
+                }
+                Some(Fault::CorruptQor { factor }) => {
+                    assert!(factor > 1.0 && factor <= plan.corrupt_scale);
+                    corrupt += 1;
+                }
+                None => {}
+            }
+        }
+        for (label, count) in [("crash", crash), ("hang", hang), ("corrupt", corrupt)] {
+            let rate = f64::from(count) / f64::from(n);
+            assert!(
+                (rate - 0.10).abs() < 0.02,
+                "{label} rate {rate} drifted from 0.10"
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_fail_different_runs() {
+        let a = FaultPlan::uniform(1, 0.2);
+        let b = FaultPlan::uniform(2, 0.2);
+        let mut differ = false;
+        for s in 0..256u32 {
+            if a.fault_for(99, s) != b.fault_for(99, s) {
+                differ = true;
+                break;
+            }
+        }
+        assert!(differ, "seeds must reshuffle the fault schedule");
+    }
+
+    #[test]
+    fn injector_counts_are_shared_across_clones() {
+        let inj = FaultInjector::new(FaultPlan::uniform(3, 0.15));
+        let twin = inj.clone();
+        let mut expect = 0;
+        for s in 0..512u32 {
+            if twin.inject(0xF00D, s).is_some() {
+                expect += 1;
+            }
+        }
+        assert!(expect > 0, "the plan should have injected something");
+        assert_eq!(inj.total(), expect);
+        assert_eq!(inj.total(), inj.crashes() + inj.hangs() + inj.corruptions());
+    }
+}

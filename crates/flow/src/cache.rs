@@ -15,8 +15,20 @@
 //! enabling the cache can never change results or journal shapes —
 //! only `flow.cache.hits` / `flow.cache.misses` counters (mirrored
 //! into any attached telemetry registry) reveal it.
+//!
+//! Two features support long chaos campaigns:
+//!
+//! - **Bounded memory** ([`QorCache::with_capacity`]): each shard keeps
+//!   a coarse second-chance (clock) queue; once a shard exceeds its
+//!   slice of the capacity, unreferenced entries are evicted in
+//!   insertion order (a recent `get` grants one reprieve). The flow
+//!   counts evictions under `flow.cache.evictions`.
+//! - **Checkpoint restore** ([`QorCache::seed_from_journal`]): every
+//!   `flow.sample` journal event carries its cache key, so a killed
+//!   campaign's journal can rebuild the memo store and a resumed run
+//!   replays completed work as hits instead of recomputing it.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -28,9 +40,24 @@ use crate::spnr::QorSample;
 /// rarely collide, small enough to stay cheap to allocate.
 const DEFAULT_SHARDS: usize = 16;
 
+#[derive(Debug, Clone)]
+struct Entry {
+    qor: QorSample,
+    /// Second-chance reference bit: set on `get`, cleared (with one
+    /// reprieve) by the eviction clock hand.
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct ShardState {
+    map: HashMap<(u64, u32), Entry>,
+    /// Clock queue over resident keys, oldest first.
+    queue: VecDeque<(u64, u32)>,
+}
+
 #[derive(Debug, Default)]
 struct Shard {
-    map: Mutex<HashMap<(u64, u32), QorSample>>,
+    state: Mutex<ShardState>,
 }
 
 #[derive(Debug)]
@@ -38,6 +65,9 @@ struct Inner {
     shards: Vec<Shard>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+    /// Max entries per shard; `None` = unbounded.
+    shard_capacity: Option<usize>,
 }
 
 /// A sharded, thread-safe `(fingerprint, sample) -> QorSample` memo
@@ -54,20 +84,35 @@ impl Default for QorCache {
 }
 
 impl QorCache {
-    /// A cache with the default shard count.
+    /// An unbounded cache with the default shard count.
     #[must_use]
     pub fn new() -> Self {
-        Self::with_shards(DEFAULT_SHARDS)
+        Self::build(DEFAULT_SHARDS, None)
     }
 
-    /// A cache with an explicit shard count (at least 1).
+    /// An unbounded cache with an explicit shard count (at least 1).
     #[must_use]
     pub fn with_shards(shards: usize) -> Self {
+        Self::build(shards, None)
+    }
+
+    /// A bounded cache holding at most `capacity` entries overall
+    /// (rounded up to a whole number per shard, minimum one each).
+    /// Overflow evicts via per-shard second-chance.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        let per_shard = capacity.div_ceil(DEFAULT_SHARDS).max(1);
+        Self::build(DEFAULT_SHARDS, Some(per_shard))
+    }
+
+    fn build(shards: usize, shard_capacity: Option<usize>) -> Self {
         Self {
             inner: Arc::new(Inner {
                 shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
                 hits: AtomicU64::new(0),
                 misses: AtomicU64::new(0),
+                evictions: AtomicU64::new(0),
+                shard_capacity,
             }),
         }
     }
@@ -80,15 +125,17 @@ impl QorCache {
         &self.inner.shards[(h >> 48) as usize % self.inner.shards.len()]
     }
 
-    /// Looks up a memoized sample, counting the hit or miss.
+    /// Looks up a memoized sample, counting the hit or miss. A hit sets
+    /// the entry's reference bit, granting it one eviction reprieve.
     #[must_use]
     pub fn get(&self, fingerprint: u64, sample: u32) -> Option<QorSample> {
-        let found = self
-            .shard(fingerprint, sample)
-            .map
-            .lock()
-            .get(&(fingerprint, sample))
-            .cloned();
+        let found = {
+            let mut s = self.shard(fingerprint, sample).state.lock();
+            s.map.get_mut(&(fingerprint, sample)).map(|e| {
+                e.referenced = true;
+                e.qor.clone()
+            })
+        };
         let counter = if found.is_some() {
             &self.inner.hits
         } else {
@@ -100,11 +147,116 @@ impl QorCache {
 
     /// Memoizes a sample (last write wins; all writes for a key carry
     /// the same value because the flow is deterministic per key).
-    pub fn insert(&self, fingerprint: u64, sample: u32, qor: QorSample) {
-        self.shard(fingerprint, sample)
-            .map
-            .lock()
-            .insert((fingerprint, sample), qor);
+    /// Returns how many entries the shard evicted to stay within its
+    /// capacity (always 0 for unbounded caches).
+    pub fn insert(&self, fingerprint: u64, sample: u32, qor: QorSample) -> usize {
+        self.put(fingerprint, sample, qor).1
+    }
+
+    /// Inserts and reports `(was_new, evicted)`.
+    fn put(&self, fingerprint: u64, sample: u32, qor: QorSample) -> (bool, usize) {
+        let key = (fingerprint, sample);
+        let mut s = self.shard(fingerprint, sample).state.lock();
+        let was_new = match s.map.insert(
+            key,
+            Entry {
+                qor,
+                referenced: false,
+            },
+        ) {
+            Some(_) => false,
+            None => {
+                s.queue.push_back(key);
+                true
+            }
+        };
+        let mut evicted = 0usize;
+        if let Some(cap) = self.inner.shard_capacity {
+            // Second-chance sweep: pop the oldest key; a referenced
+            // entry is unreferenced and re-queued, the first
+            // unreferenced one is evicted. Bounded: one full queue lap
+            // clears every reference bit, so the loop always finds a
+            // victim on the second lap at the latest.
+            while s.map.len() > cap {
+                let Some(k) = s.queue.pop_front() else { break };
+                match s.map.get_mut(&k) {
+                    Some(e) if e.referenced && k != key => {
+                        e.referenced = false;
+                        s.queue.push_back(k);
+                    }
+                    Some(_) if k != key => {
+                        s.map.remove(&k);
+                        evicted += 1;
+                    }
+                    // Never evict the entry we just inserted; re-queue it.
+                    Some(_) => s.queue.push_back(k),
+                    None => {}
+                }
+            }
+        }
+        if evicted > 0 {
+            self.inner
+                .evictions
+                .fetch_add(evicted as u64, Ordering::Relaxed);
+        }
+        (was_new, evicted)
+    }
+
+    /// Rebuilds the memo store from the `flow.sample` events of a run
+    /// journal — the checkpoint-resume path. Each event carries the
+    /// combined cache key (`fingerprint`, bitcast i64) alongside the
+    /// QoR fields, so a killed campaign's completed evaluations replay
+    /// as cache hits when the campaign is re-run. Returns how many
+    /// entries were restored (duplicate events collapse; entries may
+    /// still be evicted later if the cache is bounded).
+    pub fn seed_from_journal(&self, reader: &ideaflow_trace::JournalReader) -> usize {
+        use ideaflow_trace::PayloadValue as V;
+        let int = |p: &V, k: &str| -> Option<i64> {
+            match p.get(k) {
+                Some(V::Int(i)) => Some(*i),
+                _ => None,
+            }
+        };
+        let num = |p: &V, k: &str| -> Option<f64> {
+            match p.get(k) {
+                Some(V::Float(f)) => Some(*f),
+                Some(V::Int(i)) => Some(*i as f64),
+                _ => None,
+            }
+        };
+        let mut restored = 0usize;
+        for e in reader.events_for_step("flow.sample") {
+            let p = &e.payload;
+            let (Some(fp), Some(sample)) = (int(p, "fingerprint"), int(p, "sample")) else {
+                continue;
+            };
+            let Ok(sample) = u32::try_from(sample) else {
+                continue;
+            };
+            let fields = (
+                num(p, "target_ghz"),
+                num(p, "area_um2"),
+                num(p, "wns_ps"),
+                num(p, "leakage_nw"),
+                num(p, "runtime_hours"),
+            );
+            let (Some(target_ghz), Some(area_um2), Some(wns_ps), Some(leakage_nw), Some(rt)) =
+                fields
+            else {
+                continue;
+            };
+            let qor = QorSample {
+                target_ghz,
+                area_um2,
+                wns_ps,
+                leakage_nw,
+                runtime_hours: rt,
+            };
+            if self.put(fp as u64, sample, qor).0 {
+                restored += 1;
+            }
+        }
+        restored
     }
 
     /// Lookups answered from the cache so far.
@@ -117,6 +269,12 @@ impl QorCache {
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.inner.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted by the capacity bound so far.
+    #[must_use]
+    pub fn evictions(&self) -> u64 {
+        self.inner.evictions.load(Ordering::Relaxed)
     }
 
     /// `hits / (hits + misses)`, or 0 before any lookup.
@@ -134,7 +292,11 @@ impl QorCache {
     /// Number of memoized entries.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.inner.shards.iter().map(|s| s.map.lock().len()).sum()
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.state.lock().map.len())
+            .sum()
     }
 
     /// Whether the cache holds no entries.
@@ -195,7 +357,7 @@ mod tests {
             .inner
             .shards
             .iter()
-            .filter(|s| !s.map.lock().is_empty())
+            .filter(|s| !s.state.lock().map.is_empty())
             .count();
         assert!(populated >= 4, "only {populated} of 8 shards populated");
     }
@@ -223,5 +385,46 @@ mod tests {
         let c = QorCache::with_shards(0);
         c.insert(1, 1, sample(1.0));
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn bounded_cache_evicts_oldest_unreferenced_entries() {
+        // 16 shards, capacity 16 -> one entry per shard. Every insert
+        // beyond the first into a shard must evict.
+        let c = QorCache::with_capacity(16);
+        for s in 0..200u32 {
+            c.insert(0xCAFE, s, sample(f64::from(s)));
+        }
+        assert!(c.len() <= 16, "len {} exceeds capacity", c.len());
+        assert_eq!(c.evictions(), 200 - c.len() as u64);
+    }
+
+    #[test]
+    fn second_chance_spares_recently_read_entries() {
+        // One shard slice sized for 4 entries: keep key 0 hot via get()
+        // while streaming others through; the hot key must survive the
+        // first rounds of eviction.
+        let c = QorCache::build(1, Some(4));
+        for s in 0..4u32 {
+            c.insert(1, s, sample(f64::from(s)));
+        }
+        assert!(c.get(1, 0).is_some());
+        c.insert(1, 100, sample(100.0));
+        // Key 0 was referenced: the clock hand reprieves it and evicts
+        // the oldest unreferenced key (1) instead.
+        assert_eq!(c.len(), 4);
+        assert!(c.get(1, 0).is_some(), "referenced entry evicted too early");
+        assert!(c.get(1, 1).is_none(), "oldest unreferenced entry survived");
+        assert!(c.evictions() >= 1);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let c = QorCache::new();
+        for s in 0..5_000u32 {
+            c.insert(u64::from(s), s, sample(1.0));
+        }
+        assert_eq!(c.len(), 5_000);
+        assert_eq!(c.evictions(), 0);
     }
 }

@@ -23,12 +23,13 @@ pub mod noise;
 pub mod options;
 pub mod record;
 pub mod spnr;
+pub mod supervise;
 pub mod tree;
 
 use std::error::Error;
 use std::fmt;
 
-/// Error type for flow configuration.
+/// Error type for flow configuration and supervised tool runs.
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowError {
     /// A parameter was outside its valid domain.
@@ -38,6 +39,14 @@ pub enum FlowError {
         /// Constraint description.
         detail: String,
     },
+    /// The tool run crashed (an injected `Fault::Crash` or, in a real
+    /// deployment, a dead tool process). No QoR was produced.
+    ToolCrash {
+        /// The cache key (`options.fingerprint() ^ flow seed`).
+        fingerprint: u64,
+        /// The sample index that crashed.
+        sample: u32,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -45,6 +54,15 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::InvalidParameter { name, detail } => {
                 write!(f, "invalid parameter `{name}`: {detail}")
+            }
+            FlowError::ToolCrash {
+                fingerprint,
+                sample,
+            } => {
+                write!(
+                    f,
+                    "tool run crashed (fp {fingerprint:016x}, sample {sample})"
+                )
             }
         }
     }

@@ -4,6 +4,8 @@ use crate::cache::QorCache;
 use crate::noise::{gaussian_draw, ToolNoise};
 use crate::options::SpnrOptions;
 use crate::record::{FlowStep, StepRecord};
+use crate::FlowError;
+use ideaflow_faults::{Fault, FaultInjector};
 use ideaflow_netlist::generate::DesignSpec;
 use ideaflow_netlist::graph::Netlist;
 use ideaflow_place::cts::{synthesize, CtsStyle};
@@ -81,6 +83,7 @@ pub struct SpnrFlow {
     base_leakage_nw: f64,
     journal: Journal,
     cache: Option<QorCache>,
+    faults: Option<FaultInjector>,
 }
 
 impl SpnrFlow {
@@ -103,6 +106,7 @@ impl SpnrFlow {
             base_leakage_nw,
             journal: Journal::disabled(),
             cache: None,
+            faults: None,
         }
     }
 
@@ -131,6 +135,26 @@ impl SpnrFlow {
     pub fn with_cache(mut self, cache: QorCache) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Attaches a fault injector: every subsequent [`SpnrFlow::try_run`]
+    /// consults the injector's seeded plan for its `(fingerprint,
+    /// sample)` key and rehearses the assigned failure mode — crash
+    /// (an error), hang (inflated model runtime), or corrupted QoR.
+    /// Whether and how a run fails is a pure function of the plan seed
+    /// and the run key, never of thread timing, so chaos campaigns are
+    /// reproducible bit for bit at any thread count. Clones share the
+    /// injector's counters.
+    #[must_use]
+    pub fn with_faults(mut self, faults: FaultInjector) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The attached fault injector, if any.
+    #[must_use]
+    pub fn faults(&self) -> Option<&FaultInjector> {
+        self.faults.as_ref()
     }
 
     /// The attached QoR cache, if any.
@@ -181,23 +205,110 @@ impl SpnrFlow {
             * cts_penalty
     }
 
-    /// One fast-surface run. Deterministic in `(options, sample)`; across
-    /// `sample` values the QoR noise is i.i.d. Gaussian with variance
-    /// growing near the achievable limit (Fig 3).
+    /// One fast-surface run (panicking shim). Deterministic in
+    /// `(options, sample)`; across `sample` values the QoR noise is
+    /// i.i.d. Gaussian with variance growing near the achievable limit
+    /// (Fig 3).
+    ///
+    /// This is the legacy infallible surface: it panics where
+    /// [`SpnrFlow::try_run`] returns a typed [`FlowError`]. Orchestrators
+    /// that must survive crashes (chaos campaigns, supervised runs)
+    /// should call `try_run` — this shim exists only for call sites that
+    /// never attach a fault injector.
     ///
     /// # Panics
     ///
-    /// Panics if `options` fail [`SpnrOptions::validate`].
+    /// Panics if `options` fail [`SpnrOptions::validate`], or if an
+    /// attached [`FaultInjector`] crashes this `(options, sample)` run.
     #[must_use]
     pub fn run(&self, options: &SpnrOptions, sample: u32) -> QorSample {
         options.validate().expect("options must validate");
+        match self.try_run(options, sample) {
+            Ok(qor) => qor,
+            Err(e) => panic!("unsupervised tool run failed: {e} (use try_run)"),
+        }
+    }
+
+    /// One fallible fast-surface run: validates options, consults any
+    /// attached fault injector, and reports failures as typed errors
+    /// instead of panicking.
+    ///
+    /// Fault semantics (all pure functions of the plan seed and the
+    /// `(fingerprint, sample)` key, so chaos campaigns replay bit for
+    /// bit at any thread count):
+    ///
+    /// - `Crash` → `Err(FlowError::ToolCrash)`, no QoR, nothing cached.
+    /// - `Hang { hours }` → the run completes but its *model*
+    ///   `runtime_hours` is inflated by `hours`; supervisors compare
+    ///   that against their deadline (wall-clock time is never
+    ///   consulted).
+    /// - `CorruptQor { factor }` → worst slack is degraded by the
+    ///   factor, modelling the divergent-outlier tail of Fig 3.
+    ///
+    /// Hang and corruption are applied *after* memoization: the cache
+    /// stores the clean surface value, so cold and warm replays of a
+    /// faulty key report the same perturbed QoR.
+    pub fn try_run(&self, options: &SpnrOptions, sample: u32) -> Result<QorSample, FlowError> {
+        options.validate()?;
         let fp = options.fingerprint() ^ self.seed;
+        let fault = self.faults.as_ref().and_then(|inj| inj.inject(fp, sample));
+        if let Some(f) = &fault {
+            if self.journal.is_enabled() {
+                let magnitude = match f {
+                    Fault::Crash => 0.0,
+                    Fault::Hang { hours } => *hours,
+                    Fault::CorruptQor { factor } => *factor,
+                };
+                self.journal.emit(
+                    "fault.injected",
+                    &[
+                        ("mode", f.mode().into()),
+                        ("sample", sample.into()),
+                        ("fingerprint", (fp as i64).into()),
+                        ("magnitude", magnitude.into()),
+                    ],
+                );
+            }
+            self.journal.count("faults.injected", 1);
+            self.journal.count(
+                match f {
+                    Fault::Crash => "faults.crash",
+                    Fault::Hang { .. } => "faults.hang",
+                    Fault::CorruptQor { .. } => "faults.corrupt_qor",
+                },
+                1,
+            );
+        }
+        if matches!(fault, Some(Fault::Crash)) {
+            return Err(FlowError::ToolCrash {
+                fingerprint: fp,
+                sample,
+            });
+        }
+        let mut qor = self.evaluate(options, sample, fp);
+        match fault {
+            Some(Fault::Hang { hours }) => qor.runtime_hours += hours,
+            Some(Fault::CorruptQor { factor }) => {
+                // Push the reported slack deep into the failing tail; the
+                // offset keeps near-zero slacks from corrupting to
+                // near-zero.
+                qor.wns_ps -= (qor.wns_ps.abs() + 25.0) * (factor - 1.0);
+            }
+            _ => {}
+        }
+        Ok(qor)
+    }
+
+    /// The deterministic fast surface for one validated `(options,
+    /// sample)` key, with memoization. `fp` is the combined cache key
+    /// (`options.fingerprint() ^ self.seed`).
+    fn evaluate(&self, options: &SpnrOptions, sample: u32, fp: u64) -> QorSample {
         if let Some(cache) = &self.cache {
             if let Some(qor) = cache.get(fp, sample) {
                 // Re-emit exactly what the cold run emitted, so cached
                 // and cold journals are indistinguishable apart from
                 // the cache counters.
-                self.emit_sample(&qor, sample);
+                self.emit_sample(&qor, sample, fp);
                 self.journal.count("flow.cache.hits", 1);
                 return qor;
             }
@@ -242,19 +353,26 @@ impl SpnrFlow {
             runtime_hours: runtime,
         };
         if let Some(cache) = &self.cache {
-            cache.insert(fp, sample, qor.clone());
+            let evicted = cache.insert(fp, sample, qor.clone());
             self.journal.count("flow.cache.misses", 1);
+            if evicted > 0 {
+                self.journal.count("flow.cache.evictions", evicted as u64);
+            }
         }
-        self.emit_sample(&qor, sample);
+        self.emit_sample(&qor, sample, fp);
         qor
     }
 
-    fn emit_sample(&self, qor: &QorSample, sample: u32) {
+    fn emit_sample(&self, qor: &QorSample, sample: u32, fp: u64) {
         if self.journal.is_enabled() {
             self.journal.emit(
                 "flow.sample",
                 &[
                     ("sample", sample.into()),
+                    // The combined cache key, bitcast so checkpoint
+                    // readers can rebuild the memo cache from the
+                    // journal alone (see `QorCache::seed_from_journal`).
+                    ("fingerprint", (fp as i64).into()),
                     ("target_ghz", qor.target_ghz.into()),
                     ("area_um2", qor.area_um2.into()),
                     ("wns_ps", qor.wns_ps.into()),
@@ -270,6 +388,34 @@ impl SpnrFlow {
     #[must_use]
     pub fn run_logged(&self, options: &SpnrOptions, sample: u32) -> (QorSample, Vec<StepRecord>) {
         let qor = self.run(options, sample);
+        let records = self.step_records(options, &qor, sample);
+        if self.journal.is_enabled() {
+            // Journal events carry the same metric vocabulary as the
+            // METRICS wire records, so journal-side and transmitter-side
+            // views of a run line up field for field.
+            for r in &records {
+                let fields: Vec<(&str, ideaflow_trace::PayloadValue)> =
+                    std::iter::once(("flow_run", r.run_id.as_str().into()))
+                        .chain(r.metrics.iter().map(|(k, v)| (k.as_str(), (*v).into())))
+                        .collect();
+                self.journal
+                    .emit(&format!("flow.step.{}", r.step.name()), &fields);
+            }
+        }
+        (qor, records)
+    }
+
+    /// The per-step METRICS records a finished run with this QoR would
+    /// stream, in flow order, without journaling anything. Supervisors
+    /// walk prefixes of this sequence to ask an early-kill predictor
+    /// whether the in-flight run is doomed.
+    #[must_use]
+    pub fn step_records(
+        &self,
+        options: &SpnrOptions,
+        qor: &QorSample,
+        sample: u32,
+    ) -> Vec<StepRecord> {
         let run_id = format!(
             "{}_{:016x}_s{sample}",
             self.netlist.name(),
@@ -315,20 +461,7 @@ impl SpnrFlow {
             }
             records.push(r);
         }
-        if self.journal.is_enabled() {
-            // Journal events carry the same metric vocabulary as the
-            // METRICS wire records, so journal-side and transmitter-side
-            // views of a run line up field for field.
-            for r in &records {
-                let fields: Vec<(&str, ideaflow_trace::PayloadValue)> =
-                    std::iter::once(("flow_run", r.run_id.as_str().into()))
-                        .chain(r.metrics.iter().map(|(k, v)| (k.as_str(), (*v).into())))
-                        .collect();
-                self.journal
-                    .emit(&format!("flow.step.{}", r.step.name()), &fields);
-            }
-        }
-        (qor, records)
+        records
     }
 
     /// Runs the full physical pipeline: floorplan → partition-seeded
@@ -769,5 +902,115 @@ mod tests {
         let mut o = SpnrOptions::with_target_ghz(0.4).unwrap();
         o.utilization = 0.05;
         let _ = f.run(&o, 0);
+    }
+
+    #[test]
+    fn try_run_reports_invalid_options_as_typed_errors() {
+        let f = flow();
+        let mut o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        o.utilization = 0.05;
+        match f.try_run(&o, 0) {
+            Err(FlowError::InvalidParameter { name, .. }) => assert_eq!(name, "utilization"),
+            other => panic!("expected InvalidParameter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_run_without_faults_matches_run() {
+        let f = flow();
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        for s in 0..8 {
+            assert_eq!(f.try_run(&o, s).unwrap(), f.run(&o, s));
+        }
+    }
+
+    fn chaotic_flow(rate: f64) -> SpnrFlow {
+        flow().with_faults(ideaflow_faults::FaultInjector::new(
+            ideaflow_faults::FaultPlan::uniform(0xBAD, rate),
+        ))
+    }
+
+    #[test]
+    fn injected_faults_perturb_runs_deterministically() {
+        let f = chaotic_flow(0.15);
+        let clean = flow();
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        let plan = *f.faults().unwrap().plan();
+        let fp = o.fingerprint() ^ 0xDAC;
+        let mut crashes = 0u64;
+        let mut hangs = 0u64;
+        let mut corruptions = 0u64;
+        for s in 0..200u32 {
+            let faulty = f.try_run(&o, s);
+            // Replays are bit-identical, faults included.
+            assert_eq!(faulty, f.try_run(&o, s));
+            match plan.fault_for(fp, s) {
+                Some(ideaflow_faults::Fault::Crash) => {
+                    assert_eq!(
+                        faulty,
+                        Err(FlowError::ToolCrash {
+                            fingerprint: fp,
+                            sample: s
+                        })
+                    );
+                    crashes += 1;
+                }
+                Some(ideaflow_faults::Fault::Hang { hours }) => {
+                    let q = faulty.unwrap();
+                    let base = clean.run(&o, s);
+                    assert!((q.runtime_hours - base.runtime_hours - hours).abs() < 1e-12);
+                    hangs += 1;
+                }
+                Some(ideaflow_faults::Fault::CorruptQor { .. }) => {
+                    let q = faulty.unwrap();
+                    assert!(
+                        q.wns_ps < clean.run(&o, s).wns_ps,
+                        "corruption degrades slack"
+                    );
+                    corruptions += 1;
+                }
+                None => assert_eq!(faulty.unwrap(), clean.run(&o, s)),
+            }
+        }
+        assert!(crashes > 0 && hangs > 0 && corruptions > 0);
+        let inj = f.faults().unwrap();
+        // try_run ran twice per sample, so every tally is doubled.
+        assert_eq!(inj.crashes(), crashes * 2);
+        assert_eq!(inj.hangs(), hangs * 2);
+        assert_eq!(inj.corruptions(), corruptions * 2);
+    }
+
+    #[test]
+    fn faults_are_journaled_and_cache_transparent() {
+        let cache = crate::cache::QorCache::new();
+        let f = chaotic_flow(0.2)
+            .with_cache(cache.clone())
+            .with_journal(ideaflow_trace::Journal::in_memory("chaos"));
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        let cold: Vec<_> = (0..40).map(|s| f.try_run(&o, s)).collect();
+        let warm: Vec<_> = (0..40).map(|s| f.try_run(&o, s)).collect();
+        // The cache memoizes the clean surface; perturbed replays agree.
+        assert_eq!(cold, warm);
+        assert!(cache.hits() > 0);
+        let lines = f.journal().drain_lines();
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines.join("\n")).unwrap();
+        let injected = reader.events_for_step("fault.injected");
+        assert_eq!(injected.len() as u64, f.faults().unwrap().total());
+        assert!(injected
+            .iter()
+            .all(|e| e.payload.get("mode").is_some() && e.payload.get("fingerprint").is_some()));
+    }
+
+    #[test]
+    fn step_records_match_run_logged() {
+        let f = flow().with_journal(ideaflow_trace::Journal::in_memory("steps"));
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+        let (qor, logged) = f.run_logged(&o, 2);
+        let plain = f.step_records(&o, &qor, 2);
+        assert_eq!(logged.len(), plain.len());
+        for (a, b) in logged.iter().zip(&plain) {
+            assert_eq!(a.run_id, b.run_id);
+            assert_eq!(a.metrics, b.metrics);
+        }
     }
 }

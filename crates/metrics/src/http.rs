@@ -200,4 +200,42 @@ mod tests {
         );
         server.shutdown();
     }
+
+    #[test]
+    fn serves_fault_injection_counters() {
+        use ideaflow_faults::{FaultInjector, FaultPlan};
+        use ideaflow_flow::options::SpnrOptions;
+        use ideaflow_flow::spnr::SpnrFlow;
+        use ideaflow_netlist::generate::{DesignClass, DesignSpec};
+
+        // A fault-injected flow wired journal -> telemetry: the chaos
+        // counters must surface on /metrics as `ideaflow_faults_*_total`.
+        let registry = TelemetryRegistry::new();
+        let journal =
+            ideaflow_trace::Journal::telemetry_only("faults").with_telemetry(registry.clone());
+        let flow = SpnrFlow::new(DesignSpec::new(DesignClass::Cpu, 200).unwrap(), 21)
+            .with_journal(journal)
+            .with_faults(FaultInjector::new(FaultPlan::uniform(5, 0.2)));
+        let opts = SpnrOptions::with_target_ghz(0.5).unwrap();
+        for sample in 0..40 {
+            let _ = flow.try_run(&opts, sample);
+        }
+        assert!(
+            registry.counter_value("faults.injected").unwrap_or(0) > 0,
+            "a 60% combined fault rate over 40 runs must inject"
+        );
+
+        let mut server = TelemetryServer::serve(0, registry).unwrap();
+        let metrics = get(server.port(), "/metrics");
+        assert!(
+            metrics.contains("ideaflow_faults_injected_total"),
+            "{metrics}"
+        );
+        let body_at = metrics.find("\r\n\r\n").unwrap() + 4;
+        assert!(
+            ideaflow_trace::telemetry::exposition_is_valid(&metrics[body_at..]),
+            "{metrics}"
+        );
+        server.shutdown();
+    }
 }

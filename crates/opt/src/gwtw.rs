@@ -54,6 +54,11 @@ pub struct GwtwRound {
     pub best: f64,
     /// Number of threads terminated and replaced by clones.
     pub terminated: usize,
+    /// Threads whose evaluation failed this round (a crashed tool run
+    /// whose supervisor gave up). Casualties keep their last good state
+    /// but are excluded from the survivor ranking; the round proceeds
+    /// with whoever is left. Always 0 for infallible landscapes.
+    pub casualties: usize,
 }
 
 /// Outcome of a GWTW run.
@@ -102,11 +107,19 @@ pub fn gwtw_journaled<L: Landscape>(
     );
     let _span = journal.span("gwtw.run");
     let mut rng = StdRng::seed_from_u64(seed);
+    // Initial population: a failed evaluation redraws (bounded) rather
+    // than sinking the campaign. Fault-free landscapes draw exactly one
+    // state per slot, preserving the historical rng stream.
+    const INIT_REDRAWS: usize = 16;
     let mut population: Vec<(L::State, f64)> = (0..cfg.population)
-        .map(|_| {
-            let s = landscape.random_state(&mut rng);
-            let c = landscape.cost(&s);
-            (s, c)
+        .map(|slot| {
+            for _ in 0..INIT_REDRAWS {
+                let s = landscape.random_state(&mut rng);
+                if let Some(c) = landscape.try_cost(&s) {
+                    return (s, c);
+                }
+            }
+            panic!("gwtw: {INIT_REDRAWS} consecutive failed evaluations seeding slot {slot}");
         })
         .collect();
 
@@ -128,8 +141,11 @@ pub fn gwtw_journaled<L: Landscape>(
         };
         let t_round = cfg.t_initial * (cfg.t_final / cfg.t_initial).powf(frac);
         let round_seed = seed ^ ((round as u64 + 1) << 24);
-        // Each thread anneals at fixed temperature for the review period.
-        population = population
+        // Each thread anneals at fixed temperature for the review
+        // period. A failed evaluation (crashed tool run) makes the
+        // thread a casualty: it keeps its last good state and cost but
+        // stops annealing for the round.
+        let annealed: Vec<(L::State, f64, bool)> = population
             .into_par_iter()
             .enumerate()
             .map(|(i, (state, cost))| {
@@ -138,36 +154,48 @@ pub fn gwtw_journaled<L: Landscape>(
                 );
                 let mut s = state;
                 let mut c = cost;
+                let mut alive = true;
                 for _ in 0..cfg.review_period {
                     let cand = landscape.neighbor(&s, &mut trng);
-                    let cc = landscape.cost(&cand);
+                    let Some(cc) = landscape.try_cost(&cand) else {
+                        alive = false;
+                        break;
+                    };
                     if cc <= c || trng.gen::<f64>() < ((c - cc) / t_round).exp() {
                         s = cand;
                         c = cc;
                     }
                 }
-                (s, c)
+                (s, c, alive)
             })
             .collect();
         evaluations += cfg.population * cfg.review_period;
 
-        let costs: Vec<f64> = population.iter().map(|(_, c)| *c).collect();
-        // Rank: indices sorted by cost ascending.
-        let mut order: Vec<usize> = (0..population.len()).collect();
+        let costs: Vec<f64> = annealed.iter().map(|(_, c, _)| *c).collect();
+        let casualties = annealed.iter().filter(|(_, _, alive)| !alive).count();
+        // Rank the survivors (all threads when nobody died; every
+        // thread by its last good cost if the whole round failed, so
+        // the campaign still makes progress).
+        let mut order: Vec<usize> = (0..annealed.len()).filter(|&i| annealed[i].2).collect();
+        if order.is_empty() {
+            order = (0..annealed.len()).collect();
+        }
         order.sort_by(|&a, &b| costs[a].partial_cmp(&costs[b]).expect("finite costs"));
         let round_best = costs[order[0]];
         if round_best < best_cost {
             best_cost = round_best;
-            best_state = population[order[0]].0.clone();
+            best_state = annealed[order[0]].0.clone();
         }
         trajectory.push(best_cost);
 
-        // Terminate losers; clone winners into their slots.
-        let terminated = population.len() - n_survive;
-        let survivors: Vec<(L::State, f64)> = order[..n_survive]
+        // Terminate losers; clone winners into their slots. Casualties
+        // never rank among the survivors, so their slots are refilled
+        // from the healthy winners.
+        let survivors: Vec<(L::State, f64)> = order[..n_survive.min(order.len())]
             .iter()
-            .map(|&i| population[i].clone())
+            .map(|&i| (annealed[i].0.clone(), annealed[i].1))
             .collect();
+        let terminated = annealed.len() - survivors.len();
         let mut next = survivors.clone();
         for _ in 0..terminated {
             let pick = rng.gen_range(0..survivors.len());
@@ -188,16 +216,21 @@ pub fn gwtw_journaled<L: Landscape>(
                     ("median", median.into()),
                     ("worst", worst.into()),
                     ("terminated", (terminated as i64).into()),
-                    ("survivors", (n_survive as i64).into()),
+                    ("survivors", (survivors.len() as i64).into()),
+                    ("casualties", (casualties as i64).into()),
                     ("best_so_far", best_cost.into()),
                 ],
             );
             journal.observe("gwtw.round.best", round_best);
+            if casualties > 0 {
+                journal.count("faults.gwtw_casualties", casualties as u64);
+            }
         }
         rounds.push(GwtwRound {
             costs,
             best: round_best,
             terminated,
+            casualties,
         });
     }
 
@@ -375,6 +408,87 @@ mod tests {
             .map(|r| r.best)
             .fold(f64::INFINITY, f64::min);
         assert_eq!(best.min, returned_min);
+    }
+
+    /// A landscape whose evaluations fail deterministically for a
+    /// state-hashed fraction of points — the pure-math stand-in for a
+    /// flow whose supervisor gave up on a run.
+    struct Flaky {
+        inner: BigValley,
+        rate: f64,
+    }
+
+    fn state_fails(s: &[f64], rate: f64) -> bool {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in s {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < rate
+    }
+
+    impl Landscape for Flaky {
+        type State = <BigValley as Landscape>::State;
+        fn random_state(&self, rng: &mut StdRng) -> Self::State {
+            self.inner.random_state(rng)
+        }
+        fn cost(&self, s: &Self::State) -> f64 {
+            self.inner.cost(s)
+        }
+        fn neighbor(&self, s: &Self::State, rng: &mut StdRng) -> Self::State {
+            self.inner.neighbor(s, rng)
+        }
+        fn distance(&self, a: &Self::State, b: &Self::State) -> f64 {
+            self.inner.distance(a, b)
+        }
+        fn try_cost(&self, s: &Self::State) -> Option<f64> {
+            if state_fails(s, self.rate) {
+                None
+            } else {
+                Some(self.inner.cost(s))
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_proceed_with_survivors_under_faults() {
+        let l = Flaky {
+            inner: BigValley::new(5, 3.0, 3),
+            rate: 0.01,
+        };
+        let out = gwtw(&l, small_cfg(), 1);
+        let casualties: usize = out.rounds.iter().map(|r| r.casualties).sum();
+        assert!(casualties > 0, "a 1% failure rate must claim some threads");
+        for r in &out.rounds {
+            assert_eq!(r.costs.len(), 8, "casualties keep their slots");
+            assert!(r.best.is_finite());
+        }
+        assert!(out.best.best_cost.is_finite());
+        // Chaos is deterministic: same seed, same casualties, same best.
+        let again = gwtw(&l, small_cfg(), 1);
+        assert_eq!(out.best.best_cost.to_bits(), again.best.best_cost.to_bits());
+        assert_eq!(
+            out.rounds.iter().map(|r| r.casualties).collect::<Vec<_>>(),
+            again
+                .rounds
+                .iter()
+                .map(|r| r.casualties)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn fault_free_chaos_path_matches_the_plain_landscape() {
+        // rate 0: the Flaky wrapper must be a perfect no-op.
+        let inner = BigValley::new(5, 3.0, 3);
+        let l = Flaky {
+            inner: BigValley::new(5, 3.0, 3),
+            rate: 0.0,
+        };
+        let a = gwtw(&inner, small_cfg(), 4);
+        let b = gwtw(&l, small_cfg(), 4);
+        assert_eq!(a.best.best_cost.to_bits(), b.best.best_cost.to_bits());
+        assert!(b.rounds.iter().all(|r| r.casualties == 0));
     }
 
     #[test]

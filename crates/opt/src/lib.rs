@@ -40,6 +40,17 @@ pub trait Landscape: Sync {
     /// Evaluates the cost (lower is better).
     fn cost(&self, state: &Self::State) -> f64;
 
+    /// Fallible cost evaluation: `None` means the evaluation failed
+    /// (e.g. the underlying tool run crashed and its supervisor gave
+    /// up). The default wraps the infallible [`Landscape::cost`], so
+    /// pure mathematical landscapes never fail; flow-backed landscapes
+    /// override this and the orchestrators degrade gracefully — GWTW
+    /// rounds proceed with the surviving threads, multistart skips the
+    /// failed start — instead of panicking.
+    fn try_cost(&self, state: &Self::State) -> Option<f64> {
+        Some(self.cost(state))
+    }
+
     /// Proposes a random neighbouring state (small move).
     fn neighbor(&self, state: &Self::State, rng: &mut StdRng) -> Self::State;
 

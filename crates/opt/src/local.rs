@@ -28,21 +28,42 @@ impl Default for LocalSearchConfig {
 ///
 /// Proposes random neighbours and accepts any strict improvement, stopping
 /// at the evaluation budget or after `stall_limit` consecutive rejections.
+///
+/// # Panics
+///
+/// Panics if any evaluation fails ([`Landscape::try_cost`] returns
+/// `None`) — impossible for infallible landscapes. Fallible
+/// (flow-backed) landscapes should use [`try_local_search`].
 pub fn local_search<L: Landscape>(
     landscape: &L,
     start: L::State,
     cfg: LocalSearchConfig,
     seed: u64,
 ) -> SearchOutcome<L::State> {
+    try_local_search(landscape, start, cfg, seed)
+        .expect("landscape evaluation failed; use try_local_search for fallible landscapes")
+}
+
+/// [`local_search`] over a fallible landscape: any failed evaluation
+/// (a crashed tool run whose supervisor gave up) aborts the search and
+/// returns `None`, so multistart drivers can skip the start and move
+/// on. Identical to [`local_search`] — same rng stream, same result —
+/// whenever no evaluation fails.
+pub fn try_local_search<L: Landscape>(
+    landscape: &L,
+    start: L::State,
+    cfg: LocalSearchConfig,
+    seed: u64,
+) -> Option<SearchOutcome<L::State>> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut current = start;
-    let mut current_cost = landscape.cost(&current);
+    let mut current_cost = landscape.try_cost(&current)?;
     let mut trajectory = vec![current_cost];
     let mut evaluations = 1;
     let mut stall = 0;
     while evaluations < cfg.max_evaluations && stall < cfg.stall_limit {
         let cand = landscape.neighbor(&current, &mut rng);
-        let c = landscape.cost(&cand);
+        let c = landscape.try_cost(&cand)?;
         evaluations += 1;
         if c < current_cost {
             current = cand;
@@ -53,12 +74,12 @@ pub fn local_search<L: Landscape>(
         }
         trajectory.push(current_cost);
     }
-    SearchOutcome {
+    Some(SearchOutcome {
         best_state: current,
         best_cost: current_cost,
         trajectory,
         evaluations,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! exploiting the big-valley structure: good minima cluster, so starting
 //! between them finds better minima faster.
 
-use crate::local::{local_search, LocalSearchConfig};
+use crate::local::{try_local_search, LocalSearchConfig};
 use crate::{Landscape, SearchOutcome};
 use ideaflow_trace::Journal;
 use rand::rngs::StdRng;
@@ -78,15 +78,16 @@ pub fn random_multistart_journaled<L: Landscape>(
     // One run-level span: starts run on worker threads, so per-start
     // spans would root independently instead of nesting under the run.
     let _span = journal.span("multistart.run");
-    let outcomes: Vec<SearchOutcome<L::State>> = (0..cfg.starts)
+    let attempts: Vec<Option<SearchOutcome<L::State>>> = (0..cfg.starts)
         .into_par_iter()
         .map(|i| {
             let s = seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
             let mut rng = StdRng::seed_from_u64(s);
             let start = landscape.random_state(&mut rng);
-            local_search(landscape, start, cfg.local, s.wrapping_add(1))
+            try_local_search(landscape, start, cfg.local, s.wrapping_add(1))
         })
         .collect();
+    let outcomes = keep_survivors(journal, "random", attempts);
     journal_starts(journal, "random", &outcomes);
     merge(outcomes)
 }
@@ -113,20 +114,70 @@ pub fn adaptive_multistart_journaled<L: Landscape>(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut pool: Vec<(L::State, f64)> = Vec::new();
     let mut outcomes = Vec::with_capacity(cfg.starts);
+    let mut failed = 0usize;
     for i in 0..cfg.starts {
         let start = if pool.len() < 2 {
             landscape.random_state(&mut rng)
         } else {
             landscape.combine(&pool, &mut rng)
         };
-        let out = local_search(landscape, start, cfg.local, seed.wrapping_add(1 + i as u64));
+        let Some(out) =
+            try_local_search(landscape, start, cfg.local, seed.wrapping_add(1 + i as u64))
+        else {
+            // A failed start contributes nothing to the pool; the
+            // campaign proceeds with the remaining budget.
+            journal_failed_start(journal, "adaptive", i);
+            failed += 1;
+            continue;
+        };
         pool.push((out.best_state.clone(), out.best_cost));
         pool.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"));
         pool.truncate(cfg.pool_size.max(1));
         outcomes.push(out);
     }
+    assert!(
+        !outcomes.is_empty(),
+        "all {failed} adaptive multistart starts failed"
+    );
     journal_starts(journal, "adaptive", &outcomes);
     merge(outcomes)
+}
+
+/// Drops failed starts from a parallel multistart batch, journaling
+/// each casualty. Panics only if *every* start failed.
+fn keep_survivors<S>(
+    journal: &Journal,
+    variant: &str,
+    attempts: Vec<Option<SearchOutcome<S>>>,
+) -> Vec<SearchOutcome<S>> {
+    let total = attempts.len();
+    let mut outcomes = Vec::with_capacity(total);
+    for (i, a) in attempts.into_iter().enumerate() {
+        match a {
+            Some(o) => outcomes.push(o),
+            None => journal_failed_start(journal, variant, i),
+        }
+    }
+    assert!(
+        !outcomes.is_empty(),
+        "all {total} {variant} multistart starts failed"
+    );
+    outcomes
+}
+
+/// Journals one skipped start (`multistart.failed` event plus the
+/// `faults.failed_starts` counter mirrored into telemetry).
+fn journal_failed_start(journal: &Journal, variant: &str, start: usize) {
+    if journal.is_enabled() {
+        journal.emit(
+            "multistart.failed",
+            &[
+                ("variant", variant.into()),
+                ("start", (start as i64).into()),
+            ],
+        );
+    }
+    journal.count("faults.failed_starts", 1);
 }
 
 /// Emits per-start and summary journal events for a multistart run.
@@ -321,6 +372,87 @@ mod tests {
         let summary = reader.field_stats("multistart.run", "best_cost").unwrap();
         assert_eq!(summary.min, out.best.best_cost);
         assert!(reader.seq_strictly_increasing_per_run());
+    }
+
+    struct Flaky {
+        inner: BigValley,
+        rate: f64,
+    }
+
+    fn state_fails(s: &[f64], rate: f64) -> bool {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for v in s {
+            h ^= v.to_bits();
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        ((h >> 11) as f64 / (1u64 << 53) as f64) < rate
+    }
+
+    impl Landscape for Flaky {
+        type State = <BigValley as Landscape>::State;
+        fn random_state(&self, rng: &mut StdRng) -> Self::State {
+            self.inner.random_state(rng)
+        }
+        fn cost(&self, s: &Self::State) -> f64 {
+            self.inner.cost(s)
+        }
+        fn neighbor(&self, s: &Self::State, rng: &mut StdRng) -> Self::State {
+            self.inner.neighbor(s, rng)
+        }
+        fn distance(&self, a: &Self::State, b: &Self::State) -> f64 {
+            self.inner.distance(a, b)
+        }
+        fn try_cost(&self, s: &Self::State) -> Option<f64> {
+            if state_fails(s, self.rate) {
+                None
+            } else {
+                Some(self.inner.cost(s))
+            }
+        }
+    }
+
+    #[test]
+    fn random_multistart_skips_failed_starts() {
+        let l = Flaky {
+            inner: BigValley::new(5, 2.0, 21),
+            rate: 0.002,
+        };
+        let journal = Journal::in_memory("flaky-ms");
+        let out = random_multistart_journaled(&l, cfg(16), 4, &journal);
+        assert!(out.minima.len() < 16, "some starts must fail at this rate");
+        assert!(!out.minima.is_empty());
+        assert!(out.best.best_cost.is_finite());
+        // Deterministic: the same campaign skips the same starts.
+        let again = random_multistart(&l, cfg(16), 4);
+        assert_eq!(again.minima.len(), out.minima.len());
+        assert_eq!(again.best.best_cost.to_bits(), out.best.best_cost.to_bits());
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        assert_eq!(
+            reader.events_for_step("multistart.failed").len(),
+            16 - out.minima.len()
+        );
+        assert_eq!(
+            reader.events_for_step("multistart.start").len(),
+            out.minima.len()
+        );
+    }
+
+    #[test]
+    fn adaptive_multistart_skips_failed_starts() {
+        let l = Flaky {
+            inner: BigValley::new(5, 2.0, 21),
+            rate: 0.002,
+        };
+        let journal = Journal::in_memory("flaky-ams");
+        let out = adaptive_multistart_journaled(&l, cfg(16), 4, &journal);
+        assert!(!out.minima.is_empty());
+        let lines = journal.drain_lines().join("\n");
+        let reader = ideaflow_trace::JournalReader::from_jsonl(&lines).unwrap();
+        assert_eq!(
+            out.minima.len() + reader.events_for_step("multistart.failed").len(),
+            16
+        );
     }
 
     #[test]

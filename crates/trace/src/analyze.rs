@@ -289,6 +289,102 @@ pub fn by_thread_text(reader: &JournalReader) -> String {
     out
 }
 
+/// The failure ledger (the `summary --failures` view): per-mode
+/// injected-fault counts, retries, timeouts, early kills (with refunded
+/// model hours), censored bandit pulls, skipped multistart starts, and
+/// GWTW casualties — every way a campaign degraded without dying.
+/// Says so when the journal recorded no failures at all.
+#[must_use]
+pub fn failures_text(reader: &JournalReader) -> String {
+    let mut rows: Vec<(String, usize, String)> = Vec::new();
+
+    let injected = reader.events_for_step("fault.injected");
+    if !injected.is_empty() {
+        let mut by_mode: Vec<(String, usize)> = Vec::new();
+        for e in &injected {
+            let mode = match e.payload.get("mode") {
+                Some(Value::Str(m)) => m.clone(),
+                _ => "unknown".to_owned(),
+            };
+            match by_mode.iter_mut().find(|(m, _)| *m == mode) {
+                Some((_, n)) => *n += 1,
+                None => by_mode.push((mode, 1)),
+            }
+        }
+        by_mode.sort();
+        let detail: Vec<String> = by_mode.iter().map(|(m, n)| format!("{m}={n}")).collect();
+        rows.push((
+            "fault.injected".to_owned(),
+            injected.len(),
+            detail.join(" "),
+        ));
+    }
+
+    let retries = reader.events_for_step("run.retry");
+    if !retries.is_empty() {
+        let detail = reader
+            .field_stats("run.retry", "backoff_ms")
+            .map(|s| format!("mean backoff {} ms", short(s.mean)))
+            .unwrap_or_default();
+        rows.push(("run.retry".to_owned(), retries.len(), detail));
+    }
+
+    let timeouts = reader.events_for_step("run.timeout");
+    if !timeouts.is_empty() {
+        rows.push(("run.timeout".to_owned(), timeouts.len(), String::new()));
+    }
+
+    let kills = reader.events_for_step("run.killed");
+    if !kills.is_empty() {
+        let saved: f64 = kills
+            .iter()
+            .filter_map(|e| match e.payload.get("hours_saved") {
+                Some(Value::Float(f)) => Some(*f),
+                Some(Value::Int(i)) => Some(*i as f64),
+                _ => None,
+            })
+            .sum();
+        rows.push((
+            "run.killed".to_owned(),
+            kills.len(),
+            format!("refunded {} model hours", short(saved)),
+        ));
+    }
+
+    for step in ["bandit.censored", "multistart.failed"] {
+        let n = reader.events_for_step(step).len();
+        if n > 0 {
+            rows.push((step.to_owned(), n, String::new()));
+        }
+    }
+
+    let casualties: i64 = reader
+        .events_for_step("gwtw.round")
+        .iter()
+        .filter_map(|e| match e.payload.get("casualties") {
+            Some(Value::Int(i)) => Some(*i),
+            _ => None,
+        })
+        .sum();
+    if casualties > 0 {
+        rows.push((
+            "gwtw casualties".to_owned(),
+            casualties as usize,
+            String::new(),
+        ));
+    }
+
+    if rows.is_empty() {
+        return "no failure events\n".to_owned();
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{:<20} {:>6}  detail\n", "failure", "count"));
+    for (name, count, detail) in rows {
+        out.push_str(&format!("{name:<20} {count:>6}  {detail}\n"));
+    }
+    out
+}
+
 fn render_payload(v: &Value) -> String {
     match v.as_object() {
         Some(obj) => {
@@ -456,6 +552,46 @@ mod tests {
         assert!(text.contains("task="), "{text}");
         // Header plus at least two thread rows (the test thread and w-1).
         assert!(text.lines().count() >= 3, "{text}");
+    }
+
+    #[test]
+    fn failures_text_ledgers_every_degradation_mode() {
+        let j = Journal::in_memory("fails");
+        j.emit(
+            "fault.injected",
+            &[("mode", "crash".into()), ("sample", 3u64.into())],
+        );
+        j.emit(
+            "fault.injected",
+            &[("mode", "hang".into()), ("sample", 4u64.into())],
+        );
+        j.emit(
+            "run.retry",
+            &[("sample", 3u64.into()), ("backoff_ms", 12u64.into())],
+        );
+        j.emit(
+            "run.killed",
+            &[("sample", 9u64.into()), ("hours_saved", 42.5.into())],
+        );
+        j.emit("bandit.censored", &[("arm", 1u64.into())]);
+        j.emit(
+            "gwtw.round",
+            &[("round", 0u64.into()), ("casualties", 2u64.into())],
+        );
+        let text = failures_text(&reader(&j));
+        assert!(text.contains("fault.injected"), "{text}");
+        assert!(text.contains("crash=1 hang=1"), "{text}");
+        assert!(text.contains("run.retry"), "{text}");
+        assert!(text.contains("refunded 42.5"), "{text}");
+        assert!(text.contains("bandit.censored"), "{text}");
+        assert!(text.contains("gwtw casualties"), "{text}");
+    }
+
+    #[test]
+    fn failures_text_without_failures_says_so() {
+        let j = Journal::in_memory("clean");
+        j.emit("flow.sample", &[("wns_ps", 5.0.into())]);
+        assert_eq!(failures_text(&reader(&j)), "no failure events\n");
     }
 
     #[test]

@@ -1,10 +1,13 @@
 //! `ifjournal`: offline analysis of ideaflow run journals (JSONL).
 //!
 //! ```text
-//! ifjournal summary [--by-thread] <run.jsonl>
+//! ifjournal summary [--by-thread|--failures] <run.jsonl>
 //!                                          per-step counts + field stats
 //!                                          (--by-thread: per-worker span
-//!                                          counts and self time instead)
+//!                                          counts and self time instead;
+//!                                          --failures: the failure ledger —
+//!                                          injected faults, retries,
+//!                                          timeouts, kills, censored pulls)
 //! ifjournal tail [--step S] [-n N] <run.jsonl>
 //!                                          last N events (default 10)
 //! ifjournal diff <a.jsonl> <b.jsonl>       per-step field-mean deltas
@@ -17,7 +20,7 @@ use ideaflow_trace::analyze;
 use ideaflow_trace::{Journal, JournalReader};
 
 const USAGE: &str = "usage: ifjournal <summary|tail|diff|flame> ...
-  ifjournal summary [--by-thread] <run.jsonl>
+  ifjournal summary [--by-thread|--failures] <run.jsonl>
   ifjournal tail [--step <step>] [-n <count>] <run.jsonl>
   ifjournal diff <a.jsonl> <b.jsonl>
   ifjournal flame <run.jsonl>";
@@ -52,13 +55,20 @@ fn load(path: &str) -> Result<JournalReader, i32> {
 
 fn summary(args: &[String]) -> i32 {
     let by_thread = args.iter().any(|a| a == "--by-thread");
+    let failures = args.iter().any(|a| a == "--failures");
     let rest: Vec<String> = args
         .iter()
-        .filter(|a| *a != "--by-thread")
+        .filter(|a| *a != "--by-thread" && *a != "--failures")
         .cloned()
         .collect();
+    if by_thread && failures {
+        eprintln!("ifjournal: --by-thread and --failures are exclusive\n{USAGE}");
+        return 2;
+    }
     if by_thread {
         one_file(&rest, analyze::by_thread_text)
+    } else if failures {
+        one_file(&rest, analyze::failures_text)
     } else {
         one_file(&rest, analyze::summary_text)
     }

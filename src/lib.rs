@@ -46,6 +46,7 @@ pub use ideaflow_bandit as bandit;
 pub use ideaflow_core as core;
 pub use ideaflow_costmodel as costmodel;
 pub use ideaflow_exec as exec;
+pub use ideaflow_faults as faults;
 pub use ideaflow_flow as flow;
 pub use ideaflow_mdp as mdp;
 pub use ideaflow_metrics as metrics;
