@@ -1,0 +1,113 @@
+//! `ifcheck` — the workspace static analyzer, run by CI as a required
+//! deny-by-default gate.
+//!
+//! ```text
+//! ifcheck [--root DIR] [--allow FILE] [--deny-all] [--list-lints]
+//! ```
+//!
+//! Scans production sources for determinism hazards in the
+//! deterministic crates and cross-checks every journal/telemetry
+//! call-site name against the schema registry in
+//! `crates/trace/src/schema.rs`. Any unsuppressed finding exits 1;
+//! suppressions live in `crates/check/allow.toml` and must state a
+//! reason. `--deny-all` additionally rejects dead registry entries and
+//! stale allowlist entries, so neither the registry nor the allowlist
+//! can rot.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ideaflow_check::{check_workspace, Allowlist, Config};
+
+const USAGE: &str = "usage: ifcheck [--root DIR] [--allow FILE] [--deny-all] [--list-lints]
+
+  --root DIR    workspace root to scan (default: .)
+  --allow FILE  allowlist (default: <root>/crates/check/allow.toml)
+  --deny-all    strict mode: also fail on dead schema-registry entries
+                and stale allowlist entries
+  --list-lints  print every lint name and exit";
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut allow_path: Option<PathBuf> = None;
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a value"),
+            },
+            "--allow" => match args.next() {
+                Some(v) => allow_path = Some(PathBuf::from(v)),
+                None => return usage_error("--allow needs a value"),
+            },
+            "--deny-all" => strict = true,
+            "--list-lints" => {
+                for lint in ideaflow_check::determinism::ALL {
+                    println!("{lint:22} determinism");
+                }
+                for lint in ideaflow_check::schema_lint::ALL {
+                    println!("{lint:22} journal-schema");
+                }
+                println!("{:22} allowlist hygiene (--deny-all)", "stale-allow");
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let mut cfg = Config::for_workspace(root.clone());
+    cfg.strict = strict;
+    let allow_file = allow_path.unwrap_or_else(|| root.join("crates/check/allow.toml"));
+    if allow_file.exists() {
+        let text = match std::fs::read_to_string(&allow_file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("ifcheck: cannot read {}: {e}", allow_file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        cfg.allow = match Allowlist::parse(&text) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("ifcheck: {}: {e}", allow_file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+    }
+
+    let diags = match check_workspace(&cfg) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("ifcheck: scan failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if diags.is_empty() {
+        println!(
+            "ifcheck: ok ({} mode, {} allow entries)",
+            if strict { "deny-all" } else { "default" },
+            cfg.allow.entries.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+    for d in &diags {
+        println!("{d}");
+    }
+    eprintln!(
+        "ifcheck: {} finding(s); fix them or add a reasoned entry to {}",
+        diags.len(),
+        allow_file.display()
+    );
+    ExitCode::FAILURE
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("ifcheck: {msg}\n{USAGE}");
+    ExitCode::FAILURE
+}

@@ -1,0 +1,216 @@
+//! Determinism lints over the token stream of one file.
+//!
+//! These run only on the *deterministic crates* — the code whose
+//! outputs must be bit-identical for a fixed seed at any thread count
+//! (DESIGN §9) and reproducible across checkpoint resume. Each lint
+//! flags a construct that can leak nondeterminism into results or
+//! journals:
+//!
+//! - `unordered-collection`: any `HashMap`/`HashSet` use. Hash-order
+//!   iteration is randomized per process, so order-dependent folds,
+//!   float accumulations, or journal emissions silently diverge between
+//!   runs. Use `BTreeMap`/`BTreeSet` or sort before iterating; keyed
+//!   lookups where order provably never escapes can be allowlisted.
+//! - `wall-clock`: `Instant::now()` / `SystemTime::now()`. Model code
+//!   must consume *model hours*, not the host clock; telemetry paths
+//!   where wall time is the point are allowlisted.
+//! - `unseeded-rng`: `thread_rng()`, `from_entropy()`, or a
+//!   `…Rng::default()` construction — entropy-seeded generators make
+//!   fixed-seed replay impossible.
+//! - `relaxed-ordering`: `Ordering::Relaxed` on atomics. Fine for
+//!   monotone counters read after a join; wrong when the load gates
+//!   control flow that results depend on. Flag every use, allowlist the
+//!   counters with a stated reason.
+
+use crate::lexer::{Tok, Token};
+use crate::Diagnostic;
+
+/// Lint identifiers, used in diagnostics and `allow.toml` entries.
+pub const UNORDERED_COLLECTION: &str = "unordered-collection";
+/// See [module docs](self): wall-clock reads in deterministic code.
+pub const WALL_CLOCK: &str = "wall-clock";
+/// See [module docs](self): entropy-seeded RNG construction.
+pub const UNSEEDED_RNG: &str = "unseeded-rng";
+/// See [module docs](self): `Ordering::Relaxed` atomics.
+pub const RELAXED_ORDERING: &str = "relaxed-ordering";
+
+/// All determinism lint names (for `ifcheck --list-lints`).
+pub const ALL: &[&str] = &[
+    UNORDERED_COLLECTION,
+    WALL_CLOCK,
+    UNSEEDED_RNG,
+    RELAXED_ORDERING,
+];
+
+fn ident(t: Option<&Token>) -> Option<&str> {
+    match t.map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn is_punct(t: Option<&Token>, c: char) -> bool {
+    matches!(t.map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+/// Runs every determinism lint over one file's (test-stripped) tokens.
+#[must_use]
+pub fn lint(path: &str, tokens: &[Token]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let diag = |out: &mut Vec<Diagnostic>, line: u32, lint: &'static str, message: String| {
+        out.push(Diagnostic {
+            path: path.to_owned(),
+            line,
+            lint,
+            message,
+        });
+    };
+    for (i, t) in tokens.iter().enumerate() {
+        let Tok::Ident(name) = &t.tok else { continue };
+        let path_sep = is_punct(tokens.get(i + 1), ':') && is_punct(tokens.get(i + 2), ':');
+        let next_ident = ident(tokens.get(i + 3));
+        match name.as_str() {
+            "HashMap" | "HashSet" => {
+                // Skip the `use std::collections::{...}` path segment
+                // counting double: flag the token regardless — imports
+                // count as uses, which keeps the signal at the point of
+                // introduction.
+                diag(
+                    &mut out,
+                    t.line,
+                    UNORDERED_COLLECTION,
+                    format!(
+                        "`{name}` in a deterministic crate: hash iteration order is \
+                         randomized per process; use BTree{} or sorted iteration \
+                         (allowlist only if order provably never reaches results \
+                         or journals)",
+                        &name[4..]
+                    ),
+                );
+            }
+            "Instant" | "SystemTime" if path_sep && next_ident == Some("now") => {
+                diag(
+                    &mut out,
+                    t.line,
+                    WALL_CLOCK,
+                    format!(
+                        "`{name}::now()` in a deterministic crate: model code must \
+                         consume model hours, not the host clock"
+                    ),
+                );
+            }
+            "thread_rng" | "from_entropy" => {
+                diag(
+                    &mut out,
+                    t.line,
+                    UNSEEDED_RNG,
+                    format!(
+                        "`{name}()` seeds from OS entropy: fixed-seed replay and \
+                         checkpoint resume become impossible; derive the seed from \
+                         the run configuration instead"
+                    ),
+                );
+            }
+            _ if name.ends_with("Rng")
+                && path_sep
+                && next_ident == Some("default")
+                && is_punct(tokens.get(i + 4), '(') =>
+            {
+                diag(
+                    &mut out,
+                    t.line,
+                    UNSEEDED_RNG,
+                    format!(
+                        "`{name}::default()` hides the seed: construct with \
+                         `seed_from_u64` from the run configuration"
+                    ),
+                );
+            }
+            "Ordering" if path_sep && next_ident == Some("Relaxed") => {
+                diag(
+                    &mut out,
+                    t.line,
+                    RELAXED_ORDERING,
+                    "`Ordering::Relaxed`: fine for monotone counters read after \
+                     a join, wrong for atomics that gate control flow results \
+                     depend on; allowlist with the reason"
+                        .to_owned(),
+                );
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, strip_test_blocks};
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        lint("f.rs", &strip_test_blocks(lex(src)))
+    }
+
+    #[test]
+    fn flags_each_hazard() {
+        let src = "
+            use std::collections::HashMap;
+            fn a() { let t = Instant::now(); }
+            fn b() { let r = thread_rng(); }
+            fn c() { let r = StdRng::default(); }
+            fn d() { x.load(Ordering::Relaxed); }
+        ";
+        let lints: Vec<&str> = run(src).iter().map(|d| d.lint).collect();
+        assert_eq!(
+            lints,
+            vec![
+                UNORDERED_COLLECTION,
+                WALL_CLOCK,
+                UNSEEDED_RNG,
+                UNSEEDED_RNG,
+                RELAXED_ORDERING
+            ]
+        );
+    }
+
+    #[test]
+    fn lines_are_reported() {
+        let d = run("fn f() {\n let m = HashSet::new();\n}");
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn clean_constructs_pass() {
+        let src = "
+            use std::collections::BTreeMap;
+            fn a(seed: u64) { let r = StdRng::seed_from_u64(seed); }
+            fn b() { x.load(Ordering::SeqCst); }
+            fn c() { let o: Ordering = Ordering::Less; }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "
+            fn prod() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { let s = std::collections::HashSet::new(); }
+            }
+        ";
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_are_exempt() {
+        let src = r#"
+            // HashMap here is fine
+            fn f() { let s = "thread_rng"; }
+        "#;
+        assert!(run(src).is_empty());
+    }
+}

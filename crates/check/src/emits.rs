@@ -1,0 +1,410 @@
+//! Extraction of journal call sites from the token stream: every
+//! `.emit(..)`, `.count(..)`, `.observe(..)`, `.time(..)`, `.span(..)`,
+//! `.inc_counter(..)`, `.set_gauge(..)` writer, and every
+//! `.events_for_step(..)` / `.field_stats(..)` / `.field_stats_grouped
+//! (..)` reader reference, with the string literals they carry.
+//!
+//! Names are usually plain literals. Two dynamic shapes are also
+//! understood because the workspace uses them:
+//!
+//! - `&format!("flow.step.{}", …)` — the format string's `{…}`
+//!   placeholders become `*`, producing a wildcard usage
+//!   (`flow.step.*`) that must be covered by a wildcard registry entry;
+//! - a first argument that is an arbitrary expression (e.g. the
+//!   `match` choosing between `faults.crash` / `faults.hang` /
+//!   `faults.corrupt_qor`) — every dotted string literal inside the
+//!   argument is recorded as a candidate name.
+//!
+//! Truly dynamic names (a plain variable, as in the `Journal::time`
+//! facade forwarding its `step` argument) yield nothing; those sites
+//! are covered by the runtime `ifjournal lint` instead.
+
+use crate::lexer::{Tok, Token};
+
+/// What a call site writes or reads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SiteKind {
+    /// `journal.emit(name, &[fields…])`.
+    Emit,
+    /// `journal.count(name, delta)`.
+    Counter,
+    /// `journal.observe(name, sample)`.
+    Histogram,
+    /// `journal.time(step, f)` — an event plus a derived `.secs` histogram.
+    Timer,
+    /// `journal.span(name)`.
+    Span,
+    /// `registry.inc_counter(name, delta)`.
+    TelemetryCounter,
+    /// `registry.set_gauge(name, value)`.
+    Gauge,
+    /// `reader.events_for_step(name)` and friends — a consumer.
+    ReaderEvent,
+}
+
+/// One extracted call site.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Writer or reader, and which family of name it uses.
+    pub kind: SiteKind,
+    /// The event/counter/… name; `*` marks format-string placeholders.
+    pub name: String,
+    /// Payload field keys, for emits whose field slice is a literal
+    /// `&[("k", v), …]`; `None` when the fields are built dynamically.
+    pub fields: Option<Vec<String>>,
+    /// Field names a reader dereferences (`field_stats*` arguments).
+    pub read_fields: Vec<String>,
+    /// 1-based source line of the call.
+    pub line: u32,
+}
+
+fn str_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Str(s)) => Some(s),
+        _ => None,
+    }
+}
+
+fn punct_at(tokens: &[Token], i: usize, c: char) -> bool {
+    matches!(tokens.get(i).map(|t| &t.tok), Some(Tok::Punct(p)) if *p == c)
+}
+
+fn ident_at(tokens: &[Token], i: usize) -> Option<&str> {
+    match tokens.get(i).map(|t| &t.tok) {
+        Some(Tok::Ident(s)) => Some(s),
+        _ => None,
+    }
+}
+
+/// Index just past the matching `)` for the `(` at `open`.
+fn close_paren(tokens: &[Token], open: usize) -> usize {
+    let mut depth = 0;
+    let mut i = open;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Converts a `format!` pattern into a wildcard name: `{…}` holes become
+/// `*`. Multiple holes collapse into the first (`a.{}.b.{}` → `a.*`);
+/// one `*` is all the registry's matcher supports.
+fn format_to_wildcard(fmt: &str) -> String {
+    let mut out = String::new();
+    let mut it = fmt.chars().peekable();
+    let mut holes = 0;
+    while let Some(c) = it.next() {
+        match c {
+            '{' if it.peek() == Some(&'{') => {
+                it.next();
+                out.push('{');
+            }
+            '{' => {
+                for d in it.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                }
+                holes += 1;
+                if holes == 1 {
+                    out.push('*');
+                } else {
+                    // A second hole: truncate at the first and stop.
+                    let cut = out.find('*').expect("first hole pushed") + 1;
+                    out.truncate(cut);
+                    return out;
+                }
+            }
+            '}' if it.peek() == Some(&'}') => {
+                it.next();
+                out.push('}');
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Extracts the name argument starting at `i` (just after the call's
+/// opening paren). Returns `(names, index_after_argument)`; empty names
+/// for truly dynamic arguments.
+fn name_argument(tokens: &[Token], i: usize, arg_end: usize) -> Vec<String> {
+    if let Some(s) = str_at(tokens, i) {
+        return vec![s.to_owned()];
+    }
+    // `&format!("…", …)` or `format!("…", …)`.
+    let mut j = i;
+    if punct_at(tokens, j, '&') {
+        j += 1;
+    }
+    if ident_at(tokens, j) == Some("format") && punct_at(tokens, j + 1, '!') {
+        if let Some(fmt) = str_at(tokens, j + 3) {
+            return vec![format_to_wildcard(fmt)];
+        }
+    }
+    // Arbitrary expression: collect dotted string literals inside the
+    // argument span (e.g. the arms of a `match` selecting a counter).
+    let mut names = Vec::new();
+    for t in &tokens[i..arg_end] {
+        if let Tok::Str(s) = &t.tok {
+            if s.contains('.') && !s.contains(' ') {
+                names.push(s.clone());
+            }
+        }
+    }
+    names
+}
+
+/// For an emit, parses the `&[("k", v), …]` field-slice argument that
+/// starts at `i`. Returns `None` when the slice is not a literal.
+fn field_slice(tokens: &[Token], i: usize) -> Option<Vec<String>> {
+    let mut j = i;
+    if !punct_at(tokens, j, '&') {
+        return None;
+    }
+    j += 1;
+    if !punct_at(tokens, j, '[') {
+        return None;
+    }
+    let mut fields = Vec::new();
+    let mut depth = 0;
+    while j < tokens.len() {
+        match tokens[j].tok {
+            Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(']') | Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(fields);
+                }
+            }
+            Tok::Punct('(') => {
+                // A tuple directly inside the slice: its first token, if
+                // a string literal, is the field key.
+                if depth == 1 {
+                    if let Some(k) = str_at(tokens, j + 1) {
+                        fields.push(k.to_owned());
+                    }
+                }
+                depth += 1;
+            }
+            Tok::Punct(')') => depth -= 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    Some(fields)
+}
+
+/// The string-literal arguments of a call, one per comma-separated
+/// argument position that begins with a literal (used for readers:
+/// `field_stats("bandit.pull", "reward")`).
+fn literal_arguments(tokens: &[Token], open: usize, end: usize) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut arg_start = true;
+    for tok in tokens.iter().take(end).skip(open) {
+        match &tok.tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => {
+                depth += 1;
+                if depth == 1 {
+                    arg_start = true;
+                    continue;
+                }
+                arg_start = false;
+            }
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct(',') if depth == 1 => arg_start = true,
+            Tok::Str(s) => {
+                if depth == 1 && arg_start {
+                    out.push(s.clone());
+                }
+                arg_start = false;
+            }
+            _ => arg_start = false,
+        }
+    }
+    out
+}
+
+/// Walks one file's (test-stripped) tokens and extracts every journal
+/// call site.
+#[must_use]
+pub fn extract(tokens: &[Token]) -> Vec<CallSite> {
+    let mut out = Vec::new();
+    for i in 0..tokens.len() {
+        if !punct_at(tokens, i, '.') {
+            continue;
+        }
+        let Some(method) = ident_at(tokens, i + 1) else {
+            continue;
+        };
+        if !punct_at(tokens, i + 2, '(') {
+            continue;
+        }
+        let open = i + 2;
+        let first = open + 1;
+        let end = close_paren(tokens, open);
+        let line = tokens[i + 1].line;
+        let kind = match method {
+            "emit" => SiteKind::Emit,
+            "count" => SiteKind::Counter,
+            "observe" => SiteKind::Histogram,
+            "time" => SiteKind::Timer,
+            "span" => SiteKind::Span,
+            "inc_counter" => SiteKind::TelemetryCounter,
+            "set_gauge" => SiteKind::Gauge,
+            "events_for_step" | "field_stats" | "field_stats_grouped" => SiteKind::ReaderEvent,
+            _ => continue,
+        };
+        if kind == SiteKind::ReaderEvent {
+            let args = literal_arguments(tokens, open, end);
+            if let Some((name, fields)) = args.split_first() {
+                out.push(CallSite {
+                    kind,
+                    name: name.clone(),
+                    fields: None,
+                    read_fields: fields.to_vec(),
+                    line,
+                });
+            }
+            continue;
+        }
+        // `.count()` with no arguments is Iterator::count, not a journal
+        // counter.
+        if punct_at(tokens, first, ')') {
+            continue;
+        }
+        let names = name_argument(tokens, first, end);
+        for name in names {
+            let fields = if kind == SiteKind::Emit {
+                // The field slice follows the name argument; find the
+                // first `, &[` at argument depth.
+                emit_fields(tokens, open, end)
+            } else {
+                None
+            };
+            out.push(CallSite {
+                kind,
+                name,
+                fields,
+                read_fields: Vec::new(),
+                line,
+            });
+        }
+    }
+    out
+}
+
+/// Finds the literal `&[…]` second argument of an emit, if present.
+fn emit_fields(tokens: &[Token], open: usize, end: usize) -> Option<Vec<String>> {
+    let mut depth = 0;
+    for j in open..end {
+        match tokens[j].tok {
+            Tok::Punct('(') | Tok::Punct('[') | Tok::Punct('{') => depth += 1,
+            Tok::Punct(')') | Tok::Punct(']') | Tok::Punct('}') => depth -= 1,
+            Tok::Punct(',') if depth == 1 => {
+                return field_slice(tokens, j + 1);
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn sites(src: &str) -> Vec<CallSite> {
+        extract(&lex(src))
+    }
+
+    #[test]
+    fn literal_emit_with_fields() {
+        let s = sites(r#"j.emit("flow.place", &[("hpwl_um", h.into()), ("secs", t.into())]);"#);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].kind, SiteKind::Emit);
+        assert_eq!(s[0].name, "flow.place");
+        assert_eq!(
+            s[0].fields.as_deref(),
+            Some(&["hpwl_um".to_owned(), "secs".to_owned()][..])
+        );
+    }
+
+    #[test]
+    fn nested_value_expressions_do_not_leak_keys() {
+        let s = sites(
+            r#"j.emit("anneal.run", &[("rate", (a as f64 / b.max(1) as f64).into()), ("b", x.f("no"))]);"#,
+        );
+        assert_eq!(
+            s[0].fields.as_deref(),
+            Some(&["rate".to_owned(), "b".to_owned()][..])
+        );
+    }
+
+    #[test]
+    fn format_name_becomes_wildcard() {
+        let s = sites(r#"j.emit(&format!("flow.step.{}", r.step.name()), &fields);"#);
+        assert_eq!(s[0].name, "flow.step.*");
+        assert_eq!(s[0].fields, None);
+    }
+
+    #[test]
+    fn observe_format_with_suffix() {
+        let s = sites(r#"j.observe(&format!("span.{}.secs", self.name), secs);"#);
+        assert_eq!(s[0].kind, SiteKind::Histogram);
+        assert_eq!(s[0].name, "span.*.secs");
+    }
+
+    #[test]
+    fn match_expression_yields_all_arms() {
+        let s = sites(r#"j.count(match f { A => "faults.crash", B { .. } => "faults.hang" }, 1);"#);
+        let names: Vec<&str> = s.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["faults.crash", "faults.hang"]);
+    }
+
+    #[test]
+    fn iterator_count_is_ignored() {
+        assert!(sites("let n = xs.iter().filter(|x| x > 0).count();").is_empty());
+    }
+
+    #[test]
+    fn dynamic_name_yields_nothing() {
+        assert!(sites("self.emit(step, fields);").is_empty());
+    }
+
+    #[test]
+    fn readers_capture_event_and_fields() {
+        let s = sites(r#"r.field_stats_grouped("bandit.pull", "arm", "reward");"#);
+        assert_eq!(s[0].kind, SiteKind::ReaderEvent);
+        assert_eq!(s[0].name, "bandit.pull");
+        assert_eq!(s[0].read_fields, vec!["arm", "reward"]);
+    }
+
+    #[test]
+    fn span_and_gauge_and_timer() {
+        let s = sites(
+            r#"
+            let _s = j.span("gwtw.round");
+            t.set_gauge("exec.workers", 4.0);
+            j.time("bench.fig07_mab", || run());
+        "#,
+        );
+        let kinds: Vec<SiteKind> = s.iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![SiteKind::Span, SiteKind::Gauge, SiteKind::Timer]
+        );
+    }
+}

@@ -1,0 +1,437 @@
+//! A minimal hand-rolled Rust lexer: just enough token structure for
+//! the determinism and journal-schema lints, with line numbers.
+//!
+//! The scanner understands the parts of Rust that would otherwise
+//! corrupt a naive text search — line and nested block comments, string
+//! and raw-string literals, char literals vs lifetimes, numeric
+//! literals with embedded dots — and reduces everything else to three
+//! token kinds: identifiers, string literals (cooked), and single-char
+//! punctuation. That is deliberately coarse: the lints pattern-match
+//! short token sequences (`Ident("Instant") Punct(':') Punct(':')
+//! Ident("now")`), so full Rust grammar is unnecessary, and a ~200-line
+//! scanner keeps `ifcheck` honest about its own complexity budget.
+//!
+//! [`strip_test_blocks`] removes `#[cfg(test)] mod … { … }` bodies from
+//! the token stream so unit-test scaffolding (scratch HashSets, ad-hoc
+//! journal names) is not linted as production code.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword.
+    Ident(String),
+    /// String literal (cooked: simple escapes resolved).
+    Str(String),
+    /// Any other single character (whitespace dropped).
+    Punct(char),
+}
+
+/// A token plus the 1-based source line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based line number.
+    pub line: u32,
+}
+
+/// Lexes Rust source into a flat token stream. Never fails: unexpected
+/// bytes become punctuation tokens, unterminated literals end at EOF.
+#[must_use]
+pub fn lex(src: &str) -> Vec<Token> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0;
+    let mut line: u32 = 1;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let mut depth = 1;
+                i += 2;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        i += 1;
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            '"' => {
+                let start_line = line;
+                let (s, ni, nl) = cooked_string(&chars, i + 1, line);
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            'r' | 'b' if raw_string_start(&chars, i).is_some() => {
+                let (hashes, body_start) = raw_string_start(&chars, i).expect("checked");
+                let start_line = line;
+                let (s, ni, nl) = raw_string(&chars, body_start, hashes, line);
+                out.push(Token {
+                    tok: Tok::Str(s),
+                    line: start_line,
+                });
+                i = ni;
+                line = nl;
+            }
+            '\'' => {
+                // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                let next = chars.get(i + 1).copied();
+                let is_lifetime = next.is_some_and(|n| n.is_alphanumeric() || n == '_')
+                    && chars.get(i + 2) != Some(&'\'');
+                if is_lifetime {
+                    i += 1;
+                    let start = i;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        i += 1;
+                    }
+                    out.push(Token {
+                        tok: Tok::Ident(chars[start..i].iter().collect()),
+                        line,
+                    });
+                } else {
+                    // Char literal: consume to the closing quote,
+                    // honouring one backslash escape.
+                    i += 1;
+                    if chars.get(i) == Some(&'\\') {
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                    while i < chars.len() && chars[i] != '\'' {
+                        // Multi-char escapes like \u{1F600}.
+                        if chars[i] == '\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Token {
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                    line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers swallow their own dots (`1.0`) so `.` stays a
+                // reliable method-call marker elsewhere.
+                i += 1;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else if d == '.' && chars.get(i + 1).is_some_and(char::is_ascii_digit) {
+                        i += 2;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            c => {
+                out.push(Token {
+                    tok: Tok::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Detects `r"…"`, `r#"…"#`, `br"…"`, `b"…"` starts. Returns
+/// `(hash_count, index_of_first_body_char)`.
+fn raw_string_start(chars: &[char], i: usize) -> Option<(usize, usize)> {
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    let raw = chars.get(j) == Some(&'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if chars.get(j) != Some(&'"') {
+        return None;
+    }
+    if !raw && (hashes > 0 || j == i) {
+        return None; // `b"` is handled as a cooked byte string below
+    }
+    if !raw {
+        // Plain `b"…"`: treat as cooked (escapes apply).
+        return Some((usize::MAX, j + 1));
+    }
+    Some((hashes, j + 1))
+}
+
+/// Consumes a cooked string body starting after the opening quote.
+fn cooked_string(chars: &[char], mut i: usize, mut line: u32) -> (String, usize, u32) {
+    let mut s = String::new();
+    while i < chars.len() {
+        match chars[i] {
+            '"' => return (s, i + 1, line),
+            '\\' => {
+                match chars.get(i + 1) {
+                    Some('n') => s.push('\n'),
+                    Some('t') => s.push('\t'),
+                    Some('\n') => line += 1, // line continuation
+                    Some(&c) => s.push(c),
+                    None => {}
+                }
+                i += 2;
+            }
+            '\n' => {
+                s.push('\n');
+                line += 1;
+                i += 1;
+            }
+            c => {
+                s.push(c);
+                i += 1;
+            }
+        }
+    }
+    (s, i, line)
+}
+
+/// Consumes a raw string body (`hashes == usize::MAX` means a cooked
+/// byte string, delegated to [`cooked_string`]).
+fn raw_string(chars: &[char], mut i: usize, hashes: usize, mut line: u32) -> (String, usize, u32) {
+    if hashes == usize::MAX {
+        return cooked_string(chars, i, line);
+    }
+    let mut s = String::new();
+    while i < chars.len() {
+        if chars[i] == '"' {
+            let mut ok = true;
+            for k in 0..hashes {
+                if chars.get(i + 1 + k) != Some(&'#') {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                return (s, i + 1 + hashes, line);
+            }
+        }
+        if chars[i] == '\n' {
+            line += 1;
+        }
+        s.push(chars[i]);
+        i += 1;
+    }
+    (s, i, line)
+}
+
+/// Removes the bodies of `#[cfg(test)] mod … { … }` blocks (and any
+/// item a bare `#[cfg(test)]` attribute directly precedes) so test
+/// scaffolding is not linted as production code.
+#[must_use]
+pub fn strip_test_blocks(tokens: Vec<Token>) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_cfg_test_attr(&tokens, i) {
+            // Skip the attribute itself (7 tokens: # [ cfg ( test ) ]),
+            // any further attributes, then the braced item that follows.
+            i += 7;
+            while i < tokens.len() && tokens[i].tok == Tok::Punct('#') {
+                i = skip_attribute(&tokens, i);
+            }
+            i = skip_braced_item(&tokens, i);
+            continue;
+        }
+        out.push(tokens[i].clone());
+        i += 1;
+    }
+    out
+}
+
+fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
+    let shape: [&Tok; 7] = [
+        &Tok::Punct('#'),
+        &Tok::Punct('['),
+        &Tok::Ident("cfg".into()),
+        &Tok::Punct('('),
+        &Tok::Ident("test".into()),
+        &Tok::Punct(')'),
+        &Tok::Punct(']'),
+    ];
+    shape
+        .iter()
+        .enumerate()
+        .all(|(k, want)| tokens.get(i + k).map(|t| &t.tok) == Some(*want))
+}
+
+/// Skips one `#[…]` attribute, returning the index after its `]`.
+fn skip_attribute(tokens: &[Token], mut i: usize) -> usize {
+    debug_assert_eq!(tokens[i].tok, Tok::Punct('#'));
+    i += 1;
+    if tokens.get(i).map(|t| &t.tok) != Some(&Tok::Punct('[')) {
+        return i;
+    }
+    let mut depth = 0;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('[') => depth += 1,
+            Tok::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Skips one item up to and including its closing `}` (or its `;` for
+/// brace-less items like `#[cfg(test)] use …;`).
+fn skip_braced_item(tokens: &[Token], mut i: usize) -> usize {
+    let mut depth = 0;
+    while i < tokens.len() {
+        match tokens[i].tok {
+            Tok::Punct('{') => depth += 1,
+            Tok::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(';') if depth == 0 => return i + 1,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_idents() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashSet /* nested */ still comment */
+            let s = "Instant::now inside a string";
+            let r = r#"thread_rng in a raw string"#;
+            let c = 'x';
+            let lt: &'static str = "y";
+            fn real() { let m: HashMap<u32, u32> = HashMap::new(); }
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 2);
+        assert!(!ids.contains(&"HashSet".to_owned()));
+        assert!(!ids.contains(&"thread_rng".to_owned()));
+        assert!(ids.contains(&"static".to_owned()), "lifetime consumed");
+    }
+
+    #[test]
+    fn string_values_and_lines_survive() {
+        let toks = lex("let a = \"flow.sample\";\nlet b = \"x\";");
+        let strs: Vec<(String, u32)> = toks
+            .into_iter()
+            .filter_map(|t| match t.tok {
+                Tok::Str(s) => Some((s, t.line)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            strs,
+            vec![("flow.sample".to_owned(), 1), ("x".to_owned(), 2)]
+        );
+    }
+
+    #[test]
+    fn numbers_swallow_dots() {
+        let toks = lex("a(1.0.into(), 0..40, x.y)");
+        let dots = toks.iter().filter(|t| t.tok == Tok::Punct('.')).count();
+        // `1.0.into` contributes one dot, `0..40` two, `x.y` one.
+        assert_eq!(dots, 4);
+    }
+
+    #[test]
+    fn cfg_test_mod_is_stripped() {
+        let src = "
+            fn prod() { emit(); }
+            #[cfg(test)]
+            mod tests {
+                use std::collections::HashSet;
+                #[test]
+                fn t() { let s = HashSet::new(); }
+            }
+            fn after() {}
+        ";
+        let toks = strip_test_blocks(lex(src));
+        let ids: Vec<String> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert!(!ids.contains(&"HashSet".to_owned()));
+        assert!(ids.contains(&"prod".to_owned()));
+        assert!(ids.contains(&"after".to_owned()));
+    }
+
+    #[test]
+    fn cfg_test_with_extra_attribute_is_stripped() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests { fn x() {} }\nfn keep() {}";
+        let toks = strip_test_blocks(lex(src));
+        let ids: Vec<&String> = toks
+            .iter()
+            .filter_map(|t| match &t.tok {
+                Tok::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(!ids.iter().any(|s| *s == "x"));
+        assert!(ids.iter().any(|s| *s == "keep"));
+    }
+}

@@ -1,0 +1,250 @@
+//! `ideaflow-check`: the workspace's own static analyzer.
+//!
+//! Everything this repro promises — bit-identical campaigns at any
+//! thread count, checkpoint-resume equivalence, journal warm-starts —
+//! hangs on two conventions no compiler checks: (a) no nondeterminism
+//! leaks into the deterministic core, and (b) the stringly-typed
+//! journal names emitted in one crate exactly match what readers in
+//! another crate parse. Kahng's roadmap (DAC 2018, §3.2) argues flows
+//! fail when analysis layers silently drift apart; `ifcheck` is the
+//! cheap checker that catches that drift *before* the expensive run,
+//! the same "accuracy for free" trade the paper advocates for signoff.
+//!
+//! Two lint families over a hand-rolled token scanner (std only, no
+//! new dependencies):
+//!
+//! - **determinism** ([`determinism`]): unordered collections,
+//!   wall-clock reads, entropy-seeded RNGs, and `Ordering::Relaxed` in
+//!   the deterministic crates, with a mandatory-reason allowlist
+//!   ([`allowlist`], `crates/check/allow.toml`);
+//! - **journal schema** ([`schema_lint`]): every emit/count/observe/
+//!   time/span/gauge call-site literal in the workspace cross-checked
+//!   against the declared registry in `ideaflow_trace::schema`, plus
+//!   reader references and dead registry entries.
+//!
+//! The `ifcheck` binary drives both and is wired into CI as a required
+//! deny-by-default gate; `ifjournal lint` applies the same registry to
+//! *recorded* journals at runtime.
+
+use std::path::{Path, PathBuf};
+
+pub mod allowlist;
+pub mod determinism;
+pub mod emits;
+pub mod lexer;
+pub mod schema_lint;
+
+pub use allowlist::Allowlist;
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line (0 when the finding has no single line).
+    pub line: u32,
+    /// Lint name (see [`determinism::ALL`] and [`schema_lint::ALL`]).
+    pub lint: &'static str,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// Scanner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root; findings report paths relative to it.
+    pub root: PathBuf,
+    /// Path prefixes (workspace-relative, forward slashes) whose files
+    /// get the determinism lints. Journal-schema lints always apply.
+    pub det_prefixes: Vec<String>,
+    /// Parsed allowlist.
+    pub allow: Allowlist,
+    /// Strict mode (`--deny-all`): also report dead registry entries
+    /// and stale allowlist entries.
+    pub strict: bool,
+}
+
+impl Config {
+    /// The workspace defaults: determinism lints on the deterministic
+    /// crates (`core`, `flow`, `opt`, `bandit`, `mdp`, `faults`, and
+    /// `exec`, whose task-visible ordering guarantees are part of the
+    /// determinism contract).
+    #[must_use]
+    pub fn for_workspace(root: PathBuf) -> Self {
+        let det = ["core", "flow", "opt", "bandit", "mdp", "faults", "exec"];
+        Self {
+            root,
+            det_prefixes: det.iter().map(|c| format!("crates/{c}/src/")).collect(),
+            allow: Allowlist::default(),
+            strict: false,
+        }
+    }
+}
+
+/// Walks the workspace for production Rust sources: `crates/*/src/**`
+/// (including `src/bin`), the root package's `src/**`, and `examples/
+/// **`. Skips `vendor/` (stand-ins are not ours to lint), `target/`,
+/// anything under a `fixtures/` directory (lint test corpora contain
+/// deliberate violations), and crate `tests/` directories (covered by
+/// `#[cfg(test)]` stripping where inline, and by the runtime journal
+/// lint where they emit). The result is sorted so reports are
+/// byte-stable regardless of directory iteration order.
+///
+/// # Errors
+///
+/// Propagates I/O errors from directory traversal.
+pub fn discover_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut roots = vec![root.join("src"), root.join("examples")];
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for entry in std::fs::read_dir(&crates)? {
+            roots.push(entry?.path().join("src"));
+        }
+    }
+    for dir in roots {
+        if dir.is_dir() {
+            walk(&dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if path.is_dir() {
+            if matches!(name, "fixtures" | "target" | "vendor" | ".git") {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Workspace-relative forward-slash form of `path`.
+#[must_use]
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let s = rel.to_string_lossy();
+    if std::path::MAIN_SEPARATOR == '/' {
+        s.into_owned()
+    } else {
+        s.replace(std::path::MAIN_SEPARATOR, "/")
+    }
+}
+
+/// Checks an explicit file list. Deterministic by construction: each
+/// file is linted independently and the combined report is sorted by
+/// `(path, line, lint, message)`, so any permutation of `files` and any
+/// repetition of the call yields byte-identical output (a property the
+/// test suite verifies with a shuffle proptest).
+#[must_use]
+pub fn check_files(cfg: &Config, files: &[PathBuf]) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut all_sites = Vec::new();
+    let mut suppressed: Vec<usize> = Vec::new();
+    for file in files {
+        let rel = relative(&cfg.root, file);
+        let Ok(src) = std::fs::read_to_string(file) else {
+            diags.push(Diagnostic {
+                path: rel,
+                line: 0,
+                lint: "io-error",
+                message: "unreadable file".to_owned(),
+            });
+            continue;
+        };
+        let raw = lexer::lex(&src);
+        let tokens = lexer::strip_test_blocks(raw.clone());
+        if cfg.det_prefixes.iter().any(|p| rel.starts_with(p.as_str())) {
+            diags.extend(determinism::lint(&rel, &tokens));
+        }
+        diags.extend(schema_lint::lint(&rel, &emits::extract(&tokens)));
+        // Liveness (dead-entry detection) counts `#[cfg(test)]` call
+        // sites too: an entry exercised only by a test is wired, not
+        // dead. Diagnostics above come from stripped tokens only —
+        // test scaffolding names are the runtime `ifjournal lint`'s
+        // problem, not this gate's.
+        all_sites.extend(emits::extract(&raw));
+    }
+    if cfg.strict {
+        for (family, name) in schema_lint::dead_entries(&all_sites) {
+            diags.push(Diagnostic {
+                path: "crates/trace/src/schema.rs".to_owned(),
+                line: registry_line(&cfg.root, name),
+                lint: schema_lint::DEAD_SCHEMA,
+                message: format!(
+                    "{family} `{name}` is declared but nothing in the workspace \
+                     writes or reads it; delete the entry or finish wiring it"
+                ),
+            });
+        }
+    }
+    // Apply the allowlist, tracking which entries fired.
+    diags.retain(|d| match cfg.allow.suppresses(d.lint, &d.path) {
+        Some(idx) => {
+            suppressed.push(idx);
+            false
+        }
+        None => true,
+    });
+    if cfg.strict {
+        for (idx, entry) in cfg.allow.entries.iter().enumerate() {
+            if !suppressed.contains(&idx) {
+                diags.push(Diagnostic {
+                    path: "crates/check/allow.toml".to_owned(),
+                    line: entry.line,
+                    lint: "stale-allow",
+                    message: format!(
+                        "allow entry ({} in {}) no longer suppresses anything; \
+                         delete it",
+                        entry.lint, entry.path
+                    ),
+                });
+            }
+        }
+    }
+    diags.sort_by(|a, b| {
+        (&a.path, a.line, a.lint, &a.message).cmp(&(&b.path, b.line, b.lint, &b.message))
+    });
+    diags.dedup();
+    diags
+}
+
+/// Line of `"name"` in the registry source, for dead-entry diagnostics
+/// (0 when the registry file cannot be read, e.g. under fixture roots).
+fn registry_line(root: &Path, name: &str) -> u32 {
+    let Ok(src) = std::fs::read_to_string(root.join("crates/trace/src/schema.rs")) else {
+        return 0;
+    };
+    let needle = format!("\"{name}\"");
+    src.lines()
+        .position(|l| l.contains(&needle))
+        .map_or(0, |i| (i + 1) as u32)
+}
+
+/// Discovers and checks the whole workspace under `cfg.root`.
+///
+/// # Errors
+///
+/// Propagates discovery I/O errors.
+pub fn check_workspace(cfg: &Config) -> std::io::Result<Vec<Diagnostic>> {
+    let files = discover_files(&cfg.root)?;
+    Ok(check_files(cfg, &files))
+}

@@ -1,0 +1,363 @@
+//! Cross-check of extracted journal call sites against the declared
+//! schema registry (`ideaflow_trace::schema`).
+//!
+//! Writer side: every emitted event/counter/histogram/span/gauge name
+//! must be declared, emit field keys must match the event's declared
+//! vocabulary, and statically-visible field slices must carry every
+//! required field. Reader side: `events_for_step`/`field_stats*`
+//! references must name declared events and fields — a reader probing
+//! an event nobody can emit is exactly the silent writer/reader drift
+//! this gate exists to catch. Finally, [`dead_entries`] reports
+//! registry entries with neither writer nor reader anywhere in the
+//! workspace, so the registry cannot rot ahead of the code.
+
+use ideaflow_trace::schema;
+
+use crate::emits::{CallSite, SiteKind};
+use crate::Diagnostic;
+
+/// Schema lint names.
+pub const UNKNOWN_EVENT: &str = "unknown-event";
+/// Emit payload key the event's schema does not declare.
+pub const UNKNOWN_FIELD: &str = "unknown-field";
+/// Required payload key absent from a literal emit field slice.
+pub const MISSING_FIELD: &str = "missing-field";
+/// Counter name the registry does not declare.
+pub const UNKNOWN_COUNTER: &str = "unknown-counter";
+/// Histogram name the registry does not declare.
+pub const UNKNOWN_HISTOGRAM: &str = "unknown-histogram";
+/// Span name the registry does not declare.
+pub const UNKNOWN_SPAN: &str = "unknown-span";
+/// Telemetry gauge name the registry does not declare.
+pub const UNKNOWN_GAUGE: &str = "unknown-gauge";
+/// Registry entry with no writer and no reader in the workspace.
+pub const DEAD_SCHEMA: &str = "dead-schema";
+
+/// All schema lint names (for `ifcheck --list-lints`).
+pub const ALL: &[&str] = &[
+    UNKNOWN_EVENT,
+    UNKNOWN_FIELD,
+    MISSING_FIELD,
+    UNKNOWN_COUNTER,
+    UNKNOWN_HISTOGRAM,
+    UNKNOWN_SPAN,
+    UNKNOWN_GAUGE,
+    DEAD_SCHEMA,
+];
+
+/// Whether a usage name (possibly a `*` wildcard from a `format!` call
+/// site) is covered by a registry pattern: equal patterns, a concrete
+/// name the pattern matches, or a usage wildcard whose fixed prefix and
+/// suffix extend the pattern's.
+fn covered_by(pattern: &str, usage: &str) -> bool {
+    if pattern == usage {
+        return true;
+    }
+    if !usage.contains('*') {
+        return schema::matches(pattern, usage);
+    }
+    // Both are wildcards: the pattern covers the usage when every name
+    // the usage can produce also matches the pattern.
+    match (pattern.split_once('*'), usage.split_once('*')) {
+        (Some((pp, ps)), Some((up, us))) => up.starts_with(pp) && us.ends_with(ps),
+        _ => false,
+    }
+}
+
+fn event_covered(usage: &str) -> bool {
+    if !usage.contains('*') {
+        return schema::event_schema(usage).is_some();
+    }
+    schema::EVENTS.iter().any(|e| covered_by(e.name, usage))
+}
+
+fn name_covered(names: &[schema::NameSchema], usage: &str) -> bool {
+    names.iter().any(|s| covered_by(s.name, usage))
+}
+
+fn histogram_covered(usage: &str) -> bool {
+    if !usage.contains('*') {
+        return schema::is_histogram(usage);
+    }
+    name_covered(schema::HISTOGRAMS, usage)
+}
+
+/// Lints one file's extracted call sites. `path` is workspace-relative.
+#[must_use]
+pub fn lint(path: &str, sites: &[CallSite]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut diag = |line: u32, lint: &'static str, message: String| {
+        out.push(Diagnostic {
+            path: path.to_owned(),
+            line,
+            lint,
+            message,
+        });
+    };
+    for site in sites {
+        let name = site.name.as_str();
+        match site.kind {
+            SiteKind::Emit | SiteKind::Timer => {
+                if !event_covered(name) {
+                    diag(
+                        site.line,
+                        UNKNOWN_EVENT,
+                        format!(
+                            "event `{name}` is not in the trace schema registry; \
+                             declare it in crates/trace/src/schema.rs first \
+                             (registry-first workflow)"
+                        ),
+                    );
+                } else if let Some(fields) = &site.fields {
+                    let Some(es) = schema::event_schema(name) else {
+                        continue; // wildcard usage: per-name schema unknown
+                    };
+                    for key in fields {
+                        if !es.extra_fields && !es.fields.iter().any(|f| f.name == key) {
+                            diag(
+                                site.line,
+                                UNKNOWN_FIELD,
+                                format!(
+                                    "event `{name}` has no declared field `{key}` \
+                                     (declared: {})",
+                                    field_names(es)
+                                ),
+                            );
+                        }
+                    }
+                    for f in es.fields {
+                        if !f.optional && !fields.iter().any(|k| k == f.name) {
+                            diag(
+                                site.line,
+                                MISSING_FIELD,
+                                format!(
+                                    "event `{name}` requires field `{}` but this \
+                                     emit does not set it",
+                                    f.name
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+            SiteKind::Counter | SiteKind::TelemetryCounter => {
+                if !name_covered(schema::COUNTERS, name) {
+                    diag(
+                        site.line,
+                        UNKNOWN_COUNTER,
+                        format!("counter `{name}` is not in the trace schema registry"),
+                    );
+                }
+            }
+            SiteKind::Histogram => {
+                if !histogram_covered(name) {
+                    diag(
+                        site.line,
+                        UNKNOWN_HISTOGRAM,
+                        format!("histogram `{name}` is not in the trace schema registry"),
+                    );
+                }
+            }
+            SiteKind::Span => {
+                if !name_covered(schema::SPANS, name) {
+                    diag(
+                        site.line,
+                        UNKNOWN_SPAN,
+                        format!("span name `{name}` is not in the trace schema registry"),
+                    );
+                }
+            }
+            SiteKind::Gauge => {
+                if !name_covered(schema::GAUGES, name) {
+                    diag(
+                        site.line,
+                        UNKNOWN_GAUGE,
+                        format!("gauge `{name}` is not in the trace schema registry"),
+                    );
+                }
+            }
+            SiteKind::ReaderEvent => {
+                let Some(es) = schema::event_schema(name) else {
+                    diag(
+                        site.line,
+                        UNKNOWN_EVENT,
+                        format!(
+                            "reader references event `{name}`, which no schema \
+                             entry declares — no writer can ever satisfy it"
+                        ),
+                    );
+                    continue;
+                };
+                for key in &site.read_fields {
+                    if !es.extra_fields && !es.fields.iter().any(|f| f.name == key) {
+                        diag(
+                            site.line,
+                            UNKNOWN_FIELD,
+                            format!(
+                                "reader dereferences field `{key}` of `{name}`, \
+                                 which declares only: {}",
+                                field_names(es)
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn field_names(es: &schema::EventSchema) -> String {
+    es.fields
+        .iter()
+        .map(|f| f.name)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Registry entries nothing in the workspace writes *or* reads, as
+/// `(family, name, doc)` triples. An unused entry is either a stale
+/// leftover (delete it) or a schema written ahead of its emit site
+/// (finish the wiring) — both are drift this gate exists to catch.
+#[must_use]
+pub fn dead_entries(all_sites: &[CallSite]) -> Vec<(&'static str, &'static str)> {
+    let used = |kinds: &[SiteKind], pattern: &str| {
+        all_sites
+            .iter()
+            .any(|s| kinds.contains(&s.kind) && covered_by(pattern, &s.name))
+    };
+    let mut dead = Vec::new();
+    for e in schema::EVENTS {
+        // `journal.summary` is emitted by the Journal facade with a
+        // dynamic field list; span open/close likewise. Those emit
+        // sites are literal in trace/src, so no special case is needed
+        // — but events are also "used" when only a reader consumes
+        // them (`Journal::time` writes `bench.*` dynamically).
+        let written = used(&[SiteKind::Emit, SiteKind::Timer], e.name);
+        let read = used(&[SiteKind::ReaderEvent], e.name);
+        if !written && !read {
+            dead.push(("event", e.name));
+        }
+    }
+    for c in schema::COUNTERS {
+        if !used(&[SiteKind::Counter, SiteKind::TelemetryCounter], c.name) {
+            dead.push(("counter", c.name));
+        }
+    }
+    for h in schema::HISTOGRAMS {
+        // `.secs` histograms are derived from Timer/span sites.
+        let derived = h
+            .name
+            .strip_suffix(".secs")
+            .is_some_and(|base| used(&[SiteKind::Timer, SiteKind::Span], base));
+        if !used(&[SiteKind::Histogram], h.name) && !derived {
+            dead.push(("histogram", h.name));
+        }
+    }
+    for s in schema::SPANS {
+        if !used(&[SiteKind::Span], s.name) {
+            dead.push(("span", s.name));
+        }
+    }
+    for g in schema::GAUGES {
+        if !used(&[SiteKind::Gauge], g.name) {
+            dead.push(("gauge", g.name));
+        }
+    }
+    dead
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emits::extract;
+    use crate::lexer::lex;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        lint("f.rs", &extract(&lex(src)))
+    }
+
+    #[test]
+    fn known_emit_with_full_fields_is_clean() {
+        let src = r#"j.emit("bandit.censored", &[("t", a.into()), ("policy", b.into()), ("arm", c.into())]);"#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn unknown_event_is_flagged() {
+        let d = run(r#"j.emit("flow.sampel", &[("sample", s.into())]);"#);
+        assert!(d.iter().any(|x| x.lint == UNKNOWN_EVENT), "{d:?}");
+    }
+
+    #[test]
+    fn misspelled_field_is_flagged_both_ways() {
+        let src = r#"j.emit("multistart.failed", &[("variant", v.into()), ("strat", s.into())]);"#;
+        let d = run(src);
+        assert!(d.iter().any(|x| x.lint == UNKNOWN_FIELD), "{d:?}");
+        assert!(
+            d.iter()
+                .any(|x| x.lint == MISSING_FIELD && x.message.contains("`start`")),
+            "{d:?}"
+        );
+    }
+
+    #[test]
+    fn wildcard_usages_are_covered_by_wildcard_entries() {
+        let src = r#"
+            j.emit(&format!("flow.step.{}", r.step.name()), &fields);
+            j.observe(&format!("span.{}.secs", self.name), secs);
+        "#;
+        assert!(run(src).is_empty());
+    }
+
+    #[test]
+    fn uncovered_wildcard_is_flagged() {
+        let d = run(r#"j.emit(&format!("nope.{}", x), &fields);"#);
+        assert!(d.iter().any(|x| x.lint == UNKNOWN_EVENT), "{d:?}");
+    }
+
+    #[test]
+    fn unknown_counter_histogram_span_gauge() {
+        let src = r#"
+            j.count("faults.typo", 1);
+            j.observe("nope.hist", 1.0);
+            let _s = j.span("nope.span");
+            t.set_gauge("nope.gauge", 1.0);
+        "#;
+        let lints: Vec<&str> = run(src).iter().map(|d| d.lint).collect();
+        assert_eq!(
+            lints,
+            vec![
+                UNKNOWN_COUNTER,
+                UNKNOWN_HISTOGRAM,
+                UNKNOWN_SPAN,
+                UNKNOWN_GAUGE
+            ]
+        );
+    }
+
+    #[test]
+    fn reader_of_unknown_event_or_field_is_flagged() {
+        let d = run(r#"r.field_stats("bandit.pull", "rewrd");"#);
+        assert!(
+            d.iter()
+                .any(|x| x.lint == UNKNOWN_FIELD && x.message.contains("rewrd")),
+            "{d:?}"
+        );
+        let d = run(r#"r.events_for_step("bandit.pulls_typo");"#);
+        assert!(d.iter().any(|x| x.lint == UNKNOWN_EVENT), "{d:?}");
+    }
+
+    #[test]
+    fn dead_entries_report_unused_registry_names() {
+        // With no sites at all, everything is dead.
+        let dead = dead_entries(&[]);
+        assert!(dead
+            .iter()
+            .any(|(f, n)| *f == "event" && *n == "flow.sample"));
+        // One bandit.pull emit revives exactly that event.
+        let sites = extract(&lex(r#"j.emit("bandit.pull", &[("t", t.into())]);"#));
+        let dead = dead_entries(&sites);
+        assert!(!dead.iter().any(|(_, n)| *n == "bandit.pull"));
+    }
+}

@@ -1,0 +1,6 @@
+//! Fixture: a real hazard suppressed by the fixture allowlist.
+use std::collections::HashMap;
+
+pub fn lookup(m: &HashMap<u64, f64>, k: u64) -> Option<f64> {
+    m.get(&k).copied()
+}

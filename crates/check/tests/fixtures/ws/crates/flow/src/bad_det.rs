@@ -1,0 +1,19 @@
+//! Fixture: every determinism lint fires in this file.
+//! Never compiled — scanned by the ifcheck integration tests only.
+use std::collections::HashMap;
+
+pub fn hazards(map: &HashMap<String, f64>, flag: &AtomicBool) -> f64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let mut rng = thread_rng();
+    let other = StdRng::default();
+    let seeded = SmallRng::from_entropy();
+    let mut total = 0.0;
+    for (_k, v) in map {
+        total += v;
+    }
+    if flag.load(Ordering::Relaxed) {
+        total += 1.0;
+    }
+    total
+}

@@ -1,0 +1,29 @@
+//! Fixture: every journal-schema lint fires in this file.
+//! Never compiled — scanned by the ifcheck integration tests only.
+
+pub fn emits(j: &Journal, t: &Telemetry, r: &JournalReader) {
+    // Misspelled field (`sampel`) on a real event, which also leaves
+    // the required `sample` field unset.
+    j.emit(
+        "flow.sample",
+        &[
+            ("sampel", s.into()),
+            ("fingerprint", fp.into()),
+            ("target_ghz", ghz.into()),
+            ("area_um2", area.into()),
+            ("wns_ps", wns.into()),
+            ("leakage_nw", leak.into()),
+            ("runtime_hours", hours.into()),
+        ],
+    );
+    // Misspelled event name.
+    j.emit("flow.sampel", &[("sample", s.into())]);
+    // Unregistered aggregate names, one per family.
+    j.count("flow.samples_typo", 1);
+    j.observe("flow.hpwl_typo", 1.0);
+    let _span = j.span("flow.span_typo");
+    t.set_gauge("exec.workers_typo", 1.0);
+    // Reader-side drift: field nobody writes, event nobody declares.
+    let _ = r.field_stats("bandit.pull", "rewrd");
+    let _ = r.events_for_step("bandit.pulled");
+}

@@ -1,0 +1,8 @@
+//! Fixture: a non-deterministic crate. HashMap here is fine (no
+//! determinism lints outside the det prefixes), but journal-schema
+//! lints still apply everywhere.
+use std::collections::HashMap;
+
+pub fn render(m: &HashMap<String, f64>, t: &Telemetry) {
+    t.set_gauge("viz.frames_typo", m.len() as f64);
+}

@@ -134,7 +134,10 @@ fn bandit_over_arms(
     // limit must not be "shipped").
     let history = env.history();
     let tail = &history[history.len() - history.len() / 4..];
-    let mut pulls = std::collections::HashMap::<usize, usize>::new();
+    // BTreeMap so the max_by_key scan below visits arms in a fixed
+    // order. The (n, arm) tiebreak already made the winner unique, but
+    // ordered iteration keeps the whole path hash-order-free.
+    let mut pulls = std::collections::BTreeMap::<usize, usize>::new();
     for p in tail {
         *pulls.entry(p.arm).or_insert(0) += 1;
     }

@@ -193,7 +193,11 @@ pub fn derive_card(runs: &[Vec<u64>], cfg: DoomedConfig) -> Result<StrategyCard,
     let n_states = n_card + 3;
 
     // Empirical GO transitions: counts[s][s'] plus terminal entries.
-    let mut counts = vec![std::collections::HashMap::<usize, u64>::new(); n_card];
+    // BTreeMap, not HashMap: the iteration below folds probabilities
+    // into float sums (`reward_go`) and builds the GO transition list
+    // in iteration order, so hash-order iteration would make policies
+    // differ between otherwise identical runs.
+    let mut counts = vec![std::collections::BTreeMap::<usize, u64>::new(); n_card];
     let mut seen = vec![false; n_card];
     for run in runs {
         let succeeded = *run.last().expect("non-empty run") < cfg.success_threshold;

@@ -12,18 +12,25 @@
 //!                                          last N events (default 10)
 //! ifjournal diff <a.jsonl> <b.jsonl>       per-step field-mean deltas
 //! ifjournal flame <run.jsonl>              folded stacks from span events
+//! ifjournal lint <run.jsonl>               validate against the declared
+//!                                          trace schema registry (events,
+//!                                          fields, kinds, span and counter
+//!                                          names) before trusting the
+//!                                          journal for warm-starts/resume
 //! ```
 //!
-//! Exit codes: 0 ok, 1 I/O or parse failure, 2 usage error.
+//! Exit codes: 0 ok, 1 I/O or parse failure (for `lint`: any schema
+//! finding), 2 usage error.
 
 use ideaflow_trace::analyze;
-use ideaflow_trace::{Journal, JournalReader};
+use ideaflow_trace::{schema, Journal, JournalReader};
 
-const USAGE: &str = "usage: ifjournal <summary|tail|diff|flame> ...
+const USAGE: &str = "usage: ifjournal <summary|tail|diff|flame|lint> ...
   ifjournal summary [--by-thread|--failures] <run.jsonl>
   ifjournal tail [--step <step>] [-n <count>] <run.jsonl>
   ifjournal diff <a.jsonl> <b.jsonl>
-  ifjournal flame <run.jsonl>";
+  ifjournal flame <run.jsonl>
+  ifjournal lint <run.jsonl>";
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
@@ -39,6 +46,7 @@ fn run(args: Vec<String>) -> i32 {
         "flame" => one_file(&args[1..], analyze::flame_folded),
         "tail" => tail(&args[1..]),
         "diff" => diff(&args[1..]),
+        "lint" => lint(&args[1..]),
         _ => {
             eprintln!("ifjournal: unknown subcommand {cmd:?}\n{USAGE}");
             2
@@ -127,6 +135,36 @@ fn tail(args: &[String]) -> i32 {
         }
         Err(code) => code,
     }
+}
+
+fn lint(args: &[String]) -> i32 {
+    let [path] = args else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("ifjournal: {path}: {e}");
+            return 1;
+        }
+    };
+    let diags = schema::lint_jsonl(&text);
+    if diags.is_empty() {
+        let events = text.lines().filter(|l| !l.trim().is_empty()).count();
+        println!("{path}: ok ({events} events conform to the schema registry)");
+        return 0;
+    }
+    for d in &diags {
+        println!("{path}:{d}");
+    }
+    eprintln!(
+        "ifjournal: {path}: {} schema finding(s); this journal should not \
+         be used for warm-starts or checkpoint resume until writers and \
+         the registry (crates/trace/src/schema.rs) agree",
+        diags.len()
+    );
+    1
 }
 
 fn diff(args: &[String]) -> i32 {

@@ -37,6 +37,7 @@ use serde::{Deserialize, Serialize, Value};
 
 pub mod analyze;
 pub mod reader;
+pub mod schema;
 pub mod span;
 pub mod stats;
 pub mod telemetry;

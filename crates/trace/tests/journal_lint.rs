@@ -1,0 +1,106 @@
+//! Golden tests for the runtime journal linter (`ifjournal lint`'s
+//! engine, `schema::lint_jsonl`): a journal produced through the real
+//! `Journal` API conforms to the registry, and targeted corruptions —
+//! a misspelled field, an unknown event, a mistyped value — surface as
+//! named, line-numbered diagnostics.
+
+use ideaflow_trace::schema::lint_jsonl;
+use ideaflow_trace::Journal;
+
+/// A small but representative journal written through the public API:
+/// events, counters, histograms, a span, a timer, and the summary.
+fn conforming_journal() -> String {
+    let j = Journal::in_memory("lint-golden");
+    j.emit(
+        "bandit.pull",
+        &[
+            ("t", 0i64.into()),
+            ("policy", "thompson".into()),
+            ("arm", 2i64.into()),
+            ("reward", 1.25.into()),
+            // NaN serializes to null; the field is declared optional.
+            ("cumulative_regret", f64::NAN.into()),
+            ("posterior_means", serde::Value::Array(vec![])),
+        ],
+    );
+    j.count("bandit.pulls", 1);
+    j.observe("bandit.reward", 1.25);
+    drop(j.span("flow.run_physical"));
+    j.time("bench.lint_golden", || ());
+    j.finish();
+    j.drain_lines().join("\n")
+}
+
+#[test]
+fn journal_written_through_the_api_conforms() {
+    let text = conforming_journal();
+    let diags = lint_jsonl(&text);
+    assert!(diags.is_empty(), "{diags:#?}");
+}
+
+#[test]
+fn misspelled_field_is_a_named_line_numbered_diagnostic() {
+    // Corrupt the real bandit.pull line: `reward` -> `rewrad`.
+    let text = conforming_journal().replace("\"reward\":", "\"rewrad\":");
+    let diags = lint_jsonl(&text);
+    assert_eq!(diags.len(), 2, "{diags:#?}");
+    for d in &diags {
+        assert_eq!(d.line, 1, "bandit.pull is the first journal line");
+        assert_eq!(d.event, "bandit.pull");
+    }
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("missing required field `reward`")),
+        "{diags:#?}"
+    );
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.message.contains("unknown field `rewrad`")),
+        "{diags:#?}"
+    );
+}
+
+#[test]
+fn unknown_event_is_a_named_line_numbered_diagnostic() {
+    let text = conforming_journal().replace("\"bandit.pull\"", "\"bandit.pulled\"");
+    let diags = lint_jsonl(&text);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].line, 1);
+    assert_eq!(diags[0].event, "bandit.pulled");
+    assert!(
+        diags[0]
+            .message
+            .contains("not in the trace schema registry"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn mistyped_value_is_a_named_line_numbered_diagnostic() {
+    let text = conforming_journal().replace("\"arm\":2", "\"arm\":\"two\"");
+    let diags = lint_jsonl(&text);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].event, "bandit.pull");
+    assert!(
+        diags[0].message.contains("`arm` should be int"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn malformed_line_reports_its_line_number() {
+    let mut text = conforming_journal();
+    text.push_str("\n{not json");
+    let diags = lint_jsonl(&text);
+    assert_eq!(diags.len(), 1, "{diags:#?}");
+    assert_eq!(diags[0].line, text.lines().count());
+    assert!(
+        diags[0].message.contains("malformed"),
+        "{}",
+        diags[0].message
+    );
+}
