@@ -234,14 +234,17 @@ pub fn run_concurrent_journaled<P: BanditPolicy, E: BatchEnvironment>(
         let arms: Vec<usize> = (0..concurrency).map(|_| policy.select(&mut rng)).collect();
         // Launch the batch on the pool: reward computation is pure in
         // (arm, pull index), so the k-th pull of this iteration gets the
-        // exact pull index the sequential loop would hand it.
+        // exact pull index the sequential loop would hand it. Dispatch
+        // by pull slot (borrowing `arms`) rather than cloning the batch
+        // every iteration; the pool chunks the slots so the per-task
+        // grain is a whole tool run, not a queue hop per index.
         let base_t = t;
         let observed: Vec<Option<f64>> = {
             let env: &E = env;
-            arms.clone()
+            let arms: &[usize] = &arms;
+            (0..concurrency)
                 .into_par_iter()
-                .enumerate()
-                .map(|(k, a)| env.try_peek(a, base_t + k as u32))
+                .map(|k| env.try_peek(arms[k], base_t + k as u32))
                 .collect()
         };
         let censored: Vec<bool> = observed.iter().map(Option::is_none).collect();

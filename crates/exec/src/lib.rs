@@ -10,9 +10,15 @@
 //!   (`queues[0]` is the injector, `queues[1 + w]` belongs to worker
 //!   `w`). Workers pop their own deque LIFO for locality, then take
 //!   from the injector, then steal FIFO from siblings;
-//! - a `Condvar` + pending-count protocol for sleep/wake with no lost
-//!   wakeups (a worker re-checks the pending count under the state
-//!   lock before parking);
+//! - an **atomic** pending count (push/pop touch no shared lock) with a
+//!   `Condvar` used only for parking: a pusher takes the state lock
+//!   solely when a sleeper is registered, and a worker re-checks the
+//!   pending count under that lock before parking, so wakeups cannot be
+//!   lost (see `Inner::push` for the two-way SeqCst argument);
+//! - **chunked** `par_map` dispatch: items are grouped into at most
+//!   `4 × threads` contiguous chunks so queue/wake overhead amortizes
+//!   over several items, while each closure still receives its original
+//!   item index (chunking is invisible to determinism);
 //! - [`ThreadPool::scope`] for borrowing tasks (non-`'static`), with
 //!   the calling thread *helping* — executing queued tasks — while it
 //!   waits, so a 1-worker pool cannot deadlock on nested scopes;
@@ -58,8 +64,6 @@ pub const THREADS_ENV: &str = "IDEAFLOW_THREADS";
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
 struct State {
-    /// Tasks pushed but not yet popped, over all queues.
-    pending: usize,
     shutdown: bool,
 }
 
@@ -67,6 +71,14 @@ struct Inner {
     /// `queues[0]` is the global injector; `queues[1 + w]` is worker
     /// `w`'s deque.
     queues: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks pushed but not yet popped, over all queues. Atomic so the
+    /// push/pop hot path never serializes on `state`; `SeqCst` pairs
+    /// with `sleepers` (see `push`).
+    pending: AtomicUsize,
+    /// Workers currently in (or entering) the parked-wait protocol.
+    /// A pusher only takes the state lock to notify when this is
+    /// non-zero, which is what keeps an uncontended push lock-free.
+    sleepers: AtomicUsize,
     state: Mutex<State>,
     work_available: Condvar,
     busy: AtomicUsize,
@@ -85,12 +97,20 @@ impl Inner {
         // the count must never lag the queue or a concurrent pop could
         // underflow it. The brief over-count only makes a scanning worker
         // re-poll until the push below lands.
-        {
-            let mut st = lock_state(&self.state);
-            st.pending += 1;
-        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
         self.queues[queue].lock().push_back(task);
-        self.work_available.notify_one();
+        // Dekker-style handshake with `worker_loop`: we store `pending`
+        // then load `sleepers`; a parking worker stores `sleepers` then
+        // loads `pending` — both SeqCst. In the total order either our
+        // sleeper load sees the worker (we notify under the state lock,
+        // so the worker is in `wait` or will re-check `pending` before
+        // waiting), or the worker's pending load sees our push and it
+        // never parks. Either way no wakeup is lost, and the common
+        // busy-pool push skips the lock entirely.
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _st = lock_state(&self.state);
+            self.work_available.notify_one();
+        }
         self.publish_gauges();
     }
 
@@ -118,8 +138,7 @@ impl Inner {
     }
 
     fn note_pop(&self, t: Task) -> Task {
-        let mut st = lock_state(&self.state);
-        st.pending -= 1;
+        self.pending.fetch_sub(1, Ordering::SeqCst);
         t
     }
 
@@ -145,7 +164,10 @@ impl Inner {
                 "exec.workers_busy",
                 self.busy.load(Ordering::Relaxed) as f64,
             );
-            t.set_gauge("exec.queue_depth", lock_state(&self.state).pending as f64);
+            t.set_gauge(
+                "exec.queue_depth",
+                self.pending.load(Ordering::Relaxed) as f64,
+            );
             t.set_gauge("exec.tasks", self.tasks_run.load(Ordering::Relaxed) as f64);
         }
     }
@@ -183,15 +205,22 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
             inner.run_task(task);
             continue;
         }
+        // Park protocol: register as a sleeper *before* the final
+        // pending check (the other half of the SeqCst handshake in
+        // `Inner::push`), and re-check under the state lock so a
+        // notify issued while we held the lock cannot slip past.
+        inner.sleepers.fetch_add(1, Ordering::SeqCst);
         let mut st = lock_state(&inner.state);
         loop {
             // Drain before honoring shutdown, so Drop's contract (workers
             // finish queued tasks) holds even for work pushed right before
             // the shutdown flag flipped.
-            if st.pending > 0 {
+            if inner.pending.load(Ordering::SeqCst) > 0 {
                 break;
             }
             if st.shutdown {
+                drop(st);
+                inner.sleepers.fetch_sub(1, Ordering::SeqCst);
                 return;
             }
             st = inner
@@ -199,6 +228,8 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
                 .wait(st)
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
+        drop(st);
+        inner.sleepers.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -231,10 +262,9 @@ impl PoolBuilder {
         let workers = if threads <= 1 { 0 } else { threads };
         let inner = Arc::new(Inner {
             queues: (0..=workers).map(|_| Mutex::new(VecDeque::new())).collect(),
-            state: Mutex::new(State {
-                pending: 0,
-                shutdown: false,
-            }),
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            state: Mutex::new(State { shutdown: false }),
             work_available: Condvar::new(),
             busy: AtomicUsize::new(0),
             tasks_run: AtomicU64::new(0),
@@ -316,7 +346,7 @@ impl ThreadPool {
     /// Tasks pushed but not yet picked up.
     #[must_use]
     pub fn queue_depth(&self) -> usize {
-        lock_state(&self.inner.state).pending
+        self.inner.pending.load(Ordering::Relaxed)
     }
 
     /// Total tasks the pool has executed.
@@ -498,20 +528,37 @@ fn par_map_on<T: Send, R: Send>(
     items: Vec<T>,
     f: impl Fn(usize, T) -> R + Sync,
 ) -> Vec<R> {
-    if inner.threads <= 1 || items.len() <= 1 {
+    let n = items.len();
+    if inner.threads <= 1 || n <= 1 {
         return items
             .into_iter()
             .enumerate()
             .map(|(i, x)| f(i, x))
             .collect();
     }
+    // Task grain: one spawned task per *chunk* of contiguous items, at
+    // most `4 × threads` chunks, so queue/steal/wake overhead amortizes
+    // over the chunk while still leaving enough chunks for the stealers
+    // to balance. Small fanouts (n ≤ 4 × threads) degenerate to one
+    // item per task. Each closure still receives its original index and
+    // writes its own slot, so chunking cannot affect results.
+    let chunk = n.div_ceil(inner.threads * 4).max(1);
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let f = &f;
+    let slots_ref = &slots;
     scope_on(inner, |s| {
-        for (i, (item, slot)) in items.into_iter().zip(&slots).enumerate() {
+        let mut items = items.into_iter();
+        let mut start = 0;
+        while start < n {
+            let take = chunk.min(n - start);
+            let batch: Vec<T> = items.by_ref().take(take).collect();
             s.spawn(move || {
-                *slot.lock() = Some(f(i, item));
+                for (offset, item) in batch.into_iter().enumerate() {
+                    let i = start + offset;
+                    *slots_ref[i].lock() = Some(f(i, item));
+                }
             });
+            start += take;
         }
     });
     slots

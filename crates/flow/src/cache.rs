@@ -55,17 +55,24 @@ struct ShardState {
     queue: VecDeque<(u64, u32)>,
 }
 
+/// One lock stripe. Cache-line aligned, with its *own* hit/miss/evict
+/// counters, so two workers touching different shards never write the
+/// same line: a single shared `AtomicU64` trio bumped on every `get`
+/// re-serializes the supposedly-striped hot path through cache-line
+/// ping-pong (false sharing) even when the locks themselves never
+/// collide. The public accessors sum over shards.
 #[derive(Debug, Default)]
+#[repr(align(64))]
 struct Shard {
     state: Mutex<ShardState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 #[derive(Debug)]
 struct Inner {
     shards: Vec<Shard>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    evictions: AtomicU64,
     /// Max entries per shard; `None` = unbounded.
     shard_capacity: Option<usize>,
 }
@@ -109,9 +116,6 @@ impl QorCache {
         Self {
             inner: Arc::new(Inner {
                 shards: (0..shards.max(1)).map(|_| Shard::default()).collect(),
-                hits: AtomicU64::new(0),
-                misses: AtomicU64::new(0),
-                evictions: AtomicU64::new(0),
                 shard_capacity,
             }),
         }
@@ -129,17 +133,18 @@ impl QorCache {
     /// the entry's reference bit, granting it one eviction reprieve.
     #[must_use]
     pub fn get(&self, fingerprint: u64, sample: u32) -> Option<QorSample> {
+        let shard = self.shard(fingerprint, sample);
         let found = {
-            let mut s = self.shard(fingerprint, sample).state.lock();
+            let mut s = shard.state.lock();
             s.map.get_mut(&(fingerprint, sample)).map(|e| {
                 e.referenced = true;
                 e.qor.clone()
             })
         };
         let counter = if found.is_some() {
-            &self.inner.hits
+            &shard.hits
         } else {
-            &self.inner.misses
+            &shard.misses
         };
         counter.fetch_add(1, Ordering::Relaxed);
         found
@@ -156,7 +161,8 @@ impl QorCache {
     /// Inserts and reports `(was_new, evicted)`.
     fn put(&self, fingerprint: u64, sample: u32, qor: QorSample) -> (bool, usize) {
         let key = (fingerprint, sample);
-        let mut s = self.shard(fingerprint, sample).state.lock();
+        let shard = self.shard(fingerprint, sample);
+        let mut s = shard.state.lock();
         let was_new = match s.map.insert(
             key,
             Entry {
@@ -195,9 +201,7 @@ impl QorCache {
             }
         }
         if evicted > 0 {
-            self.inner
-                .evictions
-                .fetch_add(evicted as u64, Ordering::Relaxed);
+            shard.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
         }
         (was_new, evicted)
     }
@@ -259,22 +263,30 @@ impl QorCache {
         restored
     }
 
-    /// Lookups answered from the cache so far.
+    /// Lookups answered from the cache so far (summed over shards).
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.inner.hits.load(Ordering::Relaxed)
+        self.sum_over_shards(|s| &s.hits)
     }
 
     /// Lookups that fell through to a cold evaluation so far.
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.inner.misses.load(Ordering::Relaxed)
+        self.sum_over_shards(|s| &s.misses)
     }
 
     /// Entries evicted by the capacity bound so far.
     #[must_use]
     pub fn evictions(&self) -> u64 {
-        self.inner.evictions.load(Ordering::Relaxed)
+        self.sum_over_shards(|s| &s.evictions)
+    }
+
+    fn sum_over_shards(&self, pick: impl Fn(&Shard) -> &AtomicU64) -> u64 {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| pick(s).load(Ordering::Relaxed))
+            .sum()
     }
 
     /// `hits / (hits + misses)`, or 0 before any lookup.

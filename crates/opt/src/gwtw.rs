@@ -144,7 +144,10 @@ pub fn gwtw_journaled<L: Landscape>(
         // Each thread anneals at fixed temperature for the review
         // period. A failed evaluation (crashed tool run) makes the
         // thread a casualty: it keeps its last good state and cost but
-        // stops annealing for the round.
+        // stops annealing for the round. Task grain: one task is a
+        // whole review period (`review_period` moves, ms-scale), so
+        // replica fan-out amortizes queue/wake overhead by
+        // construction; do not split the review loop across tasks.
         let annealed: Vec<(L::State, f64, bool)> = population
             .into_par_iter()
             .enumerate()
@@ -196,7 +199,12 @@ pub fn gwtw_journaled<L: Landscape>(
             .map(|&i| (annealed[i].0.clone(), annealed[i].1))
             .collect();
         let terminated = annealed.len() - survivors.len();
-        let mut next = survivors.clone();
+        // Refill terminated slots with uniformly-drawn winner clones.
+        // One rng call per terminated slot, in slot order — the rng
+        // stream (and thus every downstream draw) is part of the
+        // bit-identity contract.
+        let mut next: Vec<(L::State, f64)> = Vec::with_capacity(annealed.len());
+        next.extend_from_slice(&survivors);
         for _ in 0..terminated {
             let pick = rng.gen_range(0..survivors.len());
             next.push(survivors[pick].clone());

@@ -16,23 +16,37 @@
 //!   single `Option` check, so instrumented code costs ~nothing when
 //!   journaling is off.
 //!
-//! `seq` is assigned under the same lock that orders the write, so the
-//! sequence observed by any reader of one journal is strictly
-//! increasing — the same discipline `metrics::server::Transmitter` uses
-//! for its wire records.
+//! # Concurrency: per-worker buffers, one ordered writer
+//!
+//! The emit hot path shares **no lock** between threads: `emit` claims a
+//! `seq` ticket from an atomic counter, serializes the line outside any
+//! lock, and appends it to a per-thread buffer (registered lazily, one
+//! per `(journal, thread)` pair). `count`/`observe` aggregate into the
+//! same thread-local buffer. Ordering is restored at flush time: a
+//! flush drains every thread buffer under the sink lock, sorts by
+//! `seq`, and writes only the *seq-contiguous prefix* — a line whose
+//! predecessor ticket is still in flight on another worker stays staged
+//! until the gap closes. The sequence any reader of the sink observes
+//! is therefore strictly increasing per run, exactly as when `seq` was
+//! assigned under the old single sink lock (and byte-for-byte identical
+//! for single-threaded emitters, where arrival order *is* ticket
+//! order). The final handle's drop (and [`Journal::finish`]) writes
+//! whatever remains, so no event is ever lost — including events
+//! buffered by a worker that panicked.
 //!
 //! The reader half ([`Journal::load`] / [`JournalReader`]) parses JSONL
 //! back into events and computes per-step summary statistics, which is
 //! what downstream analysis (doomed-run prediction, bandit warm-starts)
 //! consumes.
 
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
-use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize, Value};
 
 pub mod analyze;
@@ -72,21 +86,154 @@ enum Sink {
     Null,
 }
 
-struct State {
-    seq: u64,
-    sink: Sink,
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SinkKind {
+    File,
+    Memory,
+    Null,
+}
+
+/// A thread's private slice of one journal: serialized event lines
+/// (tagged with their seq tickets) plus counter/histogram aggregates.
+/// Owned by the journal (so buffered data survives the thread), keyed
+/// from the emitting thread through a TLS `Weak`.
+#[derive(Default)]
+struct ThreadBuf {
+    state: Mutex<BufState>,
+}
+
+#[derive(Default)]
+struct BufState {
+    lines: Vec<(u64, String)>,
     counters: Vec<(String, u64)>,
     histograms: Vec<(String, Histogram)>,
-    summarized: bool,
-    telemetry: Option<TelemetryRegistry>,
+}
+
+struct SinkState {
+    sink: Sink,
+    /// Lines drained from thread buffers but not yet written: kept
+    /// sorted by seq; only the prefix contiguous with `next_write` goes
+    /// to the sink, so a flush racing in-flight emits cannot reorder
+    /// the stream.
+    staged: Vec<(u64, String)>,
+    /// The seq the sink expects next (everything below it is written).
+    next_write: u64,
 }
 
 struct Inner {
     run_id: String,
-    state: Mutex<State>,
+    /// Process-unique journal identity; keys the per-thread buffer and
+    /// open-span TLS maps (an id, unlike the `Arc` address, can never
+    /// be recycled into a colliding key).
+    id: u64,
+    kind: SinkKind,
+    /// Next event seq ticket. Claimed with a single `fetch_add`; the
+    /// sink lock is no longer on the emit path.
+    seq: AtomicU64,
     /// Next span id; spans are numbered in open order per journal, which
     /// keeps fixed-seed runs byte-identical modulo wall-clock fields.
     next_span: AtomicU64,
+    sink: Mutex<SinkState>,
+    /// Every thread buffer ever registered, in registration order (the
+    /// deterministic merge order for counters/histograms at `finish`).
+    buffers: Mutex<Vec<Arc<ThreadBuf>>>,
+    /// Whether a `journal.summary` has been emitted (finish guard).
+    summarized: Mutex<bool>,
+    /// Fast-path guard: mirror into telemetry only when attached.
+    telemetry_on: AtomicBool,
+    telemetry: RwLock<Option<TelemetryRegistry>>,
+    /// Span ids whose guard dropped on a thread other than its opener;
+    /// the opener's TLS stack entry is stale until pruned (see
+    /// `span.rs`). Count mirrors the list length for a lock-free check.
+    remote_closes: Mutex<Vec<u64>>,
+    remote_close_count: AtomicUsize,
+}
+
+/// Once a thread's buffer holds this many unflushed lines, emit flushes
+/// the contiguous prefix to the sink — bounding memory for long runs
+/// that never call `flush`/`finish` mid-way, while amortizing the sink
+/// lock over many events.
+const AUTO_FLUSH_LINES: usize = 1024;
+
+static NEXT_JOURNAL_ID: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// This thread's buffer handle per live journal, keyed by journal
+    /// id. Holds `Weak` so a dropped journal's buffers free promptly;
+    /// dead entries are pruned on the next lookup.
+    static THREAD_BUFS: RefCell<Vec<(u64, Weak<ThreadBuf>)>> = const { RefCell::new(Vec::new()) };
+}
+
+impl Inner {
+    /// This thread's buffer for this journal, registering a fresh one on
+    /// first use. The registry keeps the only strong reference, so
+    /// buffered events survive the emitting thread (panic or exit).
+    fn thread_buf(&self) -> Arc<ThreadBuf> {
+        THREAD_BUFS.with(|cell| {
+            let mut bufs = cell.borrow_mut();
+            bufs.retain(|(_, w)| w.strong_count() > 0);
+            if let Some(buf) = bufs
+                .iter()
+                .find(|(id, _)| *id == self.id)
+                .and_then(|(_, w)| w.upgrade())
+            {
+                return buf;
+            }
+            let buf = Arc::new(ThreadBuf::default());
+            self.buffers.lock().push(buf.clone());
+            bufs.push((self.id, Arc::downgrade(&buf)));
+            buf
+        })
+    }
+
+    /// Drains every thread buffer into the staging area and writes the
+    /// seq-contiguous prefix (everything, when `write_all` — only safe
+    /// once no emit can be in flight, i.e. from the final drop).
+    fn write_buffered(&self, write_all: bool) {
+        if self.kind == SinkKind::Null {
+            return;
+        }
+        let mut sink = self.sink.lock();
+        let bufs: Vec<Arc<ThreadBuf>> = self.buffers.lock().clone();
+        for buf in &bufs {
+            let mut st = buf.state.lock();
+            if sink.staged.is_empty() {
+                sink.staged = std::mem::take(&mut st.lines);
+            } else {
+                sink.staged.append(&mut st.lines);
+            }
+        }
+        sink.staged.sort_unstable_by_key(|&(s, _)| s);
+        let SinkState {
+            sink: out,
+            staged,
+            next_write,
+        } = &mut *sink;
+        let mut written = 0;
+        for (s, line) in staged.iter() {
+            if !write_all && *s != *next_write {
+                break; // a predecessor ticket is still in flight
+            }
+            match out {
+                Sink::File(w) => {
+                    let _ = writeln!(w, "{line}");
+                }
+                Sink::Memory(lines) => lines.push(line.clone()),
+                Sink::Null => {}
+            }
+            *next_write = s + 1;
+            written += 1;
+        }
+        staged.drain(..written);
+    }
+
+    fn mirror_counter(&self, name: &str, delta: u64) {
+        if self.telemetry_on.load(Ordering::Relaxed) {
+            if let Some(t) = self.telemetry.read().as_ref() {
+                t.inc_counter(name, delta);
+            }
+        }
+    }
 }
 
 /// A cheap-to-clone journaling handle. Disabled by default; all emit
@@ -119,14 +266,18 @@ impl Journal {
     /// Returns the I/O error if the file cannot be created.
     pub fn to_file(run_id: &str, path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = File::create(path)?;
-        Ok(Self::with_sink(run_id, Sink::File(BufWriter::new(file))))
+        Ok(Self::with_sink(
+            run_id,
+            Sink::File(BufWriter::new(file)),
+            SinkKind::File,
+        ))
     }
 
     /// A journal buffering JSONL lines in memory (for tests and for
     /// post-run inspection without touching the filesystem).
     #[must_use]
     pub fn in_memory(run_id: &str) -> Self {
-        Self::with_sink(run_id, Sink::Memory(Vec::new()))
+        Self::with_sink(run_id, Sink::Memory(Vec::new()), SinkKind::Memory)
     }
 
     /// A journal that discards event lines but still drives counters,
@@ -134,22 +285,28 @@ impl Journal {
     /// telemetry with no file.
     #[must_use]
     pub fn telemetry_only(run_id: &str) -> Self {
-        Self::with_sink(run_id, Sink::Null)
+        Self::with_sink(run_id, Sink::Null, SinkKind::Null)
     }
 
-    fn with_sink(run_id: &str, sink: Sink) -> Self {
+    fn with_sink(run_id: &str, sink: Sink, kind: SinkKind) -> Self {
         Self {
             inner: Some(Arc::new(Inner {
                 run_id: run_id.to_owned(),
-                state: Mutex::new(State {
-                    seq: 0,
-                    sink,
-                    counters: Vec::new(),
-                    histograms: Vec::new(),
-                    summarized: false,
-                    telemetry: None,
-                }),
+                id: NEXT_JOURNAL_ID.fetch_add(1, Ordering::Relaxed),
+                kind,
+                seq: AtomicU64::new(0),
                 next_span: AtomicU64::new(0),
+                sink: Mutex::new(SinkState {
+                    sink,
+                    staged: Vec::new(),
+                    next_write: 0,
+                }),
+                buffers: Mutex::new(Vec::new()),
+                summarized: Mutex::new(false),
+                telemetry_on: AtomicBool::new(false),
+                telemetry: RwLock::new(None),
+                remote_closes: Mutex::new(Vec::new()),
+                remote_close_count: AtomicUsize::new(0),
             })),
         }
     }
@@ -160,7 +317,8 @@ impl Journal {
     #[must_use]
     pub fn with_telemetry(self, registry: TelemetryRegistry) -> Self {
         if let Some(inner) = self.inner.as_deref() {
-            inner.state.lock().telemetry = Some(registry);
+            *inner.telemetry.write() = Some(registry);
+            inner.telemetry_on.store(true, Ordering::Relaxed);
         }
         self
     }
@@ -170,7 +328,7 @@ impl Journal {
     pub fn telemetry(&self) -> Option<TelemetryRegistry> {
         self.inner
             .as_deref()
-            .and_then(|i| i.state.lock().telemetry.clone())
+            .and_then(|i| i.telemetry.read().clone())
     }
 
     /// Whether events are actually recorded.
@@ -186,20 +344,17 @@ impl Journal {
     }
 
     /// Emits one event. `fields` becomes the payload object; field order
-    /// is preserved. No-op when disabled.
+    /// is preserved. No-op when disabled. Lock-free against other
+    /// emitting threads: the seq ticket is atomic, serialization happens
+    /// outside any lock, and the line lands in this thread's buffer
+    /// (ordered into the sink at flush time).
     pub fn emit(&self, step: &str, fields: &[(&str, Value)]) {
         let Some(inner) = self.inner.as_deref() else {
             return;
         };
-        let mut state = inner.state.lock();
-        // seq is assigned and written under one lock so any reader of
-        // the sink observes a strictly increasing sequence.
-        let seq = state.seq;
-        state.seq += 1;
-        if let Some(t) = &state.telemetry {
-            t.inc_counter("journal.events", 1);
-        }
-        if matches!(state.sink, Sink::Null) {
+        inner.mirror_counter("journal.events", 1);
+        let seq = inner.seq.fetch_add(1, Ordering::Relaxed);
+        if inner.kind == SinkKind::Null {
             return; // telemetry-only: seq advanced, line discarded unserialized
         }
         let payload = Value::Object(
@@ -215,45 +370,54 @@ impl Journal {
             payload,
         };
         let line = serde_json::to_string(&event).expect("events are serializable");
-        match &mut state.sink {
-            Sink::File(w) => {
-                let _ = writeln!(w, "{line}");
-            }
-            Sink::Memory(lines) => lines.push(line),
-            Sink::Null => unreachable!("handled above"),
+        let buf = inner.thread_buf();
+        let depth = {
+            let mut st = buf.state.lock();
+            st.lines.push((seq, line));
+            st.lines.len()
+        };
+        if depth >= AUTO_FLUSH_LINES {
+            inner.write_buffered(false);
         }
     }
 
-    /// Adds `delta` to a named counter. No-op when disabled.
+    /// Adds `delta` to a named counter. No-op when disabled. Aggregates
+    /// into this thread's buffer; buffers merge deterministically (in
+    /// buffer-registration order) at [`Journal::finish`].
     pub fn count(&self, name: &str, delta: u64) {
         let Some(inner) = self.inner.as_deref() else {
             return;
         };
-        let mut state = inner.state.lock();
-        if let Some(t) = &state.telemetry {
-            t.inc_counter(name, delta);
-        }
-        match state.counters.iter_mut().find(|(n, _)| n == name) {
+        inner.mirror_counter(name, delta);
+        let buf = inner.thread_buf();
+        let mut st = buf.state.lock();
+        match st.counters.iter_mut().find(|(n, _)| n == name) {
             Some((_, v)) => *v += delta,
-            None => state.counters.push((name.to_owned(), delta)),
+            None => st.counters.push((name.to_owned(), delta)),
         }
     }
 
     /// Records `sample` into a named histogram. No-op when disabled.
+    /// Thread-buffered like [`Journal::count`]; per-thread histograms
+    /// merge exactly (counts/bins/extrema) with parallel-Welford moments
+    /// at [`Journal::finish`].
     pub fn observe(&self, name: &str, sample: f64) {
         let Some(inner) = self.inner.as_deref() else {
             return;
         };
-        let mut state = inner.state.lock();
-        if let Some(t) = &state.telemetry {
-            t.observe(name, sample);
+        if inner.telemetry_on.load(Ordering::Relaxed) {
+            if let Some(t) = inner.telemetry.read().as_ref() {
+                t.observe(name, sample);
+            }
         }
-        match state.histograms.iter_mut().find(|(n, _)| n == name) {
+        let buf = inner.thread_buf();
+        let mut st = buf.state.lock();
+        match st.histograms.iter_mut().find(|(n, _)| n == name) {
             Some((_, h)) => h.record(sample),
             None => {
                 let mut h = Histogram::new();
                 h.record(sample);
-                state.histograms.push((name.to_owned(), h));
+                st.histograms.push((name.to_owned(), h));
             }
         }
     }
@@ -273,30 +437,59 @@ impl Journal {
         out
     }
 
+    /// Writes buffered events whose predecessors have also arrived (the
+    /// seq-contiguous prefix) to the sink, then flushes file sinks. Safe
+    /// to call mid-run from any thread: events still in flight on other
+    /// workers stay staged until their seq gap closes, so the sink never
+    /// observes an out-of-order line.
+    pub fn flush(&self) {
+        let Some(inner) = self.inner.as_deref() else {
+            return;
+        };
+        inner.write_buffered(false);
+        if let Sink::File(w) = &mut inner.sink.lock().sink {
+            let _ = w.flush();
+        }
+    }
+
     /// Emits the `journal.summary` event (counters and histogram stats
-    /// accumulated so far) and flushes the sink. Idempotent per journal:
-    /// later calls with no new aggregates emit nothing extra.
+    /// accumulated so far, merged over all thread buffers) and flushes
+    /// the sink. Idempotent per journal: later calls with no new
+    /// aggregates emit nothing extra.
     pub fn finish(&self) {
         let Some(inner) = self.inner.as_deref() else {
             return;
         };
-        let (counters, histograms) = {
-            let mut state = inner.state.lock();
-            if state.summarized && state.counters.is_empty() && state.histograms.is_empty() {
-                match &mut state.sink {
-                    Sink::File(w) => {
-                        let _ = w.flush();
-                    }
-                    Sink::Memory(_) | Sink::Null => {}
+        let mut summarized = inner.summarized.lock();
+        // Merge per-thread aggregates in buffer-registration order; each
+        // buffer contributes its names in first-touch order. With one
+        // emitting thread this reduces to exactly the arrival order the
+        // old single-lock journal recorded.
+        let mut counters: Vec<(String, u64)> = Vec::new();
+        let mut histograms: Vec<(String, Histogram)> = Vec::new();
+        let bufs: Vec<Arc<ThreadBuf>> = inner.buffers.lock().clone();
+        for buf in &bufs {
+            let mut st = buf.state.lock();
+            for (n, v) in st.counters.drain(..) {
+                match counters.iter_mut().find(|(c, _)| *c == n) {
+                    Some((_, total)) => *total += v,
+                    None => counters.push((n, v)),
                 }
-                return;
             }
-            state.summarized = true;
-            (
-                std::mem::take(&mut state.counters),
-                std::mem::take(&mut state.histograms),
-            )
-        };
+            for (n, h) in st.histograms.drain(..) {
+                match histograms.iter_mut().find(|(c, _)| *c == n) {
+                    Some((_, total)) => total.merge_from(&h),
+                    None => histograms.push((n, h)),
+                }
+            }
+        }
+        if *summarized && counters.is_empty() && histograms.is_empty() {
+            drop(summarized);
+            self.flush();
+            return;
+        }
+        *summarized = true;
+        drop(summarized);
         let counters_v = Value::Object(
             counters
                 .into_iter()
@@ -313,21 +506,20 @@ impl Journal {
             "journal.summary",
             &[("counters", counters_v), ("histograms", histograms_v)],
         );
-        let mut state = inner.state.lock();
-        if let Sink::File(w) = &mut state.sink {
-            let _ = w.flush();
-        }
+        self.flush();
     }
 
-    /// Takes the buffered JSONL lines out of an in-memory journal.
-    /// Empty for disabled and file journals.
+    /// Takes the buffered JSONL lines out of an in-memory journal
+    /// (after merging thread buffers into seq order). Empty for
+    /// disabled and file journals.
     #[must_use]
     pub fn drain_lines(&self) -> Vec<String> {
         let Some(inner) = self.inner.as_deref() else {
             return Vec::new();
         };
-        let mut state = inner.state.lock();
-        match &mut state.sink {
+        inner.write_buffered(false);
+        let mut sink = inner.sink.lock();
+        match &mut sink.sink {
             Sink::Memory(lines) => std::mem::take(lines),
             Sink::File(_) | Sink::Null => Vec::new(),
         }
@@ -349,7 +541,30 @@ impl Journal {
 
 impl Drop for Inner {
     fn drop(&mut self) {
-        if let Sink::File(w) = &mut self.state.get_mut().sink {
+        // Last handle gone: no emit can be in flight, so everything
+        // still buffered is writable — sorted by seq it extends the
+        // flushed prefix monotonically (every staged seq exceeds
+        // `next_write`), even if an interior ticket was lost to a panic
+        // between claim and buffer.
+        if self.kind == SinkKind::Null {
+            return;
+        }
+        let mut staged = std::mem::take(&mut self.sink.get_mut().staged);
+        for buf in self.buffers.get_mut().drain(..) {
+            staged.append(&mut buf.state.lock().lines);
+        }
+        staged.sort_unstable_by_key(|&(s, _)| s);
+        let sink = &mut self.sink.get_mut().sink;
+        for (_, line) in staged {
+            match sink {
+                Sink::File(w) => {
+                    let _ = writeln!(w, "{line}");
+                }
+                Sink::Memory(lines) => lines.push(line),
+                Sink::Null => {}
+            }
+        }
+        if let Sink::File(w) = sink {
             let _ = w.flush();
         }
     }
@@ -388,6 +603,7 @@ mod tests {
         j.observe("h", 1.0);
         assert_eq!(j.time("t", || 41 + 1), 42);
         j.finish();
+        j.flush();
         assert!(j.drain_lines().is_empty());
     }
 
@@ -474,5 +690,90 @@ mod tests {
         assert!(reader.seq_strictly_increasing_per_run());
         assert_eq!(reader.events[0].run_id, "file-run");
         assert_eq!(reader.events_for_step("step.one").len(), 1);
+    }
+
+    #[test]
+    fn concurrent_emitters_merge_into_a_dense_monotone_sequence() {
+        let j = Journal::in_memory("conc");
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let j = j.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        j.emit("w", &[("t", t.into()), ("i", i.into())]);
+                        j.count("events", 1);
+                        j.observe("i", i as f64);
+                    }
+                });
+            }
+        });
+        j.finish();
+        let events = parse_jsonl(&j.drain_lines().join("\n")).unwrap();
+        assert_eq!(events.len(), 201, "200 worker events + summary");
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..201).collect::<Vec<u64>>(), "dense and sorted");
+        let summary = events.last().unwrap();
+        assert_eq!(
+            summary.payload.get("counters").unwrap().get("events"),
+            Some(&Value::Int(200))
+        );
+        let hist = summary.payload.get("histograms").unwrap().get("i").unwrap();
+        assert_eq!(hist.get("count"), Some(&Value::Int(200)));
+        // Whole floats round-trip through JSONL as integers.
+        assert_eq!(hist.get("min"), Some(&Value::Int(0)));
+        assert_eq!(hist.get("max"), Some(&Value::Int(49)));
+    }
+
+    #[test]
+    fn mid_run_flush_keeps_the_file_monotone_and_complete() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!(
+            "ideaflow_trace_midflush_{}.jsonl",
+            std::process::id()
+        ));
+        {
+            let j = Journal::to_file("mid", &path).unwrap();
+            for i in 0..10u64 {
+                j.emit("a", &[("i", i.into())]);
+            }
+            j.flush();
+            // The prefix is on disk already (readable mid-run).
+            let partial = Journal::load(&path).unwrap();
+            assert_eq!(partial.events.len(), 10);
+            assert!(partial.seq_strictly_increasing_per_run());
+            for i in 10..20u64 {
+                j.emit("a", &[("i", i.into())]);
+            }
+            j.finish();
+        }
+        let reader = Journal::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reader.events.len(), 21, "20 events + summary");
+        assert!(reader.seq_strictly_increasing_per_run());
+    }
+
+    #[test]
+    fn events_buffered_by_a_panicking_thread_survive() {
+        let j = Journal::in_memory("panicky");
+        let jc = j.clone();
+        let handle = std::thread::spawn(move || {
+            jc.emit("before.panic", &[("x", 1u64.into())]);
+            panic!("worker died after emitting");
+        });
+        assert!(handle.join().is_err());
+        let events = parse_jsonl(&j.drain_lines().join("\n")).unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].step, "before.panic");
+    }
+
+    #[test]
+    fn telemetry_only_journal_drives_registry_without_lines() {
+        let registry = TelemetryRegistry::new();
+        let j = Journal::telemetry_only("t").with_telemetry(registry.clone());
+        j.emit("x", &[]);
+        j.count("c", 2);
+        assert!(j.drain_lines().is_empty());
+        assert_eq!(registry.counter_value("journal.events"), Some(1));
+        assert_eq!(registry.counter_value("c"), Some(2));
     }
 }

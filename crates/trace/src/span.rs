@@ -13,14 +13,31 @@
 //! - `secs` (close only): elapsed wall time.
 //!
 //! Parentage is tracked per thread with a thread-local stack keyed by
-//! the journal's identity, so two journals instrumenting the same code
-//! never cross-link. Spans on plain `std::thread` threads root
-//! independently; an executor moving work to pool workers can preserve
-//! nesting by snapshotting the spawning thread's stack with
+//! the journal's process-unique id, so two journals instrumenting the
+//! same code never cross-link. Spans on plain `std::thread` threads
+//! root independently; an executor moving work to pool workers can
+//! preserve nesting by snapshotting the spawning thread's stack with
 //! [`SpanStack::capture`] and entering it around the task with
 //! [`SpanStack::enter`]. Every `span.open`/`span.close` event carries a
-//! `thread` field (the OS thread name) so per-worker attribution
-//! survives into offline analysis (`ifjournal summary --by-thread`).
+//! `thread` field naming the thread it happened on, so per-worker
+//! attribution survives into offline analysis (`ifjournal summary
+//! --by-thread` charges a span's self-time to the thread that *closed*
+//! it — the one that did the work).
+//!
+//! # Cross-thread closes
+//!
+//! A guard may legitimately drop on a different thread than opened it
+//! (a task result carrying its span back through a channel, an executor
+//! tearing down). The close event is then emitted from the dropping
+//! thread — its `thread` field names the executing worker, and an
+//! `opened_thread` field is added naming the opener. The opener's
+//! thread-local stack still holds the span's entry at that point (only
+//! the opener can touch its own TLS); the journal records the id as
+//! remotely closed and every subsequent [`crate::Journal::span`] call
+//! prunes remotely-closed entries from its own thread's stack before
+//! computing parentage, so a cross-thread close can never corrupt the
+//! parent/depth of spans the opener opens later.
+//!
 //! Close events also feed the `span.<name>.secs` histogram, which flows
 //! into any attached [`crate::TelemetryRegistry`] live.
 //!
@@ -29,16 +46,17 @@
 
 use std::cell::RefCell;
 use std::sync::atomic::Ordering;
+use std::thread::ThreadId;
 use std::time::Instant;
 
-use crate::Journal;
+use crate::{Journal, PayloadValue};
 
 thread_local! {
-    /// Stack of `(journal identity, span id)` for the spans currently
-    /// open on this thread. Journal identity is the `Arc<Inner>`
-    /// pointer; guards hold a `Journal` clone, so the pointer cannot be
-    /// recycled while any of its entries are on the stack.
-    static OPEN_SPANS: RefCell<Vec<(usize, u64)>> = const { RefCell::new(Vec::new()) };
+    /// Stack of `(journal id, span id)` for the spans currently open on
+    /// this thread. The journal id is process-unique for the lifetime
+    /// of the program (a monotone counter, not an address), so entries
+    /// can never alias a later journal.
+    static OPEN_SPANS: RefCell<Vec<(u64, u64)>> = const { RefCell::new(Vec::new()) };
 }
 
 /// The label `span.open`/`span.close` events carry in their `thread`
@@ -60,14 +78,14 @@ pub fn thread_label() -> String {
 /// opens nest under the spawning span instead of becoming depth-0
 /// roots.
 ///
-/// The snapshot stores journal identities as raw pointer keys without
-/// holding the journals alive; the caller must guarantee the captured
-/// spans outlive every `enter` (an executor whose scope blocks until
-/// all tasks finish does, because the spawning thread keeps the span
-/// guards — and through them the journals — alive).
+/// The snapshot stores journal ids without holding the journals alive;
+/// the caller must guarantee the captured spans outlive every `enter`
+/// (an executor whose scope blocks until all tasks finish does, because
+/// the spawning thread keeps the span guards — and through them the
+/// journals — alive).
 #[derive(Debug, Clone, Default)]
 pub struct SpanStack {
-    entries: Vec<(usize, u64)>,
+    entries: Vec<(u64, u64)>,
 }
 
 impl SpanStack {
@@ -85,7 +103,7 @@ impl SpanStack {
     /// spawning thread (a caller executing its own queued task while it
     /// waits) from double-counting the spans already open there.
     pub fn enter<R>(&self, f: impl FnOnce() -> R) -> R {
-        struct Restore(Vec<(usize, u64)>);
+        struct Restore(Vec<(u64, u64)>);
         impl Drop for Restore {
             fn drop(&mut self) {
                 OPEN_SPANS.with(|stack| *stack.borrow_mut() = std::mem::take(&mut self.0));
@@ -120,6 +138,8 @@ pub struct Span {
     parent: i64,
     depth: u64,
     start: Instant,
+    opened_on: ThreadId,
+    opened_label: String,
 }
 
 impl Journal {
@@ -136,9 +156,34 @@ impl Journal {
                 parent: -1,
                 depth: 0,
                 start: Instant::now(),
+                opened_on: std::thread::current().id(),
+                opened_label: String::new(),
             };
         };
-        let key = inner as *const _ as usize;
+        let key = inner.id;
+        // Spans this thread opened but another thread closed leave
+        // stale entries here (a foreign thread cannot edit our TLS);
+        // drop them before they masquerade as parents.
+        if inner.remote_close_count.load(Ordering::Relaxed) > 0 {
+            let mut remote = inner.remote_closes.lock();
+            if !remote.is_empty() {
+                OPEN_SPANS.with(|stack| {
+                    stack.borrow_mut().retain(|&(k, sid)| {
+                        if k != key {
+                            return true;
+                        }
+                        match remote.iter().position(|&r| r == sid) {
+                            Some(pos) => {
+                                remote.swap_remove(pos);
+                                inner.remote_close_count.fetch_sub(1, Ordering::Relaxed);
+                                false
+                            }
+                            None => true,
+                        }
+                    });
+                });
+            }
+        }
         let id = inner.next_span.fetch_add(1, Ordering::Relaxed);
         let (parent, depth) = OPEN_SPANS.with(|stack| {
             let mut stack = stack.borrow_mut();
@@ -158,6 +203,8 @@ impl Journal {
             parent,
             depth,
             start: Instant::now(),
+            opened_on: std::thread::current().id(),
+            opened_label: thread_label(),
         };
         self.emit(
             "span.open",
@@ -166,7 +213,7 @@ impl Journal {
                 ("id", id.into()),
                 ("parent", parent.into()),
                 ("depth", depth.into()),
-                ("thread", thread_label().as_str().into()),
+                ("thread", span.opened_label.as_str().into()),
             ],
         );
         span
@@ -195,28 +242,40 @@ impl Span {
 
 impl Drop for Span {
     fn drop(&mut self) {
-        let Some(inner) = self.journal.inner.as_ref() else {
+        let Some(inner) = self.journal.inner.as_deref() else {
             return;
         };
-        let key = std::sync::Arc::as_ptr(inner) as usize;
-        OPEN_SPANS.with(|stack| {
-            let mut stack = stack.borrow_mut();
-            if let Some(pos) = stack.iter().rposition(|&e| e == (key, self.id)) {
-                stack.remove(pos);
-            }
-        });
+        let key = inner.id;
+        let closing_here = std::thread::current().id() == self.opened_on;
+        if closing_here {
+            OPEN_SPANS.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&e| e == (key, self.id)) {
+                    stack.remove(pos);
+                }
+            });
+        } else {
+            // The opener's stack entry is out of reach from this
+            // thread; flag it for pruning on the opener's next `span`.
+            inner.remote_closes.lock().push(self.id);
+            inner.remote_close_count.fetch_add(1, Ordering::Relaxed);
+        }
         let secs = self.start.elapsed().as_secs_f64();
-        self.journal.emit(
-            "span.close",
-            &[
-                ("name", self.name.as_str().into()),
-                ("id", self.id.into()),
-                ("parent", self.parent.into()),
-                ("depth", self.depth.into()),
-                ("secs", secs.into()),
-                ("thread", thread_label().as_str().into()),
-            ],
-        );
+        let closer = thread_label();
+        let mut fields: Vec<(&str, PayloadValue)> = vec![
+            ("name", self.name.as_str().into()),
+            ("id", self.id.into()),
+            ("parent", self.parent.into()),
+            ("depth", self.depth.into()),
+            ("secs", secs.into()),
+            // The thread doing the close is the one that executed the
+            // work — `summary --by-thread` attributes self-time to it.
+            ("thread", closer.as_str().into()),
+        ];
+        if !closing_here {
+            fields.push(("opened_thread", self.opened_label.as_str().into()));
+        }
+        self.journal.emit("span.close", &fields);
         self.journal
             .observe(&format!("span.{}.secs", self.name), secs);
     }
@@ -289,6 +348,11 @@ mod tests {
                 e.payload.get("thread").and_then(|v| v.as_str()),
                 Some(expected.as_str()),
                 "{step}"
+            );
+            assert_eq!(
+                e.payload.get("opened_thread"),
+                None,
+                "same-thread close carries no opened_thread"
             );
         }
     }
@@ -363,5 +427,43 @@ mod tests {
             .and_then(|h| h.get("span.stage.secs"))
             .expect("span histogram present");
         assert_eq!(hist.get("count"), Some(&serde::Value::Int(2)));
+    }
+
+    #[test]
+    fn cross_thread_close_attributes_to_the_executing_thread() {
+        let j = Journal::in_memory("xclose");
+        let span = j.span("work");
+        let opener = thread_label();
+        std::thread::scope(|s| {
+            s.spawn(move || drop(span));
+        });
+        let r = load(&j);
+        let close = &r.events_for_step("span.close")[0];
+        // Self-time lands on the worker that finished the work, with
+        // the opener recorded for transparency.
+        assert_eq!(
+            close.payload.get("thread").and_then(|v| v.as_str()),
+            Some("unnamed")
+        );
+        assert_eq!(
+            close.payload.get("opened_thread").and_then(|v| v.as_str()),
+            Some(opener.as_str())
+        );
+    }
+
+    #[test]
+    fn cross_thread_close_does_not_corrupt_the_openers_stack() {
+        let j = Journal::in_memory("stale");
+        let moved = j.span("moved");
+        let moved_id = moved.id();
+        std::thread::scope(|s| {
+            s.spawn(move || drop(moved));
+        });
+        // `moved` is closed; a new span here must root, not nest under
+        // the stale stack entry the remote close left behind.
+        let next = j.span("next");
+        assert_eq!(next.parent(), -1, "stale entry pruned");
+        assert_eq!(next.depth(), 0);
+        assert_ne!(next.id(), moved_id);
     }
 }

@@ -123,6 +123,41 @@ impl Histogram {
         (self.m2 / (self.finite - 1) as f64).sqrt()
     }
 
+    /// Merges `other` into `self`, as if every sample recorded into
+    /// `other` had been recorded here. Counts, sums, bins, extrema and
+    /// the negatives tally merge exactly; the Welford moments combine
+    /// with the parallel-variance formula (Chan et al.), so `stats()`
+    /// of the merge matches recording the union directly up to
+    /// floating-point rounding. Used by the journal to fold per-worker
+    /// histogram buffers into one summary at `finish` time.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        self.count += other.count;
+        if other.finite == 0 {
+            return;
+        }
+        if self.finite == 0 {
+            self.finite = other.finite;
+            self.sum = other.sum;
+            self.mean = other.mean;
+            self.m2 = other.m2;
+        } else {
+            let na = self.finite as f64;
+            let nb = other.finite as f64;
+            let n = na + nb;
+            let delta = other.mean - self.mean;
+            self.mean += delta * nb / n;
+            self.m2 += other.m2 + delta * delta * na * nb / n;
+            self.finite += other.finite;
+            self.sum += other.sum;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.negatives += other.negatives;
+        for (mine, theirs) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *mine += theirs;
+        }
+    }
+
     /// Collapses to summary statistics.
     #[must_use]
     pub fn stats(&self) -> FieldStats {
@@ -248,6 +283,54 @@ mod tests {
         h.record(3.0);
         h.record(f64::NAN);
         assert!(h.stats().std.is_nan());
+    }
+
+    #[test]
+    fn merge_matches_direct_recording() {
+        let xs = [2.0, 4.0, 4.0, -1.0, 5.0, 7.0, 9.0, 0.5];
+        let mut whole = Histogram::new();
+        for &x in &xs {
+            whole.record(x);
+        }
+        whole.record(f64::NAN);
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for &x in &xs[..3] {
+            a.record(x);
+        }
+        for &x in &xs[3..] {
+            b.record(x);
+        }
+        b.record(f64::NAN);
+        a.merge_from(&b);
+        let (sa, sw) = (a.stats(), whole.stats());
+        assert_eq!(sa.count, sw.count);
+        assert_eq!(sa.min, sw.min);
+        assert_eq!(sa.max, sw.max);
+        assert_eq!(sa.negatives, sw.negatives);
+        assert_eq!(sa.p50, sw.p50);
+        assert_eq!(sa.p95, sw.p95);
+        assert!(
+            (sa.mean - sw.mean).abs() < 1e-12,
+            "{} vs {}",
+            sa.mean,
+            sw.mean
+        );
+        assert!((sa.std - sw.std).abs() < 1e-12, "{} vs {}", sa.std, sw.std);
+    }
+
+    #[test]
+    fn merge_into_or_from_empty_is_identity() {
+        let mut a = Histogram::new();
+        for x in [1.0, 2.0, 3.0] {
+            a.record(x);
+        }
+        let reference = a.clone();
+        a.merge_from(&Histogram::new());
+        assert_eq!(a, reference);
+        let mut empty = Histogram::new();
+        empty.merge_from(&reference);
+        assert_eq!(empty, reference);
     }
 
     #[test]

@@ -181,6 +181,141 @@ proptest! {
     }
 }
 
+/// `(step, seq, payload-fields)` with wall-clock fields removed.
+type MergedEvent = (String, u64, Vec<(String, String)>);
+
+/// Events with wall-clock fields stripped, in sink order; the
+/// `journal.summary` event is excluded (its float moments are compared
+/// separately — merge order makes the low bits of mean/std
+/// schedule-dependent, exactly as reduction order did under the old
+/// single lock).
+fn stripped_events(lines: &[String]) -> Vec<MergedEvent> {
+    let reader = JournalReader::from_jsonl(&lines.join("\n")).unwrap();
+    reader
+        .events
+        .iter()
+        .filter(|e| e.step != "journal.summary")
+        .map(|e| {
+            let fields = e
+                .payload
+                .as_object()
+                .map(|obj| {
+                    obj.iter()
+                        .filter(|(k, _)| k != "secs" && !k.ends_with(".secs"))
+                        .map(|(k, v)| (k.clone(), format!("{v:?}")))
+                        .collect()
+                })
+                .unwrap_or_default();
+            (e.step.clone(), e.seq, fields)
+        })
+        .collect()
+}
+
+/// The exact (order-independent) aggregates of the `journal.summary`
+/// event: counter totals plus histogram count/min/max/negatives.
+fn summary_exact_fields(lines: &[String]) -> Vec<(String, String)> {
+    let reader = JournalReader::from_jsonl(&lines.join("\n")).unwrap();
+    let summaries = reader.events_for_step("journal.summary");
+    assert_eq!(summaries.len(), 1, "exactly one summary");
+    let payload = &summaries[0].payload;
+    let mut out = Vec::new();
+    if let Some(counters) = payload.get("counters").and_then(|c| c.as_object()) {
+        for (name, total) in counters {
+            out.push((format!("counter:{name}"), format!("{total:?}")));
+        }
+    }
+    if let Some(hists) = payload.get("histograms").and_then(|h| h.as_object()) {
+        for (name, stats) in hists {
+            for field in ["count", "min", "max", "negatives"] {
+                out.push((
+                    format!("hist:{name}:{field}"),
+                    format!("{:?}", stats.get(field)),
+                ));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The per-worker-buffer journal reproduces the old single-lock
+    /// sink. Baseline: the same ops emitted sequentially (under one
+    /// lock, arrival order *was* ticket order, so the sequential run
+    /// is exactly what the old sink wrote). On a 1-thread pool the new
+    /// journal must match it byte for byte modulo wall-clock fields —
+    /// same events, same payloads, same `seq` assignment. On 2/4-thread
+    /// pools ticket *interleaving* is scheduling (it always was); what
+    /// must hold is: the same multiset of events with a dense strictly
+    /// monotone `seq`, and identical exact aggregates in the summary.
+    #[test]
+    fn per_worker_buffers_reproduce_the_single_lock_baseline(
+        tasks in proptest::collection::vec(proptest::collection::vec(0usize..3, 1..6), 1..10),
+    ) {
+        let run_ops = |journal: &Journal, i: usize, ops: &[usize]| {
+            for (k, op) in ops.iter().enumerate() {
+                let v = (i * 10 + k) as f64;
+                match op {
+                    0 => journal.emit(
+                        "prop.event",
+                        &[("v", PayloadValue::Float(v))],
+                    ),
+                    1 => journal.count("prop.counter", (i + k) as u64 + 1),
+                    _ => journal.observe("prop.sample", v),
+                }
+            }
+        };
+        let lines_at = |threads: Option<usize>| -> Vec<String> {
+            let journal = Journal::in_memory("merge");
+            match threads {
+                None => {
+                    for (i, ops) in tasks.iter().enumerate() {
+                        run_ops(&journal, i, ops);
+                    }
+                }
+                Some(n) => {
+                    let pool = ideaflow::exec::PoolBuilder::new().threads(n).build();
+                    pool.par_map(tasks.clone(), |i, ops| run_ops(&journal, i, &ops));
+                }
+            }
+            journal.finish();
+            journal.drain_lines()
+        };
+
+        let baseline = lines_at(None);
+        let single = lines_at(Some(1));
+        // 1 thread: par_map runs inline in submission order — the
+        // journal is the single-lock journal, byte for byte.
+        prop_assert_eq!(stripped_events(&baseline), stripped_events(&single));
+        prop_assert_eq!(summary_exact_fields(&baseline), summary_exact_fields(&single));
+
+        let base_summary = summary_exact_fields(&baseline);
+        let mut base_set = stripped_events(&baseline);
+        base_set.iter_mut().for_each(|e| e.1 = 0);
+        base_set.sort();
+        for threads in [2usize, 4] {
+            let lines = lines_at(Some(threads));
+            let events = stripped_events(&lines);
+            // Dense strictly-monotone seq in sink order.
+            for (pos, e) in events.iter().enumerate() {
+                prop_assert_eq!(e.1, pos as u64, "{} threads: seq gap", threads);
+            }
+            let mut set = events;
+            set.iter_mut().for_each(|e| e.1 = 0);
+            set.sort();
+            prop_assert_eq!(&set, &base_set, "{} threads: event multiset", threads);
+            prop_assert_eq!(
+                &summary_exact_fields(&lines),
+                &base_summary,
+                "{} threads: summary aggregates",
+                threads
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 

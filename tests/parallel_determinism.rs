@@ -145,6 +145,79 @@ fn qor_cache_never_changes_flow_results() {
 }
 
 #[test]
+fn journal_mid_run_flush_stays_monotone_and_loses_nothing() {
+    // A monitoring process may read the journal file while a parallel
+    // campaign is still emitting. A mid-run `flush` must leave the file
+    // a valid prefix: strictly monotone seq, no gaps, no torn lines —
+    // and the final file must contain every event exactly once.
+    use ideaflow::trace::{Journal, PayloadValue};
+
+    let dir = std::env::temp_dir().join("ideaflow_midrun_flush");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("run.jsonl");
+    let journal = Journal::to_file("midrun", &path).unwrap();
+
+    let pool = PoolBuilder::new().threads(4).build();
+    let emit_batch = |base: usize| {
+        pool.par_map((0..32usize).collect(), |i, _| {
+            journal.emit(
+                "prop.event",
+                &[("v", PayloadValue::Float((base + i) as f64))],
+            );
+        });
+    };
+    emit_batch(0);
+    journal.flush();
+    let partial = Journal::load(&path).unwrap();
+    assert!(partial.seq_strictly_increasing_per_run());
+    assert_eq!(
+        partial.events_for_step("prop.event").len(),
+        32,
+        "the flushed prefix holds every emitted event"
+    );
+
+    emit_batch(100);
+    journal.finish();
+    let full = Journal::load(&path).unwrap();
+    assert!(full.seq_strictly_increasing_per_run());
+    assert_eq!(full.events_for_step("prop.event").len(), 64);
+    assert_eq!(full.events_for_step("journal.summary").len(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn journal_events_survive_a_panicking_parallel_task() {
+    // A worker that panics mid-campaign must not take its buffered
+    // events down with it: the journal owns the per-thread buffers, so
+    // everything emitted before the panic still merges into the sink.
+    use ideaflow::trace::{Journal, PayloadValue};
+
+    let journal = Journal::in_memory("panicky");
+    for i in 0..8 {
+        journal.emit("prop.event", &[("v", PayloadValue::Int(i))]);
+    }
+    let j = journal.clone();
+    let crashed = std::thread::spawn(move || {
+        for i in 100..108 {
+            j.emit("prop.event", &[("v", PayloadValue::Int(i))]);
+        }
+        panic!("worker dies after emitting");
+    })
+    .join();
+    assert!(crashed.is_err(), "the worker did panic");
+
+    journal.finish();
+    let reader =
+        ideaflow::trace::JournalReader::from_jsonl(&journal.drain_lines().join("\n")).unwrap();
+    assert!(reader.seq_strictly_increasing_per_run());
+    assert_eq!(
+        reader.events_for_step("prop.event").len(),
+        16,
+        "events buffered on the dead thread were flushed"
+    );
+}
+
+#[test]
 fn qor_cache_is_transparent_under_parallel_bandit_load() {
     let spec = || DesignSpec::new(DesignClass::Cpu, 300).unwrap();
     let run = |cache: Option<QorCache>| {
