@@ -10,6 +10,10 @@
 //! fig06a_gwtw --chaos --resume killed.jsonl ...   warm the QoR cache from a
 //!                                                 killed campaign's journal,
 //!                                                 then run to completion
+//! fig06a_gwtw --chaos --alerts rules.toml ...     evaluate alert rules at
+//!                                                 every review round (serve
+//!                                                 /alerts with
+//!                                                 --telemetry-port)
 //! ```
 //!
 //! The final `chaos best:` line is bit-exact, so a killed-then-resumed
@@ -24,9 +28,10 @@ fn main() {
     let session = ideaflow_bench::session_from_args("fig06a_gwtw");
     if args.iter().any(|a| a == "--chaos") {
         let journal = session.journal.clone();
-        session
-            .journal
-            .time("bench.fig06a_chaos", || run_chaos(&args, &journal));
+        let alerts = session.alerts.clone();
+        session.journal.time("bench.fig06a_chaos", || {
+            run_chaos(&args, &journal, alerts.as_ref());
+        });
     } else {
         session.journal.time("bench.fig06a_gwtw", run_harness);
     }
@@ -50,7 +55,11 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     None
 }
 
-fn run_chaos(args: &[String], journal: &ideaflow_trace::Journal) {
+fn run_chaos(
+    args: &[String],
+    journal: &ideaflow_trace::Journal,
+    alerts: Option<&ideaflow_metrics::alerts::AlertEngine>,
+) {
     let cfg = fig06_orchestration::ChaosConfig::default();
     let rounds = match flag_value(args, "--kill-after-round") {
         Some(v) => {
@@ -79,12 +88,15 @@ fn run_chaos(args: &[String], journal: &ideaflow_trace::Journal) {
          ({} rounds, fault rate {} per mode)\n",
         rounds, cfg.fault_rate
     );
-    let out = fig06_orchestration::run_chaos_gwtw(&cfg, rounds, cache, journal);
+    let out = fig06_orchestration::run_chaos_gwtw_alerted(&cfg, rounds, cache, journal, alerts);
     println!("tool runs spent:   {}", out.runs_spent);
     println!("faults injected:   {}", out.faults_injected);
     println!("gwtw casualties:   {}", out.casualties);
     println!("refunded hours:    {:.3}", out.refunded_hours);
     println!("cache hits:        {}", out.cache_hits);
+    if let Some(engine) = alerts {
+        println!("alerts firing:     {:?}", engine.active());
+    }
     if warmed > 0 {
         assert!(
             out.cache_hits > 0,

@@ -11,8 +11,9 @@ use ideaflow_faults::{FaultInjector, FaultPlan};
 use ideaflow_flow::cache::QorCache;
 use ideaflow_flow::spnr::SpnrFlow;
 use ideaflow_flow::supervise::Supervisor;
+use ideaflow_metrics::alerts::AlertEngine;
 use ideaflow_netlist::generate::{DesignClass, DesignSpec};
-use ideaflow_opt::gwtw::{gwtw, gwtw_journaled, independent_baseline, GwtwConfig};
+use ideaflow_opt::gwtw::{gwtw, gwtw_observed, independent_baseline, GwtwConfig};
 use ideaflow_opt::landscape::BigValley;
 use ideaflow_opt::local::LocalSearchConfig;
 use ideaflow_opt::multistart::{
@@ -163,6 +164,22 @@ pub fn run_chaos_gwtw(
     cache: QorCache,
     journal: &Journal,
 ) -> ChaosOutcome {
+    run_chaos_gwtw_alerted(cfg, rounds, cache, journal, None)
+}
+
+/// [`run_chaos_gwtw`] with an optional alerting engine, ticked once per
+/// GWTW review round from the orchestrating thread — the deterministic
+/// evaluation points the alert transitions are keyed to. Alerting is
+/// observational: the search is bit-identical with or without an
+/// engine.
+#[must_use]
+pub fn run_chaos_gwtw_alerted(
+    cfg: &ChaosConfig,
+    rounds: usize,
+    cache: QorCache,
+    journal: &Journal,
+    alerts: Option<&AlertEngine>,
+) -> ChaosOutcome {
     let flow = SpnrFlow::new(
         DesignSpec::new(DesignClass::Cpu, 250).expect("valid spec"),
         cfg.flow_seed,
@@ -189,7 +206,11 @@ pub fn run_chaos_gwtw(
         t_initial: 0.5,
         t_final: 0.02,
     };
-    let g = gwtw_journaled(&scape, gwtw_cfg, cfg.seed, journal);
+    let g = gwtw_observed(&scape, gwtw_cfg, cfg.seed, journal, |_, _| {
+        if let Some(engine) = alerts {
+            engine.tick();
+        }
+    });
     let faults_injected = flow
         .faults()
         .map_or(0, ideaflow_faults::FaultInjector::total);

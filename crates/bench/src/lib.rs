@@ -16,6 +16,7 @@ pub mod experiments;
 
 use std::time::Duration;
 
+use ideaflow_metrics::alerts::AlertEngine;
 use ideaflow_metrics::http::TelemetryServer;
 use ideaflow_trace::{Journal, TelemetryRegistry};
 
@@ -64,6 +65,11 @@ pub struct BenchSession {
     /// The run journal (file-backed, telemetry-only, or disabled,
     /// depending on the flags given).
     pub journal: Journal,
+    /// The alerting engine, when `--alerts <rules.toml>` was given. The
+    /// workload ticks it at its deterministic campaign points; the
+    /// telemetry server (when also up) serves its snapshot at
+    /// `GET /alerts`.
+    pub alerts: Option<AlertEngine>,
     server: Option<TelemetryServer>,
     hold: Duration,
 }
@@ -73,6 +79,12 @@ impl BenchSession {
     /// keeps it scrapeable for the `--telemetry-hold-ms` window before
     /// shutting it down. Call this right before the binary exits.
     pub fn finish(mut self) {
+        if let Some(engine) = self.alerts.as_ref() {
+            let transitions = engine.transitions_text();
+            if !transitions.is_empty() {
+                eprint!("alerts:\n{transitions}");
+            }
+        }
         self.journal.finish();
         if let Some(server) = self.server.as_mut() {
             if !self.hold.is_zero() {
@@ -92,11 +104,18 @@ impl BenchSession {
 ///   printed to stderr). Works with or without `--journal` — without
 ///   it, a telemetry-only journal drives the registry;
 /// - `--telemetry-hold-ms <ms>`: keep the endpoint up that long after
-///   the workload finishes, so short benches stay scrapeable.
+///   the workload finishes, so short benches stay scrapeable;
+/// - `--alerts <rules.toml>`: load declarative alert rules and attach
+///   an [`AlertEngine`] over the session's registry. Works with or
+///   without `--telemetry-port` — with it, the engine's snapshot is
+///   served at `GET /alerts` and its `ideaflow_alert_active` gauges
+///   appear on `/metrics`; fired/resolved transitions are journaled
+///   and printed to stderr at [`BenchSession::finish`] either way.
 ///
 /// # Panics
 ///
-/// Panics on a missing/unparsable flag value or an unbindable port.
+/// Panics on a missing/unparsable flag value, an unbindable port, or an
+/// unreadable/malformed rules file.
 #[must_use]
 pub fn session_from_args(run_id: &str) -> BenchSession {
     session_from_arg_list(run_id, std::env::args().skip(1))
@@ -111,20 +130,29 @@ pub fn session_from_arg_list(run_id: &str, args: impl IntoIterator<Item = String
     let args: Vec<String> = args.into_iter().collect();
     let mut port: Option<u16> = None;
     let mut hold_ms: u64 = 0;
+    let mut rules_path: Option<String> = None;
+    // The next positional argument is consumed only when the flag has
+    // no inline `=value` (an eager `it.next()` in argument position
+    // would swallow the argument after `--flag=value` too).
+    fn flag_value<'a>(
+        inline: Option<&str>,
+        it: &mut impl Iterator<Item = &'a String>,
+        flag: &str,
+    ) -> String {
+        match inline {
+            Some(v) => v.to_owned(),
+            None => it
+                .next()
+                .unwrap_or_else(|| panic!("{flag} requires a value"))
+                .clone(),
+        }
+    }
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let flag_value = |inline: Option<&str>, next: Option<&String>, flag: &str| -> String {
-            match inline {
-                Some(v) => v.to_owned(),
-                None => next
-                    .unwrap_or_else(|| panic!("{flag} requires a value"))
-                    .clone(),
-            }
-        };
         if a == "--telemetry-port" || a.starts_with("--telemetry-port=") {
             let v = flag_value(
                 a.strip_prefix("--telemetry-port="),
-                it.next(),
+                &mut it,
                 "--telemetry-port",
             );
             port = Some(
@@ -134,39 +162,56 @@ pub fn session_from_arg_list(run_id: &str, args: impl IntoIterator<Item = String
         } else if a == "--telemetry-hold-ms" || a.starts_with("--telemetry-hold-ms=") {
             let v = flag_value(
                 a.strip_prefix("--telemetry-hold-ms="),
-                it.next(),
+                &mut it,
                 "--telemetry-hold-ms",
             );
             hold_ms = v
                 .parse()
                 .unwrap_or_else(|_| panic!("--telemetry-hold-ms: invalid value {v:?}"));
+        } else if a == "--alerts" || a.starts_with("--alerts=") {
+            rules_path = Some(flag_value(a.strip_prefix("--alerts="), &mut it, "--alerts"));
         }
     }
     let journal = journal_from_arg_list(run_id, args);
-    let (journal, server) = match port {
-        None => (journal, None),
-        Some(p) => {
-            let registry = TelemetryRegistry::new();
-            // Surface the work-stealing pool's gauges (workers, busy
-            // workers, queue depth, tasks run) on the same endpoint.
-            ideaflow_exec::global().attach_telemetry(&registry);
-            let journal = if journal.is_enabled() {
-                journal
-            } else {
-                Journal::telemetry_only(run_id)
-            }
-            .with_telemetry(registry.clone());
-            let server = TelemetryServer::serve(p, registry)
-                .unwrap_or_else(|e| panic!("cannot bind telemetry port {p}: {e}"));
-            eprintln!(
-                "telemetry: http://127.0.0.1:{}/metrics (healthz: /healthz)",
-                server.port()
-            );
-            (journal, Some(server))
-        }
-    };
+    if port.is_none() && rules_path.is_none() {
+        return BenchSession {
+            journal,
+            alerts: None,
+            server: None,
+            hold: Duration::from_millis(hold_ms),
+        };
+    }
+    // A live registry backs both the endpoint and the alert engine;
+    // either flag alone brings it up.
+    let registry = TelemetryRegistry::new();
+    // Surface the work-stealing pool's gauges (workers, busy
+    // workers, queue depth, tasks run) on the same endpoint.
+    ideaflow_exec::global().attach_telemetry(&registry);
+    let journal = if journal.is_enabled() {
+        journal
+    } else {
+        Journal::telemetry_only(run_id)
+    }
+    .with_telemetry(registry.clone());
+    let alerts = rules_path.map(|path| {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read alert rules {path}: {e}"));
+        let rules = ideaflow_metrics::alerts::parse_rules(&text)
+            .unwrap_or_else(|e| panic!("invalid alert rules {path}: {e}"));
+        AlertEngine::new(rules, registry.clone()).with_journal(journal.clone())
+    });
+    let server = port.map(|p| {
+        let server = TelemetryServer::serve_with_alerts(p, registry.clone(), alerts.clone())
+            .unwrap_or_else(|e| panic!("cannot bind telemetry port {p}: {e}"));
+        eprintln!(
+            "telemetry: http://127.0.0.1:{}/metrics (healthz: /healthz, alerts: /alerts)",
+            server.port()
+        );
+        server
+    });
     BenchSession {
         journal,
+        alerts,
         server,
         hold: Duration::from_millis(hold_ms),
     }
@@ -328,5 +373,64 @@ mod tests {
     #[should_panic(expected = "--telemetry-port: invalid port")]
     fn session_rejects_bad_port() {
         let _ = session_from_arg_list("t", vec!["--telemetry-port=notaport".to_owned()]);
+    }
+
+    fn write_rules(name: &str) -> std::path::PathBuf {
+        let path =
+            std::env::temp_dir().join(format!("ideaflow_bench_{name}_{}.toml", std::process::id()));
+        std::fs::write(
+            &path,
+            "[[alert]]\nname = \"too-many-iterations\"\nkind = \"counter\"\nmetric = \"bench.iterations\"\nop = \">=\"\nthreshold = 2\n",
+        )
+        .unwrap();
+        path
+    }
+
+    #[test]
+    fn session_with_alerts_but_no_port_still_evaluates_rules() {
+        let path = write_rules("alerts_only");
+        let s = session_from_arg_list("t", vec![format!("--alerts={}", path.display())]);
+        std::fs::remove_file(&path).ok();
+        assert!(s.server.is_none());
+        let engine = s.alerts.clone().expect("engine built without a port");
+        // The telemetry-only journal drives the registry the engine reads.
+        assert!(s.journal.is_enabled());
+        s.journal.count("bench.iterations", 3);
+        let transitions = engine.tick();
+        assert_eq!(transitions.len(), 1);
+        assert!(transitions[0].fired);
+        assert_eq!(engine.active(), vec!["too-many-iterations".to_owned()]);
+        s.finish();
+    }
+
+    #[test]
+    fn session_serves_alert_snapshot_next_to_metrics() {
+        use std::io::{Read, Write};
+        let path = write_rules("alerts_http");
+        let s = session_from_arg_list(
+            "t",
+            vec![
+                "--telemetry-port=0".to_owned(),
+                "--alerts".to_owned(),
+                path.to_string_lossy().into_owned(),
+            ],
+        );
+        std::fs::remove_file(&path).ok();
+        s.journal.count("bench.iterations", 5);
+        s.alerts.as_ref().unwrap().tick();
+        let port = s.server.as_ref().unwrap().port();
+        let mut stream = std::net::TcpStream::connect(("127.0.0.1", port)).unwrap();
+        write!(stream, "GET /alerts HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut body = String::new();
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.contains("\"rule\": \"too-many-iterations\""), "{body}");
+        assert!(body.contains("\"active\": true"), "{body}");
+        s.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot read alert rules")]
+    fn session_rejects_missing_rules_file() {
+        let _ = session_from_arg_list("t", vec!["--alerts=/nonexistent/rules.toml".to_owned()]);
     }
 }

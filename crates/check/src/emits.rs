@@ -1,6 +1,7 @@
 //! Extraction of journal call sites from the token stream: every
 //! `.emit(..)`, `.count(..)`, `.observe(..)`, `.time(..)`, `.span(..)`,
-//! `.inc_counter(..)`, `.set_gauge(..)` writer, and every
+//! `.inc_counter(..)`, `.set_gauge(..)` / `.set_gauge_labeled(..)`
+//! writer, and every
 //! `.events_for_step(..)` / `.field_stats(..)` / `.field_stats_grouped
 //! (..)` reader reference, with the string literals they carry.
 //!
@@ -262,7 +263,7 @@ pub fn extract(tokens: &[Token]) -> Vec<CallSite> {
             "time" => SiteKind::Timer,
             "span" => SiteKind::Span,
             "inc_counter" => SiteKind::TelemetryCounter,
-            "set_gauge" => SiteKind::Gauge,
+            "set_gauge" | "set_gauge_labeled" => SiteKind::Gauge,
             "events_for_step" | "field_stats" | "field_stats_grouped" => SiteKind::ReaderEvent,
             _ => continue,
         };
@@ -406,5 +407,13 @@ mod tests {
             kinds,
             vec![SiteKind::Span, SiteKind::Gauge, SiteKind::Timer]
         );
+    }
+
+    #[test]
+    fn labeled_gauge_writes_count_as_gauge_sites() {
+        let s = sites(r#"t.set_gauge_labeled("alert.active", &labels, 1.0);"#);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].kind, SiteKind::Gauge);
+        assert_eq!(s[0].name, "alert.active");
     }
 }

@@ -34,6 +34,13 @@
 //! `run.timeout`, `run.killed` events; `faults.retries`,
 //! `faults.timeouts`, `faults.kills` counters mirrored into telemetry
 //! as `ideaflow_faults_*_total`).
+//!
+//! The supervisor is also the campaign's **model-hour meter**: every
+//! attempt that consumed model runtime charges the
+//! `supervise.model_hours_mh` counter — full runtime for successes and
+//! timeouts, runtime minus `hours_saved` for early kills — in integer
+//! milli-hours, so the sum (and any budget alert derived from it) is
+//! exact and order-independent at any thread count.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -316,6 +323,7 @@ impl Supervisor {
                                 );
                             }
                             journal.count("faults.timeouts", 1);
+                            charge_model_hours(journal, qor.runtime_hours);
                             last = Failure::Timeout {
                                 runtime_hours: qor.runtime_hours,
                             };
@@ -343,6 +351,7 @@ impl Supervisor {
                                     );
                                 }
                                 journal.count("faults.kills", 1);
+                                charge_model_hours(journal, qor.runtime_hours - hours_saved);
                                 return Err(SupervisedError::Killed {
                                     at_step: cut - 1,
                                     hours_saved,
@@ -350,6 +359,7 @@ impl Supervisor {
                             }
                         }
                     }
+                    charge_model_hours(journal, qor.runtime_hours);
                     return Ok(SupervisedRun {
                         qor,
                         records,
@@ -393,6 +403,18 @@ impl Supervisor {
         if sleep > 0 {
             std::thread::sleep(Duration::from_millis(sleep));
         }
+    }
+}
+
+/// Charges consumed model time to the `supervise.model_hours_mh`
+/// counter, rounded once per attempt to integer milli-hours (the
+/// representation budget alerts read: integer sums are exact, so the
+/// meter — unlike a float accumulation — cannot depend on the order
+/// parallel attempts finish in).
+fn charge_model_hours(journal: &ideaflow_trace::Journal, hours: f64) {
+    let mh = (hours * 1000.0).round().max(0.0) as u64;
+    if mh > 0 {
+        journal.count("supervise.model_hours_mh", mh);
     }
 }
 
@@ -580,6 +602,51 @@ mod tests {
         let lines = f.journal().drain_lines();
         let reader = ideaflow_trace::JournalReader::from_jsonl(&lines.join("\n")).unwrap();
         assert_eq!(reader.events_for_step("run.killed").len(), 1);
+    }
+
+    #[test]
+    fn model_hours_meter_charges_successes_timeouts_and_kills() {
+        let registry = ideaflow_trace::TelemetryRegistry::new();
+        let journal = ideaflow_trace::Journal::in_memory("meter").with_telemetry(registry.clone());
+        let o = SpnrOptions::with_target_ghz(0.4).unwrap();
+
+        // A clean success charges its full runtime, in milli-hours.
+        let f = flow(11).with_journal(journal.clone());
+        let r = Supervisor::default().run(&f, &o, 0).unwrap();
+        let expect_success = (r.qor.runtime_hours * 1000.0).round() as u64;
+        assert_eq!(
+            registry.counter_value("supervise.model_hours_mh"),
+            Some(expect_success),
+            "success charges runtime"
+        );
+
+        // An early kill charges only the hours actually burned.
+        let killed = Supervisor::default()
+            .with_early_kill(Arc::new(KillAfterPlace))
+            .run(&f, &o, 1);
+        let Err(SupervisedError::Killed { hours_saved, .. }) = killed else {
+            panic!("expected Killed, got {killed:?}");
+        };
+        let burned = f.run(&o, 1).runtime_hours - hours_saved;
+        let after_kill = registry.counter_value("supervise.model_hours_mh").unwrap();
+        assert_eq!(
+            after_kill,
+            expect_success + (burned * 1000.0).round() as u64,
+            "kill charges runtime minus hours_saved"
+        );
+
+        // A crash burns no model time: the meter must not move.
+        let crashing = crashy(12, 1.0).with_journal(journal.clone());
+        let _ = Supervisor::new(RetryPolicy::none()).run(&crashing, &o, 0);
+        assert_eq!(
+            registry.counter_value("supervise.model_hours_mh"),
+            Some(after_kill),
+            "crashes charge nothing"
+        );
+        journal.finish();
+        let lines = journal.drain_lines().join("\n");
+        let diags = ideaflow_trace::schema::lint_jsonl(&lines);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

@@ -16,6 +16,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::alerts::AlertEngine;
 use ideaflow_trace::TelemetryRegistry;
 
 /// A running telemetry endpoint. Dropping (or calling
@@ -35,6 +36,21 @@ impl TelemetryServer {
     ///
     /// Returns the I/O error if the port cannot be bound.
     pub fn serve(port: u16, registry: TelemetryRegistry) -> std::io::Result<Self> {
+        Self::serve_with_alerts(port, registry, None)
+    }
+
+    /// Like [`TelemetryServer::serve`], additionally exposing `GET
+    /// /alerts` (the engine's JSON snapshot) when an [`AlertEngine`]
+    /// is supplied. Without one, `/alerts` is a plain 404.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the port cannot be bound.
+    pub fn serve_with_alerts(
+        port: u16,
+        registry: TelemetryRegistry,
+        alerts: Option<AlertEngine>,
+    ) -> std::io::Result<Self> {
         let listener = TcpListener::bind(("127.0.0.1", port))?;
         listener.set_nonblocking(true)?;
         let port = listener.local_addr()?.port();
@@ -43,7 +59,7 @@ impl TelemetryServer {
         let handle = std::thread::spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
                 match listener.accept() {
-                    Ok((stream, _)) => handle_connection(stream, &registry),
+                    Ok((stream, _)) => handle_connection(stream, &registry, alerts.as_ref()),
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(Duration::from_millis(5));
                     }
@@ -79,7 +95,11 @@ impl Drop for TelemetryServer {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, registry: &TelemetryRegistry) {
+fn handle_connection(
+    mut stream: TcpStream,
+    registry: &TelemetryRegistry,
+    alerts: Option<&AlertEngine>,
+) {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     // Read until the request line is complete; headers are irrelevant.
     let mut buf = [0u8; 1024];
@@ -116,6 +136,10 @@ fn handle_connection(mut stream: TcpStream, registry: &TelemetryRegistry) {
                 registry.render_prometheus(),
             ),
             "/healthz" => ("200 OK", "text/plain", "ok\n".to_owned()),
+            "/alerts" => match alerts {
+                Some(engine) => ("200 OK", "application/json", engine.snapshot_json()),
+                None => ("404 Not Found", "text/plain", "not found\n".to_owned()),
+            },
             _ => ("404 Not Found", "text/plain", "not found\n".to_owned()),
         }
     };
@@ -172,6 +196,81 @@ mod tests {
 
         server.shutdown();
         server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn non_get_methods_are_405_and_unknown_paths_404() {
+        let mut server = TelemetryServer::serve(0, TelemetryRegistry::new()).unwrap();
+        let port = server.port();
+
+        for method in ["POST", "PUT", "DELETE", "HEAD"] {
+            let mut stream = TcpStream::connect(("127.0.0.1", port)).unwrap();
+            write!(stream, "{method} /metrics HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut out = String::new();
+            stream.read_to_string(&mut out).unwrap();
+            assert!(
+                out.starts_with("HTTP/1.1 405 Method Not Allowed"),
+                "{method}: {out}"
+            );
+        }
+        for path in ["/", "/metricz", "/alerts"] {
+            // /alerts included: without an engine it does not exist.
+            let resp = get(port, path);
+            assert!(resp.starts_with("HTTP/1.1 404 Not Found"), "{path}: {resp}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn serves_alert_snapshot_and_active_gauges() {
+        use crate::alerts::{AlertEngine, AlertRule, BUDGET_COUNTER};
+
+        let registry = TelemetryRegistry::new();
+        let engine = AlertEngine::new(
+            vec![
+                AlertRule::budget("model-hour-budget", 1.0),
+                AlertRule::stall("stalled", 99),
+            ],
+            registry.clone(),
+        );
+        registry.inc_counter(BUDGET_COUNTER, 2500); // 2.5h >= 1h
+        registry.set_gauge("campaign.best", 4.0);
+        engine.tick();
+
+        let mut server =
+            TelemetryServer::serve_with_alerts(0, registry.clone(), Some(engine.clone())).unwrap();
+        let port = server.port();
+
+        let alerts = get(port, "/alerts");
+        assert!(alerts.starts_with("HTTP/1.1 200 OK"), "{alerts}");
+        assert!(alerts.contains("application/json"), "{alerts}");
+        assert!(
+            alerts.contains("\"rule\": \"model-hour-budget\""),
+            "{alerts}"
+        );
+        assert!(alerts.contains("\"active\": true"), "{alerts}");
+        assert_eq!(
+            &alerts[alerts.find("\r\n\r\n").unwrap() + 4..],
+            engine.snapshot_json(),
+            "the body is exactly the engine snapshot"
+        );
+
+        // The same state shows on /metrics as labeled alert gauges.
+        let metrics = get(port, "/metrics");
+        assert!(
+            metrics.contains("ideaflow_alert_active{rule=\"model-hour-budget\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("ideaflow_alert_active{rule=\"stalled\"} 0"),
+            "{metrics}"
+        );
+        let body_at = metrics.find("\r\n\r\n").unwrap() + 4;
+        assert!(
+            ideaflow_trace::telemetry::exposition_is_valid(&metrics[body_at..]),
+            "{metrics}"
+        );
+        server.shutdown();
     }
 
     #[test]

@@ -18,8 +18,13 @@
 //!   paper describes.
 //!
 //! The paper's "METRICS 2.0" lesson — predictions should feed back into
-//! the flow "without human intervention" — is [`feedback`].
+//! the flow "without human intervention" — is [`feedback`]; its
+//! operational counterpart — a running campaign telling you it is
+//! burning budget or stalled, without a human polling it — is
+//! [`alerts`], a deterministic alerting engine over the live telemetry
+//! registry (served at `GET /alerts` by [`http`]).
 
+pub mod alerts;
 pub mod feedback;
 pub mod http;
 pub mod miner;

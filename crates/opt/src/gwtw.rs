@@ -99,6 +99,26 @@ pub fn gwtw_journaled<L: Landscape>(
     seed: u64,
     journal: &Journal,
 ) -> GwtwOutcome<L::State> {
+    gwtw_observed(landscape, cfg, seed, journal, |_, _| {})
+}
+
+/// [`gwtw_journaled`] with a per-round observer: `on_round(round,
+/// record)` runs on the orchestrating thread after each review is
+/// ranked, cloned and journaled — the deterministic tick point where an
+/// alerting engine evaluates its rules. The observer cannot perturb the
+/// search (it sees an immutable round record after all rng draws for
+/// the round are done).
+///
+/// # Panics
+///
+/// Same contract as [`gwtw`].
+pub fn gwtw_observed<L: Landscape>(
+    landscape: &L,
+    cfg: GwtwConfig,
+    seed: u64,
+    journal: &Journal,
+    mut on_round: impl FnMut(usize, &GwtwRound),
+) -> GwtwOutcome<L::State> {
     assert!(cfg.population > 0, "population must be positive");
     assert!(cfg.rounds > 0, "rounds must be positive");
     assert!(
@@ -234,12 +254,20 @@ pub fn gwtw_journaled<L: Landscape>(
                 journal.count("faults.gwtw_casualties", casualties as u64);
             }
         }
+        // Campaign progress gauges: set from the orchestrating thread
+        // only, so their values are order-independent at any worker
+        // count (stall alerting reads `campaign.best`).
+        if let Some(t) = journal.telemetry() {
+            t.set_gauge("campaign.round", (round + 1) as f64);
+            t.set_gauge("campaign.best", best_cost);
+        }
         rounds.push(GwtwRound {
             costs,
             best: round_best,
             terminated,
             casualties,
         });
+        on_round(round, rounds.last().expect("just pushed"));
     }
 
     if journal.is_enabled() {
@@ -497,6 +525,34 @@ mod tests {
         let b = gwtw(&l, small_cfg(), 4);
         assert_eq!(a.best.best_cost.to_bits(), b.best.best_cost.to_bits());
         assert!(b.rounds.iter().all(|r| r.casualties == 0));
+    }
+
+    #[test]
+    fn observer_sees_every_round_and_campaign_gauges_track_best() {
+        let l = BigValley::new(4, 2.0, 9);
+        let registry = ideaflow_trace::TelemetryRegistry::new();
+        let journal = Journal::telemetry_only("gwtw-obs").with_telemetry(registry.clone());
+        let mut seen = Vec::new();
+        let out = gwtw_observed(&l, small_cfg(), 3, &journal, |round, rec| {
+            seen.push((round, rec.best));
+        });
+        assert_eq!(seen.len(), small_cfg().rounds);
+        assert_eq!(
+            seen.iter().map(|(_, b)| *b).collect::<Vec<_>>(),
+            out.rounds.iter().map(|r| r.best).collect::<Vec<_>>()
+        );
+        // Gauges hold the final campaign state after the run.
+        assert_eq!(
+            registry.gauge_value("campaign.round"),
+            Some(small_cfg().rounds as f64)
+        );
+        assert_eq!(
+            registry.gauge_value("campaign.best"),
+            Some(out.best.best_cost)
+        );
+        // The observer hook must not perturb the search.
+        let plain = gwtw(&l, small_cfg(), 3);
+        assert_eq!(out.best.best_cost.to_bits(), plain.best.best_cost.to_bits());
     }
 
     #[test]

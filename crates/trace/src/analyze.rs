@@ -385,6 +385,121 @@ pub fn failures_text(reader: &JournalReader) -> String {
     out
 }
 
+/// Incremental state behind `ifjournal watch`: fed events as a live
+/// journal grows (the file writer flushes only seq-contiguous
+/// prefixes, so any read picks up whole events in order), it renders a
+/// rolling one-line status — event throughput, campaign round and best
+/// QoR, bandit pull/censor/retry rates, and the alerts currently
+/// firing (tracked from `alert.fired`/`alert.resolved` transitions).
+#[derive(Debug, Default)]
+pub struct WatchState {
+    events: u64,
+    last_seq: u64,
+    rounds: u64,
+    best: Option<f64>,
+    pulls: u64,
+    censored: u64,
+    retries: u64,
+    finished: bool,
+    active: Vec<String>,
+    window_events: u64,
+    window_pulls: u64,
+}
+
+impl WatchState {
+    /// A fresh watcher.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one event in (call in file order).
+    pub fn ingest(&mut self, e: &RunEvent) {
+        self.events += 1;
+        self.window_events += 1;
+        self.last_seq = self.last_seq.max(e.seq);
+        let num = |k: &str| match e.payload.get(k) {
+            Some(Value::Float(f)) => Some(*f),
+            Some(Value::Int(i)) => Some(*i as f64),
+            _ => None,
+        };
+        match e.step.as_str() {
+            "gwtw.round" => {
+                self.rounds += 1;
+                if let Some(b) = num("best_so_far") {
+                    self.best = Some(b);
+                }
+            }
+            "bandit.pull" => {
+                self.pulls += 1;
+                self.window_pulls += 1;
+            }
+            "bandit.censored" => self.censored += 1,
+            "run.retry" => self.retries += 1,
+            "journal.summary" => self.finished = true,
+            "alert.fired" | "alert.resolved" => {
+                if let Some(Value::Str(rule)) = e.payload.get("rule") {
+                    self.active.retain(|r| r != rule);
+                    if e.step == "alert.fired" {
+                        self.active.push(rule.clone());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Whether a `journal.summary` has been seen — the writer's
+    /// `finish()` mark, after which the journal will not grow.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Renders the rolling status line and resets the rate window.
+    /// `elapsed_secs` is the wall time since the previous render (or
+    /// zero for a one-shot snapshot, which suppresses the rates).
+    pub fn status_line(&mut self, elapsed_secs: f64) -> String {
+        let mut out = format!("seq {:>6}  events {:>6}", self.last_seq, self.events);
+        if elapsed_secs > 0.0 {
+            out.push_str(&format!(
+                "  {:.1} evt/s",
+                self.window_events as f64 / elapsed_secs
+            ));
+        }
+        if self.rounds > 0 {
+            out.push_str(&format!("  round {}", self.rounds));
+        }
+        if let Some(b) = self.best {
+            out.push_str(&format!("  best {b:.6}"));
+        }
+        if self.pulls > 0 {
+            out.push_str(&format!("  pulls {}", self.pulls));
+            if elapsed_secs > 0.0 {
+                out.push_str(&format!(
+                    " ({:.1}/s)",
+                    self.window_pulls as f64 / elapsed_secs
+                ));
+            }
+            out.push_str(&format!(
+                "  censored {:.1}%",
+                100.0 * self.censored as f64 / self.pulls as f64
+            ));
+        }
+        if self.retries > 0 {
+            out.push_str(&format!("  retries {}", self.retries));
+        }
+        if self.active.is_empty() {
+            out.push_str("  alerts: none");
+        } else {
+            out.push_str(&format!("  alerts: {}", self.active.join(",")));
+        }
+        self.window_events = 0;
+        self.window_pulls = 0;
+        out
+    }
+}
+
 fn render_payload(v: &Value) -> String {
     match v.as_object() {
         Some(obj) => {
@@ -592,6 +707,90 @@ mod tests {
         let j = Journal::in_memory("clean");
         j.emit("flow.sample", &[("wns_ps", 5.0.into())]);
         assert_eq!(failures_text(&reader(&j)), "no failure events\n");
+    }
+
+    #[test]
+    fn watch_state_tracks_campaign_rates_and_alerts() {
+        let j = Journal::in_memory("w");
+        j.emit(
+            "gwtw.round",
+            &[("round", 0u64.into()), ("best_so_far", 2.5.into())],
+        );
+        j.emit("bandit.pull", &[("arm", 0u64.into())]);
+        j.emit("bandit.pull", &[("arm", 1u64.into())]);
+        j.emit("bandit.censored", &[("arm", 1u64.into())]);
+        j.emit(
+            "run.retry",
+            &[("attempt", 1u64.into()), ("backoff_ms", 5u64.into())],
+        );
+        j.emit(
+            "alert.fired",
+            &[
+                ("rule", "model-hour-budget".into()),
+                ("kind", "budget".into()),
+                ("value", 40.0.into()),
+                ("threshold", 36.0.into()),
+                ("tick", 1u64.into()),
+            ],
+        );
+        let mut w = WatchState::new();
+        for e in &reader(&j).events {
+            w.ingest(e);
+        }
+        assert!(!w.finished());
+        let line = w.status_line(2.0);
+        assert!(line.contains("round 1"), "{line}");
+        assert!(line.contains("best 2.500000"), "{line}");
+        assert!(line.contains("pulls 2 (1.0/s)"), "{line}");
+        assert!(line.contains("censored 50.0%"), "{line}");
+        assert!(line.contains("retries 1"), "{line}");
+        assert!(line.contains("alerts: model-hour-budget"), "{line}");
+        assert!(line.contains("3.0 evt/s"), "{line}");
+        // The rate window resets per render; totals persist.
+        let next = w.status_line(1.0);
+        assert!(next.contains("0.0 evt/s"), "{next}");
+        assert!(next.contains("pulls 2 (0.0/s)"), "{next}");
+    }
+
+    #[test]
+    fn watch_state_resolves_alerts_and_sees_the_finish_mark() {
+        let j = Journal::in_memory("w2");
+        j.emit(
+            "alert.fired",
+            &[
+                ("rule", "stalled".into()),
+                ("kind", "stall".into()),
+                ("value", 3.0.into()),
+                ("threshold", 3.0.into()),
+                ("tick", 4u64.into()),
+            ],
+        );
+        j.emit(
+            "alert.resolved",
+            &[
+                ("rule", "stalled".into()),
+                ("kind", "stall".into()),
+                ("value", 0.0.into()),
+                ("threshold", 3.0.into()),
+                ("tick", 5u64.into()),
+            ],
+        );
+        let mut w = WatchState::new();
+        for e in &reader(&j).events {
+            w.ingest(e);
+        }
+        let line = w.status_line(0.0);
+        assert!(line.contains("alerts: none"), "{line}");
+        assert!(
+            !line.contains("evt/s"),
+            "one-shot render has no rates: {line}"
+        );
+        j.finish();
+        let mut w2 = WatchState::new();
+        for e in &reader(&j).events {
+            w2.ingest(e);
+        }
+        assert!(w2.finished());
     }
 
     #[test]

@@ -16,21 +16,36 @@
 //!                                          trace schema registry (events,
 //!                                          fields, kinds, span and counter
 //!                                          names) before trusting the
-//!                                          journal for warm-starts/resume
+//!                                          journal for warm-starts/resume;
+//!                                          warns (without failing) when the
+//!                                          journal's schema-hash header is
+//!                                          missing or from another build
+//! ifjournal watch [--interval-ms N] [--once] <run.jsonl>
+//!                                          live-tail a growing journal: a
+//!                                          rolling status line with event
+//!                                          rate, campaign round/best, pull
+//!                                          and censor rates, and active
+//!                                          alerts; exits when the journal
+//!                                          records its finish mark
+//! ifjournal grafana <dir>                  write the registry-derived
+//!                                          Grafana dashboard + provisioning
+//!                                          stubs under <dir>
 //! ```
 //!
 //! Exit codes: 0 ok, 1 I/O or parse failure (for `lint`: any schema
 //! finding), 2 usage error.
 
 use ideaflow_trace::analyze;
-use ideaflow_trace::{schema, Journal, JournalReader};
+use ideaflow_trace::{grafana, schema, Journal, JournalReader};
 
-const USAGE: &str = "usage: ifjournal <summary|tail|diff|flame|lint> ...
+const USAGE: &str = "usage: ifjournal <summary|tail|diff|flame|lint|watch|grafana> ...
   ifjournal summary [--by-thread|--failures] <run.jsonl>
   ifjournal tail [--step <step>] [-n <count>] <run.jsonl>
   ifjournal diff <a.jsonl> <b.jsonl>
   ifjournal flame <run.jsonl>
-  ifjournal lint <run.jsonl>";
+  ifjournal lint <run.jsonl>
+  ifjournal watch [--interval-ms <ms>] [--once] <run.jsonl>
+  ifjournal grafana <dir>";
 
 fn main() {
     std::process::exit(run(std::env::args().skip(1).collect()));
@@ -47,6 +62,8 @@ fn run(args: Vec<String>) -> i32 {
         "tail" => tail(&args[1..]),
         "diff" => diff(&args[1..]),
         "lint" => lint(&args[1..]),
+        "watch" => watch(&args[1..]),
+        "grafana" => grafana_cmd(&args[1..]),
         _ => {
             eprintln!("ifjournal: unknown subcommand {cmd:?}\n{USAGE}");
             2
@@ -149,6 +166,11 @@ fn lint(args: &[String]) -> i32 {
             return 1;
         }
     };
+    // Cross-version corpora are suspicious but not invalid: warn on a
+    // missing or stale schema-hash header, fail only on real findings.
+    if let Some(warning) = schema::version_warning(&text) {
+        eprintln!("ifjournal: {path}: warning: {warning}");
+    }
     let diags = schema::lint_jsonl(&text);
     if diags.is_empty() {
         let events = text.lines().filter(|l| !l.trim().is_empty()).count();
@@ -165,6 +187,113 @@ fn lint(args: &[String]) -> i32 {
         diags.len()
     );
     1
+}
+
+fn watch(args: &[String]) -> i32 {
+    let mut interval_ms: u64 = 1000;
+    let mut once = false;
+    let mut path: Option<&String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => interval_ms = v,
+                None => {
+                    eprintln!("ifjournal: --interval-ms needs an integer\n{USAGE}");
+                    return 2;
+                }
+            },
+            "--once" => once = true,
+            _ if path.is_none() && !a.starts_with('-') => path = Some(a),
+            _ => {
+                eprintln!("ifjournal: unexpected argument {a:?}\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    // Incremental tail: the writer flushes only seq-contiguous
+    // prefixes, so every read extends the event stream in order; a
+    // trailing partial line (mid-write) is kept pending until its
+    // newline lands.
+    let mut state = analyze::WatchState::new();
+    let mut offset: u64 = 0;
+    let mut pending = String::new();
+    let mut last = std::time::Instant::now();
+    let mut first = true;
+    loop {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = match std::fs::File::open(path) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("ifjournal: {path}: {e}");
+                return 1;
+            }
+        };
+        let mut chunk = String::new();
+        let read = file
+            .seek(SeekFrom::Start(offset))
+            .and_then(|_| file.read_to_string(&mut chunk));
+        if let Err(e) = read {
+            eprintln!("ifjournal: {path}: {e}");
+            return 1;
+        }
+        offset += chunk.len() as u64;
+        pending.push_str(&chunk);
+        let complete = match pending.rfind('\n') {
+            Some(pos) => {
+                let head = pending[..=pos].to_owned();
+                pending.drain(..=pos);
+                head
+            }
+            None => String::new(),
+        };
+        match ideaflow_trace::parse_jsonl(&complete) {
+            Ok(events) => {
+                for e in &events {
+                    state.ingest(e);
+                }
+            }
+            Err(e) => {
+                eprintln!("ifjournal: {path}: {e}");
+                return 1;
+            }
+        }
+        let elapsed = if first {
+            0.0
+        } else {
+            last.elapsed().as_secs_f64()
+        };
+        println!("{}", state.status_line(elapsed));
+        if once || state.finished() {
+            return 0;
+        }
+        first = false;
+        last = std::time::Instant::now();
+        std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+    }
+}
+
+fn grafana_cmd(args: &[String]) -> i32 {
+    let [dir] = args else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    match grafana::write_all(std::path::Path::new(dir)) {
+        Ok(written) => {
+            for p in written {
+                println!("wrote {}", p.display());
+            }
+            0
+        }
+        Err(e) => {
+            eprintln!("ifjournal: {dir}: {e}");
+            1
+        }
+    }
 }
 
 fn diff(args: &[String]) -> i32 {

@@ -50,6 +50,7 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize, Value};
 
 pub mod analyze;
+pub mod grafana;
 pub mod reader;
 pub mod schema;
 pub mod span;
@@ -266,11 +267,18 @@ impl Journal {
     /// Returns the I/O error if the file cannot be created.
     pub fn to_file(run_id: &str, path: impl AsRef<Path>) -> std::io::Result<Self> {
         let file = File::create(path)?;
-        Ok(Self::with_sink(
-            run_id,
-            Sink::File(BufWriter::new(file)),
-            SinkKind::File,
-        ))
+        let j = Self::with_sink(run_id, Sink::File(BufWriter::new(file)), SinkKind::File);
+        // Every file journal opens with a schema-version header, so a
+        // reader on a different build can tell the corpus was written
+        // under another registry instead of silently misparsing it.
+        j.emit(
+            "journal.meta",
+            &[
+                ("schema_hash", Value::Str(schema::registry_hash_hex())),
+                ("format", Value::Int(1)),
+            ],
+        );
+        Ok(j)
     }
 
     /// A journal buffering JSONL lines in memory (for tests and for
@@ -686,9 +694,14 @@ mod tests {
         }
         let reader = Journal::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(reader.events.len(), 3);
+        assert_eq!(reader.events.len(), 4, "meta header + 2 events + summary");
         assert!(reader.seq_strictly_increasing_per_run());
         assert_eq!(reader.events[0].run_id, "file-run");
+        assert_eq!(reader.events[0].step, "journal.meta");
+        assert_eq!(
+            reader.events[0].payload.get("schema_hash"),
+            Some(&Value::Str(schema::registry_hash_hex()))
+        );
         assert_eq!(reader.events_for_step("step.one").len(), 1);
     }
 
@@ -739,7 +752,7 @@ mod tests {
             j.flush();
             // The prefix is on disk already (readable mid-run).
             let partial = Journal::load(&path).unwrap();
-            assert_eq!(partial.events.len(), 10);
+            assert_eq!(partial.events.len(), 11, "meta header + 10 events");
             assert!(partial.seq_strictly_increasing_per_run());
             for i in 10..20u64 {
                 j.emit("a", &[("i", i.into())]);
@@ -748,7 +761,7 @@ mod tests {
         }
         let reader = Journal::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
-        assert_eq!(reader.events.len(), 21, "20 events + summary");
+        assert_eq!(reader.events.len(), 22, "meta + 20 events + summary");
         assert!(reader.seq_strictly_increasing_per_run());
     }
 

@@ -442,6 +442,39 @@ pub const EVENTS: &[EventSchema] = &[
         extra_fields: false,
         doc: "final flush of in-process counters and histogram statistics",
     },
+    EventSchema {
+        name: "journal.meta",
+        fields: &[f("schema_hash", Str), f("format", Int)],
+        extra_fields: false,
+        doc: "journal header (first event of every file journal): hash of \
+              the schema registry the writer was compiled against, so \
+              readers can flag cross-version corpora",
+    },
+    // ---- alerting -----------------------------------------------------------
+    EventSchema {
+        name: "alert.fired",
+        fields: &[
+            f("rule", Str),
+            f("kind", Str),
+            f("value", Num),
+            f("threshold", Num),
+            f("tick", Int),
+        ],
+        extra_fields: false,
+        doc: "an alert rule crossed its threshold (metrics::alerts engine)",
+    },
+    EventSchema {
+        name: "alert.resolved",
+        fields: &[
+            f("rule", Str),
+            f("kind", Str),
+            f("value", Num),
+            f("threshold", Num),
+            f("tick", Int),
+        ],
+        extra_fields: false,
+        doc: "a previously firing alert rule returned within bounds",
+    },
     // ---- bench harness timers ----------------------------------------------
     EventSchema {
         name: "bench.*",
@@ -496,6 +529,12 @@ pub const COUNTERS: &[NameSchema] = &[
     NameSchema {
         name: "faults.timeouts",
         doc: "supervised runs over deadline",
+    },
+    NameSchema {
+        name: "supervise.model_hours_mh",
+        doc: "model hours consumed by supervised attempts, in integer \
+              milli-hours (integer sums are exact and order-independent, \
+              so budget alerts are bit-stable at any thread count)",
     },
     NameSchema {
         name: "faults.retries",
@@ -687,6 +726,19 @@ pub const GAUGES: &[NameSchema] = &[
         name: "exec.tasks",
         doc: "tasks run since pool start",
     },
+    NameSchema {
+        name: "campaign.round",
+        doc: "latest completed campaign round (set at the round barrier)",
+    },
+    NameSchema {
+        name: "campaign.best",
+        doc: "best-so-far campaign cost",
+    },
+    NameSchema {
+        name: "alert.active",
+        doc: "1 while the named alert rule is firing, else 0 \
+              (one labeled series per rule)",
+    },
 ];
 
 /// Whether `name` matches `pattern`: exact, or a single `*` matching one
@@ -747,6 +799,87 @@ pub fn is_span(name: &str) -> bool {
 #[must_use]
 pub fn is_gauge(name: &str) -> bool {
     known(GAUGES, name)
+}
+
+/// A stable fingerprint of this build's registry: FNV-1a over every
+/// declared event (name, field names, kinds, optionality, the
+/// extra-fields flag) and every aggregate name, with section tags and
+/// token separators so reorderings and splices hash differently. Two
+/// builds agree on the hash iff they agree on the registry, so the
+/// `journal.meta` header a file journal records pins the schema it was
+/// written under.
+#[must_use]
+pub fn registry_hash() -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let eat = |h: &mut u64, token: &str| {
+        for b in token.bytes().chain(std::iter::once(0)) {
+            *h ^= u64::from(b);
+            *h = h.wrapping_mul(PRIME);
+        }
+    };
+    for e in EVENTS {
+        eat(&mut h, "event");
+        eat(&mut h, e.name);
+        for field in e.fields {
+            eat(&mut h, field.name);
+            eat(&mut h, field.kind.name());
+            eat(&mut h, if field.optional { "opt" } else { "req" });
+        }
+        eat(&mut h, if e.extra_fields { "open" } else { "closed" });
+    }
+    for (section, names) in [
+        ("counter", COUNTERS),
+        ("histogram", HISTOGRAMS),
+        ("span", SPANS),
+        ("gauge", GAUGES),
+    ] {
+        for n in names {
+            eat(&mut h, section);
+            eat(&mut h, n.name);
+        }
+    }
+    h
+}
+
+/// [`registry_hash`] as the fixed-width hex string carried by
+/// `journal.meta` headers (u64 values can exceed the JSON int range
+/// the vendored serde round-trips, so the wire format is a string).
+#[must_use]
+pub fn registry_hash_hex() -> String {
+    format!("{:016x}", registry_hash())
+}
+
+/// Cross-version check for a recorded journal: compares the
+/// `journal.meta` header (the first event of every file journal since
+/// schema versioning landed) against this build's [`registry_hash`].
+/// Returns a human-readable warning when the corpus predates
+/// versioning or was written under a different registry — the journal
+/// still lints field by field, but field kinds and vocabularies may
+/// have drifted, so replay/warm-start consumers should be told.
+#[must_use]
+pub fn version_warning(text: &str) -> Option<String> {
+    let first = text.lines().find(|l| !l.trim().is_empty())?;
+    let Ok(event) = serde_json::from_str::<RunEvent>(first) else {
+        return None; // malformed lines are lint_jsonl's diagnostic, not ours
+    };
+    if event.step != "journal.meta" {
+        return Some(
+            "no journal.meta header (journal predates schema versioning); \
+             registry hash not checked"
+                .to_owned(),
+        );
+    }
+    match event.payload.get("schema_hash") {
+        Some(Value::Str(hash)) if *hash == registry_hash_hex() => None,
+        Some(Value::Str(hash)) => Some(format!(
+            "schema registry hash mismatch: journal written under {hash}, \
+             this build is {} — cross-version corpus, field vocabularies \
+             may have drifted",
+            registry_hash_hex()
+        )),
+        _ => Some("journal.meta header carries no schema_hash".to_owned()),
+    }
 }
 
 /// One finding from validating a recorded journal.
@@ -1023,6 +1156,39 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].line, 2);
         assert!(diags[0].message.contains("malformed"), "{}", diags[0]);
+    }
+
+    #[test]
+    fn registry_hash_is_stable_within_a_build() {
+        assert_eq!(registry_hash(), registry_hash());
+        assert_eq!(registry_hash_hex().len(), 16);
+        assert!(registry_hash_hex().chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn version_warning_flags_missing_and_mismatched_headers() {
+        // No header at all: pre-versioning corpus.
+        let j = Journal::in_memory("old");
+        j.count("bandit.pulls", 1);
+        j.finish();
+        let text = j.drain_lines().join("\n");
+        let warn = version_warning(&text).expect("headerless journal warns");
+        assert!(warn.contains("no journal.meta header"), "{warn}");
+
+        // A matching header is silent.
+        let good = format!(
+            "{{\"run_id\":\"v\",\"step\":\"journal.meta\",\"seq\":0,\
+             \"payload\":{{\"schema_hash\":\"{}\",\"format\":1}}}}",
+            registry_hash_hex()
+        );
+        assert_eq!(version_warning(&good), None);
+        assert!(lint_jsonl(&good).is_empty(), "{:?}", lint_jsonl(&good));
+
+        // A stale hash is a cross-version warning naming both hashes.
+        let stale = good.replace(&registry_hash_hex(), "00000000deadbeef");
+        let warn = version_warning(&stale).expect("stale hash warns");
+        assert!(warn.contains("00000000deadbeef"), "{warn}");
+        assert!(warn.contains(&registry_hash_hex()), "{warn}");
     }
 
     #[test]

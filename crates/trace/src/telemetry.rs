@@ -55,6 +55,19 @@ impl TelemetryRegistry {
         }
     }
 
+    /// Sets one labeled series of a gauge family (last write wins).
+    /// The sample is keyed by `name` plus the label set, so one family
+    /// can carry many series — `set_gauge_labeled("alert.active",
+    /// "rule=\"budget\"", 1.0)` renders as
+    /// `ideaflow_alert_active{rule="budget"} 1`. `labels` is the inner
+    /// `key="value"` text without the surrounding braces.
+    pub fn set_gauge_labeled(&self, name: &str, labels: &str, value: f64) {
+        // A facade like `Journal::time`: the schema-checked name is the
+        // caller's literal, not the composed sample key.
+        let key = format!("{name}{{{labels}}}");
+        self.set_gauge(&key, value);
+    }
+
     /// Records `sample` into a histogram, creating it when absent.
     pub fn observe(&self, name: &str, sample: f64) {
         let mut reg = self.inner.lock();
@@ -118,11 +131,27 @@ impl TelemetryRegistry {
             out.push_str(&format!("# TYPE {m} counter\n{m} {v}\n"));
         }
 
+        // Labeled gauge samples share one family: sort by (family,
+        // full key) so every series of a family is contiguous, and
+        // emit one TYPE line per family.
+        let family = |s: &str| s.split_once('{').map_or(s, |(n, _)| n).to_owned();
         let mut gauges: Vec<_> = reg.gauges.iter().collect();
-        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        gauges.sort_by(|a, b| family(&a.0).cmp(&family(&b.0)).then(a.0.cmp(&b.0)));
+        let mut last_family = String::new();
         for (name, v) in gauges {
-            let m = metric_name(name, "");
-            out.push_str(&format!("# TYPE {m} gauge\n{m} {}\n", num(*v)));
+            let (fam, labels) = match name.split_once('{') {
+                Some((n, rest)) => (n, Some(rest)),
+                None => (name.as_str(), None),
+            };
+            let m = metric_name(fam, "");
+            if m != last_family {
+                out.push_str(&format!("# TYPE {m} gauge\n"));
+                last_family = m.clone();
+            }
+            match labels {
+                Some(rest) => out.push_str(&format!("{m}{{{rest} {}\n", num(*v))),
+                None => out.push_str(&format!("{m} {}\n", num(*v))),
+            }
         }
 
         let mut histograms: Vec<_> = reg.histograms.iter().collect();
@@ -144,6 +173,16 @@ impl TelemetryRegistry {
         }
         out
     }
+}
+
+/// The Prometheus-legal exposition name a raw registry name renders
+/// under: `ideaflow_` prefix, every character outside `[a-zA-Z0-9_:]`
+/// folded to `_`. Public so dashboard generators (`ifjournal grafana`)
+/// can derive panel queries from the schema registry without guessing
+/// the mangling.
+#[must_use]
+pub fn prometheus_metric_name(raw: &str) -> String {
+    metric_name(raw, "")
 }
 
 /// Prometheus-legal metric name: `ideaflow_` prefix, every character
@@ -286,6 +325,25 @@ ideaflow_flow_place_secs{quantile=\"0.5\"} 1
 ideaflow_flow_place_secs{quantile=\"0.95\"} 2
 ideaflow_flow_place_secs_sum 2
 ideaflow_flow_place_secs_count 2
+";
+        assert_eq!(text, expected);
+        assert!(exposition_is_valid(&text));
+    }
+
+    #[test]
+    fn labeled_gauge_series_share_one_family() {
+        let reg = TelemetryRegistry::new();
+        reg.set_gauge_labeled("alert.active", "rule=\"budget\"", 1.0);
+        reg.set_gauge_labeled("alert.active", "rule=\"stall\"", 0.0);
+        reg.set_gauge_labeled("alert.active", "rule=\"budget\"", 0.0);
+        reg.set_gauge("exec.workers", 4.0);
+        let text = reg.render_prometheus();
+        let expected = "\
+# TYPE ideaflow_alert_active gauge
+ideaflow_alert_active{rule=\"budget\"} 0
+ideaflow_alert_active{rule=\"stall\"} 0
+# TYPE ideaflow_exec_workers gauge
+ideaflow_exec_workers 4
 ";
         assert_eq!(text, expected);
         assert!(exposition_is_valid(&text));
