@@ -130,8 +130,46 @@ impl ThompsonGaussian {
     /// policy's range and arms absent from the journal are left on
     /// their priors. Returns the number of pulls absorbed.
     pub fn seed_from_journal(&mut self, reader: &ideaflow_trace::JournalReader) -> usize {
+        self.seed_from_events(reader.events_for_step("bandit.pull"))
+    }
+
+    /// Streaming variant of [`ThompsonGaussian::seed_from_journal`]:
+    /// folds `bandit.pull` events (others are ignored) into per-arm
+    /// reward histograms and rebuilds the sufficient statistics from
+    /// them. Memory is O(arms) regardless of journal length, so
+    /// callers can feed an `EventStream` over a corpus that does not
+    /// fit in RAM.
+    pub fn seed_from_events<'a>(
+        &mut self,
+        events: impl IntoIterator<Item = &'a ideaflow_trace::RunEvent>,
+    ) -> usize {
+        use ideaflow_trace::PayloadValue as Value;
+        let mut groups: Vec<(i64, ideaflow_trace::Histogram)> = Vec::new();
+        for e in events {
+            if e.step != "bandit.pull" {
+                continue;
+            }
+            let Some(&Value::Int(arm)) = e.payload.get("arm") else {
+                continue;
+            };
+            let reward = match e.payload.get("reward") {
+                Some(Value::Float(f)) => *f,
+                Some(Value::Int(i)) => *i as f64,
+                _ => continue,
+            };
+            match groups.iter_mut().find(|(k, _)| *k == arm) {
+                Some((_, h)) => h.record(reward),
+                None => {
+                    let mut h = ideaflow_trace::Histogram::new();
+                    h.record(reward);
+                    groups.push((arm, h));
+                }
+            }
+        }
+        groups.sort_by_key(|(k, _)| *k);
         let mut absorbed = 0usize;
-        for (arm, s) in reader.field_stats_grouped("bandit.pull", "arm", "reward") {
+        for (arm, h) in groups {
+            let s = h.stats();
             let Ok(idx) = usize::try_from(arm) else {
                 continue;
             };

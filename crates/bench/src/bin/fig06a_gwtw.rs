@@ -78,9 +78,16 @@ fn run_chaos(
     let cache = QorCache::new();
     let mut warmed = 0usize;
     if let Some(path) = flag_value(args, "--resume") {
-        let reader = ideaflow_trace::Journal::load(&path)
+        // Stream the killed campaign's journal (either format) instead
+        // of loading it whole: resume works on corpora larger than RAM.
+        let stream = ideaflow_trace::EventStream::open(&path)
             .unwrap_or_else(|e| panic!("cannot load resume journal {path}: {e}"));
-        warmed = cache.seed_from_journal(&reader);
+        for event in stream {
+            let event = event.unwrap_or_else(|e| panic!("cannot load resume journal {path}: {e}"));
+            if cache.seed_event(&event) {
+                warmed += 1;
+            }
+        }
         println!("resumed: {warmed} cached tool runs from {path}");
     }
     println!(

@@ -18,18 +18,22 @@ use std::time::Duration;
 
 use ideaflow_metrics::alerts::AlertEngine;
 use ideaflow_metrics::http::TelemetryServer;
-use ideaflow_trace::{Journal, TelemetryRegistry};
+use ideaflow_trace::{Journal, JournalFormat, TelemetryRegistry};
 
 /// Parses the common `--journal <path>` (or `--journal=<path>`) flag every
 /// `fig*`/`tab*` binary accepts and opens a file-backed run journal there;
-/// without the flag, returns the no-op journal. Call
-/// [`Journal::finish`] before the binary exits so the summary
+/// without the flag, returns the no-op journal. The companion
+/// `--journal-format <jsonl|binary>` flag selects the on-disk encoding
+/// (default `jsonl`; `binary` writes the length-prefixed indexed codec —
+/// readers sniff the format, so every downstream tool accepts either).
+/// Call [`Journal::finish`] before the binary exits so the summary
 /// event and counters land in the file.
 ///
 /// # Panics
 ///
 /// Panics (with the offending path) if the journal file cannot be created,
-/// or if `--journal` is the last argument with no path following it.
+/// if `--journal` is the last argument with no path following it, or if
+/// `--journal-format` names an unknown format.
 #[must_use]
 pub fn journal_from_args(run_id: &str) -> Journal {
     journal_from_arg_list(run_id, std::env::args().skip(1))
@@ -41,19 +45,30 @@ pub fn journal_from_args(run_id: &str) -> Journal {
 ///
 /// Same contract as [`journal_from_args`].
 pub fn journal_from_arg_list(run_id: &str, args: impl IntoIterator<Item = String>) -> Journal {
+    let mut path: Option<String> = None;
+    let mut format = JournalFormat::Jsonl;
     let mut args = args.into_iter();
     while let Some(a) = args.next() {
-        let path = if a == "--journal" {
-            Some(args.next().expect("--journal requires a <path> argument"))
-        } else {
-            a.strip_prefix("--journal=").map(str::to_owned)
-        };
-        if let Some(path) = path {
-            return Journal::to_file(run_id, &path)
-                .unwrap_or_else(|e| panic!("cannot open journal file {path}: {e}"));
+        if a == "--journal" {
+            path = Some(args.next().expect("--journal requires a <path> argument"));
+        } else if let Some(p) = a.strip_prefix("--journal=") {
+            path = Some(p.to_owned());
+        } else if a == "--journal-format" || a.starts_with("--journal-format=") {
+            let v = match a.strip_prefix("--journal-format=") {
+                Some(v) => v.to_owned(),
+                None => args
+                    .next()
+                    .expect("--journal-format requires a <jsonl|binary> argument"),
+            };
+            format = JournalFormat::parse(&v)
+                .unwrap_or_else(|| panic!("--journal-format: unknown format {v:?}"));
         }
     }
-    Journal::disabled()
+    match path {
+        Some(path) => Journal::to_file_with_format(run_id, &path, format)
+            .unwrap_or_else(|e| panic!("cannot open journal file {path}: {e}")),
+        None => Journal::disabled(),
+    }
 }
 
 /// A bench binary's observability session: the run journal plus an
@@ -315,6 +330,35 @@ mod tests {
     #[should_panic(expected = "--journal requires a <path> argument")]
     fn journal_flag_requires_a_path() {
         let _ = journal_from_arg_list("t", vec!["--journal".to_owned()]);
+    }
+
+    #[test]
+    fn journal_format_flag_selects_the_binary_codec() {
+        let dir = std::env::temp_dir().join("ideaflow_bench_format_flag_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("c.ifj");
+        let j = journal_from_arg_list(
+            "t",
+            vec![
+                format!("--journal={}", p.display()),
+                "--journal-format=binary".to_owned(),
+            ],
+        );
+        assert_eq!(j.format(), Some(JournalFormat::Binary));
+        j.emit("x", &[("v", 1.0.into())]);
+        j.finish();
+        // The streaming loader sniffs the format back.
+        assert!(Journal::load(&p).unwrap().len() >= 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "--journal-format: unknown format")]
+    fn journal_format_flag_rejects_unknown_formats() {
+        let _ = journal_from_arg_list(
+            "t",
+            vec!["--journal-format".to_owned(), "msgpack".to_owned()],
+        );
     }
 
     #[test]

@@ -214,7 +214,19 @@ impl QorCache {
     /// entries were restored (duplicate events collapse; entries may
     /// still be evicted later if the cache is bounded).
     pub fn seed_from_journal(&self, reader: &ideaflow_trace::JournalReader) -> usize {
+        reader.events.iter().filter(|e| self.seed_event(e)).count()
+    }
+
+    /// Streaming variant of [`QorCache::seed_from_journal`]: folds one
+    /// event in (non-`flow.sample` events are ignored) and reports
+    /// whether it restored a new entry. Callers iterating an
+    /// `EventStream` use this to rebuild the memo store in O(block)
+    /// memory from corpora that do not fit in RAM.
+    pub fn seed_event(&self, e: &ideaflow_trace::RunEvent) -> bool {
         use ideaflow_trace::PayloadValue as V;
+        if e.step != "flow.sample" {
+            return false;
+        }
         let int = |p: &V, k: &str| -> Option<i64> {
             match p.get(k) {
                 Some(V::Int(i)) => Some(*i),
@@ -228,39 +240,32 @@ impl QorCache {
                 _ => None,
             }
         };
-        let mut restored = 0usize;
-        for e in reader.events_for_step("flow.sample") {
-            let p = &e.payload;
-            let (Some(fp), Some(sample)) = (int(p, "fingerprint"), int(p, "sample")) else {
-                continue;
-            };
-            let Ok(sample) = u32::try_from(sample) else {
-                continue;
-            };
-            let fields = (
-                num(p, "target_ghz"),
-                num(p, "area_um2"),
-                num(p, "wns_ps"),
-                num(p, "leakage_nw"),
-                num(p, "runtime_hours"),
-            );
-            let (Some(target_ghz), Some(area_um2), Some(wns_ps), Some(leakage_nw), Some(rt)) =
-                fields
-            else {
-                continue;
-            };
-            let qor = QorSample {
-                target_ghz,
-                area_um2,
-                wns_ps,
-                leakage_nw,
-                runtime_hours: rt,
-            };
-            if self.put(fp as u64, sample, qor).0 {
-                restored += 1;
-            }
-        }
-        restored
+        let p = &e.payload;
+        let (Some(fp), Some(sample)) = (int(p, "fingerprint"), int(p, "sample")) else {
+            return false;
+        };
+        let Ok(sample) = u32::try_from(sample) else {
+            return false;
+        };
+        let fields = (
+            num(p, "target_ghz"),
+            num(p, "area_um2"),
+            num(p, "wns_ps"),
+            num(p, "leakage_nw"),
+            num(p, "runtime_hours"),
+        );
+        let (Some(target_ghz), Some(area_um2), Some(wns_ps), Some(leakage_nw), Some(rt)) = fields
+        else {
+            return false;
+        };
+        let qor = QorSample {
+            target_ghz,
+            area_um2,
+            wns_ps,
+            leakage_nw,
+            runtime_hours: rt,
+        };
+        self.put(fp as u64, sample, qor).0
     }
 
     /// Lookups answered from the cache so far (summed over shards).

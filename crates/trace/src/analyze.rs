@@ -1,49 +1,163 @@
 //! Journal analysis: the text renderings behind the `ifjournal` CLI.
 //!
-//! Four views over a loaded [`JournalReader`]:
+//! Each view exists in two shapes: a streaming **builder** that folds
+//! one [`RunEvent`] at a time (so multi-GB corpora render in O(state)
+//! memory — feed it from a [`crate::EventStream`]), and a convenience
+//! function over a fully loaded [`JournalReader`] that delegates to it:
 //!
-//! - [`summary_text`]: per-step event counts and numeric-field stats;
-//! - [`tail_text`]: the last N events, optionally filtered to a step;
-//! - [`diff_text`]: per-step/field mean deltas between two journals —
-//!   the run-to-run comparison the paper's §3.3 METRICS loop needs to
-//!   spot regressions across tool runs;
-//! - [`flame_folded`]: span events folded into `a;b;c <self-µs>`
-//!   stacks, the input format of standard flamegraph tooling.
+//! - [`SummaryBuilder`] / [`summary_text`]: per-step event counts and
+//!   numeric-field stats;
+//! - [`tail_render`] / [`tail_text`]: the last N events, optionally
+//!   filtered to a step;
+//! - [`diff_summaries`] / [`diff_text`]: per-step/field mean deltas
+//!   between two journals — the run-to-run comparison the paper's §3.3
+//!   METRICS loop needs to spot regressions across tool runs;
+//! - [`SpanCollector`] / [`flame_folded`]: span events folded into
+//!   `a;b;c <self-µs>` stacks, the input format of standard flamegraph
+//!   tooling;
+//! - [`FailureLedger`] / [`failures_text`]: every way a campaign
+//!   degraded without dying;
+//! - [`WatchState`]: the rolling live-tail status line.
 
-use crate::reader::JournalReader;
+use crate::reader::{JournalReader, StepSummary};
+use crate::stats::Histogram;
 use crate::RunEvent;
 use serde::Value;
+
+/// Streaming per-step summary: counts and numeric-field histograms,
+/// folded one event at a time.
+#[derive(Default)]
+pub struct SummaryBuilder {
+    events: usize,
+    runs: Vec<String>,
+    /// (step, count, per-field histograms), in first-seen order.
+    steps: Vec<StepAcc>,
+}
+
+/// One step's accumulator: `(step, count, per-field histograms)`.
+type StepAcc = (String, usize, Vec<(String, Histogram)>);
+
+impl SummaryBuilder {
+    /// An empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one event in.
+    pub fn ingest(&mut self, e: &RunEvent) {
+        self.events += 1;
+        if !self.runs.iter().any(|r| r == &e.run_id) {
+            self.runs.push(e.run_id.clone());
+        }
+        let idx = match self.steps.iter().position(|(s, ..)| *s == e.step) {
+            Some(i) => i,
+            None => {
+                self.steps.push((e.step.clone(), 0, Vec::new()));
+                self.steps.len() - 1
+            }
+        };
+        let (_, count, fields) = &mut self.steps[idx];
+        *count += 1;
+        if let Some(obj) = e.payload.as_object() {
+            for (k, v) in obj {
+                let x = match v {
+                    Value::Float(f) => *f,
+                    Value::Int(i) => *i as f64,
+                    _ => continue,
+                };
+                match fields.iter_mut().find(|(n, _)| n == k) {
+                    Some((_, h)) => h.record(x),
+                    None => {
+                        let mut h = Histogram::new();
+                        h.record(x);
+                        fields.push((k.clone(), h));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total events folded so far.
+    #[must_use]
+    pub fn events(&self) -> usize {
+        self.events
+    }
+
+    /// Distinct run ids seen, in first-seen order.
+    #[must_use]
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The per-step summaries, sorted by step name (the shape
+    /// [`JournalReader::summary`] produces).
+    #[must_use]
+    pub fn summaries(&self) -> Vec<StepSummary> {
+        let mut steps: Vec<&StepAcc> = self.steps.iter().collect();
+        steps.sort_by(|a, b| a.0.cmp(&b.0));
+        steps
+            .into_iter()
+            .map(|(step, count, fields)| StepSummary {
+                step: step.clone(),
+                count: *count,
+                fields: fields.iter().map(|(n, h)| (n.clone(), h.stats())).collect(),
+            })
+            .collect()
+    }
+
+    /// Renders the aligned summary table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let runs = self.run_count();
+        out.push_str(&format!(
+            "{} events, {} run{}\n\n",
+            self.events,
+            runs,
+            if runs == 1 { "" } else { "s" }
+        ));
+        out.push_str(&format!(
+            "{:<24} {:>6}  {}\n",
+            "step", "count", "fields (mean / p95)"
+        ));
+        for s in self.summaries() {
+            let fields: Vec<String> = s
+                .fields
+                .iter()
+                .map(|(name, st)| {
+                    let flag = if st.negatives > 0 { "!" } else { "" };
+                    format!("{name}={} /{}{flag}", short(st.mean), short(st.p95))
+                })
+                .collect();
+            out.push_str(&format!(
+                "{:<24} {:>6}  {}\n",
+                s.step,
+                s.count,
+                fields.join("  ")
+            ));
+        }
+        out
+    }
+}
 
 /// Renders the per-step summary as an aligned text table.
 #[must_use]
 pub fn summary_text(reader: &JournalReader) -> String {
+    let mut b = SummaryBuilder::new();
+    for e in &reader.events {
+        b.ingest(e);
+    }
+    b.render()
+}
+
+/// Renders already-selected tail events, one aligned line each.
+#[must_use]
+pub fn tail_render<'a>(events: impl IntoIterator<Item = &'a RunEvent>) -> String {
     let mut out = String::new();
-    let runs = reader.run_ids().len();
-    out.push_str(&format!(
-        "{} events, {} run{}\n\n",
-        reader.len(),
-        runs,
-        if runs == 1 { "" } else { "s" }
-    ));
-    out.push_str(&format!(
-        "{:<24} {:>6}  {}\n",
-        "step", "count", "fields (mean / p95)"
-    ));
-    for s in reader.summary() {
-        let fields: Vec<String> = s
-            .fields
-            .iter()
-            .map(|(name, st)| {
-                let flag = if st.negatives > 0 { "!" } else { "" };
-                format!("{name}={} /{}{flag}", short(st.mean), short(st.p95))
-            })
-            .collect();
-        out.push_str(&format!(
-            "{:<24} {:>6}  {}\n",
-            s.step,
-            s.count,
-            fields.join("  ")
-        ));
+    for e in events {
+        let payload = render_payload(&e.payload);
+        out.push_str(&format!("{:>6}  {:<24} {payload}\n", e.seq, e.step));
     }
     out
 }
@@ -57,12 +171,7 @@ pub fn tail_text(reader: &JournalReader, step: Option<&str>, n: usize) -> String
         None => reader.events.iter().collect(),
     };
     let start = events.len().saturating_sub(n);
-    let mut out = String::new();
-    for e in &events[start..] {
-        let payload = render_payload(&e.payload);
-        out.push_str(&format!("{:>6}  {:<24} {payload}\n", e.seq, e.step));
-    }
-    out
+    tail_render(events[start..].iter().copied())
 }
 
 /// Per-step, per-field comparison of two journals: count deltas and
@@ -70,8 +179,14 @@ pub fn tail_text(reader: &JournalReader, step: Option<&str>, n: usize) -> String
 /// one journal are flagged. Sorted by step for stable output.
 #[must_use]
 pub fn diff_text(a: &JournalReader, b: &JournalReader) -> String {
-    let sa = a.summary();
-    let sb = b.summary();
+    diff_summaries(&a.summary(), &b.summary())
+}
+
+/// [`diff_text`] over pre-computed summaries — the streaming path
+/// builds each side with a [`SummaryBuilder`] and diffs the results,
+/// never holding either journal's events in memory.
+#[must_use]
+pub fn diff_summaries(sa: &[StepSummary], sb: &[StepSummary]) -> String {
     let mut steps: Vec<&str> = sa
         .iter()
         .map(|s| s.step.as_str())
@@ -146,20 +261,37 @@ struct SpanNode {
     secs: f64,
 }
 
-/// Collects `span.close` events into span-tree nodes (shared by
-/// [`flame_folded`] and [`by_thread_text`]).
-fn collect_spans(reader: &JournalReader) -> Vec<SpanNode> {
-    let mut nodes: Vec<SpanNode> = Vec::new();
-    for e in reader.events_for_step("span.close") {
+/// Streaming collector for `span.close` events (shared by
+/// [`flame_folded`] and [`by_thread_text`]). Holds one node per closed
+/// span — the only analysis state that scales with journal content
+/// rather than vocabulary, because stack reconstruction needs every
+/// span's parent link.
+#[derive(Default)]
+pub struct SpanCollector {
+    nodes: Vec<SpanNode>,
+}
+
+impl SpanCollector {
+    /// An empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one event in (non-span events are ignored).
+    pub fn ingest(&mut self, e: &RunEvent) {
+        if e.step != "span.close" {
+            return;
+        }
         let get_int = |k: &str| match e.payload.get(k) {
             Some(Value::Int(i)) => Some(*i),
             _ => None,
         };
         let (Some(id), Some(parent)) = (get_int("id"), get_int("parent")) else {
-            continue;
+            return;
         };
         let Some(Value::Str(name)) = e.payload.get("name") else {
-            continue;
+            return;
         };
         let thread = match e.payload.get("thread") {
             Some(Value::Str(t)) => t.clone(),
@@ -170,7 +302,7 @@ fn collect_spans(reader: &JournalReader) -> Vec<SpanNode> {
             Some(Value::Int(i)) => *i as f64,
             _ => 0.0,
         };
-        nodes.push(SpanNode {
+        self.nodes.push(SpanNode {
             id,
             parent,
             name: name.clone(),
@@ -178,7 +310,20 @@ fn collect_spans(reader: &JournalReader) -> Vec<SpanNode> {
             secs,
         });
     }
-    nodes
+
+    /// Whether any spans were collected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+fn collect_spans(reader: &JournalReader) -> SpanCollector {
+    let mut c = SpanCollector::new();
+    for e in &reader.events {
+        c.ingest(e);
+    }
+    c
 }
 
 /// Self time of a node: its span time minus its direct children's span
@@ -202,36 +347,44 @@ fn self_secs(n: &SpanNode, nodes: &[SpanNode]) -> f64 {
 /// deterministic. Empty when the journal has no span events.
 #[must_use]
 pub fn flame_folded(reader: &JournalReader) -> String {
-    let nodes = collect_spans(reader);
-    let mut stacks: Vec<(String, u64)> = Vec::new();
-    for n in &nodes {
-        let self_us = (self_secs(n, &nodes) * 1e6).round() as u64;
-        // Build the stack path by walking parents; a missing parent
-        // (still-open span at journal end) truncates the path there.
-        let mut path = vec![n.name.as_str()];
-        let mut cursor = n.parent;
-        while cursor >= 0 {
-            match nodes.iter().find(|p| p.id == cursor) {
-                Some(p) => {
-                    path.push(p.name.as_str());
-                    cursor = p.parent;
+    collect_spans(reader).flame_folded()
+}
+
+impl SpanCollector {
+    /// Renders the folded flamegraph stacks (see [`flame_folded`]).
+    #[must_use]
+    pub fn flame_folded(&self) -> String {
+        let nodes = &self.nodes;
+        let mut stacks: Vec<(String, u64)> = Vec::new();
+        for n in nodes {
+            let self_us = (self_secs(n, nodes) * 1e6).round() as u64;
+            // Build the stack path by walking parents; a missing parent
+            // (still-open span at journal end) truncates the path there.
+            let mut path = vec![n.name.as_str()];
+            let mut cursor = n.parent;
+            while cursor >= 0 {
+                match nodes.iter().find(|p| p.id == cursor) {
+                    Some(p) => {
+                        path.push(p.name.as_str());
+                        cursor = p.parent;
+                    }
+                    None => break,
                 }
-                None => break,
+            }
+            path.reverse();
+            let line = path.join(";");
+            match stacks.iter_mut().find(|(l, _)| *l == line) {
+                Some((_, v)) => *v += self_us,
+                None => stacks.push((line, self_us)),
             }
         }
-        path.reverse();
-        let line = path.join(";");
-        match stacks.iter_mut().find(|(l, _)| *l == line) {
-            Some((_, v)) => *v += self_us,
-            None => stacks.push((line, self_us)),
+        stacks.sort();
+        let mut out = String::new();
+        for (line, us) in stacks {
+            out.push_str(&format!("{line} {us}\n"));
         }
+        out
     }
-    stacks.sort();
-    let mut out = String::new();
-    for (line, us) in stacks {
-        out.push_str(&format!("{line} {us}\n"));
-    }
-    out
 }
 
 /// Per-thread span accounting (the `summary --by-thread` view): for
@@ -242,51 +395,59 @@ pub fn flame_folded(reader: &JournalReader) -> String {
 /// descending so the hottest thread leads.
 #[must_use]
 pub fn by_thread_text(reader: &JournalReader) -> String {
-    let nodes = collect_spans(reader);
-    if nodes.is_empty() {
-        return "no span events\n".to_owned();
-    }
-    // thread -> (span count, total self secs, per-name self secs)
-    type ThreadRow = (String, usize, f64, Vec<(String, f64)>);
-    let mut threads: Vec<ThreadRow> = Vec::new();
-    for n in &nodes {
-        let s = self_secs(n, &nodes);
-        let entry = match threads.iter_mut().find(|(t, ..)| *t == n.thread) {
-            Some(e) => e,
-            None => {
-                threads.push((n.thread.clone(), 0, 0.0, Vec::new()));
-                threads.last_mut().expect("just pushed")
-            }
-        };
-        entry.1 += 1;
-        entry.2 += s;
-        match entry.3.iter_mut().find(|(name, _)| *name == n.name) {
-            Some((_, v)) => *v += s,
-            None => entry.3.push((n.name.clone(), s)),
+    collect_spans(reader).by_thread_text()
+}
+
+impl SpanCollector {
+    /// Renders the per-thread accounting (see [`by_thread_text`]).
+    #[must_use]
+    pub fn by_thread_text(&self) -> String {
+        let nodes = &self.nodes;
+        if nodes.is_empty() {
+            return "no span events\n".to_owned();
         }
-    }
-    threads.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
-    let mut out = String::new();
-    out.push_str(&format!(
-        "{:<16} {:>6} {:>10}  top spans by self time\n",
-        "thread", "spans", "self_s"
-    ));
-    for (thread, count, total, mut names) in threads {
-        names.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        let top: Vec<String> = names
-            .iter()
-            .take(3)
-            .map(|(name, s)| format!("{name}={}", short(*s)))
-            .collect();
+        // thread -> (span count, total self secs, per-name self secs)
+        type ThreadRow = (String, usize, f64, Vec<(String, f64)>);
+        let mut threads: Vec<ThreadRow> = Vec::new();
+        for n in nodes {
+            let s = self_secs(n, nodes);
+            let entry = match threads.iter_mut().find(|(t, ..)| *t == n.thread) {
+                Some(e) => e,
+                None => {
+                    threads.push((n.thread.clone(), 0, 0.0, Vec::new()));
+                    threads.last_mut().expect("just pushed")
+                }
+            };
+            entry.1 += 1;
+            entry.2 += s;
+            match entry.3.iter_mut().find(|(name, _)| *name == n.name) {
+                Some((_, v)) => *v += s,
+                None => entry.3.push((n.name.clone(), s)),
+            }
+        }
+        threads.sort_by(|a, b| b.2.total_cmp(&a.2).then_with(|| a.0.cmp(&b.0)));
+        let mut out = String::new();
         out.push_str(&format!(
-            "{:<16} {:>6} {:>10}  {}\n",
-            thread,
-            count,
-            short(total),
-            top.join("  ")
+            "{:<16} {:>6} {:>10}  top spans by self time\n",
+            "thread", "spans", "self_s"
         ));
+        for (thread, count, total, mut names) in threads {
+            names.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+            let top: Vec<String> = names
+                .iter()
+                .take(3)
+                .map(|(name, s)| format!("{name}={}", short(*s)))
+                .collect();
+            out.push_str(&format!(
+                "{:<16} {:>6} {:>10}  {}\n",
+                thread,
+                count,
+                short(total),
+                top.join("  ")
+            ));
+        }
+        out
     }
-    out
 }
 
 /// The failure ledger (the `summary --failures` view): per-mode
@@ -296,93 +457,133 @@ pub fn by_thread_text(reader: &JournalReader) -> String {
 /// Says so when the journal recorded no failures at all.
 #[must_use]
 pub fn failures_text(reader: &JournalReader) -> String {
-    let mut rows: Vec<(String, usize, String)> = Vec::new();
+    let mut ledger = FailureLedger::new();
+    for e in &reader.events {
+        ledger.ingest(e);
+    }
+    ledger.render()
+}
 
-    let injected = reader.events_for_step("fault.injected");
-    if !injected.is_empty() {
-        let mut by_mode: Vec<(String, usize)> = Vec::new();
-        for e in &injected {
-            let mode = match e.payload.get("mode") {
-                Some(Value::Str(m)) => m.clone(),
-                _ => "unknown".to_owned(),
-            };
-            match by_mode.iter_mut().find(|(m, _)| *m == mode) {
-                Some((_, n)) => *n += 1,
-                None => by_mode.push((mode, 1)),
+/// Streaming failure ledger: O(failure-vocabulary) state regardless of
+/// journal size.
+#[derive(Default)]
+pub struct FailureLedger {
+    injected: usize,
+    by_mode: Vec<(String, usize)>,
+    retries: usize,
+    backoff_ms: Histogram,
+    timeouts: usize,
+    kills: usize,
+    hours_saved: f64,
+    censored: usize,
+    multistart_failed: usize,
+    casualties: i64,
+}
+
+impl FailureLedger {
+    /// An empty ledger.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one event in (non-failure events are ignored).
+    pub fn ingest(&mut self, e: &RunEvent) {
+        match e.step.as_str() {
+            "fault.injected" => {
+                self.injected += 1;
+                let mode = match e.payload.get("mode") {
+                    Some(Value::Str(m)) => m.clone(),
+                    _ => "unknown".to_owned(),
+                };
+                match self.by_mode.iter_mut().find(|(m, _)| *m == mode) {
+                    Some((_, n)) => *n += 1,
+                    None => self.by_mode.push((mode, 1)),
+                }
             }
-        }
-        by_mode.sort();
-        let detail: Vec<String> = by_mode.iter().map(|(m, n)| format!("{m}={n}")).collect();
-        rows.push((
-            "fault.injected".to_owned(),
-            injected.len(),
-            detail.join(" "),
-        ));
-    }
-
-    let retries = reader.events_for_step("run.retry");
-    if !retries.is_empty() {
-        let detail = reader
-            .field_stats("run.retry", "backoff_ms")
-            .map(|s| format!("mean backoff {} ms", short(s.mean)))
-            .unwrap_or_default();
-        rows.push(("run.retry".to_owned(), retries.len(), detail));
-    }
-
-    let timeouts = reader.events_for_step("run.timeout");
-    if !timeouts.is_empty() {
-        rows.push(("run.timeout".to_owned(), timeouts.len(), String::new()));
-    }
-
-    let kills = reader.events_for_step("run.killed");
-    if !kills.is_empty() {
-        let saved: f64 = kills
-            .iter()
-            .filter_map(|e| match e.payload.get("hours_saved") {
-                Some(Value::Float(f)) => Some(*f),
-                Some(Value::Int(i)) => Some(*i as f64),
-                _ => None,
-            })
-            .sum();
-        rows.push((
-            "run.killed".to_owned(),
-            kills.len(),
-            format!("refunded {} model hours", short(saved)),
-        ));
-    }
-
-    for step in ["bandit.censored", "multistart.failed"] {
-        let n = reader.events_for_step(step).len();
-        if n > 0 {
-            rows.push((step.to_owned(), n, String::new()));
+            "run.retry" => {
+                self.retries += 1;
+                match e.payload.get("backoff_ms") {
+                    Some(Value::Float(f)) => self.backoff_ms.record(*f),
+                    Some(Value::Int(i)) => self.backoff_ms.record(*i as f64),
+                    _ => {}
+                }
+            }
+            "run.timeout" => self.timeouts += 1,
+            "run.killed" => {
+                self.kills += 1;
+                match e.payload.get("hours_saved") {
+                    Some(Value::Float(f)) => self.hours_saved += *f,
+                    Some(Value::Int(i)) => self.hours_saved += *i as f64,
+                    _ => {}
+                }
+            }
+            "bandit.censored" => self.censored += 1,
+            "multistart.failed" => self.multistart_failed += 1,
+            "gwtw.round" => {
+                if let Some(Value::Int(i)) = e.payload.get("casualties") {
+                    self.casualties += *i;
+                }
+            }
+            _ => {}
         }
     }
 
-    let casualties: i64 = reader
-        .events_for_step("gwtw.round")
-        .iter()
-        .filter_map(|e| match e.payload.get("casualties") {
-            Some(Value::Int(i)) => Some(*i),
-            _ => None,
-        })
-        .sum();
-    if casualties > 0 {
-        rows.push((
-            "gwtw casualties".to_owned(),
-            casualties as usize,
-            String::new(),
-        ));
+    /// Renders the failure table (see [`failures_text`]).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut rows: Vec<(String, usize, String)> = Vec::new();
+        if self.injected > 0 {
+            let mut by_mode = self.by_mode.clone();
+            by_mode.sort();
+            let detail: Vec<String> = by_mode.iter().map(|(m, n)| format!("{m}={n}")).collect();
+            rows.push(("fault.injected".to_owned(), self.injected, detail.join(" ")));
+        }
+        if self.retries > 0 {
+            let detail = if self.backoff_ms.count() > 0 {
+                format!("mean backoff {} ms", short(self.backoff_ms.stats().mean))
+            } else {
+                String::new()
+            };
+            rows.push(("run.retry".to_owned(), self.retries, detail));
+        }
+        if self.timeouts > 0 {
+            rows.push(("run.timeout".to_owned(), self.timeouts, String::new()));
+        }
+        if self.kills > 0 {
+            rows.push((
+                "run.killed".to_owned(),
+                self.kills,
+                format!("refunded {} model hours", short(self.hours_saved)),
+            ));
+        }
+        if self.censored > 0 {
+            rows.push(("bandit.censored".to_owned(), self.censored, String::new()));
+        }
+        if self.multistart_failed > 0 {
+            rows.push((
+                "multistart.failed".to_owned(),
+                self.multistart_failed,
+                String::new(),
+            ));
+        }
+        if self.casualties > 0 {
+            rows.push((
+                "gwtw casualties".to_owned(),
+                self.casualties as usize,
+                String::new(),
+            ));
+        }
+        if rows.is_empty() {
+            return "no failure events\n".to_owned();
+        }
+        let mut out = String::new();
+        out.push_str(&format!("{:<20} {:>6}  detail\n", "failure", "count"));
+        for (name, count, detail) in rows {
+            out.push_str(&format!("{name:<20} {count:>6}  {detail}\n"));
+        }
+        out
     }
-
-    if rows.is_empty() {
-        return "no failure events\n".to_owned();
-    }
-    let mut out = String::new();
-    out.push_str(&format!("{:<20} {:>6}  detail\n", "failure", "count"));
-    for (name, count, detail) in rows {
-        out.push_str(&format!("{name:<20} {count:>6}  {detail}\n"));
-    }
-    out
 }
 
 /// Incremental state behind `ifjournal watch`: fed events as a live

@@ -1,18 +1,30 @@
-//! `ifjournal`: offline analysis of ideaflow run journals (JSONL).
+//! `ifjournal`: offline analysis of ideaflow run journals. Both
+//! journal formats (JSONL and the length-prefixed binary codec) are
+//! accepted everywhere; the format is sniffed from the first byte.
+//! Every subcommand streams, so multi-GB corpora read in O(block)
+//! memory.
 //!
 //! ```text
-//! ifjournal summary [--by-thread|--failures] <run.jsonl>
+//! ifjournal summary [--by-thread|--failures] <journal>
 //!                                          per-step counts + field stats
 //!                                          (--by-thread: per-worker span
 //!                                          counts and self time instead;
 //!                                          --failures: the failure ledger —
 //!                                          injected faults, retries,
 //!                                          timeouts, kills, censored pulls)
-//! ifjournal tail [--step S] [-n N] <run.jsonl>
-//!                                          last N events (default 10)
-//! ifjournal diff <a.jsonl> <b.jsonl>       per-step field-mean deltas
-//! ifjournal flame <run.jsonl>              folded stacks from span events
-//! ifjournal lint <run.jsonl>               validate against the declared
+//! ifjournal tail [--step S] [-n N] <journal>
+//!                                          last N events (default 10);
+//!                                          binary journals seek via the
+//!                                          embedded block index instead of
+//!                                          scanning from byte 0
+//! ifjournal diff <a> <b>                   per-step field-mean deltas
+//! ifjournal flame <journal>                folded stacks from span events
+//! ifjournal convert [--to <jsonl|binary>] <in> <out>
+//!                                          re-encode a journal (default:
+//!                                          the opposite of the input
+//!                                          format); decoded event streams
+//!                                          compare equal both ways
+//! ifjournal lint <journal>                 validate against the declared
 //!                                          trace schema registry (events,
 //!                                          fields, kinds, span and counter
 //!                                          names) before trusting the
@@ -20,13 +32,16 @@
 //!                                          warns (without failing) when the
 //!                                          journal's schema-hash header is
 //!                                          missing or from another build
-//! ifjournal watch [--interval-ms N] [--once] <run.jsonl>
+//! ifjournal watch [--interval-ms N] [--once] <journal>
 //!                                          live-tail a growing journal: a
 //!                                          rolling status line with event
 //!                                          rate, campaign round/best, pull
 //!                                          and censor rates, and active
-//!                                          alerts; exits when the journal
-//!                                          records its finish mark
+//!                                          alerts; a half-written line or
+//!                                          frame at EOF is held until the
+//!                                          next poll, never reported as
+//!                                          malformed; exits when the
+//!                                          journal records its finish mark
 //! ifjournal grafana <dir>                  write the registry-derived
 //!                                          Grafana dashboard + provisioning
 //!                                          stubs under <dir>
@@ -35,16 +50,18 @@
 //! Exit codes: 0 ok, 1 I/O or parse failure (for `lint`: any schema
 //! finding), 2 usage error.
 
-use ideaflow_trace::analyze;
-use ideaflow_trace::{grafana, schema, Journal, JournalReader};
+use ideaflow_trace::schema::SchemaDiagnostic;
+use ideaflow_trace::{analyze, codec, grafana, schema};
+use ideaflow_trace::{DecodeError, EventStream, JournalFormat, RunEvent, StreamDecoder};
 
-const USAGE: &str = "usage: ifjournal <summary|tail|diff|flame|lint|watch|grafana> ...
-  ifjournal summary [--by-thread|--failures] <run.jsonl>
-  ifjournal tail [--step <step>] [-n <count>] <run.jsonl>
-  ifjournal diff <a.jsonl> <b.jsonl>
-  ifjournal flame <run.jsonl>
-  ifjournal lint <run.jsonl>
-  ifjournal watch [--interval-ms <ms>] [--once] <run.jsonl>
+const USAGE: &str = "usage: ifjournal <summary|tail|diff|flame|convert|lint|watch|grafana> ...
+  ifjournal summary [--by-thread|--failures] <journal>
+  ifjournal tail [--step <step>] [-n <count>] <journal>
+  ifjournal diff <a> <b>
+  ifjournal flame <journal>
+  ifjournal convert [--to <jsonl|binary>] <in> <out>
+  ifjournal lint <journal>
+  ifjournal watch [--interval-ms <ms>] [--once] <journal>
   ifjournal grafana <dir>";
 
 fn main() {
@@ -58,9 +75,10 @@ fn run(args: Vec<String>) -> i32 {
     };
     match cmd.as_str() {
         "summary" => summary(&args[1..]),
-        "flame" => one_file(&args[1..], analyze::flame_folded),
+        "flame" => flame(&args[1..]),
         "tail" => tail(&args[1..]),
         "diff" => diff(&args[1..]),
+        "convert" => convert(&args[1..]),
         "lint" => lint(&args[1..]),
         "watch" => watch(&args[1..]),
         "grafana" => grafana_cmd(&args[1..]),
@@ -71,11 +89,25 @@ fn run(args: Vec<String>) -> i32 {
     }
 }
 
-fn load(path: &str) -> Result<JournalReader, i32> {
-    Journal::load(path).map_err(|e| {
-        eprintln!("ifjournal: {path}: {e}");
-        1
-    })
+/// Streams every event of `path` through `ingest`, either format.
+fn fold(path: &str, mut ingest: impl FnMut(&RunEvent)) -> Result<(), i32> {
+    let stream = match EventStream::open(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("ifjournal: {path}: {e}");
+            return Err(1);
+        }
+    };
+    for event in stream {
+        match event {
+            Ok(e) => ingest(&e),
+            Err(e) => {
+                eprintln!("ifjournal: {path}: {e}");
+                return Err(1);
+            }
+        }
+    }
+    Ok(())
 }
 
 fn summary(args: &[String]) -> i32 {
@@ -90,23 +122,49 @@ fn summary(args: &[String]) -> i32 {
         eprintln!("ifjournal: --by-thread and --failures are exclusive\n{USAGE}");
         return 2;
     }
+    let [path] = &rest[..] else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
     if by_thread {
-        one_file(&rest, analyze::by_thread_text)
+        let mut spans = analyze::SpanCollector::new();
+        match fold(path, |e| spans.ingest(e)) {
+            Ok(()) => {
+                print!("{}", spans.by_thread_text());
+                0
+            }
+            Err(code) => code,
+        }
     } else if failures {
-        one_file(&rest, analyze::failures_text)
+        let mut ledger = analyze::FailureLedger::new();
+        match fold(path, |e| ledger.ingest(e)) {
+            Ok(()) => {
+                print!("{}", ledger.render());
+                0
+            }
+            Err(code) => code,
+        }
     } else {
-        one_file(&rest, analyze::summary_text)
+        let mut builder = analyze::SummaryBuilder::new();
+        match fold(path, |e| builder.ingest(e)) {
+            Ok(()) => {
+                print!("{}", builder.render());
+                0
+            }
+            Err(code) => code,
+        }
     }
 }
 
-fn one_file(args: &[String], render: impl Fn(&JournalReader) -> String) -> i32 {
+fn flame(args: &[String]) -> i32 {
     let [path] = args else {
         eprintln!("{USAGE}");
         return 2;
     };
-    match load(path) {
-        Ok(r) => {
-            print!("{}", render(&r));
+    let mut spans = analyze::SpanCollector::new();
+    match fold(path, |e| spans.ingest(e)) {
+        Ok(()) => {
+            print!("{}", spans.flame_folded());
             0
         }
         Err(code) => code,
@@ -145,13 +203,76 @@ fn tail(args: &[String]) -> i32 {
         eprintln!("{USAGE}");
         return 2;
     };
-    match load(path) {
-        Ok(r) => {
-            print!("{}", analyze::tail_text(&r, step.as_deref(), n));
+    match codec::tail_events(path, step.as_deref(), n) {
+        Ok(events) => {
+            print!("{}", analyze::tail_render(&events));
             0
         }
-        Err(code) => code,
+        Err(e) => {
+            eprintln!("ifjournal: {path}: {e}");
+            1
+        }
     }
+}
+
+fn convert(args: &[String]) -> i32 {
+    let mut to: Option<JournalFormat> = None;
+    let mut paths: Vec<&String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--to" => match it.next().and_then(|v| JournalFormat::parse(v)) {
+                Some(f) => to = Some(f),
+                None => {
+                    eprintln!("ifjournal: --to needs jsonl or binary\n{USAGE}");
+                    return 2;
+                }
+            },
+            _ if !a.starts_with('-') => paths.push(a),
+            _ => {
+                eprintln!("ifjournal: unexpected argument {a:?}\n{USAGE}");
+                return 2;
+            }
+        }
+    }
+    let [input, output] = paths[..] else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+    // Default target: the opposite of the input format.
+    let to = match to {
+        Some(f) => f,
+        None => match sniff_file(input) {
+            Ok(JournalFormat::Jsonl) => JournalFormat::Binary,
+            Ok(JournalFormat::Binary) => JournalFormat::Jsonl,
+            Err(e) => {
+                eprintln!("ifjournal: {input}: {e}");
+                return 1;
+            }
+        },
+    };
+    match codec::convert(input, output, to) {
+        Ok((count, from)) => {
+            println!(
+                "converted {count} events ({} -> {}) to {output}",
+                from.name(),
+                to.name()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("ifjournal: {input}: {e}");
+            1
+        }
+    }
+}
+
+fn sniff_file(path: &str) -> std::io::Result<JournalFormat> {
+    use std::io::Read;
+    let mut file = std::fs::File::open(path)?;
+    let mut first = [0u8; 1];
+    let n = file.read(&mut first)?;
+    Ok(codec::sniff_format(&first[..n]))
 }
 
 fn lint(args: &[String]) -> i32 {
@@ -159,21 +280,77 @@ fn lint(args: &[String]) -> i32 {
         eprintln!("{USAGE}");
         return 2;
     };
-    let text = match std::fs::read_to_string(path) {
-        Ok(t) => t,
+    use std::io::Read;
+    let mut file = match std::fs::File::open(path) {
+        Ok(f) => f,
         Err(e) => {
             eprintln!("ifjournal: {path}: {e}");
             return 1;
         }
     };
-    // Cross-version corpora are suspicious but not invalid: warn on a
-    // missing or stale schema-hash header, fail only on real findings.
-    if let Some(warning) = schema::version_warning(&text) {
-        eprintln!("ifjournal: {path}: warning: {warning}");
+    let mut dec = StreamDecoder::new();
+    let mut diags: Vec<SchemaDiagnostic> = Vec::new();
+    let mut events = 0usize;
+    let mut version_checked = false;
+    let mut eof = false;
+    let mut chunk = vec![0u8; 64 * 1024];
+    let mut check = |event: &RunEvent, line: usize, diags: &mut Vec<SchemaDiagnostic>| {
+        if !version_checked {
+            version_checked = true;
+            // Cross-version corpora are suspicious but not invalid:
+            // warn on a missing or stale schema-hash header, fail only
+            // on real findings.
+            if let Some(warning) = schema::version_warning_for(Some(event)) {
+                eprintln!("ifjournal: {path}: warning: {warning}");
+            }
+        }
+        diags.extend(
+            schema::lint_event(event)
+                .into_iter()
+                .map(|message| SchemaDiagnostic {
+                    line,
+                    event: event.step.clone(),
+                    message,
+                }),
+        );
+    };
+    loop {
+        match dec.next_event() {
+            Ok(Some(event)) => {
+                events += 1;
+                check(&event, dec.position(), &mut diags);
+            }
+            Ok(None) if eof => {
+                match dec.finish() {
+                    Ok(Some(event)) => {
+                        events += 1;
+                        check(&event, dec.position(), &mut diags);
+                    }
+                    Ok(None) => {}
+                    Err(e) => diags.push(decode_diag(&dec, e)),
+                }
+                break;
+            }
+            Ok(None) => match file.read(&mut chunk) {
+                Ok(0) => eof = true,
+                Ok(n) => dec.push(&chunk[..n]),
+                Err(e) => {
+                    eprintln!("ifjournal: {path}: {e}");
+                    return 1;
+                }
+            },
+            Err(e) => {
+                let is_binary = dec.format() == Some(JournalFormat::Binary);
+                diags.push(decode_diag(&dec, e));
+                // JSONL resynchronizes at the next newline; a corrupt
+                // binary frame ends the decodable prefix.
+                if is_binary {
+                    break;
+                }
+            }
+        }
     }
-    let diags = schema::lint_jsonl(&text);
     if diags.is_empty() {
-        let events = text.lines().filter(|l| !l.trim().is_empty()).count();
         println!("{path}: ok ({events} events conform to the schema registry)");
         return 0;
     }
@@ -187,6 +364,23 @@ fn lint(args: &[String]) -> i32 {
         diags.len()
     );
     1
+}
+
+/// A decode failure as a lint diagnostic, preserving the `lint_jsonl`
+/// message shape for malformed JSONL lines.
+fn decode_diag(dec: &StreamDecoder, e: DecodeError) -> SchemaDiagnostic {
+    match e {
+        DecodeError::Line { line, detail } => SchemaDiagnostic {
+            line,
+            event: String::new(),
+            message: format!("malformed event line: {detail}"),
+        },
+        other => SchemaDiagnostic {
+            line: dec.position() + 1,
+            event: String::new(),
+            message: other.to_string(),
+        },
+    }
 }
 
 fn watch(args: &[String]) -> i32 {
@@ -215,13 +409,15 @@ fn watch(args: &[String]) -> i32 {
         eprintln!("{USAGE}");
         return 2;
     };
-    // Incremental tail: the writer flushes only seq-contiguous
-    // prefixes, so every read extends the event stream in order; a
-    // trailing partial line (mid-write) is kept pending until its
-    // newline lands.
+    // Incremental tail over raw bytes: the writer flushes only
+    // seq-contiguous prefixes, so every read extends the event stream
+    // in order. The push decoder holds a trailing partial line or
+    // partial binary frame (mid-write) pending until the rest lands on
+    // a later poll — `next_event` just returns `Ok(None)` for it.
     let mut state = analyze::WatchState::new();
+    let mut dec = StreamDecoder::new();
     let mut offset: u64 = 0;
-    let mut pending = String::new();
+    let mut chunk = vec![0u8; 64 * 1024];
     let mut last = std::time::Instant::now();
     let mut first = true;
     loop {
@@ -233,33 +429,31 @@ fn watch(args: &[String]) -> i32 {
                 return 1;
             }
         };
-        let mut chunk = String::new();
-        let read = file
-            .seek(SeekFrom::Start(offset))
-            .and_then(|_| file.read_to_string(&mut chunk));
-        if let Err(e) = read {
+        if let Err(e) = file.seek(SeekFrom::Start(offset)) {
             eprintln!("ifjournal: {path}: {e}");
             return 1;
         }
-        offset += chunk.len() as u64;
-        pending.push_str(&chunk);
-        let complete = match pending.rfind('\n') {
-            Some(pos) => {
-                let head = pending[..=pos].to_owned();
-                pending.drain(..=pos);
-                head
-            }
-            None => String::new(),
-        };
-        match ideaflow_trace::parse_jsonl(&complete) {
-            Ok(events) => {
-                for e in &events {
-                    state.ingest(e);
+        loop {
+            match file.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    offset += n as u64;
+                    dec.push(&chunk[..n]);
+                }
+                Err(e) => {
+                    eprintln!("ifjournal: {path}: {e}");
+                    return 1;
                 }
             }
-            Err(e) => {
-                eprintln!("ifjournal: {path}: {e}");
-                return 1;
+        }
+        loop {
+            match dec.next_event() {
+                Ok(Some(e)) => state.ingest(&e),
+                Ok(None) => break, // partial tail: retry next poll
+                Err(e) => {
+                    eprintln!("ifjournal: {path}: {e}");
+                    return 1;
+                }
             }
         }
         let elapsed = if first {
@@ -301,11 +495,17 @@ fn diff(args: &[String]) -> i32 {
         eprintln!("{USAGE}");
         return 2;
     };
-    match (load(a), load(b)) {
-        (Ok(ra), Ok(rb)) => {
-            print!("{}", analyze::diff_text(&ra, &rb));
-            0
-        }
-        (Err(code), _) | (_, Err(code)) => code,
+    let mut sa = analyze::SummaryBuilder::new();
+    let mut sb = analyze::SummaryBuilder::new();
+    if let Err(code) = fold(a, |e| sa.ingest(e)) {
+        return code;
     }
+    if let Err(code) = fold(b, |e| sb.ingest(e)) {
+        return code;
+    }
+    print!(
+        "{}",
+        analyze::diff_summaries(&sa.summaries(), &sb.summaries())
+    );
+    0
 }

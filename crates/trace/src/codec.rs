@@ -1,0 +1,1914 @@
+//! Binary journal codec: length-prefixed frames with interned names,
+//! plus streaming decoders for both journal formats.
+//!
+//! Multi-GB campaign corpora make the JSONL substrate the bottleneck
+//! twice over: every emit pays full JSON string building, and every
+//! reader slurps the whole file before the first event is usable. This
+//! module adds a second wire format behind the same [`crate::Journal`]
+//! API — sniffed by magic bytes, so every reader keeps accepting both —
+//! with three frame kinds:
+//!
+//! - **dict**: defines interned name ids (event/step/field names). A
+//!   base dictionary derived from the schema registry is written right
+//!   after the magic, so files are self-describing; names outside the
+//!   registry are defined inline at first use per writer thread.
+//! - **record**: one [`RunEvent`] — varint seq, interned run-id/step,
+//!   then the payload with varint ints, raw little-endian f64 bits, and
+//!   interned field names. No JSON text on the hot path.
+//! - **index**: written every [`INDEX_EVERY`] records by the single
+//!   ordered writer. Carries a sync marker (so a reader can find index
+//!   frames by scanning backwards from EOF without any footer), the
+//!   byte offset (self-validating), the record count and seq range of
+//!   the preceding block, the step names seen in it, and a full
+//!   snapshot of the dynamic dictionary — everything a reader needs to
+//!   resume decoding mid-file. `tail` on a million-record corpus reads
+//!   the last blocks instead of the whole file.
+//!
+//! Every frame is `varint(body_len)` + body, bounded by [`MAX_FRAME`],
+//! so a corrupt length yields a typed error instead of an unbounded
+//! read. Frames are self-delimiting; a truncated tail (killed writer)
+//! decodes to the valid prefix plus [`DecodeError::Truncated`].
+//!
+//! # Cross-format equality
+//!
+//! `ifjournal convert` promises the decoded record streams of the two
+//! formats compare equal. JSONL is lossy for floats (whole floats
+//! re-parse as ints, non-finite floats render as `null`), so the binary
+//! encoder applies the *same* normalization at encode time — see
+//! [`norm`]. Anything the JSONL round trip preserves, the binary round
+//! trip preserves bit-for-bit.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::RwLock;
+use serde::Value;
+
+use crate::RunEvent;
+
+/// First bytes of a binary journal. The leading `0x89` can never start
+/// a JSONL journal (it is not valid UTF-8 on its own, let alone JSON),
+/// which is the whole format-sniffing rule: first byte `0x89` → binary,
+/// anything else → JSONL. The `\r\n` catches line-ending mangling, the
+/// `\x1a` stops accidental `type` on Windows — the PNG header trick.
+pub const MAGIC: [u8; 8] = [0x89, b'I', b'F', b'J', b'1', b'\r', b'\n', 0x1A];
+
+/// Marker bytes at the start of every index-frame body, so a reader can
+/// locate index frames by scanning a tail window backwards. Candidates
+/// are validated by the self-offset field that follows the marker, so a
+/// payload that happens to contain these bytes is rejected, not
+/// misparsed.
+const SYNC: [u8; 8] = [0xF6, b'I', b'D', b'X', 0xF6, b'S', b'Y', b'N'];
+
+/// An index frame is written after every this-many record frames.
+pub const INDEX_EVERY: u64 = 4096;
+
+/// Upper bound on a single frame body. A corrupt length prefix larger
+/// than this is reported as [`DecodeError::Corrupt`] immediately
+/// instead of waiting forever for bytes that will never arrive.
+pub const MAX_FRAME: usize = 64 << 20;
+
+const FRAME_DICT: u8 = 1;
+const FRAME_RECORD: u8 = 2;
+const FRAME_INDEX: u8 = 3;
+
+/// Depth bound for nested payload values while decoding, so corrupt
+/// frames cannot recurse the stack away.
+const MAX_DEPTH: usize = 64;
+
+/// The on-disk encoding of a journal file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JournalFormat {
+    /// One JSON object per line (the original format).
+    Jsonl,
+    /// Length-prefixed binary frames (this module).
+    Binary,
+}
+
+impl JournalFormat {
+    /// Parses a `--journal-format` argument value.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "jsonl" | "json" => Some(Self::Jsonl),
+            "binary" | "bin" => Some(Self::Binary),
+            _ => None,
+        }
+    }
+
+    /// The canonical argument spelling.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Jsonl => "jsonl",
+            Self::Binary => "binary",
+        }
+    }
+}
+
+/// Sniffs the format from the first byte of a file.
+#[must_use]
+pub fn sniff_format(first_bytes: &[u8]) -> JournalFormat {
+    match first_bytes.first() {
+        Some(&b) if b == MAGIC[0] => JournalFormat::Binary,
+        _ => JournalFormat::Jsonl,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// varints
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut x: u64) {
+    loop {
+        let byte = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn varint_len(x: u64) -> usize {
+    let mut n = 1;
+    let mut x = x >> 7;
+    while x != 0 {
+        n += 1;
+        x >>= 7;
+    }
+    n
+}
+
+fn zigzag(x: i64) -> u64 {
+    ((x << 1) ^ (x >> 63)) as u64
+}
+
+fn unzigzag(x: u64) -> i64 {
+    ((x >> 1) as i64) ^ -((x & 1) as i64)
+}
+
+/// Reads a varint from `buf` at `*pos`. `Ok(None)` means the buffer
+/// ends mid-varint (caller should wait for more bytes); `Err` means the
+/// varint is malformed (longer than any u64 encoding).
+fn get_varint(buf: &[u8], pos: &mut usize) -> Result<Option<u64>, String> {
+    let mut x: u64 = 0;
+    let mut shift = 0u32;
+    let mut p = *pos;
+    loop {
+        let Some(&byte) = buf.get(p) else {
+            return Ok(None);
+        };
+        p += 1;
+        if shift == 63 && byte > 1 {
+            return Err("varint overflows u64".to_owned());
+        }
+        x |= u64::from(byte & 0x7F) << shift;
+        if byte & 0x80 == 0 {
+            *pos = p;
+            return Ok(Some(x));
+        }
+        shift += 7;
+        if shift > 63 {
+            return Err("varint longer than 10 bytes".to_owned());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// name interning (writer side)
+// ---------------------------------------------------------------------------
+
+/// The names every journal can intern up front, derived from the schema
+/// registry: exact event names and their declared field names, exact
+/// counter/histogram names (the `journal.summary` vocabulary), and the
+/// [`crate::FieldStats`] payload keys. Deduplicated in registry order,
+/// so the base dictionary is identical for every file written by this
+/// build — and carried in the file itself, so readers never depend on
+/// it matching their own registry.
+#[must_use]
+pub fn base_names() -> Vec<String> {
+    let mut names: Vec<String> = Vec::new();
+    let mut add = |n: &str| {
+        if !n.contains('*') && !names.iter().any(|x| x == n) {
+            names.push(n.to_owned());
+        }
+    };
+    for ev in crate::schema::EVENTS {
+        add(ev.name);
+        for field in ev.fields {
+            add(field.name);
+        }
+    }
+    for c in crate::schema::COUNTERS {
+        add(c.name);
+    }
+    for h in crate::schema::HISTOGRAMS {
+        add(h.name);
+    }
+    for k in crate::stats::FieldStats::PAYLOAD_KEYS {
+        add(k);
+    }
+    names
+}
+
+struct NameTableState {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+/// The journal-wide name interner. Ids are assigned in first-intern
+/// order across all threads; the base prefix (from [`base_names`]) is
+/// fixed at creation. Lookups of known names take only the read lock,
+/// so concurrent emitters do not serialize on it.
+pub struct NameTable {
+    base_len: u32,
+    state: RwLock<NameTableState>,
+}
+
+impl NameTable {
+    /// A table seeded with the registry-derived base dictionary.
+    #[must_use]
+    pub fn with_base(base: Vec<String>) -> Self {
+        let ids = base
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.clone(), i as u32))
+            .collect();
+        Self {
+            base_len: base.len() as u32,
+            state: RwLock::new(NameTableState { names: base, ids }),
+        }
+    }
+
+    /// Number of base (pre-seeded) names.
+    #[must_use]
+    pub fn base_len(&self) -> u32 {
+        self.base_len
+    }
+
+    /// The id for `name`, interning it if new.
+    pub fn intern(&self, name: &str) -> u32 {
+        if let Some(&id) = self.state.read().ids.get(name) {
+            return id;
+        }
+        let mut st = self.state.write();
+        if let Some(&id) = st.ids.get(name) {
+            return id;
+        }
+        let id = st.names.len() as u32;
+        st.names.push(name.to_owned());
+        st.ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// A snapshot of the dynamic (non-base) names, in id order. Index
+    /// frames embed this so a reader resuming mid-file knows every id
+    /// defined before the frame.
+    #[must_use]
+    pub fn dynamic_snapshot(&self) -> Vec<String> {
+        self.state.read().names[self.base_len as usize..].to_vec()
+    }
+}
+
+/// FNV-1a, as a [`std::hash::Hasher`]: names are short (a dozen bytes)
+/// and hashed once per field per emit, where SipHash's setup cost
+/// dominates the hot path. Collision quality is ample for a
+/// per-thread table of a few dozen schema names.
+struct Fnv(u64);
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+}
+
+#[derive(Clone, Default)]
+struct FnvBuild;
+
+impl std::hash::BuildHasher for FnvBuild {
+    type Hasher = Fnv;
+
+    fn build_hasher(&self) -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+/// Per-writer-thread name cache: id lookups the thread has already
+/// resolved (so the emit hot path never takes the shared table's lock
+/// or SipHash for a repeated name), doubling as the record of which
+/// dynamic ids this thread has defined inline. The first frame *this
+/// thread* emits that references a dynamic id carries the definition;
+/// since a thread's frames are seq-ordered, the earliest frame in the
+/// file referencing an id always defines it, whichever thread wins the
+/// intern race.
+#[derive(Default)]
+pub struct ThreadNames {
+    ids: HashMap<String, u32, FnvBuild>,
+}
+
+impl ThreadNames {
+    fn encode(&mut self, out: &mut Vec<u8>, table: &NameTable, name: &str) {
+        if let Some(&id) = self.ids.get(name) {
+            // Cached: base ids are defined by the header dictionary,
+            // dynamic ids were defined inline on this thread's first use.
+            put_varint(out, u64::from(id) << 1);
+            return;
+        }
+        let id = table.intern(name);
+        if id < table.base_len {
+            put_varint(out, u64::from(id) << 1);
+        } else {
+            put_varint(out, (u64::from(id) << 1) | 1);
+            put_varint(out, name.len() as u64);
+            out.extend_from_slice(name.as_bytes());
+        }
+        self.ids.insert(name.to_owned(), id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// value + record encoding
+// ---------------------------------------------------------------------------
+
+/// Normalizes a float exactly the way a JSONL round trip would:
+/// non-finite renders as `null`, and whole floats re-parse as integers
+/// when their rendering fits `i64`. Below 2^53 every whole float
+/// displays as its exact integer, so the mapping is computable without
+/// text. Above 2^53 Rust's shortest-roundtrip `Display` may print a
+/// *different* nearby integer (e.g. 2^62 prints 4611686018427388000),
+/// so the rare huge-whole-float case takes the same string path JSONL
+/// does. Applying the same mapping at binary-encode time is what makes
+/// `convert` lossless in both directions.
+fn norm_float(f: f64) -> Value {
+    if !f.is_finite() {
+        return Value::Null;
+    }
+    if f == f.trunc() {
+        if f.abs() < 9_007_199_254_740_992.0 {
+            return Value::Int(f as i64);
+        }
+        if let Ok(i) = f.to_string().parse::<i64>() {
+            return Value::Int(i);
+        }
+    }
+    Value::Float(f)
+}
+
+fn encode_value(out: &mut Vec<u8>, table: &NameTable, tn: &mut ThreadNames, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(false) => out.push(1),
+        Value::Bool(true) => out.push(2),
+        Value::Int(i) => {
+            out.push(3);
+            put_varint(out, zigzag(*i));
+        }
+        Value::Float(f) => match norm_float(*f) {
+            Value::Null => out.push(0),
+            Value::Int(i) => {
+                out.push(3);
+                put_varint(out, zigzag(i));
+            }
+            _ => {
+                out.push(4);
+                out.extend_from_slice(&f.to_bits().to_le_bytes());
+            }
+        },
+        Value::Str(s) => {
+            out.push(5);
+            put_varint(out, s.len() as u64);
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Array(items) => {
+            out.push(6);
+            put_varint(out, items.len() as u64);
+            for item in items {
+                encode_value(out, table, tn, item);
+            }
+        }
+        Value::Object(entries) => {
+            out.push(7);
+            put_varint(out, entries.len() as u64);
+            for (k, v) in entries {
+                tn.encode(out, table, k);
+                encode_value(out, table, tn, v);
+            }
+        }
+    }
+}
+
+/// Encodes one event as a complete record frame (length prefix
+/// included). Any inline name definitions this thread still owes are
+/// embedded, so the frame is decodable by anyone who has seen this
+/// thread's earlier frames (in seq order, they always have).
+#[must_use]
+pub fn record_frame(table: &NameTable, tn: &mut ThreadNames, event: &RunEvent) -> Vec<u8> {
+    let mut body = Vec::with_capacity(64);
+    body.push(FRAME_RECORD);
+    put_varint(&mut body, event.seq);
+    tn.encode(&mut body, table, &event.run_id);
+    tn.encode(&mut body, table, &event.step);
+    match event.payload.as_object() {
+        Some(entries) => {
+            put_varint(&mut body, (entries.len() as u64) << 1);
+            for (k, v) in entries {
+                tn.encode(&mut body, table, k);
+                encode_value(&mut body, table, tn, v);
+            }
+        }
+        // Non-object payloads never come out of `Journal::emit`, but
+        // `convert` must round-trip arbitrary recorded events: the odd
+        // count tag says "one raw value follows".
+        None => {
+            put_varint(&mut body, 1);
+            encode_value(&mut body, table, tn, &event.payload);
+        }
+    }
+    frame(body)
+}
+
+fn frame(body: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 4);
+    put_varint(&mut out, body.len() as u64);
+    out.extend_from_slice(&body);
+    out
+}
+
+/// The bytes every binary journal starts with: magic plus the base
+/// dictionary frame.
+#[must_use]
+pub fn header_bytes(base: &[String]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(base.iter().map(|n| n.len() + 2).sum::<usize>() + 8);
+    body.push(FRAME_DICT);
+    put_varint(&mut body, base.len() as u64);
+    for name in base {
+        put_varint(&mut body, name.len() as u64);
+        body.extend_from_slice(name.as_bytes());
+    }
+    let mut out = Vec::with_capacity(body.len() + MAGIC.len() + 4);
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&frame(body));
+    out
+}
+
+/// Running block statistics for the single ordered writer: what the
+/// next index frame will describe. `lib.rs` keeps one in the sink
+/// state; [`BinaryWriter`] keeps one for single-threaded rewrites.
+#[derive(Default)]
+pub struct BlockTracker {
+    records_total: u64,
+    since_index: u64,
+    first_seq: u64,
+    last_seq: u64,
+    steps: Vec<String>,
+}
+
+impl BlockTracker {
+    /// Accounts one written record frame.
+    pub fn on_record(&mut self, seq: u64, step: &str) {
+        if self.since_index == 0 {
+            self.first_seq = seq;
+            self.steps.clear();
+        }
+        self.records_total += 1;
+        self.since_index += 1;
+        self.last_seq = seq;
+        if !self.steps.iter().any(|s| s == step) {
+            self.steps.push(step.to_owned());
+        }
+    }
+
+    /// Total records accounted so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records_total
+    }
+
+    /// Builds an index frame if one is due (or `force`d and the block is
+    /// non-empty). `pos` is the absolute file offset the frame will be
+    /// written at; the frame embeds the offset of its own sync marker,
+    /// which is how tail readers validate candidates found by scanning.
+    #[must_use]
+    pub fn maybe_index_frame(
+        &mut self,
+        pos: u64,
+        table: &NameTable,
+        force: bool,
+    ) -> Option<Vec<u8>> {
+        if self.since_index == 0 || (!force && self.since_index < INDEX_EVERY) {
+            return None;
+        }
+        let dynamic = table.dynamic_snapshot();
+        let mut body = Vec::with_capacity(64);
+        body.push(FRAME_INDEX);
+        body.extend_from_slice(&SYNC);
+        body.extend_from_slice(&[0u8; 8]); // sync offset, patched below
+        put_varint(&mut body, self.records_total);
+        put_varint(&mut body, self.first_seq);
+        put_varint(&mut body, self.last_seq);
+        put_varint(&mut body, self.steps.len() as u64);
+        for step in &self.steps {
+            put_varint(&mut body, step.len() as u64);
+            body.extend_from_slice(step.as_bytes());
+        }
+        put_varint(&mut body, u64::from(table.base_len()));
+        put_varint(&mut body, dynamic.len() as u64);
+        for name in &dynamic {
+            put_varint(&mut body, name.len() as u64);
+            body.extend_from_slice(name.as_bytes());
+        }
+        // The sync marker sits after the length prefix and the kind
+        // byte; its absolute offset is self-describing.
+        let sync_pos = pos + varint_len(body.len() as u64) as u64 + 1;
+        body[9..17].copy_from_slice(&sync_pos.to_le_bytes());
+        self.since_index = 0;
+        self.steps.clear();
+        Some(frame(body))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// decoding
+// ---------------------------------------------------------------------------
+
+/// Why a journal failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The file claims to be binary but the magic is wrong.
+    BadMagic,
+    /// The stream ends inside a frame — a killed writer's torn tail.
+    /// Everything before `offset` decoded cleanly.
+    Truncated {
+        /// Byte offset of the truncated frame's start.
+        offset: u64,
+    },
+    /// A frame is structurally invalid.
+    Corrupt {
+        /// Byte offset of the offending frame's start.
+        offset: u64,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A JSONL line failed to parse.
+    Line {
+        /// 1-based line number.
+        line: usize,
+        /// The parse error.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "bad magic bytes (not a binary journal)"),
+            Self::Truncated { offset } => write!(
+                f,
+                "truncated frame at byte {offset} (torn tail; events before it are intact)"
+            ),
+            Self::Corrupt { offset, detail } => {
+                write!(f, "corrupt frame at byte {offset}: {detail}")
+            }
+            Self::Line { line, detail } => write!(f, "line {line}: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<DecodeError> for std::io::Error {
+    fn from(e: DecodeError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+    }
+}
+
+fn decode_value(
+    buf: &[u8],
+    pos: &mut usize,
+    names: &[Option<String>],
+    depth: usize,
+) -> Result<Value, String> {
+    if depth > MAX_DEPTH {
+        return Err("value nesting exceeds depth bound".to_owned());
+    }
+    let tag = *buf.get(*pos).ok_or("value tag missing")?;
+    *pos += 1;
+    match tag {
+        0 => Ok(Value::Null),
+        1 => Ok(Value::Bool(false)),
+        2 => Ok(Value::Bool(true)),
+        3 => {
+            let x = need(get_varint(buf, pos)?, "int")?;
+            Ok(Value::Int(unzigzag(x)))
+        }
+        4 => {
+            let end = pos.checked_add(8).ok_or("float overflows")?;
+            let bytes = buf.get(*pos..end).ok_or("float bytes missing")?;
+            *pos = end;
+            let mut raw = [0u8; 8];
+            raw.copy_from_slice(bytes);
+            Ok(Value::Float(f64::from_bits(u64::from_le_bytes(raw))))
+        }
+        5 => Ok(Value::Str(decode_str(buf, pos, "string value")?)),
+        6 => {
+            let n = need(get_varint(buf, pos)?, "array count")? as usize;
+            if n > buf.len() - *pos {
+                return Err("array count exceeds frame".to_owned());
+            }
+            let mut items = Vec::with_capacity(n);
+            for _ in 0..n {
+                items.push(decode_value(buf, pos, names, depth + 1)?);
+            }
+            Ok(Value::Array(items))
+        }
+        7 => {
+            let n = need(get_varint(buf, pos)?, "object count")? as usize;
+            if n > buf.len() - *pos {
+                return Err("object count exceeds frame".to_owned());
+            }
+            let mut entries = Vec::with_capacity(n);
+            for _ in 0..n {
+                let k = decode_name(buf, pos, names)?;
+                let v = decode_value(buf, pos, names, depth + 1)?;
+                entries.push((k, v));
+            }
+            Ok(Value::Object(entries))
+        }
+        t => Err(format!("unknown value tag {t}")),
+    }
+}
+
+fn need<T>(x: Option<T>, what: &str) -> Result<T, String> {
+    x.ok_or_else(|| format!("{what} runs past frame end"))
+}
+
+fn decode_str(buf: &[u8], pos: &mut usize, what: &str) -> Result<String, String> {
+    let len = need(get_varint(buf, pos)?, what)? as usize;
+    let end = pos.checked_add(len).ok_or("string length overflows")?;
+    let bytes = buf
+        .get(*pos..end)
+        .ok_or_else(|| format!("{what} bytes missing"))?;
+    *pos = end;
+    String::from_utf8(bytes.to_vec()).map_err(|_| format!("{what} is not UTF-8"))
+}
+
+/// Decodes a name reference, absorbing an inline definition if present.
+/// The reader's table is sparse (`Vec<Option<_>>`): threads define
+/// their first-use ids out of numeric order, so id 6 may be defined
+/// frames before id 5. Well-formed files never *reference* an
+/// undefined id, so hitting a `None` is a corruption diagnostic.
+fn decode_name_mut(
+    buf: &[u8],
+    pos: &mut usize,
+    names: &mut Vec<Option<String>>,
+) -> Result<String, String> {
+    let x = need(get_varint(buf, pos)?, "name ref")?;
+    let id = (x >> 1) as usize;
+    if id > MAX_FRAME {
+        return Err(format!("name id {id} out of range"));
+    }
+    if x & 1 == 1 {
+        let name = decode_str(buf, pos, "name definition")?;
+        if names.len() <= id {
+            names.resize(id + 1, None);
+        }
+        names[id] = Some(name.clone());
+        Ok(name)
+    } else {
+        names
+            .get(id)
+            .and_then(|n| n.clone())
+            .ok_or_else(|| format!("reference to undefined name id {id}"))
+    }
+}
+
+/// Read-only variant for contexts (index-frame validation) that must
+/// not mutate the table; inline definitions are still accepted.
+fn decode_name(buf: &[u8], pos: &mut usize, names: &[Option<String>]) -> Result<String, String> {
+    let x = need(get_varint(buf, pos)?, "name ref")?;
+    let id = (x >> 1) as usize;
+    if x & 1 == 1 {
+        decode_str(buf, pos, "name definition")
+    } else {
+        names
+            .get(id)
+            .and_then(|n| n.clone())
+            .ok_or_else(|| format!("reference to undefined name id {id}"))
+    }
+}
+
+/// A push-based decoder for the binary format. Feed it bytes as they
+/// arrive ([`BinaryDecoder::push`]); [`BinaryDecoder::next_event`]
+/// yields complete records, returning `Ok(None)` when the buffered
+/// bytes end mid-frame — the contract `ifjournal watch` relies on to
+/// retry a torn tail on the next poll instead of reporting it
+/// malformed.
+pub struct BinaryDecoder {
+    buf: Vec<u8>,
+    consumed: usize,
+    /// Absolute offset of `buf[consumed]` in the underlying stream.
+    pos: u64,
+    names: Vec<Option<String>>,
+    seen_magic: bool,
+    records: u64,
+}
+
+impl Default for BinaryDecoder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BinaryDecoder {
+    /// A decoder expecting a full file (magic first).
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            buf: Vec::new(),
+            consumed: 0,
+            pos: 0,
+            names: Vec::new(),
+            seen_magic: false,
+            records: 0,
+        }
+    }
+
+    /// A decoder resuming mid-file (right after an index frame), with
+    /// the name table reconstructed from the base dictionary plus the
+    /// index frame's dynamic snapshot.
+    #[must_use]
+    pub fn resume(names: Vec<Option<String>>, pos: u64) -> Self {
+        Self {
+            buf: Vec::new(),
+            consumed: 0,
+            pos,
+            names,
+            seen_magic: true,
+            records: 0,
+        }
+    }
+
+    /// Feeds more bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Records decoded so far (1-based ordinal of the last yielded).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.consumed..]
+    }
+
+    /// Decodes the next record, skipping dict/index frames. `Ok(None)`
+    /// means the buffer ends mid-frame; push more bytes and retry.
+    pub fn next_event(&mut self) -> Result<Option<RunEvent>, DecodeError> {
+        loop {
+            if !self.seen_magic {
+                if self.pending().len() < MAGIC.len() {
+                    return Ok(None);
+                }
+                if self.pending()[..MAGIC.len()] != MAGIC {
+                    return Err(DecodeError::BadMagic);
+                }
+                self.consumed += MAGIC.len();
+                self.pos += MAGIC.len() as u64;
+                self.seen_magic = true;
+            }
+            let pending = &self.buf[self.consumed..];
+            if pending.is_empty() {
+                return Ok(None);
+            }
+            let frame_pos = self.pos;
+            let mut p = 0usize;
+            let len = match get_varint(pending, &mut p) {
+                Ok(Some(len)) => len,
+                Ok(None) => return Ok(None),
+                Err(detail) => {
+                    return Err(DecodeError::Corrupt {
+                        offset: frame_pos,
+                        detail,
+                    })
+                }
+            };
+            if len as usize > MAX_FRAME {
+                return Err(DecodeError::Corrupt {
+                    offset: frame_pos,
+                    detail: format!("frame length {len} exceeds the {MAX_FRAME}-byte bound"),
+                });
+            }
+            let body_start = p;
+            let body_end = body_start + len as usize;
+            if pending.len() < body_end {
+                return Ok(None);
+            }
+            let body = &pending[body_start..body_end];
+            let consumed_now = body_end;
+            let result = Self::decode_body(body, &mut self.names);
+            self.consumed += consumed_now;
+            self.pos += consumed_now as u64;
+            match result {
+                Ok(Some(event)) => {
+                    self.records += 1;
+                    return Ok(Some(event));
+                }
+                Ok(None) => {} // dict or index frame: absorbed, keep going
+                Err(detail) => {
+                    return Err(DecodeError::Corrupt {
+                        offset: frame_pos,
+                        detail,
+                    })
+                }
+            }
+        }
+    }
+
+    fn decode_body(
+        body: &[u8],
+        names: &mut Vec<Option<String>>,
+    ) -> Result<Option<RunEvent>, String> {
+        let kind = *body.first().ok_or("empty frame")?;
+        let mut p = 1usize;
+        match kind {
+            FRAME_DICT => {
+                let start = names.len();
+                let n = need(get_varint(body, &mut p)?, "dict count")? as usize;
+                if n > body.len() {
+                    return Err("dict count exceeds frame".to_owned());
+                }
+                for i in 0..n {
+                    let name = decode_str(body, &mut p, "dict name")?;
+                    let id = start + i;
+                    if names.len() <= id {
+                        names.resize(id + 1, None);
+                    }
+                    names[id] = Some(name);
+                }
+                Ok(None)
+            }
+            FRAME_RECORD => {
+                let seq = need(get_varint(body, &mut p)?, "seq")?;
+                let run_id = decode_name_mut(body, &mut p, names)?;
+                let step = decode_name_mut(body, &mut p, names)?;
+                let n = need(get_varint(body, &mut p)?, "field count")?;
+                let payload = if n & 1 == 1 {
+                    decode_value(body, &mut p, names, 0)?
+                } else {
+                    let count = (n >> 1) as usize;
+                    if count > body.len() {
+                        return Err("field count exceeds frame".to_owned());
+                    }
+                    let mut entries = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let k = decode_name_mut(body, &mut p, names)?;
+                        let v = decode_value(body, &mut p, names, 0)?;
+                        entries.push((k, v));
+                    }
+                    Value::Object(entries)
+                };
+                if p != body.len() {
+                    return Err("trailing bytes after record".to_owned());
+                }
+                Ok(Some(RunEvent {
+                    run_id,
+                    step,
+                    seq,
+                    payload,
+                }))
+            }
+            FRAME_INDEX => {
+                let index = IndexFrame::parse_body(body)?;
+                // Absorb the dictionary snapshot: ids this decoder has
+                // not seen defined yet (possible when resuming, or when
+                // a thread's defining frame was past this index) become
+                // known here.
+                for (i, name) in index.dynamic.into_iter().enumerate() {
+                    let id = index.base_len as usize + i;
+                    if names.len() <= id {
+                        names.resize(id + 1, None);
+                    }
+                    names[id] = Some(name);
+                }
+                Ok(None)
+            }
+            k => Err(format!("unknown frame kind {k}")),
+        }
+    }
+
+    /// Call at end of input. Residual bytes mean a torn final frame
+    /// (an entirely empty file is zero events, not an error).
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.pending().is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::Truncated { offset: self.pos })
+        }
+    }
+}
+
+/// One parsed index frame.
+struct IndexFrame {
+    records_before: u64,
+    #[allow(dead_code)]
+    first_seq: u64,
+    #[allow(dead_code)]
+    last_seq: u64,
+    #[allow(dead_code)]
+    steps: Vec<String>,
+    base_len: u64,
+    dynamic: Vec<String>,
+    /// Offset within the body where parsing ended (== body length for
+    /// well-formed frames).
+    parsed_len: usize,
+}
+
+impl IndexFrame {
+    /// Parses an index-frame body (kind byte included at `body[0]`).
+    fn parse_body(body: &[u8]) -> Result<Self, String> {
+        let mut p = 1usize; // kind
+        let sync = body.get(p..p + 8).ok_or("sync marker missing")?;
+        if sync != SYNC {
+            return Err("sync marker mismatch".to_owned());
+        }
+        p += 8;
+        if body.len() < p + 8 {
+            return Err("sync offset missing".to_owned());
+        }
+        p += 8; // self-offset: validated by the tail scanner, not here
+        let records_before = need(get_varint(body, &mut p)?, "record count")?;
+        let first_seq = need(get_varint(body, &mut p)?, "first seq")?;
+        let last_seq = need(get_varint(body, &mut p)?, "last seq")?;
+        let nsteps = need(get_varint(body, &mut p)?, "step count")? as usize;
+        if nsteps > body.len() {
+            return Err("step count exceeds frame".to_owned());
+        }
+        let mut steps = Vec::with_capacity(nsteps);
+        for _ in 0..nsteps {
+            steps.push(decode_str(body, &mut p, "step name")?);
+        }
+        let base_len = need(get_varint(body, &mut p)?, "base length")?;
+        let ndyn = need(get_varint(body, &mut p)?, "dynamic count")? as usize;
+        if ndyn > body.len() {
+            return Err("dynamic count exceeds frame".to_owned());
+        }
+        let mut dynamic = Vec::with_capacity(ndyn);
+        for _ in 0..ndyn {
+            dynamic.push(decode_str(body, &mut p, "dynamic name")?);
+        }
+        Ok(Self {
+            records_before,
+            first_seq,
+            last_seq,
+            steps,
+            base_len,
+            dynamic,
+            parsed_len: p,
+        })
+    }
+}
+
+/// A push-based decoder for JSONL, working at the byte level: a poll
+/// that ends mid-line (even mid-UTF-8-sequence) keeps the partial bytes
+/// pending instead of failing, which is the watch-at-EOF fix.
+#[derive(Default)]
+pub struct JsonlDecoder {
+    buf: Vec<u8>,
+    consumed: usize,
+    line: usize,
+}
+
+impl JsonlDecoder {
+    /// An empty decoder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds more bytes.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.consumed > 0 && self.consumed == self.buf.len() {
+            self.buf.clear();
+            self.consumed = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// 1-based number of the last line yielded.
+    #[must_use]
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    fn parse_line(&mut self, bytes: &[u8]) -> Result<Option<RunEvent>, DecodeError> {
+        self.line += 1;
+        let text = std::str::from_utf8(bytes).map_err(|e| DecodeError::Line {
+            line: self.line,
+            detail: e.to_string(),
+        })?;
+        let trimmed = text.trim_end_matches('\r');
+        if trimmed.trim().is_empty() {
+            return Ok(None);
+        }
+        serde_json::from_str::<RunEvent>(trimmed)
+            .map(Some)
+            .map_err(|e| DecodeError::Line {
+                line: self.line,
+                detail: e.to_string(),
+            })
+    }
+
+    /// Parses the next complete line. `Ok(None)` means no full line is
+    /// buffered yet.
+    pub fn next_event(&mut self) -> Result<Option<RunEvent>, DecodeError> {
+        loop {
+            let pending = &self.buf[self.consumed..];
+            let Some(nl) = pending.iter().position(|&b| b == b'\n') else {
+                return Ok(None);
+            };
+            let line: Vec<u8> = pending[..nl].to_vec();
+            self.consumed += nl + 1;
+            match self.parse_line(&line)? {
+                Some(event) => return Ok(Some(event)),
+                None => continue, // blank line
+            }
+        }
+    }
+
+    /// Call at end of input: a final line without a trailing newline is
+    /// still a line (the `lines()` convention the old reader had).
+    pub fn finish(&mut self) -> Result<Option<RunEvent>, DecodeError> {
+        if self.consumed == self.buf.len() {
+            return Ok(None);
+        }
+        let rest: Vec<u8> = self.buf[self.consumed..].to_vec();
+        self.consumed = self.buf.len();
+        self.parse_line(&rest)
+    }
+}
+
+/// A push-based decoder that sniffs the format from the first byte and
+/// then behaves as [`JsonlDecoder`] or [`BinaryDecoder`].
+#[derive(Default)]
+pub enum StreamDecoder {
+    /// No bytes seen yet.
+    #[default]
+    Sniffing,
+    /// JSONL detected.
+    Jsonl(JsonlDecoder),
+    /// Binary detected.
+    Binary(BinaryDecoder),
+}
+
+impl StreamDecoder {
+    /// A decoder that will sniff the format from the first pushed byte.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::Sniffing
+    }
+
+    /// Feeds more bytes, deciding the format on the first nonempty
+    /// push.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if let Self::Sniffing = self {
+            if bytes.is_empty() {
+                return;
+            }
+            *self = match sniff_format(bytes) {
+                JournalFormat::Binary => Self::Binary(BinaryDecoder::new()),
+                JournalFormat::Jsonl => Self::Jsonl(JsonlDecoder::new()),
+            };
+        }
+        match self {
+            Self::Sniffing => unreachable!("format decided above"),
+            Self::Jsonl(d) => d.push(bytes),
+            Self::Binary(d) => d.push(bytes),
+        }
+    }
+
+    /// The sniffed format, once bytes have arrived.
+    #[must_use]
+    pub fn format(&self) -> Option<JournalFormat> {
+        match self {
+            Self::Sniffing => None,
+            Self::Jsonl(_) => Some(JournalFormat::Jsonl),
+            Self::Binary(_) => Some(JournalFormat::Binary),
+        }
+    }
+
+    /// 1-based position (line or record ordinal) of the last event.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        match self {
+            Self::Sniffing => 0,
+            Self::Jsonl(d) => d.line(),
+            Self::Binary(d) => d.records() as usize,
+        }
+    }
+
+    /// Decodes the next event; `Ok(None)` means the buffer ends
+    /// mid-line/mid-frame.
+    pub fn next_event(&mut self) -> Result<Option<RunEvent>, DecodeError> {
+        match self {
+            Self::Sniffing => Ok(None),
+            Self::Jsonl(d) => d.next_event(),
+            Self::Binary(d) => d.next_event(),
+        }
+    }
+
+    /// Call at end of input: JSONL may yield one final unterminated
+    /// line; binary residue is a torn tail.
+    pub fn finish(&mut self) -> Result<Option<RunEvent>, DecodeError> {
+        match self {
+            Self::Sniffing => Ok(None),
+            Self::Jsonl(d) => d.finish(),
+            Self::Binary(d) => d.finish().map(|()| None),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// streaming file reader
+// ---------------------------------------------------------------------------
+
+const CHUNK: usize = 64 * 1024;
+
+/// A streaming iterator over a journal file in either format. Peak
+/// memory is one read chunk plus one frame — this is what lets
+/// `ifjournal` and the seed-from-journal paths handle corpora that do
+/// not fit in RAM.
+pub struct EventStream {
+    file: File,
+    dec: StreamDecoder,
+    eof: bool,
+    done: bool,
+}
+
+impl EventStream {
+    /// Opens `path` for streaming.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be opened.
+    pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self {
+            file: File::open(path)?,
+            dec: StreamDecoder::new(),
+            eof: false,
+            done: false,
+        })
+    }
+
+    /// The sniffed format (`None` until the first bytes are read).
+    #[must_use]
+    pub fn format(&self) -> Option<JournalFormat> {
+        self.dec.format()
+    }
+
+    /// 1-based line/record position of the last yielded event.
+    #[must_use]
+    pub fn position(&self) -> usize {
+        self.dec.position()
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = Result<RunEvent, DecodeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            match self.dec.next_event() {
+                Ok(Some(event)) => return Some(Ok(event)),
+                Ok(None) => {
+                    if self.eof {
+                        self.done = true;
+                        return match self.dec.finish() {
+                            Ok(Some(event)) => Some(Ok(event)),
+                            Ok(None) => None,
+                            Err(e) => Some(Err(e)),
+                        };
+                    }
+                    let mut chunk = [0u8; CHUNK];
+                    match self.file.read(&mut chunk) {
+                        Ok(0) => self.eof = true,
+                        Ok(n) => self.dec.push(&chunk[..n]),
+                        Err(e) => {
+                            self.done = true;
+                            return Some(Err(DecodeError::Corrupt {
+                                offset: 0,
+                                detail: format!("read error: {e}"),
+                            }));
+                        }
+                    }
+                }
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// single-threaded binary writer (convert, corpus generation)
+// ---------------------------------------------------------------------------
+
+/// Writes pre-assigned [`RunEvent`]s to a binary journal, preserving
+/// their seq/run-id exactly. This is the single-threaded path used by
+/// `ifjournal convert` and corpus generators; live [`crate::Journal`]
+/// handles encode frames per worker thread instead.
+pub struct BinaryWriter<W: Write> {
+    out: W,
+    table: NameTable,
+    tn: ThreadNames,
+    pos: u64,
+    block: BlockTracker,
+}
+
+impl<W: Write> BinaryWriter<W> {
+    /// Wraps `out`, writing the magic and base dictionary immediately.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the header write fails.
+    pub fn new(mut out: W) -> std::io::Result<Self> {
+        let base = base_names();
+        let header = header_bytes(&base);
+        out.write_all(&header)?;
+        Ok(Self {
+            out,
+            table: NameTable::with_base(base),
+            tn: ThreadNames::default(),
+            pos: header.len() as u64,
+            block: BlockTracker::default(),
+        })
+    }
+
+    /// Appends one event, emitting an index frame when due.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if a write fails.
+    pub fn write_event(&mut self, event: &RunEvent) -> std::io::Result<()> {
+        let frame = record_frame(&self.table, &mut self.tn, event);
+        self.out.write_all(&frame)?;
+        self.pos += frame.len() as u64;
+        self.block.on_record(event.seq, &event.step);
+        if let Some(idx) = self.block.maybe_index_frame(self.pos, &self.table, false) {
+            self.out.write_all(&idx)?;
+            self.pos += idx.len() as u64;
+        }
+        Ok(())
+    }
+
+    /// Writes the final index frame and flushes, returning the sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the final writes fail.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        if let Some(idx) = self.block.maybe_index_frame(self.pos, &self.table, true) {
+            self.out.write_all(&idx)?;
+        }
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Converts a journal file between formats (either direction; also
+/// accepts same-format "conversion", which is a normalization pass).
+/// Lossless in the decoded-record-stream sense: the output decodes to
+/// exactly the events the input decodes to.
+///
+/// Returns `(record count, source format)`.
+///
+/// # Errors
+///
+/// Returns I/O errors, and `InvalidData` wrapping the [`DecodeError`]
+/// for malformed input.
+pub fn convert(
+    input: impl AsRef<Path>,
+    output: impl AsRef<Path>,
+    to: JournalFormat,
+) -> std::io::Result<(u64, JournalFormat)> {
+    let mut stream = EventStream::open(input)?;
+    let out = File::create(output)?;
+    let mut buffered = std::io::BufWriter::new(out);
+    let mut count = 0u64;
+    match to {
+        JournalFormat::Binary => {
+            let mut writer = BinaryWriter::new(&mut buffered)?;
+            for event in &mut stream {
+                writer.write_event(&event?)?;
+                count += 1;
+            }
+            writer.finish()?;
+        }
+        JournalFormat::Jsonl => {
+            for event in &mut stream {
+                let line = serde_json::to_string(&event?).expect("decoded events are serializable");
+                buffered.write_all(line.as_bytes())?;
+                buffered.write_all(b"\n")?;
+                count += 1;
+            }
+        }
+    }
+    buffered.flush()?;
+    let from = stream.format().unwrap_or(JournalFormat::Jsonl);
+    Ok((count, from))
+}
+
+// ---------------------------------------------------------------------------
+// indexed tail
+// ---------------------------------------------------------------------------
+
+/// Returns the last `n` events (optionally filtered to one step). For
+/// binary files this seeks to the latest index frame that still leaves
+/// `n` records ahead and decodes only the tail blocks; JSONL and tiny
+/// or index-less files fall back to a full streaming scan with an
+/// `n`-bounded ring buffer (flat memory either way).
+///
+/// # Errors
+///
+/// Returns I/O errors, and `InvalidData` for malformed journals.
+pub fn tail_events(
+    path: impl AsRef<Path>,
+    step: Option<&str>,
+    n: usize,
+) -> std::io::Result<Vec<RunEvent>> {
+    let path = path.as_ref();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let mut file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut head = vec![0u8; 4096.min(file_len as usize)];
+    file.read_exact(&mut head)?;
+    if sniff_format(&head) != JournalFormat::Binary || file_len < (256 << 10) {
+        return full_scan_tail(path, step, n);
+    }
+    match indexed_tail(&mut file, file_len, step, n)? {
+        Some(events) => Ok(events),
+        None => full_scan_tail(path, step, n),
+    }
+}
+
+fn full_scan_tail(path: &Path, step: Option<&str>, n: usize) -> std::io::Result<Vec<RunEvent>> {
+    let stream = EventStream::open(path)?;
+    let mut ring: VecDeque<RunEvent> = VecDeque::with_capacity(n + 1);
+    for event in stream {
+        let event = event?;
+        if step.is_none_or(|s| event.step == s) {
+            if ring.len() == n {
+                ring.pop_front();
+            }
+            ring.push_back(event);
+        }
+    }
+    Ok(ring.into_iter().collect())
+}
+
+/// A validated index-frame candidate found by the tail scanner.
+struct TailCandidate {
+    records_before: u64,
+    /// Absolute offset decoding resumes at (the frame's end).
+    resume_at: u64,
+    base_len: u64,
+    dynamic: Vec<String>,
+}
+
+/// `Ok(None)` means "no usable index found — fall back to a full scan".
+fn indexed_tail(
+    file: &mut File,
+    file_len: u64,
+    step: Option<&str>,
+    n: usize,
+) -> std::io::Result<Option<Vec<RunEvent>>> {
+    // The base dictionary lives in the header; decode it once.
+    file.seek(SeekFrom::Start(0))?;
+    let mut header_dec = BinaryDecoder::new();
+    let mut base: Vec<Option<String>> = loop {
+        let mut chunk = [0u8; CHUNK];
+        let read = file.read(&mut chunk)?;
+        if read == 0 {
+            return Ok(None); // header torn: let the full scan report it
+        }
+        header_dec.push(&chunk[..read]);
+        match header_dec.next_event() {
+            // First record decoded → the dict frame has been absorbed.
+            Ok(Some(_)) => break std::mem::take(&mut header_dec.names),
+            Ok(None) => continue,
+            Err(_) => return Ok(None),
+        }
+    };
+
+    let mut window = 1u64 << 20;
+    loop {
+        let start = file_len.saturating_sub(window);
+        let len = (file_len - start) as usize;
+        let mut buf = vec![0u8; len];
+        file.seek(SeekFrom::Start(start))?;
+        file.read_exact(&mut buf)?;
+        let candidates = scan_candidates(&buf, start);
+        if let Some(best) = pick_candidate(&candidates, n) {
+            if base.len() < best.base_len as usize {
+                base.resize(best.base_len as usize, None);
+            }
+            let mut names = base.clone();
+            names.truncate(best.base_len as usize);
+            names.extend(best.dynamic.iter().cloned().map(Some));
+            let started_mid_file = best.resume_at > 0;
+            let events = decode_from(file, best.resume_at, names, step, n)?;
+            // A step filter can make the tail blocks too thin; only a
+            // scan from the very start proves there is nothing more.
+            if events.len() >= n || !started_mid_file {
+                return Ok(Some(events));
+            }
+        }
+        if start == 0 {
+            return Ok(None);
+        }
+        window *= 4;
+    }
+}
+
+/// Scans `buf` (starting at absolute offset `buf_base`) for validated
+/// index frames, in position order.
+fn scan_candidates(buf: &[u8], buf_base: u64) -> Vec<TailCandidate> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i + SYNC.len() + 8 <= buf.len() {
+        if buf[i..i + SYNC.len()] != SYNC {
+            i += 1;
+            continue;
+        }
+        let abs = buf_base + i as u64;
+        let mut off = [0u8; 8];
+        off.copy_from_slice(&buf[i + 8..i + 16]);
+        if u64::from_le_bytes(off) != abs {
+            i += 1;
+            continue; // payload bytes that merely look like a marker
+        }
+        // Reconstruct the body slice: the marker sits 1 byte (kind)
+        // into the body. Parse to both validate and find the frame end.
+        if i == 0 {
+            i += 1;
+            continue;
+        }
+        let body = &buf[i - 1..];
+        match IndexFrame::parse_body(body) {
+            Ok(idx) => {
+                out.push(TailCandidate {
+                    records_before: idx.records_before,
+                    resume_at: abs - 1 + idx.parsed_len as u64,
+                    base_len: idx.base_len,
+                    dynamic: idx.dynamic,
+                });
+                i += idx.parsed_len;
+            }
+            Err(_) => i += 1,
+        }
+    }
+    out
+}
+
+/// The latest candidate that still has at least `n` records after it
+/// (measured against the last candidate in the window; the unindexed
+/// tail segment can only add more).
+fn pick_candidate(candidates: &[TailCandidate], n: usize) -> Option<&TailCandidate> {
+    let last = candidates.last()?;
+    candidates
+        .iter()
+        .rev()
+        .find(|c| last.records_before - c.records_before >= n as u64)
+        .or_else(|| candidates.first())
+}
+
+fn decode_from(
+    file: &mut File,
+    resume_at: u64,
+    names: Vec<Option<String>>,
+    step: Option<&str>,
+    n: usize,
+) -> std::io::Result<Vec<RunEvent>> {
+    file.seek(SeekFrom::Start(resume_at))?;
+    let mut dec = BinaryDecoder::resume(names, resume_at);
+    let mut ring: VecDeque<RunEvent> = VecDeque::with_capacity(n + 1);
+    let mut chunk = [0u8; CHUNK];
+    loop {
+        loop {
+            match dec.next_event() {
+                Ok(Some(event)) => {
+                    if step.is_none_or(|s| event.step == s) {
+                        if ring.len() == n {
+                            ring.pop_front();
+                        }
+                        ring.push_back(event);
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let read = file.read(&mut chunk)?;
+        if read == 0 {
+            dec.finish().map_err(std::io::Error::from)?;
+            return Ok(ring.into_iter().collect());
+        }
+        dec.push(&chunk[..read]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(run: &str, step: &str, seq: u64, fields: Vec<(&str, Value)>) -> RunEvent {
+        RunEvent {
+            run_id: run.to_owned(),
+            step: step.to_owned(),
+            seq,
+            payload: Value::Object(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect()),
+        }
+    }
+
+    fn round_trip(events: &[RunEvent]) -> Vec<RunEvent> {
+        let table = NameTable::with_base(base_names());
+        let mut tn = ThreadNames::default();
+        let mut bytes = header_bytes(&base_names());
+        for e in events {
+            bytes.extend_from_slice(&record_frame(&table, &mut tn, e));
+        }
+        let mut dec = BinaryDecoder::new();
+        dec.push(&bytes);
+        let mut out = Vec::new();
+        while let Some(e) = dec.next_event().unwrap() {
+            out.push(e);
+        }
+        dec.finish().unwrap();
+        out
+    }
+
+    #[test]
+    fn varints_round_trip() {
+        for x in [0u64, 1, 127, 128, 300, u64::from(u32::MAX), u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, x);
+            assert_eq!(buf.len(), varint_len(x));
+            let mut p = 0;
+            assert_eq!(get_varint(&buf, &mut p), Ok(Some(x)));
+            assert_eq!(p, buf.len());
+        }
+        for x in [0i64, -1, 1, i64::MIN, i64::MAX, -123_456] {
+            assert_eq!(unzigzag(zigzag(x)), x);
+        }
+    }
+
+    #[test]
+    fn records_round_trip_exactly() {
+        let events = vec![
+            ev(
+                "r0",
+                "flow.sample",
+                0,
+                vec![
+                    ("sample", Value::Int(7)),
+                    ("wns_ps", Value::Float(-12.5)),
+                    ("note", Value::Str("hé\"llo\n".to_owned())),
+                    ("flags", Value::Array(vec![Value::Bool(true), Value::Null])),
+                    (
+                        "nested",
+                        Value::Object(vec![("k".to_owned(), Value::Int(-3))]),
+                    ),
+                ],
+            ),
+            ev("r0", "custom.step", 1, vec![("x", Value::Int(1))]),
+            ev("r0", "custom.step", 2, vec![("x", Value::Int(2))]),
+        ];
+        assert_eq!(round_trip(&events), events);
+    }
+
+    #[test]
+    fn float_normalization_matches_the_jsonl_round_trip() {
+        let cases: Vec<(f64, Value)> = vec![
+            (2.0, Value::Int(2)),
+            (-0.0, Value::Int(0)),
+            (2.5, Value::Float(2.5)),
+            (f64::NAN, Value::Null),
+            (f64::INFINITY, Value::Null),
+            (1e300, Value::Float(1e300)),
+            // Above 2^53, Display prints a shortest-roundtrip integer
+            // that may differ from the exact value — or overflow i64.
+            (
+                4_611_686_018_427_387_904.0,
+                Value::Int(4_611_686_018_427_388_000),
+            ),
+            (
+                9_223_372_036_854_775_808.0,
+                Value::Float(9.223_372_036_854_776e18),
+            ),
+            (
+                -9_223_372_036_854_775_808.0,
+                Value::Float(-9.223_372_036_854_776e18),
+            ),
+        ];
+        for (f, expected) in cases {
+            // What the binary codec produces...
+            let event = ev("r", "prop.event", 0, vec![("v", Value::Float(f))]);
+            let decoded = round_trip(std::slice::from_ref(&event));
+            let got = decoded[0].payload.get("v").unwrap();
+            assert_eq!(got, &expected, "binary round trip of {f}");
+            // ...matches what JSONL produces for the same event.
+            let line = serde_json::to_string(&event).unwrap();
+            let reparsed: RunEvent = serde_json::from_str(&line).unwrap();
+            assert_eq!(reparsed.payload.get("v").unwrap(), &expected, "jsonl {f}");
+        }
+    }
+
+    #[test]
+    fn truncated_tail_recovers_the_valid_prefix() {
+        let events: Vec<RunEvent> = (0..5)
+            .map(|i| ev("r", "prop.event", i, vec![("i", Value::Int(i as i64))]))
+            .collect();
+        let table = NameTable::with_base(base_names());
+        let mut tn = ThreadNames::default();
+        let mut bytes = header_bytes(&base_names());
+        for e in &events {
+            bytes.extend_from_slice(&record_frame(&table, &mut tn, e));
+        }
+        // Chop mid-way through the last frame.
+        let torn = &bytes[..bytes.len() - 3];
+        let mut dec = BinaryDecoder::new();
+        dec.push(torn);
+        let mut out = Vec::new();
+        while let Some(e) = dec.next_event().unwrap() {
+            out.push(e);
+        }
+        assert_eq!(out, events[..4].to_vec(), "valid prefix recovered");
+        let err = dec.finish().unwrap_err();
+        assert!(matches!(err, DecodeError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn corrupt_frames_surface_typed_errors() {
+        // Giant length prefix.
+        let mut bytes = MAGIC.to_vec();
+        put_varint(&mut bytes, (MAX_FRAME + 1) as u64);
+        let mut dec = BinaryDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(dec.next_event(), Err(DecodeError::Corrupt { .. })));
+        // Unknown frame kind.
+        let mut bytes = MAGIC.to_vec();
+        bytes.extend_from_slice(&frame(vec![99u8]));
+        let mut dec = BinaryDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(
+            dec.next_event(),
+            Err(DecodeError::Corrupt { offset, .. }) if offset == 8
+        ));
+        // Wrong magic.
+        let mut dec = BinaryDecoder::new();
+        dec.push(b"\x89WRONG!!!");
+        assert_eq!(dec.next_event(), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn jsonl_decoder_holds_partial_lines_and_split_utf8() {
+        let event = ev(
+            "r",
+            "prop.event",
+            0,
+            vec![("s", Value::Str("héllo".to_owned()))],
+        );
+        let line = format!("{}\n", serde_json::to_string(&event).unwrap());
+        let bytes = line.as_bytes();
+        // Split inside the 2-byte UTF-8 sequence for 'é'.
+        let split = line.find('é').unwrap() + 1;
+        let mut dec = JsonlDecoder::new();
+        dec.push(&bytes[..split]);
+        assert_eq!(dec.next_event(), Ok(None), "partial line stays pending");
+        dec.push(&bytes[split..]);
+        assert_eq!(dec.next_event(), Ok(Some(event)));
+        assert_eq!(dec.next_event(), Ok(None));
+    }
+
+    #[test]
+    fn jsonl_finish_parses_an_unterminated_final_line() {
+        let event = ev("r", "prop.event", 0, vec![]);
+        let line = serde_json::to_string(&event).unwrap();
+        let mut dec = JsonlDecoder::new();
+        dec.push(line.as_bytes()); // no trailing newline
+        assert_eq!(dec.next_event(), Ok(None));
+        assert_eq!(dec.finish(), Ok(Some(event)));
+        assert_eq!(dec.finish(), Ok(None));
+    }
+
+    #[test]
+    fn stream_decoder_sniffs_both_formats() {
+        let event = ev("r", "prop.event", 0, vec![]);
+        let mut dec = StreamDecoder::new();
+        assert_eq!(dec.format(), None);
+        dec.push(serde_json::to_string(&event).unwrap().as_bytes());
+        dec.push(b"\n");
+        assert_eq!(dec.format(), Some(JournalFormat::Jsonl));
+        assert_eq!(dec.next_event(), Ok(Some(event.clone())));
+
+        let table = NameTable::with_base(base_names());
+        let mut tn = ThreadNames::default();
+        let mut bytes = header_bytes(&base_names());
+        bytes.extend_from_slice(&record_frame(&table, &mut tn, &event));
+        let mut dec = StreamDecoder::new();
+        dec.push(&bytes);
+        assert_eq!(dec.format(), Some(JournalFormat::Binary));
+        assert_eq!(dec.next_event(), Ok(Some(event)));
+    }
+
+    #[test]
+    fn single_threaded_encoding_is_deterministic() {
+        let events: Vec<RunEvent> = (0..10)
+            .map(|i| {
+                ev(
+                    "r",
+                    "dyn.step",
+                    i,
+                    vec![("v", Value::Float(i as f64 * 0.5))],
+                )
+            })
+            .collect();
+        let encode = || {
+            let table = NameTable::with_base(base_names());
+            let mut tn = ThreadNames::default();
+            let mut bytes = header_bytes(&base_names());
+            for e in &events {
+                bytes.extend_from_slice(&record_frame(&table, &mut tn, e));
+            }
+            bytes
+        };
+        assert_eq!(encode(), encode(), "same events, byte-identical output");
+    }
+
+    #[test]
+    fn out_of_order_definitions_decode_via_sparse_table() {
+        // Simulate two threads racing the interner: ids are assigned
+        // b=base+0, a=base+1, but the frame *defining* base+1 lands
+        // first in the file.
+        let table = NameTable::with_base(base_names());
+        let _ = table.intern("zz.first-interned");
+        let _ = table.intern("aa.second-interned");
+        let mut tn_b = ThreadNames::default(); // "thread B" defines aa only
+        let mut tn_a = ThreadNames::default(); // "thread A" defines zz only
+        let e1 = ev("r", "aa.second-interned", 0, vec![]);
+        let e2 = ev("r", "zz.first-interned", 1, vec![]);
+        let mut bytes = header_bytes(&base_names());
+        bytes.extend_from_slice(&record_frame(&table, &mut tn_b, &e1));
+        bytes.extend_from_slice(&record_frame(&table, &mut tn_a, &e2));
+        let mut dec = BinaryDecoder::new();
+        dec.push(&bytes);
+        assert_eq!(
+            dec.next_event().unwrap().unwrap().step,
+            "aa.second-interned"
+        );
+        assert_eq!(dec.next_event().unwrap().unwrap().step, "zz.first-interned");
+        dec.finish().unwrap();
+    }
+
+    #[test]
+    fn binary_writer_emits_indexes_and_tail_uses_them() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ideaflow_codec_tail_{}.ifj", std::process::id()));
+        let count = 3 * INDEX_EVERY + 100;
+        {
+            let mut w =
+                BinaryWriter::new(std::io::BufWriter::new(File::create(&path).unwrap())).unwrap();
+            for i in 0..count {
+                w.write_event(&ev(
+                    "r",
+                    if i % 2 == 0 { "even.step" } else { "odd.step" },
+                    i,
+                    vec![("i", Value::Int(i as i64))],
+                ))
+                .unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let tail = tail_events(&path, None, 5).unwrap();
+        assert_eq!(tail.len(), 5);
+        assert_eq!(tail.last().unwrap().seq, count - 1);
+        assert_eq!(tail[0].seq, count - 5);
+        let odd = tail_events(&path, Some("odd.step"), 3).unwrap();
+        assert_eq!(odd.len(), 3);
+        assert!(odd.iter().all(|e| e.step == "odd.step"));
+        assert_eq!(odd.last().unwrap().seq, count - 1);
+        // A step that exists only at the very start forces the
+        // fall-back full scan to prove completeness.
+        let none = tail_events(&path, Some("missing.step"), 3).unwrap();
+        assert!(none.is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn event_stream_reads_whole_binary_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("ideaflow_codec_stream_{}.ifj", std::process::id()));
+        let events: Vec<RunEvent> = (0..100)
+            .map(|i| ev("r", "prop.event", i, vec![("i", Value::Int(i as i64))]))
+            .collect();
+        {
+            let mut w =
+                BinaryWriter::new(std::io::BufWriter::new(File::create(&path).unwrap())).unwrap();
+            for e in &events {
+                w.write_event(e).unwrap();
+            }
+            w.finish().unwrap();
+        }
+        let stream = EventStream::open(&path).unwrap();
+        let decoded: Vec<RunEvent> = stream.map(Result::unwrap).collect();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(decoded, events);
+    }
+
+    #[test]
+    fn convert_is_lossless_both_ways() {
+        let dir = std::env::temp_dir();
+        let pid = std::process::id();
+        let jsonl = dir.join(format!("ideaflow_codec_conv_{pid}.jsonl"));
+        let bin = dir.join(format!("ideaflow_codec_conv_{pid}.ifj"));
+        let back = dir.join(format!("ideaflow_codec_conv_back_{pid}.jsonl"));
+        let events: Vec<RunEvent> = (0..50)
+            .map(|i| {
+                ev(
+                    "r",
+                    "prop.event",
+                    i,
+                    vec![
+                        ("i", Value::Int(i as i64)),
+                        ("x", Value::Float(i as f64 + 0.25)),
+                        ("whole", Value::Float(i as f64)),
+                    ],
+                )
+            })
+            .collect();
+        let mut text = String::new();
+        for e in &events {
+            text.push_str(&serde_json::to_string(e).unwrap());
+            text.push('\n');
+        }
+        std::fs::write(&jsonl, &text).unwrap();
+        let (n1, from1) = convert(&jsonl, &bin, JournalFormat::Binary).unwrap();
+        assert_eq!((n1, from1), (50, JournalFormat::Jsonl));
+        let (n2, from2) = convert(&bin, &back, JournalFormat::Jsonl).unwrap();
+        assert_eq!((n2, from2), (50, JournalFormat::Binary));
+        let a: Vec<RunEvent> = EventStream::open(&jsonl)
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        let b: Vec<RunEvent> = EventStream::open(&bin)
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        let c: Vec<RunEvent> = EventStream::open(&back)
+            .unwrap()
+            .map(Result::unwrap)
+            .collect();
+        std::fs::remove_file(&jsonl).ok();
+        std::fs::remove_file(&bin).ok();
+        std::fs::remove_file(&back).ok();
+        assert_eq!(a, b, "jsonl → binary preserves the decoded stream");
+        assert_eq!(b, c, "binary → jsonl preserves the decoded stream");
+        assert_eq!(a, c, "full cycle is the identity");
+    }
+
+    #[test]
+    fn base_dictionary_covers_the_registry() {
+        let base = base_names();
+        assert!(base.iter().any(|n| n == "flow.sample"));
+        assert!(base.iter().any(|n| n == "journal.meta"));
+        assert!(base.iter().any(|n| n == "schema_hash"));
+        assert!(base.iter().any(|n| n == "p95"));
+        assert!(!base.iter().any(|n| n.contains('*')), "no wildcards");
+        let mut dedup = base.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), base.len(), "no duplicates");
+    }
+}

@@ -41,7 +41,7 @@
 
 use std::cell::RefCell;
 use std::fs::File;
-use std::io::{BufWriter, Read, Write};
+use std::io::{BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
@@ -50,6 +50,7 @@ use parking_lot::{Mutex, RwLock};
 use serde::{Deserialize, Serialize, Value};
 
 pub mod analyze;
+pub mod codec;
 pub mod grafana;
 pub mod reader;
 pub mod schema;
@@ -57,6 +58,7 @@ pub mod span;
 pub mod stats;
 pub mod telemetry;
 
+pub use codec::{DecodeError, EventStream, JournalFormat, StreamDecoder};
 pub use reader::{JournalReader, StepSummary};
 pub use span::{thread_label, Span, SpanStack};
 pub use stats::{FieldStats, Histogram};
@@ -103,11 +105,20 @@ struct ThreadBuf {
     state: Mutex<BufState>,
 }
 
+/// One buffered record: its seq ticket, its encoded bytes (a JSONL
+/// line without the newline, or a complete binary frame), and — for
+/// binary journals — its step name, which the writer's block tracker
+/// folds into index frames.
+type BufferedLine = (u64, Vec<u8>, String);
+
 #[derive(Default)]
 struct BufState {
-    lines: Vec<(u64, String)>,
+    lines: Vec<BufferedLine>,
     counters: Vec<(String, u64)>,
     histograms: Vec<(String, Histogram)>,
+    /// Which dynamic name ids this thread has defined inline (binary
+    /// journals only; see [`codec::ThreadNames`]).
+    names: codec::ThreadNames,
 }
 
 struct SinkState {
@@ -116,9 +127,14 @@ struct SinkState {
     /// sorted by seq; only the prefix contiguous with `next_write` goes
     /// to the sink, so a flush racing in-flight emits cannot reorder
     /// the stream.
-    staged: Vec<(u64, String)>,
+    staged: Vec<BufferedLine>,
     /// The seq the sink expects next (everything below it is written).
     next_write: u64,
+    /// Bytes written to the sink so far (binary journals: index frames
+    /// embed their own absolute offset).
+    bytes_written: u64,
+    /// Block statistics feeding periodic index frames (binary only).
+    block: codec::BlockTracker,
 }
 
 struct Inner {
@@ -128,6 +144,11 @@ struct Inner {
     /// be recycled into a colliding key).
     id: u64,
     kind: SinkKind,
+    /// The on-disk encoding (file sinks may be binary; memory and null
+    /// sinks are always JSONL).
+    format: JournalFormat,
+    /// The journal-wide name interner (binary journals only).
+    names: Option<codec::NameTable>,
     /// Next event seq ticket. Claimed with a single `fetch_add`; the
     /// sink lock is no longer on the emit path.
     seq: AtomicU64,
@@ -204,22 +225,44 @@ impl Inner {
                 sink.staged.append(&mut st.lines);
             }
         }
-        sink.staged.sort_unstable_by_key(|&(s, _)| s);
+        sink.staged.sort_unstable_by_key(|(s, _, _)| *s);
         let SinkState {
             sink: out,
             staged,
             next_write,
+            bytes_written,
+            block,
         } = &mut *sink;
         let mut written = 0;
-        for (s, line) in staged.iter() {
+        for (s, line, step) in staged.iter() {
             if !write_all && *s != *next_write {
                 break; // a predecessor ticket is still in flight
             }
             match out {
-                Sink::File(w) => {
-                    let _ = writeln!(w, "{line}");
+                Sink::File(w) => match &self.names {
+                    // Binary: the bytes are a complete frame; account
+                    // it and drop an index frame at block boundaries.
+                    // The boundary depends only on the record count, so
+                    // index placement is as deterministic as the
+                    // records themselves.
+                    Some(table) => {
+                        let _ = w.write_all(line);
+                        *bytes_written += line.len() as u64;
+                        block.on_record(*s, step);
+                        if let Some(idx) = block.maybe_index_frame(*bytes_written, table, false) {
+                            let _ = w.write_all(&idx);
+                            *bytes_written += idx.len() as u64;
+                        }
+                    }
+                    None => {
+                        let _ = w.write_all(line);
+                        let _ = w.write_all(b"\n");
+                        *bytes_written += line.len() as u64 + 1;
+                    }
+                },
+                Sink::Memory(lines) => {
+                    lines.push(String::from_utf8(line.clone()).expect("JSONL lines are UTF-8"));
                 }
-                Sink::Memory(lines) => lines.push(line.clone()),
                 Sink::Null => {}
             }
             *next_write = s + 1;
@@ -266,8 +309,42 @@ impl Journal {
     ///
     /// Returns the I/O error if the file cannot be created.
     pub fn to_file(run_id: &str, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Self::to_file_with_format(run_id, path, JournalFormat::Jsonl)
+    }
+
+    /// A journal writing to `path` in the given format (truncating any
+    /// existing file). Binary journals open with the magic bytes and
+    /// the registry-derived base dictionary; both formats then emit the
+    /// same `journal.meta` schema-version header.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created or the
+    /// binary header cannot be written.
+    pub fn to_file_with_format(
+        run_id: &str,
+        path: impl AsRef<Path>,
+        format: JournalFormat,
+    ) -> std::io::Result<Self> {
         let file = File::create(path)?;
-        let j = Self::with_sink(run_id, Sink::File(BufWriter::new(file)), SinkKind::File);
+        let mut writer = BufWriter::new(file);
+        let (names, header_len) = match format {
+            JournalFormat::Jsonl => (None, 0),
+            JournalFormat::Binary => {
+                let base = codec::base_names();
+                let header = codec::header_bytes(&base);
+                writer.write_all(&header)?;
+                (Some(codec::NameTable::with_base(base)), header.len() as u64)
+            }
+        };
+        let j = Self::build(
+            run_id,
+            Sink::File(writer),
+            SinkKind::File,
+            format,
+            names,
+            header_len,
+        );
         // Every file journal opens with a schema-version header, so a
         // reader on a different build can tell the corpus was written
         // under another registry instead of silently misparsing it.
@@ -275,7 +352,13 @@ impl Journal {
             "journal.meta",
             &[
                 ("schema_hash", Value::Str(schema::registry_hash_hex())),
-                ("format", Value::Int(1)),
+                (
+                    "format",
+                    Value::Int(match format {
+                        JournalFormat::Jsonl => 1,
+                        JournalFormat::Binary => 2,
+                    }),
+                ),
             ],
         );
         Ok(j)
@@ -297,17 +380,32 @@ impl Journal {
     }
 
     fn with_sink(run_id: &str, sink: Sink, kind: SinkKind) -> Self {
+        Self::build(run_id, sink, kind, JournalFormat::Jsonl, None, 0)
+    }
+
+    fn build(
+        run_id: &str,
+        sink: Sink,
+        kind: SinkKind,
+        format: JournalFormat,
+        names: Option<codec::NameTable>,
+        bytes_written: u64,
+    ) -> Self {
         Self {
             inner: Some(Arc::new(Inner {
                 run_id: run_id.to_owned(),
                 id: NEXT_JOURNAL_ID.fetch_add(1, Ordering::Relaxed),
                 kind,
+                format,
+                names,
                 seq: AtomicU64::new(0),
                 next_span: AtomicU64::new(0),
                 sink: Mutex::new(SinkState {
                     sink,
                     staged: Vec::new(),
                     next_write: 0,
+                    bytes_written,
+                    block: codec::BlockTracker::default(),
                 }),
                 buffers: Mutex::new(Vec::new()),
                 summarized: Mutex::new(false),
@@ -377,12 +475,24 @@ impl Journal {
             seq,
             payload,
         };
-        let line = serde_json::to_string(&event).expect("events are serializable");
         let buf = inner.thread_buf();
-        let depth = {
-            let mut st = buf.state.lock();
-            st.lines.push((seq, line));
-            st.lines.len()
+        let depth = match &inner.names {
+            // JSONL: serialize outside the lock, exactly as before.
+            None => {
+                let line = serde_json::to_string(&event).expect("events are serializable");
+                let mut st = buf.state.lock();
+                st.lines.push((seq, line.into_bytes(), String::new()));
+                st.lines.len()
+            }
+            // Binary: encode under this thread's (uncontended) buffer
+            // lock, because encoding updates the thread's inline-
+            // definition ledger. No JSON text is ever built.
+            Some(table) => {
+                let mut st = buf.state.lock();
+                let frame = codec::record_frame(table, &mut st.names, &event);
+                st.lines.push((seq, frame, event.step));
+                st.lines.len()
+            }
         };
         if depth >= AUTO_FLUSH_LINES {
             inner.write_buffered(false);
@@ -533,17 +643,26 @@ impl Journal {
         }
     }
 
-    /// Loads a JSONL journal file back into events.
+    /// Loads a journal file (either format, sniffed by magic bytes)
+    /// back into events. Prefer [`EventStream`] for corpora that may
+    /// not fit in RAM — this collects everything.
     ///
     /// # Errors
     ///
-    /// Returns an I/O error for unreadable files, or
-    /// `InvalidData` for lines that fail to parse as [`RunEvent`]s.
+    /// Returns an I/O error for unreadable files, or `InvalidData` for
+    /// lines/frames that fail to decode as [`RunEvent`]s.
     pub fn load(path: impl AsRef<Path>) -> std::io::Result<JournalReader> {
-        let mut text = String::new();
-        File::open(path)?.read_to_string(&mut text)?;
-        JournalReader::from_jsonl(&text)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        let mut events = Vec::new();
+        for event in EventStream::open(path)? {
+            events.push(event?);
+        }
+        Ok(JournalReader { events })
+    }
+
+    /// The on-disk format this journal writes, when enabled.
+    #[must_use]
+    pub fn format(&self) -> Option<JournalFormat> {
+        self.inner.as_deref().map(|i| i.format)
     }
 }
 
@@ -561,18 +680,45 @@ impl Drop for Inner {
         for buf in self.buffers.get_mut().drain(..) {
             staged.append(&mut buf.state.lock().lines);
         }
-        staged.sort_unstable_by_key(|&(s, _)| s);
-        let sink = &mut self.sink.get_mut().sink;
-        for (_, line) in staged {
+        staged.sort_unstable_by_key(|(s, _, _)| *s);
+        let SinkState {
+            sink,
+            bytes_written,
+            block,
+            ..
+        } = self.sink.get_mut();
+        for (s, line, step) in staged {
             match sink {
-                Sink::File(w) => {
-                    let _ = writeln!(w, "{line}");
+                Sink::File(w) => match &self.names {
+                    Some(table) => {
+                        let _ = w.write_all(&line);
+                        *bytes_written += line.len() as u64;
+                        block.on_record(s, &step);
+                        if let Some(idx) = block.maybe_index_frame(*bytes_written, table, false) {
+                            let _ = w.write_all(&idx);
+                            *bytes_written += idx.len() as u64;
+                        }
+                    }
+                    None => {
+                        let _ = w.write_all(&line);
+                        let _ = w.write_all(b"\n");
+                    }
+                },
+                Sink::Memory(lines) => {
+                    lines.push(String::from_utf8(line).expect("JSONL lines are UTF-8"));
                 }
-                Sink::Memory(lines) => lines.push(line),
                 Sink::Null => {}
             }
         }
         if let Sink::File(w) = sink {
+            // Binary journals close with one final index frame so the
+            // tail of the file is reachable without a full scan.
+            if let Some(table) = &self.names {
+                if let Some(idx) = block.maybe_index_frame(*bytes_written, table, true) {
+                    let _ = w.write_all(&idx);
+                    *bytes_written += idx.len() as u64;
+                }
+            }
             let _ = w.flush();
         }
     }

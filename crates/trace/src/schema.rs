@@ -863,6 +863,22 @@ pub fn version_warning(text: &str) -> Option<String> {
     let Ok(event) = serde_json::from_str::<RunEvent>(first) else {
         return None; // malformed lines are lint_jsonl's diagnostic, not ours
     };
+    version_warning_for(Some(&event))
+}
+
+/// Event-based variant of [`version_warning`] for streaming readers
+/// that already decoded the first record (either format): pass the
+/// first event of the journal, or `None` for an empty journal (which
+/// warns like a headerless one — there is no hash to check).
+#[must_use]
+pub fn version_warning_for(first: Option<&RunEvent>) -> Option<String> {
+    let Some(event) = first else {
+        return Some(
+            "no journal.meta header (journal predates schema versioning); \
+             registry hash not checked"
+                .to_owned(),
+        );
+    };
     if event.step != "journal.meta" {
         return Some(
             "no journal.meta header (journal predates schema versioning); \

@@ -208,19 +208,41 @@ pub struct FieldStats {
 }
 
 impl FieldStats {
+    /// The payload keys [`FieldStats::to_payload`] emits, in order.
+    /// The binary codec seeds its base name dictionary from this list,
+    /// so `journal.summary` histogram payloads never pay inline name
+    /// definitions.
+    pub const PAYLOAD_KEYS: [&'static str; 8] = [
+        "count",
+        "mean",
+        "std",
+        "min",
+        "max",
+        "p50",
+        "p95",
+        "negatives",
+    ];
+
     /// Renders as a JSON payload object.
     #[must_use]
     pub fn to_payload(&self) -> Value {
-        Value::Object(vec![
-            ("count".to_owned(), Value::from(self.count)),
-            ("mean".to_owned(), Value::Float(self.mean)),
-            ("std".to_owned(), Value::Float(self.std)),
-            ("min".to_owned(), Value::Float(self.min)),
-            ("max".to_owned(), Value::Float(self.max)),
-            ("p50".to_owned(), Value::Float(self.p50)),
-            ("p95".to_owned(), Value::Float(self.p95)),
-            ("negatives".to_owned(), Value::from(self.negatives)),
-        ])
+        let values = [
+            Value::from(self.count),
+            Value::Float(self.mean),
+            Value::Float(self.std),
+            Value::Float(self.min),
+            Value::Float(self.max),
+            Value::Float(self.p50),
+            Value::Float(self.p95),
+            Value::from(self.negatives),
+        ];
+        Value::Object(
+            Self::PAYLOAD_KEYS
+                .iter()
+                .zip(values)
+                .map(|(k, v)| ((*k).to_owned(), v))
+                .collect(),
+        )
     }
 }
 

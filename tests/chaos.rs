@@ -98,3 +98,49 @@ fn killed_campaign_resumed_from_journal_matches_uninterrupted_run() {
         "and the same winning trajectory"
     );
 }
+
+#[test]
+fn killed_campaign_resumes_from_a_binary_journal_file() {
+    // Same kill/resume property, but through the on-disk binary codec
+    // and the streaming seed path the `--resume` flag uses — the
+    // journal format must not leak into campaign outcomes.
+    let cfg = short_cfg();
+    let full = run_chaos_gwtw(&cfg, cfg.rounds, QorCache::new(), &Journal::disabled());
+
+    let dir = std::env::temp_dir().join(format!("ideaflow_chaos_binary_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("killed.ifj");
+    let journal = Journal::to_file_with_format(
+        "chaos-killed",
+        &path,
+        ideaflow::trace::JournalFormat::Binary,
+    )
+    .expect("open binary journal");
+    let killed = run_chaos_gwtw(&cfg, 1, QorCache::new(), &journal);
+    assert!(killed.runs_spent > 0, "the killed campaign must do work");
+    journal.finish();
+
+    // Stream the binary journal event by event, exactly like
+    // `fig06a_gwtw --chaos --resume killed.ifj`.
+    let cache = QorCache::new();
+    let mut warmed = 0usize;
+    for event in ideaflow::trace::EventStream::open(&path).expect("open killed journal") {
+        if cache.seed_event(&event.expect("decode killed journal")) {
+            warmed += 1;
+        }
+    }
+    assert!(warmed > 0, "the binary journal must seed the cache");
+
+    let resumed = run_chaos_gwtw(&cfg, cfg.rounds, cache, &Journal::disabled());
+    assert!(
+        resumed.cache_hits > 0,
+        "the warmed cache must serve the prefix"
+    );
+    assert_eq!(
+        resumed.best_cost.to_bits(),
+        full.best_cost.to_bits(),
+        "binary-journal resume must reach the uninterrupted best, bit for bit"
+    );
+    assert_eq!(resumed.best_trajectory, full.best_trajectory);
+    let _ = std::fs::remove_dir_all(&dir);
+}
