@@ -7,13 +7,14 @@
 
 use ideaflow_core::orchestrate::{TrajectoryLandscape, TrajectoryObjective};
 use ideaflow_core::watchdog::DoomedKill;
+use ideaflow_exec::CancelToken;
 use ideaflow_faults::{FaultInjector, FaultPlan};
 use ideaflow_flow::cache::QorCache;
 use ideaflow_flow::spnr::SpnrFlow;
 use ideaflow_flow::supervise::Supervisor;
 use ideaflow_metrics::alerts::AlertEngine;
 use ideaflow_netlist::generate::{DesignClass, DesignSpec};
-use ideaflow_opt::gwtw::{gwtw, gwtw_observed, independent_baseline, GwtwConfig};
+use ideaflow_opt::gwtw::{gwtw, gwtw_controlled, independent_baseline, GwtwConfig};
 use ideaflow_opt::landscape::BigValley;
 use ideaflow_opt::local::LocalSearchConfig;
 use ideaflow_opt::multistart::{
@@ -180,6 +181,32 @@ pub fn run_chaos_gwtw_alerted(
     journal: &Journal,
     alerts: Option<&AlertEngine>,
 ) -> ChaosOutcome {
+    run_chaos_gwtw_cancellable(cfg, rounds, cache, journal, alerts, None, None)
+}
+
+/// [`run_chaos_gwtw_alerted`] with an optional cooperative
+/// [`CancelToken`], checked at each GWTW round barrier (the only place
+/// the campaign may stop without perturbing the rng stream). A
+/// cancelled campaign's journal is a bit-exact prefix of the
+/// uninterrupted run, so seeding a fresh cache from it and re-running
+/// is the graceful-drain resume path — same contract as a kill -9,
+/// minus the torn journal tail.
+///
+/// `round_hold` pauses the orchestrating thread after every round —
+/// pure pacing for harnesses that must land a kill or cancel
+/// mid-campaign (release builds finish a whole campaign in tens of
+/// milliseconds otherwise). The search itself never observes the
+/// clock, so the outcome stays bit-identical with or without a hold.
+#[must_use]
+pub fn run_chaos_gwtw_cancellable(
+    cfg: &ChaosConfig,
+    rounds: usize,
+    cache: QorCache,
+    journal: &Journal,
+    alerts: Option<&AlertEngine>,
+    cancel: Option<&CancelToken>,
+    round_hold: Option<std::time::Duration>,
+) -> ChaosOutcome {
     let flow = SpnrFlow::new(
         DesignSpec::new(DesignClass::Cpu, 250).expect("valid spec"),
         cfg.flow_seed,
@@ -206,10 +233,18 @@ pub fn run_chaos_gwtw_alerted(
         t_initial: 0.5,
         t_final: 0.02,
     };
-    let g = gwtw_observed(&scape, gwtw_cfg, cfg.seed, journal, |_, _| {
+    let g = gwtw_controlled(&scape, gwtw_cfg, cfg.seed, journal, |_, _| {
         if let Some(engine) = alerts {
             engine.tick();
         }
+        // Round barriers are the checkpoint grain: flush so the round
+        // is durable (and visible to journal tails) the moment it
+        // completes, not whenever a thread buffer happens to fill.
+        journal.flush();
+        if let Some(hold) = round_hold {
+            std::thread::sleep(hold);
+        }
+        !cancel.is_some_and(CancelToken::is_cancelled)
     });
     let faults_injected = flow
         .faults()
@@ -259,6 +294,51 @@ mod tests {
         assert!(a.runs_spent > 0);
         let b = run_chaos_gwtw(&cfg, 2, QorCache::new(), &Journal::disabled());
         assert_eq!(a, b, "chaos campaign must be bit-identical per seed");
+    }
+
+    #[test]
+    fn cancelled_campaign_is_a_resumable_prefix() {
+        let cfg = ChaosConfig {
+            rounds: 3,
+            ..ChaosConfig::default()
+        };
+        let full = run_chaos_gwtw(&cfg, 3, QorCache::new(), &Journal::disabled());
+
+        // Cancel at the first round barrier: one round runs, then stop.
+        let token = CancelToken::new();
+        token.cancel();
+        let journal = Journal::in_memory("cancelled");
+        let partial = run_chaos_gwtw_cancellable(
+            &cfg,
+            3,
+            QorCache::new(),
+            &journal,
+            None,
+            Some(&token),
+            None,
+        );
+        assert!(partial.runs_spent < full.runs_spent, "must stop early");
+
+        // Resume: seed a fresh cache from the cancelled campaign's
+        // journal, re-run in full — bit-identical to uninterrupted.
+        let lines = journal.drain_lines().join("\n");
+        let events = ideaflow_trace::parse_jsonl(&lines).expect("valid journal");
+        let cache = QorCache::new();
+        let mut warmed = 0;
+        for event in &events {
+            if cache.seed_event(event) {
+                warmed += 1;
+            }
+        }
+        assert!(warmed > 0, "the cancelled round must have checkpoints");
+        let resumed = run_chaos_gwtw(&cfg, 3, cache.clone(), &Journal::disabled());
+        assert!(cache.hits() > 0, "resume must replay from cache");
+        assert_eq!(
+            resumed.best_cost.to_bits(),
+            full.best_cost.to_bits(),
+            "resumed best must be bit-identical"
+        );
+        assert_eq!(resumed.best_trajectory, full.best_trajectory);
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! Request/response model for the std-only HTTP stack: a parsed
+//! [`Request`], a [`Response`] with either a buffered or streaming
+//! [`Body`], and the [`Handler`] trait servers dispatch through.
+//!
+//! Responses are always `Connection: close`. Buffered bodies carry a
+//! `Content-Length`; streaming bodies are close-delimited (the client
+//! reads until EOF), which is what lets `GET /campaigns/<id>/journal`
+//! follow a live journal without knowing its final size.
+
+use std::fmt;
+use std::io::{self, Write};
+
+/// A parsed HTTP/1.1 request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Request method (`GET`, `POST`, ...).
+    pub method: String,
+    /// Raw request target, including any query string.
+    pub target: String,
+    /// Header `(name, value)` pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The target path without its query string.
+    #[must_use]
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or("")
+    }
+
+    /// The query string after `?`, if any.
+    #[must_use]
+    pub fn query(&self) -> Option<&str> {
+        self.target.split_once('?').map(|(_, q)| q)
+    }
+
+    /// Case-insensitive header lookup.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as (lossy) UTF-8.
+    #[must_use]
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A close-delimited streaming body writer (see [`Body::Stream`]).
+pub type StreamFn = Box<dyn FnOnce(&mut dyn Write) -> io::Result<()> + Send>;
+
+/// A response body: buffered bytes (with `Content-Length`) or a
+/// streaming writer (close-delimited).
+pub enum Body {
+    /// Fully buffered body.
+    Bytes(Vec<u8>),
+    /// Called once with the connection writer; the response has no
+    /// `Content-Length` and ends when the writer closes.
+    Stream(StreamFn),
+}
+
+impl fmt::Debug for Body {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Bytes(b) => f.debug_tuple("Bytes").field(&b.len()).finish(),
+            Self::Stream(_) => f.write_str("Stream(..)"),
+        }
+    }
+}
+
+/// An HTTP response under construction.
+#[derive(Debug)]
+pub struct Response {
+    /// Status code (`reason_phrase` supplies the text).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Extra headers beyond `Content-Type`/`Content-Length`/`Connection`.
+    pub headers: Vec<(String, String)>,
+    /// The body.
+    pub body: Body,
+}
+
+impl Response {
+    /// A `text/plain` response.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self::with_type(status, "text/plain", body)
+    }
+
+    /// An `application/json` response.
+    #[must_use]
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self::with_type(status, "application/json", body)
+    }
+
+    /// A buffered response with an explicit content type.
+    #[must_use]
+    pub fn with_type(status: u16, content_type: &'static str, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type,
+            headers: Vec::new(),
+            body: Body::Bytes(body.into().into_bytes()),
+        }
+    }
+
+    /// A streaming 200 response: `write` is handed the connection and
+    /// the body ends when it returns (close-delimited).
+    #[must_use]
+    pub fn stream(
+        content_type: &'static str,
+        write: impl FnOnce(&mut dyn Write) -> io::Result<()> + Send + 'static,
+    ) -> Self {
+        Self {
+            status: 200,
+            content_type,
+            headers: Vec::new(),
+            body: Body::Stream(Box::new(write)),
+        }
+    }
+
+    /// Adds a header (builder style).
+    #[must_use]
+    pub fn header(mut self, name: &str, value: impl fmt::Display) -> Self {
+        self.headers.push((name.to_owned(), value.to_string()));
+        self
+    }
+}
+
+/// The standard reason phrase for the status codes this stack emits.
+#[must_use]
+pub fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        414 => "URI Too Long",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Serializes `resp` onto `out`. Streaming bodies run on the caller's
+/// thread; their errors (client hung up mid-tail) are returned but are
+/// expected and benign.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn write_response(out: &mut dyn Write, resp: Response) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nConnection: close\r\n",
+        resp.status,
+        reason_phrase(resp.status),
+        resp.content_type
+    );
+    for (name, value) in &resp.headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    match resp.body {
+        Body::Bytes(bytes) => {
+            head.push_str(&format!("Content-Length: {}\r\n\r\n", bytes.len()));
+            out.write_all(head.as_bytes())?;
+            out.write_all(&bytes)?;
+            out.flush()
+        }
+        Body::Stream(write) => {
+            head.push_str("\r\n");
+            out.write_all(head.as_bytes())?;
+            write(out)?;
+            out.flush()
+        }
+    }
+}
+
+/// A request handler. Implemented for any `Fn(&Request) -> Response`.
+pub trait Handler: Send + Sync {
+    /// Produces the response for one request.
+    fn handle(&self, req: &Request) -> Response;
+}
+
+impl<F: Fn(&Request) -> Response + Send + Sync> Handler for F {
+    fn handle(&self, req: &Request) -> Response {
+        self(req)
+    }
+}

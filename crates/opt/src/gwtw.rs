@@ -119,6 +119,30 @@ pub fn gwtw_observed<L: Landscape>(
     journal: &Journal,
     mut on_round: impl FnMut(usize, &GwtwRound),
 ) -> GwtwOutcome<L::State> {
+    gwtw_controlled(landscape, cfg, seed, journal, |round, record| {
+        on_round(round, record);
+        true
+    })
+}
+
+/// [`gwtw_observed`] whose observer also *controls* the campaign:
+/// returning `false` stops after the current round — the cooperative
+/// cancellation point a campaign daemon checks a `CancelToken` at.
+/// Stopping is only possible at a round barrier, after the round's
+/// journal events and rng draws are complete, so a cancelled campaign's
+/// journal is a bit-exact prefix of the uninterrupted run and a resumed
+/// campaign replays it from cache without divergence.
+///
+/// # Panics
+///
+/// Same contract as [`gwtw`].
+pub fn gwtw_controlled<L: Landscape>(
+    landscape: &L,
+    cfg: GwtwConfig,
+    seed: u64,
+    journal: &Journal,
+    mut on_round: impl FnMut(usize, &GwtwRound) -> bool,
+) -> GwtwOutcome<L::State> {
     assert!(cfg.population > 0, "population must be positive");
     assert!(cfg.rounds > 0, "rounds must be positive");
     assert!(
@@ -267,7 +291,9 @@ pub fn gwtw_observed<L: Landscape>(
             terminated,
             casualties,
         });
-        on_round(round, rounds.last().expect("just pushed"));
+        if !on_round(round, rounds.last().expect("just pushed")) {
+            break;
+        }
     }
 
     if journal.is_enabled() {

@@ -1,0 +1,252 @@
+//! The daemon's HTTP API, as a [`Handler`] for the hardened HTTP
+//! stack in `ideaflow-metrics`:
+//!
+//! ```text
+//! POST /campaigns                submit a spec     -> 201 / 400 / 429 / 503
+//! GET  /campaigns                list all          -> 200
+//! GET  /campaigns/<id>           one status        -> 200 / 404
+//! POST /campaigns/<id>/cancel    cancel            -> 202 / 404 / 409
+//! GET  /campaigns/<id>/journal   stream journal    -> 200 / 404
+//! GET  /metrics | /healthz       telemetry
+//! POST /shutdown                 request drain     -> 202
+//! ```
+//!
+//! The journal stream re-serializes the campaign's binary journal as
+//! JSONL, close-delimited; `?follow=1` keeps polling the file until
+//! the campaign is terminal (the live tail a dashboard watches).
+
+use std::fs::File;
+use std::io::Read;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ideaflow_metrics::http::{Handler, Request, Response};
+use ideaflow_trace::StreamDecoder;
+use serde::Value;
+
+use crate::daemon::Shared;
+use crate::queue::{self, CampaignInfo, CancelOutcome};
+use crate::spec::CampaignSpec;
+
+/// The daemon's request handler.
+pub(crate) struct Api {
+    shared: Arc<Shared>,
+}
+
+impl Api {
+    pub(crate) fn new(shared: Arc<Shared>) -> Self {
+        Self { shared }
+    }
+}
+
+impl Handler for Api {
+    fn handle(&self, req: &Request) -> Response {
+        let start = Instant::now();
+        let resp = route(&self.shared, req);
+        self.shared.registry.inc_counter("serve.requests", 1);
+        self.shared
+            .registry
+            .observe("serve.request_ms", start.elapsed().as_secs_f64() * 1e3);
+        resp
+    }
+}
+
+fn route(shared: &Arc<Shared>, req: &Request) -> Response {
+    let path = req.path().to_owned();
+    let segments: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    match (req.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => Response::text(200, "ok\n"),
+        ("GET", ["metrics"]) => Response::with_type(
+            200,
+            "text/plain; version=0.0.4",
+            shared.registry.render_prometheus(),
+        ),
+        ("POST", ["campaigns"]) => submit(shared, req),
+        ("GET", ["campaigns"]) => {
+            let rows: Vec<String> = shared.queue.snapshot().iter().map(info_json).collect();
+            Response::json(200, format!("[{}]\n", rows.join(", ")))
+        }
+        ("GET", ["campaigns", id]) => match shared.queue.get(id) {
+            Some(info) => Response::json(200, format!("{}\n", info_json(&info))),
+            None => Response::json(404, "{\"error\": \"no such campaign\"}\n"),
+        },
+        ("POST", ["campaigns", id, "cancel"]) => cancel(shared, id),
+        ("GET", ["campaigns", id, "journal"]) => journal_stream(shared, req, id),
+        ("POST", ["shutdown"]) => {
+            shared.shutdown_requested.store(true, Ordering::Release);
+            Response::json(202, "{\"draining\": true}\n")
+        }
+        (_, ["campaigns", ..] | ["shutdown"]) => Response::text(405, "method not allowed\n"),
+        _ => Response::text(404, "not found\n"),
+    }
+}
+
+fn submit(shared: &Arc<Shared>, req: &Request) -> Response {
+    if shared.draining.load(Ordering::Acquire) || shared.shutdown_requested.load(Ordering::Acquire)
+    {
+        return Response::json(503, "{\"error\": \"draining\"}\n").header("Retry-After", 5);
+    }
+    let body = req.body_str();
+    let value: Value = match serde_json::from_str(&body) {
+        Ok(v) => v,
+        Err(e) => {
+            return Response::json(
+                400,
+                format!(
+                    "{{\"error\": \"invalid JSON: {}\"}}\n",
+                    escape(&e.to_string())
+                ),
+            )
+        }
+    };
+    let spec = match CampaignSpec::from_value(&value) {
+        Ok(s) => s,
+        Err(e) => {
+            return Response::json(400, format!("{{\"error\": {}}}\n", json_str(&e)));
+        }
+    };
+    match shared.queue.submit(spec) {
+        Ok(id) => Response::json(
+            201,
+            format!("{{\"id\": {}, \"state\": \"pending\"}}\n", json_str(&id)),
+        ),
+        Err(full) => Response::json(
+            429,
+            format!("{{\"error\": \"queue full\", \"depth\": {}}}\n", full.depth),
+        )
+        .header("Retry-After", 1),
+    }
+}
+
+fn cancel(shared: &Arc<Shared>, id: &str) -> Response {
+    match shared.queue.cancel(id) {
+        CancelOutcome::Dequeued => Response::json(202, "{\"state\": \"cancelled\"}\n"),
+        CancelOutcome::SignalRunning => {
+            // Record the client's intent before signalling, so the
+            // worker's checkpoint logic sees a user cancel, not a
+            // drain.
+            shared
+                .user_cancelled
+                .lock()
+                .expect("cancel lock")
+                .insert(id.to_owned());
+            if let Some(token) = shared.tokens.lock().expect("tokens lock").get(id) {
+                token.cancel();
+            }
+            Response::json(202, "{\"state\": \"cancelling\"}\n")
+        }
+        CancelOutcome::AlreadyTerminal => {
+            Response::json(409, "{\"error\": \"campaign already terminal\"}\n")
+        }
+        CancelOutcome::NotFound => Response::json(404, "{\"error\": \"no such campaign\"}\n"),
+    }
+}
+
+/// Streams the campaign's newest attempt journal as JSONL. With
+/// `?follow=1` the stream keeps tailing the file (and rolls to newer
+/// attempts) until the campaign is terminal; without, it ends at the
+/// current EOF.
+fn journal_stream(shared: &Arc<Shared>, req: &Request, id: &str) -> Response {
+    if shared.queue.get(id).is_none() {
+        return Response::json(404, "{\"error\": \"no such campaign\"}\n");
+    }
+    let follow = req
+        .query()
+        .is_some_and(|q| q.split('&').any(|kv| kv == "follow=1"));
+    let shared = Arc::clone(shared);
+    let id = id.to_owned();
+    Response::stream("application/jsonl", move |w| {
+        let mut current: Option<(std::path::PathBuf, File)> = None;
+        let mut decoder = StreamDecoder::new();
+        let mut buf = [0u8; 8192];
+        loop {
+            // (Re)open the newest attempt journal when none is open
+            // or a newer attempt appeared (drain + restart rolls the
+            // attempt file mid-follow).
+            let newest = queue::attempt_journals(&shared.state_dir, &id).pop();
+            match (&current, newest) {
+                (_, None) => {}
+                (Some((open_path, _)), Some(newest)) if *open_path == newest => {}
+                (_, Some(newest)) => {
+                    if let Ok(f) = File::open(&newest) {
+                        current = Some((newest, f));
+                        decoder = StreamDecoder::new();
+                    }
+                }
+            }
+            let mut read_any = false;
+            if let Some((_, file)) = &mut current {
+                loop {
+                    let n = file.read(&mut buf)?;
+                    if n == 0 {
+                        break;
+                    }
+                    read_any = true;
+                    decoder.push(&buf[..n]);
+                    while let Ok(Some(event)) = decoder.next_event() {
+                        let line = serde_json::to_string(&event)
+                            .map_err(|e| std::io::Error::other(e.to_string()))?;
+                        w.write_all(line.as_bytes())?;
+                        w.write_all(b"\n")?;
+                    }
+                }
+            }
+            if read_any {
+                w.flush()?;
+                continue;
+            }
+            let terminal = shared
+                .queue
+                .get(&id)
+                .is_none_or(|info| info.state.is_terminal());
+            let draining = shared.draining.load(Ordering::Acquire);
+            if !follow || terminal || draining {
+                return Ok(());
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    })
+}
+
+fn info_json(info: &CampaignInfo) -> String {
+    let mut fields = vec![
+        format!("\"id\": {}", json_str(&info.id)),
+        format!("\"kind\": \"{}\"", info.kind),
+        format!("\"state\": \"{}\"", info.state.name()),
+        format!("\"attempts\": {}", info.attempts),
+    ];
+    if info.state == crate::queue::CampaignState::Done {
+        fields.push(format!("\"ok\": {}", info.ok));
+    }
+    if let Some(bits) = &info.best_bits {
+        fields.push(format!("\"best_bits\": {}", json_str(bits)));
+    }
+    if let Some(cost) = info.best_cost {
+        fields.push(format!("\"best_cost\": {cost}"));
+    }
+    if let Some(e) = &info.error {
+        fields.push(format!("\"error\": {}", json_str(e)));
+    }
+    format!("{{{}}}", fields.join(", "))
+}
+
+fn json_str(s: &str) -> String {
+    format!("\"{}\"", escape(s))
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}

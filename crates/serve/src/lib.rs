@@ -1,0 +1,33 @@
+//! `ideaflow-serve` — the resilient campaign daemon.
+//!
+//! The paper's Fig 11 METRICS architecture (instrumented tools →
+//! transmitter → collection server → miner → feedback) is a long-lived
+//! multi-tenant service. This crate is that service for ideaflow
+//! campaigns: a std-only HTTP daemon whose robustness properties are
+//! the point.
+//!
+//! - [`queue::DurableQueue`] — submissions journaled (binary format)
+//!   and flushed before they are acked; recovery folds the journal's
+//!   valid prefix and compacts it, so `kill -9` never loses an acked
+//!   submission or double-starts a campaign.
+//! - [`daemon::Daemon`] — bounded worker pool draining the queue;
+//!   in-flight campaigns recovered at start re-run with a QoR cache
+//!   seeded from their prior attempts' journals (checkpoint-resume,
+//!   bit-identical final best); admission control answers 429 over
+//!   the queue bound; [`daemon::Daemon::drain`] checkpoints running
+//!   campaigns and flushes everything before exit.
+//! - [`spec::CampaignSpec`] — the JSON submission bodies (chaos /
+//!   gwtw / multistart / bandit).
+//!
+//! The HTTP surface itself (timeouts, size bounds, connection caps)
+//! lives in `ideaflow_metrics::http`; this crate plugs the campaign
+//! routes into it (`http_api`).
+
+pub mod daemon;
+mod http_api;
+pub mod queue;
+pub mod spec;
+
+pub use daemon::{Daemon, DaemonConfig};
+pub use queue::{CampaignInfo, CampaignState, DurableQueue, QueueFull};
+pub use spec::{CampaignKind, CampaignSpec};

@@ -1,0 +1,179 @@
+//! Crash-resume against the real `ideaflow_serve` binary: `kill -9`
+//! mid-campaign, restart on the same state dir, and the recovered
+//! campaign must finish with a best bit-identical to an uninterrupted
+//! run — the ISSUE's headline acceptance criterion, driven end-to-end
+//! through the process boundary (no in-process shortcuts).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+const SPEC: &str = r#"{"kind": "chaos", "rounds": 12}"#;
+
+struct Server {
+    child: Child,
+    port: u16,
+    recovered: bool,
+}
+
+impl Server {
+    fn start(state_dir: &Path) -> Self {
+        Self::start_paced(state_dir, None)
+    }
+
+    /// `round_hold_ms` paces the daemon's chaos rounds (pure pacing,
+    /// bit-identical results) so the SIGKILL below reliably lands
+    /// mid-campaign even in fast builds.
+    fn start_paced(state_dir: &Path, round_hold_ms: Option<u64>) -> Self {
+        let mut cmd = Command::new(env!("CARGO_BIN_EXE_ideaflow_serve"));
+        cmd.args(["--state-dir", &state_dir.display().to_string()])
+            .args(["--port", "0", "--workers", "1"])
+            .stdout(Stdio::piped());
+        if let Some(ms) = round_hold_ms {
+            cmd.env("IDEAFLOW_SERVE_ROUND_HOLD_MS", ms.to_string());
+        } else {
+            cmd.env_remove("IDEAFLOW_SERVE_ROUND_HOLD_MS");
+        }
+        let mut child = cmd.spawn().expect("spawn ideaflow_serve");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut recovered = false;
+        let mut port = None;
+        for line in BufReader::new(stdout).lines() {
+            let line = line.expect("child stdout");
+            if line.starts_with("recovered:") {
+                recovered = true;
+            }
+            if let Some(p) = line.strip_prefix("listening on 127.0.0.1:") {
+                port = Some(p.trim().parse().expect("port"));
+                break;
+            }
+        }
+        Self {
+            child,
+            port: port.expect("child printed its port"),
+            recovered,
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn request(port: u16, method: &str, path: &str, body: Option<&str>) -> String {
+    let mut stream = TcpStream::connect(("127.0.0.1", port)).expect("connect to the daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let body = body.unwrap_or("");
+    let req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(req.as_bytes()).expect("send request");
+    let mut out = String::new();
+    let _ = stream.read_to_string(&mut out);
+    out
+}
+
+fn wait_for<T>(what: &str, mut probe: impl FnMut() -> Option<T>) -> T {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        if let Some(v) = probe() {
+            return v;
+        }
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn field<'a>(resp: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": \"");
+    let at = resp.find(&pat)?;
+    resp[at + pat.len()..].split('"').next()
+}
+
+fn wait_done(port: u16, id: &str) -> String {
+    wait_for("campaign done", || {
+        let resp = request(port, "GET", &format!("/campaigns/{id}"), None);
+        if resp.contains("\"state\": \"done\"") {
+            Some(resp)
+        } else {
+            None
+        }
+    })
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ideaflow_crash_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sigkill_mid_campaign_then_restart_resumes_bit_identical() {
+    // Baseline: the same spec, uninterrupted, on a fresh state dir.
+    let base_dir = scratch("base");
+    let baseline_bits;
+    {
+        let server = Server::start(&base_dir);
+        assert!(!server.recovered, "fresh state dir has nothing to recover");
+        let resp = request(server.port, "POST", "/campaigns", Some(SPEC));
+        assert!(resp.starts_with("HTTP/1.1 201"), "{resp}");
+        let id = field(&resp, "id").expect("id in 201 body").to_owned();
+        let done = wait_done(server.port, &id);
+        baseline_bits = field(&done, "best_bits").expect("best_bits").to_owned();
+        let resp = request(server.port, "POST", "/shutdown", None);
+        assert!(resp.starts_with("HTTP/1.1 202"), "{resp}");
+        let _ = server; // dropped: killed if the drain hangs
+    }
+    let _ = std::fs::remove_dir_all(&base_dir);
+
+    // The victim: SIGKILL once the campaign is visibly mid-flight
+    // (round pacing keeps it there long enough to be caught).
+    let dir = scratch("victim");
+    let mut victim = Server::start_paced(&dir, Some(200));
+    assert!(!victim.recovered);
+    let resp = request(victim.port, "POST", "/campaigns", Some(SPEC));
+    assert!(resp.starts_with("HTTP/1.1 201"), "{resp}");
+    let id = field(&resp, "id").expect("id in 201 body").to_owned();
+    wait_for("first gwtw round in the journal", || {
+        let resp = request(
+            victim.port,
+            "GET",
+            &format!("/campaigns/{id}/journal"),
+            None,
+        );
+        resp.contains("gwtw.round").then_some(())
+    });
+    victim.child.kill().expect("SIGKILL the daemon");
+    victim.child.wait().expect("reap");
+
+    // Restart on the same state dir: the campaign must be recovered,
+    // resumed (attempt 2), and finish with the baseline's exact bits.
+    let server = Server::start(&dir);
+    assert!(
+        server.recovered,
+        "restart must report the in-flight campaign it recovered"
+    );
+    let done = wait_done(server.port, &id);
+    assert!(
+        done.contains("\"attempts\": 2"),
+        "recovered campaign should be on attempt 2: {done}"
+    );
+    let resumed_bits = field(&done, "best_bits").expect("best_bits").to_owned();
+    assert_eq!(
+        resumed_bits, baseline_bits,
+        "kill -9 + resume must be bit-identical to an uninterrupted run"
+    );
+
+    let resp = request(server.port, "POST", "/shutdown", None);
+    assert!(resp.starts_with("HTTP/1.1 202"), "{resp}");
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -595,7 +595,7 @@ impl From<DecodeError> for std::io::Error {
 fn decode_value(
     buf: &[u8],
     pos: &mut usize,
-    names: &[Option<String>],
+    names: &mut Vec<Option<String>>,
     depth: usize,
 ) -> Result<Value, String> {
     if depth > MAX_DEPTH {
@@ -638,7 +638,11 @@ fn decode_value(
             }
             let mut entries = Vec::with_capacity(n);
             for _ in 0..n {
-                let k = decode_name(buf, pos, names)?;
+                // Map keys use the *mutating* name decode: a writer
+                // thread's first use of a dynamic name can be a nested
+                // map key (e.g. a spec payload), and later records
+                // reference it bare.
+                let k = decode_name_mut(buf, pos, names)?;
                 let v = decode_value(buf, pos, names, depth + 1)?;
                 entries.push((k, v));
             }
@@ -684,21 +688,6 @@ fn decode_name_mut(
         }
         names[id] = Some(name.clone());
         Ok(name)
-    } else {
-        names
-            .get(id)
-            .and_then(|n| n.clone())
-            .ok_or_else(|| format!("reference to undefined name id {id}"))
-    }
-}
-
-/// Read-only variant for contexts (index-frame validation) that must
-/// not mutate the table; inline definitions are still accepted.
-fn decode_name(buf: &[u8], pos: &mut usize, names: &[Option<String>]) -> Result<String, String> {
-    let x = need(get_varint(buf, pos)?, "name ref")?;
-    let id = (x >> 1) as usize;
-    if x & 1 == 1 {
-        decode_str(buf, pos, "name definition")
     } else {
         names
             .get(id)
@@ -1667,6 +1656,36 @@ mod tests {
         assert_eq!(out, events[..4].to_vec(), "valid prefix recovered");
         let err = dec.finish().unwrap_err();
         assert!(matches!(err, DecodeError::Truncated { .. }), "{err}");
+    }
+
+    #[test]
+    fn nested_map_keys_define_names_for_later_records() {
+        // A dynamic name whose first (defining) use is a *nested* map
+        // key: record 2 references it bare, so the decoder must have
+        // retained the inline definition from record 1's payload.
+        let spec = |n: i64| {
+            Value::Object(vec![
+                ("zz_dyn_key".to_owned(), Value::Int(n)),
+                ("zz_other".to_owned(), Value::Str("x".to_owned())),
+            ])
+        };
+        let events: Vec<RunEvent> = (0..3)
+            .map(|i| ev("r", "prop.event", i, vec![("spec", spec(i as i64))]))
+            .collect();
+        let table = NameTable::with_base(base_names());
+        let mut tn = ThreadNames::default();
+        let mut bytes = header_bytes(&base_names());
+        for e in &events {
+            bytes.extend_from_slice(&record_frame(&table, &mut tn, e));
+        }
+        let mut dec = BinaryDecoder::new();
+        dec.push(&bytes);
+        let mut out = Vec::new();
+        while let Some(e) = dec.next_event().unwrap() {
+            out.push(e);
+        }
+        dec.finish().unwrap();
+        assert_eq!(out, events);
     }
 
     #[test]

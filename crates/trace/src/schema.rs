@@ -132,7 +132,7 @@ const fn opt(name: &'static str, kind: FieldKind) -> FieldSpec {
     }
 }
 
-use FieldKind::{Array, Int, Map, Num, Str};
+use FieldKind::{Array, Bool, Int, Map, Num, Str};
 
 /// Every journal **event** the workspace may emit.
 pub const EVENTS: &[EventSchema] = &[
@@ -475,6 +475,48 @@ pub const EVENTS: &[EventSchema] = &[
         extra_fields: false,
         doc: "a previously firing alert rule returned within bounds",
     },
+    // ---- campaign service (ideaflow-serve durable queue) -------------------
+    EventSchema {
+        name: "queue.accepted",
+        fields: &[f("id", Str), f("kind", Str), f("spec", Map)],
+        extra_fields: false,
+        doc: "a campaign submission durably acked into the daemon queue \
+              (the record is flushed to disk before the HTTP 201 is sent)",
+    },
+    EventSchema {
+        name: "queue.started",
+        fields: &[f("id", Str), f("attempt", Int)],
+        extra_fields: false,
+        doc: "a worker claimed a queued campaign; attempt > 1 marks a \
+              crash-resume re-run seeded from the prior attempt's journal",
+    },
+    EventSchema {
+        name: "queue.finished",
+        fields: &[
+            f("id", Str),
+            f("ok", Bool),
+            opt("best_bits", Str),
+            opt("best_cost", Num),
+            opt("error", Str),
+        ],
+        extra_fields: false,
+        doc: "a claimed campaign reached a terminal result (best_bits is \
+              the bit-exact hex of the best cost, diffable across resumes)",
+    },
+    EventSchema {
+        name: "queue.rejected",
+        fields: &[f("reason", Str), f("depth", Int)],
+        extra_fields: false,
+        doc: "a submission shed by admission control (HTTP 429): the \
+              pending queue was at its bound",
+    },
+    EventSchema {
+        name: "campaign.cancelled",
+        fields: &[f("id", Str)],
+        extra_fields: false,
+        doc: "a campaign cancelled by client request — terminal; drain \
+              checkpoints instead and leaves no terminal record",
+    },
     // ---- bench harness timers ----------------------------------------------
     EventSchema {
         name: "bench.*",
@@ -584,6 +626,22 @@ pub const COUNTERS: &[NameSchema] = &[
         name: "bench.iterations",
         doc: "bench harness iterations",
     },
+    NameSchema {
+        name: "queue.submitted",
+        doc: "campaign submissions durably acked",
+    },
+    NameSchema {
+        name: "queue.rejected",
+        doc: "submissions shed by admission control (429)",
+    },
+    NameSchema {
+        name: "queue.completed",
+        doc: "campaigns that reached a terminal result",
+    },
+    NameSchema {
+        name: "serve.requests",
+        doc: "HTTP requests handled by the campaign daemon",
+    },
 ];
 
 /// Every **histogram** (`Journal::observe`, plus the `.secs` histograms
@@ -628,6 +686,10 @@ pub const HISTOGRAMS: &[NameSchema] = &[
     NameSchema {
         name: "bench.*.secs",
         doc: "wall time per bench harness (Journal::time)",
+    },
+    NameSchema {
+        name: "serve.request_ms",
+        doc: "campaign-daemon HTTP request latency",
     },
 ];
 
@@ -738,6 +800,14 @@ pub const GAUGES: &[NameSchema] = &[
         name: "alert.active",
         doc: "1 while the named alert rule is firing, else 0 \
               (one labeled series per rule)",
+    },
+    NameSchema {
+        name: "queue.depth",
+        doc: "campaigns pending in the daemon queue",
+    },
+    NameSchema {
+        name: "serve.running",
+        doc: "campaigns currently claimed by daemon workers",
     },
 ];
 
