@@ -2,35 +2,50 @@
 //! deny-by-default gate.
 //!
 //! ```text
-//! ifcheck [--root DIR] [--allow FILE] [--deny-all] [--list-lints]
+//! ifcheck [--root DIR] [--allow FILE] [--deny-all] [--format FMT]
+//!         [--incremental] [--list-lints]
 //! ```
 //!
 //! Scans production sources for determinism hazards in the
-//! deterministic crates and cross-checks every journal/telemetry
+//! deterministic crates, cross-checks every journal/telemetry
 //! call-site name against the schema registry in
-//! `crates/trace/src/schema.rs`. Any unsuppressed finding exits 1;
-//! suppressions live in `crates/check/allow.toml` and must state a
-//! reason. `--deny-all` additionally rejects dead registry entries and
-//! stale allowlist entries, so neither the registry nor the allowlist
-//! can rot.
+//! `crates/trace/src/schema.rs`, and runs the concurrency passes
+//! (lock-order cycles, blocking-while-locked, SeqCst handshake
+//! pairing) over the deterministic crates plus `trace`/`serve`/
+//! `metrics`. Any unsuppressed finding exits 1; suppressions live in
+//! `crates/check/allow.toml` and must state a reason. `--deny-all`
+//! additionally rejects dead registry entries and stale allowlist
+//! entries, so neither the registry nor the allowlist can rot.
+//!
+//! The default text report is byte-stable (CI and the idempotence
+//! proptest depend on that); `--format json` emits the same findings
+//! as a JSON array for problem-matchers and artifact upload.
+//! `--incremental` replays unchanged files from a content-hash cache
+//! under `target/` — the report is byte-identical to a full run.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use ideaflow_check::{check_workspace, Allowlist, Config};
+use ideaflow_check::{check_workspace, discover_files, incremental, Allowlist, Config, Diagnostic};
 
-const USAGE: &str = "usage: ifcheck [--root DIR] [--allow FILE] [--deny-all] [--list-lints]
+const USAGE: &str = "usage: ifcheck [--root DIR] [--allow FILE] [--deny-all] [--format FMT]
+               [--incremental] [--list-lints]
 
   --root DIR    workspace root to scan (default: .)
   --allow FILE  allowlist (default: <root>/crates/check/allow.toml)
   --deny-all    strict mode: also fail on dead schema-registry entries
                 and stale allowlist entries
+  --format FMT  report format: text (byte-stable, default) or json
+  --incremental replay unchanged files from target/ifcheck-cache.txt
+                (byte-identical report, sub-second on small diffs)
   --list-lints  print every lint name and exit";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut allow_path: Option<PathBuf> = None;
     let mut strict = false;
+    let mut json = false;
+    let mut incr = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,12 +58,24 @@ fn main() -> ExitCode {
                 None => return usage_error("--allow needs a value"),
             },
             "--deny-all" => strict = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => json = false,
+                Some("json") => json = true,
+                Some(other) => {
+                    return usage_error(&format!("unknown format `{other}` (text|json)"))
+                }
+                None => return usage_error("--format needs a value"),
+            },
+            "--incremental" => incr = true,
             "--list-lints" => {
                 for lint in ideaflow_check::determinism::ALL {
                     println!("{lint:22} determinism");
                 }
                 for lint in ideaflow_check::schema_lint::ALL {
                     println!("{lint:22} journal-schema");
+                }
+                for lint in ideaflow_check::locks::ALL {
+                    println!("{lint:22} concurrency");
                 }
                 println!("{:22} allowlist hygiene (--deny-all)", "stale-allow");
                 return ExitCode::SUCCESS;
@@ -81,23 +108,46 @@ fn main() -> ExitCode {
         };
     }
 
-    let diags = match check_workspace(&cfg) {
-        Ok(d) => d,
-        Err(e) => {
-            eprintln!("ifcheck: scan failed: {e}");
-            return ExitCode::FAILURE;
+    let diags = if incr {
+        let files = match discover_files(&cfg.root) {
+            Ok(f) => f,
+            Err(e) => {
+                eprintln!("ifcheck: scan failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let cache = incremental::default_cache_path(&cfg.root);
+        let (diags, stats) = incremental::check_files_cached(&cfg, &files, &cache);
+        eprintln!(
+            "ifcheck: incremental: {} cached, {} re-analyzed",
+            stats.hits, stats.misses
+        );
+        diags
+    } else {
+        match check_workspace(&cfg) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("ifcheck: scan failed: {e}");
+                return ExitCode::FAILURE;
+            }
         }
     };
-    if diags.is_empty() {
-        println!(
-            "ifcheck: ok ({} mode, {} allow entries)",
-            if strict { "deny-all" } else { "default" },
-            cfg.allow.entries.len()
-        );
-        return ExitCode::SUCCESS;
+    if json {
+        println!("{}", to_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
     }
-    for d in &diags {
-        println!("{d}");
+    if diags.is_empty() {
+        if !json {
+            println!(
+                "ifcheck: ok ({} mode, {} allow entries)",
+                if strict { "deny-all" } else { "default" },
+                cfg.allow.entries.len()
+            );
+        }
+        return ExitCode::SUCCESS;
     }
     eprintln!(
         "ifcheck: {} finding(s); fix them or add a reasoned entry to {}",
@@ -105,6 +155,47 @@ fn main() -> ExitCode {
         allow_file.display()
     );
     ExitCode::FAILURE
+}
+
+/// The findings as a JSON array (std-only serializer: the diagnostic
+/// fields are flat strings and integers, so escaping is all we need).
+fn to_json(diags: &[Diagnostic]) -> String {
+    let mut out = String::from("[");
+    for (i, d) in diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n  {{\"path\":{},\"line\":{},\"lint\":{},\"message\":{}}}",
+            json_str(&d.path),
+            d.line,
+            json_str(d.lint),
+            json_str(&d.message)
+        ));
+    }
+    if !diags.is_empty() {
+        out.push('\n');
+    }
+    out.push(']');
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 fn usage_error(msg: &str) -> ExitCode {

@@ -1,0 +1,482 @@
+//! Content-hash incremental cache for `ifcheck`, so the pre-commit
+//! hook stays sub-second on small diffs.
+//!
+//! [`analyze_file`] is a pure function of `(file content, config
+//! prefixes)` — every cross-file judgement (lock-order cycles, SeqCst
+//! pairing, dead-entry liveness, allowlist application, stale-allow
+//! hygiene) happens later in [`assemble`] over the per-file
+//! [`FileReport`] records. That split is what makes caching sound:
+//! an unchanged file's record can be replayed into a workspace whose
+//! *other* files changed, and the cross-file passes still see the full
+//! picture. The cache therefore stores records for every analyzed
+//! file (not just findings-free ones) keyed by an FNV-1a hash of the
+//! file's bytes, and the whole cache is invalidated by a header
+//! carrying the schema-registry source hash (the schema lints compare
+//! against it) and a fingerprint of the configured prefix lists.
+//!
+//! The format is a line-oriented text file under `target/` (already
+//! gitignored):
+//!
+//! ```text
+//! ifcheck-cache v1 <registry-hash> <config-hash>
+//! F <content-hash> <path>
+//! D <line> <lint> <message…>
+//! S <site-kind> <name…>
+//! L
+//! E <held-line> <line> <held> <acquired>
+//! A <op> <seqcst> <line> <name>
+//! ```
+//!
+//! Unknown or torn records simply miss (the file is re-analyzed);
+//! a failed cache write is ignored — the cache is an accelerator,
+//! never a correctness dependency.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+use crate::emits::SiteKind;
+use crate::locks::{AtomicAccess, AtomicOp, FileLocks, LockEdge};
+use crate::{analyze_file, assemble, relative, unreadable, Config, Diagnostic, FileReport};
+
+/// Cache format version; bump on any layout change.
+const VERSION: &str = "ifcheck-cache v1";
+
+/// Default cache location under a workspace root.
+#[must_use]
+pub fn default_cache_path(root: &Path) -> PathBuf {
+    root.join("target/ifcheck-cache.txt")
+}
+
+/// FNV-1a over `bytes` (std-only stand-in for a real content hash;
+/// collision risk is irrelevant at workspace scale and a miss only
+/// costs a re-lint).
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Cache hit/miss accounting for the caller's status line.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CacheStats {
+    /// Files replayed from the cache.
+    pub hits: usize,
+    /// Files re-analyzed (changed, new, or unparsable cache record).
+    pub misses: usize,
+}
+
+/// [`crate::check_files`] through the cache at `cache_path`: unchanged
+/// files replay their stored [`FileReport`], changed files re-analyze,
+/// and the refreshed cache is written back (best-effort). The returned
+/// diagnostics are byte-identical to the uncached path.
+#[must_use]
+pub fn check_files_cached(
+    cfg: &Config,
+    files: &[PathBuf],
+    cache_path: &Path,
+) -> (Vec<Diagnostic>, CacheStats) {
+    let header = header_line(cfg);
+    let old = load(cache_path, &header);
+    let mut stats = CacheStats::default();
+    let mut fresh: BTreeMap<String, (u64, FileReport)> = BTreeMap::new();
+    let mut reports = Vec::new();
+    for file in files {
+        let rel = relative(&cfg.root, file);
+        let Ok(src) = std::fs::read_to_string(file) else {
+            reports.push((rel.clone(), unreadable(&rel)));
+            continue;
+        };
+        let hash = fnv1a(src.as_bytes());
+        let report = match old.get(&rel) {
+            Some((h, cached)) if *h == hash => {
+                stats.hits += 1;
+                cached.clone()
+            }
+            _ => {
+                stats.misses += 1;
+                analyze_file(cfg, &rel, &src)
+            }
+        };
+        fresh.insert(rel.clone(), (hash, report.clone()));
+        reports.push((rel, report));
+    }
+    store(cache_path, &header, &fresh);
+    (assemble(cfg, reports), stats)
+}
+
+/// The header every cache must match: version, schema-registry source
+/// hash (schema lints compare against the registry, so editing it must
+/// invalidate everything), and the prefix-list fingerprint (the det /
+/// lock prefixes decide which lints run per file).
+fn header_line(cfg: &Config) -> String {
+    let registry = std::fs::read_to_string(cfg.root.join("crates/trace/src/schema.rs"))
+        .map_or(0, |s| fnv1a(s.as_bytes()));
+    let mut prefixes = String::new();
+    for p in &cfg.det_prefixes {
+        prefixes.push_str(p);
+        prefixes.push('\n');
+    }
+    prefixes.push('\0');
+    for p in &cfg.lock_prefixes {
+        prefixes.push_str(p);
+        prefixes.push('\n');
+    }
+    format!(
+        "{VERSION} {registry:016x} {:016x}",
+        fnv1a(prefixes.as_bytes())
+    )
+}
+
+/// Round-trips a lint name back to the `&'static str` the rest of the
+/// pipeline (allowlist matching, sort keys) compares by pointer-free
+/// equality. Unknown names poison the record into a miss.
+fn lint_by_name(name: &str) -> Option<&'static str> {
+    crate::determinism::ALL
+        .iter()
+        .chain(crate::schema_lint::ALL)
+        .chain(crate::locks::ALL)
+        .chain(&["io-error"])
+        .find(|l| **l == name)
+        .copied()
+}
+
+fn kind_name(kind: SiteKind) -> &'static str {
+    match kind {
+        SiteKind::Emit => "emit",
+        SiteKind::Counter => "counter",
+        SiteKind::Histogram => "histogram",
+        SiteKind::Timer => "timer",
+        SiteKind::Span => "span",
+        SiteKind::TelemetryCounter => "telemetry-counter",
+        SiteKind::Gauge => "gauge",
+        SiteKind::ReaderEvent => "reader",
+    }
+}
+
+fn kind_by_name(name: &str) -> Option<SiteKind> {
+    Some(match name {
+        "emit" => SiteKind::Emit,
+        "counter" => SiteKind::Counter,
+        "histogram" => SiteKind::Histogram,
+        "timer" => SiteKind::Timer,
+        "span" => SiteKind::Span,
+        "telemetry-counter" => SiteKind::TelemetryCounter,
+        "gauge" => SiteKind::Gauge,
+        "reader" => SiteKind::ReaderEvent,
+        _ => return None,
+    })
+}
+
+fn op_name(op: AtomicOp) -> &'static str {
+    match op {
+        AtomicOp::Store => "store",
+        AtomicOp::Load => "load",
+        AtomicOp::Rmw => "rmw",
+    }
+}
+
+fn op_by_name(name: &str) -> Option<AtomicOp> {
+    Some(match name {
+        "store" => AtomicOp::Store,
+        "load" => AtomicOp::Load,
+        "rmw" => AtomicOp::Rmw,
+        _ => return None,
+    })
+}
+
+/// Loads the cache if its header matches exactly and the trailing
+/// checksum line verifies; otherwise empty. The checksum is what makes
+/// truncation safe: a torn line can still *parse* (a `D` record cut
+/// mid-message is a valid shorter record), so line-level validation
+/// alone cannot detect it.
+fn load(path: &Path, header: &str) -> BTreeMap<String, (u64, FileReport)> {
+    let mut out = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    let Some(body) = verify_checksum(&text) else {
+        return out;
+    };
+    let mut lines = body.lines();
+    if lines.next() != Some(header) {
+        return out;
+    }
+    let mut current: Option<(String, u64, FileReport, bool)> = None;
+    for line in lines {
+        if let Some(rest) = line.strip_prefix("F ") {
+            if let Some((path, hash, mut report, true)) = current.take() {
+                for d in &mut report.diags {
+                    d.path.clone_from(&path);
+                }
+                out.insert(path, (hash, report));
+            }
+            current = None;
+            let Some((hash, path)) = rest.split_once(' ') else {
+                continue;
+            };
+            let Ok(hash) = u64::from_str_radix(hash, 16) else {
+                continue;
+            };
+            current = Some((path.to_owned(), hash, FileReport::default(), true));
+            continue;
+        }
+        let Some((_, _, report, ok)) = current.as_mut() else {
+            continue;
+        };
+        if !parse_record(line, report) {
+            *ok = false; // torn/unknown record: poison into a miss
+        }
+    }
+    if let Some((path, hash, mut report, true)) = current.take() {
+        for d in &mut report.diags {
+            d.path.clone_from(&path);
+        }
+        out.insert(path, (hash, report));
+    }
+    out
+}
+
+/// Parses one record line into `report`; false poisons the file entry.
+fn parse_record(line: &str, report: &mut FileReport) -> bool {
+    let Some((tag, rest)) = line.split_once(' ').or(Some((line, ""))) else {
+        return false;
+    };
+    match tag {
+        "D" => {
+            let mut it = rest.splitn(3, ' ');
+            let (Some(line_no), Some(lint), Some(message)) = (it.next(), it.next(), it.next())
+            else {
+                return false;
+            };
+            let (Ok(line_no), Some(lint)) = (line_no.parse(), lint_by_name(lint)) else {
+                return false;
+            };
+            // The diagnostic's path is re-keyed at assembly from the
+            // `F` record's path, so only one copy is stored.
+            report.diags.push(Diagnostic {
+                path: String::new(),
+                line: line_no,
+                lint,
+                message: message.to_owned(),
+            });
+            true
+        }
+        "S" => {
+            let Some((kind, name)) = rest.split_once(' ') else {
+                return false;
+            };
+            let Some(kind) = kind_by_name(kind) else {
+                return false;
+            };
+            report.sites.push((kind, name.to_owned()));
+            true
+        }
+        "L" => {
+            report.locks = Some(FileLocks::default());
+            true
+        }
+        "E" => {
+            let Some(locks) = report.locks.as_mut() else {
+                return false;
+            };
+            let mut it = rest.split(' ');
+            let (Some(hl), Some(l), Some(held), Some(acq), None) =
+                (it.next(), it.next(), it.next(), it.next(), it.next())
+            else {
+                return false;
+            };
+            let (Ok(held_line), Ok(line)) = (hl.parse(), l.parse()) else {
+                return false;
+            };
+            locks.edges.push(LockEdge {
+                held: held.to_owned(),
+                acquired: acq.to_owned(),
+                held_line,
+                line,
+            });
+            true
+        }
+        "A" => {
+            let Some(locks) = report.locks.as_mut() else {
+                return false;
+            };
+            let mut it = rest.split(' ');
+            let (Some(op), Some(sc), Some(l), Some(name), None) =
+                (it.next(), it.next(), it.next(), it.next(), it.next())
+            else {
+                return false;
+            };
+            let (Some(op), Ok(line)) = (op_by_name(op), l.parse()) else {
+                return false;
+            };
+            let seqcst = match sc {
+                "1" => true,
+                "0" => false,
+                _ => return false,
+            };
+            locks.atomics.push(AtomicAccess {
+                name: name.to_owned(),
+                op,
+                seqcst,
+                line,
+            });
+            true
+        }
+        _ => false,
+    }
+}
+
+/// Serializes one file's record; `None` when any field cannot round-trip
+/// through the line format (embedded newline/space where the format
+/// forbids one) — that file is simply not cached.
+fn render_record(path: &str, hash: u64, report: &FileReport) -> Option<String> {
+    let clean = |s: &str| !s.contains('\n');
+    let word = |s: &str| !s.is_empty() && !s.contains('\n') && !s.contains(' ');
+    if !word(path) {
+        return None;
+    }
+    let mut out = format!("F {hash:016x} {path}\n");
+    for d in &report.diags {
+        if !clean(&d.message) {
+            return None;
+        }
+        out.push_str(&format!("D {} {} {}\n", d.line, d.lint, d.message));
+    }
+    for (kind, name) in &report.sites {
+        if !clean(name) {
+            return None;
+        }
+        out.push_str(&format!("S {} {name}\n", kind_name(*kind)));
+    }
+    if let Some(locks) = &report.locks {
+        out.push_str("L\n");
+        for e in &locks.edges {
+            if !word(&e.held) || !word(&e.acquired) {
+                return None;
+            }
+            out.push_str(&format!(
+                "E {} {} {} {}\n",
+                e.held_line, e.line, e.held, e.acquired
+            ));
+        }
+        for a in &locks.atomics {
+            if !word(&a.name) {
+                return None;
+            }
+            out.push_str(&format!(
+                "A {} {} {} {}\n",
+                op_name(a.op),
+                u8::from(a.seqcst),
+                a.line,
+                a.name
+            ));
+        }
+    }
+    Some(out)
+}
+
+/// Splits off and verifies the trailing `Z <fnv>` checksum line,
+/// returning the body it covers.
+fn verify_checksum(text: &str) -> Option<&str> {
+    let body_end = text.trim_end_matches('\n').rfind('\n')?;
+    let (body, tail) = text.split_at(body_end + 1);
+    let sum = tail.trim_end().strip_prefix("Z ")?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    (sum == fnv1a(body.as_bytes())).then_some(body)
+}
+
+/// Best-effort atomic write of the refreshed cache.
+fn store(path: &Path, header: &str, entries: &BTreeMap<String, (u64, FileReport)>) {
+    let mut out = String::with_capacity(4096);
+    out.push_str(header);
+    out.push('\n');
+    for (file, (hash, report)) in entries {
+        if let Some(record) = render_record(file, *hash, report) {
+            out.push_str(&record);
+        }
+    }
+    out.push_str(&format!("Z {:016x}\n", fnv1a(out.as_bytes())));
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    let tmp = path.with_extension("tmp");
+    if std::fs::write(&tmp, out).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::check_files;
+
+    fn fixture_root() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+    }
+
+    fn cfg() -> Config {
+        let root = fixture_root();
+        let allow = std::fs::read_to_string(root.join("allow.toml")).expect("fixture allowlist");
+        let mut cfg = Config::for_workspace(root);
+        cfg.allow = crate::Allowlist::parse(&allow).expect("parses");
+        cfg.strict = true;
+        cfg
+    }
+
+    #[test]
+    fn cached_run_is_byte_identical_and_hits_on_second_pass() {
+        let cfg = cfg();
+        let files = crate::discover_files(&cfg.root).unwrap();
+        let baseline = check_files(&cfg, &files);
+        let dir = std::env::temp_dir().join(format!("ifcheck-cache-test-{}", std::process::id()));
+        let cache = dir.join("cache.txt");
+        let (cold, s1) = check_files_cached(&cfg, &files, &cache);
+        assert_eq!(cold, baseline);
+        assert_eq!(s1.hits, 0);
+        assert_eq!(s1.misses, files.len());
+        let (warm, s2) = check_files_cached(&cfg, &files, &cache);
+        assert_eq!(warm, baseline);
+        assert_eq!(s2.hits, files.len());
+        assert_eq!(s2.misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_header_invalidates_everything() {
+        let cfg = cfg();
+        let files = crate::discover_files(&cfg.root).unwrap();
+        let dir = std::env::temp_dir().join(format!("ifcheck-header-test-{}", std::process::id()));
+        let cache = dir.join("cache.txt");
+        let (_, _) = check_files_cached(&cfg, &files, &cache);
+        // A different prefix config must fingerprint differently.
+        let mut other = cfg.clone();
+        other.lock_prefixes.push("crates/viz/src/".to_owned());
+        let (_, stats) = check_files_cached(&other, &files, &cache);
+        assert_eq!(stats.hits, 0, "stale header must not replay");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_record_falls_back_to_reanalysis() {
+        let cfg = cfg();
+        let files = crate::discover_files(&cfg.root).unwrap();
+        let baseline = check_files(&cfg, &files);
+        let dir = std::env::temp_dir().join(format!("ifcheck-torn-test-{}", std::process::id()));
+        let cache = dir.join("cache.txt");
+        let (_, _) = check_files_cached(&cfg, &files, &cache);
+        let mut text = std::fs::read_to_string(&cache).unwrap();
+        let keep = text.len() * 2 / 3;
+        while !text.is_char_boundary(keep) {
+            text.pop();
+        }
+        text.truncate(keep);
+        std::fs::write(&cache, text).unwrap();
+        let (torn, _) = check_files_cached(&cfg, &files, &cache);
+        assert_eq!(torn, baseline, "torn cache must not change the report");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

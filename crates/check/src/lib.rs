@@ -20,18 +20,28 @@
 //! - **journal schema** ([`schema_lint`]): every emit/count/observe/
 //!   time/span/gauge call-site literal in the workspace cross-checked
 //!   against the declared registry in `ideaflow_trace::schema`, plus
-//!   reader references and dead registry entries.
+//!   reader references and dead registry entries;
+//! - **concurrency** ([`locks`]): lock-guard scopes recovered from the
+//!   token stream feed a cross-file lock-acquisition graph
+//!   (`lock-order-cycle` with both witness sites), blocking calls
+//!   under a live guard (`blocking-while-locked`), and SeqCst
+//!   store/load handshake pairing (`atomic-handshake`), over the
+//!   deterministic crates plus `trace`, `serve`, and `metrics`.
 //!
-//! The `ifcheck` binary drives both and is wired into CI as a required
-//! deny-by-default gate; `ifjournal lint` applies the same registry to
-//! *recorded* journals at runtime.
+//! The `ifcheck` binary drives all three and is wired into CI as a
+//! required deny-by-default gate; `ifjournal lint` applies the same
+//! registry to *recorded* journals at runtime. [`incremental`] caches
+//! per-file results by content hash so the pre-commit hook stays
+//! sub-second on small diffs.
 
 use std::path::{Path, PathBuf};
 
 pub mod allowlist;
 pub mod determinism;
 pub mod emits;
+pub mod incremental;
 pub mod lexer;
+pub mod locks;
 pub mod schema_lint;
 
 pub use allowlist::Allowlist;
@@ -67,6 +77,9 @@ pub struct Config {
     /// Path prefixes (workspace-relative, forward slashes) whose files
     /// get the determinism lints. Journal-schema lints always apply.
     pub det_prefixes: Vec<String>,
+    /// Path prefixes whose files get the concurrency lints (lock-guard
+    /// scopes, the cross-file lock graph, SeqCst handshake pairing).
+    pub lock_prefixes: Vec<String>,
     /// Parsed allowlist.
     pub allow: Allowlist,
     /// Strict mode (`--deny-all`): also report dead registry entries
@@ -78,13 +91,22 @@ impl Config {
     /// The workspace defaults: determinism lints on the deterministic
     /// crates (`core`, `flow`, `opt`, `bandit`, `mdp`, `faults`, and
     /// `exec`, whose task-visible ordering guarantees are part of the
-    /// determinism contract).
+    /// determinism contract); concurrency lints on those plus `trace`
+    /// (per-worker buffers, sink-lock flush merge), `serve` (durable
+    /// queue behind HTTP workers), and `metrics` (the HTTP server the
+    /// daemon's handlers run on).
     #[must_use]
     pub fn for_workspace(root: PathBuf) -> Self {
         let det = ["core", "flow", "opt", "bandit", "mdp", "faults", "exec"];
+        let lock = ["trace", "serve", "metrics"];
         Self {
             root,
             det_prefixes: det.iter().map(|c| format!("crates/{c}/src/")).collect(),
+            lock_prefixes: det
+                .iter()
+                .chain(lock.iter())
+                .map(|c| format!("crates/{c}/src/"))
+                .collect(),
             allow: Allowlist::default(),
             strict: false,
         }
@@ -149,6 +171,56 @@ pub fn relative(root: &Path, path: &Path) -> String {
     }
 }
 
+/// Everything one file contributes to the workspace report, computed by
+/// [`analyze_file`] and consumed by [`assemble`]. A pure function of the
+/// file's content and the config prefixes — which is what makes the
+/// content-hash cache in [`incremental`] sound: cross-file passes
+/// (lock-order cycles, SeqCst pairing, dead-entry liveness) run at
+/// assembly over these records, never inside the cached step.
+#[derive(Debug, Clone, Default)]
+pub struct FileReport {
+    /// Per-file findings (determinism, schema, blocking-while-locked),
+    /// before the allowlist is applied.
+    pub diags: Vec<Diagnostic>,
+    /// `(kind, name)` of every journal call site in the *raw* tokens —
+    /// liveness counts `#[cfg(test)]` sites too: an entry exercised
+    /// only by a test is wired, not dead.
+    pub sites: Vec<(emits::SiteKind, String)>,
+    /// Lock edges and atomic accesses for the workspace concurrency
+    /// passes; `None` when the file is outside `lock_prefixes`.
+    pub locks: Option<locks::FileLocks>,
+}
+
+/// Lints one file's source, returning its [`FileReport`]. Diagnostics
+/// come from test-stripped tokens only — test scaffolding names are the
+/// runtime `ifjournal lint`'s problem, not this gate's.
+#[must_use]
+pub fn analyze_file(cfg: &Config, rel: &str, src: &str) -> FileReport {
+    let raw = lexer::lex(src);
+    let tokens = lexer::strip_test_blocks(raw.clone());
+    let mut report = FileReport::default();
+    if cfg.det_prefixes.iter().any(|p| rel.starts_with(p.as_str())) {
+        report.diags.extend(determinism::lint(rel, &tokens));
+    }
+    report
+        .diags
+        .extend(schema_lint::lint(rel, &emits::extract(&tokens)));
+    report.sites = emits::extract(&raw)
+        .into_iter()
+        .map(|s| (s.kind, s.name))
+        .collect();
+    if cfg
+        .lock_prefixes
+        .iter()
+        .any(|p| rel.starts_with(p.as_str()))
+    {
+        let mut fl = locks::extract(rel, &tokens);
+        report.diags.append(&mut fl.diags);
+        report.locks = Some(fl);
+    }
+    report
+}
+
 /// Checks an explicit file list. Deterministic by construction: each
 /// file is linted independently and the combined report is sorted by
 /// `(path, line, lint, message)`, so any permutation of `files` and any
@@ -156,33 +228,62 @@ pub fn relative(root: &Path, path: &Path) -> String {
 /// test suite verifies with a shuffle proptest).
 #[must_use]
 pub fn check_files(cfg: &Config, files: &[PathBuf]) -> Vec<Diagnostic> {
+    let reports = files
+        .iter()
+        .map(|file| {
+            let rel = relative(&cfg.root, file);
+            let report = match std::fs::read_to_string(file) {
+                Ok(src) => analyze_file(cfg, &rel, &src),
+                Err(_) => unreadable(&rel),
+            };
+            (rel, report)
+        })
+        .collect();
+    assemble(cfg, reports)
+}
+
+/// The [`FileReport`] for a file that cannot be read.
+#[must_use]
+pub fn unreadable(rel: &str) -> FileReport {
+    FileReport {
+        diags: vec![Diagnostic {
+            path: rel.to_owned(),
+            line: 0,
+            lint: "io-error",
+            message: "unreadable file".to_owned(),
+        }],
+        ..FileReport::default()
+    }
+}
+
+/// Combines per-file reports into the final diagnostic list: workspace
+/// concurrency passes, strict-mode dead-entry detection, the allowlist,
+/// stale-allow hygiene, and the canonical sort.
+#[must_use]
+pub fn assemble(cfg: &Config, reports: Vec<(String, FileReport)>) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     let mut all_sites = Vec::new();
+    let mut lock_files: Vec<(String, locks::FileLocks)> = Vec::new();
     let mut suppressed: Vec<usize> = Vec::new();
-    for file in files {
-        let rel = relative(&cfg.root, file);
-        let Ok(src) = std::fs::read_to_string(file) else {
-            diags.push(Diagnostic {
-                path: rel,
-                line: 0,
-                lint: "io-error",
-                message: "unreadable file".to_owned(),
-            });
-            continue;
-        };
-        let raw = lexer::lex(&src);
-        let tokens = lexer::strip_test_blocks(raw.clone());
-        if cfg.det_prefixes.iter().any(|p| rel.starts_with(p.as_str())) {
-            diags.extend(determinism::lint(&rel, &tokens));
+    for (rel, report) in reports {
+        diags.extend(report.diags);
+        all_sites.extend(
+            report
+                .sites
+                .into_iter()
+                .map(|(kind, name)| emits::CallSite {
+                    kind,
+                    name,
+                    fields: None,
+                    read_fields: Vec::new(),
+                    line: 0,
+                }),
+        );
+        if let Some(fl) = report.locks {
+            lock_files.push((rel, fl));
         }
-        diags.extend(schema_lint::lint(&rel, &emits::extract(&tokens)));
-        // Liveness (dead-entry detection) counts `#[cfg(test)]` call
-        // sites too: an entry exercised only by a test is wired, not
-        // dead. Diagnostics above come from stripped tokens only —
-        // test scaffolding names are the runtime `ifjournal lint`'s
-        // problem, not this gate's.
-        all_sites.extend(emits::extract(&raw));
     }
+    diags.extend(locks::workspace_lints(&lock_files));
     if cfg.strict {
         for (family, name) in schema_lint::dead_entries(&all_sites) {
             diags.push(Diagnostic {

@@ -1,0 +1,10 @@
+// Fixture: one half of a genuine two-file lock-order cycle. This file
+// acquires `alpha` then `beta` (witness at line 8); lock_b.rs takes
+// them in the opposite order, so the workspace pass must report
+// lock-order-cycle here naming lock_b.rs's witness site.
+
+pub fn transfer(&self) {
+    let a = self.alpha.lock();
+    let b = self.beta.lock();
+    b.push(a.take());
+}

@@ -1,0 +1,8 @@
+// Fixture: an allowlisted blocking-while-locked — writing under the
+// sink guard, suppressed by the entry in the fixture allow.toml. The
+// test asserts no diagnostic from this file survives the allowlist.
+
+pub fn flush_under_lock(&self) {
+    let sink = self.sink.lock();
+    sink.writer.write_all(self.buf);
+}

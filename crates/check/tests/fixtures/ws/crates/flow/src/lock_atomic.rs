@@ -1,0 +1,13 @@
+// Fixture: a broken Dekker-style handshake. The SeqCst store of
+// `pending` at line 7 is only ever read back Relaxed (line 12), so
+// atomic-handshake must fire at line 7. The `sleepers` pair is SeqCst
+// on both sides and must pass.
+
+pub fn publish(&self) {
+    self.pending.store(1, Ordering::SeqCst);
+    self.sleepers.fetch_add(1, Ordering::SeqCst);
+}
+
+pub fn check(&self) -> bool {
+    self.pending.load(Ordering::Relaxed) > 0 && self.sleepers.load(Ordering::SeqCst) > 0
+}

@@ -1,0 +1,9 @@
+// Fixture: the other half of the lock-order cycle — `beta` before
+// `alpha` (witness at line 7), opposite of lock_a.rs. Same crate key
+// (`flow`), different file: the cycle is only visible cross-file.
+
+pub fn reconcile(&self) {
+    let b = self.beta.lock();
+    let a = self.alpha.lock();
+    a.merge(b.drain());
+}

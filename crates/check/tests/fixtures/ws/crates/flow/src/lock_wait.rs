@@ -1,0 +1,17 @@
+// Fixture: Condvar::wait while an unrelated guard is live. The wait
+// at line 9 releases `state` (its own guard) but parks with `buffer`
+// held — blocking-while-locked must fire at line 9 naming `buffer`.
+// The wait-free sibling below holds only its own guard and must pass.
+
+pub fn drain(&self) {
+    let buf = self.buffer.lock();
+    let mut st = self.state.lock();
+    st = self.cv.wait(st).unwrap();
+    buf.extend(st.take());
+}
+
+pub fn park_clean(&self) {
+    let mut st = self.state.lock();
+    st = self.cv.wait(st).unwrap();
+    st.clear();
+}

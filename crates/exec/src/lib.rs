@@ -35,6 +35,23 @@
 //! sequential baseline. The lazy [`global`] pool serves facade calls;
 //! tests pin a specific pool with [`with_pool`].
 //!
+//! # Schedule-perturbation sanitizer
+//!
+//! `IDEAFLOW_SCHED_FUZZ=<seed>` (or [`PoolBuilder::sched_fuzz`]) turns
+//! on seeded schedule perturbation: every queue poll draws a word from
+//! a per-thread splitmix64 stream and uses it to (a) inject a
+//! `yield_now` at the task boundary, (b) flip whether the injector is
+//! checked before the worker's own deque, and (c) rotate the
+//! steal-scan's starting victim. Perturbation only *reorders* the
+//! places a poll looks — it never skips a queue — so fuzzed pools keep
+//! the no-livelock/no-lost-wakeup properties of the unfuzzed schedule,
+//! and because results are per-index slotted they must stay
+//! bit-identical under every seed (`tests/sched_fuzz.rs` asserts
+//! exactly that). Debug builds additionally carry `ideaflow_trace::hb`
+//! probes inside each queue's critical section, so a vector-clock
+//! happens-before checker can validate the pool's lock protocol while
+//! the schedule is being shaken.
+//!
 //! Span parentage crosses the pool boundary: `scope.spawn` captures the
 //! spawning thread's open-span stack ([`SpanStack::capture`]) and
 //! enters it around the task on the worker, so worker spans nest under
@@ -53,13 +70,18 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, OnceLock};
 use std::time::Duration;
 
-use ideaflow_trace::{SpanStack, TelemetryRegistry};
+use ideaflow_trace::{hb, SpanStack, TelemetryRegistry};
 use parking_lot::Mutex;
 
 /// Environment variable selecting the global pool's thread count.
 /// `0` or unset means one thread per available core; `1` runs
 /// everything inline on the caller (the sequential baseline).
 pub const THREADS_ENV: &str = "IDEAFLOW_THREADS";
+
+/// Environment variable enabling the schedule-perturbation sanitizer:
+/// a `u64` seed for the per-thread decision streams. Unset/unparsable
+/// means off (the production schedule).
+pub const SCHED_FUZZ_ENV: &str = "IDEAFLOW_SCHED_FUZZ";
 
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
@@ -88,17 +110,72 @@ struct Inner {
     /// Cheap hot-path guard so untelemetered pools skip the registry
     /// mutex (and the state-lock queue-depth read) on every task.
     telemetry_attached: AtomicBool,
+    /// Schedule-perturbation seed; `None` (production) keeps the exact
+    /// pre-sanitizer poll order with a single branch of overhead.
+    fuzz: Option<u64>,
+}
+
+/// splitmix64: the fuzz decision stream. Good enough diffusion that
+/// consecutive counters land on unrelated words.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Distinguishes fuzz streams of threads that share a seed. Ordering
+/// is irrelevant — any unique value per thread works.
+static FUZZ_SALTS: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// `(salt, counter)` for this thread's fuzz stream.
+    static FUZZ: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
 }
 
 impl Inner {
+    /// One word from this thread's seeded decision stream, when the
+    /// sanitizer is on. Each draw advances the stream, so consecutive
+    /// polls of one thread perturb independently.
+    fn fuzz_word(&self) -> Option<u64> {
+        let seed = self.fuzz?;
+        let (mut salt, counter) = FUZZ.get();
+        if salt == 0 {
+            salt = splitmix64(FUZZ_SALTS.fetch_add(1, Ordering::Relaxed));
+        }
+        FUZZ.set((salt, counter.wrapping_add(1)));
+        Some(splitmix64(seed ^ salt.rotate_left(17) ^ counter))
+    }
+
+    /// The happens-before probe for queue `i`, run while that queue's
+    /// lock is held. `#[track_caller]` keeps witness sites at the real
+    /// push/pop location.
+    #[track_caller]
+    fn hb_queue(&self, i: usize) {
+        let kind = if i == 0 {
+            hb::LockKind::Injector
+        } else {
+            hb::LockKind::Deque
+        };
+        hb::guarded_access(kind, std::ptr::from_ref(self) as usize, i);
+    }
+
     fn push(&self, task: Task) {
         let queue = local_worker_index(self).map_or(0, |w| 1 + w);
+        if self.fuzz_word().is_some_and(|w| w & 1 != 0) {
+            // Task boundary: let another thread win the next race.
+            std::thread::yield_now();
+        }
         // Count before enqueueing: `note_pop` decrements when it pops, so
         // the count must never lag the queue or a concurrent pop could
         // underflow it. The brief over-count only makes a scanning worker
         // re-poll until the push below lands.
         self.pending.fetch_add(1, Ordering::SeqCst);
-        self.queues[queue].lock().push_back(task);
+        {
+            let mut q = self.queues[queue].lock();
+            self.hb_queue(queue);
+            q.push_back(task);
+        }
         // Dekker-style handshake with `worker_loop`: we store `pending`
         // then load `sleepers`; a parking worker stores `sleepers` then
         // loads `pending` — both SeqCst. In the total order either our
@@ -117,24 +194,58 @@ impl Inner {
     /// Pops the next runnable task: own deque (LIFO), injector (FIFO),
     /// then steal from siblings (FIFO). `worker` is this thread's
     /// worker index in *this* pool, when it has one.
+    ///
+    /// Under the sanitizer the fuzz word may yield first, hoist the
+    /// injector check ahead of the own-deque check, and rotate the
+    /// steal scan's starting victim — reorderings only; every queue is
+    /// still visited, so a poll that would have found work still does.
     fn try_pop(&self, worker: Option<usize>) -> Option<Task> {
+        let word = self.fuzz_word();
+        if word.is_some_and(|w| w & 1 != 0) {
+            std::thread::yield_now();
+        }
+        let injector_first = word.is_some_and(|w| w & 2 != 0);
+        if injector_first {
+            if let Some(t) = self.pop_queue(0, false) {
+                return Some(t);
+            }
+        }
         if let Some(w) = worker {
-            if let Some(t) = self.queues[1 + w].lock().pop_back() {
-                return Some(self.note_pop(t));
+            if let Some(t) = self.pop_queue(1 + w, true) {
+                return Some(t);
             }
         }
-        if let Some(t) = self.queues[0].lock().pop_front() {
-            return Some(self.note_pop(t));
-        }
-        for (i, q) in self.queues.iter().enumerate().skip(1) {
-            if worker == Some(i - 1) {
-                continue;
+        if !injector_first {
+            if let Some(t) = self.pop_queue(0, false) {
+                return Some(t);
             }
-            if let Some(t) = q.lock().pop_front() {
-                return Some(self.note_pop(t));
+        }
+        let siblings = self.queues.len() - 1;
+        if siblings > 0 {
+            let start = word.map_or(0, |w| (w >> 8) as usize % siblings);
+            for k in 0..siblings {
+                let i = 1 + (start + k) % siblings;
+                if worker == Some(i - 1) {
+                    continue;
+                }
+                if let Some(t) = self.pop_queue(i, false) {
+                    return Some(t);
+                }
             }
         }
         None
+    }
+
+    /// Pops one task from queue `i` — LIFO for the owner's own deque,
+    /// FIFO for the injector and steals — probing the hb checker
+    /// inside the critical section.
+    #[track_caller]
+    fn pop_queue(&self, i: usize, lifo: bool) -> Option<Task> {
+        let mut q = self.queues[i].lock();
+        self.hb_queue(i);
+        let task = if lifo { q.pop_back() } else { q.pop_front() };
+        drop(q);
+        task.map(|t| self.note_pop(t))
     }
 
     fn note_pop(&self, t: Task) -> Task {
@@ -237,6 +348,7 @@ fn worker_loop(inner: &Arc<Inner>, index: usize) {
 #[derive(Debug, Default)]
 pub struct PoolBuilder {
     threads: Option<usize>,
+    fuzz: Option<u64>,
 }
 
 impl PoolBuilder {
@@ -253,6 +365,14 @@ impl PoolBuilder {
         self
     }
 
+    /// Enables the schedule-perturbation sanitizer with an explicit
+    /// seed (tests; production opts in via [`SCHED_FUZZ_ENV`]).
+    #[must_use]
+    pub fn sched_fuzz(mut self, seed: u64) -> Self {
+        self.fuzz = Some(seed);
+        self
+    }
+
     /// Builds the pool, spawning `threads - 1 >= 1 ? threads : 0`
     /// workers named `ifw-<n>` (a 1-thread pool spawns none and runs
     /// inline).
@@ -260,6 +380,11 @@ impl PoolBuilder {
     pub fn build(self) -> ThreadPool {
         let threads = self.threads.unwrap_or_else(default_threads).max(1);
         let workers = if threads <= 1 { 0 } else { threads };
+        let fuzz = self.fuzz.or_else(|| {
+            std::env::var(SCHED_FUZZ_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+        });
         let inner = Arc::new(Inner {
             queues: (0..=workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(0),
@@ -271,6 +396,7 @@ impl PoolBuilder {
             threads,
             telemetry: Mutex::new(None),
             telemetry_attached: AtomicBool::new(false),
+            fuzz,
         });
         let handles = (0..workers)
             .map(|i| {
@@ -833,6 +959,49 @@ mod tests {
             exposition.contains("ideaflow_exec_queue_depth"),
             "{exposition}"
         );
+    }
+
+    #[test]
+    fn fuzzed_schedules_keep_par_map_results_bit_identical() {
+        let work = |i: usize, seed: u64| -> u64 {
+            let mut h = seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            for _ in 0..50 {
+                h = h.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+            }
+            h
+        };
+        let items: Vec<u64> = vec![0xF0221; 128];
+        let baseline = PoolBuilder::new()
+            .threads(4)
+            .build()
+            .par_map(items.clone(), work);
+        for seed in [1u64, 0xDEAD_BEEF, u64::MAX] {
+            let fuzzed = PoolBuilder::new()
+                .threads(4)
+                .sched_fuzz(seed)
+                .build()
+                .par_map(items.clone(), work);
+            assert_eq!(baseline, fuzzed, "seed={seed:#x}");
+        }
+    }
+
+    #[test]
+    fn fuzzed_pool_never_skips_queued_work() {
+        // The perturbation only reorders polls; every spawned task must
+        // still run exactly once, whatever the seed.
+        for seed in 0..8u64 {
+            let pool = PoolBuilder::new().threads(3).sched_fuzz(seed).build();
+            let hits = AtomicUsize::new(0);
+            pool.scope(|s| {
+                for _ in 0..64 {
+                    let hits = &hits;
+                    s.spawn(move || {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 64, "seed={seed}");
+        }
     }
 
     #[test]

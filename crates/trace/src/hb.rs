@@ -1,0 +1,371 @@
+//! Vector-clock happens-before checker over the executor/journal
+//! internals — the dynamic half of the concurrency lints (`ifcheck`'s
+//! `locks` pass is the static half).
+//!
+//! # Model
+//!
+//! Instrumented sites call [`guarded_access`] *while holding the real
+//! lock* that protects the touched location. Each location is keyed
+//! `(kind, owner, index)` — e.g. `(Deque, pool-address, queue-index)` —
+//! and carries a **release clock**: the join of every past holder's
+//! vector clock at the point it gave the lock up. An access is one
+//! fused acquire/act/release against the model:
+//!
+//! 1. **acquire** — join the location's release clock into the calling
+//!    thread's clock (the happens-before edge the real mutex provides);
+//! 2. **tick** — advance the caller's own component, stamping this
+//!    access with a fresh epoch;
+//! 3. **check** — every previous access to this location by another
+//!    thread must be ordered before us (`our_clock[them] >= their
+//!    epoch`). An unordered pair is a race *in the model*: the
+//!    synchronization the code claims (passing this `(kind, owner,
+//!    index)`) did not actually order the two critical sections;
+//! 4. **release** — fold the caller's clock back into the location's
+//!    release clock for the next acquirer.
+//!
+//! Because the probe runs inside the real critical section, accesses to
+//! one location are serialized by the real lock; in a correct build the
+//! acquire-join makes every pair ordered and the checker stays silent.
+//! What it catches is a *missing edge*: an access path that touches the
+//! location without release/acquire semantics — exercised deliberately
+//! by [`set_broken`], which skips step 1 so the first cross-thread
+//! reuse of any location surfaces as a two-site witness.
+//!
+//! # Reporting
+//!
+//! The first race is captured as a [`Witness`] naming both sites
+//! (`file:line` via `#[track_caller]`) and both threads; checking then
+//! stops (one witness is actionable, a storm is not). The checker does
+//! **not** panic at the detection site: a panic inside the pool's
+//! queue-lock critical section would unwind mid-protocol (e.g. between
+//! the `pending` increment and the enqueue) and wedge the schedule it
+//! is supposed to be checking. Tests call [`assert_clean`] /
+//! [`take_witness`] at a safe point instead.
+//!
+//! # Cost
+//!
+//! Release builds compile the probe down to one relaxed load
+//! (`cfg!(debug_assertions)` is false). Debug builds pay the same load
+//! unless a [`session`] is active — the checker is opt-in per test, and
+//! sessions are serialized by a global guard because the clock state is
+//! process-wide.
+
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{LazyLock, Mutex, MutexGuard, PoisonError};
+
+/// Which instrumented lock family a location belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LockKind {
+    /// The executor's global injector queue (`queues[0]`).
+    Injector,
+    /// A worker's own deque (`queues[1 + w]`).
+    Deque,
+    /// A journal's per-thread buffer registry.
+    BufferRegistry,
+    /// A journal's sink lock (the seq-merge serialization point).
+    SinkLock,
+}
+
+impl LockKind {
+    fn name(self) -> &'static str {
+        match self {
+            LockKind::Injector => "injector queue",
+            LockKind::Deque => "worker deque",
+            LockKind::BufferRegistry => "buffer registry",
+            LockKind::SinkLock => "journal sink",
+        }
+    }
+}
+
+/// One side of a detected race: where and on which thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// The instrumented call site (`#[track_caller]` resolved).
+    pub location: &'static Location<'static>,
+    /// The checker's small id for the accessing thread.
+    pub thread: usize,
+}
+
+/// A two-site race witness: the first unordered pair of accesses the
+/// checker observed on one location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Witness {
+    /// The location's lock family.
+    pub kind: LockKind,
+    /// The location's index within its family (queue index, …).
+    pub index: usize,
+    /// The earlier access of the unordered pair.
+    pub first: Site,
+    /// The later access of the unordered pair.
+    pub second: Site,
+}
+
+impl std::fmt::Display for Witness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "unordered access to {} #{}: {}:{} (thread t{}) and {}:{} (thread t{}) \
+             have no happens-before edge",
+            self.kind.name(),
+            self.index,
+            self.first.location.file(),
+            self.first.location.line(),
+            self.first.thread,
+            self.second.location.file(),
+            self.second.location.line(),
+            self.second.thread,
+        )
+    }
+}
+
+#[derive(Default)]
+struct Loc {
+    /// Join of every past holder's clock at release.
+    release: Vec<u64>,
+    /// Per-thread last access: `(epoch, site)`, indexed by thread id.
+    last: Vec<Option<(u64, &'static Location<'static>)>>,
+}
+
+#[derive(Default)]
+struct State {
+    /// Session generation; bumping it invalidates cached thread ids.
+    epoch: u64,
+    /// Per-thread vector clocks, indexed by thread id.
+    clocks: Vec<Vec<u64>>,
+    locs: HashMap<(LockKind, usize, usize), Loc>,
+    witness: Option<Witness>,
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static BROKEN: AtomicBool = AtomicBool::new(false);
+static STATE: LazyLock<Mutex<State>> = LazyLock::new(|| Mutex::new(State::default()));
+/// Serializes checker sessions: the clock state is process-wide, so two
+/// concurrent tests would pollute each other's witnesses.
+static SESSION: Mutex<()> = Mutex::new(());
+
+thread_local! {
+    /// `(session epoch, thread id)` — the id is only valid for the
+    /// session that assigned it.
+    static TID: std::cell::Cell<(u64, usize)> = const { std::cell::Cell::new((0, usize::MAX)) };
+}
+
+fn lock_state() -> MutexGuard<'static, State> {
+    // A witness is recorded, never panicked, so poison here means some
+    // unrelated panic unwound through a caller; the state is still
+    // consistent (every mutation is single-call-complete).
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn join(dst: &mut Vec<u64>, src: &[u64]) {
+    if dst.len() < src.len() {
+        dst.resize(src.len(), 0);
+    }
+    for (d, &s) in dst.iter_mut().zip(src) {
+        if *d < s {
+            *d = s;
+        }
+    }
+}
+
+fn thread_id(st: &mut State) -> usize {
+    let (epoch, id) = TID.get();
+    if epoch == st.epoch && id != usize::MAX {
+        return id;
+    }
+    let id = st.clocks.len();
+    st.clocks.push(vec![0; id + 1]);
+    TID.set((st.epoch, id));
+    id
+}
+
+/// An active checker session (RAII). Dropping it disables the checker
+/// and releases the session lock; the witness (if any) survives until
+/// the next [`session`] so late [`take_witness`] calls still see it.
+#[derive(Debug)]
+pub struct Session {
+    _serial: MutexGuard<'static, ()>,
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        ENABLED.store(false, Ordering::Relaxed);
+        BROKEN.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Starts a checker session: resets all clock state, enables checking
+/// (debug builds only — release probes compile to a no-op), and holds
+/// the global session lock until the returned guard drops.
+#[must_use]
+pub fn session() -> Session {
+    let serial = SESSION.lock().unwrap_or_else(PoisonError::into_inner);
+    {
+        let mut st = lock_state();
+        st.epoch += 1;
+        st.clocks.clear();
+        st.locs.clear();
+        st.witness = None;
+    }
+    BROKEN.store(false, Ordering::Relaxed);
+    ENABLED.store(true, Ordering::Relaxed);
+    Session { _serial: serial }
+}
+
+/// Deliberately severs the acquire edge (step 1 of the model): every
+/// cross-thread location reuse now surfaces as a witness. Test-only
+/// knob for proving the checker catches missing ordering; reset by
+/// [`session`] and on session drop.
+pub fn set_broken(broken: bool) {
+    BROKEN.store(broken, Ordering::Relaxed);
+}
+
+/// Records an access to the location `(kind, owner, index)`. Must be
+/// called while the real lock protecting that location is held — the
+/// probe models that lock's release/acquire pair. No-op unless a
+/// [`session`] is active (and always in release builds).
+#[track_caller]
+pub fn guarded_access(kind: LockKind, owner: usize, index: usize) {
+    if !cfg!(debug_assertions) || !ENABLED.load(Ordering::Relaxed) {
+        return;
+    }
+    let site = Location::caller();
+    let broken = BROKEN.load(Ordering::Relaxed);
+    let mut guard = lock_state();
+    if guard.witness.is_some() {
+        return; // first witness wins; a storm is not actionable
+    }
+    let tid = thread_id(&mut guard);
+    let st = &mut *guard;
+    let loc = st.locs.entry((kind, owner, index)).or_default();
+    let clock = &mut st.clocks[tid];
+    if !broken {
+        join(clock, &loc.release);
+    }
+    if clock.len() <= tid {
+        clock.resize(tid + 1, 0);
+    }
+    clock[tid] += 1;
+    let epoch = clock[tid];
+    let mut race = None;
+    for (other, entry) in loc.last.iter().enumerate() {
+        let Some((their_epoch, their_site)) = entry else {
+            continue;
+        };
+        if other != tid && clock.get(other).copied().unwrap_or(0) < *their_epoch {
+            race = Some(Witness {
+                kind,
+                index,
+                first: Site {
+                    location: their_site,
+                    thread: other,
+                },
+                second: Site {
+                    location: site,
+                    thread: tid,
+                },
+            });
+            break;
+        }
+    }
+    if loc.last.len() <= tid {
+        loc.last.resize(tid + 1, None);
+    }
+    loc.last[tid] = Some((epoch, site));
+    join(&mut loc.release, clock);
+    st.witness = race;
+}
+
+/// Takes the recorded witness, if any (clearing it).
+pub fn take_witness() -> Option<Witness> {
+    lock_state().witness.take()
+}
+
+/// Panics with the two-site witness if the checker recorded one.
+///
+/// # Panics
+///
+/// Panics iff a race witness was recorded since the session started.
+pub fn assert_clean() {
+    if let Some(w) = take_witness() {
+        panic!("happens-before violation: {w}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn skip_in_release() -> bool {
+        !cfg!(debug_assertions)
+    }
+
+    #[test]
+    fn ordered_accesses_through_the_same_lock_stay_clean() {
+        if skip_in_release() {
+            return;
+        }
+        let _s = session();
+        let owner = 0xA11CE;
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let b = barrier.clone();
+        let t = std::thread::spawn(move || {
+            b.wait();
+            for _ in 0..64 {
+                guarded_access(LockKind::Injector, owner, 0);
+            }
+        });
+        barrier.wait();
+        for _ in 0..64 {
+            guarded_access(LockKind::Injector, owner, 0);
+        }
+        t.join().unwrap();
+        assert_clean();
+    }
+
+    #[test]
+    fn severed_acquire_edge_yields_a_two_site_witness() {
+        if skip_in_release() {
+            return;
+        }
+        let _s = session();
+        set_broken(true);
+        let owner = 0xB0B;
+        guarded_access(LockKind::Deque, owner, 3);
+        let t = std::thread::spawn(move || {
+            guarded_access(LockKind::Deque, owner, 3);
+        });
+        t.join().unwrap();
+        let w = take_witness().expect("broken ordering must be caught");
+        assert_eq!(w.kind, LockKind::Deque);
+        assert_eq!(w.index, 3);
+        assert_ne!(w.first.thread, w.second.thread);
+        let msg = w.to_string();
+        assert!(msg.contains("hb.rs"), "{msg}");
+        assert!(msg.contains("no happens-before edge"), "{msg}");
+    }
+
+    #[test]
+    fn distinct_locations_never_conflict() {
+        if skip_in_release() {
+            return;
+        }
+        let _s = session();
+        set_broken(true);
+        let owner = 0xCAFE;
+        guarded_access(LockKind::Deque, owner, 1);
+        let t = std::thread::spawn(move || {
+            guarded_access(LockKind::Deque, owner, 2);
+            guarded_access(LockKind::SinkLock, owner, 1);
+        });
+        t.join().unwrap();
+        assert_clean();
+    }
+
+    #[test]
+    fn probe_is_inert_without_a_session() {
+        guarded_access(LockKind::SinkLock, 1, 1);
+        assert!(take_witness().is_none());
+    }
+}

@@ -52,6 +52,7 @@ use serde::{Deserialize, Serialize, Value};
 pub mod analyze;
 pub mod codec;
 pub mod grafana;
+pub mod hb;
 pub mod reader;
 pub mod schema;
 pub mod span;
@@ -202,7 +203,11 @@ impl Inner {
                 return buf;
             }
             let buf = Arc::new(ThreadBuf::default());
-            self.buffers.lock().push(buf.clone());
+            {
+                let mut registry = self.buffers.lock();
+                hb::guarded_access(hb::LockKind::BufferRegistry, self.id as usize, 0);
+                registry.push(buf.clone());
+            }
             bufs.push((self.id, Arc::downgrade(&buf)));
             buf
         })
@@ -216,7 +221,12 @@ impl Inner {
             return;
         }
         let mut sink = self.sink.lock();
-        let bufs: Vec<Arc<ThreadBuf>> = self.buffers.lock().clone();
+        hb::guarded_access(hb::LockKind::SinkLock, self.id as usize, 0);
+        let bufs: Vec<Arc<ThreadBuf>> = {
+            let registry = self.buffers.lock();
+            hb::guarded_access(hb::LockKind::BufferRegistry, self.id as usize, 0);
+            registry.clone()
+        };
         for buf in &bufs {
             let mut st = buf.state.lock();
             if sink.staged.is_empty() {
